@@ -1,0 +1,112 @@
+// Ablation (paper section 4.2.2): intercept vs attach spawn support.
+//
+// "While this approach [intercept] is simple, it has the drawback of
+// adding overhead to the spawning operation.  If the user wanted to
+// measure the performance cost of spawning operations, this method
+// would inflate the measured values.  It also starts a new Paradyn
+// daemon for each new process, which is not strictly necessary."
+//
+// This bench times MPI_Comm_spawn under three configurations --
+// unmonitored, intercept, and attach(+MPIR) -- and shows the
+// per-method overhead and daemon counts.
+#include "bench_common.hpp"
+
+#include "util/clock.hpp"
+#include "util/stats.hpp"
+
+using namespace m2p;
+
+namespace {
+
+struct SpawnTiming {
+    double mean_spawn_seconds = 0.0;
+    int daemons_started = 0;
+    int processes_discovered = 0;
+};
+
+SpawnTiming run_case(core::SpawnMethod method, bool mpir, int rounds, int children) {
+    simmpi::World::Config wcfg;
+    wcfg.mpir_enabled = mpir;
+    instr::Registry reg;
+    simmpi::World world(reg, wcfg);
+    core::PerfTool::Options topts;
+    topts.spawn_method = method;
+    core::PerfTool tool(world, topts);
+
+    std::vector<double> times;
+    world.register_program("child", [](simmpi::Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        r.MPI_Finalize();
+    });
+    world.register_program("parent", [&](simmpi::Rank& r,
+                                         const std::vector<std::string>&) {
+        r.MPI_Init();
+        for (int i = 0; i < rounds; ++i) {
+            simmpi::Comm inter = simmpi::MPI_COMM_NULL;
+            std::vector<int> errcodes;
+            const double t0 = util::wall_seconds();
+            r.MPI_Comm_spawn("child", {}, children, simmpi::MPI_INFO_NULL, 0,
+                             r.MPI_COMM_WORLD(), &inter, &errcodes);
+            times.push_back(util::wall_seconds() - t0);
+        }
+        r.MPI_Finalize();
+    });
+    core::run_app_async(tool, "parent", {}, 1);
+    world.join_all();
+    tool.flush();
+
+    SpawnTiming out;
+    out.mean_spawn_seconds = util::summarize(times).mean;
+    out.daemons_started = tool.spawn_stats().daemons_started;
+    out.processes_discovered = tool.known_process_count() - 1;  // minus parent
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    bench::header("Ablation: spawn support method",
+                  "intercept (paper's implementation) vs attach (MPIR) vs none");
+    bench::Grader g;
+    constexpr int kRounds = 8, kChildren = 3;
+
+    const SpawnTiming none =
+        run_case(core::SpawnMethod::None, false, kRounds, kChildren);
+    const SpawnTiming intercept =
+        run_case(core::SpawnMethod::Intercept, false, kRounds, kChildren);
+    const SpawnTiming attach_no_mpir =
+        run_case(core::SpawnMethod::Attach, false, kRounds, kChildren);
+    const SpawnTiming attach_mpir =
+        run_case(core::SpawnMethod::Attach, true, kRounds, kChildren);
+
+    util::TextTable t({"method", "mean MPI_Comm_spawn (ms)", "overhead vs none (ms)",
+                       "daemons started", "children discovered"});
+    auto row = [&](const char* name, const SpawnTiming& s) {
+        t.add_row({name, util::fmt(1e3 * s.mean_spawn_seconds, 3),
+                   util::fmt(1e3 * (s.mean_spawn_seconds - none.mean_spawn_seconds), 3),
+                   std::to_string(s.daemons_started),
+                   std::to_string(s.processes_discovered)});
+    };
+    row("unmonitored", none);
+    row("intercept", intercept);
+    row("attach (no MPIR, as in 2004)", attach_no_mpir);
+    row("attach (MPIR available)", attach_mpir);
+    std::printf("%s", t.render().c_str());
+
+    g.check("intercept discovers every child",
+            intercept.processes_discovered == kRounds * kChildren);
+    g.check("intercept inflates measured spawn cost (paper's drawback)",
+            intercept.mean_spawn_seconds > 1.3 * none.mean_spawn_seconds);
+    g.check("intercept starts one daemon per child",
+            intercept.daemons_started == kRounds * kChildren);
+    g.check("attach without MPIR discovers nothing (the 2004 reality)",
+            attach_no_mpir.processes_discovered == 0);
+    g.check("attach with MPIR discovers every child without daemons-per-child",
+            attach_mpir.processes_discovered == kRounds * kChildren &&
+                attach_mpir.daemons_started == 0);
+    g.check("attach adds less spawn overhead than intercept",
+            attach_mpir.mean_spawn_seconds < intercept.mean_spawn_seconds);
+
+    std::printf("\nSpawn-method ablation: %d failures\n", g.failures());
+    return g.exit_code();
+}

@@ -1,0 +1,107 @@
+// Shared helpers for the per-table/per-figure benchmark binaries.
+//
+// Each binary regenerates one paper artifact: it runs the relevant
+// PPerfMark/Presta workload under the tool, prints what the paper
+// reported next to what this reproduction measured, and exits nonzero
+// if the qualitative finding (who is the bottleneck) does not hold.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "core/session.hpp"
+#include "pperfmark/pperfmark.hpp"
+#include "util/text_table.hpp"
+
+namespace m2p::bench {
+
+/// Iteration counts tuned so each program runs ~2-3 s under the
+/// Performance Consultant on a small host (workloads are scaled from
+/// the paper's cluster runs; see DESIGN.md section 2).
+inline ppm::Params pc_params(const std::string& program) {
+    ppm::Params p;
+    p.time_to_waste = 2;
+    p.waste_unit_seconds = 0.002;
+    if (program == ppm::kSmallMessages) p.iterations = 400000;
+    else if (program == ppm::kBigMessage) p.iterations = 150000;
+    else if (program == ppm::kWrongWay) p.iterations = 500000;
+    else if (program == ppm::kIntensiveServer) p.iterations = 120;
+    else if (program == ppm::kRandomBarrier) p.iterations = 500;
+    else if (program == ppm::kDiffuseProcedure) p.iterations = 500;
+    else if (program == ppm::kSystemTime) p.iterations = 150, p.waste_unit_seconds = 0.004;
+    else if (program == ppm::kHotProcedure) p.iterations = 500;
+    else if (program == ppm::kSstwod) p.iterations = 30000, p.grid_n = 48;
+    else if (program == ppm::kAllcount) p.iterations = 100, p.epochs = 400,
+             p.rma_ops_per_epoch = 20;
+    else if (program == ppm::kWincreateBlast) p.win_blast_count = 64;
+    else if (program == ppm::kWinfenceSync) p.iterations = 450;
+    else if (program == ppm::kWinscpwSync) p.iterations = 450;
+    else if (program == ppm::kWinlockSync) p.iterations = 300;
+    else if (program == ppm::kSpawnCount) p.spawn_rounds = 4, p.spawn_children = 3;
+    else if (program == ppm::kSpawnSync) p.iterations = 250;
+    else if (program == ppm::kSpawnwinSync) p.iterations = 350;
+    else if (program == ppm::kOned) p.iterations = 25000, p.grid_n = 48;
+    return p;
+}
+
+/// Process counts per program, following the paper's runs (6 for the
+/// client/server programs, 2 for the pairwise ones, 4 elsewhere).
+inline int pc_nprocs(const std::string& program) {
+    if (program == ppm::kSmallMessages || program == ppm::kIntensiveServer ||
+        program == ppm::kRandomBarrier)
+        return 6;
+    if (program == ppm::kBigMessage || program == ppm::kWrongWay) return 2;
+    if (program == ppm::kSpawnCount || program == ppm::kSpawnSync ||
+        program == ppm::kSpawnwinSync)
+        return 1;
+    return 4;
+}
+
+inline core::PerformanceConsultant::Options pc_options() {
+    core::PerformanceConsultant::Options o;
+    o.eval_interval = 0.08;
+    o.max_search_seconds = 6.0;
+    return o;
+}
+
+struct PcRun {
+    core::PCReport report;
+    std::string condensed;
+};
+
+/// Runs @p program on @p nprocs processes of a fresh session under the
+/// Performance Consultant.  @p tweak may adjust params/opts first.
+inline PcRun run_pc(simmpi::Flavor flavor, const std::string& program, int nprocs,
+                    ppm::Params params, core::PerformanceConsultant::Options opts) {
+    core::Session s(flavor);
+    ppm::register_all(s.world(), params);
+    PcRun out;
+    out.report = s.run_with_consultant(program, nprocs, opts);
+    out.condensed = core::PerformanceConsultant::render_condensed(out.report);
+    return out;
+}
+
+/// Prints a standard header for one reproduced artifact.
+inline void header(const std::string& artifact, const std::string& what) {
+    std::printf("==========================================================\n");
+    std::printf("%s -- %s\n", artifact.c_str(), what.c_str());
+    std::printf("==========================================================\n");
+}
+
+/// One paper-vs-measured check line; accumulates the exit status.
+class Grader {
+public:
+    void check(const std::string& claim, bool held) {
+        std::printf("  [%s] %s\n", held ? "PASS" : "FAIL", claim.c_str());
+        failed_ += held ? 0 : 1;
+    }
+    void note(const std::string& text) { std::printf("  [note] %s\n", text.c_str()); }
+    int exit_code() const { return failed_ == 0 ? 0 : 1; }
+    int failures() const { return failed_; }
+
+private:
+    int failed_ = 0;
+};
+
+}  // namespace m2p::bench

@@ -1,0 +1,124 @@
+// Figures 10-13: intensive-server.
+//  Fig 10: PC output -- clients wait in Grecv_message -> MPI_Recv with
+//          the communicator (and, on LAM, the tag); CPUBound also true.
+//  Fig 11: histograms -- a client spends nearly all its time in
+//          Grecv_message and almost none in Gsend_message; the server
+//          spends little time in either.
+//  Fig 12: Jumpshot statistical preview -- ~2 of 3 processes in
+//          MPI_Recv at any time (3-process run).
+//  Fig 13: Jumpshot Time Lines -- server busy, clients in MPI_Recv.
+#include "bench_common.hpp"
+
+#include "trace/mpe.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/clock.hpp"
+
+using namespace m2p;
+
+int main() {
+    bench::header("Figures 10-13", "intensive-server");
+    bench::Grader g;
+
+    // ---- Figure 10: PC output ------------------------------------------
+    for (const auto flavor : {simmpi::Flavor::Lam, simmpi::Flavor::Mpich}) {
+        const bench::PcRun run = bench::run_pc(
+            flavor, ppm::kIntensiveServer, 6,
+            bench::pc_params(ppm::kIntensiveServer), bench::pc_options());
+        std::printf("\n--- Fig 10 condensed PC output (%s) ---\n%s",
+                    simmpi::flavor_name(flavor), run.condensed.c_str());
+        g.check(std::string(simmpi::flavor_name(flavor)) +
+                    ": Grecv_message -> MPI_Recv bottleneck",
+                run.report.found("ExcessiveSyncWaitingTime", "Grecv_message") &&
+                    run.report.found("ExcessiveSyncWaitingTime", "MPI_Recv"));
+        g.check(std::string(simmpi::flavor_name(flavor)) + ": communicator found",
+                run.report.found("ExcessiveSyncWaitingTime",
+                                 "/SyncObject/Message/comm_"));
+        g.check(std::string(simmpi::flavor_name(flavor)) + ": CPUBound also true",
+                run.report.found("CPUBound", ""));
+    }
+
+    // ---- Figure 11: client vs server inclusive sync time -----------------
+    {
+        simmpi::World::Config wcfg;
+        wcfg.start_paused = true;
+        core::Session s(simmpi::Flavor::Lam, {}, wcfg);
+        ppm::Params p;
+        p.iterations = 200;
+        p.time_to_waste = 1;
+        p.waste_unit_seconds = 0.002;
+        ppm::register_all(s.world(), p);
+        core::run_app_async(s.tool(), ppm::kIntensiveServer, {}, 6);
+        s.tool().flush();
+
+        auto request_for = [&](int rank, const char* fn) {
+            core::Focus f;
+            f.process = s.tool().process_path(rank);
+            f.code = std::string("/Code/pperfmark/") + fn;
+            return s.tool().metrics().request("sync_wait_inclusive", f);
+        };
+        auto client_recv = request_for(1, "Grecv_message");
+        auto client_send = request_for(1, "Gsend_message");
+        auto server_recv = request_for(0, "Grecv_message");
+        auto server_send = request_for(0, "Gsend_message");
+        const double t0 = util::wall_seconds();
+        s.world().release_start_gate();
+        s.world().join_all();
+        const double wall = util::wall_seconds() - t0;
+
+        std::printf("\n--- Fig 11: inclusive sync waiting time (fraction of run) ---\n");
+        std::printf("%s",
+                    util::render_chart(
+                        {{"client p1: sync in Grecv_message",
+                          client_recv->histogram().values()},
+                         {"client p1: sync in Gsend_message",
+                          client_send->histogram().values()},
+                         {"server p0: sync in Grecv_message",
+                          server_recv->histogram().values()}},
+                        client_recv->histogram().bin_width(), 5, "seconds waiting")
+                        .c_str());
+        util::TextTable t({"process", "Grecv_message", "Gsend_message"});
+        t.add_row({"client (p1)", util::fmt(client_recv->total() / wall, 3),
+                   util::fmt(client_send->total() / wall, 3)});
+        t.add_row({"server (p0)", util::fmt(server_recv->total() / wall, 3),
+                   util::fmt(server_send->total() / wall, 3)});
+        std::printf("%s", t.render().c_str());
+        std::printf("paper: client ~0.999 in Grecv vs ~0.0001 in Gsend; server low in both\n");
+        g.check("client is dominated by Grecv_message",
+                client_recv->total() > 10.0 * std::max(1e-6, client_send->total()));
+        g.check("server spends far less of its time waiting than clients",
+                server_recv->total() + server_send->total() <
+                    0.5 * client_recv->total());
+        for (auto* pr : {&client_recv, &client_send, &server_recv, &server_send})
+            s.tool().metrics().release(*pr);
+    }
+
+    // ---- Figures 12 & 13: MPE / Jumpshot cross-check ----------------------
+    {
+        core::Session s(simmpi::Flavor::Lam);
+        ppm::Params p;
+        p.iterations = 25;  // the paper shortened these runs (log size)
+        p.time_to_waste = 1;
+        p.waste_unit_seconds = 0.004;
+        ppm::register_all(s.world(), p);
+        trace::MpeLogger mpe(s.world());
+        s.run(ppm::kIntensiveServer, 3);
+        const double avg = trace::statistical_preview(mpe.log(), "MPI_Recv");
+        std::printf("\n--- Fig 12: statistical preview (3 processes) ---\n");
+        std::printf("average processes in MPI_Recv: %.2f (paper: ~2 of 3)\n", avg);
+        g.check("~2 of 3 processes in MPI_Recv", avg > 1.3 && avg < 2.9);
+
+        std::printf("\n--- Fig 13: time lines ---\n%s",
+                    trace::render_timelines(mpe.log(), 3, 72).c_str());
+        // The server (p0) row should be mostly computing; clients mostly 'R'.
+        const std::string lines = trace::render_timelines(mpe.log(), 3, 60);
+        const std::size_t p1 = lines.find("p1 |");
+        const std::size_t p1end = lines.find('\n', p1);
+        const std::string p1row = lines.substr(p1, p1end - p1);
+        const std::size_t recv_cells =
+            static_cast<std::size_t>(std::count(p1row.begin(), p1row.end(), 'R'));
+        g.check("client p1 timeline is mostly MPI_Recv", recv_cells > 30);
+    }
+
+    std::printf("\nFigures 10-13 reproduction: %d failures\n", g.failures());
+    return g.exit_code();
+}

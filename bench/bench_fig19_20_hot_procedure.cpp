@@ -1,0 +1,61 @@
+// Figures 19 & 20 (left): hot-procedure.
+//  Fig 19: gprof flat profile of a serial run -- bottleneckProcedure
+//          consumes ~100% of the time; the irrelevantProcedures are
+//          called equally often but take ~0 us/call.
+//  Fig 20 (left): PC output -- CPUBound drills to bottleneckProcedure
+//          for both implementations.
+#include "bench_common.hpp"
+
+#include "prof/flat_profiler.hpp"
+
+using namespace m2p;
+
+int main() {
+    bench::header("Figures 19 & 20 (hot-procedure)", "gprof cross-check + PC output");
+    bench::Grader g;
+
+    // ---- Figure 19: gprof-style flat profile ------------------------------
+    {
+        core::Session s(simmpi::Flavor::Lam);
+        ppm::Params p;
+        p.iterations = 400;
+        p.waste_unit_seconds = 0.002;
+        ppm::register_all(s.world(), p);
+        prof::FlatProfiler profiler(s.registry());
+        // The paper profiles a non-MPI version of hot-procedure; one
+        // process gives the same flat profile.
+        s.run(ppm::kHotProcedure, 1, 1);
+        std::printf("\n--- Fig 19: flat profile (cf. gprof) ---\n%s",
+                    profiler.render().c_str());
+        const auto rows = profiler.report();
+        g.check("bottleneckProcedure tops the profile",
+                !rows.empty() && rows[0].name == "bottleneckProcedure");
+        g.check("bottleneckProcedure consumes ~100% of the time",
+                rows[0].pct_time > 95.0);
+        bool calls_equal = true, irrelevant_cheap = true;
+        for (const auto& r : rows) {
+            if (r.name.rfind("irrelevantProcedure", 0) == 0) {
+                calls_equal = calls_equal && r.calls == rows[0].calls;
+                irrelevant_cheap = irrelevant_cheap && r.us_per_call < 50.0;
+            }
+        }
+        g.check("every procedure called an equal number of times", calls_equal);
+        g.check("irrelevantProcedures take ~0 us/call", irrelevant_cheap);
+    }
+
+    // ---- Figure 20 (left): PC output --------------------------------------
+    for (const auto flavor : {simmpi::Flavor::Lam, simmpi::Flavor::Mpich}) {
+        const bench::PcRun run =
+            bench::run_pc(flavor, ppm::kHotProcedure, 4,
+                          bench::pc_params(ppm::kHotProcedure), bench::pc_options());
+        std::printf("\n--- Fig 20 condensed PC output (%s) ---\n%s",
+                    simmpi::flavor_name(flavor), run.condensed.c_str());
+        g.check(std::string(simmpi::flavor_name(flavor)) +
+                    ": CPUBound -> bottleneckProcedure",
+                run.report.found("CPUBound", "bottleneckProcedure"));
+    }
+
+    std::printf("\nFigures 19-20 (hot-procedure) reproduction: %d failures\n",
+                g.failures());
+    return g.exit_code();
+}

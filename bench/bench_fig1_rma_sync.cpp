@@ -1,0 +1,150 @@
+// Figure 1: RMA synchronization patterns.  The paper's figure shows
+// where waiting time arises in each synchronization style; this bench
+// measures it with the tool's RMA wait metrics using late-arriver
+// micro-workloads:
+//   (a) collective MPI_Win_create with one late process,
+//   (b) MPI_Win_fence with one late process,
+//   (c) start/complete + post/wait with a late target,
+//   (d) passive target lock/unlock with a long-held lock.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/clock.hpp"
+
+using namespace m2p;
+using simmpi::Comm;
+using simmpi::Group;
+using simmpi::Rank;
+using simmpi::Win;
+
+namespace {
+
+constexpr double kLate = 0.08;  // seconds of lateness injected
+
+double measure(simmpi::Flavor flavor, const char* metric,
+               const std::function<void(Rank&, int, int)>& body) {
+    core::Session s(flavor);
+    auto pair = s.tool().metrics().request(metric, core::Focus{});
+    s.world().register_program("prog", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0, n = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        r.MPI_Comm_size(r.MPI_COMM_WORLD(), &n);
+        body(r, me, n);
+        r.MPI_Finalize();
+    });
+    core::run_app_async(s.tool(), "prog", {}, 3);
+    s.world().join_all();
+    const double v = pair->total();
+    s.tool().metrics().release(pair);
+    return v;
+}
+
+}  // namespace
+
+int main() {
+    bench::header("Figure 1", "waiting time in each RMA synchronization pattern");
+    bench::Grader g;
+
+    for (const auto flavor : {simmpi::Flavor::Lam, simmpi::Flavor::Mpich}) {
+        std::printf("\n--- %s ---\n", simmpi::flavor_name(flavor));
+        util::TextTable t({"pattern", "late party", "metric", "measured wait (s)",
+                           "expected"});
+
+        // (a) Win_create: "synchronization overhead that could occur if
+        // a process were late in executing MPI_Win_create".
+        const double create_wait = measure(
+            flavor, "rma_sync_wait", [](Rank& r, int me, int) {
+                if (me == 0) util::burn_thread_cpu(kLate);
+                std::vector<char> mem(64, 0);
+                Win w = simmpi::MPI_WIN_NULL;
+                r.MPI_Win_create(mem.data(), 64, 1, simmpi::MPI_INFO_NULL,
+                                 r.MPI_COMM_WORLD(), &w);
+                r.MPI_Win_free(&w);
+            });
+        t.add_row({"collective create", "rank 0 late", "rma_sync_wait",
+                   util::fmt(create_wait, 4), ">= 2 x lateness"});
+        g.check("win_create late arriver causes waiting", create_wait > 1.2 * kLate);
+
+        // (b) Fence: "if Process B is late executing the fence, then
+        // processes A and C may incur synchronization waiting time".
+        const double fence_wait = measure(
+            flavor, "at_rma_sync_wait", [](Rank& r, int me, int) {
+                std::vector<char> mem(64, 0);
+                Win w = simmpi::MPI_WIN_NULL;
+                r.MPI_Win_create(mem.data(), 64, 1, simmpi::MPI_INFO_NULL,
+                                 r.MPI_COMM_WORLD(), &w);
+                if (me == 1) util::burn_thread_cpu(kLate);
+                r.MPI_Win_fence(0, w);
+                r.MPI_Win_free(&w);
+            });
+        t.add_row({"fence (active target)", "rank 1 late", "at_rma_sync_wait",
+                   util::fmt(fence_wait, 4), ">= 2 x lateness"});
+        g.check("late fence causes waiting in others", fence_wait > 1.2 * kLate);
+
+        // (c) start/complete + post/wait: origins wait for the late
+        // target's post (in MPI_Win_start on LAM, MPI_Win_complete on
+        // MPICH2).
+        const double pscw_wait = measure(
+            flavor, "at_rma_sync_wait", [](Rank& r, int me, int n) {
+                std::vector<char> mem(64, 0);
+                Win w = simmpi::MPI_WIN_NULL;
+                r.MPI_Win_create(mem.data(), 64, 1, simmpi::MPI_INFO_NULL,
+                                 r.MPI_COMM_WORLD(), &w);
+                Group wg = simmpi::MPI_GROUP_NULL;
+                r.MPI_Comm_group(r.MPI_COMM_WORLD(), &wg);
+                if (me == 0) {
+                    util::burn_thread_cpu(kLate);  // late target
+                    std::vector<int> origins;
+                    for (int i = 1; i < n; ++i) origins.push_back(i);
+                    Group og = simmpi::MPI_GROUP_NULL;
+                    r.MPI_Group_incl(wg, n - 1, origins.data(), &og);
+                    r.MPI_Win_post(og, 0, w);
+                    r.MPI_Win_wait(w);
+                } else {
+                    const int zero = 0;
+                    Group tg = simmpi::MPI_GROUP_NULL;
+                    r.MPI_Group_incl(wg, 1, &zero, &tg);
+                    char b = 1;
+                    r.MPI_Win_start(tg, 0, w);
+                    r.MPI_Put(&b, 1, simmpi::MPI_BYTE, 0, 0, 1, simmpi::MPI_BYTE, w);
+                    r.MPI_Win_complete(w);
+                }
+                r.MPI_Win_free(&w);
+            });
+        t.add_row({"start/complete-post/wait", "target late", "at_rma_sync_wait",
+                   util::fmt(pscw_wait, 4), ">= 2 x lateness"});
+        g.check("late post makes origins wait", pscw_wait > 1.2 * kLate);
+
+        // (d) Passive target: "MPI_Win_unlock is not allowed to return
+        // until all of its data transfers have completed"; here the
+        // wait shows in the competing MPI_Win_lock calls.
+        const double pt_wait = measure(
+            flavor, "pt_rma_sync_wait", [](Rank& r, int me, int) {
+                std::vector<char> mem(64, 0);
+                Win w = simmpi::MPI_WIN_NULL;
+                r.MPI_Win_create(mem.data(), 64, 1, simmpi::MPI_INFO_NULL,
+                                 r.MPI_COMM_WORLD(), &w);
+                // Rank 0 acquires first and holds long; the others
+                // arrive a moment later and block in MPI_Win_lock.
+                if (me != 0)
+                    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+                r.MPI_Win_lock(simmpi::MPI_LOCK_EXCLUSIVE, 0, 0, w);
+                if (me == 0) util::burn_thread_cpu(kLate);  // long hold
+                char b = 2;
+                r.MPI_Put(&b, 1, simmpi::MPI_BYTE, 0, 0, 1, simmpi::MPI_BYTE, w);
+                r.MPI_Win_unlock(0, w);
+                r.MPI_Win_free(&w);
+            });
+        t.add_row({"lock/unlock (passive)", "lock held long", "pt_rma_sync_wait",
+                   util::fmt(pt_wait, 4), ">= lateness"});
+        g.check("held lock causes passive-target waiting", pt_wait > 0.5 * kLate);
+
+        std::printf("%s", t.render().c_str());
+    }
+
+    std::printf("\nFigure 1 reproduction: %d failures\n", g.failures());
+    return g.exit_code();
+}

@@ -1,0 +1,36 @@
+// Figure 20 (right): sstwod -- the "Using MPI" book's 2-D Poisson
+// solver with a known communication bottleneck in exchng2.  The PC
+// finds ExcessiveSyncWaitingTime and drills through exchng2 to
+// MPI_Sendrecv, plus a synchronization bottleneck in MPI_Allreduce.
+#include "bench_common.hpp"
+
+using namespace m2p;
+
+int main() {
+    bench::header("Figure 20 (sstwod)", "PC findings for the Using-MPI Poisson solver");
+    bench::Grader g;
+
+    for (const auto flavor : {simmpi::Flavor::Lam, simmpi::Flavor::Mpich}) {
+        ppm::Params p = bench::pc_params(ppm::kSstwod);
+        core::PerformanceConsultant::Options o = bench::pc_options();
+        o.max_search_seconds = 8.0;
+        const bench::PcRun run = bench::run_pc(flavor, ppm::kSstwod, 4, p, o);
+        std::printf("\n--- Fig 20 condensed PC output (%s) ---\n%s",
+                    simmpi::flavor_name(flavor), run.condensed.c_str());
+        g.check(std::string(simmpi::flavor_name(flavor)) +
+                    ": ExcessiveSyncWaitingTime true",
+                run.report.found("ExcessiveSyncWaitingTime", ""));
+        g.check(std::string(simmpi::flavor_name(flavor)) +
+                    ": MPI_Sendrecv implicated (exchng2's exchange)",
+                run.report.found("ExcessiveSyncWaitingTime", "MPI_Sendrecv"));
+        g.check(std::string(simmpi::flavor_name(flavor)) +
+                    ": MPI_Allreduce also a bottleneck",
+                run.report.found("ExcessiveSyncWaitingTime", "MPI_Allreduce"));
+        g.check(std::string(simmpi::flavor_name(flavor)) +
+                    ": drill passes through exchng2",
+                run.report.found("ExcessiveSyncWaitingTime", "exchng2"));
+    }
+
+    std::printf("\nFigure 20 (sstwod) reproduction: %d failures\n", g.failures());
+    return g.exit_code();
+}

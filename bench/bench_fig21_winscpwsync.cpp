@@ -1,0 +1,45 @@
+// Figure 21: winscpwsync (start/complete + post/wait) for LAM and
+// MPICH2.  The PC finds ExcessiveSyncWaitingTime due to active-target
+// synchronization on the responsible RMA window; the process with rank
+// 0 is CPU bound in waste_time.  The MPI-2 standard leaves the
+// blocking point to the implementation: LAM blocks in MPI_Win_start,
+// MPICH2 in MPI_Win_complete -- the paper's per-implementation
+// difference.
+#include "bench_common.hpp"
+
+using namespace m2p;
+
+int main() {
+    bench::header("Figure 21", "winscpwsync: PC findings, LAM vs MPICH2");
+    bench::Grader g;
+
+    for (const auto flavor : {simmpi::Flavor::Lam, simmpi::Flavor::Mpich}) {
+        ppm::Params p = bench::pc_params(ppm::kWinscpwSync);
+        core::PerformanceConsultant::Options o = bench::pc_options();
+        o.max_search_seconds = 8.0;
+        const bench::PcRun run = bench::run_pc(flavor, ppm::kWinscpwSync, 4, p, o);
+        std::printf("\n--- Fig 21 condensed PC output (%s) ---\n%s",
+                    simmpi::flavor_name(flavor), run.condensed.c_str());
+
+        const bool in_start =
+            run.report.found("ExcessiveSyncWaitingTime", "Win_start");
+        const bool in_complete =
+            run.report.found("ExcessiveSyncWaitingTime", "Win_complete");
+        if (flavor == simmpi::Flavor::Lam) {
+            g.check("LAM: origins wait in MPI_Win_start", in_start);
+            g.check("LAM: not blamed on MPI_Win_complete", !in_complete);
+        } else {
+            g.check("MPICH2: origins wait in MPI_Win_complete", in_complete);
+            g.check("MPICH2: not blamed on MPI_Win_start", !in_start);
+        }
+        g.check(std::string(simmpi::flavor_name(flavor)) +
+                    ": responsible RMA window determined",
+                run.report.found("ExcessiveSyncWaitingTime", "/SyncObject/Window/"));
+        g.check(std::string(simmpi::flavor_name(flavor)) +
+                    ": rank 0 CPU bound in waste_time",
+                run.report.found("CPUBound", "waste_time"));
+    }
+
+    std::printf("\nFigure 21 reproduction: %d failures\n", g.failures());
+    return g.exit_code();
+}

@@ -1,0 +1,41 @@
+// Figure 22: Oned -- the "Using MPI-2" 1-D Poisson solver whose ghost
+// exchange uses RMA.  For both implementations the PC discovers the
+// bottleneck to be synchronization waiting in MPI_Win_fence inside
+// exchng1.  On LAM there is additionally a bottleneck in the Barrier
+// synchronization object, "because it implements MPI_Win_fence with a
+// call to MPI_Barrier".
+#include "bench_common.hpp"
+
+using namespace m2p;
+
+int main() {
+    bench::header("Figure 22", "Oned: fence bottleneck in exchng1, LAM vs MPICH");
+    bench::Grader g;
+
+    for (const auto flavor : {simmpi::Flavor::Lam, simmpi::Flavor::Mpich}) {
+        ppm::Params p = bench::pc_params(ppm::kOned);
+        core::PerformanceConsultant::Options o = bench::pc_options();
+        o.max_search_seconds = 8.0;
+        const bench::PcRun run = bench::run_pc(flavor, ppm::kOned, 4, p, o);
+        std::printf("\n--- Fig 22 condensed PC output (%s) ---\n%s",
+                    simmpi::flavor_name(flavor), run.condensed.c_str());
+        g.check(std::string(simmpi::flavor_name(flavor)) +
+                    ": sync waiting in MPI_Win_fence",
+                run.report.found("ExcessiveSyncWaitingTime", "Win_fence"));
+        g.check(std::string(simmpi::flavor_name(flavor)) +
+                    ": drill passes through exchng1",
+                run.report.found("ExcessiveSyncWaitingTime", "exchng1"));
+        const bool barrier_obj =
+            run.report.found("ExcessiveSyncWaitingTime", "/SyncObject/Barrier") ||
+            run.report.found("ExcessiveSyncWaitingTime", "MPI_Barrier");
+        if (flavor == simmpi::Flavor::Lam) {
+            g.check("LAM: Barrier sync object implicated (fence uses MPI_Barrier)",
+                    barrier_obj);
+        } else {
+            g.check("MPICH: no Barrier involvement (internal fence)", !barrier_obj);
+        }
+    }
+
+    std::printf("\nFigure 22 reproduction: %d failures\n", g.failures());
+    return g.exit_code();
+}

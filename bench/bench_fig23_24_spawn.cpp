@@ -1,0 +1,102 @@
+// Figures 23 & 24: dynamic process creation (LAM only).
+//  Fig 23: Resource Hierarchy before and after MPI_Comm_spawn in
+//          spawnwinsync -- three new processes appear, the
+//          parent<->child RMA window is detected, and friendly names
+//          show: "Parent&Child" (merged intracomm), "toParentGroup"
+//          (children's parent intercomm), and "ParentChildWindow" --
+//          which under LAM also appears under Message because LAM
+//          stores window names in a per-window communicator.
+//  Fig 24: PC output for spawnsync (children wait in childFunction ->
+//          MPI_Recv; parent CPU bound in parentFunction) and
+//          spawnwinsync (children wait in MPI_Win_fence on the named
+//          window; message-passing sync also appears because LAM's
+//          fence uses Isend/Waitall).
+#include "bench_common.hpp"
+
+using namespace m2p;
+
+int main() {
+    bench::header("Figures 23 & 24", "spawn support: hierarchy growth + PC findings");
+    bench::Grader g;
+
+    // ---- Figure 23: hierarchy before/after the spawn ----------------------
+    {
+        core::Session s(simmpi::Flavor::Lam);
+        ppm::Params p;
+        p.iterations = 40;
+        p.spawn_children = 3;
+        ppm::register_all(s.world(), p);
+        s.tool().flush();
+        const std::string before_procs = s.tool().hierarchy().render("/Process");
+        const std::size_t procs_before =
+            s.tool().hierarchy().children("/Process", true).size();
+        s.run(ppm::kSpawnwinSync, 1);
+        std::printf("--- Fig 23: /Process before spawn ---\n%s", before_procs.c_str());
+        std::printf("\n--- Fig 23: /Process after spawn ---\n%s",
+                    s.tool().hierarchy().render("/Process").c_str());
+        std::printf("\n--- Fig 23: /SyncObject after spawn ---\n%s",
+                    s.tool().hierarchy().render("/SyncObject").c_str());
+
+        const auto procs_after = s.tool().hierarchy().children("/Process", true);
+        g.check("three new processes appeared",
+                procs_before == 0 && procs_after.size() == 4);
+        bool win_named = false;
+        for (const auto& w : s.tool().hierarchy().children("/SyncObject/Window", true))
+            win_named |= s.tool().hierarchy().get(w).display == "ParentChildWindow";
+        g.check("parent/child RMA window detected and named ParentChildWindow",
+                win_named);
+        bool merged_named = false, to_parent = false, win_under_message = false;
+        for (const auto& c :
+             s.tool().hierarchy().children("/SyncObject/Message", true)) {
+            const std::string d = s.tool().hierarchy().get(c).display;
+            merged_named |= d == "Parent&Child";
+            to_parent |= d == "toParentGroup";
+            win_under_message |= d == "ParentChildWindow";
+        }
+        g.check("merged intracommunicator named Parent&Child", merged_named);
+        g.check("children's parent intercomm named toParentGroup", to_parent);
+        g.check("window name also under Message (LAM stores it in a comm)",
+                win_under_message);
+    }
+
+    // ---- Figure 24 (left): spawnsync ---------------------------------------
+    {
+        const bench::PcRun run =
+            bench::run_pc(simmpi::Flavor::Lam, ppm::kSpawnSync, 1,
+                          bench::pc_params(ppm::kSpawnSync), bench::pc_options());
+        std::printf("\n--- Fig 24 condensed PC output (spawnsync) ---\n%s",
+                    run.condensed.c_str());
+        g.check("children's sync bottleneck in childFunction",
+                run.report.found("ExcessiveSyncWaitingTime", "childFunction"));
+        g.check("drilled to MPI_Recv",
+                run.report.found("ExcessiveSyncWaitingTime", "MPI_Recv"));
+        g.check("parent CPU bound (parentFunction or its process)",
+                run.report.found("CPUBound", "parentFunction") ||
+                    run.report.found("CPUBound", "/Process/p0"));
+    }
+
+    // ---- Figure 24 (right): spawnwinsync ------------------------------------
+    {
+        const bench::PcRun run =
+            bench::run_pc(simmpi::Flavor::Lam, ppm::kSpawnwinSync, 1,
+                          bench::pc_params(ppm::kSpawnwinSync), bench::pc_options());
+        std::printf("\n--- Fig 24 condensed PC output (spawnwinsync) ---\n%s",
+                    run.condensed.c_str());
+        g.check("sync waiting due to one-sided communication (fence)",
+                run.report.found("ExcessiveSyncWaitingTime", "Win_fence"));
+        g.check("responsible window identified",
+                run.report.found("ExcessiveSyncWaitingTime", "/SyncObject/Window/"));
+        // LAM's fence is built on Isend/Waitall + Barrier: message-
+        // passing sync also shows up.
+        g.check("message-passing sync also present (LAM fence internals)",
+                run.report.found("ExcessiveSyncWaitingTime", "Barrier") ||
+                    run.report.found("ExcessiveSyncWaitingTime", "Wait") ||
+                    run.report.found("ExcessiveSyncWaitingTime", "Message"));
+        g.check("parent CPU bound",
+                run.report.found("CPUBound", "parentFunction") ||
+                    run.report.found("CPUBound", "/Process/p0"));
+    }
+
+    std::printf("\nFigures 23-24 reproduction: %d failures\n", g.failures());
+    return g.exit_code();
+}

@@ -1,0 +1,97 @@
+// Figures 3 & 4: small-messages.
+//  Fig 3: condensed PC output for LAM vs MPICH -- both drill through
+//         Gsend_message to MPI_Send; LAM additionally finds the
+//         communicator; MPICH additionally shows
+//         ExcessiveIOBlockingTime (socket transport).
+//  Fig 4: Paradyn histogram of server message bytes received; the
+//         paper multiplies the average rate by the run time and
+//         compares against the known 200,000,000 bytes (scaled here).
+#include "bench_common.hpp"
+
+#include "util/ascii_chart.hpp"
+
+using namespace m2p;
+
+int main() {
+    bench::header("Figures 3 & 4", "small-messages: PC findings + byte histogram");
+    bench::Grader g;
+
+    // ---- Figure 3: PC condensed output, both implementations -----------
+    for (const auto flavor : {simmpi::Flavor::Lam, simmpi::Flavor::Mpich}) {
+        const bench::PcRun run =
+            bench::run_pc(flavor, ppm::kSmallMessages, 6,
+                          bench::pc_params(ppm::kSmallMessages), bench::pc_options());
+        std::printf("\n--- Fig 3 condensed PC output (%s) ---\n%s",
+                    simmpi::flavor_name(flavor), run.condensed.c_str());
+        g.check(std::string(simmpi::flavor_name(flavor)) +
+                    ": ExcessiveSyncWaitingTime -> Gsend_message -> MPI_Send",
+                run.report.found("ExcessiveSyncWaitingTime", "Gsend_message") &&
+                    run.report.found("ExcessiveSyncWaitingTime", "MPI_Send"));
+        if (flavor == simmpi::Flavor::Lam) {
+            g.check("LAM: communicator identified",
+                    run.report.found("ExcessiveSyncWaitingTime",
+                                     "/SyncObject/Message/comm_"));
+            g.check("LAM: no ExcessiveIOBlockingTime",
+                    !run.report.found("ExcessiveIOBlockingTime", ""));
+        } else {
+            g.check("MPICH: ExcessiveIOBlockingTime true (socket read/write)",
+                    run.report.found("ExcessiveIOBlockingTime", ""));
+        }
+    }
+
+    // ---- Figure 4: server bytes-received histogram ----------------------
+    {
+        // Start the job paused (as Paradyn does) so the byte counters
+        // are in place before the first message.
+        simmpi::World::Config wcfg;
+        wcfg.start_paused = true;
+        core::Session s(simmpi::Flavor::Lam, {}, wcfg);
+        ppm::Params p;
+        p.iterations = 60000;  // scaled from the paper's 10,000,000
+        ppm::register_all(s.world(), p);
+        core::run_app_async(s.tool(), ppm::kSmallMessages, {}, 6);
+        s.tool().flush();
+        core::Focus server;
+        server.process = s.tool().process_path(0);
+        auto recv = s.tool().metrics().request("msg_bytes_recv", server);
+        core::Focus client;
+        client.process = s.tool().process_path(1);
+        auto sent = s.tool().metrics().request("msg_bytes_sent", client);
+        s.world().release_start_gate();
+        s.world().join_all();
+        s.tool().flush();
+
+        const ppm::MessageTruth t = ppm::small_messages_truth(p, 6);
+        const core::Histogram& h = recv->histogram();
+        // The paper's procedure: average rate x run time, first/last
+        // bins excluded to reduce folding error.
+        const double est = h.rate(true) * h.bin_width() *
+                           static_cast<double>(h.active_bins());
+        std::printf("\n--- Fig 4: server msg_bytes_recv histogram ---\n");
+        std::printf("%s", util::render_chart({{"server: message bytes received",
+                                               h.values()}},
+                                             h.bin_width(), 6, "bytes")
+                              .c_str());
+        std::printf("bins=%zu width=%.3fs folds=%d\n", h.active_bins(), h.bin_width(),
+                    h.folds());
+        std::printf("exact total:      %.0f bytes\n", recv->total());
+        std::printf("histogram est.:   %.0f bytes (rate x time, endpoints dropped)\n",
+                    est);
+        std::printf("ground truth:     %lld bytes (paper scale: 200,000,000)\n",
+                    t.bytes_received_at_server);
+        std::printf("client 1 sent:    %.0f bytes (truth %lld)\n", sent->total(),
+                    t.bytes_sent);
+
+        g.check("server received-bytes exactly match ground truth",
+                recv->total() == static_cast<double>(t.bytes_received_at_server));
+        g.check("histogram estimate within 15% of exact total (folding error)",
+                std::abs(est - recv->total()) < 0.15 * recv->total() + 1.0);
+        g.check("client sent-bytes exactly match ground truth",
+                sent->total() == static_cast<double>(t.bytes_sent));
+        s.tool().metrics().release(recv);
+        s.tool().metrics().release(sent);
+    }
+
+    std::printf("\nFigures 3-4 reproduction: %d failures\n", g.failures());
+    return g.exit_code();
+}

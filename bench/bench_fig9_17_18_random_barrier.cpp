@@ -1,0 +1,98 @@
+// Figures 9, 17 & 18: random-barrier.
+//  Fig 9:  PC output -- MPI_Barrier sync bottleneck; CPU bound in
+//          waste_time; on MPICH the barrier decomposes into
+//          PMPI_Sendrecv; not every process is CPU bound in waste_time
+//          (the waster moves around).
+//  Fig 17: Jumpshot statistical preview -- ~3 of 4 processes in
+//          MPI_Barrier at any time.
+//  Fig 18: sync_wait_inclusive across all processes -- LAM ~61% vs
+//          MPICH ~62%: roughly equal, spread over every process.
+#include "bench_common.hpp"
+
+#include "trace/mpe.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/clock.hpp"
+
+using namespace m2p;
+
+int main() {
+    bench::header("Figures 9, 17 & 18", "random-barrier");
+    bench::Grader g;
+
+    // ---- Figure 9: PC output, LAM vs MPICH ------------------------------
+    for (const auto flavor : {simmpi::Flavor::Lam, simmpi::Flavor::Mpich}) {
+        ppm::Params p = bench::pc_params(ppm::kRandomBarrier);
+        p.time_to_waste = 5;  // the paper's TIMETOWASTE = 5
+        core::PerformanceConsultant::Options o = bench::pc_options();
+        o.max_search_seconds = 8.0;
+        const bench::PcRun run = bench::run_pc(flavor, ppm::kRandomBarrier, 6, p, o);
+        std::printf("\n--- Fig 9 condensed PC output (%s) ---\n%s",
+                    simmpi::flavor_name(flavor), run.condensed.c_str());
+        g.check(std::string(simmpi::flavor_name(flavor)) + ": MPI_Barrier bottleneck",
+                run.report.found("ExcessiveSyncWaitingTime", "MPI_Barrier") ||
+                    run.report.found("ExcessiveSyncWaitingTime",
+                                     "/SyncObject/Barrier"));
+        g.check(std::string(simmpi::flavor_name(flavor)) + ": CPU bound in waste_time",
+                run.report.found("CPUBound", "waste_time"));
+        if (flavor == simmpi::Flavor::Mpich) {
+            // "PMPI_Barrier is implemented as a collective
+            // communication operation with PMPI_Sendrecv".
+            g.check("MPICH: barrier decomposes into PMPI_Sendrecv",
+                    run.report.found("ExcessiveSyncWaitingTime", "PMPI_Sendrecv"));
+        }
+    }
+
+    // ---- Figure 17: Jumpshot statistical preview -------------------------
+    {
+        core::Session s(simmpi::Flavor::Lam);
+        ppm::Params p;
+        p.iterations = 80;  // the paper shortened this run too (MPE log size)
+        p.time_to_waste = 5;
+        p.waste_unit_seconds = 0.002;
+        ppm::register_all(s.world(), p);
+        trace::MpeLogger mpe(s.world());
+        s.run(ppm::kRandomBarrier, 4);
+        const double avg = trace::statistical_preview(mpe.log(), "MPI_Barrier");
+        std::printf("\n--- Fig 17: statistical preview (4 processes) ---\n");
+        std::printf("average processes in MPI_Barrier: %.2f (paper: ~3 of 4)\n", avg);
+        g.check("~3 of 4 processes in MPI_Barrier", avg > 2.2 && avg < 3.8);
+    }
+
+    // ---- Figure 18: sync_wait_inclusive over all processes ---------------
+    {
+        double pct[2] = {0, 0};
+        int i = 0;
+        for (const auto flavor : {simmpi::Flavor::Lam, simmpi::Flavor::Mpich}) {
+            core::Session s(flavor);
+            ppm::Params p;
+            p.iterations = 250;
+            p.time_to_waste = 5;
+            p.waste_unit_seconds = 0.002;
+            ppm::register_all(s.world(), p);
+            auto pair = s.tool().metrics().request("sync_wait_inclusive", core::Focus{});
+            const double t0 = util::wall_seconds();
+            s.run(ppm::kRandomBarrier, 6);
+            const double wall = util::wall_seconds() - t0;
+            pct[i] = 100.0 * pair->total() / (wall * 6.0);
+            if (i == 0)
+                std::printf("%s",
+                            util::render_chart(
+                                {{"sync_wait_inclusive, all 6 processes (LAM)",
+                                  pair->histogram().values()}},
+                                pair->histogram().bin_width(), 5, "CPU-seconds")
+                                .c_str());
+            std::printf("%s: average inclusive sync waiting = %.0f%% (paper: %s)\n",
+                        simmpi::flavor_name(flavor), pct[i],
+                        flavor == simmpi::Flavor::Lam ? "61%" : "62%");
+            s.tool().metrics().release(pair);
+            ++i;
+        }
+        g.check("sync time is a large fraction on both (paper: 61% / 62%)",
+                pct[0] > 40.0 && pct[1] > 40.0);
+        g.check("LAM and MPICH within 15 points of each other (paper: 1 point)",
+                std::abs(pct[0] - pct[1]) < 15.0);
+    }
+
+    std::printf("\nFigures 9/17/18 reproduction: %d failures\n", g.failures());
+    return g.exit_code();
+}

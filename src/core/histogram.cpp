@@ -1,0 +1,89 @@
+#include "core/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace m2p::core {
+
+Histogram::Histogram(double origin, double base_bin_width, std::size_t bins)
+    : origin_(origin), capacity_(bins), width_(base_bin_width), bins_(bins, 0.0) {
+    if (base_bin_width <= 0.0 || bins < 2)
+        throw std::invalid_argument("Histogram: bad bin configuration");
+}
+
+void Histogram::add(double t, double v) {
+    std::lock_guard lk(mu_);
+    double rel = t - origin_;
+    if (rel < 0.0) rel = 0.0;
+    while (rel >= width_ * static_cast<double>(capacity_)) fold_locked();
+    const auto idx = static_cast<std::size_t>(rel / width_);
+    bins_[idx] += v;
+    hi_ = std::max(hi_, idx + 1);
+    total_ += v;
+}
+
+void Histogram::fold_locked() {
+    // Combine neighbouring bins; the new bin represents twice the time.
+    for (std::size_t i = 0; i < capacity_ / 2; ++i)
+        bins_[i] = bins_[2 * i] + (2 * i + 1 < capacity_ ? bins_[2 * i + 1] : 0.0);
+    std::fill(bins_.begin() + static_cast<std::ptrdiff_t>(capacity_ / 2), bins_.end(),
+              0.0);
+    width_ *= 2.0;
+    hi_ = (hi_ + 1) / 2;
+    ++folds_;
+}
+
+double Histogram::bin_width() const {
+    std::lock_guard lk(mu_);
+    return width_;
+}
+
+std::size_t Histogram::active_bins() const {
+    std::lock_guard lk(mu_);
+    return hi_;
+}
+
+std::vector<double> Histogram::values() const {
+    std::lock_guard lk(mu_);
+    return {bins_.begin(), bins_.begin() + static_cast<std::ptrdiff_t>(hi_)};
+}
+
+double Histogram::total() const {
+    std::lock_guard lk(mu_);
+    return total_;
+}
+
+double Histogram::rate(bool exclude_endpoints) const {
+    std::lock_guard lk(mu_);
+    if (hi_ == 0) return 0.0;
+    std::size_t lo = 0;
+    std::size_t hi = hi_;
+    if (exclude_endpoints && hi_ > 2) {
+        lo = 1;
+        hi = hi_ - 1;
+    }
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) sum += bins_[i];
+    const double covered = width_ * static_cast<double>(hi - lo);
+    return covered > 0.0 ? sum / covered : 0.0;
+}
+
+int Histogram::folds() const {
+    std::lock_guard lk(mu_);
+    return folds_;
+}
+
+std::string Histogram::to_csv() const {
+    std::lock_guard lk(mu_);
+    std::string out = "bin_start_seconds,value\n";
+    char row[64];
+    for (std::size_t i = 0; i < hi_; ++i) {
+        std::snprintf(row, sizeof row, "%.6f,%.9g\n",
+                      width_ * static_cast<double>(i), bins_[i]);
+        out += row;
+    }
+    return out;
+}
+
+}  // namespace m2p::core

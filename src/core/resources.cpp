@@ -1,0 +1,123 @@
+#include "core/resources.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace m2p::core {
+
+ResourceHierarchy::ResourceHierarchy() {
+    nodes_["/"] = Resource{"/", "WholeProgram", "", ResourceKind::Root, false};
+    for (const char* p : {"/Code", "/Machine", "/Process", "/SyncObject"})
+        nodes_[p] = Resource{p, leaf(p), "", ResourceKind::Category, false};
+    // Message, Barrier, and the paper's new Window branch; File is the
+    // MPI-I/O extension (shared files are synchronization objects for
+    // collective access).
+    for (const char* p : {"/SyncObject/Message", "/SyncObject/Barrier",
+                          "/SyncObject/Window", "/SyncObject/File"})
+        nodes_[p] = Resource{p, leaf(p), "", ResourceKind::Category, false};
+}
+
+std::string ResourceHierarchy::leaf(const std::string& path) {
+    const std::size_t pos = path.rfind('/');
+    return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+std::string ResourceHierarchy::parent(const std::string& path) {
+    const std::size_t pos = path.rfind('/');
+    if (pos == std::string::npos || pos == 0) return "/";
+    return path.substr(0, pos);
+}
+
+bool ResourceHierarchy::add(const std::string& path, ResourceKind kind) {
+    std::lock_guard lk(mu_);
+    if (path.empty() || path[0] != '/')
+        throw std::invalid_argument("resource path must start with '/'");
+    if (nodes_.count(path)) return false;
+    const std::string par = parent(path);
+    if (!nodes_.count(par))
+        throw std::invalid_argument("resource parent missing: " + par);
+    nodes_[path] = Resource{path, leaf(path), "", kind, false};
+    return true;
+}
+
+bool ResourceHierarchy::exists(const std::string& path) const {
+    std::lock_guard lk(mu_);
+    return nodes_.count(path) != 0;
+}
+
+Resource ResourceHierarchy::get(const std::string& path) const {
+    std::lock_guard lk(mu_);
+    const auto it = nodes_.find(path);
+    if (it == nodes_.end()) throw std::out_of_range("no such resource: " + path);
+    return it->second;
+}
+
+void ResourceHierarchy::set_display(const std::string& path, const std::string& display) {
+    std::lock_guard lk(mu_);
+    const auto it = nodes_.find(path);
+    if (it == nodes_.end()) throw std::out_of_range("no such resource: " + path);
+    it->second.display = display;
+}
+
+void ResourceHierarchy::retire(const std::string& path) {
+    std::lock_guard lk(mu_);
+    const auto it = nodes_.find(path);
+    if (it == nodes_.end()) throw std::out_of_range("no such resource: " + path);
+    it->second.retired = true;
+}
+
+std::vector<std::string> ResourceHierarchy::children(const std::string& path,
+                                                     bool include_retired) const {
+    std::lock_guard lk(mu_);
+    std::vector<std::string> out;
+    const std::string prefix = path == "/" ? "/" : path + "/";
+    for (auto it = nodes_.lower_bound(prefix); it != nodes_.end(); ++it) {
+        const std::string& p = it->first;
+        if (p.rfind(prefix, 0) != 0) break;
+        if (p.find('/', prefix.size()) != std::string::npos) continue;  // grandchild
+        if (!include_retired && it->second.retired) continue;
+        out.push_back(p);
+    }
+    return out;
+}
+
+std::size_t ResourceHierarchy::size() const {
+    std::lock_guard lk(mu_);
+    return nodes_.size();
+}
+
+std::string ResourceHierarchy::render(const std::string& root) const {
+    std::ostringstream os;
+    struct Frame {
+        std::string path;
+        int depth;
+    };
+    std::vector<Frame> stack{{root, 0}};
+    while (!stack.empty()) {
+        const Frame f = stack.back();
+        stack.pop_back();
+        Resource r = get(f.path);
+        os << std::string(static_cast<std::size_t>(f.depth) * 2, ' ') << r.name;
+        if (!r.display.empty()) os << " \"" << r.display << "\"";
+        if (r.retired) os << " [retired]";
+        os << "\n";
+        auto kids = children(f.path);
+        std::sort(kids.rbegin(), kids.rend());  // reversed: stack pops in order
+        for (const auto& k : kids) stack.push_back({k, f.depth + 1});
+    }
+    return os.str();
+}
+
+bool Focus::is_whole_program() const {
+    return code == "/Code" && machine == "/Machine" && process == "/Process" &&
+           syncobj == "/SyncObject";
+}
+
+std::string Focus::to_string() const {
+    std::ostringstream os;
+    os << "<" << code << ", " << machine << ", " << process << ", " << syncobj << ">";
+    return os.str();
+}
+
+}  // namespace m2p::core

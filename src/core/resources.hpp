@@ -1,0 +1,94 @@
+// Paradyn's Resource Hierarchy (paper section 4): the tree of
+// everything a metric can be focused on.  Root is the Whole Program;
+// below it sit Code (modules, functions), Machine (nodes), Process,
+// and SyncObject (Message -> communicators -> tags, Barrier, and the
+// paper's new Window branch).
+//
+// Resources carry the MPI-2 features the paper adds: user-friendly
+// display names (MPI object naming) and a retired flag (freed windows
+// are greyed out and excluded from the Performance Consultant search).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace m2p::core {
+
+enum class ResourceKind {
+    Root,
+    Category,  ///< /Code, /Machine, /Process, /SyncObject, /SyncObject/Message...
+    Module,
+    Function,
+    Machine,
+    Process,
+    Communicator,
+    MessageTag,
+    Window,
+};
+
+struct Resource {
+    std::string path;     ///< e.g. "/SyncObject/Window/0-1"
+    std::string name;     ///< last path component
+    std::string display;  ///< user-friendly name (MPI-2 object naming), may be empty
+    ResourceKind kind = ResourceKind::Category;
+    bool retired = false;
+};
+
+/// Thread-safe resource tree keyed by path.
+class ResourceHierarchy {
+public:
+    ResourceHierarchy();
+
+    /// Adds a resource (parents must exist).  Idempotent; returns
+    /// false when the path was already present.
+    bool add(const std::string& path, ResourceKind kind);
+    bool exists(const std::string& path) const;
+    Resource get(const std::string& path) const;  ///< throws on missing path
+
+    /// Records the MPI-2 user name for an object; shows as
+    /// `name "display"` in renderings.
+    void set_display(const std::string& path, const std::string& display);
+    /// Greys out a deallocated resource; the Performance Consultant
+    /// skips retired resources when refining.
+    void retire(const std::string& path);
+
+    /// Direct children, sorted.  @p include_retired keeps greyed-out
+    /// entries (the UI shows them; the PC search does not).
+    std::vector<std::string> children(const std::string& path,
+                                      bool include_retired = true) const;
+
+    std::size_t size() const;
+
+    /// ASCII rendering of the subtree at @p root (the Fig 23 view).
+    std::string render(const std::string& root = "/") const;
+
+    /// Last path component of @p path.
+    static std::string leaf(const std::string& path);
+    /// Parent path ("/" for top-level entries).
+    static std::string parent(const std::string& path);
+
+private:
+    mutable std::mutex mu_;
+    std::map<std::string, Resource> nodes_;
+};
+
+/// A focus: one selection per hierarchy axis (paper: "the focus
+/// specifies what parts of the application to include").  The Code
+/// axis may descend through nested functions
+/// ("/Code/app/Gsend_message/MPI_Send" = time in MPI_Send while
+/// inside Gsend_message), which is how the Performance Consultant's
+/// drill-downs compose.
+struct Focus {
+    std::string code = "/Code";
+    std::string machine = "/Machine";
+    std::string process = "/Process";
+    std::string syncobj = "/SyncObject";
+
+    bool is_whole_program() const;
+    std::string to_string() const;
+    bool operator==(const Focus&) const = default;
+};
+
+}  // namespace m2p::core

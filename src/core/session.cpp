@@ -1,0 +1,33 @@
+#include "core/session.hpp"
+
+namespace m2p::core {
+
+namespace {
+simmpi::World::Config with_flavor(simmpi::World::Config cfg, simmpi::Flavor f) {
+    cfg.flavor = f;
+    return cfg;
+}
+}  // namespace
+
+Session::Session(simmpi::Flavor flavor, PerfTool::Options topts,
+                 simmpi::World::Config wcfg)
+    : world_(reg_, with_flavor(wcfg, flavor)), tool_(world_, std::move(topts)) {}
+
+void Session::run(const std::string& command, int nprocs, int procs_per_node) {
+    run_app_async(tool_, command, {}, nprocs, procs_per_node);
+    world_.join_all();
+    tool_.flush();
+}
+
+PCReport Session::run_with_consultant(const std::string& command, int nprocs,
+                                      PerformanceConsultant::Options opts,
+                                      int procs_per_node) {
+    run_app_async(tool_, command, {}, nprocs, procs_per_node);
+    PerformanceConsultant pc(tool_, opts);
+    PCReport report = pc.search([this] { return !world_.all_finished(); });
+    world_.join_all();
+    tool_.flush();
+    return report;
+}
+
+}  // namespace m2p::core

@@ -1,0 +1,187 @@
+#include "instr/registry.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+#include <stdexcept>
+
+namespace m2p::instr {
+
+namespace {
+thread_local int t_current_rank = -1;
+}
+
+int current_rank() { return t_current_rank; }
+void set_current_rank(int rank) { t_current_rank = rank; }
+
+struct Registry::PointImpl {
+    // Copy-on-write snippet list: dispatch takes a shared_ptr snapshot
+    // under a short lock; insert/remove replace the vector wholesale.
+    std::shared_ptr<const std::vector<std::pair<SnippetId, Snippet>>> snippets;
+};
+
+struct Registry::FuncImpl {
+    FunctionInfo info;
+    PointImpl points[2];
+    mutable std::shared_mutex mu;
+};
+
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
+FuncId Registry::register_function(std::string_view name, std::string_view module,
+                                   std::uint32_t categories) {
+    std::unique_lock lk(mu_);
+    for (auto& f : funcs_) {
+        if (f->info.name == name && f->info.module == module) {
+            f->info.categories |= categories;
+            return f->info.id;
+        }
+    }
+    auto f = std::make_unique<FuncImpl>();
+    f->info.id = static_cast<FuncId>(funcs_.size());
+    f->info.name = std::string(name);
+    f->info.module = std::string(module);
+    f->info.categories = categories;
+    funcs_.push_back(std::move(f));
+    return funcs_.back()->info.id;
+}
+
+FuncId Registry::find(std::string_view name) const {
+    std::shared_lock lk(mu_);
+    for (const auto& f : funcs_)
+        if (f->info.name == name) return f->info.id;
+    return kInvalidFunc;
+}
+
+FuncId Registry::find(std::string_view name, std::string_view module) const {
+    std::shared_lock lk(mu_);
+    for (const auto& f : funcs_)
+        if (f->info.name == name && f->info.module == module) return f->info.id;
+    return kInvalidFunc;
+}
+
+const FunctionInfo& Registry::info(FuncId f) const { return func_impl(f).info; }
+
+std::size_t Registry::function_count() const {
+    std::shared_lock lk(mu_);
+    return funcs_.size();
+}
+
+std::vector<FuncId> Registry::functions_with(std::uint32_t all_of) const {
+    std::shared_lock lk(mu_);
+    std::vector<FuncId> out;
+    for (const auto& f : funcs_)
+        if ((f->info.categories & all_of) == all_of) out.push_back(f->info.id);
+    return out;
+}
+
+std::vector<FuncId> Registry::functions_in_module(std::string_view module) const {
+    std::shared_lock lk(mu_);
+    std::vector<FuncId> out;
+    for (const auto& f : funcs_)
+        if (f->info.module == module) out.push_back(f->info.id);
+    return out;
+}
+
+std::vector<std::string> Registry::modules() const {
+    std::shared_lock lk(mu_);
+    std::vector<std::string> out;
+    for (const auto& f : funcs_)
+        if (std::find(out.begin(), out.end(), f->info.module) == out.end())
+            out.push_back(f->info.module);
+    return out;
+}
+
+Registry::FuncImpl& Registry::func_impl(FuncId f) {
+    std::shared_lock lk(mu_);
+    if (f >= funcs_.size()) throw std::out_of_range("instr: bad FuncId");
+    return *funcs_[f];
+}
+
+const Registry::FuncImpl& Registry::func_impl(FuncId f) const {
+    std::shared_lock lk(mu_);
+    if (f >= funcs_.size()) throw std::out_of_range("instr: bad FuncId");
+    return *funcs_[f];
+}
+
+SnippetHandle Registry::insert(FuncId f, Where w, Snippet s, bool prepend) {
+    FuncImpl& fi = func_impl(f);
+    const SnippetId id = next_snippet_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock lk(fi.mu);
+    auto& pt = fi.points[static_cast<int>(w)];
+    auto next = pt.snippets
+                    ? std::make_shared<std::vector<std::pair<SnippetId, Snippet>>>(*pt.snippets)
+                    : std::make_shared<std::vector<std::pair<SnippetId, Snippet>>>();
+    if (prepend)
+        next->insert(next->begin(), {id, std::move(s)});
+    else
+        next->emplace_back(id, std::move(s));
+    pt.snippets = std::move(next);
+    return SnippetHandle{f, w, id};
+}
+
+bool Registry::remove(const SnippetHandle& h) {
+    if (!h.valid()) return false;
+    FuncImpl& fi = func_impl(h.func);
+    std::unique_lock lk(fi.mu);
+    auto& pt = fi.points[static_cast<int>(h.where)];
+    if (!pt.snippets) return false;
+    auto next = std::make_shared<std::vector<std::pair<SnippetId, Snippet>>>(*pt.snippets);
+    const auto it = std::find_if(next->begin(), next->end(),
+                                 [&](const auto& p) { return p.first == h.id; });
+    if (it == next->end()) return false;
+    next->erase(it);
+    pt.snippets = std::move(next);
+    return true;
+}
+
+std::size_t Registry::snippet_count(FuncId f, Where w) const {
+    const FuncImpl& fi = func_impl(f);
+    std::shared_lock lk(fi.mu);
+    const auto& pt = fi.points[static_cast<int>(w)];
+    return pt.snippets ? pt.snippets->size() : 0;
+}
+
+void Registry::dispatch(FuncId f, Where w, CallContext& ctx) {
+    FuncImpl& fi = func_impl(f);
+    std::shared_ptr<const std::vector<std::pair<SnippetId, Snippet>>> snap;
+    {
+        std::shared_lock lk(fi.mu);
+        snap = fi.points[static_cast<int>(w)].snippets;
+    }
+    events_.fetch_add(1, std::memory_order_relaxed);
+    if (!snap || snap->empty()) return;
+    ctx.func = f;
+    ctx.info = &fi.info;
+    ctx.rank = t_current_rank;
+    for (const auto& [id, s] : *snap) {
+        s(ctx);
+        executed_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+DispatchStats Registry::stats() const {
+    return DispatchStats{events_.load(std::memory_order_relaxed),
+                         executed_.load(std::memory_order_relaxed)};
+}
+
+void Registry::reset_stats() {
+    events_.store(0, std::memory_order_relaxed);
+    executed_.store(0, std::memory_order_relaxed);
+}
+
+FunctionGuard::FunctionGuard(Registry& reg, FuncId f) : FunctionGuard(reg, f, {}, {}) {}
+
+FunctionGuard::FunctionGuard(Registry& reg, FuncId f, std::span<const std::int64_t> args,
+                             std::span<const std::string_view> str_args)
+    : reg_(reg) {
+    ctx_.func = f;
+    ctx_.args = args;
+    ctx_.str_args = str_args;
+    reg_.dispatch(f, Where::Entry, ctx_);
+}
+
+FunctionGuard::~FunctionGuard() { reg_.dispatch(ctx_.func, Where::Return, ctx_); }
+
+}  // namespace m2p::instr

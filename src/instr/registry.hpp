@@ -1,0 +1,177 @@
+// Dynamic-instrumentation substrate (the reproduction's stand-in for
+// Dyninst, see DESIGN.md section 2).
+//
+// Paradyn's model: every function in the application image exposes
+// instrumentation *points* (entry, return); at run time the tool
+// inserts or deletes *snippets* (small code fragments compiled from
+// MDL) at those points.  Here a function is anything registered with
+// the Registry -- all simmpi MPI entry points register themselves, and
+// application functions opt in with one INSTR_FUNC guard line.
+//
+// Snippets receive a CallContext giving them the MDL "$arg[k]" view of
+// the call plus the executing rank, so metric code like
+//     MPI_Type_size($arg[2], &bytes); mpi_rma_put_bytes += bytes * $arg[1];
+// compiles to an ordinary closure over this structure.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace m2p::instr {
+
+using FuncId = std::uint32_t;
+inline constexpr FuncId kInvalidFunc = static_cast<FuncId>(-1);
+
+/// Coarse classification used to resolve MDL function sets
+/// ("foreach func in mpi_put { ... }") against the symbol table.
+enum class Category : std::uint32_t {
+    None = 0,
+    MsgSend = 1u << 0,       ///< point-to-point sends (MPI_Send, MPI_Isend, ...)
+    MsgRecv = 1u << 1,       ///< point-to-point receives
+    MsgSync = 1u << 2,       ///< any blocking message op (sync-wait metric)
+    Barrier = 1u << 3,       ///< MPI_Barrier
+    Collective = 1u << 4,    ///< collectives (allreduce, bcast, ...)
+    RmaPut = 1u << 5,        ///< MPI_Put
+    RmaGet = 1u << 6,        ///< MPI_Get
+    RmaAcc = 1u << 7,        ///< MPI_Accumulate
+    RmaActiveSync = 1u << 8, ///< fence/start/complete/post/wait
+    RmaPassiveSync = 1u << 9,///< lock/unlock
+    RmaLifetime = 1u << 10,  ///< win_create/win_free
+    Io = 1u << 11,           ///< read/write-style transport (MPICH sockets)
+    AppCode = 1u << 12,      ///< user application function
+    Spawn = 1u << 13,        ///< MPI_Comm_spawn
+    MpiApi = 1u << 14,       ///< any MPI_* entry point
+    WaitOp = 1u << 15,       ///< MPI_Wait/MPI_Waitall
+};
+
+constexpr std::uint32_t operator|(Category a, Category b) {
+    return static_cast<std::uint32_t>(a) | static_cast<std::uint32_t>(b);
+}
+constexpr std::uint32_t operator|(std::uint32_t a, Category b) {
+    return a | static_cast<std::uint32_t>(b);
+}
+constexpr bool has_category(std::uint32_t mask, Category c) {
+    return (mask & static_cast<std::uint32_t>(c)) != 0;
+}
+
+struct FunctionInfo {
+    FuncId id = kInvalidFunc;
+    std::string name;
+    std::string module;  ///< "libmpi", "liblam", "libmpich", or executable name
+    std::uint32_t categories = 0;
+};
+
+/// The $arg[k] view of one in-flight call.  Handles (communicators,
+/// windows, datatypes) travel as int64 so MDL snippets can pass them
+/// back to runtime services (MPI_Type_size, DYNINSTWindow_FindUniqueId).
+struct CallContext {
+    FuncId func = kInvalidFunc;
+    const FunctionInfo* info = nullptr;
+    int rank = -1;  ///< executing MPI rank (global), -1 outside MPI
+    std::span<const std::int64_t> args;
+    /// String-typed arguments (object names, spawn commands).
+    std::span<const std::string_view> str_args;
+    std::int64_t return_value = 0;
+};
+
+enum class Where { Entry, Return };
+
+using Snippet = std::function<void(const CallContext&)>;
+using SnippetId = std::uint64_t;
+
+struct SnippetHandle {
+    FuncId func = kInvalidFunc;
+    Where where = Where::Entry;
+    SnippetId id = 0;
+    bool valid() const { return func != kInvalidFunc && id != 0; }
+};
+
+/// Per-dispatch bookkeeping for the instrumentation-overhead ablation.
+struct DispatchStats {
+    std::uint64_t events = 0;           ///< entry+return events observed
+    std::uint64_t snippets_executed = 0;
+};
+
+/// Thread-local identity of the executing simulated MPI rank.
+/// simmpi sets this when a rank thread starts; -1 elsewhere.
+int current_rank();
+void set_current_rank(int rank);
+
+class Registry {
+public:
+    Registry();
+    ~Registry();
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    /// Registers (or finds) a function.  Idempotent by (module, name);
+    /// categories are OR-merged, so a later registration may refine an
+    /// earlier one.
+    FuncId register_function(std::string_view name, std::string_view module,
+                             std::uint32_t categories);
+
+    FuncId find(std::string_view name) const;  ///< first match by name
+    FuncId find(std::string_view name, std::string_view module) const;
+    const FunctionInfo& info(FuncId f) const;
+    std::size_t function_count() const;
+
+    /// All functions carrying every bit of @p all_of (symbol-table query).
+    std::vector<FuncId> functions_with(std::uint32_t all_of) const;
+    /// All functions belonging to @p module.
+    std::vector<FuncId> functions_in_module(std::string_view module) const;
+    std::vector<std::string> modules() const;
+
+    /// Inserts a snippet at a point.  @p prepend places it before all
+    /// existing snippets (MDL "prepend preinsn"), otherwise it appends.
+    SnippetHandle insert(FuncId f, Where w, Snippet s, bool prepend = false);
+    /// Deletes a previously inserted snippet; returns false if already gone.
+    bool remove(const SnippetHandle& h);
+    /// Number of live snippets at a point (tests / ablation).
+    std::size_t snippet_count(FuncId f, Where w) const;
+
+    /// Fired by trampolines.  Cheap when no snippets are installed.
+    void dispatch(FuncId f, Where w, CallContext& ctx);
+
+    DispatchStats stats() const;
+    void reset_stats();
+
+private:
+    struct PointImpl;
+    struct FuncImpl;
+
+    FuncImpl& func_impl(FuncId f);
+    const FuncImpl& func_impl(FuncId f) const;
+
+    mutable std::shared_mutex mu_;
+    std::vector<std::unique_ptr<FuncImpl>> funcs_;
+    std::atomic<SnippetId> next_snippet_{1};
+    std::atomic<std::uint64_t> events_{0};
+    std::atomic<std::uint64_t> executed_{0};
+};
+
+/// RAII guard that makes one application function visible to the tool:
+/// fires the entry point on construction and the return point on
+/// destruction.  This is the reproduction's stand-in for Dyninst's
+/// base-trampoline in an instrumented function.
+class FunctionGuard {
+public:
+    FunctionGuard(Registry& reg, FuncId f);
+    FunctionGuard(Registry& reg, FuncId f, std::span<const std::int64_t> args,
+                  std::span<const std::string_view> str_args = {});
+    ~FunctionGuard();
+    FunctionGuard(const FunctionGuard&) = delete;
+    FunctionGuard& operator=(const FunctionGuard&) = delete;
+
+private:
+    Registry& reg_;
+    CallContext ctx_;
+};
+
+}  // namespace m2p::instr

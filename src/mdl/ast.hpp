@@ -1,0 +1,136 @@
+// AST for the Metric Description Language (MDL) and the PCL subset.
+//
+// MDL is the language Paradyn users extend the tool with; the paper's
+// entire RMA metric suite (Table 1) is written in it, and Figure 2
+// shows four definitions verbatim.  This module parses that syntax:
+//
+//   metric mpi_rma_put_ops {
+//     name "rma_put_ops"; units ops; aggregateOperator sum;
+//     style EventCounter; flavor { mpi }; unitstype unnormalized;
+//     constraint moduleConstraint; constraint mpi_windowConstraint;
+//     base is counter {
+//       foreach func in mpi_put {
+//         append preinsn func.entry constrained (* mpi_rma_put_ops++; *)
+//       }
+//     }
+//   }
+//
+//   constraint mpi_windowConstraint /SyncObject/Window is counter { ... }
+//
+// plus the PCL daemon/tunable declarations the paper touches (the new
+// optional daemon attribute naming the MPI implementation).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace m2p::mdl {
+
+enum class UnitsType { Unnormalized, Normalized, Sampled };
+enum class BaseType { Counter, WallTimer, ProcTimer };
+enum class PointPos { Entry, Return };
+enum class InsertMode { Append, Prepend };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+    enum class Kind {
+        Number,        ///< 42
+        Ident,         ///< counter or timer variable
+        Arg,           ///< $arg[k]
+        ConstraintArg, ///< $constraint[k]
+        Call,          ///< DYNINSTWindow_FindUniqueId($arg[7])
+        AddressOf,     ///< &bytes (out-parameter of a call)
+        Binary,        ///< a * b, a + b, a == b, a != b
+    };
+    Kind kind = Kind::Number;
+    long long number = 0;
+    std::string ident;        ///< Ident / AddressOf / Call callee
+    int index = 0;            ///< Arg / ConstraintArg
+    std::vector<ExprPtr> call_args;
+    std::string op;           ///< Binary operator
+    ExprPtr lhs, rhs;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+    enum class Kind {
+        Increment,  ///< x++;
+        Assign,     ///< x = expr;
+        AddAssign,  ///< x += expr;
+        If,         ///< if (expr) stmt
+        Call,       ///< startWallTimer(x); MPI_Type_size($arg[2], &bytes);
+    };
+    Kind kind = Kind::Increment;
+    std::string target;
+    ExprPtr value;  ///< Assign/AddAssign rhs, If condition
+    StmtPtr body;   ///< If body
+    ExprPtr call;   ///< Call expression
+};
+
+/// One `append|prepend preinsn func.entry|func.return [constrained] (* ... *)`.
+struct InstPoint {
+    InsertMode mode = InsertMode::Append;
+    PointPos pos = PointPos::Entry;
+    bool constrained = false;
+    std::vector<StmtPtr> code;
+};
+
+/// One `foreach func in <set> { ... }` block.
+struct Foreach {
+    std::string funcset;
+    std::vector<InstPoint> points;
+};
+
+struct MetricDef {
+    std::string id;          ///< MDL identifier (also the primary variable)
+    std::string name;        ///< display name ("rma_put_ops")
+    std::string units;
+    std::string aggregate_op = "sum";
+    std::string style = "EventCounter";
+    std::vector<std::string> flavors;
+    UnitsType unitstype = UnitsType::Unnormalized;
+    std::vector<std::string> constraints;  ///< allowed constraint ids
+    std::vector<std::string> counters;     ///< auxiliary counter declarations
+    BaseType base = BaseType::Counter;
+    std::vector<Foreach> foreachs;
+};
+
+struct ConstraintDef {
+    std::string id;    ///< also the per-thread flag variable name
+    std::string path;  ///< resource hierarchy path, e.g. /SyncObject/Window
+    std::vector<Foreach> foreachs;
+};
+
+/// PCL daemon definition; the paper adds the optional attribute that
+/// names the MPI implementation (for non-shared-filesystem support).
+struct DaemonDef {
+    std::string id;
+    std::map<std::string, std::string> attrs;  ///< command, flavor, mpi_implementation, ...
+};
+
+struct MdlFile {
+    std::vector<MetricDef> metrics;
+    std::vector<ConstraintDef> constraints;
+    std::vector<DaemonDef> daemons;
+    std::map<std::string, double> tunables;  ///< PCL tunable constants
+
+    const MetricDef* find_metric(const std::string& name_or_id) const;
+    const ConstraintDef* find_constraint(const std::string& id) const;
+    const DaemonDef* find_daemon(const std::string& id) const;
+};
+
+/// Parses MDL/PCL source.  Throws mdl::ParseError with a line-numbered
+/// message on malformed input.
+MdlFile parse(const std::string& source);
+
+struct ParseError : std::runtime_error {
+    explicit ParseError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+}  // namespace m2p::mdl

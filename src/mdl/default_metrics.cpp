@@ -1,0 +1,608 @@
+#include "mdl/default_metrics.hpp"
+
+namespace m2p::mdl {
+
+const std::string& default_metrics_source() {
+    static const std::string src = R"MDL(
+// ===========================================================================
+// Default metric definition file (MDL), including the MPI-2 RMA metric
+// suite of Table 1 in "Performance Tool Support for MPI-2 on Linux".
+// ===========================================================================
+
+// --------------------------------------------------------------------------
+// Daemon definitions (PCL).  The optional mpi_implementation attribute is
+// the paper's addition for supporting both LAM and MPICH on clusters with
+// non-shared filesystems.
+// --------------------------------------------------------------------------
+daemon pd_lam   { command "paradynd"; flavor mpi; mpi_implementation "lam"; }
+daemon pd_mpich { command "paradynd"; flavor mpi; mpi_implementation "mpich"; }
+
+// Performance Consultant tunables.
+tunable_constant PC_SyncThreshold 0.2;
+tunable_constant PC_IoThreshold 0.2;
+tunable_constant PC_CpuThreshold 0.3;
+
+// --------------------------------------------------------------------------
+// Resource constraints
+// --------------------------------------------------------------------------
+
+// Restrict a metric to one procedure (the focused function).
+constraint procedureConstraint /Code is counter {
+    foreach func in focus_procedure {
+        prepend preinsn func.entry  (* procedureConstraint = 1; *)
+        append  preinsn func.return (* procedureConstraint = 0; *)
+    }
+}
+
+// Restrict a metric to one module.
+constraint moduleConstraint /Code is counter {
+    foreach func in focus_module {
+        prepend preinsn func.entry  (* moduleConstraint = 1; *)
+        append  preinsn func.return (* moduleConstraint = 0; *)
+    }
+}
+
+// Restrict a metric to one communicator ($constraint[0] = comm id).
+constraint mpi_msgConstraint /SyncObject/Message is counter {
+    foreach func in mpi_comm_at5 {
+        prepend preinsn func.entry
+            (* if (DYNINSTComm_FindId($arg[5]) == $constraint[0]) mpi_msgConstraint = 1; *)
+        append  preinsn func.return (* mpi_msgConstraint = 0; *)
+    }
+    foreach func in mpi_comm_at10 {
+        prepend preinsn func.entry
+            (* if (DYNINSTComm_FindId($arg[10]) == $constraint[0]) mpi_msgConstraint = 1; *)
+        append  preinsn func.return (* mpi_msgConstraint = 0; *)
+    }
+    foreach func in mpi_comm_at0 {
+        prepend preinsn func.entry
+            (* if (DYNINSTComm_FindId($arg[0]) == $constraint[0]) mpi_msgConstraint = 1; *)
+        append  preinsn func.return (* mpi_msgConstraint = 0; *)
+    }
+    foreach func in mpi_comm_at4 {
+        prepend preinsn func.entry
+            (* if (DYNINSTComm_FindId($arg[4]) == $constraint[0]) mpi_msgConstraint = 1; *)
+        append  preinsn func.return (* mpi_msgConstraint = 0; *)
+    }
+    foreach func in mpi_comm_at6 {
+        prepend preinsn func.entry
+            (* if (DYNINSTComm_FindId($arg[6]) == $constraint[0]) mpi_msgConstraint = 1; *)
+        append  preinsn func.return (* mpi_msgConstraint = 0; *)
+    }
+}
+
+// Restrict a metric to one (communicator, message tag) pair
+// ($constraint[0] = comm id, $constraint[1] = tag).
+constraint mpi_msgtagConstraint /SyncObject/Message is counter {
+    foreach func in mpi_tag_at4 {
+        prepend preinsn func.entry
+            (* if (DYNINSTComm_FindId($arg[5]) == $constraint[0])
+                   if ($arg[4] == $constraint[1]) mpi_msgtagConstraint = 1; *)
+        append  preinsn func.return (* mpi_msgtagConstraint = 0; *)
+    }
+    foreach func in mpi_comm_at10 {
+        prepend preinsn func.entry
+            (* if (DYNINSTComm_FindId($arg[10]) == $constraint[0])
+                   if ($arg[4] == $constraint[1]) mpi_msgtagConstraint = 1; *)
+        append  preinsn func.return (* mpi_msgtagConstraint = 0; *)
+    }
+}
+
+// Restrict a metric to barrier operations.
+constraint mpi_barrierConstraint /SyncObject/Barrier is counter {
+    foreach func in mpi_barrier {
+        prepend preinsn func.entry  (* mpi_barrierConstraint = 1; *)
+        append  preinsn func.return (* mpi_barrierConstraint = 0; *)
+    }
+}
+
+// Restrict a metric to one RMA window ($constraint[0] = unique window
+// id, the paper's Figure 2 constraint).  The window handle position
+// differs per routine, hence one foreach per argument layout.
+constraint mpi_windowConstraint /SyncObject/Window is counter {
+    foreach func in mpi_win_at7 {
+        prepend preinsn func.entry
+            (* if (DYNINSTWindow_FindUniqueId($arg[7]) == $constraint[0]) mpi_windowConstraint = 1; *)
+        append  preinsn func.return (* mpi_windowConstraint = 0; *)
+    }
+    foreach func in mpi_win_at8 {
+        prepend preinsn func.entry
+            (* if (DYNINSTWindow_FindUniqueId($arg[8]) == $constraint[0]) mpi_windowConstraint = 1; *)
+        append  preinsn func.return (* mpi_windowConstraint = 0; *)
+    }
+    foreach func in mpi_win_at0 {
+        prepend preinsn func.entry
+            (* if (DYNINSTWindow_FindUniqueId($arg[0]) == $constraint[0]) mpi_windowConstraint = 1; *)
+        append  preinsn func.return (* mpi_windowConstraint = 0; *)
+    }
+    foreach func in mpi_win_at1 {
+        prepend preinsn func.entry
+            (* if (DYNINSTWindow_FindUniqueId($arg[1]) == $constraint[0]) mpi_windowConstraint = 1; *)
+        append  preinsn func.return (* mpi_windowConstraint = 0; *)
+    }
+    foreach func in mpi_win_at2 {
+        prepend preinsn func.entry
+            (* if (DYNINSTWindow_FindUniqueId($arg[2]) == $constraint[0]) mpi_windowConstraint = 1; *)
+        append  preinsn func.return (* mpi_windowConstraint = 0; *)
+    }
+    foreach func in mpi_win_at3 {
+        prepend preinsn func.entry
+            (* if (DYNINSTWindow_FindUniqueId($arg[3]) == $constraint[0]) mpi_windowConstraint = 1; *)
+        append  preinsn func.return (* mpi_windowConstraint = 0; *)
+    }
+}
+
+// --------------------------------------------------------------------------
+// MPI-1 metrics
+// --------------------------------------------------------------------------
+
+// Wall-clock time in synchronization operations (message passing,
+// barriers, collectives, waits) per unit time.
+metric mpi_sync_wait {
+    name "sync_wait_inclusive";
+    units CPUs;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype normalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_msgConstraint;
+    constraint mpi_msgtagConstraint;
+    constraint mpi_barrierConstraint;
+    constraint mpi_windowConstraint;
+    base is walltimer {
+        foreach func in mpi_sync_calls {
+            append  preinsn func.entry  constrained (* startWallTimer(mpi_sync_wait); *)
+            prepend preinsn func.return constrained (* stopWallTimer(mpi_sync_wait); *)
+        }
+    }
+}
+
+// Wall-clock time blocked in I/O calls (read/write) per unit time --
+// what makes MPICH's socket transport visible (paper Fig 3).
+metric mpi_io_wait {
+    name "io_wait_inclusive";
+    units CPUs;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype normalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_fileConstraint;
+    base is walltimer {
+        foreach func in io_calls {
+            append  preinsn func.entry  constrained (* startWallTimer(mpi_io_wait); *)
+            prepend preinsn func.return constrained (* stopWallTimer(mpi_io_wait); *)
+        }
+    }
+}
+
+// CPU time spent inside the focused procedure (inclusive).
+metric cpu_inclusive {
+    name "cpu_inclusive";
+    units CPUs;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype normalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    base is proctimer {
+        foreach func in app_procedures {
+            append  preinsn func.entry  constrained (* startProcTimer(cpu_inclusive); *)
+            prepend preinsn func.return constrained (* stopProcTimer(cpu_inclusive); *)
+        }
+    }
+}
+
+// Point-to-point message bytes sent per unit time.
+metric mpi_bytes_sent {
+    name "msg_bytes_sent";
+    units bytes;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype unnormalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_msgConstraint;
+    constraint mpi_msgtagConstraint;
+    counter bytes;
+    base is counter {
+        foreach func in mpi_send_layout12 {
+            append preinsn func.entry constrained
+                (* MPI_Type_size($arg[2], &bytes); mpi_bytes_sent += bytes * $arg[1]; *)
+        }
+    }
+}
+
+// Point-to-point message bytes received per unit time.
+metric mpi_bytes_recv {
+    name "msg_bytes_recv";
+    units bytes;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype unnormalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_msgConstraint;
+    constraint mpi_msgtagConstraint;
+    counter bytes;
+    base is counter {
+        foreach func in mpi_recv_layout12 {
+            append preinsn func.return constrained
+                (* MPI_Type_size($arg[2], &bytes); mpi_bytes_recv += bytes * $arg[1]; *)
+        }
+        foreach func in mpi_comm_at10 {
+            append preinsn func.return constrained
+                (* MPI_Type_size($arg[7], &bytes); mpi_bytes_recv += bytes * $arg[6]; *)
+        }
+    }
+}
+
+// Point-to-point messages sent per unit time.
+metric mpi_msgs_sent {
+    name "msgs_sent";
+    units msgs;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype unnormalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_msgConstraint;
+    constraint mpi_msgtagConstraint;
+    base is counter {
+        foreach func in mpi_send_layout12 {
+            append preinsn func.entry constrained (* mpi_msgs_sent++; *)
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// MPI-2 RMA metrics (Table 1 of the paper; rma_put_ops, rma_put_bytes
+// and rma_sync_wait follow Figure 2)
+// --------------------------------------------------------------------------
+
+metric mpi_rma_put_ops {
+    name "rma_put_ops";
+    units ops;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype unnormalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_windowConstraint;
+    base is counter {
+        foreach func in mpi_put {
+            append preinsn func.entry constrained (* mpi_rma_put_ops++; *)
+        }
+    }
+}
+
+metric mpi_rma_get_ops {
+    name "rma_get_ops";
+    units ops;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype unnormalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_windowConstraint;
+    base is counter {
+        foreach func in mpi_get {
+            append preinsn func.entry constrained (* mpi_rma_get_ops++; *)
+        }
+    }
+}
+
+metric mpi_rma_acc_ops {
+    name "rma_acc_ops";
+    units ops;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype unnormalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_windowConstraint;
+    base is counter {
+        foreach func in mpi_acc {
+            append preinsn func.entry constrained (* mpi_rma_acc_ops++; *)
+        }
+    }
+}
+
+metric mpi_rma_ops {
+    name "rma_ops";
+    units ops;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype unnormalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_windowConstraint;
+    base is counter {
+        foreach func in mpi_rma_data {
+            append preinsn func.entry constrained (* mpi_rma_ops++; *)
+        }
+    }
+}
+
+metric mpi_rma_put_bytes {
+    name "rma_put_bytes";
+    units bytes;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype unnormalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_windowConstraint;
+    counter bytes;
+    counter count;
+    base is counter {
+        foreach func in mpi_put {
+            append preinsn func.entry constrained
+                (* MPI_Type_size($arg[2], &bytes);
+                   count = $arg[1];
+                   mpi_rma_put_bytes += bytes * count; *)
+        }
+    }
+}
+
+metric mpi_rma_get_bytes {
+    name "rma_get_bytes";
+    units bytes;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype unnormalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_windowConstraint;
+    counter bytes;
+    counter count;
+    base is counter {
+        foreach func in mpi_get {
+            append preinsn func.entry constrained
+                (* MPI_Type_size($arg[2], &bytes);
+                   count = $arg[1];
+                   mpi_rma_get_bytes += bytes * count; *)
+        }
+    }
+}
+
+metric mpi_rma_acc_bytes {
+    name "rma_acc_bytes";
+    units bytes;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype unnormalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_windowConstraint;
+    counter bytes;
+    counter count;
+    base is counter {
+        foreach func in mpi_acc {
+            append preinsn func.entry constrained
+                (* MPI_Type_size($arg[2], &bytes);
+                   count = $arg[1];
+                   mpi_rma_acc_bytes += bytes * count; *)
+        }
+    }
+}
+
+metric mpi_rma_bytes {
+    name "rma_bytes";
+    units bytes;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype unnormalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_windowConstraint;
+    counter bytes;
+    counter count;
+    base is counter {
+        foreach func in mpi_rma_data {
+            append preinsn func.entry constrained
+                (* MPI_Type_size($arg[2], &bytes);
+                   count = $arg[1];
+                   mpi_rma_bytes += bytes * count; *)
+        }
+    }
+}
+
+// Wall clock time in active target RMA synchronization routines.
+metric mpi_at_rma_sync_wait {
+    name "at_rma_sync_wait";
+    units CPUs;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype normalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_windowConstraint;
+    base is walltimer {
+        foreach func in mpi_at_rma_sync {
+            append  preinsn func.entry  constrained (* startWallTimer(mpi_at_rma_sync_wait); *)
+            prepend preinsn func.return constrained (* stopWallTimer(mpi_at_rma_sync_wait); *)
+        }
+    }
+}
+
+// Wall clock time in passive target RMA synchronization routines.
+metric mpi_pt_rma_sync_wait {
+    name "pt_rma_sync_wait";
+    units CPUs;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype normalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_windowConstraint;
+    base is walltimer {
+        foreach func in mpi_pt_rma_sync {
+            append  preinsn func.entry  constrained (* startWallTimer(mpi_pt_rma_sync_wait); *)
+            prepend preinsn func.return constrained (* stopWallTimer(mpi_pt_rma_sync_wait); *)
+        }
+    }
+}
+
+// Wall clock time in all RMA synchronization routines (Figure 2's
+// rma_sync_wait definition).
+metric mpi_rma_syncwait {
+    name "rma_sync_wait";
+    units CPUs;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype normalized;
+    constraint procedureConstraint;
+    constraint moduleConstraint;
+    constraint mpi_windowConstraint;
+    base is walltimer {
+        foreach func in mpi_rma_sync {
+            append  preinsn func.entry  constrained (* startWallTimer(mpi_rma_syncwait); *)
+            prepend preinsn func.return constrained (* stopWallTimer(mpi_rma_syncwait); *)
+        }
+        foreach func in mpi_all_calls {
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// MPI-I/O metrics (the remaining MPI-2 feature the paper's conclusion
+// lists as in-progress: operation counts, bytes moved, and time blocked
+// in parallel file access, constrainable to one file)
+// --------------------------------------------------------------------------
+
+// Restrict a metric to one open file ($constraint[0] = file handle id).
+constraint mpi_fileConstraint /SyncObject/File is counter {
+    foreach func in mpi_file_handle_at0 {
+        prepend preinsn func.entry
+            (* if ($arg[0] == $constraint[0]) mpi_fileConstraint = 1; *)
+        append  preinsn func.return (* mpi_fileConstraint = 0; *)
+    }
+}
+
+metric mpiio_ops {
+    name "mpiio_ops";
+    units ops;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype unnormalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_fileConstraint;
+    base is counter {
+        foreach func in mpi_file_data_ops {
+            append preinsn func.entry constrained (* mpiio_ops++; *)
+        }
+    }
+}
+
+metric mpiio_bytes_written {
+    name "mpiio_bytes_written";
+    units bytes;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype unnormalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_fileConstraint;
+    counter bytes;
+    base is counter {
+        foreach func in mpi_file_writes_rw {
+            append preinsn func.entry constrained
+                (* MPI_Type_size($arg[3], &bytes);
+                   mpiio_bytes_written += bytes * $arg[2]; *)
+        }
+        foreach func in mpi_file_writes_at {
+            append preinsn func.entry constrained
+                (* MPI_Type_size($arg[4], &bytes);
+                   mpiio_bytes_written += bytes * $arg[3]; *)
+        }
+    }
+}
+
+metric mpiio_bytes_read {
+    name "mpiio_bytes_read";
+    units bytes;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype unnormalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_fileConstraint;
+    counter bytes;
+    base is counter {
+        foreach func in mpi_file_reads_rw {
+            append preinsn func.entry constrained
+                (* MPI_Type_size($arg[3], &bytes);
+                   mpiio_bytes_read += bytes * $arg[2]; *)
+        }
+        foreach func in mpi_file_reads_at {
+            append preinsn func.entry constrained
+                (* MPI_Type_size($arg[4], &bytes);
+                   mpiio_bytes_read += bytes * $arg[3]; *)
+        }
+    }
+}
+
+// Wall-clock time in MPI-I/O routines per unit time.
+metric mpiio_wait {
+    name "mpiio_wait";
+    units CPUs;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype normalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_fileConstraint;
+    base is walltimer {
+        foreach func in mpi_file_all_calls {
+            append  preinsn func.entry  constrained (* startWallTimer(mpiio_wait); *)
+            prepend preinsn func.return constrained (* stopWallTimer(mpiio_wait); *)
+        }
+    }
+}
+
+// Count of RMA synchronization operations per unit time.
+metric mpi_rma_sync_ops {
+    name "rma_sync_ops";
+    units ops;
+    aggregateOperator sum;
+    style EventCounter;
+    flavor { mpi };
+    unitstype unnormalized;
+    constraint moduleConstraint;
+    constraint procedureConstraint;
+    constraint mpi_windowConstraint;
+    base is counter {
+        foreach func in mpi_rma_sync_routines {
+            append preinsn func.entry constrained (* mpi_rma_sync_ops++; *)
+        }
+    }
+}
+)MDL";
+    return src;
+}
+
+}  // namespace m2p::mdl

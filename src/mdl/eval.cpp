@@ -1,0 +1,315 @@
+#include "mdl/eval.hpp"
+
+#include "util/clock.hpp"
+
+namespace m2p::mdl {
+
+// ---------------------------------------------------------------------------
+// ConstraintInstance
+// ---------------------------------------------------------------------------
+
+ConstraintInstance::ConstraintInstance(std::string flag_var,
+                                       std::vector<std::int64_t> bindings)
+    : flag_var_(std::move(flag_var)), bindings_(std::move(bindings)) {}
+
+std::int64_t ConstraintInstance::binding(int k) const {
+    if (k < 0 || static_cast<std::size_t>(k) >= bindings_.size())
+        throw CompileError("$constraint[" + std::to_string(k) + "] out of range");
+    return bindings_[static_cast<std::size_t>(k)];
+}
+
+bool ConstraintInstance::flag() const {
+    std::lock_guard lk(mu_);
+    const auto it = flags_.find(std::this_thread::get_id());
+    return it != flags_.end() && it->second != 0;
+}
+
+void ConstraintInstance::set_flag(std::int64_t v) {
+    std::lock_guard lk(mu_);
+    std::int64_t& depth = flags_[std::this_thread::get_id()];
+    if (v != 0)
+        ++depth;
+    else if (depth > 0)
+        --depth;
+}
+
+// ---------------------------------------------------------------------------
+// MetricInstance
+// ---------------------------------------------------------------------------
+
+MetricInstance::MetricInstance(std::string primary_var, BaseType base, MetricSink sink)
+    : primary_var_(std::move(primary_var)), base_(base), sink_(std::move(sink)) {}
+
+std::int64_t MetricInstance::get_var(const std::string& name) const {
+    std::lock_guard lk(mu_);
+    const auto tit = scratch_.find(std::this_thread::get_id());
+    if (tit == scratch_.end()) return 0;
+    const auto it = tit->second.find(name);
+    return it == tit->second.end() ? 0 : it->second;
+}
+
+void MetricInstance::set_var(const std::string& name, std::int64_t v) {
+    std::lock_guard lk(mu_);
+    scratch_[std::this_thread::get_id()][name] = v;
+}
+
+void MetricInstance::add_primary(double now, double delta) {
+    if (sink_) sink_(now, delta);
+}
+
+void MetricInstance::start_timer(const std::string& name, bool proc_time) {
+    const double now = proc_time ? util::thread_cpu_seconds() : util::wall_seconds();
+    std::lock_guard lk(mu_);
+    TimerState& t = timers_[name][std::this_thread::get_id()];
+    if (t.nest++ == 0) t.start = now;
+}
+
+void MetricInstance::stop_timer(const std::string& name, bool proc_time) {
+    const double now_t = proc_time ? util::thread_cpu_seconds() : util::wall_seconds();
+    double delta = -1.0;
+    {
+        std::lock_guard lk(mu_);
+        TimerState& t = timers_[name][std::this_thread::get_id()];
+        if (t.nest == 0) return;  // stop without start: ignore
+        if (--t.nest == 0) delta = now_t - t.start;
+    }
+    if (delta >= 0.0 && name == primary_var_) add_primary(util::wall_seconds(), delta);
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct EvalCtx {
+    const instr::CallContext* call = nullptr;
+    MetricInstance* inst = nullptr;
+    /// Set while executing a constraint's own code: assignments to the
+    /// constraint id update the per-thread flag.
+    ConstraintInstance* self = nullptr;
+    Services* services = nullptr;
+};
+
+std::int64_t eval_expr(const Expr& e, EvalCtx& cx);
+
+std::int64_t eval_call(const Expr& e, EvalCtx& cx) {
+    if (e.ident == "MPI_Type_size") {
+        // MPI_Type_size(dtype_expr, &out): out-parameter form.
+        if (e.call_args.size() != 2 || e.call_args[1]->kind != Expr::Kind::AddressOf)
+            throw CompileError("MPI_Type_size expects (expr, &counter)");
+        const std::int64_t v = cx.services->type_size(eval_expr(*e.call_args[0], cx));
+        cx.inst->set_var(e.call_args[1]->ident, v);
+        return v;
+    }
+    if (e.ident == "DYNINSTWindow_FindUniqueId" || e.ident == "DYNINSTTWindow_FindUniqueId") {
+        if (e.call_args.size() != 1)
+            throw CompileError(e.ident + " expects one argument");
+        return cx.services->window_unique_id(eval_expr(*e.call_args[0], cx));
+    }
+    if (e.ident == "DYNINSTComm_FindId") {
+        if (e.call_args.size() != 1)
+            throw CompileError("DYNINSTComm_FindId expects one argument");
+        return cx.services->comm_unique_id(eval_expr(*e.call_args[0], cx));
+    }
+    const bool start = e.ident == "startWallTimer" || e.ident == "startProcTimer";
+    const bool stop = e.ident == "stopWallTimer" || e.ident == "stopProcTimer";
+    if (start || stop) {
+        if (e.call_args.size() != 1 || e.call_args[0]->kind != Expr::Kind::Ident)
+            throw CompileError(e.ident + " expects a timer identifier");
+        const bool proc = e.ident == "startProcTimer" || e.ident == "stopProcTimer";
+        if (start)
+            cx.inst->start_timer(e.call_args[0]->ident, proc);
+        else
+            cx.inst->stop_timer(e.call_args[0]->ident, proc);
+        return 0;
+    }
+    throw CompileError("unknown MDL call '" + e.ident + "'");
+}
+
+std::int64_t eval_expr(const Expr& e, EvalCtx& cx) {
+    switch (e.kind) {
+        case Expr::Kind::Number: return e.number;
+        case Expr::Kind::Ident: return cx.inst->get_var(e.ident);
+        case Expr::Kind::Arg: {
+            const auto& args = cx.call->args;
+            if (e.index < 0 || static_cast<std::size_t>(e.index) >= args.size())
+                return 0;  // instrumented call carries fewer args: benign zero
+            return args[static_cast<std::size_t>(e.index)];
+        }
+        case Expr::Kind::ConstraintArg:
+            if (!cx.self) throw CompileError("$constraint[] outside constraint code");
+            return cx.self->binding(e.index);
+        case Expr::Kind::Call: return eval_call(e, cx);
+        case Expr::Kind::AddressOf:
+            throw CompileError("'&' only valid as a call out-parameter");
+        case Expr::Kind::Binary: {
+            const std::int64_t l = eval_expr(*e.lhs, cx);
+            const std::int64_t r = eval_expr(*e.rhs, cx);
+            if (e.op == "*") return l * r;
+            if (e.op == "+") return l + r;
+            if (e.op == "==") return l == r ? 1 : 0;
+            if (e.op == "!=") return l != r ? 1 : 0;
+            throw CompileError("unknown operator '" + e.op + "'");
+        }
+    }
+    return 0;
+}
+
+void exec_stmt(const Stmt& s, EvalCtx& cx) {
+    switch (s.kind) {
+        case Stmt::Kind::Increment:
+            if (s.target == cx.inst->primary_var())
+                cx.inst->add_primary(util::wall_seconds(), 1.0);
+            else if (cx.self && s.target == cx.self->flag_var())
+                cx.self->set_flag(1);
+            else
+                cx.inst->set_var(s.target, cx.inst->get_var(s.target) + 1);
+            break;
+        case Stmt::Kind::Assign: {
+            const std::int64_t v = eval_expr(*s.value, cx);
+            if (cx.self && s.target == cx.self->flag_var())
+                cx.self->set_flag(v);
+            else if (s.target == cx.inst->primary_var())
+                cx.inst->add_primary(util::wall_seconds(), static_cast<double>(v));
+            else
+                cx.inst->set_var(s.target, v);
+            break;
+        }
+        case Stmt::Kind::AddAssign: {
+            const std::int64_t v = eval_expr(*s.value, cx);
+            if (s.target == cx.inst->primary_var())
+                cx.inst->add_primary(util::wall_seconds(), static_cast<double>(v));
+            else if (cx.self && s.target == cx.self->flag_var())
+                cx.self->set_flag(v);
+            else
+                cx.inst->set_var(s.target, cx.inst->get_var(s.target) + v);
+            break;
+        }
+        case Stmt::Kind::If:
+            if (eval_expr(*s.value, cx) != 0) exec_stmt(*s.body, cx);
+            break;
+        case Stmt::Kind::Call: eval_call(*s.call, cx); break;
+    }
+}
+
+/// Compile-time validation pass: surfaces unknown calls/operators
+/// before any instrumentation is inserted.
+void validate_stmt(const Stmt& s);
+
+void validate_expr(const Expr& e) {
+    switch (e.kind) {
+        case Expr::Kind::Call: {
+            static const char* known[] = {"MPI_Type_size",
+                                          "DYNINSTWindow_FindUniqueId",
+                                          "DYNINSTTWindow_FindUniqueId",
+                                          "DYNINSTComm_FindId",
+                                          "startWallTimer",
+                                          "stopWallTimer",
+                                          "startProcTimer",
+                                          "stopProcTimer"};
+            bool ok = false;
+            for (const char* k : known) ok = ok || e.ident == k;
+            if (!ok) throw CompileError("unknown MDL call '" + e.ident + "'");
+            for (const auto& a : e.call_args)
+                if (a->kind != Expr::Kind::AddressOf) validate_expr(*a);
+            break;
+        }
+        case Expr::Kind::Binary:
+            validate_expr(*e.lhs);
+            validate_expr(*e.rhs);
+            break;
+        default: break;
+    }
+}
+
+void validate_stmt(const Stmt& s) {
+    if (s.value) validate_expr(*s.value);
+    if (s.call) validate_expr(*s.call);
+    if (s.body) validate_stmt(*s.body);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+CompiledMetric compile_metric(instr::Registry& reg, const MetricDef& metric,
+                              const std::vector<ConstraintBinding>& bindings,
+                              std::shared_ptr<Services> services,
+                              const FuncSetResolver& resolver, MetricSink sink,
+                              EventGate gate) {
+    for (const auto& fe : metric.foreachs)
+        for (const auto& p : fe.points)
+            for (const auto& st : p.code) validate_stmt(*st);
+    for (const auto& b : bindings)
+        for (const auto& fe : b.def->foreachs)
+            for (const auto& p : fe.points)
+                for (const auto& st : p.code) validate_stmt(*st);
+
+    CompiledMetric cm;
+    cm.instance =
+        std::make_shared<MetricInstance>(metric.id, metric.base, std::move(sink));
+
+    // Instantiate constraints first so their flag-setting snippets are
+    // in place before metric code consults them.
+    for (const auto& b : bindings) {
+        auto ci = std::make_shared<ConstraintInstance>(b.def->id, b.values);
+        cm.constraints.push_back(ci);
+        for (const auto& fe : b.def->foreachs) {
+            const auto ov = b.set_overrides.find(fe.funcset);
+            const std::vector<instr::FuncId> funcs =
+                ov != b.set_overrides.end() ? ov->second : resolver(fe.funcset);
+            for (const auto& p : fe.points) {
+                for (instr::FuncId f : funcs) {
+                    auto snip = [inst = cm.instance, ci, services,
+                                 stmts = &p.code](const instr::CallContext& ctx) {
+                        EvalCtx cx{&ctx, inst.get(), ci.get(), services.get()};
+                        for (const auto& st : *stmts) exec_stmt(*st, cx);
+                    };
+                    cm.handles.push_back(
+                        reg.insert(f,
+                                   p.pos == PointPos::Entry ? instr::Where::Entry
+                                                            : instr::Where::Return,
+                                   std::move(snip), p.mode == InsertMode::Prepend));
+                }
+            }
+        }
+    }
+
+    for (const auto& fe : metric.foreachs) {
+        const std::vector<instr::FuncId> funcs = resolver(fe.funcset);
+        for (const auto& p : fe.points) {
+            for (instr::FuncId f : funcs) {
+                auto snip = [inst = cm.instance, services, gate,
+                             gates = p.constrained ? cm.constraints
+                                                   : std::vector<std::shared_ptr<
+                                                         ConstraintInstance>>{},
+                             constrained = p.constrained,
+                             stmts = &p.code](const instr::CallContext& ctx) {
+                    if (gate && !gate(ctx)) return;
+                    if (constrained) {
+                        for (const auto& ci : gates)
+                            if (!ci->flag()) return;
+                    }
+                    EvalCtx cx{&ctx, inst.get(), nullptr, services.get()};
+                    for (const auto& st : *stmts) exec_stmt(*st, cx);
+                };
+                cm.handles.push_back(
+                    reg.insert(f,
+                               p.pos == PointPos::Entry ? instr::Where::Entry
+                                                        : instr::Where::Return,
+                               std::move(snip), p.mode == InsertMode::Prepend));
+            }
+        }
+    }
+    return cm;
+}
+
+void uninstall(instr::Registry& reg, CompiledMetric& cm) {
+    for (const auto& h : cm.handles) reg.remove(h);
+    cm.handles.clear();
+}
+
+}  // namespace m2p::mdl

@@ -1,0 +1,549 @@
+// Hand-written lexer + recursive-descent parser for MDL/PCL.
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "mdl/ast.hpp"
+
+namespace m2p::mdl {
+
+namespace {
+
+enum class Tok {
+    End,
+    Ident,
+    Number,
+    String,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Amp,
+    Star,
+    Plus,
+    Eq,        // =
+    EqEq,      // ==
+    NotEq,     // !=
+    PlusPlus,  // ++
+    PlusEq,    // +=
+    Dollar,
+    CodeOpen,   // (*
+    CodeClose,  // *)
+};
+
+struct Token {
+    Tok kind = Tok::End;
+    std::string text;
+    long long number = 0;
+    double real = 0.0;  ///< decimal value (tunable constants allow fractions)
+    int line = 0;
+};
+
+class Lexer {
+public:
+    explicit Lexer(const std::string& src) : src_(src) {}
+
+    Token next() {
+        skip_ws_and_comments();
+        Token t;
+        t.line = line_;
+        if (pos_ >= src_.size()) return t;
+        const char c = src_[pos_];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t start = pos_;
+            while (pos_ < src_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                    src_[pos_] == '_'))
+                ++pos_;
+            t.kind = Tok::Ident;
+            t.text = src_.substr(start, pos_ - start);
+            return t;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t start = pos_;
+            while (pos_ < src_.size() &&
+                   std::isdigit(static_cast<unsigned char>(src_[pos_])))
+                ++pos_;
+            if (pos_ + 1 < src_.size() && src_[pos_] == '.' &&
+                std::isdigit(static_cast<unsigned char>(src_[pos_ + 1]))) {
+                ++pos_;
+                while (pos_ < src_.size() &&
+                       std::isdigit(static_cast<unsigned char>(src_[pos_])))
+                    ++pos_;
+            }
+            t.kind = Tok::Number;
+            t.text = src_.substr(start, pos_ - start);
+            t.real = std::stod(t.text);
+            t.number = static_cast<long long>(t.real);
+            return t;
+        }
+        if (c == '"') {
+            ++pos_;
+            std::size_t start = pos_;
+            while (pos_ < src_.size() && src_[pos_] != '"') ++pos_;
+            if (pos_ >= src_.size()) fail("unterminated string literal");
+            t.kind = Tok::String;
+            t.text = src_.substr(start, pos_ - start);
+            ++pos_;
+            return t;
+        }
+        // Resource hierarchy paths appear bare in constraint headers:
+        //   constraint mpi_windowConstraint /SyncObject/Window is counter
+        if (c == '/') {
+            std::size_t start = pos_;
+            while (pos_ < src_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                    src_[pos_] == '/' || src_[pos_] == '_'))
+                ++pos_;
+            t.kind = Tok::Ident;
+            t.text = src_.substr(start, pos_ - start);
+            return t;
+        }
+        auto two = [&](char a, char b) {
+            return c == a && pos_ + 1 < src_.size() && src_[pos_ + 1] == b;
+        };
+        if (two('(', '*')) {
+            pos_ += 2;
+            t.kind = Tok::CodeOpen;
+            return t;
+        }
+        if (two('*', ')')) {
+            pos_ += 2;
+            t.kind = Tok::CodeClose;
+            return t;
+        }
+        if (two('+', '+')) {
+            pos_ += 2;
+            t.kind = Tok::PlusPlus;
+            return t;
+        }
+        if (two('+', '=')) {
+            pos_ += 2;
+            t.kind = Tok::PlusEq;
+            return t;
+        }
+        if (two('=', '=')) {
+            pos_ += 2;
+            t.kind = Tok::EqEq;
+            return t;
+        }
+        if (two('!', '=')) {
+            pos_ += 2;
+            t.kind = Tok::NotEq;
+            return t;
+        }
+        ++pos_;
+        switch (c) {
+            case '{': t.kind = Tok::LBrace; return t;
+            case '}': t.kind = Tok::RBrace; return t;
+            case '(': t.kind = Tok::LParen; return t;
+            case ')': t.kind = Tok::RParen; return t;
+            case '[': t.kind = Tok::LBracket; return t;
+            case ']': t.kind = Tok::RBracket; return t;
+            case ';': t.kind = Tok::Semi; return t;
+            case ',': t.kind = Tok::Comma; return t;
+            case '.': t.kind = Tok::Dot; return t;
+            case '&': t.kind = Tok::Amp; return t;
+            case '*': t.kind = Tok::Star; return t;
+            case '+': t.kind = Tok::Plus; return t;
+            case '=': t.kind = Tok::Eq; return t;
+            case '$': t.kind = Tok::Dollar; return t;
+            default: fail(std::string("unexpected character '") + c + "'");
+        }
+        return t;  // unreachable
+    }
+
+    [[noreturn]] void fail(const std::string& msg) const {
+        std::ostringstream os;
+        os << "MDL parse error (line " << line_ << "): " << msg;
+        throw ParseError(os.str());
+    }
+
+    int line() const { return line_; }
+
+private:
+    void skip_ws_and_comments() {
+        for (;;) {
+            while (pos_ < src_.size() &&
+                   std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+                if (src_[pos_] == '\n') ++line_;
+                ++pos_;
+            }
+            if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '/') {
+                while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+                continue;
+            }
+            if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '*') {
+                pos_ += 2;
+                while (pos_ + 1 < src_.size() &&
+                       !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+                    if (src_[pos_] == '\n') ++line_;
+                    ++pos_;
+                }
+                if (pos_ + 1 >= src_.size()) fail("unterminated /* comment");
+                pos_ += 2;
+                continue;
+            }
+            return;
+        }
+    }
+
+    const std::string& src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+};
+
+class Parser {
+public:
+    explicit Parser(const std::string& src) : lex_(src) { advance(); }
+
+    MdlFile parse_file() {
+        MdlFile f;
+        while (cur_.kind != Tok::End) {
+            const std::string kw = expect_ident("top-level keyword");
+            if (kw == "metric") {
+                f.metrics.push_back(parse_metric());
+            } else if (kw == "constraint") {
+                f.constraints.push_back(parse_constraint());
+            } else if (kw == "daemon") {
+                f.daemons.push_back(parse_daemon());
+            } else if (kw == "tunable_constant") {
+                const std::string name = expect_ident("tunable name");
+                const Token v = expect(Tok::Number, "tunable value");
+                f.tunables[name] = v.real;
+                expect(Tok::Semi, "';' after tunable");
+            } else {
+                lex_.fail("unknown top-level keyword '" + kw + "'");
+            }
+        }
+        return f;
+    }
+
+private:
+    void advance() { cur_ = lex_.next(); }
+
+    Token expect(Tok kind, const std::string& what) {
+        if (cur_.kind != kind) lex_.fail("expected " + what);
+        Token t = cur_;
+        advance();
+        return t;
+    }
+
+    std::string expect_ident(const std::string& what) {
+        return expect(Tok::Ident, what).text;
+    }
+
+    bool accept(Tok kind) {
+        if (cur_.kind != kind) return false;
+        advance();
+        return true;
+    }
+
+    bool accept_ident(const std::string& word) {
+        if (cur_.kind != Tok::Ident || cur_.text != word) return false;
+        advance();
+        return true;
+    }
+
+    MetricDef parse_metric() {
+        MetricDef m;
+        m.id = expect_ident("metric identifier");
+        expect(Tok::LBrace, "'{' after metric id");
+        while (!accept(Tok::RBrace)) {
+            const std::string kw = expect_ident("metric attribute");
+            if (kw == "name") {
+                m.name = expect(Tok::String, "metric display name").text;
+                expect(Tok::Semi, "';'");
+            } else if (kw == "units") {
+                m.units = expect_ident("units");
+                expect(Tok::Semi, "';'");
+            } else if (kw == "aggregateOperator" || kw == "aggregateoperator") {
+                m.aggregate_op = expect_ident("aggregate operator");
+                expect(Tok::Semi, "';'");
+            } else if (kw == "style") {
+                m.style = expect_ident("style");
+                expect(Tok::Semi, "';'");
+            } else if (kw == "flavor") {
+                expect(Tok::LBrace, "'{'");
+                m.flavors.push_back(expect_ident("flavor"));
+                while (accept(Tok::Comma)) m.flavors.push_back(expect_ident("flavor"));
+                expect(Tok::RBrace, "'}'");
+                expect(Tok::Semi, "';'");
+            } else if (kw == "unitstype") {
+                const std::string u = expect_ident("unitstype value");
+                if (u == "normalized")
+                    m.unitstype = UnitsType::Normalized;
+                else if (u == "unnormalized")
+                    m.unitstype = UnitsType::Unnormalized;
+                else if (u == "sampled")
+                    m.unitstype = UnitsType::Sampled;
+                else
+                    lex_.fail("bad unitstype '" + u + "'");
+                expect(Tok::Semi, "';'");
+            } else if (kw == "constraint") {
+                m.constraints.push_back(expect_ident("constraint id"));
+                expect(Tok::Semi, "';'");
+            } else if (kw == "counter") {
+                m.counters.push_back(expect_ident("counter name"));
+                expect(Tok::Semi, "';'");
+            } else if (kw == "base") {
+                if (!accept_ident("is")) lex_.fail("expected 'is' after base");
+                const std::string b = expect_ident("base type");
+                if (b == "counter")
+                    m.base = BaseType::Counter;
+                else if (b == "walltimer" || b == "wallTimer")
+                    m.base = BaseType::WallTimer;
+                else if (b == "proctimer" || b == "procTimer" || b == "processtimer")
+                    m.base = BaseType::ProcTimer;
+                else
+                    lex_.fail("bad base type '" + b + "'");
+                expect(Tok::LBrace, "'{'");
+                while (!accept(Tok::RBrace)) m.foreachs.push_back(parse_foreach());
+            } else {
+                lex_.fail("unknown metric attribute '" + kw + "'");
+            }
+        }
+        return m;
+    }
+
+    ConstraintDef parse_constraint() {
+        ConstraintDef c;
+        c.id = expect_ident("constraint identifier");
+        const std::string path = expect_ident("resource path");
+        if (path.empty() || path[0] != '/')
+            lex_.fail("constraint path must start with '/'");
+        c.path = path;
+        if (!accept_ident("is")) lex_.fail("expected 'is' in constraint");
+        if (!accept_ident("counter")) lex_.fail("expected 'counter' in constraint");
+        expect(Tok::LBrace, "'{'");
+        while (!accept(Tok::RBrace)) c.foreachs.push_back(parse_foreach());
+        return c;
+    }
+
+    DaemonDef parse_daemon() {
+        DaemonDef d;
+        d.id = expect_ident("daemon identifier");
+        expect(Tok::LBrace, "'{'");
+        while (!accept(Tok::RBrace)) {
+            const std::string key = expect_ident("daemon attribute");
+            std::string value;
+            if (cur_.kind == Tok::String)
+                value = expect(Tok::String, "value").text;
+            else if (cur_.kind == Tok::Ident)
+                value = expect_ident("value");
+            else if (cur_.kind == Tok::Number)
+                value = expect(Tok::Number, "value").text;
+            else
+                lex_.fail("expected attribute value");
+            expect(Tok::Semi, "';'");
+            d.attrs[key] = value;
+        }
+        return d;
+    }
+
+    Foreach parse_foreach() {
+        if (!accept_ident("foreach")) lex_.fail("expected 'foreach'");
+        if (!accept_ident("func")) lex_.fail("expected 'func'");
+        if (!accept_ident("in")) lex_.fail("expected 'in'");
+        Foreach fe;
+        fe.funcset = expect_ident("function set name");
+        expect(Tok::LBrace, "'{'");
+        while (!accept(Tok::RBrace)) fe.points.push_back(parse_inst_point());
+        return fe;
+    }
+
+    InstPoint parse_inst_point() {
+        InstPoint p;
+        const std::string mode = expect_ident("append/prepend");
+        if (mode == "append")
+            p.mode = InsertMode::Append;
+        else if (mode == "prepend")
+            p.mode = InsertMode::Prepend;
+        else
+            lex_.fail("expected 'append' or 'prepend'");
+        if (!accept_ident("preinsn")) lex_.fail("expected 'preinsn'");
+        if (!accept_ident("func")) lex_.fail("expected 'func'");
+        expect(Tok::Dot, "'.'");
+        const std::string pos = expect_ident("entry/return");
+        if (pos == "entry")
+            p.pos = PointPos::Entry;
+        else if (pos == "return")
+            p.pos = PointPos::Return;
+        else
+            lex_.fail("expected 'entry' or 'return'");
+        if (accept_ident("constrained")) p.constrained = true;
+        expect(Tok::CodeOpen, "'(*'");
+        while (!accept(Tok::CodeClose)) p.code.push_back(parse_stmt());
+        return p;
+    }
+
+    StmtPtr parse_stmt() {
+        auto s = std::make_unique<Stmt>();
+        if (accept_ident("if")) {
+            s->kind = Stmt::Kind::If;
+            expect(Tok::LParen, "'('");
+            s->value = parse_expr();
+            expect(Tok::RParen, "')'");
+            s->body = parse_stmt();
+            return s;
+        }
+        const std::string id = expect_ident("statement");
+        if (cur_.kind == Tok::LParen) {
+            // Call statement: startWallTimer(x); MPI_Type_size(...);
+            s->kind = Stmt::Kind::Call;
+            s->call = parse_call_after_callee(id);
+            expect(Tok::Semi, "';'");
+            return s;
+        }
+        s->target = id;
+        if (accept(Tok::PlusPlus)) {
+            s->kind = Stmt::Kind::Increment;
+        } else if (accept(Tok::PlusEq)) {
+            s->kind = Stmt::Kind::AddAssign;
+            s->value = parse_expr();
+        } else if (accept(Tok::Eq)) {
+            s->kind = Stmt::Kind::Assign;
+            s->value = parse_expr();
+        } else {
+            lex_.fail("expected '++', '=', '+=' or '(' after identifier");
+        }
+        expect(Tok::Semi, "';'");
+        return s;
+    }
+
+    ExprPtr parse_call_after_callee(const std::string& callee) {
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::Call;
+        e->ident = callee;
+        expect(Tok::LParen, "'('");
+        if (cur_.kind != Tok::RParen) {
+            e->call_args.push_back(parse_expr());
+            while (accept(Tok::Comma)) e->call_args.push_back(parse_expr());
+        }
+        expect(Tok::RParen, "')'");
+        return e;
+    }
+
+    // Precedence: * binds tighter than +, which binds tighter than ==/!=.
+    ExprPtr parse_expr() { return parse_equality(); }
+
+    ExprPtr parse_equality() {
+        ExprPtr lhs = parse_additive();
+        while (cur_.kind == Tok::EqEq || cur_.kind == Tok::NotEq) {
+            const std::string op = cur_.kind == Tok::EqEq ? "==" : "!=";
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Binary;
+            e->op = op;
+            e->lhs = std::move(lhs);
+            e->rhs = parse_additive();
+            lhs = std::move(e);
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_additive() {
+        ExprPtr lhs = parse_multiplicative();
+        while (cur_.kind == Tok::Plus) {
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Binary;
+            e->op = "+";
+            e->lhs = std::move(lhs);
+            e->rhs = parse_multiplicative();
+            lhs = std::move(e);
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_multiplicative() {
+        ExprPtr lhs = parse_primary();
+        while (cur_.kind == Tok::Star) {
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Binary;
+            e->op = "*";
+            e->lhs = std::move(lhs);
+            e->rhs = parse_primary();
+            lhs = std::move(e);
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_primary() {
+        auto e = std::make_unique<Expr>();
+        if (cur_.kind == Tok::Number) {
+            e->kind = Expr::Kind::Number;
+            e->number = cur_.number;
+            advance();
+            return e;
+        }
+        if (accept(Tok::Dollar)) {
+            const std::string what = expect_ident("arg/constraint after '$'");
+            expect(Tok::LBracket, "'['");
+            const Token idx = expect(Tok::Number, "index");
+            expect(Tok::RBracket, "']'");
+            if (what == "arg")
+                e->kind = Expr::Kind::Arg;
+            else if (what == "constraint")
+                e->kind = Expr::Kind::ConstraintArg;
+            else
+                lex_.fail("expected $arg or $constraint");
+            e->index = static_cast<int>(idx.number);
+            return e;
+        }
+        if (accept(Tok::Amp)) {
+            e->kind = Expr::Kind::AddressOf;
+            e->ident = expect_ident("identifier after '&'");
+            return e;
+        }
+        if (accept(Tok::LParen)) {
+            ExprPtr inner = parse_expr();
+            expect(Tok::RParen, "')'");
+            return inner;
+        }
+        if (cur_.kind == Tok::Ident) {
+            const std::string id = cur_.text;
+            advance();
+            if (cur_.kind == Tok::LParen) return parse_call_after_callee(id);
+            e->kind = Expr::Kind::Ident;
+            e->ident = id;
+            return e;
+        }
+        lex_.fail("expected expression");
+        return e;  // unreachable
+    }
+
+    Lexer lex_;
+    Token cur_;
+};
+
+}  // namespace
+
+const MetricDef* MdlFile::find_metric(const std::string& name_or_id) const {
+    for (const MetricDef& m : metrics)
+        if (m.id == name_or_id || m.name == name_or_id) return &m;
+    return nullptr;
+}
+
+const ConstraintDef* MdlFile::find_constraint(const std::string& id) const {
+    for (const ConstraintDef& c : constraints)
+        if (c.id == id) return &c;
+    return nullptr;
+}
+
+const DaemonDef* MdlFile::find_daemon(const std::string& id) const {
+    for (const DaemonDef& d : daemons)
+        if (d.id == id) return &d;
+    return nullptr;
+}
+
+MdlFile parse(const std::string& source) { return Parser(source).parse_file(); }
+
+}  // namespace m2p::mdl

@@ -1,0 +1,28 @@
+// Internal shared state for the PPerfMark program implementations.
+#pragma once
+
+#include <memory>
+
+#include "pperfmark/pperfmark.hpp"
+#include "simmpi/rank.hpp"
+
+namespace m2p::ppm::detail {
+
+/// Per-world context captured by every program lambda.
+struct Ctx {
+    Params p;
+    AppFuncs f;
+};
+
+/// Registers the MPI-1 programs (small-messages .. sstwod).
+void register_mpi1(simmpi::World& world, const std::shared_ptr<Ctx>& cx);
+/// Registers the MPI-2 programs (allcount .. oned + children).
+void register_mpi2(simmpi::World& world, const std::shared_ptr<Ctx>& cx);
+/// Registers the MPI-I/O extension programs (io-stripes, io-bound).
+void register_io(simmpi::World& world, const std::shared_ptr<Ctx>& cx);
+
+/// PPerfMark's computational bottleneck helper: burns
+/// `units * waste_unit_seconds` of CPU inside the waste_time function.
+void waste_time(simmpi::Rank& r, const Ctx& cx, int units);
+
+}  // namespace m2p::ppm::detail

@@ -1,0 +1,106 @@
+#include "pperfmark/pperfmark.hpp"
+
+#include "pperfmark/detail.hpp"
+#include "util/clock.hpp"
+
+namespace m2p::ppm {
+
+namespace {
+constexpr const char* kModule = "pperfmark";
+}
+
+AppFuncs app_funcs(simmpi::World& world) {
+    instr::Registry& reg = world.registry();
+    const auto app = static_cast<std::uint32_t>(instr::Category::AppCode);
+    AppFuncs f;
+    f.Gsend_message = reg.register_function("Gsend_message", kModule, app);
+    f.Grecv_message = reg.register_function("Grecv_message", kModule, app);
+    f.waste_time = reg.register_function("waste_time", kModule, app);
+    f.bottleneckProcedure = reg.register_function("bottleneckProcedure", kModule, app);
+    f.childFunction = reg.register_function("childFunction", kModule, app);
+    f.parentFunction = reg.register_function("parentFunction", kModule, app);
+    f.exchng2 = reg.register_function("exchng2", kModule, app);
+    f.exchng1 = reg.register_function("exchng1", kModule, app);
+    f.compute_sweep = reg.register_function("compute_sweep", kModule, app);
+    return f;
+}
+
+void register_all(simmpi::World& world, const Params& params) {
+    auto cx = std::make_shared<detail::Ctx>();
+    cx->p = params;
+    cx->f = app_funcs(world);
+    instr::Registry& reg = world.registry();
+    const auto app = static_cast<std::uint32_t>(instr::Category::AppCode);
+    for (int i = 0; i < params.irrelevant_procedures; ++i)
+        cx->f.irrelevantProcedures.push_back(reg.register_function(
+            "irrelevantProcedure" + std::to_string(i), kModule, app));
+    detail::register_mpi1(world, cx);
+    detail::register_mpi2(world, cx);
+    detail::register_io(world, cx);
+}
+
+namespace detail {
+
+void waste_time(simmpi::Rank& r, const Ctx& cx, int units) {
+    instr::FunctionGuard g(r.world().registry(), cx.f.waste_time);
+    util::burn_thread_cpu(units * cx.p.waste_unit_seconds);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Ground truths (paper section 5's per-process-output / source-derived
+// expected values)
+// ---------------------------------------------------------------------------
+
+MessageTruth small_messages_truth(const Params& p, int nprocs) {
+    MessageTruth t;
+    t.messages_sent = p.iterations;
+    t.bytes_sent = static_cast<long long>(p.iterations) * p.small_message_bytes;
+    t.bytes_received_at_server = t.bytes_sent * (nprocs - 1);
+    return t;
+}
+
+MessageTruth big_message_truth(const Params& p) {
+    MessageTruth t;
+    // Each of the two processes both sends and receives `iterations`
+    // messages per direction.
+    t.messages_sent = p.iterations;
+    t.bytes_sent = static_cast<long long>(p.iterations) * p.big_message_bytes;
+    t.bytes_received_at_server = t.bytes_sent;
+    return t;
+}
+
+MessageTruth wrong_way_truth(const Params& p) {
+    MessageTruth t;
+    t.messages_sent = static_cast<long long>(p.iterations) * p.wrongway_batch;
+    t.bytes_sent = t.messages_sent * p.small_message_bytes;
+    t.bytes_received_at_server = t.bytes_sent;
+    return t;
+}
+
+IoTruth io_stripes_truth(const Params& p, int nprocs) {
+    IoTruth t;
+    // Per process per round: one write_at and one read_at of a chunk.
+    t.ops = 2LL * p.io_rounds * nprocs;
+    t.bytes_written = static_cast<long long>(p.io_rounds) * nprocs * p.io_chunk_bytes;
+    t.bytes_read = t.bytes_written;
+    return t;
+}
+
+RmaTruth allcount_truth(const Params& p, int nprocs) {
+    RmaTruth t;
+    const long long per_origin =
+        static_cast<long long>(p.epochs) * p.rma_ops_per_epoch;
+    const long long origins = nprocs - 1;
+    t.puts = per_origin * origins;
+    t.gets = per_origin * origins;
+    t.accs = per_origin * origins;
+    t.put_bytes = t.puts * p.rma_bytes;
+    t.get_bytes = t.gets * p.rma_bytes;
+    // Accumulates move int arrays of rma_bytes bytes as well.
+    t.acc_bytes = t.accs * p.rma_bytes;
+    return t;
+}
+
+}  // namespace m2p::ppm

@@ -1,0 +1,117 @@
+// PPerfMark: the performance-tool benchmark suite the paper develops
+// (section 5) -- an MPI port of the Grindstone PVM test suite plus new
+// MPI-2 programs.  Each program has a *known* performance bottleneck,
+// so a tool's findings can be graded pass/fail (paper Tables 2 and 3).
+//
+// MPI-1 programs (Table 2): small-messages, big-message, wrong-way,
+// intensive-server, random-barrier, diffuse-procedure, system-time,
+// hot-procedure, plus sstwod (the "Using MPI" book's 2-D Poisson
+// solver with a known bottleneck in exchng2).
+//
+// MPI-2 programs (Table 3): allcount, wincreate-blast, winfence-sync,
+// winscpw-sync, spawn-count, spawn-sync, spawnwin-sync, plus oned (the
+// "Using MPI-2" book's RMA 1-D Poisson solver, bottleneck in exchng1)
+// and winlock-sync (passive target -- the paper defers this program
+// because LAM/MPICH2 lacked passive-target support; simmpi has it, so
+// the suite includes it as the planned extension).
+//
+// Programs are registered with a simmpi::World under the command names
+// below; application functions (Gsend_message, bottleneckProcedure,
+// waste_time, exchng2, ...) register with the instrumentation
+// substrate under module "pperfmark" so the tool can discover and
+// instrument them.
+#pragma once
+
+#include <string>
+
+#include "simmpi/world.hpp"
+
+namespace m2p::ppm {
+
+struct Params {
+    int iterations = 400;
+    int small_message_bytes = 4;
+    int big_message_bytes = 100000;  ///< > eager limit: rendezvous
+    int wrongway_batch = 16;         ///< messages per out-of-order burst
+    int time_to_waste = 5;           ///< TIMETOWASTE knob (dimensionless)
+    double waste_unit_seconds = 0.002;  ///< CPU seconds per TIMETOWASTE unit
+    int irrelevant_procedures = 13;  ///< hot-procedure's decoys (Fig 19 shows 12+)
+    int grid_n = 64;                 ///< sstwod/oned mesh size
+    int rma_ops_per_epoch = 50;      ///< allcount / presta-style epochs
+    int epochs = 10;
+    int rma_bytes = 1024;
+    int win_blast_count = 24;        ///< wincreate-blast windows
+    int spawn_children = 3;
+    int spawn_rounds = 2;            ///< spawn-count repetitions
+    int io_chunk_bytes = 65536;      ///< MPI-I/O programs: bytes per operation
+    int io_rounds = 8;               ///< MPI-I/O programs: rounds
+};
+
+// Command names (what mpirun / MPI_Comm_spawn start).
+inline constexpr const char* kSmallMessages = "small-messages";
+inline constexpr const char* kBigMessage = "big-message";
+inline constexpr const char* kWrongWay = "wrong-way";
+inline constexpr const char* kIntensiveServer = "intensive-server";
+inline constexpr const char* kRandomBarrier = "random-barrier";
+inline constexpr const char* kDiffuseProcedure = "diffuse-procedure";
+inline constexpr const char* kSystemTime = "system-time";
+inline constexpr const char* kHotProcedure = "hot-procedure";
+inline constexpr const char* kSstwod = "sstwod";
+inline constexpr const char* kAllcount = "allcount";
+inline constexpr const char* kWincreateBlast = "wincreate-blast";
+inline constexpr const char* kWinfenceSync = "winfence-sync";
+inline constexpr const char* kWinscpwSync = "winscpw-sync";
+inline constexpr const char* kWinlockSync = "winlock-sync";
+inline constexpr const char* kSpawnCount = "spawn-count";
+inline constexpr const char* kSpawnSync = "spawn-sync";
+inline constexpr const char* kSpawnwinSync = "spawnwin-sync";
+inline constexpr const char* kOned = "oned";
+inline constexpr const char* kSpawnChild = "spawn-child";        ///< exits immediately
+inline constexpr const char* kSpawnSyncChild = "spawn-sync-child";
+inline constexpr const char* kSpawnwinChild = "spawnwin-child";
+// MPI-I/O extension programs (the paper's remaining MPI-2 feature).
+inline constexpr const char* kIoStripes = "io-stripes";   ///< known byte counts
+inline constexpr const char* kIoBound = "io-bound";       ///< collective-write straggler
+
+/// Registers every PPerfMark program and its application functions.
+/// Call once per World, before launching.
+void register_all(simmpi::World& world, const Params& params);
+
+/// The instrumentable application functions PPerfMark registers
+/// (module "pperfmark"): used by tests to check Code-axis discovery.
+struct AppFuncs {
+    instr::FuncId Gsend_message, Grecv_message, waste_time, bottleneckProcedure,
+        childFunction, parentFunction, exchng2, exchng1, compute_sweep;
+    std::vector<instr::FuncId> irrelevantProcedures;
+};
+AppFuncs app_funcs(simmpi::World& world);
+
+// ---------------------------------------------------------------------------
+// Ground truths for byte/operation-count validation (paper section 5
+// verifies Paradyn's histograms against per-process output and source
+// inspection).
+// ---------------------------------------------------------------------------
+
+struct MessageTruth {
+    long long messages_sent = 0;  ///< per sending process
+    long long bytes_sent = 0;     ///< per sending process
+    long long bytes_received_at_server = 0;  ///< total at the receiver
+};
+MessageTruth small_messages_truth(const Params& p, int nprocs);
+MessageTruth big_message_truth(const Params& p);
+MessageTruth wrong_way_truth(const Params& p);
+
+struct RmaTruth {
+    long long puts = 0, gets = 0, accs = 0;   ///< totals across processes
+    long long put_bytes = 0, get_bytes = 0, acc_bytes = 0;
+};
+RmaTruth allcount_truth(const Params& p, int nprocs);
+
+struct IoTruth {
+    long long ops = 0;            ///< total read+write data operations
+    long long bytes_written = 0;  ///< totals across processes
+    long long bytes_read = 0;
+};
+IoTruth io_stripes_truth(const Params& p, int nprocs);
+
+}  // namespace m2p::ppm

@@ -1,0 +1,267 @@
+// The MPI-1 PPerfMark programs (paper Table 2).  Each has a known
+// bottleneck the tool must find.
+#include <random>
+
+#include "pperfmark/detail.hpp"
+#include "util/clock.hpp"
+
+namespace m2p::ppm::detail {
+
+namespace {
+
+using simmpi::Comm;
+using simmpi::Rank;
+using simmpi::Status;
+using simmpi::MPI_ANY_SOURCE;
+using simmpi::MPI_BYTE;
+using simmpi::MPI_CHAR;
+using simmpi::MPI_DOUBLE;
+using simmpi::MPI_INT;
+using simmpi::MPI_PROC_NULL;
+using simmpi::MPI_SUM;
+
+void gsend(Rank& r, const Ctx& cx, const void* buf, int bytes, int dest, int tag,
+           Comm c) {
+    instr::FunctionGuard g(r.world().registry(), cx.f.Gsend_message);
+    r.MPI_Send(buf, bytes, MPI_BYTE, dest, tag, c);
+}
+
+void grecv(Rank& r, const Ctx& cx, void* buf, int bytes, int src, int tag, Comm c,
+           Status* st = nullptr) {
+    instr::FunctionGuard g(r.world().registry(), cx.f.Grecv_message);
+    r.MPI_Recv(buf, bytes, MPI_BYTE, src, tag, c, st);
+}
+
+/// small-messages: many small client->server messages; the bottleneck
+/// is the clients flooding the single server (clients block in
+/// MPI_Send under eager flow control).
+void small_messages(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    const Comm world = r.MPI_COMM_WORLD();
+    int me = 0, n = 0;
+    r.MPI_Comm_rank(world, &me);
+    r.MPI_Comm_size(world, &n);
+    std::vector<char> buf(static_cast<std::size_t>(cx.p.small_message_bytes), 'x');
+    if (me == 0) {
+        const long long total =
+            static_cast<long long>(cx.p.iterations) * (n - 1);
+        for (long long i = 0; i < total; ++i)
+            grecv(r, cx, buf.data(), cx.p.small_message_bytes, MPI_ANY_SOURCE, 0, world);
+    } else {
+        for (int i = 0; i < cx.p.iterations; ++i)
+            gsend(r, cx, buf.data(), cx.p.small_message_bytes, 0, 0, world);
+    }
+    r.MPI_Finalize();
+}
+
+/// big-message: two processes exchange very large messages; the
+/// bottleneck is the overhead of setting up/sending them (rendezvous).
+void big_message(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    const Comm world = r.MPI_COMM_WORLD();
+    int me = 0;
+    r.MPI_Comm_rank(world, &me);
+    std::vector<char> buf(static_cast<std::size_t>(cx.p.big_message_bytes), 'b');
+    for (int i = 0; i < cx.p.iterations; ++i) {
+        if (me == 0) {
+            gsend(r, cx, buf.data(), cx.p.big_message_bytes, 1, 1, world);
+            grecv(r, cx, buf.data(), cx.p.big_message_bytes, 1, 2, world);
+        } else if (me == 1) {
+            grecv(r, cx, buf.data(), cx.p.big_message_bytes, 0, 1, world);
+            gsend(r, cx, buf.data(), cx.p.big_message_bytes, 0, 2, world);
+        }
+    }
+    r.MPI_Finalize();
+}
+
+/// wrong-way: the receiver expects tags in ascending order but the
+/// sender emits each burst in descending order, so every burst makes
+/// the receiver wait for the last-sent message.
+void wrong_way(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    const Comm world = r.MPI_COMM_WORLD();
+    int me = 0;
+    r.MPI_Comm_rank(world, &me);
+    std::vector<char> buf(static_cast<std::size_t>(cx.p.small_message_bytes), 'w');
+    for (int i = 0; i < cx.p.iterations; ++i) {
+        if (me == 0) {
+            for (int t = cx.p.wrongway_batch - 1; t >= 0; --t)
+                gsend(r, cx, buf.data(), cx.p.small_message_bytes, 1, t, world);
+        } else if (me == 1) {
+            for (int t = 0; t < cx.p.wrongway_batch; ++t)
+                grecv(r, cx, buf.data(), cx.p.small_message_bytes, 0, t, world);
+        }
+    }
+    r.MPI_Finalize();
+}
+
+/// intensive-server: clients wait on an overloaded server that wastes
+/// time before each reply (clients bottleneck in MPI_Recv; the server
+/// is CPU bound in waste_time).
+void intensive_server(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    const Comm world = r.MPI_COMM_WORLD();
+    int me = 0, n = 0;
+    r.MPI_Comm_rank(world, &me);
+    r.MPI_Comm_size(world, &n);
+    char req = 'q', rep = 'a';
+    if (me == 0) {
+        const long long total = static_cast<long long>(cx.p.iterations) * (n - 1);
+        for (long long i = 0; i < total; ++i) {
+            Status st;
+            grecv(r, cx, &req, 1, MPI_ANY_SOURCE, 0, world, &st);
+            waste_time(r, cx, cx.p.time_to_waste);
+            gsend(r, cx, &rep, 1, st.MPI_SOURCE, 1, world);
+        }
+    } else {
+        for (int i = 0; i < cx.p.iterations; ++i) {
+            gsend(r, cx, &req, 1, 0, 0, world);
+            grecv(r, cx, &rep, 1, 0, 1, world);
+        }
+    }
+    r.MPI_Finalize();
+}
+
+/// random-barrier: each iteration one (pseudo-)randomly chosen process
+/// wastes time while the rest wait in MPI_Barrier -- a load imbalance
+/// that moves around.
+void random_barrier(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    const Comm world = r.MPI_COMM_WORLD();
+    int me = 0, n = 0;
+    r.MPI_Comm_rank(world, &me);
+    r.MPI_Comm_size(world, &n);
+    std::mt19937 rng(12345);  // same seed everywhere: same waster choice
+    for (int i = 0; i < cx.p.iterations; ++i) {
+        const int waster = static_cast<int>(rng() % static_cast<unsigned>(n));
+        if (me == waster) waste_time(r, cx, cx.p.time_to_waste);
+        r.MPI_Barrier(world);
+    }
+    r.MPI_Finalize();
+}
+
+/// diffuse-procedure: bottleneckProcedure consumes most of the time,
+/// but each process takes turns running it while the others wait in
+/// MPI_Barrier -- a computational bottleneck diffused over processes.
+void diffuse_procedure(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    const Comm world = r.MPI_COMM_WORLD();
+    int me = 0, n = 0;
+    r.MPI_Comm_rank(world, &me);
+    r.MPI_Comm_size(world, &n);
+    instr::Registry& reg = r.world().registry();
+    for (int i = 0; i < cx.p.iterations; ++i) {
+        if (i % n == me) {
+            instr::FunctionGuard g(reg, cx.f.bottleneckProcedure);
+            util::burn_thread_cpu(cx.p.time_to_waste * cx.p.waste_unit_seconds);
+        } else if (!cx.f.irrelevantProcedures.empty()) {
+            instr::FunctionGuard g(
+                reg, cx.f.irrelevantProcedures[static_cast<std::size_t>(i) %
+                                               cx.f.irrelevantProcedures.size()]);
+            // trivially cheap
+        }
+        r.MPI_Barrier(world);
+    }
+    r.MPI_Finalize();
+}
+
+/// system-time: spends its time in system calls.  The paper's tool
+/// FAILS this test -- the default metric set has no system-time
+/// metric -- and this reproduction preserves that gap.
+void system_time(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    for (int i = 0; i < cx.p.iterations; ++i)
+        util::burn_system_time(cx.p.waste_unit_seconds);
+    r.MPI_Finalize();
+}
+
+/// hot-procedure: a single computational bottleneck procedure plus a
+/// pile of irrelevant procedures that use essentially no time.
+void hot_procedure(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    instr::Registry& reg = r.world().registry();
+    for (int i = 0; i < cx.p.iterations; ++i) {
+        {
+            instr::FunctionGuard g(reg, cx.f.bottleneckProcedure);
+            util::burn_thread_cpu(cx.p.waste_unit_seconds);
+        }
+        for (instr::FuncId irr : cx.f.irrelevantProcedures) {
+            instr::FunctionGuard g(reg, irr);
+            // does nothing, as in Grindstone
+        }
+    }
+    r.MPI_Finalize();
+}
+
+/// sstwod: the 2-D Poisson solver from "Using MPI" (1-D row
+/// decomposition); its known communication bottleneck is the ghost
+/// exchange in exchng2 (MPI_Sendrecv) plus the MPI_Allreduce
+/// convergence check.
+void sstwod(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    const Comm world = r.MPI_COMM_WORLD();
+    int me = 0, n = 0;
+    r.MPI_Comm_rank(world, &me);
+    r.MPI_Comm_size(world, &n);
+    const int nx = cx.p.grid_n;
+    // Uneven row split induces the load imbalance that surfaces as
+    // synchronization waiting in the exchanges.
+    const int base_rows = nx / n;
+    const int rows = base_rows + (me == 0 ? nx % n : 0) + 2;  // +2 ghost rows
+    std::vector<double> u(static_cast<std::size_t>(rows) * nx, 0.0);
+    std::vector<double> unew = u;
+    if (me == 0)
+        for (int j = 0; j < nx; ++j) u[static_cast<std::size_t>(j)] = 1.0;
+
+    const int up = me > 0 ? me - 1 : MPI_PROC_NULL;
+    const int down = me < n - 1 ? me + 1 : MPI_PROC_NULL;
+    instr::Registry& reg = r.world().registry();
+    for (int it = 0; it < cx.p.iterations; ++it) {
+        {
+            instr::FunctionGuard g(reg, cx.f.exchng2);
+            Status st;
+            r.MPI_Sendrecv(&u[static_cast<std::size_t>(nx)], nx, MPI_DOUBLE, up, 10,
+                           &u[static_cast<std::size_t>((rows - 1)) * nx], nx,
+                           MPI_DOUBLE, down, 10, world, &st);
+            r.MPI_Sendrecv(&u[static_cast<std::size_t>(rows - 2) * nx], nx, MPI_DOUBLE,
+                           down, 11, &u[0], nx, MPI_DOUBLE, up, 11, world, &st);
+        }
+        double diff = 0.0;
+        {
+            instr::FunctionGuard g(reg, cx.f.compute_sweep);
+            for (int i = 1; i < rows - 1; ++i) {
+                for (int j = 1; j < nx - 1; ++j) {
+                    const std::size_t at = static_cast<std::size_t>(i) * nx + j;
+                    unew[at] = 0.25 * (u[at - 1] + u[at + 1] +
+                                       u[at - static_cast<std::size_t>(nx)] +
+                                       u[at + static_cast<std::size_t>(nx)]);
+                    diff += (unew[at] - u[at]) * (unew[at] - u[at]);
+                }
+            }
+            std::swap(u, unew);
+        }
+        double global_diff = 0.0;
+        r.MPI_Allreduce(&diff, &global_diff, 1, MPI_DOUBLE, MPI_SUM, world);
+    }
+    r.MPI_Finalize();
+}
+
+}  // namespace
+
+void register_mpi1(simmpi::World& world, const std::shared_ptr<Ctx>& cx) {
+    auto reg = [&](const char* name, void (*fn)(Rank&, const Ctx&)) {
+        world.register_program(
+            name, [cx, fn](Rank& r, const std::vector<std::string>&) { fn(r, *cx); });
+    };
+    reg(kSmallMessages, small_messages);
+    reg(kBigMessage, big_message);
+    reg(kWrongWay, wrong_way);
+    reg(kIntensiveServer, intensive_server);
+    reg(kRandomBarrier, random_barrier);
+    reg(kDiffuseProcedure, diffuse_procedure);
+    reg(kSystemTime, system_time);
+    reg(kHotProcedure, hot_procedure);
+    reg(kSstwod, sstwod);
+}
+
+}  // namespace m2p::ppm::detail

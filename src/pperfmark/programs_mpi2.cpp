@@ -1,0 +1,397 @@
+// The MPI-2 PPerfMark programs (paper Table 3) plus the passive-target
+// extension the paper defers (winlock-sync) and the "Using MPI-2" Oned
+// solver.
+#include <cstring>
+#include <chrono>
+#include <thread>
+
+#include "pperfmark/detail.hpp"
+#include "util/clock.hpp"
+
+namespace m2p::ppm::detail {
+
+namespace {
+
+using simmpi::Comm;
+using simmpi::Group;
+using simmpi::Rank;
+using simmpi::Status;
+using simmpi::Win;
+using simmpi::MPI_BYTE;
+using simmpi::MPI_COMM_NULL;
+using simmpi::MPI_DOUBLE;
+using simmpi::MPI_GROUP_NULL;
+using simmpi::MPI_INFO_NULL;
+using simmpi::MPI_INT;
+using simmpi::MPI_LOCK_EXCLUSIVE;
+using simmpi::MPI_PROC_NULL;
+using simmpi::MPI_SUCCESS;
+using simmpi::MPI_SUM;
+using simmpi::MPI_WIN_NULL;
+
+/// allcount: a known number of Puts, Gets and Accumulates moving a
+/// known number of bytes through one window under fence epochs.
+void allcount(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    const Comm world = r.MPI_COMM_WORLD();
+    int me = 0, n = 0;
+    r.MPI_Comm_rank(world, &me);
+    r.MPI_Comm_size(world, &n);
+    const int bytes = cx.p.rma_bytes;
+    std::vector<std::int32_t> mem(static_cast<std::size_t>(bytes) / 4, 0);
+    std::vector<std::int32_t> local(mem.size(), 1);
+    Win win = MPI_WIN_NULL;
+    r.MPI_Win_create(mem.data(), bytes, 1, MPI_INFO_NULL, world, &win);
+    r.MPI_Win_set_name(win, "AllcountWindow");
+    const int count = static_cast<int>(mem.size());
+    for (int e = 0; e < cx.p.epochs; ++e) {
+        r.MPI_Win_fence(0, win);
+        if (me != 0) {
+            for (int i = 0; i < cx.p.rma_ops_per_epoch; ++i) {
+                r.MPI_Put(local.data(), count, MPI_INT, 0, 0, count, MPI_INT, win);
+                r.MPI_Get(local.data(), count, MPI_INT, 0, 0, count, MPI_INT, win);
+                r.MPI_Accumulate(local.data(), count, MPI_INT, 0, 0, count, MPI_INT,
+                                 MPI_SUM, win);
+            }
+        }
+        r.MPI_Win_fence(0, win);
+    }
+    r.MPI_Win_free(&win);
+    r.MPI_Finalize();
+}
+
+/// wincreate-blast: creates and deallocates many windows quickly; the
+/// tool must detect every one even though the implementation reuses
+/// window identifiers (hence the N-M resource ids, paper 4.2.1).
+void wincreate_blast(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    const Comm world = r.MPI_COMM_WORLD();
+    std::vector<char> mem(256, 0);
+    for (int i = 0; i < cx.p.win_blast_count; ++i) {
+        Win win = MPI_WIN_NULL;
+        r.MPI_Win_create(mem.data(), static_cast<std::int64_t>(mem.size()), 1,
+                         MPI_INFO_NULL, world, &win);
+        if (i % 4 == 0) r.MPI_Win_set_name(win, "blast" + std::to_string(i));
+        r.MPI_Win_free(&win);
+    }
+    r.MPI_Finalize();
+}
+
+/// winfence-sync: rank 0 is late to every MPI_Win_fence because it
+/// wastes time first; the others accrue fence waiting time.
+void winfence_sync(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    const Comm world = r.MPI_COMM_WORLD();
+    int me = 0;
+    r.MPI_Comm_rank(world, &me);
+    std::vector<char> mem(1024, 0);
+    char byte = 1;
+    Win win = MPI_WIN_NULL;
+    r.MPI_Win_create(mem.data(), static_cast<std::int64_t>(mem.size()), 1,
+                     MPI_INFO_NULL, world, &win);
+    for (int i = 0; i < cx.p.iterations; ++i) {
+        if (me == 0) waste_time(r, cx, cx.p.time_to_waste);
+        if (me != 0) r.MPI_Put(&byte, 1, MPI_BYTE, 0, 0, 1, MPI_BYTE, win);
+        r.MPI_Win_fence(0, win);
+    }
+    r.MPI_Win_free(&win);
+    r.MPI_Finalize();
+}
+
+/// winscpw-sync: start/complete + post/wait synchronization with an
+/// artificial bottleneck in the target (rank 0) between MPI_Win_wait
+/// and MPI_Win_post; the origins wait in MPI_Win_start (LAM) or
+/// MPI_Win_complete (MPICH2) -- the implementation freedom the MPI-2
+/// standard allows (paper 5.2.1.1).
+void winscpw_sync(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    const Comm world = r.MPI_COMM_WORLD();
+    int me = 0, n = 0;
+    r.MPI_Comm_rank(world, &me);
+    r.MPI_Comm_size(world, &n);
+    std::vector<char> mem(1024, 0);
+    char byte = 7;
+    Win win = MPI_WIN_NULL;
+    r.MPI_Win_create(mem.data(), static_cast<std::int64_t>(mem.size()), 1,
+                     MPI_INFO_NULL, world, &win);
+    r.MPI_Win_set_name(win, "ScpwWindow");
+    Group world_group = MPI_GROUP_NULL;
+    r.MPI_Comm_group(world, &world_group);
+    if (me == 0) {
+        std::vector<int> origins;
+        for (int i = 1; i < n; ++i) origins.push_back(i);
+        Group origin_group = MPI_GROUP_NULL;
+        r.MPI_Group_incl(world_group, static_cast<int>(origins.size()), origins.data(),
+                         &origin_group);
+        for (int i = 0; i < cx.p.iterations; ++i) {
+            r.MPI_Win_post(origin_group, 0, win);
+            r.MPI_Win_wait(win);
+            waste_time(r, cx, cx.p.time_to_waste);
+        }
+        r.MPI_Group_free(&origin_group);
+    } else {
+        const int zero = 0;
+        Group target_group = MPI_GROUP_NULL;
+        r.MPI_Group_incl(world_group, 1, &zero, &target_group);
+        for (int i = 0; i < cx.p.iterations; ++i) {
+            r.MPI_Win_start(target_group, 0, win);
+            r.MPI_Put(&byte, 1, MPI_BYTE, 0, static_cast<std::int64_t>(me), 1, MPI_BYTE,
+                      win);
+            r.MPI_Win_complete(win);
+        }
+        r.MPI_Group_free(&target_group);
+    }
+    r.MPI_Group_free(&world_group);
+    r.MPI_Win_free(&win);
+    r.MPI_Finalize();
+}
+
+/// winlock-sync (extension): passive-target contention -- every
+/// process locks rank 0's window exclusively and holds it while
+/// computing, so the others block inside MPI_Win_lock.
+void winlock_sync(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    const Comm world = r.MPI_COMM_WORLD();
+    int me = 0;
+    r.MPI_Comm_rank(world, &me);
+    std::vector<std::int32_t> mem(256, 0);
+    std::int32_t one = 1;
+    Win win = MPI_WIN_NULL;
+    r.MPI_Win_create(mem.data(), static_cast<std::int64_t>(mem.size() * 4), 4,
+                     MPI_INFO_NULL, world, &win);
+    for (int i = 0; i < cx.p.iterations; ++i) {
+        r.MPI_Win_lock(MPI_LOCK_EXCLUSIVE, 0, 0, win);
+        r.MPI_Accumulate(&one, 1, MPI_INT, 0, 0, 1, MPI_INT, MPI_SUM, win);
+        if (me == 0) waste_time(r, cx, cx.p.time_to_waste);
+        r.MPI_Win_unlock(0, win);
+        // Give waiters a chance to acquire: on an oversubscribed host
+        // the releasing thread would otherwise re-lock before any
+        // waiter is scheduled (real cluster nodes run one rank per
+        // CPU, so this starvation cannot occur there).
+        std::this_thread::sleep_for(std::chrono::microseconds(me == 0 ? 200 : 50));
+    }
+    r.MPI_Win_free(&win);
+    r.MPI_Finalize();
+}
+
+/// spawn-count: spawns a known number of child processes that simply
+/// exit; the tool must detect every new process at run time.
+void spawn_count(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    const Comm world = r.MPI_COMM_WORLD();
+    for (int round = 0; round < cx.p.spawn_rounds; ++round) {
+        Comm inter = MPI_COMM_NULL;
+        std::vector<int> errcodes;
+        r.MPI_Comm_spawn(kSpawnChild, {}, cx.p.spawn_children, MPI_INFO_NULL, 0, world,
+                         &inter, &errcodes);
+    }
+    r.MPI_Finalize();
+}
+
+void spawn_child(Rank& r, const Ctx&) {
+    r.MPI_Init();
+    Comm parent = MPI_COMM_NULL;
+    r.MPI_Comm_get_parent(&parent);
+    r.MPI_Finalize();
+}
+
+/// spawn-sync: parent spawns children, then passes messages with them
+/// over the intercommunicator; the parent wastes time before each
+/// reply (children bottleneck in MPI_Recv inside childFunction; the
+/// parent is CPU bound in parentFunction).
+void spawn_sync(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    const Comm world = r.MPI_COMM_WORLD();
+    Comm inter = MPI_COMM_NULL;
+    std::vector<int> errcodes;
+    r.MPI_Comm_spawn(kSpawnSyncChild, {}, cx.p.spawn_children, MPI_INFO_NULL, 0, world,
+                     &inter, &errcodes);
+    if (inter == MPI_COMM_NULL) {
+        r.MPI_Finalize();
+        return;
+    }
+    r.MPI_Comm_set_name(inter, "Parent&Child");
+    instr::Registry& reg = r.world().registry();
+    int me = 0;
+    r.MPI_Comm_rank(world, &me);
+    if (me == 0) {
+        char req = 0, rep = 1;
+        const long long total =
+            static_cast<long long>(cx.p.iterations) * cx.p.spawn_children;
+        for (long long i = 0; i < total; ++i) {
+            // Guard per request so dynamically-inserted instrumentation
+            // observes entries even when it arrives mid-run (Paradyn
+            // handles already-on-stack frames with stack walks; our
+            // substrate sees the next entry instead).
+            instr::FunctionGuard g(reg, cx.f.parentFunction);
+            Status st;
+            r.MPI_Recv(&req, 1, MPI_BYTE, simmpi::MPI_ANY_SOURCE, 0, inter, &st);
+            util::burn_thread_cpu(cx.p.waste_unit_seconds);
+            r.MPI_Send(&rep, 1, MPI_BYTE, st.MPI_SOURCE, 1, inter);
+        }
+    }
+    r.MPI_Finalize();
+}
+
+void spawn_sync_child(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    Comm parent = MPI_COMM_NULL;
+    r.MPI_Comm_get_parent(&parent);
+    if (parent == MPI_COMM_NULL) {
+        r.MPI_Finalize();
+        return;
+    }
+    r.MPI_Comm_set_name(parent, "toParentGroup");
+    instr::Registry& reg = r.world().registry();
+    {
+        char req = 0, rep = 0;
+        for (int i = 0; i < cx.p.iterations; ++i) {
+            instr::FunctionGuard g(reg, cx.f.childFunction);
+            r.MPI_Send(&req, 1, MPI_BYTE, 0, 0, parent);
+            r.MPI_Recv(&rep, 1, MPI_BYTE, 0, 1, parent, nullptr);
+        }
+    }
+    r.MPI_Finalize();
+}
+
+/// spawnwin-sync: parent spawns children, merges the intercomm into an
+/// intracommunicator, creates an RMA window over it and fences with an
+/// artificial bottleneck in the parent (children wait in
+/// MPI_Win_fence; the parent is CPU bound in parentFunction).
+void spawnwin_common(Rank& r, const Ctx& cx, Comm merged, bool is_parent) {
+    std::vector<char> mem(1024, 0);
+    char byte = 3;
+    Win win = MPI_WIN_NULL;
+    r.MPI_Win_create(mem.data(), static_cast<std::int64_t>(mem.size()), 1,
+                     MPI_INFO_NULL, merged, &win);
+    if (is_parent) r.MPI_Win_set_name(win, "ParentChildWindow");
+    instr::Registry& reg = r.world().registry();
+    for (int i = 0; i < cx.p.iterations; ++i) {
+        if (is_parent) {
+            instr::FunctionGuard g(reg, cx.f.parentFunction);
+            util::burn_thread_cpu(cx.p.time_to_waste * cx.p.waste_unit_seconds);
+        } else {
+            r.MPI_Put(&byte, 1, MPI_BYTE, 0, 0, 1, MPI_BYTE, win);
+        }
+        r.MPI_Win_fence(0, win);
+    }
+    r.MPI_Win_free(&win);
+}
+
+void spawnwin_sync(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    const Comm world = r.MPI_COMM_WORLD();
+    Comm inter = MPI_COMM_NULL;
+    std::vector<int> errcodes;
+    r.MPI_Comm_spawn(kSpawnwinChild, {}, cx.p.spawn_children, MPI_INFO_NULL, 0, world,
+                     &inter, &errcodes);
+    if (inter == MPI_COMM_NULL) {
+        r.MPI_Finalize();
+        return;
+    }
+    r.MPI_Comm_set_name(inter, "toChildGroup");
+    Comm merged = MPI_COMM_NULL;
+    r.MPI_Intercomm_merge(inter, /*high=*/false, &merged);
+    r.MPI_Comm_set_name(merged, "Parent&Child");
+    int merged_rank = 0;
+    r.MPI_Comm_rank(merged, &merged_rank);
+    spawnwin_common(r, cx, merged, merged_rank == 0);
+    r.MPI_Finalize();
+}
+
+void spawnwin_child(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    Comm parent = MPI_COMM_NULL;
+    r.MPI_Comm_get_parent(&parent);
+    if (parent == MPI_COMM_NULL) {
+        r.MPI_Finalize();
+        return;
+    }
+    r.MPI_Comm_set_name(parent, "toParentGroup");
+    Comm merged = MPI_COMM_NULL;
+    r.MPI_Intercomm_merge(parent, /*high=*/true, &merged);
+    int merged_rank = 0;
+    r.MPI_Comm_rank(merged, &merged_rank);
+    spawnwin_common(r, cx, merged, merged_rank == 0);
+    r.MPI_Finalize();
+}
+
+/// oned: the "Using MPI-2" 1-D Poisson solver whose ghost exchange
+/// (exchng1) uses MPI_Put under MPI_Win_fence -- its known bottleneck
+/// is fence synchronization inside exchng1 (paper Fig 22).
+void oned(Rank& r, const Ctx& cx) {
+    r.MPI_Init();
+    const Comm world = r.MPI_COMM_WORLD();
+    int me = 0, n = 0;
+    r.MPI_Comm_rank(world, &me);
+    r.MPI_Comm_size(world, &n);
+    const int nx = cx.p.grid_n;
+    const int base_rows = nx / n;
+    const int rows = base_rows + (me == 0 ? nx % n : 0) + 2;
+    std::vector<double> u(static_cast<std::size_t>(rows) * nx, 0.0);
+    std::vector<double> unew = u;
+    Win win = MPI_WIN_NULL;
+    r.MPI_Win_create(u.data(), static_cast<std::int64_t>(u.size() * sizeof(double)),
+                     sizeof(double), MPI_INFO_NULL, world, &win);
+    r.MPI_Win_set_name(win, "OnedGhostWindow");
+    const int up = me > 0 ? me - 1 : MPI_PROC_NULL;
+    const int down = me < n - 1 ? me + 1 : MPI_PROC_NULL;
+    instr::Registry& reg = r.world().registry();
+    for (int it = 0; it < cx.p.iterations; ++it) {
+        {
+            instr::FunctionGuard g(reg, cx.f.exchng1);
+            r.MPI_Win_fence(0, win);
+            // Put our first interior row into the upper neighbour's
+            // bottom ghost row, and our last interior row into the
+            // lower neighbour's top ghost row.
+            if (up != MPI_PROC_NULL) {
+                const std::int64_t disp =
+                    static_cast<std::int64_t>((base_rows + (up == 0 ? nx % n : 0) + 1)) *
+                    nx;
+                r.MPI_Put(&u[static_cast<std::size_t>(nx)], nx, MPI_DOUBLE, up, disp,
+                          nx, MPI_DOUBLE, win);
+            }
+            if (down != MPI_PROC_NULL)
+                r.MPI_Put(&u[static_cast<std::size_t>(rows - 2) * nx], nx, MPI_DOUBLE,
+                          down, 0, nx, MPI_DOUBLE, win);
+            r.MPI_Win_fence(0, win);
+        }
+        {
+            instr::FunctionGuard g(reg, cx.f.compute_sweep);
+            for (int i = 1; i < rows - 1; ++i)
+                for (int j = 1; j < nx - 1; ++j) {
+                    const std::size_t at = static_cast<std::size_t>(i) * nx + j;
+                    unew[at] = 0.25 * (u[at - 1] + u[at + 1] +
+                                       u[at - static_cast<std::size_t>(nx)] +
+                                       u[at + static_cast<std::size_t>(nx)]);
+                }
+            // Copy back rather than swap: the window is registered on u.
+            std::memcpy(u.data(), unew.data(), u.size() * sizeof(double));
+        }
+    }
+    r.MPI_Win_free(&win);
+    r.MPI_Finalize();
+}
+
+}  // namespace
+
+void register_mpi2(simmpi::World& world, const std::shared_ptr<Ctx>& cx) {
+    auto reg = [&](const char* name, void (*fn)(Rank&, const Ctx&)) {
+        world.register_program(
+            name, [cx, fn](Rank& r, const std::vector<std::string>&) { fn(r, *cx); });
+    };
+    reg(kAllcount, allcount);
+    reg(kWincreateBlast, wincreate_blast);
+    reg(kWinfenceSync, winfence_sync);
+    reg(kWinscpwSync, winscpw_sync);
+    reg(kWinlockSync, winlock_sync);
+    reg(kSpawnCount, spawn_count);
+    reg(kSpawnChild, spawn_child);
+    reg(kSpawnSync, spawn_sync);
+    reg(kSpawnSyncChild, spawn_sync_child);
+    reg(kSpawnwinSync, spawnwin_sync);
+    reg(kSpawnwinChild, spawnwin_child);
+    reg(kOned, oned);
+}
+
+}  // namespace m2p::ppm::detail

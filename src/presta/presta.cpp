@@ -1,0 +1,96 @@
+#include "presta/presta.hpp"
+
+#include <vector>
+
+#include "simmpi/rank.hpp"
+#include "util/clock.hpp"
+
+namespace m2p::presta {
+
+void ResultSink::add(RmaResult r) {
+    std::lock_guard lk(mu_);
+    results_.push_back(std::move(r));
+}
+
+std::vector<RmaResult> ResultSink::results() const {
+    std::lock_guard lk(mu_);
+    return results_;
+}
+
+namespace {
+
+using simmpi::Comm;
+using simmpi::Rank;
+using simmpi::Win;
+using simmpi::MPI_BYTE;
+using simmpi::MPI_INFO_NULL;
+using simmpi::MPI_WIN_NULL;
+
+void run_mode(Rank& r, Win win, const RmaConfig& cfg, const std::string& mode, int me,
+              ResultSink* sink) {
+    const bool bidirectional = mode.rfind("bi", 0) == 0;
+    const bool is_put = mode.find("put") != std::string::npos;
+    const bool active = bidirectional || me == 0;
+    const int target = 1 - me;
+    std::vector<char> local(static_cast<std::size_t>(cfg.bytes), 'p');
+
+    r.MPI_Win_fence(0, win);
+    const double t0 = r.MPI_Wtime();
+    for (int e = 0; e < cfg.epochs; ++e) {
+        if (active) {
+            for (int i = 0; i < cfg.ops_per_epoch; ++i) {
+                if (is_put)
+                    r.MPI_Put(local.data(), cfg.bytes, MPI_BYTE, target, 0, cfg.bytes,
+                              MPI_BYTE, win);
+                else
+                    r.MPI_Get(local.data(), cfg.bytes, MPI_BYTE, target, 0, cfg.bytes,
+                              MPI_BYTE, win);
+            }
+        }
+        r.MPI_Win_fence(0, win);
+    }
+    const double t1 = r.MPI_Wtime();
+
+    if (me == 0 && sink) {
+        RmaResult res;
+        res.test = mode;
+        const long long per_origin =
+            static_cast<long long>(cfg.epochs) * cfg.ops_per_epoch;
+        res.ops = bidirectional ? 2 * per_origin : per_origin;
+        res.bytes = res.ops * cfg.bytes;
+        res.seconds = t1 - t0;
+        res.throughput_mb_s =
+            res.seconds > 0 ? static_cast<double>(res.bytes) / res.seconds / 1e6 : 0.0;
+        res.us_per_op =
+            res.ops > 0 ? 1e6 * res.seconds / static_cast<double>(res.ops) : 0.0;
+        sink->add(res);
+    }
+}
+
+}  // namespace
+
+std::shared_ptr<ResultSink> register_program(simmpi::World& world, RmaConfig cfg) {
+    auto sink = std::make_shared<ResultSink>();
+    world.register_program(
+        kPrestaRma, [cfg, sink](Rank& r, const std::vector<std::string>&) {
+            r.MPI_Init();
+            const Comm comm = r.MPI_COMM_WORLD();
+            int me = 0, n = 0;
+            r.MPI_Comm_rank(comm, &me);
+            r.MPI_Comm_size(comm, &n);
+            if (n != 2) {
+                r.MPI_Finalize();
+                return;
+            }
+            std::vector<char> mem(static_cast<std::size_t>(cfg.bytes), 0);
+            Win win = MPI_WIN_NULL;
+            r.MPI_Win_create(mem.data(), cfg.bytes, 1, MPI_INFO_NULL, comm, &win);
+            for (const char* mode : {"uni-put", "uni-get", "bi-put", "bi-get"})
+                run_mode(r, win, cfg, mode, me, sink.get());
+            r.MPI_Win_free(&win);
+            r.MPI_Finalize();
+        });
+    return sink;
+}
+
+}  // namespace m2p::presta

@@ -1,0 +1,53 @@
+// Reimplementation of the ASCI Purple Presta Stress Test Benchmark's
+// `rma` program (paper section 5.2.1.3): it measures the throughput of
+// MPI_Put / MPI_Get and the time per RMA operation for unidirectional
+// put, unidirectional get, bidirectional put, and bidirectional get,
+// reporting its own numbers.  The paper validates the tool by
+// comparing Paradyn's rma_{put,get}_{ops,bytes} measurements (and the
+// throughput / per-op times derived from them) against Presta's
+// self-reported values, testing the differences for statistical
+// significance.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simmpi/world.hpp"
+
+namespace m2p::presta {
+
+struct RmaConfig {
+    int bytes = 1024;        ///< per-operation transfer size
+    int ops_per_epoch = 200; ///< operations between fences
+    int epochs = 20;
+};
+
+struct RmaResult {
+    std::string test;  ///< "uni-put", "uni-get", "bi-put", "bi-get"
+    long long ops = 0;
+    long long bytes = 0;
+    double seconds = 0.0;
+    double throughput_mb_s = 0.0;
+    double us_per_op = 0.0;
+};
+
+inline constexpr const char* kPrestaRma = "presta-rma";
+
+/// Registers the "presta-rma" program (exactly two MPI processes) with
+/// @p world.  Self-reported results accumulate in the returned sink;
+/// read them after the run completes.
+class ResultSink {
+public:
+    void add(RmaResult r);
+    std::vector<RmaResult> results() const;
+
+private:
+    mutable std::mutex mu_;
+    std::vector<RmaResult> results_;
+};
+
+std::shared_ptr<ResultSink> register_program(simmpi::World& world, RmaConfig cfg);
+
+}  // namespace m2p::presta

@@ -1,0 +1,90 @@
+#include "prof/flat_profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/clock.hpp"
+
+namespace m2p::prof {
+
+FlatProfiler::FlatProfiler(instr::Registry& reg, const std::string& module)
+    : reg_(reg) {
+    const std::vector<instr::FuncId> funcs =
+        module.empty()
+            ? reg.functions_with(static_cast<std::uint32_t>(instr::Category::AppCode))
+            : reg.functions_in_module(module);
+    for (instr::FuncId f : funcs) {
+        handles_.push_back(reg.insert(
+            f, instr::Where::Entry,
+            [this, f](const instr::CallContext&) { on_entry(f); }));
+        handles_.push_back(reg.insert(
+            f, instr::Where::Return,
+            [this, f](const instr::CallContext&) { on_return(f); }));
+    }
+}
+
+FlatProfiler::~FlatProfiler() {
+    for (const auto& h : handles_) reg_.remove(h);
+}
+
+void FlatProfiler::on_entry(instr::FuncId f) {
+    const double cpu = util::thread_cpu_seconds();
+    std::lock_guard lk(mu_);
+    stacks_[std::this_thread::get_id()].push_back({f, cpu, 0.0});
+}
+
+void FlatProfiler::on_return(instr::FuncId f) {
+    const double cpu = util::thread_cpu_seconds();
+    std::lock_guard lk(mu_);
+    auto& stack = stacks_[std::this_thread::get_id()];
+    if (stack.empty() || stack.back().func != f) return;  // unbalanced: drop
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const double inclusive = cpu - frame.cpu_start;
+    FuncTotals& t = totals_[f];
+    t.self += std::max(0.0, inclusive - frame.child_time);
+    ++t.calls;
+    if (!stack.empty()) stack.back().child_time += inclusive;
+}
+
+std::vector<ProfileRow> FlatProfiler::report() const {
+    std::lock_guard lk(mu_);
+    double total = 0.0;
+    for (const auto& [f, t] : totals_) total += t.self;
+    std::vector<ProfileRow> rows;
+    double cum = 0.0;
+    std::vector<std::pair<instr::FuncId, FuncTotals>> sorted(totals_.begin(),
+                                                             totals_.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.second.self > b.second.self; });
+    for (const auto& [f, t] : sorted) {
+        ProfileRow r;
+        r.name = reg_.info(f).name;
+        r.self_seconds = t.self;
+        cum += t.self;
+        r.cumulative_seconds = cum;
+        r.calls = t.calls;
+        r.pct_time = total > 0.0 ? 100.0 * t.self / total : 0.0;
+        r.us_per_call = t.calls > 0 ? 1e6 * t.self / static_cast<double>(t.calls) : 0.0;
+        rows.push_back(std::move(r));
+    }
+    return rows;
+}
+
+std::string FlatProfiler::render() const {
+    std::ostringstream os;
+    os << "  %   cumulative   self              self\n"
+          " time   seconds   seconds    calls  us/call  name\n";
+    char buf[160];
+    for (const ProfileRow& r : report()) {
+        std::snprintf(buf, sizeof buf, "%5.2f %9.2f %9.2f %8llu %8.2f  %s\n",
+                      r.pct_time, r.cumulative_seconds, r.self_seconds,
+                      static_cast<unsigned long long>(r.calls), r.us_per_call,
+                      r.name.c_str());
+        os << buf;
+    }
+    return os.str();
+}
+
+}  // namespace m2p::prof

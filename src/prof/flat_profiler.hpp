@@ -1,0 +1,65 @@
+// gprof-style flat profiler (paper Fig 19): the paper validates
+// Paradyn's CPU findings for hot-procedure against gprof's flat
+// profile.  This profiler measures exact per-function CPU time through
+// the instrumentation substrate (entry/exit, per-thread shadow stack)
+// and renders the classic columns:
+//
+//   %time  cumulative  self  calls  us/call  name
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "instr/registry.hpp"
+
+namespace m2p::prof {
+
+struct ProfileRow {
+    std::string name;
+    double pct_time = 0.0;
+    double cumulative_seconds = 0.0;
+    double self_seconds = 0.0;
+    std::uint64_t calls = 0;
+    double us_per_call = 0.0;  ///< self microseconds per call
+};
+
+class FlatProfiler {
+public:
+    /// Instruments every function of @p module (default: all
+    /// application code).  Removes instrumentation on destruction.
+    explicit FlatProfiler(instr::Registry& reg, const std::string& module = "");
+    ~FlatProfiler();
+    FlatProfiler(const FlatProfiler&) = delete;
+    FlatProfiler& operator=(const FlatProfiler&) = delete;
+
+    /// Rows sorted by self time, descending (gprof's default order).
+    std::vector<ProfileRow> report() const;
+    /// gprof-like text rendering.
+    std::string render() const;
+
+private:
+    struct Frame {
+        instr::FuncId func;
+        double cpu_start = 0.0;
+        double child_time = 0.0;
+    };
+    struct FuncTotals {
+        double self = 0.0;
+        std::uint64_t calls = 0;
+    };
+
+    void on_entry(instr::FuncId f);
+    void on_return(instr::FuncId f);
+
+    instr::Registry& reg_;
+    std::vector<instr::SnippetHandle> handles_;
+    mutable std::mutex mu_;
+    std::map<std::thread::id, std::vector<Frame>> stacks_;
+    std::map<instr::FuncId, FuncTotals> totals_;
+};
+
+}  // namespace m2p::prof

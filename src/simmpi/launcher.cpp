@@ -1,0 +1,242 @@
+#include "simmpi/launcher.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace m2p::simmpi {
+
+namespace {
+
+/// Expands "R[,R]*" where R is "k" or "k-m" into indices; bounds are
+/// [0, limit).  Returns false on malformed input or out-of-range.
+bool expand_ranges(const std::string& spec, std::size_t limit, std::vector<int>* out,
+                   std::string* error) {
+    std::stringstream ss(spec);
+    std::string part;
+    while (std::getline(ss, part, ',')) {
+        if (part.empty()) {
+            *error = "empty range in '" + spec + "'";
+            return false;
+        }
+        std::size_t dash = part.find('-');
+        try {
+            if (dash == std::string::npos) {
+                const int k = std::stoi(part);
+                if (k < 0 || static_cast<std::size_t>(k) >= limit) {
+                    *error = "index " + part + " out of range";
+                    return false;
+                }
+                out->push_back(k);
+            } else {
+                const int lo = std::stoi(part.substr(0, dash));
+                const int hi = std::stoi(part.substr(dash + 1));
+                if (lo < 0 || hi < lo || static_cast<std::size_t>(hi) >= limit) {
+                    *error = "range " + part + " out of bounds";
+                    return false;
+                }
+                for (int k = lo; k <= hi; ++k) out->push_back(k);
+            }
+        } catch (const std::exception&) {
+            *error = "malformed range '" + part + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Flattens nodes into one entry per processor ("the first n
+/// processors" view LAM's -np and C options use).
+std::vector<std::string> processor_list(const std::vector<Node>& nodes) {
+    std::vector<std::string> cpus;
+    for (const Node& n : nodes)
+        for (int i = 0; i < n.cpus; ++i) cpus.push_back(n.name);
+    return cpus;
+}
+
+bool looks_like_node_spec(const std::string& s) {
+    return s.size() > 1 && s[0] == 'n' && (std::isdigit(s[1]) != 0);
+}
+
+bool looks_like_cpu_spec(const std::string& s) {
+    return s.size() > 1 && s[0] == 'c' && (std::isdigit(s[1]) != 0);
+}
+
+}  // namespace
+
+std::vector<Node> parse_machinefile(const std::string& content) {
+    std::vector<Node> nodes;
+    std::stringstream ss(content);
+    std::string line;
+    while (std::getline(ss, line)) {
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        std::stringstream ls(line);
+        std::string host;
+        if (!(ls >> host)) continue;
+        Node n;
+        // MPICH machine files use "host:ncpus".
+        const std::size_t colon = host.find(':');
+        if (colon != std::string::npos) {
+            n.name = host.substr(0, colon);
+            try {
+                n.cpus = std::max(1, std::stoi(host.substr(colon + 1)));
+            } catch (const std::exception&) {
+                n.cpus = 1;
+            }
+        } else {
+            n.name = host;
+        }
+        // LAM machine files use "host cpu=N".
+        std::string attr;
+        while (ls >> attr) {
+            if (attr.rfind("cpu=", 0) == 0) {
+                try {
+                    n.cpus = std::max(1, std::stoi(attr.substr(4)));
+                } catch (const std::exception&) {
+                }
+            }
+        }
+        nodes.push_back(std::move(n));
+    }
+    return nodes;
+}
+
+LaunchPlan plan_lam(const std::vector<Node>& nodes,
+                    const std::vector<std::string>& args) {
+    LaunchPlan plan;
+    if (nodes.empty()) {
+        plan.ok = false;
+        plan.error = "no nodes booted (empty LAM session)";
+        return plan;
+    }
+    const std::vector<std::string> cpus = processor_list(nodes);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        if (a == "-np") {
+            if (i + 1 >= args.size()) {
+                plan.ok = false;
+                plan.error = "-np requires a count";
+                return plan;
+            }
+            int n = 0;
+            try {
+                n = std::stoi(args[++i]);
+            } catch (const std::exception&) {
+                n = -1;
+            }
+            if (n <= 0) {
+                plan.ok = false;
+                plan.error = "invalid -np count '" + args[i] + "'";
+                return plan;
+            }
+            // "-np n simply denotes that n processes be started on the
+            // first n processors" (paper 4.1.2); wrap if oversubscribed.
+            for (int k = 0; k < n; ++k) plan.placements.push_back(cpus[k % cpus.size()]);
+        } else if (a == "N") {
+            for (const Node& n : nodes) plan.placements.push_back(n.name);
+        } else if (a == "C") {
+            for (const std::string& c : cpus) plan.placements.push_back(c);
+        } else if (looks_like_node_spec(a)) {
+            std::vector<int> idx;
+            if (!expand_ranges(a.substr(1), nodes.size(), &idx, &plan.error)) {
+                plan.ok = false;
+                return plan;
+            }
+            for (int k : idx) plan.placements.push_back(nodes[static_cast<std::size_t>(k)].name);
+        } else if (looks_like_cpu_spec(a)) {
+            std::vector<int> idx;
+            if (!expand_ranges(a.substr(1), cpus.size(), &idx, &plan.error)) {
+                plan.ok = false;
+                return plan;
+            }
+            for (int k : idx) plan.placements.push_back(cpus[static_cast<std::size_t>(k)]);
+        } else {
+            plan.ok = false;
+            plan.error = "unrecognized LAM mpirun argument '" + a + "'";
+            return plan;
+        }
+    }
+    if (plan.placements.empty()) {
+        plan.ok = false;
+        plan.error = "no processes requested";
+    }
+    return plan;
+}
+
+LaunchPlan plan_mpich(const std::vector<Node>& nodes,
+                      const std::vector<std::string>& args) {
+    LaunchPlan plan;
+    std::vector<Node> machine = nodes;
+    int np = 0;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        if (a == "-np") {
+            if (i + 1 >= args.size()) {
+                plan.ok = false;
+                plan.error = "-np requires a count";
+                return plan;
+            }
+            try {
+                np = std::stoi(args[++i]);
+            } catch (const std::exception&) {
+                np = -1;
+            }
+            if (np <= 0) {
+                plan.ok = false;
+                plan.error = "invalid -np count '" + args[i] + "'";
+                return plan;
+            }
+        } else if (a == "-m" || a == "-machinefile") {
+            if (i + 1 >= args.size()) {
+                plan.ok = false;
+                plan.error = a + " requires a file";
+                return plan;
+            }
+            machine = parse_machinefile(args[++i]);
+        } else if (a == "-wdir") {
+            if (i + 1 >= args.size()) {
+                plan.ok = false;
+                plan.error = "-wdir requires a directory";
+                return plan;
+            }
+            plan.wdir = args[++i];
+        } else {
+            plan.ok = false;
+            plan.error = "unrecognized MPICH mpirun argument '" + a + "'";
+            return plan;
+        }
+    }
+    if (np <= 0) {
+        plan.ok = false;
+        plan.error = "no -np given";
+        return plan;
+    }
+    if (machine.empty()) {
+        plan.ok = false;
+        plan.error = "no machines available";
+        return plan;
+    }
+    const std::vector<std::string> cpus = processor_list(machine);
+    for (int k = 0; k < np; ++k) plan.placements.push_back(cpus[static_cast<std::size_t>(k) % cpus.size()]);
+    return plan;
+}
+
+std::vector<int> launch(World& world, const std::string& command,
+                        const std::vector<std::string>& argv, const LaunchPlan& plan) {
+    if (!plan.ok || plan.placements.empty())
+        throw std::invalid_argument("simmpi: invalid launch plan: " + plan.error);
+    std::vector<int> globals;
+    globals.reserve(plan.placements.size());
+    std::vector<std::string> pool;
+    for (const std::string& node : plan.placements) {
+        globals.push_back(world.create_proc(node, command));
+        pool.push_back(node);
+    }
+    world.set_node_pool(pool);  // spawn places children over the same nodes
+    const Comm cw = world.create_comm(globals);
+    for (int g : globals) world.set_proc_comm_world(g, cw);
+    for (int g : globals) world.start_proc(g, argv);
+    return globals;
+}
+
+}  // namespace m2p::simmpi

@@ -1,0 +1,981 @@
+#include "simmpi/rank.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/clock.hpp"
+
+namespace m2p::simmpi {
+
+namespace {
+
+// Tags at and above this value are reserved for library-internal
+// traffic (the MPICH-flavor dissemination barrier, LAM-flavor fence
+// tokens).  User tags must stay below it, as with real MPI tag bounds.
+constexpr int kReservedTagBase = 1 << 28;
+
+bool contains(const std::vector<int>& v, int x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+std::int64_t as_arg(const void* p) {
+    return static_cast<std::int64_t>(reinterpret_cast<std::uintptr_t>(p));
+}
+
+}  // namespace
+
+Rank::Rank(World& world, int global_rank) : world_(world), global_(global_rank) {}
+
+Comm Rank::MPI_COMM_WORLD() const { return world_.proc(global_).comm_world; }
+
+// ---------------------------------------------------------------------------
+// Rank / group translation helpers
+// ---------------------------------------------------------------------------
+
+int Rank::my_rank_in(const CommData& c) const {
+    const auto it = std::find(c.group.begin(), c.group.end(), global_);
+    if (it != c.group.end()) return static_cast<int>(it - c.group.begin());
+    // Intercomm: we may be a member of the "remote" side; our local
+    // group is then the remote_group vector.
+    const auto it2 = std::find(c.remote_group.begin(), c.remote_group.end(), global_);
+    if (it2 != c.remote_group.end()) return static_cast<int>(it2 - c.remote_group.begin());
+    return MPI_UNDEFINED;
+}
+
+const std::vector<int>& Rank::dest_group(const CommData& c) const {
+    if (!c.is_inter) return c.group;
+    // Point-to-point on an intercommunicator addresses the other side.
+    return contains(c.group, global_) ? c.remote_group : c.group;
+}
+
+int Rank::check_pt2pt(const CommData& c, int count, Datatype dt, int peer, int tag,
+                      bool is_send) const {
+    if (count < 0) return MPI_ERR_COUNT;
+    if (datatype_size(dt) <= 0) return MPI_ERR_TYPE;
+    if (tag != MPI_ANY_TAG && tag < 0) return MPI_ERR_TAG;
+    if (is_send && tag == MPI_ANY_TAG) return MPI_ERR_TAG;
+    if (peer == MPI_PROC_NULL) return MPI_SUCCESS;
+    if (peer == MPI_ANY_SOURCE) return is_send ? MPI_ERR_RANK : MPI_SUCCESS;
+    const auto& grp = dest_group(c);
+    if (peer < 0 || static_cast<std::size_t>(peer) >= grp.size()) return MPI_ERR_RANK;
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Environment
+// ---------------------------------------------------------------------------
+
+int Rank::MPI_Init() {
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Init);
+    const int rc = PMPI_Init();
+    if (auto* layer = world_.profiling_layer()) layer->wrap_init(*this);
+    return rc;
+}
+
+int Rank::PMPI_Init() {
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Init);
+    if (initialized_) return MPI_ERR_OTHER;
+    initialized_ = true;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Init_thread(int required, int* provided) {
+    if (!provided) return MPI_ERR_ARG;
+    if (required < MPI_THREAD_SINGLE || required > MPI_THREAD_MULTIPLE)
+        return MPI_ERR_ARG;
+    const int rc = MPI_Init();
+    if (rc != MPI_SUCCESS) return rc;
+    // Ranks are threads of one address space and every internal
+    // structure is lock-protected: MULTIPLE is always available.
+    thread_level_ = required;
+    *provided = required;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Query_thread(int* provided) const {
+    if (!provided) return MPI_ERR_ARG;
+    *provided = thread_level_;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Finalize() {
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Finalize);
+    return PMPI_Finalize();
+}
+
+int Rank::PMPI_Finalize() {
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Finalize);
+    if (!initialized_ || finalized_) return MPI_ERR_OTHER;
+    finalized_ = true;
+    return MPI_SUCCESS;
+}
+
+double Rank::MPI_Wtime() const { return util::wall_seconds(); }
+
+int Rank::MPI_Get_processor_name(std::string* name) const {
+    if (!name) return MPI_ERR_ARG;
+    *name = world_.proc(global_).node;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Type_size(Datatype dt, int* size) const {
+    if (!size) return MPI_ERR_ARG;
+    const int s = datatype_size(dt);
+    if (s <= 0) return MPI_ERR_TYPE;
+    *size = s;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Get_count(const Status* st, Datatype dt, int* count) const {
+    if (!st || !count) return MPI_ERR_ARG;
+    const int s = datatype_size(dt);
+    if (s <= 0) return MPI_ERR_TYPE;
+    *count = (st->count_bytes % s == 0) ? st->count_bytes / s : MPI_UNDEFINED;
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Communicators and groups
+// ---------------------------------------------------------------------------
+
+int Rank::MPI_Comm_size(Comm c, int* size) {
+    if (!size) return MPI_ERR_ARG;
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    const bool on_remote_side = cd.is_inter && !contains(cd.group, global_);
+    *size = static_cast<int>(on_remote_side ? cd.remote_group.size() : cd.group.size());
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Comm_rank(Comm c, int* rank) {
+    if (!rank) return MPI_ERR_ARG;
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    const int r = my_rank_in(world_.comm(c));
+    if (r == MPI_UNDEFINED) return MPI_ERR_COMM;
+    *rank = r;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Comm_remote_size(Comm c, int* size) {
+    if (!size) return MPI_ERR_ARG;
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    if (!cd.is_inter) return MPI_ERR_COMM;
+    const bool on_local_side = contains(cd.group, global_);
+    *size = static_cast<int>(on_local_side ? cd.remote_group.size() : cd.group.size());
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Comm_dup(Comm c, Comm* out) {
+    if (!out) return MPI_ERR_ARG;
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    barrier_internal(cd);
+    // Every member must end up with the same handle; rank 0 creates.
+    if (my_rank_in(cd) == 0)
+        cd.spawn_result = world_.create_comm(cd.group, cd.remote_group, cd.is_inter);
+    barrier_internal(cd);
+    *out = cd.spawn_result;
+    barrier_internal(cd);
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Comm_free(Comm* c) {
+    if (!c) return MPI_ERR_ARG;
+    if (!world_.comm_valid(*c)) return MPI_ERR_COMM;
+    world_.comm(*c).freed = true;
+    *c = MPI_COMM_NULL;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Comm_group(Comm c, Group* g) {
+    if (!g) return MPI_ERR_ARG;
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    const bool on_remote_side = cd.is_inter && !contains(cd.group, global_);
+    *g = world_.create_group(on_remote_side ? cd.remote_group : cd.group);
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Group_incl(Group g, int n, const int* ranks, Group* out) {
+    if (!out || (n > 0 && !ranks)) return MPI_ERR_ARG;
+    if (!world_.group_valid(g)) return MPI_ERR_GROUP;
+    GroupData& gd = world_.group(g);
+    std::vector<int> sel;
+    sel.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        if (ranks[i] < 0 || static_cast<std::size_t>(ranks[i]) >= gd.global_ranks.size())
+            return MPI_ERR_RANK;
+        sel.push_back(gd.global_ranks[static_cast<std::size_t>(ranks[i])]);
+    }
+    *out = world_.create_group(std::move(sel));
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Group_size(Group g, int* size) {
+    if (!size) return MPI_ERR_ARG;
+    if (!world_.group_valid(g)) return MPI_ERR_GROUP;
+    *size = static_cast<int>(world_.group(g).global_ranks.size());
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Group_free(Group* g) {
+    if (!g) return MPI_ERR_ARG;
+    if (!world_.group_valid(*g)) return MPI_ERR_GROUP;
+    world_.group(*g).freed = true;
+    *g = MPI_GROUP_NULL;
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point bodies
+// ---------------------------------------------------------------------------
+
+int Rank::send_body(const void* buf, int count, Datatype dt, int dest, int tag, Comm c,
+                    SendMode mode) {
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    if (const int rc = check_pt2pt(cd, count, dt, dest, tag, /*is_send=*/true);
+        rc != MPI_SUCCESS)
+        return rc;
+    if (dest == MPI_PROC_NULL) return MPI_SUCCESS;
+
+    const std::size_t bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(datatype_size(dt));
+    Envelope env;
+    env.src_global = global_;
+    env.src_comm_rank = my_rank_in(cd);
+    env.tag = tag;
+    env.context = cd.context;
+    env.data.resize(bytes);
+    if (bytes > 0) std::memcpy(env.data.data(), buf, bytes);
+
+    const int dest_global = dest_group(cd)[static_cast<std::size_t>(dest)];
+    Mailbox& mb = world_.mailbox(dest_global);
+
+    // The blocking part of the send happens inside the transport
+    // function so the tool sees where the MPI implementation really
+    // waits: socket write() for MPICH, the sysv RPI for LAM (paper
+    // Fig 3: MPICH's ExcessiveIOBlockingTime).
+    const auto& f = world_.fids();
+    instr::FunctionGuard tg(world_.registry(),
+                            world_.flavor() == Flavor::Mpich ? f.io_write : f.sysv_send);
+
+    std::unique_lock lk(mb.mu);
+    const bool rendezvous =
+        mode == SendMode::Synchronous ||
+        (mode == SendMode::Standard && bytes > world_.config().eager_limit);
+    if (rendezvous) {
+        // Rendezvous: block until the receiver has copied the payload.
+        auto token = std::make_shared<bool>(false);
+        env.delivered = token;
+        mb.queue.push_back(std::move(env));
+        mb.cv.notify_all();
+        mb.cv.wait(lk, [&] { return *token; });
+        return MPI_SUCCESS;
+    }
+    if (mode == SendMode::Standard) {
+        // Eager flow control: block while the destination queue is full.
+        mb.cv.wait(lk, [&] {
+            return mb.bytes_queued + bytes + kEnvelopeOverhead <=
+                   world_.config().mailbox_capacity;
+        });
+    }
+    mb.bytes_queued += bytes + kEnvelopeOverhead;
+    mb.queue.push_back(std::move(env));
+    mb.cv.notify_all();
+    return MPI_SUCCESS;
+}
+
+int Rank::recv_body(void* buf, int count, Datatype dt, int src, int tag, Comm c,
+                    Status* st, std::int64_t context_offset) {
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    if (const int rc = check_pt2pt(cd, count, dt, src, tag, /*is_send=*/false);
+        rc != MPI_SUCCESS)
+        return rc;
+    if (src == MPI_PROC_NULL) {
+        if (st) {
+            st->MPI_SOURCE = MPI_PROC_NULL;
+            st->MPI_TAG = MPI_ANY_TAG;
+            st->count_bytes = 0;
+        }
+        return MPI_SUCCESS;
+    }
+
+    const std::int64_t want_ctx = cd.context + context_offset;
+    const std::size_t cap =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(datatype_size(dt));
+    Mailbox& mb = world_.mailbox(global_);
+
+    const auto& f = world_.fids();
+    instr::FunctionGuard tg(world_.registry(),
+                            world_.flavor() == Flavor::Mpich ? f.io_read : f.sysv_recv);
+
+    std::unique_lock lk(mb.mu);
+    for (;;) {
+        auto it = std::find_if(mb.queue.begin(), mb.queue.end(), [&](const Envelope& e) {
+            return e.context == want_ctx && (tag == MPI_ANY_TAG || e.tag == tag) &&
+                   (src == MPI_ANY_SOURCE || e.src_comm_rank == src);
+        });
+        if (it != mb.queue.end()) {
+            Envelope env = std::move(*it);
+            mb.queue.erase(it);
+            const bool truncated = env.data.size() > cap;
+            const std::size_t n = std::min(env.data.size(), cap);
+            if (n > 0) std::memcpy(buf, env.data.data(), n);
+            if (st) {
+                st->MPI_SOURCE = env.src_comm_rank;
+                st->MPI_TAG = env.tag;
+                st->count_bytes = static_cast<int>(n);
+                st->MPI_ERROR = truncated ? MPI_ERR_COUNT : MPI_SUCCESS;
+            }
+            if (env.delivered)
+                *env.delivered = true;
+            else
+                mb.bytes_queued -= env.data.size() + kEnvelopeOverhead;
+            mb.cv.notify_all();
+            return truncated ? MPI_ERR_COUNT : MPI_SUCCESS;
+        }
+        mb.cv.wait(lk);
+    }
+}
+
+int Rank::probe_body(int src, int tag, Comm c, int* flag, Status* st, bool blocking) {
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    if (const int rc = check_pt2pt(cd, 0, MPI_BYTE, src, tag, /*is_send=*/false);
+        rc != MPI_SUCCESS)
+        return rc;
+    if (src == MPI_PROC_NULL) {
+        if (flag) *flag = 1;
+        if (st) {
+            st->MPI_SOURCE = MPI_PROC_NULL;
+            st->MPI_TAG = MPI_ANY_TAG;
+            st->count_bytes = 0;
+        }
+        return MPI_SUCCESS;
+    }
+    Mailbox& mb = world_.mailbox(global_);
+    std::unique_lock lk(mb.mu);
+    for (;;) {
+        const auto it =
+            std::find_if(mb.queue.begin(), mb.queue.end(), [&](const Envelope& e) {
+                return e.context == cd.context && (tag == MPI_ANY_TAG || e.tag == tag) &&
+                       (src == MPI_ANY_SOURCE || e.src_comm_rank == src);
+            });
+        if (it != mb.queue.end()) {
+            if (flag) *flag = 1;
+            if (st) {
+                st->MPI_SOURCE = it->src_comm_rank;
+                st->MPI_TAG = it->tag;
+                st->count_bytes = static_cast<int>(it->data.size());
+                st->MPI_ERROR = MPI_SUCCESS;
+            }
+            return MPI_SUCCESS;
+        }
+        if (!blocking) {
+            if (flag) *flag = 0;
+            return MPI_SUCCESS;
+        }
+        mb.cv.wait(lk);
+    }
+}
+
+int Rank::MPI_Probe(int src, int tag, Comm c, Status* st) {
+    return probe_body(src, tag, c, nullptr, st, /*blocking=*/true);
+}
+
+int Rank::MPI_Iprobe(int src, int tag, Comm c, int* flag, Status* st) {
+    if (!flag) return MPI_ERR_ARG;
+    return probe_body(src, tag, c, flag, st, /*blocking=*/false);
+}
+
+void Rank::internal_send(const void* buf, int bytes, int dest_cr, int tag, CommData& c) {
+    Envelope env;
+    env.src_global = global_;
+    env.src_comm_rank = my_rank_in(c);
+    env.tag = tag;
+    env.context = c.context + 1;  // collective side channel
+    env.data.resize(static_cast<std::size_t>(bytes));
+    if (bytes > 0) std::memcpy(env.data.data(), buf, static_cast<std::size_t>(bytes));
+    const int dest_global = c.group[static_cast<std::size_t>(dest_cr)];
+    Mailbox& mb = world_.mailbox(dest_global);
+    std::unique_lock lk(mb.mu);
+    mb.bytes_queued += env.data.size() + kEnvelopeOverhead;
+    mb.queue.push_back(std::move(env));
+    mb.cv.notify_all();
+}
+
+void Rank::internal_recv(void* buf, int bytes, int src_cr, int tag, CommData& c) {
+    const std::int64_t want_ctx = c.context + 1;
+    Mailbox& mb = world_.mailbox(global_);
+    std::unique_lock lk(mb.mu);
+    for (;;) {
+        auto it = std::find_if(mb.queue.begin(), mb.queue.end(), [&](const Envelope& e) {
+            return e.context == want_ctx && e.tag == tag && e.src_comm_rank == src_cr;
+        });
+        if (it != mb.queue.end()) {
+            const std::size_t n =
+                std::min(it->data.size(), static_cast<std::size_t>(bytes));
+            if (n > 0) std::memcpy(buf, it->data.data(), n);
+            mb.bytes_queued -= it->data.size() + kEnvelopeOverhead;
+            mb.queue.erase(it);
+            mb.cv.notify_all();
+            return;
+        }
+        mb.cv.wait(lk);
+    }
+}
+
+void Rank::barrier_internal(CommData& c) {
+    std::unique_lock lk(c.bar_mu);
+    const std::uint64_t gen = c.bar_gen;
+    if (static_cast<std::size_t>(++c.bar_count) == c.group.size()) {
+        c.bar_count = 0;
+        ++c.bar_gen;
+        c.bar_cv.notify_all();
+    } else {
+        c.bar_cv.wait(lk, [&] { return c.bar_gen != gen; });
+    }
+}
+
+int Rank::next_coll_tag(Comm c) {
+    // Collectives execute in the same order on every member, so a
+    // per-rank counter yields matching tags without communication.
+    return kReservedTagBase + 64 * coll_seq_[c]++;
+}
+
+void Rank::reduce_combine(void* acc, const void* in, int count, Datatype dt,
+                          Op op) const {
+    auto fold = [&](auto* a, const auto* b) {
+        for (int i = 0; i < count; ++i) {
+            switch (op) {
+                case MPI_SUM: a[i] = a[i] + b[i]; break;
+                case MPI_MAX: a[i] = std::max(a[i], b[i]); break;
+                case MPI_MIN: a[i] = std::min(a[i], b[i]); break;
+                case MPI_OP_NULL: break;
+            }
+        }
+    };
+    switch (dt) {
+        case MPI_INT:
+            fold(static_cast<std::int32_t*>(acc), static_cast<const std::int32_t*>(in));
+            break;
+        case MPI_LONG:
+            fold(static_cast<std::int64_t*>(acc), static_cast<const std::int64_t*>(in));
+            break;
+        case MPI_FLOAT:
+            fold(static_cast<float*>(acc), static_cast<const float*>(in));
+            break;
+        case MPI_DOUBLE:
+            fold(static_cast<double*>(acc), static_cast<const double*>(in));
+            break;
+        case MPI_CHAR:
+        case MPI_BYTE:
+            fold(static_cast<std::uint8_t*>(acc), static_cast<const std::uint8_t*>(in));
+            break;
+        case MPI_DATATYPE_NULL: break;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point: instrumented trampolines
+// ---------------------------------------------------------------------------
+
+int Rank::MPI_Send(const void* buf, int count, Datatype dt, int dest, int tag, Comm c) {
+    const std::int64_t a[] = {as_arg(buf),
+                              count,
+                              static_cast<std::int64_t>(dt),
+                              dest,
+                              tag,
+                              c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Send, a);
+    return PMPI_Send(buf, count, dt, dest, tag, c);
+}
+
+int Rank::PMPI_Send(const void* buf, int count, Datatype dt, int dest, int tag, Comm c) {
+    const std::int64_t a[] = {as_arg(buf),
+                              count,
+                              static_cast<std::int64_t>(dt),
+                              dest,
+                              tag,
+                              c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Send, a);
+    return send_body(buf, count, dt, dest, tag, c, SendMode::Standard);
+}
+
+int Rank::MPI_Ssend(const void* buf, int count, Datatype dt, int dest, int tag,
+                    Comm c) {
+    const std::int64_t a[] = {as_arg(buf),
+                              count,
+                              static_cast<std::int64_t>(dt),
+                              dest,
+                              tag,
+                              c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Ssend, a);
+    {
+        const std::int64_t pa[] = {as_arg(buf),
+                                   count,
+                                   static_cast<std::int64_t>(dt),
+                                   dest,
+                                   tag,
+                                   c};
+        instr::FunctionGuard pg(world_.registry(), world_.fids().PMPI_Ssend, pa);
+        return send_body(buf, count, dt, dest, tag, c, SendMode::Synchronous);
+    }
+}
+
+int Rank::MPI_Recv(void* buf, int count, Datatype dt, int src, int tag, Comm c,
+                   Status* st) {
+    const std::int64_t a[] = {as_arg(buf), count, static_cast<std::int64_t>(dt),
+                              src,         tag,   c,
+                              as_arg(st)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Recv, a);
+    return PMPI_Recv(buf, count, dt, src, tag, c, st);
+}
+
+int Rank::PMPI_Recv(void* buf, int count, Datatype dt, int src, int tag, Comm c,
+                    Status* st) {
+    const std::int64_t a[] = {as_arg(buf), count, static_cast<std::int64_t>(dt),
+                              src,         tag,   c,
+                              as_arg(st)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Recv, a);
+    return recv_body(buf, count, dt, src, tag, c, st);
+}
+
+int Rank::MPI_Isend(const void* buf, int count, Datatype dt, int dest, int tag, Comm c,
+                    Request* req) {
+    const std::int64_t a[] = {as_arg(buf), count,       static_cast<std::int64_t>(dt),
+                              dest,        tag,         c,
+                              as_arg(req)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Isend, a);
+    return PMPI_Isend(buf, count, dt, dest, tag, c, req);
+}
+
+int Rank::PMPI_Isend(const void* buf, int count, Datatype dt, int dest, int tag, Comm c,
+                     Request* req) {
+    const std::int64_t a[] = {as_arg(buf), count,       static_cast<std::int64_t>(dt),
+                              dest,        tag,         c,
+                              as_arg(req)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Isend, a);
+    if (!req) return MPI_ERR_ARG;
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    if (const int rc = check_pt2pt(cd, count, dt, dest, tag, /*is_send=*/true);
+        rc != MPI_SUCCESS)
+        return rc;
+    if (dest == MPI_PROC_NULL) {
+        RequestData rd;
+        rd.kind = RequestKind::Completed;
+        rd.owner_global = global_;
+        *req = world_.create_request(std::move(rd));
+        return MPI_SUCCESS;
+    }
+
+    const std::size_t bytes =
+        static_cast<std::size_t>(count) * static_cast<std::size_t>(datatype_size(dt));
+    Envelope env;
+    env.src_global = global_;
+    env.src_comm_rank = my_rank_in(cd);
+    env.tag = tag;
+    env.context = cd.context;
+    env.data.resize(bytes);
+    if (bytes > 0) std::memcpy(env.data.data(), buf, bytes);
+
+    const int dest_global = dest_group(cd)[static_cast<std::size_t>(dest)];
+    Mailbox& mb = world_.mailbox(dest_global);
+    std::unique_lock lk(mb.mu);
+    RequestData rd;
+    rd.owner_global = global_;
+    rd.dest_mailbox = dest_global;
+    if (bytes <= world_.config().eager_limit &&
+        mb.bytes_queued + bytes + kEnvelopeOverhead <=
+            world_.config().mailbox_capacity) {
+        mb.bytes_queued += bytes + kEnvelopeOverhead;
+        mb.queue.push_back(std::move(env));
+        rd.kind = RequestKind::Completed;
+    } else {
+        // Large (or flow-controlled) nonblocking send: completion is
+        // deferred to MPI_Wait via a delivery token.
+        rd.kind = RequestKind::SendToken;
+        rd.delivered = std::make_shared<bool>(false);
+        env.delivered = rd.delivered;
+        mb.queue.push_back(std::move(env));
+    }
+    mb.cv.notify_all();
+    lk.unlock();
+    *req = world_.create_request(std::move(rd));
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Irecv(void* buf, int count, Datatype dt, int src, int tag, Comm c,
+                    Request* req) {
+    const std::int64_t a[] = {as_arg(buf), count,       static_cast<std::int64_t>(dt),
+                              src,         tag,         c,
+                              as_arg(req)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Irecv, a);
+    return PMPI_Irecv(buf, count, dt, src, tag, c, req);
+}
+
+int Rank::PMPI_Irecv(void* buf, int count, Datatype dt, int src, int tag, Comm c,
+                     Request* req) {
+    const std::int64_t a[] = {as_arg(buf), count,       static_cast<std::int64_t>(dt),
+                              src,         tag,         c,
+                              as_arg(req)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Irecv, a);
+    if (!req) return MPI_ERR_ARG;
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    if (const int rc = check_pt2pt(cd, count, dt, src, tag, /*is_send=*/false);
+        rc != MPI_SUCCESS)
+        return rc;
+    // The receive is matched when waited on.  This serializes overlap
+    // but preserves blocking semantics (documented in DESIGN.md).
+    RequestData rd;
+    rd.kind = RequestKind::RecvDeferred;
+    rd.owner_global = global_;
+    rd.buf = buf;
+    rd.count = count;
+    rd.dt = dt;
+    rd.src = src;
+    rd.tag = tag;
+    rd.comm = c;
+    *req = world_.create_request(std::move(rd));
+    return MPI_SUCCESS;
+}
+
+int Rank::wait_one(RequestData& rd, Status* st) {
+    switch (rd.kind) {
+        case RequestKind::Null:
+        case RequestKind::Completed: return MPI_SUCCESS;
+        case RequestKind::SendToken: {
+            Mailbox& mb = world_.mailbox(rd.dest_mailbox);
+            std::unique_lock lk(mb.mu);
+            mb.cv.wait(lk, [&] { return *rd.delivered; });
+            return MPI_SUCCESS;
+        }
+        case RequestKind::RecvDeferred:
+            return recv_body(rd.buf, rd.count, rd.dt, rd.src, rd.tag, rd.comm, st);
+    }
+    return MPI_ERR_REQUEST;
+}
+
+int Rank::MPI_Wait(Request* req, Status* st) {
+    const std::int64_t a[] = {as_arg(req)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Wait, a);
+    return PMPI_Wait(req, st);
+}
+
+int Rank::PMPI_Wait(Request* req, Status* st) {
+    const std::int64_t a[] = {as_arg(req)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Wait, a);
+    if (!req) return MPI_ERR_ARG;
+    if (*req == MPI_REQUEST_NULL) return MPI_SUCCESS;
+    if (!world_.request_valid(*req)) return MPI_ERR_REQUEST;
+    RequestData& rd = world_.request(*req);
+    const int rc = wait_one(rd, st);
+    world_.free_request(*req);
+    *req = MPI_REQUEST_NULL;
+    return rc;
+}
+
+int Rank::MPI_Waitall(int n, Request* reqs, Status* sts) {
+    const std::int64_t a[] = {n, as_arg(reqs)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Waitall, a);
+    return PMPI_Waitall(n, reqs, sts);
+}
+
+int Rank::PMPI_Waitall(int n, Request* reqs, Status* sts) {
+    const std::int64_t a[] = {n, as_arg(reqs)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Waitall, a);
+    if (n < 0 || (n > 0 && !reqs)) return MPI_ERR_ARG;
+    int rc = MPI_SUCCESS;
+    for (int i = 0; i < n; ++i) {
+        Status* st = sts ? &sts[i] : nullptr;
+        const int r = PMPI_Wait(&reqs[i], st);
+        if (r != MPI_SUCCESS) rc = r;
+    }
+    return rc;
+}
+
+int Rank::MPI_Sendrecv(const void* sbuf, int scount, Datatype sdt, int dest, int stag,
+                       void* rbuf, int rcount, Datatype rdt, int src, int rtag, Comm c,
+                       Status* st) {
+    const std::int64_t a[] = {as_arg(sbuf), scount, static_cast<std::int64_t>(sdt),
+                              dest,         stag,   as_arg(rbuf),
+                              rcount,       static_cast<std::int64_t>(rdt),
+                              src,          rtag,   c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Sendrecv, a);
+    return PMPI_Sendrecv(sbuf, scount, sdt, dest, stag, rbuf, rcount, rdt, src, rtag, c,
+                         st);
+}
+
+int Rank::PMPI_Sendrecv(const void* sbuf, int scount, Datatype sdt, int dest, int stag,
+                        void* rbuf, int rcount, Datatype rdt, int src, int rtag, Comm c,
+                        Status* st) {
+    const std::int64_t a[] = {as_arg(sbuf), scount, static_cast<std::int64_t>(sdt),
+                              dest,         stag,   as_arg(rbuf),
+                              rcount,       static_cast<std::int64_t>(rdt),
+                              src,          rtag,   c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Sendrecv, a);
+    // The send half is buffered so two processes exchanging with
+    // Sendrecv cannot deadlock; the waiting happens in the receive.
+    const int rc = send_body(sbuf, scount, sdt, dest, stag, c, SendMode::ForceEager);
+    if (rc != MPI_SUCCESS) return rc;
+    return recv_body(rbuf, rcount, rdt, src, rtag, c, st);
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+// ---------------------------------------------------------------------------
+
+int Rank::MPI_Barrier(Comm c) {
+    const std::int64_t a[] = {c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Barrier, a);
+    return PMPI_Barrier(c);
+}
+
+int Rank::PMPI_Barrier(Comm c) {
+    const std::int64_t a[] = {c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Barrier, a);
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    if (cd.is_inter) return MPI_ERR_COMM;
+    if (world_.flavor() == Flavor::Lam) {
+        barrier_internal(cd);
+        return MPI_SUCCESS;
+    }
+    // MPICH implements MPI_Barrier as a dissemination exchange built on
+    // PMPI_Sendrecv -- which is why the paper's Performance Consultant
+    // drills from MPI_Barrier down to PMPI_Sendrecv (Fig 9).
+    const int n = static_cast<int>(cd.group.size());
+    if (n <= 1) return MPI_SUCCESS;
+    const int me = my_rank_in(cd);
+    const int seq_tag = next_coll_tag(c);
+    int tok = 0, tok2 = 0;
+    int round = 0;
+    for (int k = 1; k < n; k <<= 1, ++round) {
+        const int to = (me + k) % n;
+        const int from = (me - k % n + n) % n;
+        Status st;
+        const int rc = PMPI_Sendrecv(&tok, 1, MPI_INT, to, seq_tag + round, &tok2, 1,
+                                     MPI_INT, from, seq_tag + round, c, &st);
+        if (rc != MPI_SUCCESS) return rc;
+    }
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Bcast(void* buf, int count, Datatype dt, int root, Comm c) {
+    const std::int64_t a[] = {as_arg(buf), count, static_cast<std::int64_t>(dt), root, c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Bcast, a);
+    return PMPI_Bcast(buf, count, dt, root, c);
+}
+
+int Rank::PMPI_Bcast(void* buf, int count, Datatype dt, int root, Comm c) {
+    const std::int64_t a[] = {as_arg(buf), count, static_cast<std::int64_t>(dt), root, c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Bcast, a);
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    if (cd.is_inter) return MPI_ERR_COMM;
+    if (count < 0) return MPI_ERR_COUNT;
+    if (datatype_size(dt) <= 0) return MPI_ERR_TYPE;
+    const int n = static_cast<int>(cd.group.size());
+    if (root < 0 || root >= n) return MPI_ERR_RANK;
+    const int me = my_rank_in(cd);
+    const int bytes = count * datatype_size(dt);
+    const int tag = next_coll_tag(c);
+    if (me == root) {
+        for (int r = 0; r < n; ++r)
+            if (r != root) internal_send(buf, bytes, r, tag, cd);
+    } else {
+        internal_recv(buf, bytes, root, tag, cd);
+    }
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op,
+                     int root, Comm c) {
+    const std::int64_t a[] = {as_arg(sbuf), as_arg(rbuf),
+                              count,        static_cast<std::int64_t>(dt),
+                              static_cast<std::int64_t>(op), root, c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Reduce, a);
+    return PMPI_Reduce(sbuf, rbuf, count, dt, op, root, c);
+}
+
+int Rank::PMPI_Reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op,
+                      int root, Comm c) {
+    const std::int64_t a[] = {as_arg(sbuf), as_arg(rbuf),
+                              count,        static_cast<std::int64_t>(dt),
+                              static_cast<std::int64_t>(op), root, c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Reduce, a);
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    if (cd.is_inter) return MPI_ERR_COMM;
+    if (count < 0) return MPI_ERR_COUNT;
+    if (datatype_size(dt) <= 0) return MPI_ERR_TYPE;
+    const int n = static_cast<int>(cd.group.size());
+    if (root < 0 || root >= n) return MPI_ERR_RANK;
+    const int me = my_rank_in(cd);
+    const int bytes = count * datatype_size(dt);
+    const int tag = next_coll_tag(c);
+    if (me == root) {
+        if (bytes > 0) std::memcpy(rbuf, sbuf, static_cast<std::size_t>(bytes));
+        std::vector<std::byte> tmp(static_cast<std::size_t>(bytes));
+        for (int r = 0; r < n; ++r) {
+            if (r == root) continue;
+            internal_recv(tmp.data(), bytes, r, tag, cd);
+            reduce_combine(rbuf, tmp.data(), count, dt, op);
+        }
+    } else {
+        internal_send(sbuf, bytes, root, tag, cd);
+    }
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op,
+                        Comm c) {
+    const std::int64_t a[] = {as_arg(sbuf), as_arg(rbuf),
+                              count,        static_cast<std::int64_t>(dt),
+                              static_cast<std::int64_t>(op), c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Allreduce, a);
+    return PMPI_Allreduce(sbuf, rbuf, count, dt, op, c);
+}
+
+int Rank::PMPI_Allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op,
+                         Comm c) {
+    const std::int64_t a[] = {as_arg(sbuf), as_arg(rbuf),
+                              count,        static_cast<std::int64_t>(dt),
+                              static_cast<std::int64_t>(op), c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Allreduce, a);
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    if (cd.is_inter) return MPI_ERR_COMM;
+    if (count < 0) return MPI_ERR_COUNT;
+    if (datatype_size(dt) <= 0) return MPI_ERR_TYPE;
+    const int n = static_cast<int>(cd.group.size());
+    const int me = my_rank_in(cd);
+    const int bytes = count * datatype_size(dt);
+    const int tag = next_coll_tag(c);
+    if (me == 0) {
+        if (bytes > 0) std::memcpy(rbuf, sbuf, static_cast<std::size_t>(bytes));
+        std::vector<std::byte> tmp(static_cast<std::size_t>(bytes));
+        for (int r = 1; r < n; ++r) {
+            internal_recv(tmp.data(), bytes, r, tag, cd);
+            reduce_combine(rbuf, tmp.data(), count, dt, op);
+        }
+        for (int r = 1; r < n; ++r) internal_send(rbuf, bytes, r, tag + 1, cd);
+    } else {
+        internal_send(sbuf, bytes, 0, tag, cd);
+        internal_recv(rbuf, bytes, 0, tag + 1, cd);
+    }
+    return MPI_SUCCESS;
+}
+
+namespace {
+/// Shared validation for the gather/scatter family.
+int check_gs(const CommData& cd, int scount, Datatype sdt, int rcount, Datatype rdt,
+             int root) {
+    if (cd.is_inter) return MPI_ERR_COMM;
+    if (scount < 0 || rcount < 0) return MPI_ERR_COUNT;
+    if (datatype_size(sdt) <= 0 || datatype_size(rdt) <= 0) return MPI_ERR_TYPE;
+    if (root < 0 || static_cast<std::size_t>(root) >= cd.group.size())
+        return MPI_ERR_RANK;
+    // Matching signatures (we require equal byte counts per block).
+    if (static_cast<std::int64_t>(scount) * datatype_size(sdt) !=
+        static_cast<std::int64_t>(rcount) * datatype_size(rdt))
+        return MPI_ERR_ARG;
+    return MPI_SUCCESS;
+}
+}  // namespace
+
+int Rank::MPI_Gather(const void* sbuf, int scount, Datatype sdt, void* rbuf, int rcount,
+                     Datatype rdt, int root, Comm c) {
+    const std::int64_t a[] = {as_arg(sbuf), scount, static_cast<std::int64_t>(sdt),
+                              as_arg(rbuf), rcount, static_cast<std::int64_t>(rdt),
+                              root,         c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Gather, a);
+    instr::FunctionGuard pg(world_.registry(), world_.fids().PMPI_Gather, a);
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    if (const int rc = check_gs(cd, scount, sdt, rcount, rdt, root); rc != MPI_SUCCESS)
+        return rc;
+    const int me = my_rank_in(cd);
+    const int n = static_cast<int>(cd.group.size());
+    const int block = scount * datatype_size(sdt);
+    const int tag = next_coll_tag(c);
+    if (me == root) {
+        auto* out = static_cast<std::byte*>(rbuf);
+        std::memcpy(out + static_cast<std::ptrdiff_t>(root) * block, sbuf,
+                    static_cast<std::size_t>(block));
+        for (int r = 0; r < n; ++r) {
+            if (r == root) continue;
+            internal_recv(out + static_cast<std::ptrdiff_t>(r) * block, block, r, tag,
+                          cd);
+        }
+    } else {
+        internal_send(sbuf, block, root, tag, cd);
+    }
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+                      int rcount, Datatype rdt, int root, Comm c) {
+    const std::int64_t a[] = {as_arg(sbuf), scount, static_cast<std::int64_t>(sdt),
+                              as_arg(rbuf), rcount, static_cast<std::int64_t>(rdt),
+                              root,         c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Scatter, a);
+    instr::FunctionGuard pg(world_.registry(), world_.fids().PMPI_Scatter, a);
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    if (const int rc = check_gs(cd, scount, sdt, rcount, rdt, root); rc != MPI_SUCCESS)
+        return rc;
+    const int me = my_rank_in(cd);
+    const int n = static_cast<int>(cd.group.size());
+    const int block = rcount * datatype_size(rdt);
+    const int tag = next_coll_tag(c);
+    if (me == root) {
+        const auto* in = static_cast<const std::byte*>(sbuf);
+        std::memcpy(rbuf, in + static_cast<std::ptrdiff_t>(root) * block,
+                    static_cast<std::size_t>(block));
+        for (int r = 0; r < n; ++r) {
+            if (r == root) continue;
+            internal_send(in + static_cast<std::ptrdiff_t>(r) * block, block, r, tag,
+                          cd);
+        }
+    } else {
+        internal_recv(rbuf, block, root, tag, cd);
+    }
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+                        int rcount, Datatype rdt, Comm c) {
+    const std::int64_t a[] = {as_arg(sbuf), scount, static_cast<std::int64_t>(sdt),
+                              as_arg(rbuf), rcount, static_cast<std::int64_t>(rdt), c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Allgather, a);
+    instr::FunctionGuard pg(world_.registry(), world_.fids().PMPI_Allgather, a);
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    if (const int rc = check_gs(cd, scount, sdt, rcount, rdt, 0); rc != MPI_SUCCESS)
+        return rc;
+    const int me = my_rank_in(cd);
+    const int n = static_cast<int>(cd.group.size());
+    const int block = rcount * datatype_size(rdt);
+    const int tag = next_coll_tag(c);
+    // Gather-to-0 then broadcast of the assembled vector.
+    auto* out = static_cast<std::byte*>(rbuf);
+    if (me == 0) {
+        std::memcpy(out, sbuf, static_cast<std::size_t>(block));
+        for (int r = 1; r < n; ++r)
+            internal_recv(out + static_cast<std::ptrdiff_t>(r) * block, block, r, tag,
+                          cd);
+        for (int r = 1; r < n; ++r) internal_send(out, n * block, r, tag + 1, cd);
+    } else {
+        internal_send(sbuf, block, 0, tag, cd);
+        internal_recv(out, n * block, 0, tag + 1, cd);
+    }
+    return MPI_SUCCESS;
+}
+
+}  // namespace m2p::simmpi

@@ -1,0 +1,448 @@
+// MPI-I/O: parallel file access against the simulated filesystem.
+//
+// The paper's section 3 singles MPI-I/O out as a feature performance
+// tools must support ("the interface is extensive, allowing the
+// programmer to find the best combination of file operations...
+// These flexibilities increase the chances that a less than optimal
+// combination could be chosen"); the conclusion lists it as the
+// remaining MPI-2 support under construction.  This implementation
+// provides individual and collective reads/writes, explicit offsets,
+// seeks, and open-mode semantics, charging a simulated latency +
+// bandwidth cost so file time is observable by the tool's metrics.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "simmpi/rank.hpp"
+
+namespace m2p::simmpi {
+
+namespace {
+std::int64_t as_arg(const void* p) {
+    return static_cast<std::int64_t>(reinterpret_cast<std::uintptr_t>(p));
+}
+}  // namespace
+
+void Rank::file_io_cost(std::int64_t bytes) {
+    const World::Config& cfg = world_.config();
+    const double seconds =
+        cfg.file_latency_seconds +
+        static_cast<double>(bytes) / cfg.file_bandwidth_bytes_per_second;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+// ---------------------------------------------------------------------------
+// Open / close / delete
+// ---------------------------------------------------------------------------
+
+int Rank::MPI_File_open(Comm c, const std::string& filename, int amode, Info info,
+                        File* fh) {
+    std::int64_t a[] = {c, 0, amode, info, 0};
+    const std::string_view s[] = {filename};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_File_open, a, s);
+    const int rc = PMPI_File_open(c, filename, amode, info, fh);
+    if (rc == MPI_SUCCESS && fh) a[4] = *fh;
+    return rc;
+}
+
+int Rank::PMPI_File_open(Comm c, const std::string& filename, int amode, Info info,
+                         File* fh) {
+    std::int64_t a[] = {c, 0, amode, info, 0};
+    const std::string_view s[] = {filename};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_File_open, a, s);
+    if (!fh) return MPI_ERR_ARG;
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    if (cd.is_inter) return MPI_ERR_COMM;
+    // Access-mode validation per the standard: exactly one of
+    // RDONLY/RDWR/WRONLY; EXCL only with CREATE.
+    const int rw = (amode & MPI_MODE_RDONLY ? 1 : 0) + (amode & MPI_MODE_RDWR ? 1 : 0) +
+                   (amode & MPI_MODE_WRONLY ? 1 : 0);
+    if (rw != 1) return MPI_ERR_AMODE;
+    if ((amode & MPI_MODE_EXCL) && !(amode & MPI_MODE_CREATE)) return MPI_ERR_AMODE;
+    if ((amode & MPI_MODE_RDONLY) && (amode & (MPI_MODE_CREATE | MPI_MODE_APPEND)))
+        return MPI_ERR_AMODE;
+
+    // Collective: everyone arrives, rank 0 resolves the file, everyone
+    // picks up the shared handle (late openers show up as I/O wait).
+    barrier_internal(cd);
+    if (my_rank_in(cd) == 0) {
+        cd.win_result = MPI_WIN_NULL;  // reuse the slot for the file handle
+        const bool exists = world_.fs_exists(filename);
+        if (!exists && !(amode & MPI_MODE_CREATE)) {
+            cd.win_result = -2;  // signal: no such file
+        } else if (exists && (amode & MPI_MODE_EXCL)) {
+            cd.win_result = -3;  // signal: exists but EXCL
+        } else {
+            std::shared_ptr<StoredFile> store = world_.fs_lookup(filename, true);
+            cd.win_result = world_.create_file(
+                filename, std::move(store), c, amode,
+                (amode & MPI_MODE_DELETE_ON_CLOSE) != 0);
+        }
+    }
+    barrier_internal(cd);
+    const std::int64_t result = cd.win_result;
+    barrier_internal(cd);
+    if (result == -2) return MPI_ERR_NO_SUCH_FILE;
+    if (result == -3) return MPI_ERR_FILE_EXISTS;
+    *fh = static_cast<File>(result);
+    a[4] = *fh;
+    file_io_cost(0);  // open latency
+    // APPEND: individual pointers start at end of file.
+    FileData& fd = world_.file(*fh);
+    if (info != MPI_INFO_NULL) {
+        std::lock_guard plk(fd.mu);
+        fd.info = info;  // hints recorded (access_style etc.)
+    }
+    if (amode & MPI_MODE_APPEND) {
+        std::lock_guard flk(fd.store->mu);
+        std::lock_guard plk(fd.mu);
+        fd.individual_ptr[global_] = static_cast<std::int64_t>(fd.store->data.size());
+    }
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_File_close(File* fh) {
+    const std::int64_t a[] = {fh ? *fh : MPI_FILE_NULL};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_File_close, a);
+    return PMPI_File_close(fh);
+}
+
+int Rank::PMPI_File_close(File* fh) {
+    const std::int64_t a[] = {fh ? *fh : MPI_FILE_NULL};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_File_close, a);
+    if (!fh) return MPI_ERR_ARG;
+    if (!world_.file_valid(*fh)) return MPI_ERR_FILE;
+    FileData& fd = world_.file(*fh);
+    CommData& cd = world_.comm(fd.comm);
+    barrier_internal(cd);
+    if (my_rank_in(cd) == 0) {
+        fd.closed = true;
+        if (fd.delete_on_close) world_.fs_delete(fd.filename);
+    }
+    barrier_internal(cd);
+    *fh = MPI_FILE_NULL;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_File_delete(const std::string& filename, Info info) {
+    const std::int64_t a[] = {0, info};
+    const std::string_view s[] = {filename};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_File_delete, a, s);
+    return PMPI_File_delete(filename, info);
+}
+
+int Rank::PMPI_File_delete(const std::string& filename, Info info) {
+    const std::int64_t a[] = {0, info};
+    const std::string_view s[] = {filename};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_File_delete, a, s);
+    return world_.fs_delete(filename) ? MPI_SUCCESS : MPI_ERR_NO_SUCH_FILE;
+}
+
+// ---------------------------------------------------------------------------
+// Data transfer
+// ---------------------------------------------------------------------------
+
+int Rank::file_transfer(File fh, std::int64_t at_offset, void* rbuf, const void* wbuf,
+                        int count, Datatype dt, Status* st, bool collective) {
+    if (!world_.file_valid(fh)) return MPI_ERR_FILE;
+    if (count < 0) return MPI_ERR_COUNT;
+    if (datatype_size(dt) <= 0) return MPI_ERR_TYPE;
+    FileData& fd = world_.file(fh);
+    const bool is_write = wbuf != nullptr;
+    if (is_write && (fd.amode & MPI_MODE_RDONLY)) return MPI_ERR_READ_ONLY;
+    if (!is_write && (fd.amode & MPI_MODE_WRONLY)) return MPI_ERR_ACCESS;
+
+    // Collective access synchronizes the communicator before and
+    // after the transfer, so stragglers produce measurable I/O wait.
+    if (collective) barrier_internal(world_.comm(fd.comm));
+
+    const std::int64_t bytes =
+        static_cast<std::int64_t>(count) * datatype_size(dt);
+    // The file view (MPI_File_set_view) expresses offsets in etypes
+    // from a byte displacement; the default view is bytes from 0.
+    std::int64_t esize = 1, disp = 0;
+    std::int64_t offset_units = at_offset;
+    {
+        std::lock_guard plk(fd.mu);
+        esize = datatype_size(fd.view_etype);
+        disp = fd.view_disp;
+        if (offset_units < 0) offset_units = fd.individual_ptr[global_];
+    }
+    if (bytes % esize != 0) return MPI_ERR_TYPE;  // whole etypes only
+    const std::int64_t byte_off = disp + offset_units * esize;
+    std::int64_t moved = 0;
+    {
+        std::lock_guard flk(fd.store->mu);
+        if (is_write) {
+            if (fd.store->data.size() <
+                static_cast<std::size_t>(byte_off + bytes))
+                fd.store->data.resize(static_cast<std::size_t>(byte_off + bytes));
+            std::memcpy(fd.store->data.data() + byte_off, wbuf,
+                        static_cast<std::size_t>(bytes));
+            moved = bytes;
+        } else {
+            const auto available = static_cast<std::int64_t>(fd.store->data.size());
+            moved = std::clamp<std::int64_t>(available - byte_off, 0, bytes);
+            moved -= moved % esize;  // reads deliver whole etypes
+            if (moved > 0)
+                std::memcpy(rbuf, fd.store->data.data() + byte_off,
+                            static_cast<std::size_t>(moved));
+        }
+    }
+    file_io_cost(moved);
+    if (at_offset < 0) {
+        std::lock_guard plk(fd.mu);
+        fd.individual_ptr[global_] = offset_units + moved / esize;
+    }
+    if (st) {
+        st->MPI_SOURCE = MPI_PROC_NULL;
+        st->MPI_TAG = MPI_ANY_TAG;
+        st->MPI_ERROR = MPI_SUCCESS;
+        st->count_bytes = static_cast<int>(moved);
+    }
+    if (collective) barrier_internal(world_.comm(fd.comm));
+    return MPI_SUCCESS;
+}
+
+// Argument layouts for instrumentation ($arg positions):
+//   read/write/read_all/write_all: [fh, buf, count, dt, status]
+//   read_at/write_at:              [fh, offset, buf, count, dt, status]
+
+// Packs the common [fh, buf, count, dt, status] argument layout and
+// the instrumentation guard around one read/write body.
+#define M2P_FILE_RW(CALL, FID)                                                \
+    {                                                                         \
+        const std::int64_t a[] = {fh, as_arg(buf), count,                     \
+                                  static_cast<std::int64_t>(dt), as_arg(st)}; \
+        instr::FunctionGuard g(world_.registry(), world_.fids().FID, a);      \
+        return CALL;                                                          \
+    }
+
+int Rank::MPI_File_read(File fh, void* buf, int count, Datatype dt, Status* st) {
+    M2P_FILE_RW(PMPI_File_read(fh, buf, count, dt, st), MPI_File_read)
+}
+int Rank::PMPI_File_read(File fh, void* buf, int count, Datatype dt, Status* st) {
+    M2P_FILE_RW(file_transfer(fh, -1, buf, nullptr, count, dt, st, false), PMPI_File_read)
+}
+int Rank::MPI_File_write(File fh, const void* buf, int count, Datatype dt, Status* st) {
+    M2P_FILE_RW(PMPI_File_write(fh, buf, count, dt, st), MPI_File_write)
+}
+int Rank::PMPI_File_write(File fh, const void* buf, int count, Datatype dt,
+                          Status* st) {
+    M2P_FILE_RW(file_transfer(fh, -1, nullptr, buf, count, dt, st, false), PMPI_File_write)
+}
+int Rank::MPI_File_read_all(File fh, void* buf, int count, Datatype dt, Status* st) {
+    M2P_FILE_RW(PMPI_File_read_all(fh, buf, count, dt, st), MPI_File_read_all)
+}
+int Rank::PMPI_File_read_all(File fh, void* buf, int count, Datatype dt, Status* st) {
+    M2P_FILE_RW(file_transfer(fh, -1, buf, nullptr, count, dt, st, true), PMPI_File_read_all)
+}
+int Rank::MPI_File_write_all(File fh, const void* buf, int count, Datatype dt,
+                             Status* st) {
+    M2P_FILE_RW(PMPI_File_write_all(fh, buf, count, dt, st), MPI_File_write_all)
+}
+int Rank::PMPI_File_write_all(File fh, const void* buf, int count, Datatype dt,
+                              Status* st) {
+    M2P_FILE_RW(file_transfer(fh, -1, nullptr, buf, count, dt, st, true), PMPI_File_write_all)
+}
+
+#undef M2P_FILE_RW
+
+int Rank::MPI_File_read_at(File fh, std::int64_t offset, void* buf, int count,
+                           Datatype dt, Status* st) {
+    const std::int64_t a[] = {fh,    offset, as_arg(buf), count,
+                              static_cast<std::int64_t>(dt), as_arg(st)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_File_read_at, a);
+    return PMPI_File_read_at(fh, offset, buf, count, dt, st);
+}
+int Rank::PMPI_File_read_at(File fh, std::int64_t offset, void* buf, int count,
+                            Datatype dt, Status* st) {
+    const std::int64_t a[] = {fh,    offset, as_arg(buf), count,
+                              static_cast<std::int64_t>(dt), as_arg(st)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_File_read_at, a);
+    if (offset < 0) return MPI_ERR_ARG;
+    return file_transfer(fh, offset, buf, nullptr, count, dt, st, false);
+}
+int Rank::MPI_File_write_at(File fh, std::int64_t offset, const void* buf, int count,
+                            Datatype dt, Status* st) {
+    const std::int64_t a[] = {fh,    offset, as_arg(buf), count,
+                              static_cast<std::int64_t>(dt), as_arg(st)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_File_write_at, a);
+    return PMPI_File_write_at(fh, offset, buf, count, dt, st);
+}
+int Rank::PMPI_File_write_at(File fh, std::int64_t offset, const void* buf, int count,
+                             Datatype dt, Status* st) {
+    const std::int64_t a[] = {fh,    offset, as_arg(buf), count,
+                              static_cast<std::int64_t>(dt), as_arg(st)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_File_write_at, a);
+    if (offset < 0) return MPI_ERR_ARG;
+    return file_transfer(fh, offset, nullptr, buf, count, dt, st, false);
+}
+
+int Rank::MPI_File_read_shared(File fh, void* buf, int count, Datatype dt, Status* st) {
+    const std::int64_t a[] = {fh, as_arg(buf), count, static_cast<std::int64_t>(dt),
+                              as_arg(st)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_File_read_shared, a);
+    instr::FunctionGuard pg(world_.registry(), world_.fids().PMPI_File_read_shared, a);
+    if (!world_.file_valid(fh)) return MPI_ERR_FILE;
+    if (count < 0) return MPI_ERR_COUNT;
+    if (datatype_size(dt) <= 0) return MPI_ERR_TYPE;
+    FileData& fd = world_.file(fh);
+    std::int64_t offset = 0, esize = 1;
+    const std::int64_t bytes = static_cast<std::int64_t>(count) * datatype_size(dt);
+    {
+        // Reserve a region at the shared pointer atomically.
+        std::lock_guard plk(fd.mu);
+        esize = datatype_size(fd.view_etype);
+        if (bytes % esize != 0) return MPI_ERR_TYPE;
+        offset = fd.shared_ptr_;
+        fd.shared_ptr_ += bytes / esize;
+    }
+    const int rc = file_transfer(fh, offset, buf, nullptr, count, dt, st, false);
+    if (rc == MPI_SUCCESS && st && st->count_bytes < bytes) {
+        // Short read at EOF: give back the unread reservation.
+        std::lock_guard plk(fd.mu);
+        fd.shared_ptr_ -= (bytes - st->count_bytes) / esize;
+    }
+    return rc;
+}
+
+int Rank::MPI_File_write_shared(File fh, const void* buf, int count, Datatype dt,
+                                Status* st) {
+    const std::int64_t a[] = {fh, as_arg(buf), count, static_cast<std::int64_t>(dt),
+                              as_arg(st)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_File_write_shared, a);
+    instr::FunctionGuard pg(world_.registry(), world_.fids().PMPI_File_write_shared, a);
+    if (!world_.file_valid(fh)) return MPI_ERR_FILE;
+    if (count < 0) return MPI_ERR_COUNT;
+    if (datatype_size(dt) <= 0) return MPI_ERR_TYPE;
+    FileData& fd = world_.file(fh);
+    std::int64_t offset = 0;
+    {
+        std::lock_guard plk(fd.mu);
+        const std::int64_t esize = datatype_size(fd.view_etype);
+        const std::int64_t bytes =
+            static_cast<std::int64_t>(count) * datatype_size(dt);
+        if (bytes % esize != 0) return MPI_ERR_TYPE;
+        offset = fd.shared_ptr_;
+        fd.shared_ptr_ += bytes / esize;
+    }
+    return file_transfer(fh, offset, nullptr, buf, count, dt, st, false);
+}
+
+// ---------------------------------------------------------------------------
+// Pointers and metadata
+// ---------------------------------------------------------------------------
+
+int Rank::MPI_File_seek(File fh, std::int64_t offset, int whence) {
+    const std::int64_t a[] = {fh, offset, whence};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_File_seek, a);
+    return PMPI_File_seek(fh, offset, whence);
+}
+
+int Rank::PMPI_File_seek(File fh, std::int64_t offset, int whence) {
+    const std::int64_t a[] = {fh, offset, whence};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_File_seek, a);
+    if (!world_.file_valid(fh)) return MPI_ERR_FILE;
+    FileData& fd = world_.file(fh);
+    std::int64_t base = 0;
+    switch (whence) {
+        case MPI_SEEK_SET: base = 0; break;
+        case MPI_SEEK_CUR: {
+            std::lock_guard plk(fd.mu);
+            base = fd.individual_ptr[global_];
+            break;
+        }
+        case MPI_SEEK_END: {
+            std::lock_guard flk(fd.store->mu);
+            std::lock_guard plk(fd.mu);
+            base = (static_cast<std::int64_t>(fd.store->data.size()) - fd.view_disp) /
+                   datatype_size(fd.view_etype);
+            break;
+        }
+        default: return MPI_ERR_ARG;
+    }
+    if (base + offset < 0) return MPI_ERR_ARG;
+    std::lock_guard plk(fd.mu);
+    fd.individual_ptr[global_] = base + offset;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_File_get_position(File fh, std::int64_t* offset) {
+    if (!offset) return MPI_ERR_ARG;
+    if (!world_.file_valid(fh)) return MPI_ERR_FILE;
+    FileData& fd = world_.file(fh);
+    std::lock_guard plk(fd.mu);
+    *offset = fd.individual_ptr[global_];
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_File_get_size(File fh, std::int64_t* size) {
+    if (!size) return MPI_ERR_ARG;
+    if (!world_.file_valid(fh)) return MPI_ERR_FILE;
+    FileData& fd = world_.file(fh);
+    std::lock_guard flk(fd.store->mu);
+    *size = static_cast<std::int64_t>(fd.store->data.size());
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_File_sync(File fh) {
+    const std::int64_t a[] = {fh};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_File_sync, a);
+    return PMPI_File_sync(fh);
+}
+
+int Rank::MPI_File_set_view(File fh, std::int64_t disp, Datatype etype, Info info) {
+    if (!world_.file_valid(fh)) return MPI_ERR_FILE;
+    if (disp < 0) return MPI_ERR_ARG;
+    if (datatype_size(etype) <= 0) return MPI_ERR_TYPE;
+    FileData& fd = world_.file(fh);
+    // Collective; resets all file pointers, per the standard.
+    barrier_internal(world_.comm(fd.comm));
+    {
+        std::lock_guard plk(fd.mu);
+        fd.view_disp = disp;
+        fd.view_etype = etype;
+        fd.individual_ptr.clear();
+        fd.shared_ptr_ = 0;
+        if (info != MPI_INFO_NULL) fd.info = info;
+    }
+    barrier_internal(world_.comm(fd.comm));
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_File_get_view(File fh, std::int64_t* disp, Datatype* etype) {
+    if (!disp || !etype) return MPI_ERR_ARG;
+    if (!world_.file_valid(fh)) return MPI_ERR_FILE;
+    FileData& fd = world_.file(fh);
+    std::lock_guard plk(fd.mu);
+    *disp = fd.view_disp;
+    *etype = fd.view_etype;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_File_get_info(File fh, Info* info_out) {
+    if (!info_out) return MPI_ERR_ARG;
+    if (!world_.file_valid(fh)) return MPI_ERR_FILE;
+    FileData& fd = world_.file(fh);
+    const Info fresh = world_.create_info();
+    {
+        std::lock_guard plk(fd.mu);
+        if (fd.info != MPI_INFO_NULL && world_.info_valid(fd.info))
+            world_.info(fresh).kv = world_.info(fd.info).kv;
+    }
+    *info_out = fresh;
+    return MPI_SUCCESS;
+}
+
+int Rank::PMPI_File_sync(File fh) {
+    const std::int64_t a[] = {fh};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_File_sync, a);
+    if (!world_.file_valid(fh)) return MPI_ERR_FILE;
+    file_io_cost(0);  // flush latency
+    return MPI_SUCCESS;
+}
+
+}  // namespace m2p::simmpi

@@ -1,0 +1,742 @@
+// MPI-2 features of simmpi: one-sided communication, dynamic process
+// creation, and object naming -- the features the paper adds tool
+// support for.
+#include <algorithm>
+#include <cstring>
+
+#include "simmpi/rank.hpp"
+
+namespace m2p::simmpi {
+
+namespace {
+
+bool contains(const std::vector<int>& v, int x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+std::int64_t as_arg(const void* p) {
+    return static_cast<std::int64_t>(reinterpret_cast<std::uintptr_t>(p));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Window lifetime
+// ---------------------------------------------------------------------------
+
+int Rank::MPI_Win_create(void* base, std::int64_t size, int disp_unit, Info info,
+                         Comm c, Win* win) {
+    // args[5] is filled with the new window handle before the return
+    // point fires, so the tool's window-discovery snippet (inserted at
+    // the function return, paper section 4.2.1) can read it.
+    std::int64_t a[] = {as_arg(base), size, disp_unit, info, c, 0};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_create, a);
+    const int rc = PMPI_Win_create(base, size, disp_unit, info, c, win);
+    if (rc == MPI_SUCCESS) a[5] = *win;
+    return rc;
+}
+
+int Rank::PMPI_Win_create(void* base, std::int64_t size, int disp_unit, Info info,
+                          Comm c, Win* win) {
+    std::int64_t a[] = {as_arg(base), size, disp_unit, info, c, 0};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Win_create, a);
+    if (!win) return MPI_ERR_ARG;
+    if (size < 0 || disp_unit <= 0) return MPI_ERR_ARG;
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(c);
+    if (cd.is_inter) return MPI_ERR_COMM;
+    const int me = my_rank_in(cd);
+
+    // Window creation is collective; the barriers below are where the
+    // synchronization overhead of a late-arriving process shows up
+    // (paper Fig 1, top left).
+    barrier_internal(cd);
+    if (me == 0) {
+        cd.win_result = world_.create_win(c);
+        if (world_.flavor() == Flavor::Lam) {
+            // LAM's MPI_Win structure contains a communicator created
+            // with the window; window names are stored there, which is
+            // why named windows also appear under /SyncObject/Message
+            // in the paper's Fig 23.
+            world_.win(cd.win_result).shadow_comm = world_.create_comm(cd.group);
+        }
+    }
+    barrier_internal(cd);
+    const Win h = cd.win_result;
+    {
+        WinData& w = world_.win(h);
+        std::lock_guard lk(w.mu);
+        w.members[global_] = WinMember{static_cast<std::byte*>(base), size, disp_unit};
+    }
+    barrier_internal(cd);
+    *win = h;
+    a[5] = h;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Win_free(Win* win) {
+    const std::int64_t a[] = {win ? *win : MPI_WIN_NULL};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_free, a);
+    return PMPI_Win_free(win);
+}
+
+int Rank::PMPI_Win_free(Win* win) {
+    const std::int64_t a[] = {win ? *win : MPI_WIN_NULL};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Win_free, a);
+    if (!win) return MPI_ERR_ARG;
+    if (!world_.win_valid(*win)) return MPI_ERR_WIN;
+    WinData& w = world_.win(*win);
+    CommData& cd = world_.comm(w.comm);
+    // The MPI-2 standard requires barrier semantics here (paper
+    // section 4.2.1: MPI_Win_free belongs in the general RMA
+    // synchronization metric for exactly this reason).
+    barrier_internal(cd);
+    if (my_rank_in(cd) == 0) {
+        std::lock_guard lk(w.mu);
+        w.freed = true;
+        world_.release_win_impl_id(w.impl_id);
+    }
+    barrier_internal(cd);
+    *win = MPI_WIN_NULL;
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Active-target synchronization
+// ---------------------------------------------------------------------------
+
+int Rank::MPI_Win_fence(int assert, Win win) {
+    const std::int64_t a[] = {assert, win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_fence, a);
+    return PMPI_Win_fence(assert, win);
+}
+
+int Rank::PMPI_Win_fence(int assert, Win win) {
+    const std::int64_t a[] = {assert, win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Win_fence, a);
+    if (!world_.win_valid(win)) return MPI_ERR_WIN;
+    WinData& w = world_.win(win);
+    CommData& cd = world_.comm(w.comm);
+    const int n = static_cast<int>(cd.group.size());
+    if (n <= 1) return MPI_SUCCESS;
+
+    if (world_.flavor() == Flavor::Lam) {
+        // LAM implements MPI_Win_fence with nonblocking message
+        // passing plus MPI_Barrier: the paper observes both the
+        // Message (Fig 24) and Barrier (Fig 22) sync objects showing
+        // up under a fence bottleneck with LAM.
+        const int me = my_rank_in(cd);
+        const int tag = next_coll_tag(w.comm);
+        int tok = 0, tok2 = 0;
+        Request rq = MPI_REQUEST_NULL;
+        Status st;
+        int rc = PMPI_Isend(&tok, 1, MPI_INT, (me + 1) % n, tag, w.comm, &rq);
+        if (rc != MPI_SUCCESS) return rc;
+        rc = PMPI_Recv(&tok2, 1, MPI_INT, (me - 1 + n) % n, tag, w.comm, &st);
+        if (rc != MPI_SUCCESS) return rc;
+        rc = PMPI_Waitall(1, &rq, &st);
+        if (rc != MPI_SUCCESS) return rc;
+        return PMPI_Barrier(w.comm);
+    }
+    // MPICH2: internal fence counter; the waiting time is charged to
+    // MPI_Win_fence itself.
+    std::unique_lock lk(w.mu);
+    const std::uint64_t gen = w.fence_gen;
+    if (++w.fence_count == n) {
+        w.fence_count = 0;
+        ++w.fence_gen;
+        w.fence_cv.notify_all();
+    } else {
+        w.fence_cv.wait(lk, [&] { return w.fence_gen != gen; });
+    }
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Win_start(Group grp, int assert, Win win) {
+    const std::int64_t a[] = {grp, assert, win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_start, a);
+    return PMPI_Win_start(grp, assert, win);
+}
+
+int Rank::PMPI_Win_start(Group grp, int assert, Win win) {
+    const std::int64_t a[] = {grp, assert, win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Win_start, a);
+    if (!world_.win_valid(win)) return MPI_ERR_WIN;
+    if (!world_.group_valid(grp)) return MPI_ERR_GROUP;
+    if (start_epochs_.count(win)) return MPI_ERR_WIN;  // already in an access epoch
+    const std::vector<int> targets = world_.group(grp).global_ranks;
+    start_epochs_[win] = targets;
+    if (world_.flavor() == Flavor::Mpich) return MPI_SUCCESS;  // defers to complete
+
+    // LAM blocks in MPI_Win_start until the matching MPI_Win_post has
+    // executed on every target -- one of the two placements the MPI-2
+    // standard allows, and the source of the per-implementation
+    // differences in the paper's winscpwsync findings (Fig 21).
+    WinData& w = world_.win(win);
+    std::unique_lock lk(w.mu);
+    for (int t : targets) {
+        Exposure& e = w.exposures[t];
+        e.cv.wait(lk, [&] {
+            return e.exposed && contains(e.group, global_) && !contains(e.started, global_);
+        });
+        e.started.push_back(global_);
+    }
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Win_complete(Win win) {
+    const std::int64_t a[] = {win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_complete, a);
+    return PMPI_Win_complete(win);
+}
+
+int Rank::PMPI_Win_complete(Win win) {
+    const std::int64_t a[] = {win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Win_complete, a);
+    if (!world_.win_valid(win)) return MPI_ERR_WIN;
+    const auto it = start_epochs_.find(win);
+    if (it == start_epochs_.end()) return MPI_ERR_WIN;
+    const std::vector<int> targets = it->second;
+    start_epochs_.erase(it);
+
+    WinData& w = world_.win(win);
+    std::unique_lock lk(w.mu);
+    for (int t : targets) {
+        Exposure& e = w.exposures[t];
+        if (world_.flavor() == Flavor::Mpich) {
+            // MPICH2 deferred the post-wait to here; flush queued
+            // transfers once the target's exposure epoch is open.
+            e.cv.wait(lk, [&] {
+                return e.exposed && contains(e.group, global_) &&
+                       !contains(e.started, global_);
+            });
+            e.started.push_back(global_);
+            auto& ops = w.deferred[global_];
+            for (auto op_it = ops.begin(); op_it != ops.end();) {
+                if (op_it->target_global == t) {
+                    WinMember& m = w.members.at(op_it->target_global);
+                    std::byte* at = m.base + op_it->target_disp * m.disp_unit;
+                    switch (op_it->kind) {
+                        case PendingRmaOp::Kind::Put:
+                            std::memcpy(at, op_it->payload.data(), op_it->payload.size());
+                            break;
+                        case PendingRmaOp::Kind::Get:
+                            std::memcpy(op_it->origin_addr, at,
+                                        static_cast<std::size_t>(op_it->nbytes));
+                            break;
+                        case PendingRmaOp::Kind::Accumulate:
+                            reduce_combine(at, op_it->payload.data(),
+                                           static_cast<int>(op_it->nbytes /
+                                                            datatype_size(op_it->dt)),
+                                           op_it->dt, op_it->op);
+                            break;
+                    }
+                    op_it = ops.erase(op_it);
+                } else {
+                    ++op_it;
+                }
+            }
+        }
+        ++e.completes;
+        e.cv.notify_all();
+    }
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Win_post(Group grp, int assert, Win win) {
+    const std::int64_t a[] = {grp, assert, win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_post, a);
+    return PMPI_Win_post(grp, assert, win);
+}
+
+int Rank::PMPI_Win_post(Group grp, int assert, Win win) {
+    const std::int64_t a[] = {grp, assert, win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Win_post, a);
+    if (!world_.win_valid(win)) return MPI_ERR_WIN;
+    if (!world_.group_valid(grp)) return MPI_ERR_GROUP;
+    WinData& w = world_.win(win);
+    std::lock_guard lk(w.mu);
+    Exposure& e = w.exposures[global_];
+    if (e.exposed) return MPI_ERR_WIN;  // exposure epoch already open
+    ++e.gen;
+    e.exposed = true;
+    e.group = world_.group(grp).global_ranks;
+    e.started.clear();
+    e.completes = 0;
+    e.cv.notify_all();
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Win_wait(Win win) {
+    const std::int64_t a[] = {win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_wait, a);
+    return PMPI_Win_wait(win);
+}
+
+int Rank::PMPI_Win_wait(Win win) {
+    const std::int64_t a[] = {win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Win_wait, a);
+    if (!world_.win_valid(win)) return MPI_ERR_WIN;
+    WinData& w = world_.win(win);
+    std::unique_lock lk(w.mu);
+    Exposure& e = w.exposures[global_];
+    if (!e.exposed) return MPI_ERR_WIN;  // no matching MPI_Win_post
+    // Blocks until all origins in the post group have completed --
+    // "MPI_Win_wait will block until all outstanding MPI_Win_complete
+    // calls have been issued" (paper section 4.2.1).
+    e.cv.wait(lk, [&] { return e.completes >= static_cast<int>(e.group.size()); });
+    e.exposed = false;
+    e.started.clear();
+    e.completes = 0;
+    e.cv.notify_all();
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Passive-target synchronization
+// ---------------------------------------------------------------------------
+
+int Rank::MPI_Win_lock(int lock_type, int rank, int assert, Win win) {
+    const std::int64_t a[] = {lock_type, rank, assert, win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_lock, a);
+    return PMPI_Win_lock(lock_type, rank, assert, win);
+}
+
+int Rank::PMPI_Win_lock(int lock_type, int rank, int assert, Win win) {
+    const std::int64_t a[] = {lock_type, rank, assert, win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Win_lock, a);
+    if (lock_type != MPI_LOCK_EXCLUSIVE && lock_type != MPI_LOCK_SHARED)
+        return MPI_ERR_LOCKTYPE;
+    if (!world_.win_valid(win)) return MPI_ERR_WIN;
+    WinData& w = world_.win(win);
+    CommData& cd = world_.comm(w.comm);
+    if (rank < 0 || static_cast<std::size_t>(rank) >= cd.group.size())
+        return MPI_ERR_RANK;
+    const int target = cd.group[static_cast<std::size_t>(rank)];
+    std::unique_lock lk(w.mu);
+    PassiveLock& pl = w.locks[target];
+    if (lock_type == MPI_LOCK_EXCLUSIVE) {
+        pl.cv.wait(lk, [&] { return !pl.exclusive && pl.shared_holders == 0; });
+        pl.exclusive = true;
+    } else {
+        pl.cv.wait(lk, [&] { return !pl.exclusive; });
+        ++pl.shared_holders;
+    }
+    held_locks_[win].push_back(target);
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Win_unlock(int rank, Win win) {
+    const std::int64_t a[] = {rank, win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_unlock, a);
+    return PMPI_Win_unlock(rank, win);
+}
+
+int Rank::PMPI_Win_unlock(int rank, Win win) {
+    const std::int64_t a[] = {rank, win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Win_unlock, a);
+    if (!world_.win_valid(win)) return MPI_ERR_WIN;
+    WinData& w = world_.win(win);
+    CommData& cd = world_.comm(w.comm);
+    if (rank < 0 || static_cast<std::size_t>(rank) >= cd.group.size())
+        return MPI_ERR_RANK;
+    const int target = cd.group[static_cast<std::size_t>(rank)];
+    auto held = held_locks_.find(win);
+    if (held == held_locks_.end()) return MPI_ERR_WIN;
+    auto ht = std::find(held->second.begin(), held->second.end(), target);
+    if (ht == held->second.end()) return MPI_ERR_WIN;  // unlock without lock
+    held->second.erase(ht);
+    std::lock_guard lk(w.mu);
+    PassiveLock& pl = w.locks[target];
+    if (pl.exclusive)
+        pl.exclusive = false;
+    else if (pl.shared_holders > 0)
+        --pl.shared_holders;
+    pl.cv.notify_all();
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// RMA data transfer
+// ---------------------------------------------------------------------------
+
+int Rank::rma_check(const WinData& w, int ocount, Datatype odt, int trank,
+                    std::int64_t tdisp, int tcount, Datatype tdt) const {
+    if (ocount < 0 || tcount < 0) return MPI_ERR_COUNT;
+    if (datatype_size(odt) <= 0 || datatype_size(tdt) <= 0) return MPI_ERR_TYPE;
+    if (tdisp < 0) return MPI_ERR_ARG;
+    const std::int64_t obytes = static_cast<std::int64_t>(ocount) * datatype_size(odt);
+    const std::int64_t tbytes = static_cast<std::int64_t>(tcount) * datatype_size(tdt);
+    if (obytes != tbytes) return MPI_ERR_ARG;
+    const CommData& cd = const_cast<World&>(world_).comm(w.comm);
+    if (trank < 0 || static_cast<std::size_t>(trank) >= cd.group.size())
+        return MPI_ERR_RANK;
+    return MPI_SUCCESS;
+}
+
+int Rank::rma_transfer_now(WinData& w, PendingRmaOp op) {
+    std::lock_guard lk(w.mu);
+    auto mit = w.members.find(op.target_global);
+    if (mit == w.members.end()) return MPI_ERR_WIN;
+    WinMember& m = mit->second;
+    const std::int64_t off = op.target_disp * m.disp_unit;
+    if (off < 0 || off + op.nbytes > m.size) return MPI_ERR_ARG;
+    std::byte* at = m.base + off;
+    switch (op.kind) {
+        case PendingRmaOp::Kind::Put:
+            if (op.nbytes > 0) std::memcpy(at, op.payload.data(), op.payload.size());
+            break;
+        case PendingRmaOp::Kind::Get:
+            if (op.nbytes > 0)
+                std::memcpy(op.origin_addr, at, static_cast<std::size_t>(op.nbytes));
+            break;
+        case PendingRmaOp::Kind::Accumulate:
+            reduce_combine(at, op.payload.data(),
+                           static_cast<int>(op.nbytes / datatype_size(op.dt)), op.dt,
+                           op.op);
+            break;
+    }
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Put(const void* oaddr, int ocount, Datatype odt, int trank,
+                  std::int64_t tdisp, int tcount, Datatype tdt, Win win) {
+    const std::int64_t a[] = {as_arg(oaddr), ocount,
+                              static_cast<std::int64_t>(odt), trank, tdisp, tcount,
+                              static_cast<std::int64_t>(tdt), win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Put, a);
+    return PMPI_Put(oaddr, ocount, odt, trank, tdisp, tcount, tdt, win);
+}
+
+int Rank::PMPI_Put(const void* oaddr, int ocount, Datatype odt, int trank,
+                   std::int64_t tdisp, int tcount, Datatype tdt, Win win) {
+    const std::int64_t a[] = {as_arg(oaddr), ocount,
+                              static_cast<std::int64_t>(odt), trank, tdisp, tcount,
+                              static_cast<std::int64_t>(tdt), win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Put, a);
+    if (!world_.win_valid(win)) return MPI_ERR_WIN;
+    WinData& w = world_.win(win);
+    if (const int rc = rma_check(w, ocount, odt, trank, tdisp, tcount, tdt);
+        rc != MPI_SUCCESS)
+        return rc;
+    PendingRmaOp op;
+    op.kind = PendingRmaOp::Kind::Put;
+    op.target_global = world_.comm(w.comm).group[static_cast<std::size_t>(trank)];
+    op.target_disp = tdisp;
+    op.nbytes = static_cast<std::int64_t>(ocount) * datatype_size(odt);
+    op.payload.assign(static_cast<const std::byte*>(oaddr),
+                      static_cast<const std::byte*>(oaddr) + op.nbytes);
+    const auto ep = start_epochs_.find(win);
+    if (world_.flavor() == Flavor::Mpich && ep != start_epochs_.end() &&
+        contains(ep->second, op.target_global)) {
+        std::lock_guard lk(w.mu);
+        w.deferred[global_].push_back(std::move(op));
+        return MPI_SUCCESS;
+    }
+    return rma_transfer_now(w, std::move(op));
+}
+
+int Rank::MPI_Get(void* oaddr, int ocount, Datatype odt, int trank, std::int64_t tdisp,
+                  int tcount, Datatype tdt, Win win) {
+    const std::int64_t a[] = {as_arg(oaddr), ocount,
+                              static_cast<std::int64_t>(odt), trank, tdisp, tcount,
+                              static_cast<std::int64_t>(tdt), win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Get, a);
+    return PMPI_Get(oaddr, ocount, odt, trank, tdisp, tcount, tdt, win);
+}
+
+int Rank::PMPI_Get(void* oaddr, int ocount, Datatype odt, int trank, std::int64_t tdisp,
+                   int tcount, Datatype tdt, Win win) {
+    const std::int64_t a[] = {as_arg(oaddr), ocount,
+                              static_cast<std::int64_t>(odt), trank, tdisp, tcount,
+                              static_cast<std::int64_t>(tdt), win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Get, a);
+    if (!world_.win_valid(win)) return MPI_ERR_WIN;
+    WinData& w = world_.win(win);
+    if (const int rc = rma_check(w, ocount, odt, trank, tdisp, tcount, tdt);
+        rc != MPI_SUCCESS)
+        return rc;
+    PendingRmaOp op;
+    op.kind = PendingRmaOp::Kind::Get;
+    op.target_global = world_.comm(w.comm).group[static_cast<std::size_t>(trank)];
+    op.origin_addr = static_cast<std::byte*>(oaddr);
+    op.target_disp = tdisp;
+    op.nbytes = static_cast<std::int64_t>(ocount) * datatype_size(odt);
+    const auto ep = start_epochs_.find(win);
+    if (world_.flavor() == Flavor::Mpich && ep != start_epochs_.end() &&
+        contains(ep->second, op.target_global)) {
+        std::lock_guard lk(w.mu);
+        w.deferred[global_].push_back(std::move(op));
+        return MPI_SUCCESS;
+    }
+    return rma_transfer_now(w, std::move(op));
+}
+
+int Rank::MPI_Accumulate(const void* oaddr, int ocount, Datatype odt, int trank,
+                         std::int64_t tdisp, int tcount, Datatype tdt, Op op, Win win) {
+    const std::int64_t a[] = {as_arg(oaddr), ocount,
+                              static_cast<std::int64_t>(odt), trank, tdisp, tcount,
+                              static_cast<std::int64_t>(tdt),
+                              static_cast<std::int64_t>(op), win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Accumulate, a);
+    return PMPI_Accumulate(oaddr, ocount, odt, trank, tdisp, tcount, tdt, op, win);
+}
+
+int Rank::PMPI_Accumulate(const void* oaddr, int ocount, Datatype odt, int trank,
+                          std::int64_t tdisp, int tcount, Datatype tdt, Op op, Win win) {
+    const std::int64_t a[] = {as_arg(oaddr), ocount,
+                              static_cast<std::int64_t>(odt), trank, tdisp, tcount,
+                              static_cast<std::int64_t>(tdt),
+                              static_cast<std::int64_t>(op), win};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Accumulate, a);
+    if (!world_.win_valid(win)) return MPI_ERR_WIN;
+    if (op == MPI_OP_NULL) return MPI_ERR_ARG;
+    WinData& w = world_.win(win);
+    if (const int rc = rma_check(w, ocount, odt, trank, tdisp, tcount, tdt);
+        rc != MPI_SUCCESS)
+        return rc;
+    if (odt != tdt) return MPI_ERR_TYPE;
+    PendingRmaOp pop;
+    pop.kind = PendingRmaOp::Kind::Accumulate;
+    pop.target_global = world_.comm(w.comm).group[static_cast<std::size_t>(trank)];
+    pop.target_disp = tdisp;
+    pop.nbytes = static_cast<std::int64_t>(ocount) * datatype_size(odt);
+    pop.dt = odt;
+    pop.op = op;
+    pop.payload.assign(static_cast<const std::byte*>(oaddr),
+                       static_cast<const std::byte*>(oaddr) + pop.nbytes);
+    const auto ep = start_epochs_.find(win);
+    if (world_.flavor() == Flavor::Mpich && ep != start_epochs_.end() &&
+        contains(ep->second, pop.target_global)) {
+        std::lock_guard lk(w.mu);
+        w.deferred[global_].push_back(std::move(pop));
+        return MPI_SUCCESS;
+    }
+    return rma_transfer_now(w, std::move(pop));
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic process creation
+// ---------------------------------------------------------------------------
+
+int Rank::MPI_Comm_spawn(const std::string& command, const std::vector<std::string>& argv,
+                         int maxprocs, Info info, int root, Comm c, Comm* intercomm,
+                         std::vector<int>* errcodes) {
+    std::int64_t a[] = {0, 0, maxprocs, info, root, c, 0};
+    const std::string_view s[] = {command};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Comm_spawn, a, s);
+    int rc;
+    ProfilingLayer* layer = world_.profiling_layer();
+    if (layer && !in_profiling_wrapper_) {
+        // The linked profiling library's MPI_Comm_spawn wrapper runs
+        // instead of the implementation (the paper's intercept method).
+        in_profiling_wrapper_ = true;
+        SpawnArgs sa{command, argv, maxprocs, info, root, c};
+        rc = layer->wrap_spawn(*this, std::move(sa), intercomm, errcodes);
+        in_profiling_wrapper_ = false;
+    } else {
+        rc = PMPI_Comm_spawn(command, argv, maxprocs, info, root, c, intercomm, errcodes);
+    }
+    if (rc == MPI_SUCCESS && intercomm) a[6] = *intercomm;
+    return rc;
+}
+
+int Rank::PMPI_Comm_spawn(const std::string& command, const std::vector<std::string>& argv,
+                          int maxprocs, Info info, int root, Comm c, Comm* intercomm,
+                          std::vector<int>* errcodes) {
+    std::int64_t a[] = {0, 0, maxprocs, info, root, c, 0};
+    const std::string_view s[] = {command};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Comm_spawn, a, s);
+    if (!intercomm) return MPI_ERR_ARG;
+    if (maxprocs <= 0) return MPI_ERR_ARG;
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    if (world_.flavor() == Flavor::Mpich) {
+        // MPICH2 0.96p2 beta did not yet fully support dynamic process
+        // creation (paper section 5.2.2); the paper's spawn results
+        // are LAM-only.
+        if (errcodes) errcodes->assign(static_cast<std::size_t>(maxprocs), MPI_ERR_SPAWN);
+        return MPI_ERR_SPAWN;
+    }
+    CommData& cd = world_.comm(c);
+    if (cd.is_inter) return MPI_ERR_COMM;
+    const int n = static_cast<int>(cd.group.size());
+    if (root < 0 || root >= n) return MPI_ERR_RANK;
+
+    std::string cmd = command;
+    // LAM's lam_spawn_file info key names an application schema that
+    // overrides where/what to start (paper section 4.2.2).
+    if (info != MPI_INFO_NULL && world_.info_valid(info)) {
+        const auto& kv = world_.info(info).kv;
+        const auto it = kv.find("lam_spawn_file");
+        if (it != kv.end() && world_.has_program(it->second)) cmd = it->second;
+    }
+    if (!world_.has_program(cmd)) {
+        if (errcodes) errcodes->assign(static_cast<std::size_t>(maxprocs), MPI_ERR_SPAWN);
+        return MPI_ERR_SPAWN;
+    }
+
+    // Collective: every parent rank participates, so a late caller
+    // shows up as spawn synchronization overhead (paper section 3).
+    barrier_internal(cd);
+    if (my_rank_in(cd) == root)
+        cd.spawn_result = world_.do_spawn(cmd, argv, maxprocs, c);
+    barrier_internal(cd);
+    *intercomm = cd.spawn_result;
+    a[6] = *intercomm;
+    barrier_internal(cd);
+    if (errcodes) errcodes->assign(static_cast<std::size_t>(maxprocs), MPI_SUCCESS);
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Comm_get_parent(Comm* parent) {
+    const std::int64_t a[] = {as_arg(parent)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Comm_get_parent, a);
+    return PMPI_Comm_get_parent(parent);
+}
+
+int Rank::MPI_Intercomm_merge(Comm intercomm, bool high, Comm* intracomm) {
+    if (!intracomm) return MPI_ERR_ARG;
+    if (!world_.comm_valid(intercomm)) return MPI_ERR_COMM;
+    CommData& cd = world_.comm(intercomm);
+    if (!cd.is_inter) return MPI_ERR_COMM;
+    // Collective over both groups.  The "high" side goes second; both
+    // sides must pass complementary flags for a stable order, which we
+    // approximate by always ordering the original local group first
+    // when high is false on that side.
+    const bool on_local_side = std::find(cd.group.begin(), cd.group.end(), global_) !=
+                               cd.group.end();
+    std::vector<int> merged;
+    const std::vector<int>& first = high == on_local_side ? cd.remote_group : cd.group;
+    const std::vector<int>& second = high == on_local_side ? cd.group : cd.remote_group;
+    merged.insert(merged.end(), first.begin(), first.end());
+    merged.insert(merged.end(), second.begin(), second.end());
+
+    // Rendezvous over BOTH groups (the op is collective on the whole
+    // intercommunicator); the first process of the merged order
+    // creates the handle, everyone picks it up.
+    const int total = static_cast<int>(cd.group.size() + cd.remote_group.size());
+    auto full_barrier = [&] {
+        std::unique_lock lk(cd.bar_mu);
+        const std::uint64_t gen = cd.bar_gen;
+        if (++cd.bar_count == total) {
+            cd.bar_count = 0;
+            ++cd.bar_gen;
+            cd.bar_cv.notify_all();
+        } else {
+            cd.bar_cv.wait(lk, [&] { return cd.bar_gen != gen; });
+        }
+    };
+    full_barrier();
+    if (global_ == merged.front()) cd.spawn_result = world_.create_comm(merged);
+    full_barrier();
+    *intracomm = cd.spawn_result;
+    full_barrier();
+    return MPI_SUCCESS;
+}
+
+int Rank::PMPI_Comm_get_parent(Comm* parent) {
+    const std::int64_t a[] = {as_arg(parent)};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Comm_get_parent, a);
+    if (!parent) return MPI_ERR_ARG;
+    *parent = world_.proc(global_).parent_intercomm;
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Object naming
+// ---------------------------------------------------------------------------
+
+int Rank::MPI_Comm_set_name(Comm c, const std::string& name) {
+    const std::int64_t a[] = {c};
+    const std::string_view s[] = {name};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Comm_set_name, a, s);
+    return PMPI_Comm_set_name(c, name);
+}
+
+int Rank::PMPI_Comm_set_name(Comm c, const std::string& name) {
+    const std::int64_t a[] = {c};
+    const std::string_view s[] = {name};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Comm_set_name, a, s);
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    if (name.size() >= MPI_MAX_OBJECT_NAME) return MPI_ERR_ARG;
+    world_.comm(c).name = name;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Comm_get_name(Comm c, std::string* name) {
+    if (!name) return MPI_ERR_ARG;
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    *name = world_.comm(c).name;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Win_set_name(Win w, const std::string& name) {
+    const std::int64_t a[] = {w};
+    const std::string_view s[] = {name};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_set_name, a, s);
+    return PMPI_Win_set_name(w, name);
+}
+
+int Rank::PMPI_Win_set_name(Win w, const std::string& name) {
+    const std::int64_t a[] = {w};
+    const std::string_view s[] = {name};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Win_set_name, a, s);
+    if (!world_.win_valid(w)) return MPI_ERR_WIN;
+    if (name.size() >= MPI_MAX_OBJECT_NAME) return MPI_ERR_ARG;
+    WinData& wd = world_.win(w);
+    wd.name = name;
+    // LAM stores window names in the window's shadow communicator
+    // (paper Fig 23: "LAM stores RMA window names in the communicator
+    // structure"), so the name shows up under Message as well.
+    if (world_.flavor() == Flavor::Lam && wd.shadow_comm != MPI_COMM_NULL)
+        world_.comm(wd.shadow_comm).name = name;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Win_get_name(Win w, std::string* name) {
+    if (!name) return MPI_ERR_ARG;
+    if (!world_.win_valid(w)) return MPI_ERR_WIN;
+    *name = world_.win(w).name;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Type_set_name(Datatype dt, const std::string& name) {
+    if (datatype_size(dt) <= 0) return MPI_ERR_TYPE;
+    if (name.size() >= MPI_MAX_OBJECT_NAME) return MPI_ERR_ARG;
+    world_.set_type_name(dt, name);
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Type_get_name(Datatype dt, std::string* name) {
+    if (!name) return MPI_ERR_ARG;
+    if (datatype_size(dt) <= 0) return MPI_ERR_TYPE;
+    *name = world_.type_name(dt);
+    return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Info objects
+// ---------------------------------------------------------------------------
+
+int Rank::MPI_Info_create(Info* info) {
+    if (!info) return MPI_ERR_ARG;
+    *info = world_.create_info();
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Info_set(Info info, const std::string& key, const std::string& value) {
+    if (!world_.info_valid(info)) return MPI_ERR_INFO;
+    if (key.empty()) return MPI_ERR_ARG;
+    world_.info(info).kv[key] = value;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Info_free(Info* info) {
+    if (!info) return MPI_ERR_ARG;
+    if (!world_.info_valid(*info)) return MPI_ERR_INFO;
+    world_.info(*info).freed = true;
+    *info = MPI_INFO_NULL;
+    return MPI_SUCCESS;
+}
+
+}  // namespace m2p::simmpi

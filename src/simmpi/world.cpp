@@ -1,0 +1,574 @@
+#include "simmpi/world.hpp"
+
+#include <pthread.h>
+#include <time.h>
+
+#include <chrono>
+#include <stdexcept>
+
+#include "simmpi/rank.hpp"
+
+namespace m2p::simmpi {
+
+const char* flavor_name(Flavor f) { return f == Flavor::Lam ? "LAM/MPI" : "MPICH"; }
+
+namespace {
+using instr::Category;
+constexpr std::uint32_t cat(Category c) { return static_cast<std::uint32_t>(c); }
+}  // namespace
+
+World::World(instr::Registry& reg, Config cfg) : reg_(reg), cfg_(std::move(cfg)) {
+    register_mpi_functions();
+}
+
+World::~World() { join_all(); }
+
+void World::register_mpi_functions() {
+    struct Row {
+        instr::FuncId FuncIds::*mpi;
+        instr::FuncId FuncIds::*pmpi;
+        const char* name;
+        std::uint32_t cats;
+    };
+    const std::uint32_t msg_send = Category::MsgSend | Category::MsgSync;
+    const std::uint32_t msg_recv = Category::MsgRecv | Category::MsgSync;
+    const Row rows[] = {
+        {&FuncIds::MPI_Init, &FuncIds::PMPI_Init, "Init", 0},
+        {&FuncIds::MPI_Finalize, &FuncIds::PMPI_Finalize, "Finalize", 0},
+        {&FuncIds::MPI_Send, &FuncIds::PMPI_Send, "Send", msg_send},
+        {&FuncIds::MPI_Ssend, &FuncIds::PMPI_Ssend, "Ssend", msg_send},
+        {&FuncIds::MPI_Recv, &FuncIds::PMPI_Recv, "Recv", msg_recv},
+        {&FuncIds::MPI_Isend, &FuncIds::PMPI_Isend, "Isend", cat(Category::MsgSend)},
+        {&FuncIds::MPI_Irecv, &FuncIds::PMPI_Irecv, "Irecv", cat(Category::MsgRecv)},
+        {&FuncIds::MPI_Wait, &FuncIds::PMPI_Wait, "Wait",
+         Category::WaitOp | Category::MsgSync},
+        {&FuncIds::MPI_Waitall, &FuncIds::PMPI_Waitall, "Waitall",
+         Category::WaitOp | Category::MsgSync},
+        {&FuncIds::MPI_Sendrecv, &FuncIds::PMPI_Sendrecv, "Sendrecv",
+         msg_send | Category::MsgRecv},
+        {&FuncIds::MPI_Barrier, &FuncIds::PMPI_Barrier, "Barrier",
+         Category::Barrier | Category::MsgSync},
+        {&FuncIds::MPI_Bcast, &FuncIds::PMPI_Bcast, "Bcast",
+         Category::Collective | Category::MsgSync},
+        {&FuncIds::MPI_Reduce, &FuncIds::PMPI_Reduce, "Reduce",
+         Category::Collective | Category::MsgSync},
+        {&FuncIds::MPI_Allreduce, &FuncIds::PMPI_Allreduce, "Allreduce",
+         Category::Collective | Category::MsgSync},
+        {&FuncIds::MPI_Gather, &FuncIds::PMPI_Gather, "Gather",
+         Category::Collective | Category::MsgSync},
+        {&FuncIds::MPI_Scatter, &FuncIds::PMPI_Scatter, "Scatter",
+         Category::Collective | Category::MsgSync},
+        {&FuncIds::MPI_Allgather, &FuncIds::PMPI_Allgather, "Allgather",
+         Category::Collective | Category::MsgSync},
+        {&FuncIds::MPI_Win_create, &FuncIds::PMPI_Win_create, "Win_create",
+         cat(Category::RmaLifetime)},
+        {&FuncIds::MPI_Win_free, &FuncIds::PMPI_Win_free, "Win_free",
+         cat(Category::RmaLifetime)},
+        {&FuncIds::MPI_Win_fence, &FuncIds::PMPI_Win_fence, "Win_fence",
+         cat(Category::RmaActiveSync)},
+        {&FuncIds::MPI_Win_start, &FuncIds::PMPI_Win_start, "Win_start",
+         cat(Category::RmaActiveSync)},
+        {&FuncIds::MPI_Win_complete, &FuncIds::PMPI_Win_complete, "Win_complete",
+         cat(Category::RmaActiveSync)},
+        {&FuncIds::MPI_Win_post, &FuncIds::PMPI_Win_post, "Win_post",
+         cat(Category::RmaActiveSync)},
+        {&FuncIds::MPI_Win_wait, &FuncIds::PMPI_Win_wait, "Win_wait",
+         cat(Category::RmaActiveSync)},
+        {&FuncIds::MPI_Win_lock, &FuncIds::PMPI_Win_lock, "Win_lock",
+         cat(Category::RmaPassiveSync)},
+        {&FuncIds::MPI_Win_unlock, &FuncIds::PMPI_Win_unlock, "Win_unlock",
+         cat(Category::RmaPassiveSync)},
+        {&FuncIds::MPI_Put, &FuncIds::PMPI_Put, "Put", cat(Category::RmaPut)},
+        {&FuncIds::MPI_Get, &FuncIds::PMPI_Get, "Get", cat(Category::RmaGet)},
+        {&FuncIds::MPI_Accumulate, &FuncIds::PMPI_Accumulate, "Accumulate",
+         cat(Category::RmaAcc)},
+        {&FuncIds::MPI_Comm_spawn, &FuncIds::PMPI_Comm_spawn, "Comm_spawn",
+         cat(Category::Spawn)},
+        {&FuncIds::MPI_Comm_get_parent, &FuncIds::PMPI_Comm_get_parent,
+         "Comm_get_parent", 0},
+        {&FuncIds::MPI_Comm_set_name, &FuncIds::PMPI_Comm_set_name, "Comm_set_name", 0},
+        {&FuncIds::MPI_Win_set_name, &FuncIds::PMPI_Win_set_name, "Win_set_name", 0},
+    };
+    for (const Row& r : rows) {
+        const std::uint32_t base = r.cats | Category::MpiApi;
+        fids_.*(r.mpi) =
+            reg_.register_function(std::string("MPI_") + r.name, "libmpi", base);
+        fids_.*(r.pmpi) =
+            reg_.register_function(std::string("PMPI_") + r.name, "libmpi", base);
+    }
+    // MPI-I/O entry points.  They carry the Io category so the
+    // default I/O-blocking metrics (and the Performance Consultant's
+    // ExcessiveIOBlockingTime hypothesis) cover file access.
+    const Row io_rows[] = {
+        {&FuncIds::MPI_File_open, &FuncIds::PMPI_File_open, "File_open",
+         Category::Io | Category::Collective},
+        {&FuncIds::MPI_File_close, &FuncIds::PMPI_File_close, "File_close",
+         Category::Io | Category::Collective},
+        {&FuncIds::MPI_File_read, &FuncIds::PMPI_File_read, "File_read",
+         cat(Category::Io)},
+        {&FuncIds::MPI_File_write, &FuncIds::PMPI_File_write, "File_write",
+         cat(Category::Io)},
+        {&FuncIds::MPI_File_read_at, &FuncIds::PMPI_File_read_at, "File_read_at",
+         cat(Category::Io)},
+        {&FuncIds::MPI_File_write_at, &FuncIds::PMPI_File_write_at, "File_write_at",
+         cat(Category::Io)},
+        {&FuncIds::MPI_File_read_all, &FuncIds::PMPI_File_read_all, "File_read_all",
+         Category::Io | Category::Collective},
+        {&FuncIds::MPI_File_write_all, &FuncIds::PMPI_File_write_all, "File_write_all",
+         Category::Io | Category::Collective},
+        {&FuncIds::MPI_File_read_shared, &FuncIds::PMPI_File_read_shared,
+         "File_read_shared", cat(Category::Io)},
+        {&FuncIds::MPI_File_write_shared, &FuncIds::PMPI_File_write_shared,
+         "File_write_shared", cat(Category::Io)},
+        {&FuncIds::MPI_File_seek, &FuncIds::PMPI_File_seek, "File_seek",
+         cat(Category::Io)},
+        {&FuncIds::MPI_File_sync, &FuncIds::PMPI_File_sync, "File_sync",
+         cat(Category::Io)},
+        {&FuncIds::MPI_File_delete, &FuncIds::PMPI_File_delete, "File_delete",
+         cat(Category::Io)},
+    };
+    for (const Row& r : io_rows) {
+        const std::uint32_t base = r.cats | Category::MpiApi;
+        fids_.*(r.mpi) =
+            reg_.register_function(std::string("MPI_") + r.name, "libmpi", base);
+        fids_.*(r.pmpi) =
+            reg_.register_function(std::string("PMPI_") + r.name, "libmpi", base);
+    }
+
+    // Transport-level functions.  MPICH ch_p4mpd moves messages with
+    // socket read/write, which Paradyn's I/O metrics include -- the
+    // source of the ExcessiveIOBlockingTime findings (paper Fig 3).
+    fids_.io_read = reg_.register_function("read", "libc", cat(Category::Io));
+    fids_.io_write = reg_.register_function("write", "libc", cat(Category::Io));
+    fids_.sysv_recv = reg_.register_function("lam_ssi_rpi_sysv_recv", "liblam", 0);
+    fids_.sysv_send = reg_.register_function("lam_ssi_rpi_sysv_send", "liblam", 0);
+}
+
+// ---------------------------------------------------------------------------
+// Program registry
+// ---------------------------------------------------------------------------
+
+void World::register_program(const std::string& command, ProgramFn fn) {
+    std::lock_guard lk(mu_);
+    programs_[command] = std::move(fn);
+}
+
+bool World::has_program(const std::string& command) const {
+    std::lock_guard lk(mu_);
+    return programs_.count(command) != 0;
+}
+
+ProgramFn World::find_program(const std::string& command) const {
+    std::lock_guard lk(mu_);
+    const auto it = programs_.find(command);
+    return it == programs_.end() ? ProgramFn{} : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Processes
+// ---------------------------------------------------------------------------
+
+int World::create_proc(const std::string& node, const std::string& command) {
+    std::lock_guard lk(mu_);
+    const int g = static_cast<int>(procs_.size());
+    auto p = std::make_unique<ProcData>();
+    p->global_rank = g;
+    p->node = node;
+    p->program = command;
+    procs_.push_back(std::move(p));
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    return g;
+}
+
+void World::set_proc_comm_world(int global_rank, Comm cw, Comm parent) {
+    std::lock_guard lk(mu_);
+    procs_.at(static_cast<std::size_t>(global_rank))->comm_world = cw;
+    procs_.at(static_cast<std::size_t>(global_rank))->parent_intercomm = parent;
+}
+
+void World::start_proc(int global_rank, std::vector<std::string> argv) {
+    ProgramFn fn;
+    {
+        std::lock_guard lk(mu_);
+        ProcData& p = *procs_.at(static_cast<std::size_t>(global_rank));
+        auto it = programs_.find(p.program);
+        if (it == programs_.end())
+            throw std::runtime_error("simmpi: unknown program '" + p.program + "'");
+        fn = it->second;
+    }
+    std::lock_guard lk(mu_);
+    threads_.emplace_back([this, global_rank, argv = std::move(argv), fn = std::move(fn)] {
+        ProcData* p = nullptr;
+        {
+            std::lock_guard lk2(mu_);
+            p = procs_.at(static_cast<std::size_t>(global_rank)).get();
+            pthread_getcpuclockid(pthread_self(), &p->cpu_clock);
+            p->cpu_clock_ready = true;
+        }
+        if (cfg_.start_paused) {
+            std::unique_lock lk(mu_);
+            start_cv_.wait(lk, [this] { return start_released_; });
+        }
+        instr::set_current_rank(global_rank);
+        Rank rank(*this, global_rank);
+        fn(rank, argv);
+        {
+            std::lock_guard lk2(mu_);
+            timespec ts{};
+            if (clock_gettime(p->cpu_clock, &ts) == 0)
+                p->final_cpu_seconds = static_cast<double>(ts.tv_sec) +
+                                       static_cast<double>(ts.tv_nsec) * 1e-9;
+            p->finished = true;
+        }
+        instr::set_current_rank(-1);
+    });
+}
+
+void World::release_start_gate() {
+    {
+        std::lock_guard lk(mu_);
+        start_released_ = true;
+        cfg_.start_paused = false;  // late starters run immediately
+    }
+    start_cv_.notify_all();
+}
+
+void World::join_all() {
+    for (;;) {
+        std::thread* t = nullptr;
+        {
+            std::lock_guard lk(mu_);
+            if (joined_ >= threads_.size()) break;
+            t = &threads_[joined_];
+            ++joined_;
+        }
+        if (t->joinable()) t->join();
+    }
+    // Spawn may have appended more threads while we joined; drain.
+    {
+        std::lock_guard lk(mu_);
+        if (joined_ >= threads_.size()) return;
+    }
+    join_all();
+}
+
+std::size_t World::proc_count() const {
+    std::lock_guard lk(mu_);
+    return procs_.size();
+}
+
+const ProcData& World::proc(int global_rank) const {
+    std::lock_guard lk(mu_);
+    return *procs_.at(static_cast<std::size_t>(global_rank));
+}
+
+std::vector<int> World::live_procs() const {
+    std::lock_guard lk(mu_);
+    std::vector<int> out;
+    for (const auto& p : procs_)
+        if (!p->finished) out.push_back(p->global_rank);
+    return out;
+}
+
+bool World::all_finished() const {
+    std::lock_guard lk(mu_);
+    for (const auto& p : procs_)
+        if (!p->finished) return false;
+    return !procs_.empty();
+}
+
+double World::proc_cpu_seconds(int global_rank) const {
+    clockid_t id{};
+    {
+        std::lock_guard lk(mu_);
+        const ProcData& p = *procs_.at(static_cast<std::size_t>(global_rank));
+        if (!p.cpu_clock_ready) return 0.0;
+        if (p.finished) return p.final_cpu_seconds;  // the clock died with the thread
+        id = p.cpu_clock;
+    }
+    timespec ts{};
+    if (clock_gettime(id, &ts) != 0) return 0.0;
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+// ---------------------------------------------------------------------------
+// Handle tables
+// ---------------------------------------------------------------------------
+
+Comm World::create_comm(std::vector<int> group, std::vector<int> remote, bool is_inter) {
+    std::lock_guard lk(mu_);
+    auto c = std::make_unique<CommData>();
+    c->handle = next_comm_++;
+    c->context = next_context_;
+    next_context_ += 4;  // room for collective side-channels
+    c->group = std::move(group);
+    c->remote_group = std::move(remote);
+    c->is_inter = is_inter;
+    const Comm h = c->handle;
+    comms_[h] = std::move(c);
+    return h;
+}
+
+CommData& World::comm(Comm c) {
+    std::lock_guard lk(mu_);
+    auto it = comms_.find(c);
+    if (it == comms_.end()) throw std::out_of_range("simmpi: bad communicator handle");
+    return *it->second;
+}
+
+bool World::comm_valid(Comm c) const {
+    std::lock_guard lk(mu_);
+    auto it = comms_.find(c);
+    return it != comms_.end() && !it->second->freed;
+}
+
+Group World::create_group(std::vector<int> global_ranks) {
+    std::lock_guard lk(mu_);
+    auto g = std::make_unique<GroupData>();
+    g->handle = next_group_++;
+    g->global_ranks = std::move(global_ranks);
+    const Group h = g->handle;
+    groups_[h] = std::move(g);
+    return h;
+}
+
+GroupData& World::group(Group g) {
+    std::lock_guard lk(mu_);
+    auto it = groups_.find(g);
+    if (it == groups_.end()) throw std::out_of_range("simmpi: bad group handle");
+    return *it->second;
+}
+
+bool World::group_valid(Group g) const {
+    std::lock_guard lk(mu_);
+    auto it = groups_.find(g);
+    return it != groups_.end() && !it->second->freed;
+}
+
+Info World::create_info() {
+    std::lock_guard lk(mu_);
+    auto i = std::make_unique<InfoData>();
+    i->handle = next_info_++;
+    const Info h = i->handle;
+    infos_[h] = std::move(i);
+    return h;
+}
+
+InfoData& World::info(Info i) {
+    std::lock_guard lk(mu_);
+    auto it = infos_.find(i);
+    if (it == infos_.end()) throw std::out_of_range("simmpi: bad info handle");
+    return *it->second;
+}
+
+bool World::info_valid(Info i) const {
+    std::lock_guard lk(mu_);
+    auto it = infos_.find(i);
+    return it != infos_.end() && !it->second->freed;
+}
+
+Win World::create_win(Comm c) {
+    std::lock_guard lk(mu_);
+    auto w = std::make_unique<WinData>();
+    w->handle = next_win_++;
+    w->comm = c;
+    // Real MPI implementations recycle window identifiers after
+    // MPI_Win_free; we do the same so the tool's N-M uniqueness scheme
+    // is actually exercised (paper section 4.2.1).
+    if (!free_win_impl_ids_.empty()) {
+        w->impl_id = free_win_impl_ids_.back();
+        free_win_impl_ids_.pop_back();
+    } else {
+        w->impl_id = next_win_impl_id_++;
+    }
+    const Win h = w->handle;
+    wins_[h] = std::move(w);
+    return h;
+}
+
+WinData& World::win(Win w) {
+    std::lock_guard lk(mu_);
+    auto it = wins_.find(w);
+    if (it == wins_.end()) throw std::out_of_range("simmpi: bad window handle");
+    return *it->second;
+}
+
+bool World::win_valid(Win w) const {
+    std::lock_guard lk(mu_);
+    auto it = wins_.find(w);
+    return it != wins_.end() && !it->second->freed;
+}
+
+void World::release_win_impl_id(int impl_id) {
+    std::lock_guard lk(mu_);
+    free_win_impl_ids_.push_back(impl_id);
+}
+
+Request World::create_request(RequestData rd) {
+    std::lock_guard lk(mu_);
+    rd.handle = next_request_++;
+    const Request h = rd.handle;
+    requests_[h] = std::make_unique<RequestData>(std::move(rd));
+    return h;
+}
+
+RequestData& World::request(Request r) {
+    std::lock_guard lk(mu_);
+    auto it = requests_.find(r);
+    if (it == requests_.end()) throw std::out_of_range("simmpi: bad request handle");
+    return *it->second;
+}
+
+bool World::request_valid(Request r) const {
+    std::lock_guard lk(mu_);
+    return requests_.count(r) != 0;
+}
+
+void World::free_request(Request r) {
+    std::lock_guard lk(mu_);
+    requests_.erase(r);
+}
+
+Mailbox& World::mailbox(int global_rank) {
+    std::lock_guard lk(mu_);
+    return *mailboxes_.at(static_cast<std::size_t>(global_rank));
+}
+
+// ---------------------------------------------------------------------------
+// Simulated parallel filesystem
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<StoredFile> World::fs_lookup(const std::string& filename, bool create) {
+    std::lock_guard lk(mu_);
+    const auto it = filesystem_.find(filename);
+    if (it != filesystem_.end()) return it->second;
+    if (!create) return nullptr;
+    auto f = std::make_shared<StoredFile>();
+    filesystem_[filename] = f;
+    return f;
+}
+
+bool World::fs_exists(const std::string& filename) const {
+    std::lock_guard lk(mu_);
+    return filesystem_.count(filename) != 0;
+}
+
+bool World::fs_delete(const std::string& filename) {
+    std::lock_guard lk(mu_);
+    return filesystem_.erase(filename) != 0;
+}
+
+File World::create_file(std::string filename, std::shared_ptr<StoredFile> store,
+                        Comm comm, int amode, bool delete_on_close) {
+    std::lock_guard lk(mu_);
+    auto owned = std::make_unique<FileData>();
+    owned->handle = next_file_++;
+    owned->filename = std::move(filename);
+    owned->store = std::move(store);
+    owned->comm = comm;
+    owned->amode = amode;
+    owned->delete_on_close = delete_on_close;
+    const File h = owned->handle;
+    files_[h] = std::move(owned);
+    return h;
+}
+
+FileData& World::file(File f) {
+    std::lock_guard lk(mu_);
+    const auto it = files_.find(f);
+    if (it == files_.end()) throw std::out_of_range("simmpi: bad file handle");
+    return *it->second;
+}
+
+bool World::file_valid(File f) const {
+    std::lock_guard lk(mu_);
+    const auto it = files_.find(f);
+    return it != files_.end() && !it->second->closed;
+}
+
+// ---------------------------------------------------------------------------
+// Runtime services
+// ---------------------------------------------------------------------------
+
+std::int64_t World::win_impl_id(std::int64_t handle) const {
+    std::lock_guard lk(mu_);
+    auto it = wins_.find(static_cast<Win>(handle));
+    return it == wins_.end() ? -1 : it->second->impl_id;
+}
+
+std::int64_t World::comm_context(std::int64_t handle) const {
+    std::lock_guard lk(mu_);
+    auto it = comms_.find(static_cast<Comm>(handle));
+    return it == comms_.end() ? -1 : it->second->context;
+}
+
+std::string World::object_name_of_win(Win w) const {
+    std::lock_guard lk(mu_);
+    auto it = wins_.find(w);
+    return it == wins_.end() ? std::string() : it->second->name;
+}
+
+std::string World::object_name_of_comm(Comm c) const {
+    std::lock_guard lk(mu_);
+    auto it = comms_.find(c);
+    return it == comms_.end() ? std::string() : it->second->name;
+}
+
+void World::set_type_name(Datatype dt, std::string name) {
+    std::lock_guard lk(mu_);
+    type_names_[dt] = std::move(name);
+}
+
+std::string World::type_name(Datatype dt) const {
+    std::lock_guard lk(mu_);
+    const auto it = type_names_.find(dt);
+    return it == type_names_.end() ? std::string() : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Spawn
+// ---------------------------------------------------------------------------
+
+void World::set_node_pool(std::vector<std::string> nodes) {
+    std::lock_guard lk(mu_);
+    if (!nodes.empty()) nodes_ = std::move(nodes);
+}
+
+Comm World::do_spawn(const std::string& command, const std::vector<std::string>& argv,
+                     int maxprocs, Comm parent_comm) {
+    // Simulated process-creation overhead: the paper calls out spawn
+    // cost as something programmers will want to measure.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(cfg_.spawn_base_cost * maxprocs));
+
+    std::vector<int> children;
+    children.reserve(static_cast<std::size_t>(maxprocs));
+    for (int i = 0; i < maxprocs; ++i) {
+        std::string node;
+        {
+            std::lock_guard lk(mu_);
+            node = nodes_[next_node_ % nodes_.size()];
+            ++next_node_;
+        }
+        children.push_back(create_proc(node, command));
+    }
+    const Comm child_world = create_comm(children);
+    std::vector<int> parent_group = comm(parent_comm).group;
+    const Comm inter = create_comm(parent_group, children, /*is_inter=*/true);
+    for (int g : children) {
+        set_proc_comm_world(g, child_world, inter);
+        start_proc(g, argv);
+    }
+    return inter;
+}
+
+std::vector<MpirProcDesc> World::mpir_proctable() const {
+    std::lock_guard lk(mu_);
+    std::vector<MpirProcDesc> out;
+    if (!cfg_.mpir_enabled) return out;
+    for (const auto& p : procs_)
+        out.push_back({p->node, p->program, p->global_rank});
+    return out;
+}
+
+}  // namespace m2p::simmpi

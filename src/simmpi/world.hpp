@@ -1,0 +1,457 @@
+// World: the shared state of a simmpi universe -- the process table,
+// communicators, RMA windows, groups, mailboxes, and the spawn
+// machinery.  One World models one cluster run (an "mpirun"): the
+// launcher creates the initial processes; MPI_Comm_spawn adds more at
+// run time, exactly the situation the paper's dynamic-process-creation
+// support must handle (tools cannot know the number of application
+// processes until run time, section 3).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "instr/registry.hpp"
+#include "simmpi/types.hpp"
+
+namespace m2p::simmpi {
+
+class Rank;
+class World;
+
+/// An MPI program: what an executable's main() would be on a cluster.
+/// Registered under a command name so MPI_Comm_spawn can find it
+/// (simulating the process manager's ability to exec a binary).
+using ProgramFn = std::function<void(Rank&, const std::vector<std::string>& argv)>;
+
+/// One message in flight.
+struct Envelope {
+    int src_global = -1;
+    int src_comm_rank = -1;
+    int tag = 0;
+    std::int64_t context = 0;  ///< communicator context id
+    std::vector<std::byte> data;
+    /// Rendezvous token: non-null when the sender blocks until the
+    /// receiver has copied the payload (large messages).
+    std::shared_ptr<bool> delivered;
+};
+
+/// Accounting cost of one queued envelope beyond its payload (header,
+/// matching metadata).  Real MPI eager buffers are charged per-message
+/// overhead too; without it, tiny messages would never exert
+/// backpressure.
+inline constexpr std::size_t kEnvelopeOverhead = 64;
+
+/// Per-process incoming message queue with eager-protocol flow
+/// control: once queued bytes exceed the capacity, senders block --
+/// this is what makes the PPerfMark small-messages clients spend
+/// their time in MPI_Send, as the paper observes (Fig 3).
+struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Envelope> queue;
+    std::size_t bytes_queued = 0;
+};
+
+/// One simulated MPI process (an OS thread).
+struct ProcData {
+    int global_rank = -1;
+    std::string node;        ///< simulated hostname, e.g. "node2"
+    std::string program;     ///< command name ("a.out", "child", ...)
+    Comm comm_world = MPI_COMM_NULL;
+    Comm parent_intercomm = MPI_COMM_NULL;  ///< for spawned children
+    clockid_t cpu_clock{};   ///< per-thread CPU clock (set by the thread)
+    bool cpu_clock_ready = false;
+    bool finished = false;
+    /// CPU seconds at exit (the thread's clock dies with the thread).
+    double final_cpu_seconds = 0.0;
+};
+
+struct CommData {
+    Comm handle = MPI_COMM_NULL;
+    std::int64_t context = 0;
+    std::vector<int> group;         ///< local group: global ranks
+    std::vector<int> remote_group;  ///< non-empty for intercommunicators
+    bool is_inter = false;
+    bool freed = false;
+    std::string name;
+
+    // Internal (uninstrumented) central barrier state.
+    std::mutex bar_mu;
+    std::condition_variable bar_cv;
+    int bar_count = 0;
+    std::uint64_t bar_gen = 0;
+
+    // Spawn rendezvous: root publishes the new intercomm handle here.
+    Comm spawn_result = MPI_COMM_NULL;
+    // Collective MPI_Win_create rendezvous: rank 0 publishes the handle.
+    Win win_result = MPI_WIN_NULL;
+};
+
+struct GroupData {
+    Group handle = MPI_GROUP_NULL;
+    std::vector<int> global_ranks;
+    bool freed = false;
+};
+
+struct InfoData {
+    Info handle = MPI_INFO_NULL;
+    std::map<std::string, std::string> kv;
+    bool freed = false;
+};
+
+/// Exposure epoch for post/start/complete/wait on one target.
+struct Exposure {
+    std::uint64_t gen = 0;
+    bool exposed = false;
+    std::vector<int> group;      ///< origin global ranks allowed this epoch
+    std::vector<int> started;    ///< origins that matched this epoch
+    int completes = 0;
+    std::condition_variable cv;
+};
+
+/// Passive-target lock state for one target member.
+struct PassiveLock {
+    bool exclusive = false;
+    int shared_holders = 0;
+    std::condition_variable cv;
+};
+
+struct WinMember {
+    std::byte* base = nullptr;
+    std::int64_t size = 0;
+    int disp_unit = 1;
+};
+
+/// A queued RMA data-transfer op (Mpich flavor defers transfers from
+/// MPI_Put/Get/Accumulate to MPI_Win_complete, so the blocking happens
+/// in complete rather than start -- the implementation freedom the
+/// MPI-2 standard grants and the paper's section 5.2.1.1 observes).
+struct PendingRmaOp {
+    enum class Kind { Put, Get, Accumulate } kind = Kind::Put;
+    int target_global = -1;
+    std::vector<std::byte> payload;   ///< for put/accumulate
+    std::byte* origin_addr = nullptr; ///< for get
+    std::int64_t target_disp = 0;
+    std::int64_t nbytes = 0;
+    Datatype dt = MPI_DATATYPE_NULL;
+    Op op = MPI_OP_NULL;
+};
+
+struct WinData {
+    Win handle = MPI_WIN_NULL;
+    int impl_id = -1;  ///< small reused id, as real MPIs reuse them (paper 4.2.1)
+    Comm comm = MPI_COMM_NULL;
+    Comm shadow_comm = MPI_COMM_NULL;  ///< Lam keeps window names in a comm (Fig 23)
+    std::string name;
+    bool freed = false;
+
+    std::mutex mu;  ///< guards members, epochs, locks, and data transfers
+    std::map<int, WinMember> members;         ///< by global rank
+    std::map<int, Exposure> exposures;        ///< by target global rank
+    std::map<int, PassiveLock> locks;         ///< by target global rank
+    std::map<int, std::vector<PendingRmaOp>> deferred;  ///< by origin global rank
+
+    // Fence epoch (internal barrier for the Mpich flavor).
+    std::condition_variable fence_cv;
+    int fence_count = 0;
+    std::uint64_t fence_gen = 0;
+};
+
+/// One file in the simulated parallel filesystem: a shared byte array
+/// all processes access through MPI-I/O (DESIGN.md: the stand-in for
+/// the cluster's PVFS/NFS volume).
+struct StoredFile {
+    std::mutex mu;
+    std::vector<std::byte> data;
+};
+
+struct FileData {
+    File handle = MPI_FILE_NULL;
+    std::string filename;
+    std::shared_ptr<StoredFile> store;
+    Comm comm = MPI_COMM_NULL;
+    int amode = 0;
+    bool closed = false;
+    bool delete_on_close = false;
+    Info info = MPI_INFO_NULL;  ///< hints given at open / set_view
+    std::mutex mu;  ///< guards pointers and the view below
+    std::map<int, std::int64_t> individual_ptr;  ///< per global rank, in etypes
+    std::int64_t shared_ptr_ = 0;                ///< in etypes
+    // File view (MPI_File_set_view, contiguous): transfers address the
+    // file starting at view_disp, in units of view_etype.
+    std::int64_t view_disp = 0;
+    Datatype view_etype = MPI_BYTE;
+};
+
+enum class RequestKind { Null, SendToken, RecvDeferred, Completed };
+
+struct RequestData {
+    Request handle = MPI_REQUEST_NULL;
+    RequestKind kind = RequestKind::Null;
+    int owner_global = -1;
+    std::shared_ptr<bool> delivered;  ///< SendToken
+    int dest_mailbox = -1;            ///< mailbox whose cv signals delivery
+    // RecvDeferred parameters:
+    void* buf = nullptr;
+    int count = 0;
+    Datatype dt = MPI_DATATYPE_NULL;
+    int src = MPI_ANY_SOURCE;
+    int tag = MPI_ANY_TAG;
+    Comm comm = MPI_COMM_NULL;
+};
+
+/// Interposition seam for the profiling (PMPI) library: the paper's
+/// intercept method wraps MPI_Comm_spawn and MPI_Init in a wrapper
+/// library.  When installed, Rank::MPI_Comm_spawn routes here instead
+/// of straight to PMPI_Comm_spawn.
+struct SpawnArgs {
+    std::string command;
+    std::vector<std::string> argv;
+    int maxprocs = 0;
+    Info info = MPI_INFO_NULL;
+    int root = 0;
+    Comm comm = MPI_COMM_NULL;
+};
+
+class ProfilingLayer {
+public:
+    virtual ~ProfilingLayer() = default;
+    /// Wrapper for MPI_Comm_spawn.  Implementations typically adjust
+    /// @p args and call rank.PMPI_Comm_spawn(...).  Return MPI result.
+    virtual int wrap_spawn(Rank& rank, SpawnArgs args, Comm* intercomm,
+                           std::vector<int>* errcodes) = 0;
+    /// Wrapper hook fired inside MPI_Init.
+    virtual void wrap_init(Rank& /*rank*/) {}
+};
+
+/// Ids of every function simmpi registers with the instrumentation
+/// substrate, cached so trampolines avoid name lookups.
+struct FuncIds {
+    using F = instr::FuncId;
+    // clang-format off
+    F MPI_Init{}, PMPI_Init{}, MPI_Finalize{}, PMPI_Finalize{};
+    F MPI_Send{}, PMPI_Send{}, MPI_Recv{}, PMPI_Recv{};
+    F MPI_Ssend{}, PMPI_Ssend{};
+    F MPI_Isend{}, PMPI_Isend{}, MPI_Irecv{}, PMPI_Irecv{};
+    F MPI_Wait{}, PMPI_Wait{}, MPI_Waitall{}, PMPI_Waitall{};
+    F MPI_Sendrecv{}, PMPI_Sendrecv{};
+    F MPI_Barrier{}, PMPI_Barrier{};
+    F MPI_Bcast{}, PMPI_Bcast{}, MPI_Reduce{}, PMPI_Reduce{};
+    F MPI_Allreduce{}, PMPI_Allreduce{};
+    F MPI_Gather{}, PMPI_Gather{}, MPI_Scatter{}, PMPI_Scatter{};
+    F MPI_Allgather{}, PMPI_Allgather{};
+    F MPI_Win_create{}, PMPI_Win_create{}, MPI_Win_free{}, PMPI_Win_free{};
+    F MPI_Win_fence{}, PMPI_Win_fence{};
+    F MPI_Win_start{}, PMPI_Win_start{}, MPI_Win_complete{}, PMPI_Win_complete{};
+    F MPI_Win_post{}, PMPI_Win_post{}, MPI_Win_wait{}, PMPI_Win_wait{};
+    F MPI_Win_lock{}, PMPI_Win_lock{}, MPI_Win_unlock{}, PMPI_Win_unlock{};
+    F MPI_Put{}, PMPI_Put{}, MPI_Get{}, PMPI_Get{};
+    F MPI_Accumulate{}, PMPI_Accumulate{};
+    F MPI_Comm_spawn{}, PMPI_Comm_spawn{};
+    F MPI_Comm_get_parent{}, PMPI_Comm_get_parent{};
+    F MPI_Comm_set_name{}, PMPI_Comm_set_name{};
+    F MPI_Win_set_name{}, PMPI_Win_set_name{};
+    F io_read{}, io_write{};        ///< Mpich socket transport ("read"/"write")
+    F sysv_recv{}, sysv_send{};     ///< Lam sysv RPI transport
+    // MPI-I/O (the remaining MPI-2 feature the paper's conclusion
+    // lists as in-progress work).
+    F MPI_File_open{}, PMPI_File_open{}, MPI_File_close{}, PMPI_File_close{};
+    F MPI_File_read{}, PMPI_File_read{}, MPI_File_write{}, PMPI_File_write{};
+    F MPI_File_read_at{}, PMPI_File_read_at{};
+    F MPI_File_write_at{}, PMPI_File_write_at{};
+    F MPI_File_read_all{}, PMPI_File_read_all{};
+    F MPI_File_write_all{}, PMPI_File_write_all{};
+    F MPI_File_read_shared{}, PMPI_File_read_shared{};
+    F MPI_File_write_shared{}, PMPI_File_write_shared{};
+    F MPI_File_seek{}, PMPI_File_seek{};
+    F MPI_File_sync{}, PMPI_File_sync{};
+    F MPI_File_delete{}, PMPI_File_delete{};
+    // clang-format on
+};
+
+/// MPIR debugging-interface process descriptor (paper section 4.2.2:
+/// the attach method would use MPIR_proctable to find spawned
+/// processes; LAM and MPICH2 did not support it at the time, so the
+/// interface is disable-able to reproduce that gap).
+struct MpirProcDesc {
+    std::string host_name;
+    std::string executable_name;
+    int global_rank = -1;
+};
+
+class World {
+public:
+    struct Config {
+        Flavor flavor = Flavor::Lam;
+        std::size_t eager_limit = 4096;        ///< bytes; larger sends rendezvous
+        std::size_t mailbox_capacity = 65536;  ///< eager bytes queued before senders block
+        bool mpir_enabled = false;
+        /// Simulated per-process daemon start cost (seconds) charged by
+        /// the intercept spawn method (paper: "adds overhead to the
+        /// spawning operation").
+        double daemon_start_cost = 0.002;
+        /// Simulated base cost of creating one process via spawn.
+        double spawn_base_cost = 0.0005;
+        /// Start processes paused until release_start_gate() -- how
+        /// Paradyn creates processes: stopped, so initial
+        /// instrumentation is in place before user code runs.
+        bool start_paused = false;
+        /// Simulated filesystem speed for MPI-I/O transfers.  Real
+        /// file access is what made I/O "traditionally a performance
+        /// bottleneck" (paper section 3); the simulated store charges
+        /// a per-operation latency plus a per-byte cost.
+        double file_latency_seconds = 50e-6;
+        double file_bandwidth_bytes_per_second = 200e6;
+    };
+
+    World(instr::Registry& reg, Config cfg);
+    ~World();
+    World(const World&) = delete;
+    World& operator=(const World&) = delete;
+
+    instr::Registry& registry() { return reg_; }
+    const Config& config() const { return cfg_; }
+    Flavor flavor() const { return cfg_.flavor; }
+    const FuncIds& fids() const { return fids_; }
+
+    // -- Program registry ------------------------------------------------
+    void register_program(const std::string& command, ProgramFn fn);
+    bool has_program(const std::string& command) const;
+    /// Returns the registered program (empty function if unknown).
+    ProgramFn find_program(const std::string& command) const;
+
+    // -- Process management ----------------------------------------------
+    /// Creates one process (thread) running @p command.  Returns its
+    /// global rank.  @p comm_world is the world communicator the
+    /// process belongs to; pass MPI_COMM_NULL to defer (launcher sets
+    /// it before starting).
+    int create_proc(const std::string& node, const std::string& command);
+    /// Starts the thread for @p global_rank.  The proc's comm_world
+    /// must be set.  @p argv is passed to the program.
+    void start_proc(int global_rank, std::vector<std::string> argv);
+    void set_proc_comm_world(int global_rank, Comm cw, Comm parent = MPI_COMM_NULL);
+    /// Releases processes held by Config::start_paused.  Idempotent;
+    /// also releases processes started after the call.
+    void release_start_gate();
+    /// Blocks until every started process has returned.
+    void join_all();
+
+    std::size_t proc_count() const;
+    const ProcData& proc(int global_rank) const;
+    std::vector<int> live_procs() const;
+    /// CPU seconds consumed so far by the process's thread.
+    double proc_cpu_seconds(int global_rank) const;
+    bool all_finished() const;
+
+    // -- Handles -----------------------------------------------------------
+    Comm create_comm(std::vector<int> group, std::vector<int> remote = {},
+                     bool is_inter = false);
+    CommData& comm(Comm c);
+    bool comm_valid(Comm c) const;
+    Group create_group(std::vector<int> global_ranks);
+    GroupData& group(Group g);
+    bool group_valid(Group g) const;
+    Info create_info();
+    InfoData& info(Info i);
+    bool info_valid(Info i) const;
+    Win create_win(Comm c);
+    WinData& win(Win w);
+    bool win_valid(Win w) const;
+    void release_win_impl_id(int impl_id);
+    Request create_request(RequestData rd);
+    RequestData& request(Request r);
+    bool request_valid(Request r) const;
+    void free_request(Request r);
+
+    Mailbox& mailbox(int global_rank);
+
+    // -- Simulated parallel filesystem ----------------------------------
+    /// Finds or (when @p create) creates a stored file.  Returns null
+    /// when the file does not exist and create is false.
+    std::shared_ptr<StoredFile> fs_lookup(const std::string& filename, bool create);
+    bool fs_exists(const std::string& filename) const;
+    bool fs_delete(const std::string& filename);
+    File create_file(std::string filename, std::shared_ptr<StoredFile> store, Comm comm,
+                     int amode, bool delete_on_close);
+    FileData& file(File f);
+    bool file_valid(File f) const;
+
+    // -- Tool-facing runtime services (used by MDL snippets) --------------
+    /// MPI implementation id of a window handle (may be reused across
+    /// create/free cycles -- the tool's N-M scheme handles that).
+    std::int64_t win_impl_id(std::int64_t handle) const;
+    std::int64_t comm_context(std::int64_t handle) const;
+    std::string object_name_of_win(Win w) const;
+    std::string object_name_of_comm(Comm c) const;
+    void set_type_name(Datatype dt, std::string name);
+    std::string type_name(Datatype dt) const;
+
+    // -- Profiling layer ----------------------------------------------------
+    void set_profiling_layer(ProfilingLayer* layer) { profiling_ = layer; }
+    ProfilingLayer* profiling_layer() const { return profiling_; }
+
+    // -- Spawn -------------------------------------------------------------
+    /// Executes the actual spawn on behalf of the root rank: creates
+    /// @p maxprocs children running @p command, builds their world
+    /// communicator and the parent<->child intercommunicator, starts
+    /// their threads.  Returns the intercomm handle (parent side).
+    Comm do_spawn(const std::string& command, const std::vector<std::string>& argv,
+                  int maxprocs, Comm parent_comm);
+    /// Nodes new processes are placed on (round-robin).
+    void set_node_pool(std::vector<std::string> nodes);
+    const std::vector<std::string>& node_pool() const { return nodes_; }
+
+    // -- MPIR debugging interface stub --------------------------------------
+    bool mpir_enabled() const { return cfg_.mpir_enabled; }
+    void set_mpir_enabled(bool on) { cfg_.mpir_enabled = on; }
+    /// Snapshot of MPIR_proctable (empty when the interface is off,
+    /// as with LAM/MPICH2 at the time of the paper).
+    std::vector<MpirProcDesc> mpir_proctable() const;
+
+private:
+    void register_mpi_functions();
+
+    instr::Registry& reg_;
+    Config cfg_;
+    FuncIds fids_;
+
+    mutable std::mutex mu_;  ///< guards tables below
+    std::vector<std::unique_ptr<ProcData>> procs_;
+    std::deque<std::thread> threads_;  ///< deque: stable refs while spawn appends
+    std::size_t joined_ = 0;
+    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+    std::map<Comm, std::unique_ptr<CommData>> comms_;
+    std::map<Group, std::unique_ptr<GroupData>> groups_;
+    std::map<Info, std::unique_ptr<InfoData>> infos_;
+    std::map<Win, std::unique_ptr<WinData>> wins_;
+    std::map<Request, std::unique_ptr<RequestData>> requests_;
+    std::map<std::string, std::shared_ptr<StoredFile>> filesystem_;
+    std::map<Datatype, std::string> type_names_;
+    std::map<File, std::unique_ptr<FileData>> files_;
+    File next_file_ = 1;
+    std::map<std::string, ProgramFn> programs_;
+    std::vector<std::string> nodes_{"node0"};
+    std::size_t next_node_ = 0;
+    std::condition_variable start_cv_;
+    bool start_released_ = false;
+    std::int64_t next_context_ = 100;
+    Comm next_comm_ = 1;
+    Group next_group_ = 1;
+    Info next_info_ = 1;
+    Win next_win_ = 1;
+    Request next_request_ = 1;
+    std::vector<int> free_win_impl_ids_;
+    int next_win_impl_id_ = 0;
+    ProfilingLayer* profiling_ = nullptr;
+};
+
+}  // namespace m2p::simmpi

@@ -1,0 +1,192 @@
+#include "trace/mpe.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/clock.hpp"
+
+namespace m2p::trace {
+
+// ---------------------------------------------------------------------------
+// TraceLog
+// ---------------------------------------------------------------------------
+
+void TraceLog::record(int rank, std::string state, double t0, double t1) {
+    std::lock_guard lk(mu_);
+    if (!any_) {
+        t_min_ = t0;
+        t_max_ = t1;
+        any_ = true;
+    } else {
+        t_min_ = std::min(t_min_, t0);
+        t_max_ = std::max(t_max_, t1);
+    }
+    events_.push_back({rank, std::move(state), t0, t1});
+}
+
+std::vector<TraceEvent> TraceLog::events() const {
+    std::lock_guard lk(mu_);
+    return events_;
+}
+
+double TraceLog::begin_time() const {
+    std::lock_guard lk(mu_);
+    return t_min_;
+}
+
+double TraceLog::end_time() const {
+    std::lock_guard lk(mu_);
+    return t_max_;
+}
+
+std::size_t TraceLog::size() const {
+    std::lock_guard lk(mu_);
+    return events_.size();
+}
+
+// ---------------------------------------------------------------------------
+// MpeLogger
+// ---------------------------------------------------------------------------
+
+MpeLogger::MpeLogger(simmpi::World& world) : world_(world) {
+    instr::Registry& reg = world_.registry();
+    // MPE interposes at the MPI->PMPI boundary: log every PMPI entry
+    // point (one interval per user-level MPI call).
+    for (instr::FuncId f :
+         reg.functions_with(static_cast<std::uint32_t>(instr::Category::MpiApi))) {
+        const instr::FunctionInfo& fi = reg.info(f);
+        if (fi.name.rfind("PMPI_", 0) != 0) continue;
+        const std::string display = fi.name.substr(1);  // PMPI_Recv -> MPI_Recv
+        handles_.push_back(
+            reg.insert(f, instr::Where::Entry, [this, f](const instr::CallContext&) {
+                std::lock_guard lk(mu_);
+                open_[{std::this_thread::get_id(), f}] = util::wall_seconds();
+            }));
+        handles_.push_back(reg.insert(
+            f, instr::Where::Return,
+            [this, f, display](const instr::CallContext& ctx) {
+                const double t1 = util::wall_seconds();
+                double t0 = t1;
+                {
+                    std::lock_guard lk(mu_);
+                    const auto key = std::make_pair(std::this_thread::get_id(), f);
+                    const auto it = open_.find(key);
+                    if (it == open_.end()) return;
+                    t0 = it->second;
+                    open_.erase(it);
+                }
+                log_.record(ctx.rank, display, t0, t1);
+            }));
+    }
+}
+
+MpeLogger::~MpeLogger() {
+    for (const auto& h : handles_) world_.registry().remove(h);
+}
+
+// ---------------------------------------------------------------------------
+// Jumpshot-style analyses
+// ---------------------------------------------------------------------------
+
+std::string save_log(const TraceLog& log) {
+    std::ostringstream os;
+    os << "# mpe-log v1\n";
+    char row[160];
+    for (const TraceEvent& e : log.events()) {
+        std::snprintf(row, sizeof row, "%d %s %.9f %.9f\n", e.rank, e.state.c_str(),
+                      e.t0, e.t1);
+        os << row;
+    }
+    return os.str();
+}
+
+void load_log(const std::string& text, TraceLog* out) {
+    if (!out) throw std::invalid_argument("mpe: null output log");
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream ls(line);
+        int rank = -1;
+        std::string state;
+        double t0 = 0, t1 = 0;
+        if (!(ls >> rank >> state >> t0 >> t1) || t1 < t0)
+            throw std::invalid_argument("mpe: malformed log row: " + line);
+        out->record(rank, std::move(state), t0, t1);
+    }
+}
+
+double statistical_preview(const TraceLog& log, const std::string& state) {
+    const double span = log.end_time() - log.begin_time();
+    if (span <= 0.0) return 0.0;
+    double occupancy = 0.0;
+    for (const TraceEvent& e : log.events())
+        if (e.state == state) occupancy += e.t1 - e.t0;
+    return occupancy / span;
+}
+
+std::map<std::string, double> state_totals(const TraceLog& log) {
+    std::map<std::string, double> out;
+    for (const TraceEvent& e : log.events()) out[e.state] += e.t1 - e.t0;
+    return out;
+}
+
+std::string render_timelines(const TraceLog& log, int nranks, int columns) {
+    std::ostringstream os;
+    const double t0 = log.begin_time();
+    const double span = std::max(1e-9, log.end_time() - t0);
+    const double cell = span / columns;
+    const std::vector<TraceEvent> events = log.events();
+
+    // Assign a stable letter per state, preferring mnemonic initials.
+    std::map<std::string, char> letters;
+    auto letter_for = [&](const std::string& state) {
+        const auto it = letters.find(state);
+        if (it != letters.end()) return it->second;
+        char c = '?';
+        if (state.rfind("MPI_Win", 0) == 0)
+            c = state == "MPI_Win_fence" ? 'F' : 'W';
+        else if (state.size() > 4)
+            c = state[4];  // MPI_[R]ecv, MPI_[S]end, MPI_[B]arrier...
+        letters[state] = c;
+        return c;
+    };
+
+    for (int r = 0; r < nranks; ++r) {
+        // Dominant state per cell: the state with the most overlap.
+        std::vector<std::map<std::string, double>> cells(
+            static_cast<std::size_t>(columns));
+        for (const TraceEvent& e : events) {
+            if (e.rank != r) continue;
+            int c0 = static_cast<int>((e.t0 - t0) / cell);
+            int c1 = static_cast<int>((e.t1 - t0) / cell);
+            c0 = std::clamp(c0, 0, columns - 1);
+            c1 = std::clamp(c1, 0, columns - 1);
+            for (int c = c0; c <= c1; ++c) {
+                const double lo = std::max(e.t0, t0 + c * cell);
+                const double hi = std::min(e.t1, t0 + (c + 1) * cell);
+                if (hi > lo) cells[static_cast<std::size_t>(c)][e.state] += hi - lo;
+            }
+        }
+        os << "p" << r << " |";
+        for (int c = 0; c < columns; ++c) {
+            const auto& m = cells[static_cast<std::size_t>(c)];
+            std::string best;
+            double best_t = cell * 0.5;  // < half the cell in MPI => compute
+            for (const auto& [state, t] : m) {
+                if (t > best_t) {
+                    best = state;
+                    best_t = t;
+                }
+            }
+            os << (best.empty() ? '-' : letter_for(best));
+        }
+        os << "|\n";
+    }
+    os << "legend:";
+    for (const auto& [state, c] : letters) os << " " << c << "=" << state;
+    os << " -=compute\n";
+    return os.str();
+}
+
+}  // namespace m2p::trace

@@ -1,0 +1,90 @@
+// MPE-style trace logging plus Jumpshot-3-style analyses.
+//
+// The paper cross-checks Paradyn's findings against logs produced by
+// linking MPICH's MPE libraries and viewing them in Jumpshot-3: the
+// "Statistical Preview" (how many processes were executing in a given
+// MPI state at any time -- Figs 12, 17) and the "Time Lines" window
+// (Figs 13, 16).  Here the MPE library is a set of instrumentation
+// snippets on the PMPI entry points (link-time interposition and
+// runtime insertion observe the same events), and the two Jumpshot
+// views are computed/rendered from the resulting interval log.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "instr/registry.hpp"
+#include "simmpi/world.hpp"
+
+namespace m2p::trace {
+
+struct TraceEvent {
+    int rank = -1;
+    std::string state;  ///< MPI routine name, e.g. "MPI_Recv"
+    double t0 = 0.0;
+    double t1 = 0.0;
+};
+
+/// Thread-safe interval log (one closed interval per MPI call).
+class TraceLog {
+public:
+    void record(int rank, std::string state, double t0, double t1);
+    std::vector<TraceEvent> events() const;
+    double begin_time() const;
+    double end_time() const;
+    std::size_t size() const;
+
+private:
+    mutable std::mutex mu_;
+    std::vector<TraceEvent> events_;
+    double t_min_ = 0.0;
+    double t_max_ = 0.0;
+    bool any_ = false;
+};
+
+/// The "MPE profiling library": instruments every MPI entry point of a
+/// world and logs (rank, routine, interval).  Remove on destruction.
+class MpeLogger {
+public:
+    explicit MpeLogger(simmpi::World& world);
+    ~MpeLogger();
+    MpeLogger(const MpeLogger&) = delete;
+    MpeLogger& operator=(const MpeLogger&) = delete;
+
+    const TraceLog& log() const { return log_; }
+
+private:
+    simmpi::World& world_;
+    TraceLog log_;
+    std::mutex mu_;
+    std::map<std::pair<std::thread::id, instr::FuncId>, double> open_;
+    std::vector<instr::SnippetHandle> handles_;
+};
+
+/// Serializes the log to the CLOG-like text format MPE writes to disk
+/// (one "rank state t0 t1" line per interval) -- the post-mortem
+/// workflow: an application run writes the log, Jumpshot loads it
+/// later.  The paper had to shorten runs because "the trace files got
+/// too large"; the format makes that size observable here too.
+std::string save_log(const TraceLog& log);
+/// Parses a saved log into @p out (appending).  Throws
+/// std::invalid_argument on malformed rows.
+void load_log(const std::string& text, TraceLog* out);
+
+/// Jumpshot-3's Statistical Preview: the time-average number of
+/// processes executing in @p state over the log's span.
+double statistical_preview(const TraceLog& log, const std::string& state);
+
+/// Per-state totals (seconds in state, summed over processes).
+std::map<std::string, double> state_totals(const TraceLog& log);
+
+/// Jumpshot-3's Time Lines window as ASCII art: one row per rank,
+/// @p columns time slots; each cell shows the dominant state's letter
+/// ('-' = computing outside MPI).  The legend maps letters to states.
+std::string render_timelines(const TraceLog& log, int nranks, int columns = 72);
+
+}  // namespace m2p::trace

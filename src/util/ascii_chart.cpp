@@ -1,0 +1,57 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace m2p::util {
+
+std::string render_chart(const std::vector<ChartSeries>& series,
+                         double bin_width_seconds, int height,
+                         const std::string& unit) {
+    std::ostringstream os;
+    double peak = 0.0;
+    std::size_t bins = 0;
+    for (const ChartSeries& s : series) {
+        bins = std::max(bins, s.values.size());
+        for (double v : s.values) peak = std::max(peak, v);
+    }
+    if (bins == 0 || peak <= 0.0) return "(no data)\n";
+
+    char buf[64];
+    for (const ChartSeries& s : series) {
+        os << s.label << "\n";
+        for (int row = height; row >= 1; --row) {
+            const double cut = peak * (row - 0.5) / height;
+            if (row == height) {
+                std::snprintf(buf, sizeof buf, "%10.3g |", peak);
+            } else if (row == 1) {
+                std::snprintf(buf, sizeof buf, "%10.3g |", 0.0);
+            } else {
+                std::snprintf(buf, sizeof buf, "%10s |", "");
+            }
+            os << buf;
+            for (std::size_t b = 0; b < bins; ++b) {
+                const double v = b < s.values.size() ? s.values[b] : 0.0;
+                os << (v >= cut ? '#' : ' ');
+            }
+            os << "\n";
+        }
+        std::snprintf(buf, sizeof buf, "%10s +", "");
+        os << buf << std::string(bins, '-') << "\n";
+        char end[32];
+        std::snprintf(end, sizeof end, "%.3gs",
+                      bin_width_seconds * static_cast<double>(bins));
+        std::string footer(11 + bins, ' ');
+        footer[11] = '0';
+        const std::string tail(end);
+        if (footer.size() > tail.size())
+            footer.replace(footer.size() - tail.size(), tail.size(), tail);
+        os << footer;
+        if (!unit.empty()) os << "  [" << unit << " per bin]";
+        os << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace m2p::util

@@ -1,0 +1,23 @@
+// ASCII rendering of time-series histograms -- the textual stand-in
+// for the Paradyn histogram windows the paper's Figures 4, 6, 8, 11,
+// 15 and 18 screenshot.  One row block per series, bars scaled to the
+// global maximum, with axis annotations in the series' units.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace m2p::util {
+
+struct ChartSeries {
+    std::string label;
+    std::vector<double> values;  ///< one value per time bin
+};
+
+/// Renders one or more series over a shared time axis.
+/// @p bin_width_seconds labels the x axis; @p height rows per series.
+std::string render_chart(const std::vector<ChartSeries>& series,
+                         double bin_width_seconds, int height = 8,
+                         const std::string& unit = "");
+
+}  // namespace m2p::util

@@ -1,0 +1,65 @@
+#include "util/clock.hpp"
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <vector>
+
+namespace m2p::util {
+
+double wall_seconds() {
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+double thread_cpu_seconds() {
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+double process_system_seconds() {
+    rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+    return static_cast<double>(ru.ru_stime.tv_sec) +
+           static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+}
+
+void burn_thread_cpu(double seconds) {
+    // CLOCK_THREAD_CPUTIME_ID reads are real syscalls (kernel time);
+    // keep them rare so the burned time is almost entirely *user*
+    // time, as a compute kernel's would be.
+    const double end = thread_cpu_seconds() + seconds;
+    volatile std::uint64_t sink = 0;
+    while (thread_cpu_seconds() < end) {
+        std::uint64_t acc = 0;
+        for (int i = 0; i < 400000; ++i)
+            acc += static_cast<std::uint64_t>(i) * 2654435761u + (acc >> 7);
+        sink = sink + acc;
+    }
+}
+
+void burn_system_time(double seconds) {
+    const double end = wall_seconds() + seconds;
+    // Large reads from /dev/zero: the kernel zero-fills the buffer, so
+    // nearly all the consumed CPU is system time (tiny user-mode
+    // overhead per crossing).
+    static thread_local std::vector<char> buf(1 << 20);
+    int fd = ::open("/dev/zero", O_RDONLY);
+    while (wall_seconds() < end) {
+        if (fd >= 0) {
+            for (int i = 0; i < 4; ++i) {
+                [[maybe_unused]] ssize_t n = ::read(fd, buf.data(), buf.size());
+            }
+        } else {
+            (void)::getpid();
+        }
+    }
+    if (fd >= 0) ::close(fd);
+}
+
+}  // namespace m2p::util

@@ -1,0 +1,38 @@
+// Time sources used throughout the tool.
+//
+// The paper's Paradyn uses three kinds of timers: wall-clock timers
+// (for synchronization waiting time), per-process CPU timers (for
+// CPUBound detection), and system-time accounting (which Paradyn 4.0
+// notably lacked -- the "system-time" PPerfMark program fails for that
+// reason).  We expose all three so the reproduction can both implement
+// the tool's metrics and demonstrate the gap.
+#pragma once
+
+#include <cstdint>
+
+namespace m2p::util {
+
+/// Monotonic wall-clock time in seconds since an arbitrary epoch.
+double wall_seconds();
+
+/// CPU time consumed by the *calling thread*, in seconds.
+///
+/// simmpi ranks are threads, so this plays the role of per-process CPU
+/// time on a cluster node (CLOCK_THREAD_CPUTIME_ID on Linux).
+double thread_cpu_seconds();
+
+/// System (kernel) CPU time consumed by the whole process, in seconds.
+/// Used only by the system-time PPerfMark program's ground truth.
+double process_system_seconds();
+
+/// Busy-spins until the calling thread has burned @p seconds of CPU
+/// time.  This is PPerfMark's `waste_time`: a purely computational
+/// bottleneck that registers on CPU timers, not on sync timers.
+void burn_thread_cpu(double seconds);
+
+/// Busy-loop performing real syscalls until roughly @p seconds of
+/// wall time pass.  Time accrues as *system* time, which the default
+/// metric set cannot see (paper Table 2, "system-time": Fail).
+void burn_system_time(double seconds);
+
+}  // namespace m2p::util

@@ -1,0 +1,79 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace m2p::util {
+
+Summary summarize(const std::vector<double>& xs) {
+    Summary s;
+    s.n = xs.size();
+    if (xs.empty()) return s;
+    s.min = *std::min_element(xs.begin(), xs.end());
+    s.max = *std::max_element(xs.begin(), xs.end());
+    double sum = 0.0;
+    for (double x : xs) sum += x;
+    s.mean = sum / static_cast<double>(s.n);
+    if (s.n > 1) {
+        double ss = 0.0;
+        for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+        s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+    }
+    return s;
+}
+
+double t_critical_95(std::size_t df) {
+    // Two-sided 95% critical values; exact enough for the comparison
+    // harness (df beyond 30 is effectively normal).
+    static constexpr double table[] = {
+        0,      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+        2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+        2.042};
+    if (df == 0) return 12.706;
+    if (df < std::size(table)) return table[df];
+    if (df < 40) return 2.03;
+    if (df < 60) return 2.01;
+    if (df < 120) return 1.99;
+    return 1.96;
+}
+
+ConfidenceInterval mean_ci95(const std::vector<double>& xs) {
+    ConfidenceInterval ci;
+    const Summary s = summarize(xs);
+    if (s.n < 2) {
+        ci.lo = ci.hi = s.mean;
+        return ci;
+    }
+    const double se = s.stddev / std::sqrt(static_cast<double>(s.n));
+    const double t = t_critical_95(s.n - 1);
+    ci.lo = s.mean - t * se;
+    ci.hi = s.mean + t * se;
+    return ci;
+}
+
+WelchResult welch_t_test(const std::vector<double>& a, const std::vector<double>& b) {
+    WelchResult r;
+    const Summary sa = summarize(a);
+    const Summary sb = summarize(b);
+    r.relative_difference =
+        std::fabs(sa.mean - sb.mean) / std::max(std::fabs(sb.mean), 1e-12);
+    if (sa.n < 2 || sb.n < 2) return r;
+    const double va = sa.stddev * sa.stddev / static_cast<double>(sa.n);
+    const double vb = sb.stddev * sb.stddev / static_cast<double>(sb.n);
+    const double denom = std::sqrt(va + vb);
+    if (denom <= 0.0) {
+        r.significant_95 = sa.mean != sb.mean;
+        return r;
+    }
+    r.t = (sa.mean - sb.mean) / denom;
+    const double num = (va + vb) * (va + vb);
+    const double den = va * va / static_cast<double>(sa.n - 1) +
+                       vb * vb / static_cast<double>(sb.n - 1);
+    r.df = den > 0.0 ? num / den : static_cast<double>(sa.n + sb.n - 2);
+    r.significant_95 =
+        std::fabs(r.t) > t_critical_95(static_cast<std::size_t>(std::max(1.0, r.df)));
+    return r;
+}
+
+}  // namespace m2p::util

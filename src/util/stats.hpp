@@ -1,0 +1,48 @@
+// Small statistics toolkit used by the Presta-vs-tool comparison
+// (paper section 5.2.1.3): the authors decide whether measurement
+// differences are significant "by inspecting the confidence interval
+// of the mean of the differences of the two sets of measurements".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace m2p::util {
+
+struct Summary {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double stddev = 0.0;  ///< sample standard deviation (n-1)
+    double min = 0.0;
+    double max = 0.0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+/// Two-sided Student-t critical value at 95% confidence for @p df
+/// degrees of freedom (table lookup with asymptote 1.96).
+double t_critical_95(std::size_t df);
+
+struct ConfidenceInterval {
+    double lo = 0.0;
+    double hi = 0.0;
+    /// True when the interval excludes zero, i.e. the mean difference
+    /// is statistically significant at 95%.
+    bool excludes_zero() const { return lo > 0.0 || hi < 0.0; }
+};
+
+/// 95% confidence interval for the mean of @p xs (paired-difference
+/// test when @p xs are per-trial differences).
+ConfidenceInterval mean_ci95(const std::vector<double>& xs);
+
+struct WelchResult {
+    double t = 0.0;
+    double df = 0.0;
+    bool significant_95 = false;
+    double relative_difference = 0.0;  ///< |mean_a-mean_b| / max(|mean_b|, eps)
+};
+
+/// Welch's unequal-variance t-test between two independent samples.
+WelchResult welch_t_test(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace m2p::util

@@ -1,0 +1,48 @@
+#include "util/text_table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace m2p::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+    std::vector<std::size_t> w(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c) w[c] = std::max(w[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "| " << row[c] << std::string(w[c] - row[c].size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+    emit(header_);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        os << "|" << std::string(w[c] + 2, '-');
+    os << "|\n";
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+std::string fmt(double v, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+    std::string s(buf);
+    if (s.find('.') != std::string::npos) {
+        while (!s.empty() && s.back() == '0') s.pop_back();
+        if (!s.empty() && s.back() == '.') s.pop_back();
+    }
+    return s;
+}
+
+}  // namespace m2p::util

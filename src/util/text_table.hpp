@@ -1,0 +1,30 @@
+// Minimal fixed-width text table renderer for benchmark/report output.
+// All paper tables and "condensed PC output" figures are reproduced as
+// text; this keeps their formatting consistent across bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace m2p::util {
+
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Renders with a header rule and column padding.
+    std::string render() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with @p digits significant decimals, trimming.
+std::string fmt(double v, int digits = 3);
+
+}  // namespace m2p::util

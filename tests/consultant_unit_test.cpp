@@ -1,0 +1,132 @@
+// Performance Consultant structural behaviour that the integration
+// tests don't pin down: report queries, rendering of untested nodes,
+// threshold plumbing, and search bounds.
+#include <gtest/gtest.h>
+
+#include "core/consultant.hpp"
+#include "core/session.hpp"
+#include "pperfmark/pperfmark.hpp"
+#include "util/clock.hpp"
+
+namespace m2p::core {
+namespace {
+
+std::unique_ptr<PCNode> node(const std::string& hyp, Focus f, bool tested,
+                             bool is_true, double value = 0.5) {
+    auto n = std::make_unique<PCNode>();
+    n->hypothesis = hyp;
+    n->focus = std::move(f);
+    n->tested = tested;
+    n->tested_true = is_true;
+    n->value = value;
+    n->threshold = 0.2;
+    return n;
+}
+
+TEST(PcReport, FoundMatchesOnlyTrueTestedNodes) {
+    PCReport r;
+    Focus code;
+    code.code = "/Code/app/hot";
+    auto root = node("CPUBound", Focus{}, true, true);
+    root->children.push_back(node("CPUBound", code, true, false));  // false child
+    r.roots.push_back(std::move(root));
+    EXPECT_TRUE(r.found("CPUBound", "WholeProgram"));
+    EXPECT_FALSE(r.found("CPUBound", "hot"));          // tested false
+    EXPECT_FALSE(r.found("ExcessiveSyncWaitingTime", ""));  // wrong hypothesis
+}
+
+TEST(PcReport, FoundSearchesDeepChildren) {
+    PCReport r;
+    Focus f1, f2;
+    f1.code = "/Code/app/outer";
+    f2.code = "/Code/app/outer/MPI_Send";
+    auto root = node("ExcessiveSyncWaitingTime", Focus{}, true, true);
+    auto mid = node("ExcessiveSyncWaitingTime", f1, true, true);
+    mid->children.push_back(node("ExcessiveSyncWaitingTime", f2, true, true));
+    root->children.push_back(std::move(mid));
+    r.roots.push_back(std::move(root));
+    EXPECT_TRUE(r.found("ExcessiveSyncWaitingTime", "outer/MPI_Send"));
+}
+
+TEST(PcRender, UntestedNodesAreMarked) {
+    PCReport r;
+    r.roots.push_back(node("CPUBound", Focus{}, false, false));
+    const std::string out = PerformanceConsultant::render_condensed(r);
+    EXPECT_NE(out.find("(untested)"), std::string::npos);
+}
+
+TEST(PcRender, FalseRootsCanBeSuppressed) {
+    PCReport r;
+    r.roots.push_back(node("CPUBound", Focus{}, true, false));
+    EXPECT_NE(PerformanceConsultant::render_condensed(r, true).find("CPUBound"),
+              std::string::npos);
+    EXPECT_EQ(PerformanceConsultant::render_condensed(r, false).find("CPUBound"),
+              std::string::npos);
+}
+
+TEST(PcRender, CompositeFocusShowsEveryRefinedAxis) {
+    PCReport r;
+    Focus f;
+    f.code = "/Code/app/fn";
+    f.syncobj = "/SyncObject/Message/comm_1";
+    f.process = "/Process/p2";
+    auto root = node("ExcessiveSyncWaitingTime", Focus{}, true, true);
+    root->children.push_back(node("ExcessiveSyncWaitingTime", f, true, true));
+    r.roots.push_back(std::move(root));
+    const std::string out = PerformanceConsultant::render_condensed(r);
+    EXPECT_NE(out.find("/Code/app/fn"), std::string::npos);
+    EXPECT_NE(out.find("/SyncObject/Message/comm_1"), std::string::npos);
+    EXPECT_NE(out.find("/Process/p2"), std::string::npos);
+}
+
+TEST(PcSearch, MaxSearchSecondsBoundsTheSearch) {
+    // A program that outlives the search budget (~2 s of CPU burn vs a
+    // 0.6 s budget): the wall-clock budget must cut the search off
+    // while the application is still running.
+    Session s(simmpi::Flavor::Lam);
+    ppm::Params p;
+    p.iterations = 1000;
+    p.time_to_waste = 1;
+    p.waste_unit_seconds = 0.001;
+    ppm::register_all(s.world(), p);
+    PerformanceConsultant::Options o;
+    o.eval_interval = 0.05;
+    o.max_search_seconds = 0.6;
+    core::run_app_async(s.tool(), ppm::kHotProcedure, {}, 2);
+    PerformanceConsultant pc(s.tool(), o);
+    const double t0 = util::wall_seconds();
+    const PCReport r = pc.search([&] { return !s.world().all_finished(); });
+    EXPECT_LT(util::wall_seconds() - t0, 2.0);
+    EXPECT_FALSE(s.world().all_finished()) << "workload should outlive the budget";
+    EXPECT_LE(r.search_seconds, 1.0);
+    EXPECT_GT(r.experiments_run, 0);
+    s.world().join_all();  // the program ends on its own (~2 s)
+}
+
+TEST(PcSearch, ExplicitThresholdOverridesTunable) {
+    Session s(simmpi::Flavor::Lam);
+    ppm::Params p;
+    p.iterations = 300;
+    p.waste_unit_seconds = 0.001;
+    ppm::register_all(s.world(), p);
+    PerformanceConsultant::Options o;
+    o.eval_interval = 0.05;
+    o.max_search_seconds = 1.5;
+    o.cpu_threshold = 1.5;  // impossible: nothing can exceed 1.5 CPUs/capacity
+    const PCReport r = s.run_with_consultant(ppm::kHotProcedure, 2, o);
+    EXPECT_FALSE(r.found("CPUBound", ""));
+    for (const auto& root : r.roots)
+        if (root->hypothesis == "CPUBound") EXPECT_DOUBLE_EQ(root->threshold, 1.5);
+}
+
+TEST(PcSearch, SearchWithNoRunningProgramTerminatesInstantly) {
+    Session s(simmpi::Flavor::Lam);
+    PerformanceConsultant pc(s.tool(), PerformanceConsultant::Options{});
+    const PCReport r = pc.search([] { return false; });
+    EXPECT_EQ(r.experiments_run, 0);
+    ASSERT_EQ(r.roots.size(), 3u);
+    for (const auto& root : r.roots) EXPECT_FALSE(root->tested);
+}
+
+}  // namespace
+}  // namespace m2p::core

@@ -1,0 +1,173 @@
+// Tests for the utility/extension surfaces added on top of the core
+// reproduction: histogram CSV export, MPE log save/load, MPI_Probe /
+// MPI_Iprobe, and the Performance Consultant's machine-axis option.
+#include <gtest/gtest.h>
+
+#include "core/histogram.hpp"
+#include "core/session.hpp"
+#include "pperfmark/pperfmark.hpp"
+#include "simmpi/launcher.hpp"
+#include "simmpi/rank.hpp"
+#include <chrono>
+#include <thread>
+
+#include "trace/mpe.hpp"
+#include "util/clock.hpp"
+
+namespace m2p {
+namespace {
+
+TEST(HistogramCsv, ExportsBinStartAndValue) {
+    core::Histogram h(0.0, 0.5, 8);
+    h.add(0.1, 3.0);
+    h.add(0.7, 4.0);
+    const std::string csv = h.to_csv();
+    EXPECT_NE(csv.find("bin_start_seconds,value"), std::string::npos);
+    EXPECT_NE(csv.find("0.000000,3"), std::string::npos);
+    EXPECT_NE(csv.find("0.500000,4"), std::string::npos);
+}
+
+TEST(MpeLogFile, SaveLoadRoundTrips) {
+    trace::TraceLog log;
+    log.record(0, "MPI_Recv", 1.0, 2.5);
+    log.record(2, "MPI_Barrier", 2.0, 2.25);
+    const std::string text = trace::save_log(log);
+    EXPECT_NE(text.find("# mpe-log v1"), std::string::npos);
+    trace::TraceLog loaded;
+    trace::load_log(text, &loaded);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_DOUBLE_EQ(loaded.begin_time(), 1.0);
+    EXPECT_DOUBLE_EQ(loaded.end_time(), 2.5);
+    EXPECT_DOUBLE_EQ(trace::statistical_preview(loaded, "MPI_Recv"),
+                     trace::statistical_preview(log, "MPI_Recv"));
+}
+
+TEST(MpeLogFile, LoadRejectsMalformedRows) {
+    trace::TraceLog sink;
+    EXPECT_THROW(trace::load_log("0 MPI_Recv not-a-number 2", &sink),
+                 std::invalid_argument);
+    EXPECT_THROW(trace::load_log("0 MPI_Recv 5.0 1.0", &sink), std::invalid_argument);
+    EXPECT_NO_THROW(trace::load_log("# comment only\n", &sink));
+}
+
+TEST(Probe, BlockingProbeReportsEnvelopeWithoutConsuming) {
+    instr::Registry reg;
+    simmpi::World world(reg, {});
+    world.register_program("p", [](simmpi::Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        const simmpi::Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        if (me == 0) {
+            const std::int32_t v[3] = {1, 2, 3};
+            r.MPI_Send(v, 3, simmpi::MPI_INT, 1, 9, w);
+        } else {
+            simmpi::Status st;
+            ASSERT_EQ(r.MPI_Probe(simmpi::MPI_ANY_SOURCE, simmpi::MPI_ANY_TAG, w, &st),
+                      simmpi::MPI_SUCCESS);
+            EXPECT_EQ(st.MPI_SOURCE, 0);
+            EXPECT_EQ(st.MPI_TAG, 9);
+            int count = 0;
+            r.MPI_Get_count(&st, simmpi::MPI_INT, &count);
+            EXPECT_EQ(count, 3);
+            // The probe did not consume: size the buffer and receive.
+            std::vector<std::int32_t> buf(static_cast<std::size_t>(count));
+            ASSERT_EQ(r.MPI_Recv(buf.data(), count, simmpi::MPI_INT, st.MPI_SOURCE,
+                                 st.MPI_TAG, w, &st),
+                      simmpi::MPI_SUCCESS);
+            EXPECT_EQ(buf[2], 3);
+        }
+        r.MPI_Finalize();
+    });
+    simmpi::LaunchPlan plan;
+    plan.placements = {"n", "n"};
+    simmpi::launch(world, "p", {}, plan);
+    world.join_all();
+}
+
+TEST(Probe, IprobePollsWithoutBlocking) {
+    instr::Registry reg;
+    simmpi::World world(reg, {});
+    world.register_program("p", [](simmpi::Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        const simmpi::Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        if (me == 1) {
+            int flag = -1;
+            simmpi::Status st;
+            ASSERT_EQ(r.MPI_Iprobe(0, 5, w, &flag, &st), simmpi::MPI_SUCCESS);
+            EXPECT_EQ(flag, 0);  // nothing sent yet
+            // Tell rank 0 we're ready, then poll until the message lands.
+            char go = 1;
+            r.MPI_Send(&go, 1, simmpi::MPI_BYTE, 0, 0, w);
+            while (flag == 0) r.MPI_Iprobe(0, 5, w, &flag, &st);
+            EXPECT_EQ(st.MPI_TAG, 5);
+            int v = 0;
+            r.MPI_Recv(&v, 1, simmpi::MPI_INT, 0, 5, w, nullptr);
+            EXPECT_EQ(v, 77);
+        } else {
+            char go = 0;
+            r.MPI_Recv(&go, 1, simmpi::MPI_BYTE, 1, 0, w, nullptr);
+            const int v = 77;
+            r.MPI_Send(&v, 1, simmpi::MPI_INT, 1, 5, w);
+        }
+        r.MPI_Finalize();
+    });
+    simmpi::LaunchPlan plan;
+    plan.placements = {"n", "n"};
+    simmpi::launch(world, "p", {}, plan);
+    world.join_all();
+}
+
+TEST(Probe, ErrorPaths) {
+    instr::Registry reg;
+    simmpi::World world(reg, {});
+    world.register_program("p", [](simmpi::Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        simmpi::Status st;
+        int flag = 0;
+        EXPECT_EQ(r.MPI_Probe(0, 0, 999, &st), simmpi::MPI_ERR_COMM);
+        EXPECT_EQ(r.MPI_Iprobe(0, 0, r.MPI_COMM_WORLD(), nullptr, &st),
+                  simmpi::MPI_ERR_ARG);
+        EXPECT_EQ(r.MPI_Iprobe(9, 0, r.MPI_COMM_WORLD(), &flag, &st),
+                  simmpi::MPI_ERR_RANK);
+        r.MPI_Finalize();
+    });
+    simmpi::LaunchPlan plan;
+    plan.placements = {"n"};
+    simmpi::launch(world, "p", {}, plan);
+    world.join_all();
+}
+
+TEST(MachineAxis, ConsultantCanPinTheBusyNode) {
+    core::Session s(simmpi::Flavor::Lam);
+    // Two nodes, two ranks each; only node0's ranks burn CPU.
+    s.world().register_program("skew", [](simmpi::Rank& r,
+                                          const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        if (me < 2)
+            util::burn_thread_cpu(0.7);
+        else
+            std::this_thread::sleep_for(std::chrono::milliseconds(700));
+        r.MPI_Finalize();
+    });
+    core::run_app_async(s.tool(), "skew", {}, 4, /*procs_per_node=*/2);
+    core::PerformanceConsultant::Options o;
+    o.eval_interval = 0.08;
+    o.max_search_seconds = 2.5;
+    o.refine_machines = true;
+    o.refine_processes = false;
+    core::PerformanceConsultant pc(s.tool(), o);
+    const core::PCReport r = pc.search([&] { return !s.world().all_finished(); });
+    s.world().join_all();
+    EXPECT_TRUE(r.found("CPUBound", "/Machine/node0"))
+        << core::PerformanceConsultant::render_condensed(r);
+    EXPECT_FALSE(r.found("CPUBound", "/Machine/node1"))
+        << core::PerformanceConsultant::render_condensed(r);
+}
+
+}  // namespace
+}  // namespace m2p

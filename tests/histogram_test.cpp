@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/histogram.hpp"
+
+namespace m2p::core {
+namespace {
+
+TEST(Histogram, AccumulatesIntoCorrectBin) {
+    Histogram h(0.0, 0.1, 8);
+    h.add(0.05, 1.0);
+    h.add(0.15, 2.0);
+    h.add(0.16, 3.0);
+    const auto v = h.values();
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], 1.0);
+    EXPECT_DOUBLE_EQ(v[1], 5.0);
+}
+
+TEST(Histogram, FoldDoublesBinWidthAndConservesTotal) {
+    Histogram h(0.0, 0.1, 4);
+    for (int i = 0; i < 4; ++i) h.add(0.1 * i + 0.01, 1.0);
+    EXPECT_EQ(h.folds(), 0);
+    h.add(0.45, 1.0);  // beyond capacity: forces a fold
+    EXPECT_EQ(h.folds(), 1);
+    EXPECT_DOUBLE_EQ(h.bin_width(), 0.2);
+    EXPECT_DOUBLE_EQ(h.total(), 5.0);
+    const auto v = h.values();
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v[0], 2.0);  // bins 0+1 combined
+    EXPECT_DOUBLE_EQ(v[1], 2.0);  // bins 2+3 combined
+    EXPECT_DOUBLE_EQ(v[2], 1.0);
+}
+
+TEST(Histogram, RepeatedFoldsReachRequestedTime) {
+    // The paper's experiments saw granularity go from 0.2 s to 0.8 s:
+    // exactly two folds.
+    Histogram h(0.0, 0.2, 16);
+    h.add(0.2 * 16 * 4 - 0.1, 1.0);  // needs 2 folds to cover
+    EXPECT_EQ(h.folds(), 2);
+    EXPECT_DOUBLE_EQ(h.bin_width(), 0.8);
+}
+
+TEST(Histogram, ValuesBeforeOriginClampToBinZero) {
+    Histogram h(10.0, 0.1, 4);
+    h.add(9.0, 3.0);
+    EXPECT_DOUBLE_EQ(h.values()[0], 3.0);
+}
+
+TEST(Histogram, RateExcludingEndpointsDropsPartialBins) {
+    Histogram h(0.0, 1.0, 8);
+    // First bin partially covered, middle full, last partial.
+    h.add(0.9, 1.0);
+    h.add(1.5, 10.0);
+    h.add(2.5, 10.0);
+    h.add(3.1, 2.0);
+    EXPECT_DOUBLE_EQ(h.rate(false), 23.0 / 4.0);
+    EXPECT_DOUBLE_EQ(h.rate(true), 20.0 / 2.0);  // endpoints excluded
+}
+
+TEST(Histogram, TotalIsExactAcrossFolds) {
+    Histogram h(0.0, 0.01, 8);
+    double expect = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        h.add(0.001 * i, 0.5);
+        expect += 0.5;
+    }
+    EXPECT_DOUBLE_EQ(h.total(), expect);
+}
+
+TEST(Histogram, ConcurrentAddsAreSafeAndConserved) {
+    Histogram h(0.0, 0.001, 16);
+    constexpr int kThreads = 4, kAdds = 5000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t)
+        ts.emplace_back([&h] {
+            for (int i = 0; i < kAdds; ++i) h.add(0.0001 * i, 1.0);
+        });
+    for (auto& t : ts) t.join();
+    EXPECT_DOUBLE_EQ(h.total(), kThreads * kAdds);
+}
+
+TEST(Histogram, RejectsBadConfig) {
+    EXPECT_THROW(Histogram(0.0, 0.0, 8), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 0.1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace m2p::core

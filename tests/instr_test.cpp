@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "instr/registry.hpp"
+
+namespace m2p::instr {
+namespace {
+
+TEST(Registry, RegisterIsIdempotentAndMergesCategories) {
+    Registry reg;
+    const FuncId a = reg.register_function("f", "mod", static_cast<std::uint32_t>(Category::MsgSend));
+    const FuncId b = reg.register_function("f", "mod", static_cast<std::uint32_t>(Category::MsgSync));
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(has_category(reg.info(a).categories, Category::MsgSend));
+    EXPECT_TRUE(has_category(reg.info(a).categories, Category::MsgSync));
+    EXPECT_EQ(reg.function_count(), 1u);
+}
+
+TEST(Registry, SameNameDifferentModuleAreDistinct) {
+    Registry reg;
+    const FuncId a = reg.register_function("f", "m1", 0);
+    const FuncId b = reg.register_function("f", "m2", 0);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(reg.find("f", "m2"), b);
+}
+
+TEST(Registry, FindReturnsInvalidForUnknown) {
+    Registry reg;
+    EXPECT_EQ(reg.find("nope"), kInvalidFunc);
+}
+
+TEST(Registry, CategoryQuery) {
+    Registry reg;
+    reg.register_function("s", "m", Category::MsgSend | Category::MsgSync);
+    reg.register_function("r", "m", Category::MsgRecv | Category::MsgSync);
+    reg.register_function("x", "m", 0);
+    EXPECT_EQ(reg.functions_with(static_cast<std::uint32_t>(Category::MsgSync)).size(), 2u);
+    EXPECT_EQ(reg.functions_with(Category::MsgSync | Category::MsgSend).size(), 1u);
+}
+
+TEST(Registry, ModuleListing) {
+    Registry reg;
+    reg.register_function("a", "m1", 0);
+    reg.register_function("b", "m1", 0);
+    reg.register_function("c", "m2", 0);
+    EXPECT_EQ(reg.functions_in_module("m1").size(), 2u);
+    EXPECT_EQ(reg.modules().size(), 2u);
+}
+
+TEST(Snippets, EntryAndReturnFire) {
+    Registry reg;
+    const FuncId f = reg.register_function("f", "m", 0);
+    int entries = 0, returns = 0;
+    reg.insert(f, Where::Entry, [&](const CallContext&) { ++entries; });
+    reg.insert(f, Where::Return, [&](const CallContext&) { ++returns; });
+    {
+        FunctionGuard g(reg, f);
+        EXPECT_EQ(entries, 1);
+        EXPECT_EQ(returns, 0);
+    }
+    EXPECT_EQ(returns, 1);
+}
+
+TEST(Snippets, PrependRunsBeforeAppend) {
+    Registry reg;
+    const FuncId f = reg.register_function("f", "m", 0);
+    std::vector<int> order;
+    reg.insert(f, Where::Entry, [&](const CallContext&) { order.push_back(2); });
+    reg.insert(f, Where::Entry, [&](const CallContext&) { order.push_back(1); },
+               /*prepend=*/true);
+    FunctionGuard g(reg, f);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+}
+
+TEST(Snippets, RemoveStopsDelivery) {
+    Registry reg;
+    const FuncId f = reg.register_function("f", "m", 0);
+    int count = 0;
+    const SnippetHandle h =
+        reg.insert(f, Where::Entry, [&](const CallContext&) { ++count; });
+    { FunctionGuard g(reg, f); }
+    EXPECT_TRUE(reg.remove(h));
+    EXPECT_FALSE(reg.remove(h));  // second delete reports failure
+    { FunctionGuard g(reg, f); }
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(reg.snippet_count(f, Where::Entry), 0u);
+}
+
+TEST(Snippets, ArgsVisibleAtEntryAndReturn) {
+    Registry reg;
+    const FuncId f = reg.register_function("f", "m", 0);
+    std::int64_t seen_entry = 0, seen_return = 0;
+    reg.insert(f, Where::Entry, [&](const CallContext& c) { seen_entry = c.args[1]; });
+    reg.insert(f, Where::Return, [&](const CallContext& c) { seen_return = c.args[1]; });
+    std::int64_t args[] = {7, 42};
+    { FunctionGuard g(reg, f, args); }
+    EXPECT_EQ(seen_entry, 42);
+    EXPECT_EQ(seen_return, 42);
+}
+
+TEST(Snippets, ReturnSnippetSeesArgMutatedDuringCall) {
+    // The tool's window-discovery snippet reads the out-param handle
+    // written by the function body before the return point fires.
+    Registry reg;
+    const FuncId f = reg.register_function("f", "m", 0);
+    std::int64_t seen = -1;
+    reg.insert(f, Where::Return, [&](const CallContext& c) { seen = c.args[0]; });
+    std::int64_t args[] = {0};
+    {
+        FunctionGuard g(reg, f, args);
+        args[0] = 99;  // body fills the out-parameter
+    }
+    EXPECT_EQ(seen, 99);
+}
+
+TEST(Snippets, CurrentRankPropagates) {
+    Registry reg;
+    const FuncId f = reg.register_function("f", "m", 0);
+    int seen = -2;
+    reg.insert(f, Where::Entry, [&](const CallContext& c) { seen = c.rank; });
+    set_current_rank(5);
+    { FunctionGuard g(reg, f); }
+    set_current_rank(-1);
+    EXPECT_EQ(seen, 5);
+}
+
+TEST(Snippets, DispatchStatsCount) {
+    Registry reg;
+    const FuncId f = reg.register_function("f", "m", 0);
+    reg.insert(f, Where::Entry, [](const CallContext&) {});
+    reg.reset_stats();
+    { FunctionGuard g(reg, f); }
+    const DispatchStats s = reg.stats();
+    EXPECT_EQ(s.events, 2u);            // entry + return
+    EXPECT_EQ(s.snippets_executed, 1u); // only entry had a snippet
+}
+
+TEST(Snippets, ConcurrentInsertRemoveDispatchIsSafe) {
+    Registry reg;
+    const FuncId f = reg.register_function("f", "m", 0);
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> fired{0};
+    std::thread mutator([&] {
+        while (!stop) {
+            const SnippetHandle h =
+                reg.insert(f, Where::Entry, [&](const CallContext&) { ++fired; });
+            reg.remove(h);
+        }
+    });
+    for (int i = 0; i < 20000; ++i) FunctionGuard g(reg, f);
+    stop = true;
+    mutator.join();
+    SUCCEED();  // no crash/race under TSAN-like stress
+}
+
+TEST(Registry, BadFuncIdThrows) {
+    Registry reg;
+    EXPECT_THROW(reg.info(42), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace m2p::instr

@@ -1,0 +1,306 @@
+// MDL compilation/evaluation semantics, independent of the tool:
+// counters, timers, constraints, $arg access, runtime-service calls,
+// nesting, gates, and uninstall.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "instr/registry.hpp"
+#include "mdl/ast.hpp"
+#include "mdl/eval.hpp"
+#include "util/clock.hpp"
+
+namespace m2p::mdl {
+namespace {
+
+class FakeServices : public Services {
+public:
+    std::int64_t type_size(std::int64_t dt) const override { return dt * 4; }
+    std::int64_t window_unique_id(std::int64_t h) const override { return h + 100; }
+    std::int64_t comm_unique_id(std::int64_t h) const override { return h; }
+};
+
+struct EvalFixture {
+    instr::Registry reg;
+    instr::FuncId fa, fb;
+    std::shared_ptr<FakeServices> services = std::make_shared<FakeServices>();
+    MdlFile file;
+    std::vector<std::pair<double, double>> sunk;  // (now, delta)
+
+    EvalFixture() {
+        fa = reg.register_function("fa", "m", 0);
+        fb = reg.register_function("fb", "m", 0);
+    }
+
+    FuncSetResolver resolver() {
+        return [this](const std::string& set) -> std::vector<instr::FuncId> {
+            if (set == "set_a") return {fa};
+            if (set == "set_b") return {fb};
+            if (set == "set_ab") return {fa, fb};
+            return {};
+        };
+    }
+
+    MetricSink sink() {
+        return [this](double now, double delta) { sunk.emplace_back(now, delta); };
+    }
+
+    double total() const {
+        double t = 0;
+        for (const auto& [n, d] : sunk) t += d;
+        return t;
+    }
+};
+
+TEST(MdlEval, CounterIncrementFeedsSink) {
+    EvalFixture fx;
+    fx.file = parse(R"(
+metric m { name "m"; base is counter {
+  foreach func in set_a { append preinsn func.entry constrained (* m++; *) } } }
+)");
+    CompiledMetric cm = compile_metric(fx.reg, fx.file.metrics[0], {}, fx.services,
+                                       fx.resolver(), fx.sink());
+    for (int i = 0; i < 5; ++i) instr::FunctionGuard g(fx.reg, fx.fa);
+    EXPECT_DOUBLE_EQ(fx.total(), 5.0);
+    uninstall(fx.reg, cm);
+    { instr::FunctionGuard g(fx.reg, fx.fa); }
+    EXPECT_DOUBLE_EQ(fx.total(), 5.0);  // removed: no more counting
+}
+
+TEST(MdlEval, ByteArithmeticWithTypeSizeAndArgs) {
+    EvalFixture fx;
+    fx.file = parse(R"(
+metric bytes_m { name "bytes_m"; counter bytes; counter count;
+  base is counter { foreach func in set_a {
+    append preinsn func.entry (* MPI_Type_size($arg[2], &bytes);
+                                 count = $arg[1];
+                                 bytes_m += bytes * count; *) } } }
+)");
+    CompiledMetric cm = compile_metric(fx.reg, fx.file.metrics[0], {}, fx.services,
+                                       fx.resolver(), fx.sink());
+    const std::int64_t args[] = {0, 7, 2};  // count=7, dtype=2 -> size 8
+    { instr::FunctionGuard g(fx.reg, fx.fa, args); }
+    EXPECT_DOUBLE_EQ(fx.total(), 56.0);
+    uninstall(fx.reg, cm);
+}
+
+TEST(MdlEval, WallTimerMeasuresElapsed) {
+    EvalFixture fx;
+    fx.file = parse(R"(
+metric t { name "t"; unitstype normalized; base is walltimer {
+  foreach func in set_a {
+    append preinsn func.entry (* startWallTimer(t); *)
+    prepend preinsn func.return (* stopWallTimer(t); *) } } }
+)");
+    CompiledMetric cm = compile_metric(fx.reg, fx.file.metrics[0], {}, fx.services,
+                                       fx.resolver(), fx.sink());
+    {
+        instr::FunctionGuard g(fx.reg, fx.fa);
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    EXPECT_GT(fx.total(), 0.025);
+    EXPECT_LT(fx.total(), 0.2);
+    uninstall(fx.reg, cm);
+}
+
+TEST(MdlEval, NestedTimerAccruesOnce) {
+    // fa calls fb; both are in the timed set: the timer must not
+    // double count (Paradyn timers nest).
+    EvalFixture fx;
+    fx.file = parse(R"(
+metric t { name "t"; base is walltimer {
+  foreach func in set_ab {
+    append preinsn func.entry (* startWallTimer(t); *)
+    prepend preinsn func.return (* stopWallTimer(t); *) } } }
+)");
+    CompiledMetric cm = compile_metric(fx.reg, fx.file.metrics[0], {}, fx.services,
+                                       fx.resolver(), fx.sink());
+    {
+        instr::FunctionGuard outer(fx.reg, fx.fa);
+        {
+            instr::FunctionGuard inner(fx.reg, fx.fb);
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_GT(fx.total(), 0.035);
+    EXPECT_LT(fx.total(), 0.08);  // ~40ms once, not 60ms
+    ASSERT_EQ(fx.sunk.size(), 1u);
+    uninstall(fx.reg, cm);
+}
+
+TEST(MdlEval, ProcTimerMeasuresCpuNotSleep) {
+    EvalFixture fx;
+    fx.file = parse(R"(
+metric t { name "t"; base is proctimer {
+  foreach func in set_a {
+    append preinsn func.entry (* startProcTimer(t); *)
+    prepend preinsn func.return (* stopProcTimer(t); *) } } }
+)");
+    CompiledMetric cm = compile_metric(fx.reg, fx.file.metrics[0], {}, fx.services,
+                                       fx.resolver(), fx.sink());
+    {
+        instr::FunctionGuard g(fx.reg, fx.fa);
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));  // no CPU
+        util::burn_thread_cpu(0.02);
+    }
+    EXPECT_GT(fx.total(), 0.015);
+    EXPECT_LT(fx.total(), 0.04);  // sleep excluded
+    uninstall(fx.reg, cm);
+}
+
+TEST(MdlEval, ConstraintGatesConstrainedCode) {
+    EvalFixture fx;
+    fx.file = parse(R"(
+constraint win_c /SyncObject/Window is counter {
+  foreach func in set_a {
+    prepend preinsn func.entry
+      (* if (DYNINSTWindow_FindUniqueId($arg[0]) == $constraint[0]) win_c = 1; *)
+    append preinsn func.return (* win_c = 0; *)
+  }
+}
+metric ops { name "ops"; constraint win_c; base is counter {
+  foreach func in set_a { append preinsn func.entry constrained (* ops++; *) } } }
+)");
+    // Focus on window uid 103 => handle 3 matches (FakeServices: h+100).
+    ConstraintBinding b{fx.file.find_constraint("win_c"), {103}, {}};
+    CompiledMetric cm = compile_metric(fx.reg, fx.file.metrics[0], {b}, fx.services,
+                                       fx.resolver(), fx.sink());
+    const std::int64_t match[] = {3};
+    const std::int64_t other[] = {4};
+    { instr::FunctionGuard g(fx.reg, fx.fa, match); }
+    { instr::FunctionGuard g(fx.reg, fx.fa, other); }
+    { instr::FunctionGuard g(fx.reg, fx.fa, match); }
+    EXPECT_DOUBLE_EQ(fx.total(), 2.0);
+    uninstall(fx.reg, cm);
+}
+
+TEST(MdlEval, ConstraintFlagsNestAcrossCalls) {
+    // Module-style constraint on fa; metric counts inside fb.  A
+    // nested fa (fa -> fa -> fb) must keep the flag set until the
+    // outermost return.
+    EvalFixture fx;
+    fx.file = parse(R"(
+constraint mod_c /Code is counter {
+  foreach func in focus_module {
+    prepend preinsn func.entry (* mod_c = 1; *)
+    append preinsn func.return (* mod_c = 0; *)
+  }
+}
+metric ops { name "ops"; constraint mod_c; base is counter {
+  foreach func in set_b { append preinsn func.entry constrained (* ops++; *) } } }
+)");
+    ConstraintBinding b{fx.file.find_constraint("mod_c"), {}, {{"focus_module", {fx.fa}}}};
+    CompiledMetric cm = compile_metric(fx.reg, fx.file.metrics[0], {b}, fx.services,
+                                       fx.resolver(), fx.sink());
+    {
+        instr::FunctionGuard g1(fx.reg, fx.fa);
+        {
+            instr::FunctionGuard g2(fx.reg, fx.fa);  // nested
+        }
+        instr::FunctionGuard g3(fx.reg, fx.fb);  // still inside fa: counted
+    }
+    { instr::FunctionGuard g(fx.reg, fx.fb); }  // outside fa: not counted
+    EXPECT_DOUBLE_EQ(fx.total(), 1.0);
+    uninstall(fx.reg, cm);
+}
+
+TEST(MdlEval, MultipleConstraintsAllMustHold) {
+    EvalFixture fx;
+    fx.file = parse(R"(
+constraint c1 /Code is counter {
+  foreach func in focus_procedure {
+    prepend preinsn func.entry (* c1 = 1; *)
+    append preinsn func.return (* c1 = 0; *) } }
+metric ops { name "ops"; constraint c1; base is counter {
+  foreach func in set_b { append preinsn func.entry constrained (* ops++; *) } } }
+)");
+    // Bind the same constraint twice to different functions: fb only
+    // counts when inside BOTH fa and fb (i.e., never for a bare fb).
+    ConstraintBinding b1{fx.file.find_constraint("c1"), {}, {{"focus_procedure", {fx.fa}}}};
+    ConstraintBinding b2{fx.file.find_constraint("c1"), {}, {{"focus_procedure", {fx.fb}}}};
+    CompiledMetric cm = compile_metric(fx.reg, fx.file.metrics[0], {b1, b2},
+                                       fx.services, fx.resolver(), fx.sink());
+    { instr::FunctionGuard g(fx.reg, fx.fb); }  // not inside fa
+    EXPECT_DOUBLE_EQ(fx.total(), 0.0);
+    {
+        instr::FunctionGuard g1(fx.reg, fx.fa);
+        instr::FunctionGuard g2(fx.reg, fx.fb);
+    }
+    EXPECT_DOUBLE_EQ(fx.total(), 1.0);
+    uninstall(fx.reg, cm);
+}
+
+TEST(MdlEval, EventGateFiltersByRank) {
+    EvalFixture fx;
+    fx.file = parse(R"(
+metric ops { name "ops"; base is counter {
+  foreach func in set_a { append preinsn func.entry (* ops++; *) } } }
+)");
+    EventGate gate = [](const instr::CallContext& c) { return c.rank == 2; };
+    CompiledMetric cm = compile_metric(fx.reg, fx.file.metrics[0], {}, fx.services,
+                                       fx.resolver(), fx.sink(), gate);
+    instr::set_current_rank(1);
+    { instr::FunctionGuard g(fx.reg, fx.fa); }
+    instr::set_current_rank(2);
+    { instr::FunctionGuard g(fx.reg, fx.fa); }
+    instr::set_current_rank(-1);
+    EXPECT_DOUBLE_EQ(fx.total(), 1.0);
+    uninstall(fx.reg, cm);
+}
+
+TEST(MdlEval, UnknownCallRejectedAtCompileTime) {
+    EvalFixture fx;
+    fx.file = parse(R"(
+metric m { name "m"; base is counter {
+  foreach func in set_a { append preinsn func.entry (* frobnicate($arg[0]); *) } } }
+)");
+    EXPECT_THROW(compile_metric(fx.reg, fx.file.metrics[0], {}, fx.services,
+                                fx.resolver(), fx.sink()),
+                 CompileError);
+    // Nothing was inserted.
+    EXPECT_EQ(fx.reg.snippet_count(fx.fa, instr::Where::Entry), 0u);
+}
+
+TEST(MdlEval, ScratchVarsArePerThread) {
+    EvalFixture fx;
+    fx.file = parse(R"(
+metric m { name "m"; counter bytes; base is counter {
+  foreach func in set_a {
+    append preinsn func.entry (* bytes = $arg[0]; m += bytes; *) } } }
+)");
+    CompiledMetric cm = compile_metric(fx.reg, fx.file.metrics[0], {}, fx.services,
+                                       fx.resolver(), fx.sink());
+    std::thread t1([&] {
+        for (int i = 0; i < 1000; ++i) {
+            const std::int64_t a[] = {1};
+            instr::FunctionGuard g(fx.reg, fx.fa, a);
+        }
+    });
+    std::thread t2([&] {
+        for (int i = 0; i < 1000; ++i) {
+            const std::int64_t a[] = {2};
+            instr::FunctionGuard g(fx.reg, fx.fa, a);
+        }
+    });
+    t1.join();
+    t2.join();
+    EXPECT_DOUBLE_EQ(fx.total(), 1000.0 + 2000.0);
+    uninstall(fx.reg, cm);
+}
+
+TEST(MdlEval, OutOfRangeArgIsZeroNotCrash) {
+    EvalFixture fx;
+    fx.file = parse(R"(
+metric m { name "m"; base is counter {
+  foreach func in set_a { append preinsn func.entry (* m += $arg[9]; *) } } }
+)");
+    CompiledMetric cm = compile_metric(fx.reg, fx.file.metrics[0], {}, fx.services,
+                                       fx.resolver(), fx.sink());
+    { instr::FunctionGuard g(fx.reg, fx.fa); }
+    EXPECT_DOUBLE_EQ(fx.total(), 0.0);
+    uninstall(fx.reg, cm);
+}
+
+}  // namespace
+}  // namespace m2p::mdl

@@ -1,0 +1,110 @@
+// Additional MDL grammar coverage: precedence, parenthesization,
+// nested conditionals, daemon attribute forms, and negative cases.
+#include <gtest/gtest.h>
+
+#include "mdl/ast.hpp"
+
+namespace m2p::mdl {
+namespace {
+
+const Stmt& only_stmt(const MdlFile& f) {
+    return *f.metrics.at(0).foreachs.at(0).points.at(0).code.at(0);
+}
+
+TEST(MdlGrammar, MultiplicationBindsTighterThanAddition) {
+    const MdlFile f = parse(R"(
+metric m { name "m"; base is counter {
+  foreach func in s { append preinsn func.entry (* m += 1 + 2 * 3; *) } } }
+)");
+    const Stmt& st = only_stmt(f);
+    ASSERT_EQ(st.kind, Stmt::Kind::AddAssign);
+    // Top node is '+', its rhs is '*'.
+    EXPECT_EQ(st.value->op, "+");
+    EXPECT_EQ(st.value->rhs->op, "*");
+    EXPECT_EQ(st.value->lhs->number, 1);
+}
+
+TEST(MdlGrammar, ParenthesesOverridePrecedence) {
+    const MdlFile f = parse(R"(
+metric m { name "m"; base is counter {
+  foreach func in s { append preinsn func.entry (* m += (1 + 2) * 3; *) } } }
+)");
+    const Stmt& st = only_stmt(f);
+    EXPECT_EQ(st.value->op, "*");
+    EXPECT_EQ(st.value->lhs->op, "+");
+    EXPECT_EQ(st.value->rhs->number, 3);
+}
+
+TEST(MdlGrammar, NestedIfChains) {
+    const MdlFile f = parse(R"(
+constraint c /SyncObject/Message is counter {
+  foreach func in s {
+    prepend preinsn func.entry
+      (* if ($arg[5] == $constraint[0]) if ($arg[4] == $constraint[1]) c = 1; *)
+  } }
+)");
+    const Stmt& outer = *f.constraints.at(0).foreachs.at(0).points.at(0).code.at(0);
+    ASSERT_EQ(outer.kind, Stmt::Kind::If);
+    ASSERT_EQ(outer.body->kind, Stmt::Kind::If);
+    EXPECT_EQ(outer.body->body->kind, Stmt::Kind::Assign);
+}
+
+TEST(MdlGrammar, NotEqualOperator) {
+    const MdlFile f = parse(R"(
+metric m { name "m"; base is counter {
+  foreach func in s { append preinsn func.entry (* if ($arg[0] != 0) m++; *) } } }
+)");
+    EXPECT_EQ(only_stmt(f).value->op, "!=");
+}
+
+TEST(MdlGrammar, DaemonNumericAndBareAttributes) {
+    const MdlFile f = parse(R"(
+daemon d { command "paradynd"; flavor mpi; port 7700; }
+)");
+    const DaemonDef* d = f.find_daemon("d");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->attrs.at("flavor"), "mpi");
+    EXPECT_EQ(d->attrs.at("port"), "7700");
+}
+
+TEST(MdlGrammar, MultipleFlavors) {
+    const MdlFile f = parse(R"(
+metric m { name "m"; flavor { mpi, pvm }; base is counter {
+  foreach func in s { } } }
+)");
+    ASSERT_EQ(f.metrics.at(0).flavors.size(), 2u);
+    EXPECT_EQ(f.metrics.at(0).flavors[1], "pvm");
+}
+
+TEST(MdlGrammar, MalformedCasesThrow) {
+    // Missing (* ... *) body.
+    EXPECT_THROW(parse("metric m { base is counter { foreach func in s { "
+                       "append preinsn func.entry m++; } } }"),
+                 ParseError);
+    // Bad point position.
+    EXPECT_THROW(parse("metric m { base is counter { foreach func in s { "
+                       "append preinsn func.middle (* m++; *) } } }"),
+                 ParseError);
+    // Constraint without a path.
+    EXPECT_THROW(parse("constraint c is counter { }"), ParseError);
+    // $bogus[] reference.
+    EXPECT_THROW(parse("metric m { base is counter { foreach func in s { "
+                       "append preinsn func.entry (* m += $bogus[0]; *) } } }"),
+                 ParseError);
+    // Unterminated code region.
+    EXPECT_THROW(parse("metric m { base is counter { foreach func in s { "
+                       "append preinsn func.entry (* m++; } } }"),
+                 ParseError);
+    // Unknown base type.
+    EXPECT_THROW(parse("metric m { base is stopwatch { } }"), ParseError);
+}
+
+TEST(MdlGrammar, ResourcePathsTokenizeAsUnits) {
+    const MdlFile f = parse(R"(
+constraint deep /SyncObject/Message/Nested is counter { }
+)");
+    EXPECT_EQ(f.constraints.at(0).path, "/SyncObject/Message/Nested");
+}
+
+}  // namespace
+}  // namespace m2p::mdl

@@ -1,0 +1,101 @@
+// Presta rma stress benchmark + the paper's tool-vs-benchmark
+// comparison methodology (section 5.2.1.3).
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/session.hpp"
+#include "presta/presta.hpp"
+#include "util/stats.hpp"
+
+namespace m2p::presta {
+namespace {
+
+using core::Focus;
+using core::Session;
+using simmpi::Flavor;
+
+RmaConfig small_cfg() {
+    RmaConfig c;
+    c.bytes = 256;
+    c.ops_per_epoch = 20;
+    c.epochs = 5;
+    return c;
+}
+
+TEST(Presta, ReportsAllFourModes) {
+    Session s(Flavor::Lam);
+    const RmaConfig cfg = small_cfg();
+    auto sink = register_program(s.world(), cfg);
+    s.run(kPrestaRma, 2);
+    const auto results = sink->results();
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_EQ(results[0].test, "uni-put");
+    EXPECT_EQ(results[3].test, "bi-get");
+    const long long per_origin =
+        static_cast<long long>(cfg.epochs) * cfg.ops_per_epoch;
+    EXPECT_EQ(results[0].ops, per_origin);
+    EXPECT_EQ(results[2].ops, 2 * per_origin);  // bidirectional
+    for (const auto& r : results) {
+        EXPECT_GT(r.seconds, 0.0);
+        EXPECT_GT(r.throughput_mb_s, 0.0);
+        EXPECT_GT(r.us_per_op, 0.0);
+        EXPECT_EQ(r.bytes, r.ops * cfg.bytes);
+    }
+}
+
+TEST(Presta, RequiresExactlyTwoRanks) {
+    Session s(Flavor::Lam);
+    auto sink = register_program(s.world(), small_cfg());
+    s.run(kPrestaRma, 3);  // wrong size: benchmark refuses, no crash
+    EXPECT_TRUE(sink->results().empty());
+}
+
+TEST(Presta, ToolCountsMatchSelfReportedOps) {
+    // The paper's validation: Paradyn's rma_put_ops / rma_get_ops /
+    // byte metrics against the counts Presta itself reports.
+    for (const Flavor flavor : {Flavor::Lam, Flavor::Mpich}) {
+        Session s(flavor);
+        const RmaConfig cfg = small_cfg();
+        auto sink = register_program(s.world(), cfg);
+        auto puts = s.tool().metrics().request("rma_put_ops", Focus{});
+        auto gets = s.tool().metrics().request("rma_get_ops", Focus{});
+        auto put_bytes = s.tool().metrics().request("rma_put_bytes", Focus{});
+        s.run(kPrestaRma, 2);
+        long long expect_puts = 0, expect_gets = 0;
+        for (const auto& r : sink->results()) {
+            if (r.test.find("put") != std::string::npos) expect_puts += r.ops;
+            if (r.test.find("get") != std::string::npos) expect_gets += r.ops;
+        }
+        EXPECT_DOUBLE_EQ(puts->total(), static_cast<double>(expect_puts)) <<
+            simmpi::flavor_name(flavor);
+        EXPECT_DOUBLE_EQ(gets->total(), static_cast<double>(expect_gets));
+        EXPECT_DOUBLE_EQ(put_bytes->total(),
+                         static_cast<double>(expect_puts * cfg.bytes));
+        s.tool().metrics().release(puts);
+        s.tool().metrics().release(gets);
+        s.tool().metrics().release(put_bytes);
+    }
+}
+
+TEST(Presta, RepeatedTrialsAgreeWithinNoise) {
+    // Paired-difference methodology smoke test: tool ops minus Presta
+    // ops is exactly zero on every trial, so the CI of the differences
+    // must include (equal) zero.
+    std::vector<double> diffs;
+    for (int trial = 0; trial < 3; ++trial) {
+        Session s(Flavor::Lam);
+        auto sink = register_program(s.world(), small_cfg());
+        auto puts = s.tool().metrics().request("rma_put_ops", Focus{});
+        s.run(kPrestaRma, 2);
+        long long expect = 0;
+        for (const auto& r : sink->results())
+            if (r.test.find("put") != std::string::npos) expect += r.ops;
+        diffs.push_back(puts->total() - static_cast<double>(expect));
+        s.tool().metrics().release(puts);
+    }
+    const m2p::util::ConfidenceInterval ci = m2p::util::mean_ci95(diffs);
+    EXPECT_FALSE(ci.excludes_zero());
+}
+
+}  // namespace
+}  // namespace m2p::presta

@@ -1,0 +1,101 @@
+// gprof-style flat profiler (paper Fig 19's cross-check).
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "pperfmark/pperfmark.hpp"
+#include "prof/flat_profiler.hpp"
+#include "util/clock.hpp"
+
+namespace m2p::prof {
+namespace {
+
+TEST(FlatProfiler, SelfAndInclusiveSeparateParentFromChild) {
+    instr::Registry reg;
+    const auto app = static_cast<std::uint32_t>(instr::Category::AppCode);
+    const instr::FuncId parent = reg.register_function("parent", "app", app);
+    const instr::FuncId child = reg.register_function("child", "app", app);
+    FlatProfiler prof(reg);
+    {
+        instr::FunctionGuard g(reg, parent);
+        util::burn_thread_cpu(0.02);
+        {
+            instr::FunctionGuard g2(reg, child);
+            util::burn_thread_cpu(0.03);
+        }
+    }
+    const auto rows = prof.report();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].name, "child");  // more self time
+    EXPECT_NEAR(rows[0].self_seconds, 0.03, 0.02);
+    EXPECT_NEAR(rows[1].self_seconds, 0.02, 0.02);
+    EXPECT_EQ(rows[0].calls, 1u);
+    EXPECT_GT(rows[0].pct_time, rows[1].pct_time);
+}
+
+TEST(FlatProfiler, CallCountsAccumulate) {
+    instr::Registry reg;
+    const auto app = static_cast<std::uint32_t>(instr::Category::AppCode);
+    const instr::FuncId f = reg.register_function("f", "app", app);
+    FlatProfiler prof(reg);
+    for (int i = 0; i < 37; ++i) instr::FunctionGuard g(reg, f);
+    const auto rows = prof.report();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].calls, 37u);
+}
+
+TEST(FlatProfiler, HotProcedureLooksLikePaperFig19) {
+    // Fig 19: bottleneckProcedure consumes ~100% of the program's
+    // time; the irrelevantProcedures take ~0 us/call despite equal
+    // call counts.
+    core::Session s(simmpi::Flavor::Lam);
+    ppm::Params p;
+    p.iterations = 60;
+    p.waste_unit_seconds = 0.002;
+    ppm::register_all(s.world(), p);
+    FlatProfiler prof(s.registry());
+    s.run(ppm::kHotProcedure, 1, 1);
+    const auto rows = prof.report();
+    ASSERT_FALSE(rows.empty());
+    EXPECT_EQ(rows[0].name, "bottleneckProcedure");
+    EXPECT_GT(rows[0].pct_time, 95.0);
+    EXPECT_EQ(rows[0].calls, 60u);
+    // Every irrelevant procedure was called as often but used ~no time.
+    int irrelevants = 0;
+    for (const auto& r : rows) {
+        if (r.name.rfind("irrelevantProcedure", 0) == 0) {
+            ++irrelevants;
+            EXPECT_EQ(r.calls, 60u);
+            EXPECT_LT(r.us_per_call, 50.0);
+        }
+    }
+    EXPECT_EQ(irrelevants, p.irrelevant_procedures);
+    const std::string text = prof.render();
+    EXPECT_NE(text.find("us/call"), std::string::npos);
+    EXPECT_NE(text.find("bottleneckProcedure"), std::string::npos);
+}
+
+TEST(FlatProfiler, RemovesInstrumentationOnDestruction) {
+    instr::Registry reg;
+    const auto app = static_cast<std::uint32_t>(instr::Category::AppCode);
+    const instr::FuncId f = reg.register_function("f", "app", app);
+    {
+        FlatProfiler prof(reg);
+        EXPECT_EQ(reg.snippet_count(f, instr::Where::Entry), 1u);
+    }
+    EXPECT_EQ(reg.snippet_count(f, instr::Where::Entry), 0u);
+}
+
+TEST(FlatProfiler, ModuleScopedProfiling) {
+    instr::Registry reg;
+    const instr::FuncId inmod = reg.register_function("in", "modA", 0);
+    const instr::FuncId outmod = reg.register_function("out", "modB", 0);
+    FlatProfiler prof(reg, "modA");
+    { instr::FunctionGuard g(reg, inmod); }
+    { instr::FunctionGuard g(reg, outmod); }
+    const auto rows = prof.report();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].name, "in");
+}
+
+}  // namespace
+}  // namespace m2p::prof

@@ -1,0 +1,238 @@
+// Property-style parameterized sweeps across the invariants the
+// system must hold for arbitrary configurations:
+//  * message conservation (every byte sent is received) over process
+//    counts, payload sizes (eager & rendezvous) and flavors,
+//  * collective correctness across process counts and datatypes,
+//  * histogram total conservation under random folding pressure,
+//  * tool byte counters equal ground truth for arbitrary mixes.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/metrics.hpp"
+#include "core/session.hpp"
+#include "simmpi/launcher.hpp"
+#include "simmpi/rank.hpp"
+
+namespace m2p {
+namespace {
+
+using simmpi::Comm;
+using simmpi::Flavor;
+using simmpi::Rank;
+
+// ---------------------------------------------------------------------------
+// Message conservation sweep: (flavor, nprocs, payload bytes)
+// ---------------------------------------------------------------------------
+
+using MsgParam = std::tuple<Flavor, int, int>;
+
+class MessageConservation : public ::testing::TestWithParam<MsgParam> {};
+
+TEST_P(MessageConservation, AllToRootDeliversEveryByteIntact) {
+    const auto [flavor, nprocs, bytes] = GetParam();
+    instr::Registry reg;
+    simmpi::World::Config cfg;
+    cfg.flavor = flavor;
+    simmpi::World world(reg, cfg);
+    std::atomic<long long> received_bytes{0};
+    std::atomic<int> corrupt{0};
+    constexpr int kMsgsPerSender = 7;
+
+    world.register_program("prog", [&, nprocs = nprocs, bytes = bytes](
+                                       Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        if (me == 0) {
+            std::vector<char> buf(static_cast<std::size_t>(bytes));
+            for (int i = 0; i < kMsgsPerSender * (nprocs - 1); ++i) {
+                simmpi::Status st;
+                r.MPI_Recv(buf.data(), bytes, simmpi::MPI_BYTE, simmpi::MPI_ANY_SOURCE,
+                           simmpi::MPI_ANY_TAG, w, &st);
+                received_bytes += st.count_bytes;
+                // Payload pattern: byte k of msg (src,tag) is
+                // (src*31 + tag*17 + k) & 0x7f.
+                for (int k = 0; k < st.count_bytes; k += 97)
+                    if (buf[static_cast<std::size_t>(k)] !=
+                        static_cast<char>((st.MPI_SOURCE * 31 + st.MPI_TAG * 17 + k) &
+                                          0x7f))
+                        ++corrupt;
+            }
+        } else {
+            std::vector<char> buf(static_cast<std::size_t>(bytes));
+            for (int t = 0; t < kMsgsPerSender; ++t) {
+                for (int k = 0; k < bytes; ++k)
+                    buf[static_cast<std::size_t>(k)] =
+                        static_cast<char>((me * 31 + t * 17 + k) & 0x7f);
+                r.MPI_Send(buf.data(), bytes, simmpi::MPI_BYTE, 0, t, w);
+            }
+        }
+        r.MPI_Finalize();
+    });
+    simmpi::LaunchPlan plan;
+    for (int i = 0; i < nprocs; ++i) plan.placements.push_back("n");
+    simmpi::launch(world, "prog", {}, plan);
+    world.join_all();
+
+    EXPECT_EQ(received_bytes.load(),
+              static_cast<long long>(kMsgsPerSender) * (nprocs - 1) * bytes);
+    EXPECT_EQ(corrupt.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MessageConservation,
+    ::testing::Combine(::testing::Values(Flavor::Lam, Flavor::Mpich),
+                       ::testing::Values(2, 3, 5),
+                       // spans eager (<=4096) and rendezvous paths
+                       ::testing::Values(1, 4096, 20000)),
+    [](const ::testing::TestParamInfo<MsgParam>& i) {
+        return std::string(std::get<0>(i.param) == Flavor::Lam ? "Lam" : "Mpich") +
+               "_np" + std::to_string(std::get<1>(i.param)) + "_b" +
+               std::to_string(std::get<2>(i.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Collective correctness sweep: (flavor, nprocs)
+// ---------------------------------------------------------------------------
+
+using CollParam = std::tuple<Flavor, int>;
+
+class CollectiveCorrectness : public ::testing::TestWithParam<CollParam> {};
+
+TEST_P(CollectiveCorrectness, AllreduceAgreesWithSerialReduction) {
+    const auto [flavor, nprocs] = GetParam();
+    instr::Registry reg;
+    simmpi::World::Config cfg;
+    cfg.flavor = flavor;
+    simmpi::World world(reg, cfg);
+    std::atomic<int> failures{0};
+    world.register_program("prog", [&, nprocs = nprocs](Rank& r,
+                                                        const std::vector<std::string>&) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        std::mt19937 rng(77);  // same stream everywhere
+        for (int round = 0; round < 10; ++round) {
+            // Every rank can compute everyone's contribution and thus
+            // the expected global result.
+            std::vector<std::int64_t> contributions(
+                static_cast<std::size_t>(nprocs));
+            for (auto& c : contributions)
+                c = static_cast<std::int64_t>(rng() % 1000);
+            std::int64_t expect_sum = 0, expect_max = contributions[0],
+                         expect_min = contributions[0];
+            for (std::int64_t c : contributions) {
+                expect_sum += c;
+                expect_max = std::max(expect_max, c);
+                expect_min = std::min(expect_min, c);
+            }
+            const std::int64_t mine = contributions[static_cast<std::size_t>(me)];
+            std::int64_t sum = 0, mx = 0, mn = 0;
+            r.MPI_Allreduce(&mine, &sum, 1, simmpi::MPI_LONG, simmpi::MPI_SUM, w);
+            r.MPI_Allreduce(&mine, &mx, 1, simmpi::MPI_LONG, simmpi::MPI_MAX, w);
+            r.MPI_Allreduce(&mine, &mn, 1, simmpi::MPI_LONG, simmpi::MPI_MIN, w);
+            if (sum != expect_sum || mx != expect_max || mn != expect_min) ++failures;
+        }
+        r.MPI_Finalize();
+    });
+    simmpi::LaunchPlan plan;
+    for (int i = 0; i < nprocs; ++i) plan.placements.push_back("n");
+    simmpi::launch(world, "prog", {}, plan);
+    world.join_all();
+    EXPECT_EQ(failures.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollectiveCorrectness,
+    ::testing::Combine(::testing::Values(Flavor::Lam, Flavor::Mpich),
+                       ::testing::Values(1, 2, 3, 4, 7)),
+    [](const ::testing::TestParamInfo<CollParam>& i) {
+        return std::string(std::get<0>(i.param) == Flavor::Lam ? "Lam" : "Mpich") +
+               "_np" + std::to_string(std::get<1>(i.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Histogram conservation under random folding pressure
+// ---------------------------------------------------------------------------
+
+class HistogramConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramConservation, TotalExactForRandomStreams) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()));
+    std::uniform_real_distribution<double> when(0.0, 5.0 * GetParam());
+    std::uniform_real_distribution<double> what(0.0, 10.0);
+    core::Histogram h(0.0, 0.01, 16);
+    double expect = 0.0;
+    // Feed monotonically later random times (folding only ever grows
+    // the covered range).
+    double t = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        t += when(rng) / 2000.0;
+        const double v = what(rng);
+        h.add(t, v);
+        expect += v;
+    }
+    EXPECT_NEAR(h.total(), expect, 1e-9 * expect);
+    // Bin sum equals the total too (no leakage during folds).
+    double bin_sum = 0.0;
+    for (double b : h.values()) bin_sum += b;
+    EXPECT_NEAR(bin_sum, expect, 1e-9 * expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramConservation, ::testing::Values(1, 2, 3, 7, 42));
+
+// ---------------------------------------------------------------------------
+// Tool byte counters equal ground truth for random message mixes
+// ---------------------------------------------------------------------------
+
+class CounterExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(CounterExactness, ToolCountsRandomTrafficExactly) {
+    simmpi::World::Config wcfg;
+    wcfg.start_paused = true;
+    core::Session s(Flavor::Lam, {}, wcfg);
+    std::mt19937 rng(static_cast<unsigned>(GetParam()));
+    // Precompute a random traffic schedule both ranks share.
+    struct Msg {
+        int bytes;
+        int tag;
+    };
+    std::vector<Msg> schedule;
+    long long total_bytes = 0;
+    for (int i = 0; i < 60; ++i) {
+        Msg m{static_cast<int>(rng() % 9000 + 1), static_cast<int>(rng() % 5)};
+        total_bytes += m.bytes;
+        schedule.push_back(m);
+    }
+    s.world().register_program("prog", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        std::vector<char> buf(10000);
+        for (const Msg& m : schedule) {
+            if (me == 0)
+                r.MPI_Send(buf.data(), m.bytes, simmpi::MPI_BYTE, 1, m.tag, w);
+            else
+                r.MPI_Recv(buf.data(), m.bytes, simmpi::MPI_BYTE, 0, m.tag, w, nullptr);
+        }
+        r.MPI_Finalize();
+    });
+    core::run_app_async(s.tool(), "prog", {}, 2);
+    auto sent = s.tool().metrics().request("msg_bytes_sent", core::Focus{});
+    auto recv = s.tool().metrics().request("msg_bytes_recv", core::Focus{});
+    s.world().release_start_gate();
+    s.world().join_all();
+    EXPECT_DOUBLE_EQ(sent->total(), static_cast<double>(total_bytes));
+    EXPECT_DOUBLE_EQ(recv->total(), static_cast<double>(total_bytes));
+    s.tool().metrics().release(sent);
+    s.tool().metrics().release(recv);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CounterExactness, ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace m2p

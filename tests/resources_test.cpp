@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/resources.hpp"
+
+namespace m2p::core {
+namespace {
+
+TEST(ResourceHierarchy, HasStandardRoots) {
+    ResourceHierarchy rh;
+    EXPECT_TRUE(rh.exists("/Code"));
+    EXPECT_TRUE(rh.exists("/Machine"));
+    EXPECT_TRUE(rh.exists("/Process"));
+    EXPECT_TRUE(rh.exists("/SyncObject/Message"));
+    EXPECT_TRUE(rh.exists("/SyncObject/Barrier"));
+    EXPECT_TRUE(rh.exists("/SyncObject/Window"));
+}
+
+TEST(ResourceHierarchy, AddAndQueryChildren) {
+    ResourceHierarchy rh;
+    EXPECT_TRUE(rh.add("/Code/app", ResourceKind::Module));
+    EXPECT_TRUE(rh.add("/Code/app/main", ResourceKind::Function));
+    EXPECT_FALSE(rh.add("/Code/app", ResourceKind::Module));  // idempotent
+    const auto kids = rh.children("/Code/app");
+    ASSERT_EQ(kids.size(), 1u);
+    EXPECT_EQ(kids[0], "/Code/app/main");
+}
+
+TEST(ResourceHierarchy, ChildrenDoesNotIncludeGrandchildren) {
+    ResourceHierarchy rh;
+    rh.add("/Code/app", ResourceKind::Module);
+    rh.add("/Code/app/f", ResourceKind::Function);
+    const auto kids = rh.children("/Code");
+    ASSERT_EQ(kids.size(), 1u);
+    EXPECT_EQ(kids[0], "/Code/app");
+}
+
+TEST(ResourceHierarchy, AddWithoutParentThrows) {
+    ResourceHierarchy rh;
+    EXPECT_THROW(rh.add("/Code/missing/f", ResourceKind::Function),
+                 std::invalid_argument);
+    EXPECT_THROW(rh.add("relative", ResourceKind::Function), std::invalid_argument);
+}
+
+TEST(ResourceHierarchy, RetireHidesFromUnretiredListing) {
+    ResourceHierarchy rh;
+    rh.add("/SyncObject/Window/0-0", ResourceKind::Window);
+    rh.add("/SyncObject/Window/0-1", ResourceKind::Window);
+    rh.retire("/SyncObject/Window/0-0");
+    EXPECT_EQ(rh.children("/SyncObject/Window", true).size(), 2u);
+    const auto live = rh.children("/SyncObject/Window", false);
+    ASSERT_EQ(live.size(), 1u);
+    EXPECT_EQ(live[0], "/SyncObject/Window/0-1");
+}
+
+TEST(ResourceHierarchy, DisplayNameShowsInRender) {
+    ResourceHierarchy rh;
+    rh.add("/SyncObject/Window/0-0", ResourceKind::Window);
+    rh.set_display("/SyncObject/Window/0-0", "ParentChildWindow");
+    const std::string out = rh.render("/SyncObject/Window");
+    EXPECT_NE(out.find("0-0 \"ParentChildWindow\""), std::string::npos);
+}
+
+TEST(ResourceHierarchy, RenderMarksRetired) {
+    ResourceHierarchy rh;
+    rh.add("/SyncObject/Window/1-0", ResourceKind::Window);
+    rh.retire("/SyncObject/Window/1-0");
+    EXPECT_NE(rh.render("/SyncObject/Window").find("[retired]"), std::string::npos);
+}
+
+TEST(ResourceHierarchy, PathHelpers) {
+    EXPECT_EQ(ResourceHierarchy::leaf("/a/b/c"), "c");
+    EXPECT_EQ(ResourceHierarchy::parent("/a/b/c"), "/a/b");
+    EXPECT_EQ(ResourceHierarchy::parent("/a"), "/");
+}
+
+TEST(Focus, WholeProgramAndToString) {
+    Focus f;
+    EXPECT_TRUE(f.is_whole_program());
+    f.code = "/Code/app/main";
+    EXPECT_FALSE(f.is_whole_program());
+    EXPECT_NE(f.to_string().find("/Code/app/main"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace m2p::core

@@ -1,0 +1,224 @@
+// Gather/Scatter/Allgather, MPI_Ssend, and shared-file-pointer I/O.
+#include <gtest/gtest.h>
+
+#include "simmpi/launcher.hpp"
+#include "simmpi/rank.hpp"
+#include <chrono>
+#include <thread>
+
+#include "util/clock.hpp"
+
+namespace m2p::simmpi {
+namespace {
+
+class GsTest : public ::testing::TestWithParam<Flavor> {
+protected:
+    void run(int n, std::function<void(Rank&)> fn) {
+        instr::Registry reg;
+        World::Config cfg;
+        cfg.flavor = GetParam();
+        World world(reg, cfg);
+        world.register_program("prog",
+                               [fn](Rank& r, const std::vector<std::string>&) { fn(r); });
+        LaunchPlan plan;
+        for (int i = 0; i < n; ++i) plan.placements.push_back("node0");
+        launch(world, "prog", {}, plan);
+        world.join_all();
+    }
+};
+
+TEST_P(GsTest, GatherAssemblesBlocksInRankOrder) {
+    run(4, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0, n = 0;
+        r.MPI_Comm_rank(w, &me);
+        r.MPI_Comm_size(w, &n);
+        const std::int32_t mine[2] = {10 * me, 10 * me + 1};
+        std::vector<std::int32_t> all(static_cast<std::size_t>(2 * n), -1);
+        for (int root = 0; root < n; ++root) {
+            ASSERT_EQ(r.MPI_Gather(mine, 2, MPI_INT, all.data(), 2, MPI_INT, root, w),
+                      MPI_SUCCESS);
+            if (me == root)
+                for (int k = 0; k < n; ++k) {
+                    EXPECT_EQ(all[static_cast<std::size_t>(2 * k)], 10 * k);
+                    EXPECT_EQ(all[static_cast<std::size_t>(2 * k + 1)], 10 * k + 1);
+                }
+        }
+        r.MPI_Finalize();
+    });
+}
+
+TEST_P(GsTest, ScatterDistributesBlocks) {
+    run(3, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0, n = 0;
+        r.MPI_Comm_rank(w, &me);
+        r.MPI_Comm_size(w, &n);
+        std::vector<double> src;
+        if (me == 1)
+            for (int k = 0; k < n; ++k) src.push_back(100.0 + k);
+        double mine = -1;
+        ASSERT_EQ(r.MPI_Scatter(src.data(), 1, MPI_DOUBLE, &mine, 1, MPI_DOUBLE, 1, w),
+                  MPI_SUCCESS);
+        EXPECT_DOUBLE_EQ(mine, 100.0 + me);
+        r.MPI_Finalize();
+    });
+}
+
+TEST_P(GsTest, AllgatherGivesEveryoneTheFullVector) {
+    run(5, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0, n = 0;
+        r.MPI_Comm_rank(w, &me);
+        r.MPI_Comm_size(w, &n);
+        const std::int64_t mine = me * me;
+        std::vector<std::int64_t> all(static_cast<std::size_t>(n), -1);
+        ASSERT_EQ(r.MPI_Allgather(&mine, 1, MPI_LONG, all.data(), 1, MPI_LONG, w),
+                  MPI_SUCCESS);
+        for (int k = 0; k < n; ++k)
+            EXPECT_EQ(all[static_cast<std::size_t>(k)], static_cast<std::int64_t>(k) * k);
+        r.MPI_Finalize();
+    });
+}
+
+TEST_P(GsTest, GatherScatterErrorPaths) {
+    run(2, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        std::int32_t v = 0, out[4];
+        EXPECT_EQ(r.MPI_Gather(&v, 1, MPI_INT, out, 1, MPI_INT, 9, w), MPI_ERR_RANK);
+        EXPECT_EQ(r.MPI_Gather(&v, -1, MPI_INT, out, 1, MPI_INT, 0, w), MPI_ERR_COUNT);
+        // Mismatched block sizes (4 vs 8 bytes).
+        EXPECT_EQ(r.MPI_Gather(&v, 1, MPI_INT, out, 1, MPI_LONG, 0, w), MPI_ERR_ARG);
+        EXPECT_EQ(r.MPI_Allgather(&v, 1, MPI_INT, out, 1, MPI_INT, 999), MPI_ERR_COMM);
+        r.MPI_Finalize();
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Flavors, GsTest,
+                         ::testing::Values(Flavor::Lam, Flavor::Mpich),
+                         [](const ::testing::TestParamInfo<Flavor>& i) {
+                             return i.param == Flavor::Lam ? "Lam" : "Mpich";
+                         });
+
+TEST(Ssend, AlwaysRendezvousEvenForTinyMessages) {
+    instr::Registry reg;
+    World world(reg, {});
+    std::atomic<bool> receiver_started{false};
+    std::atomic<double> send_elapsed{0.0};
+    world.register_program("prog", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        char b = 's';
+        if (me == 0) {
+            const double t0 = util::wall_seconds();
+            // MPI_Ssend must block until the receive starts -- ~60ms.
+            ASSERT_EQ(r.MPI_Ssend(&b, 1, MPI_BYTE, 1, 0, w), MPI_SUCCESS);
+            send_elapsed = util::wall_seconds() - t0;
+            EXPECT_TRUE(receiver_started.load());
+        } else {
+            std::this_thread::sleep_for(std::chrono::milliseconds(60));
+            receiver_started = true;
+            r.MPI_Recv(&b, 1, MPI_BYTE, 0, 0, w, nullptr);
+        }
+        r.MPI_Finalize();
+    });
+    LaunchPlan plan;
+    plan.placements = {"n", "n"};
+    launch(world, "prog", {}, plan);
+    world.join_all();
+    EXPECT_GT(send_elapsed.load(), 0.05);
+}
+
+TEST(SharedFilePointer, WritersClaimDisjointRegions) {
+    instr::Registry reg;
+    World::Config cfg;
+    cfg.file_latency_seconds = 1e-6;
+    cfg.file_bandwidth_bytes_per_second = 10e9;
+    World world(reg, cfg);
+    constexpr int kEach = 20;
+    world.register_program("prog", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        File fh = MPI_FILE_NULL;
+        r.MPI_File_open(w, "shared.dat", MPI_MODE_CREATE | MPI_MODE_RDWR,
+                        MPI_INFO_NULL, &fh);
+        const char mark = static_cast<char>('A' + me);
+        std::vector<char> rec(8, mark);
+        Status st;
+        for (int i = 0; i < kEach; ++i)
+            ASSERT_EQ(r.MPI_File_write_shared(fh, rec.data(), 8, MPI_BYTE, &st),
+                      MPI_SUCCESS);
+        r.MPI_File_close(&fh);
+        r.MPI_Finalize();
+    });
+    LaunchPlan plan;
+    plan.placements = {"n", "n", "n"};
+    launch(world, "prog", {}, plan);
+    world.join_all();
+    // Every record landed whole (no interleaving within a record) and
+    // the totals per writer are exact.
+    auto store = world.fs_lookup("shared.dat", false);
+    ASSERT_NE(store, nullptr);
+    ASSERT_EQ(store->data.size(), 3u * kEach * 8u);
+    std::map<char, int> counts;
+    for (std::size_t rec_at = 0; rec_at < store->data.size(); rec_at += 8) {
+        const char first = static_cast<char>(store->data[rec_at]);
+        for (std::size_t k = 1; k < 8; ++k)
+            ASSERT_EQ(static_cast<char>(store->data[rec_at + k]), first);
+        counts[first]++;
+    }
+    EXPECT_EQ(counts['A'], kEach);
+    EXPECT_EQ(counts['B'], kEach);
+    EXPECT_EQ(counts['C'], kEach);
+}
+
+TEST(SharedFilePointer, ReadersConsumeStreamWithoutOverlap) {
+    instr::Registry reg;
+    World::Config cfg;
+    cfg.file_latency_seconds = 1e-6;
+    cfg.file_bandwidth_bytes_per_second = 10e9;
+    World world(reg, cfg);
+    std::atomic<long long> sum{0};
+    world.register_program("prog", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        File fh = MPI_FILE_NULL;
+        r.MPI_File_open(w, "stream.dat", MPI_MODE_CREATE | MPI_MODE_RDWR,
+                        MPI_INFO_NULL, &fh);
+        if (me == 0) {
+            std::vector<std::int32_t> vals(40);
+            for (int i = 0; i < 40; ++i) vals[static_cast<std::size_t>(i)] = i + 1;
+            Status st;
+            r.MPI_File_write_at(fh, 0, vals.data(), 40, MPI_INT, &st);
+        }
+        r.MPI_Barrier(w);
+        // Both ranks drain the shared pointer: each element read once.
+        Status st;
+        for (;;) {
+            std::int32_t v = 0;
+            r.MPI_File_read_shared(fh, &v, 1, MPI_INT, &st);
+            if (st.count_bytes < 4) break;
+            sum += v;
+        }
+        r.MPI_File_close(&fh);
+        r.MPI_Finalize();
+    });
+    LaunchPlan plan;
+    plan.placements = {"n", "n"};
+    launch(world, "prog", {}, plan);
+    world.join_all();
+    EXPECT_EQ(sum.load(), 40LL * 41 / 2);  // each of 1..40 exactly once
+}
+
+}  // namespace
+}  // namespace m2p::simmpi

@@ -1,0 +1,365 @@
+// MPI-I/O: the simulated parallel filesystem, open-mode semantics,
+// individual/explicit/collective transfers, pointers, and errors.
+#include <gtest/gtest.h>
+
+#include "simmpi/launcher.hpp"
+#include "simmpi/rank.hpp"
+#include "simmpi/world.hpp"
+
+namespace m2p::simmpi {
+namespace {
+
+struct IoFixture {
+    instr::Registry reg;
+    World world;
+    IoFixture() : world(reg, fast_fs()) {}
+
+    static World::Config fast_fs() {
+        World::Config c;
+        c.file_latency_seconds = 1e-6;  // keep tests quick
+        c.file_bandwidth_bytes_per_second = 10e9;
+        return c;
+    }
+
+    void run(int n, std::function<void(Rank&)> fn) {
+        world.register_program("prog",
+                               [fn](Rank& r, const std::vector<std::string>&) { fn(r); });
+        LaunchPlan plan;
+        for (int i = 0; i < n; ++i) plan.placements.push_back("node0");
+        launch(world, "prog", {}, plan);
+        world.join_all();
+    }
+};
+
+TEST(MpiIo, WriteThenReadRoundTrips) {
+    IoFixture fx;
+    fx.run(1, [](Rank& r) {
+        r.MPI_Init();
+        File fh = MPI_FILE_NULL;
+        ASSERT_EQ(r.MPI_File_open(r.MPI_COMM_WORLD(), "f.dat",
+                                  MPI_MODE_CREATE | MPI_MODE_RDWR, MPI_INFO_NULL, &fh),
+                  MPI_SUCCESS);
+        const char out[] = "hello mpi-io";
+        Status st;
+        ASSERT_EQ(r.MPI_File_write(fh, out, sizeof out, MPI_BYTE, &st), MPI_SUCCESS);
+        EXPECT_EQ(st.count_bytes, static_cast<int>(sizeof out));
+        std::int64_t pos = -1;
+        r.MPI_File_get_position(fh, &pos);
+        EXPECT_EQ(pos, static_cast<std::int64_t>(sizeof out));
+        ASSERT_EQ(r.MPI_File_seek(fh, 0, MPI_SEEK_SET), MPI_SUCCESS);
+        char in[sizeof out] = {};
+        ASSERT_EQ(r.MPI_File_read(fh, in, sizeof in, MPI_BYTE, &st), MPI_SUCCESS);
+        EXPECT_STREQ(in, out);
+        std::int64_t size = 0;
+        r.MPI_File_get_size(fh, &size);
+        EXPECT_EQ(size, static_cast<std::int64_t>(sizeof out));
+        EXPECT_EQ(r.MPI_File_close(&fh), MPI_SUCCESS);
+        EXPECT_EQ(fh, MPI_FILE_NULL);
+        r.MPI_Finalize();
+    });
+    EXPECT_TRUE(fx.world.fs_exists("f.dat"));
+}
+
+TEST(MpiIo, ExplicitOffsetsGiveDisjointStripes) {
+    IoFixture fx;
+    fx.run(4, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0, n = 0;
+        r.MPI_Comm_rank(w, &me);
+        r.MPI_Comm_size(w, &n);
+        File fh = MPI_FILE_NULL;
+        ASSERT_EQ(r.MPI_File_open(w, "stripes.dat", MPI_MODE_CREATE | MPI_MODE_RDWR,
+                                  MPI_INFO_NULL, &fh),
+                  MPI_SUCCESS);
+        std::vector<std::int32_t> mine(16, me + 1);
+        Status st;
+        ASSERT_EQ(r.MPI_File_write_at(fh, me * 64, mine.data(), 16, MPI_INT, &st),
+                  MPI_SUCCESS);
+        r.MPI_Barrier(w);
+        // Everyone reads the neighbour's stripe and sees their value.
+        const int peer = (me + 1) % n;
+        std::vector<std::int32_t> theirs(16, 0);
+        ASSERT_EQ(r.MPI_File_read_at(fh, peer * 64, theirs.data(), 16, MPI_INT, &st),
+                  MPI_SUCCESS);
+        for (std::int32_t v : theirs) EXPECT_EQ(v, peer + 1);
+        r.MPI_File_close(&fh);
+        r.MPI_Finalize();
+    });
+}
+
+TEST(MpiIo, CollectiveWriteAllSynchronizes) {
+    IoFixture fx;
+    static std::atomic<int> in_phase{0};
+    in_phase = 0;
+    fx.run(3, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        File fh = MPI_FILE_NULL;
+        r.MPI_File_open(w, "coll.dat", MPI_MODE_CREATE | MPI_MODE_WRONLY,
+                        MPI_INFO_NULL, &fh);
+        char b = static_cast<char>('a' + me);
+        Status st;
+        ASSERT_EQ(r.MPI_File_write_all(fh, &b, 1, MPI_BYTE, &st), MPI_SUCCESS);
+        r.MPI_File_close(&fh);
+        r.MPI_Finalize();
+    });
+    auto store = fx.world.fs_lookup("coll.dat", false);
+    ASSERT_NE(store, nullptr);
+    // Individual pointers all started at 0: the last writer's byte
+    // remains at offset 0 (POSIX-like overlapping semantics).
+    EXPECT_EQ(store->data.size(), 1u);
+}
+
+TEST(MpiIo, AppendModePositionsAtEnd) {
+    IoFixture fx;
+    fx.run(1, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        File fh = MPI_FILE_NULL;
+        r.MPI_File_open(w, "log.dat", MPI_MODE_CREATE | MPI_MODE_WRONLY,
+                        MPI_INFO_NULL, &fh);
+        Status st;
+        r.MPI_File_write(fh, "12345", 5, MPI_BYTE, &st);
+        r.MPI_File_close(&fh);
+        // Reopen with APPEND: writes land after the existing content.
+        r.MPI_File_open(w, "log.dat", MPI_MODE_WRONLY | MPI_MODE_APPEND, MPI_INFO_NULL,
+                        &fh);
+        r.MPI_File_write(fh, "67", 2, MPI_BYTE, &st);
+        std::int64_t size = 0;
+        r.MPI_File_get_size(fh, &size);
+        EXPECT_EQ(size, 7);
+        r.MPI_File_close(&fh);
+        r.MPI_Finalize();
+    });
+}
+
+TEST(MpiIo, ShortReadAtEndOfFile) {
+    IoFixture fx;
+    fx.run(1, [](Rank& r) {
+        r.MPI_Init();
+        File fh = MPI_FILE_NULL;
+        r.MPI_File_open(r.MPI_COMM_WORLD(), "short.dat",
+                        MPI_MODE_CREATE | MPI_MODE_RDWR, MPI_INFO_NULL, &fh);
+        Status st;
+        r.MPI_File_write(fh, "abc", 3, MPI_BYTE, &st);
+        char buf[10] = {};
+        ASSERT_EQ(r.MPI_File_read_at(fh, 1, buf, 10, MPI_BYTE, &st), MPI_SUCCESS);
+        EXPECT_EQ(st.count_bytes, 2);  // only "bc" available
+        EXPECT_EQ(buf[0], 'b');
+        int count = 0;
+        r.MPI_Get_count(&st, MPI_BYTE, &count);
+        EXPECT_EQ(count, 2);
+        r.MPI_File_close(&fh);
+        r.MPI_Finalize();
+    });
+}
+
+TEST(MpiIo, OpenModeErrors) {
+    IoFixture fx;
+    fx.run(1, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        File fh = MPI_FILE_NULL;
+        // No read/write mode at all.
+        EXPECT_EQ(r.MPI_File_open(w, "x", MPI_MODE_CREATE, MPI_INFO_NULL, &fh),
+                  MPI_ERR_AMODE);
+        // Both RDONLY and WRONLY.
+        EXPECT_EQ(r.MPI_File_open(w, "x", MPI_MODE_RDONLY | MPI_MODE_WRONLY,
+                                  MPI_INFO_NULL, &fh),
+                  MPI_ERR_AMODE);
+        // EXCL without CREATE.
+        EXPECT_EQ(r.MPI_File_open(w, "x", MPI_MODE_RDWR | MPI_MODE_EXCL, MPI_INFO_NULL,
+                                  &fh),
+                  MPI_ERR_AMODE);
+        // Nonexistent without CREATE.
+        EXPECT_EQ(r.MPI_File_open(w, "nope", MPI_MODE_RDONLY, MPI_INFO_NULL, &fh),
+                  MPI_ERR_NO_SUCH_FILE);
+        // Create, then EXCL-create again fails.
+        ASSERT_EQ(r.MPI_File_open(w, "x", MPI_MODE_CREATE | MPI_MODE_RDWR,
+                                  MPI_INFO_NULL, &fh),
+                  MPI_SUCCESS);
+        r.MPI_File_close(&fh);
+        EXPECT_EQ(r.MPI_File_open(w, "x",
+                                  MPI_MODE_CREATE | MPI_MODE_EXCL | MPI_MODE_RDWR,
+                                  MPI_INFO_NULL, &fh),
+                  MPI_ERR_FILE_EXISTS);
+        r.MPI_Finalize();
+    });
+}
+
+TEST(MpiIo, AccessModeEnforcedOnTransfers) {
+    IoFixture fx;
+    fx.run(1, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        File fh = MPI_FILE_NULL;
+        r.MPI_File_open(w, "ro.dat", MPI_MODE_CREATE | MPI_MODE_RDWR, MPI_INFO_NULL,
+                        &fh);
+        Status st;
+        r.MPI_File_write(fh, "z", 1, MPI_BYTE, &st);
+        r.MPI_File_close(&fh);
+
+        r.MPI_File_open(w, "ro.dat", MPI_MODE_RDONLY, MPI_INFO_NULL, &fh);
+        EXPECT_EQ(r.MPI_File_write(fh, "w", 1, MPI_BYTE, &st), MPI_ERR_READ_ONLY);
+        char b = 0;
+        EXPECT_EQ(r.MPI_File_read(fh, &b, 1, MPI_BYTE, &st), MPI_SUCCESS);
+        r.MPI_File_close(&fh);
+
+        r.MPI_File_open(w, "ro.dat", MPI_MODE_WRONLY, MPI_INFO_NULL, &fh);
+        EXPECT_EQ(r.MPI_File_read(fh, &b, 1, MPI_BYTE, &st), MPI_ERR_ACCESS);
+        r.MPI_File_close(&fh);
+        r.MPI_Finalize();
+    });
+}
+
+TEST(MpiIo, DeleteOnCloseAndExplicitDelete) {
+    IoFixture fx;
+    fx.run(1, [&](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        File fh = MPI_FILE_NULL;
+        r.MPI_File_open(w, "tmp.dat",
+                        MPI_MODE_CREATE | MPI_MODE_RDWR | MPI_MODE_DELETE_ON_CLOSE,
+                        MPI_INFO_NULL, &fh);
+        EXPECT_TRUE(fx.world.fs_exists("tmp.dat"));
+        r.MPI_File_close(&fh);
+        EXPECT_FALSE(fx.world.fs_exists("tmp.dat"));
+
+        r.MPI_File_open(w, "gone.dat", MPI_MODE_CREATE | MPI_MODE_RDWR, MPI_INFO_NULL,
+                        &fh);
+        r.MPI_File_close(&fh);
+        EXPECT_EQ(r.MPI_File_delete("gone.dat", MPI_INFO_NULL), MPI_SUCCESS);
+        EXPECT_EQ(r.MPI_File_delete("gone.dat", MPI_INFO_NULL), MPI_ERR_NO_SUCH_FILE);
+        r.MPI_Finalize();
+    });
+}
+
+TEST(MpiIo, OperationsOnClosedHandleFail) {
+    IoFixture fx;
+    fx.run(1, [](Rank& r) {
+        r.MPI_Init();
+        File fh = MPI_FILE_NULL;
+        r.MPI_File_open(r.MPI_COMM_WORLD(), "c.dat", MPI_MODE_CREATE | MPI_MODE_RDWR,
+                        MPI_INFO_NULL, &fh);
+        File stale = fh;
+        r.MPI_File_close(&fh);
+        char b = 0;
+        Status st;
+        EXPECT_EQ(r.MPI_File_read(stale, &b, 1, MPI_BYTE, &st), MPI_ERR_FILE);
+        EXPECT_EQ(r.MPI_File_seek(stale, 0, MPI_SEEK_SET), MPI_ERR_FILE);
+        EXPECT_EQ(r.MPI_File_sync(stale), MPI_ERR_FILE);
+        r.MPI_Finalize();
+    });
+}
+
+TEST(MpiIo, SeekWhenceVariants) {
+    IoFixture fx;
+    fx.run(1, [](Rank& r) {
+        r.MPI_Init();
+        File fh = MPI_FILE_NULL;
+        r.MPI_File_open(r.MPI_COMM_WORLD(), "s.dat", MPI_MODE_CREATE | MPI_MODE_RDWR,
+                        MPI_INFO_NULL, &fh);
+        Status st;
+        r.MPI_File_write(fh, "0123456789", 10, MPI_BYTE, &st);
+        std::int64_t pos = -1;
+        r.MPI_File_seek(fh, 2, MPI_SEEK_SET);
+        r.MPI_File_get_position(fh, &pos);
+        EXPECT_EQ(pos, 2);
+        r.MPI_File_seek(fh, 3, MPI_SEEK_CUR);
+        r.MPI_File_get_position(fh, &pos);
+        EXPECT_EQ(pos, 5);
+        r.MPI_File_seek(fh, -1, MPI_SEEK_END);
+        r.MPI_File_get_position(fh, &pos);
+        EXPECT_EQ(pos, 9);
+        EXPECT_EQ(r.MPI_File_seek(fh, -100, MPI_SEEK_CUR), MPI_ERR_ARG);
+        EXPECT_EQ(r.MPI_File_seek(fh, 0, 99), MPI_ERR_ARG);
+        r.MPI_File_close(&fh);
+        r.MPI_Finalize();
+    });
+}
+
+TEST(MpiIo, FileViewInterpretsOffsetsInEtypes) {
+    IoFixture fx;
+    fx.run(1, [](Rank& r) {
+        r.MPI_Init();
+        File fh = MPI_FILE_NULL;
+        r.MPI_File_open(r.MPI_COMM_WORLD(), "view.dat",
+                        MPI_MODE_CREATE | MPI_MODE_RDWR, MPI_INFO_NULL, &fh);
+        // 16-byte header, then a view of doubles starting after it.
+        Status st;
+        char header[16] = {'H'};
+        r.MPI_File_write(fh, header, 16, MPI_BYTE, &st);
+        ASSERT_EQ(r.MPI_File_set_view(fh, 16, MPI_DOUBLE, MPI_INFO_NULL),
+                  MPI_SUCCESS);
+        std::int64_t pos = -1;
+        r.MPI_File_get_position(fh, &pos);
+        EXPECT_EQ(pos, 0);  // set_view resets the pointers
+        const double vals[3] = {1.5, 2.5, 3.5};
+        r.MPI_File_write(fh, vals, 3, MPI_DOUBLE, &st);
+        // Element 1 of the view lives at byte 16 + 8.
+        double got = 0;
+        r.MPI_File_read_at(fh, 1, &got, 1, MPI_DOUBLE, &st);
+        EXPECT_DOUBLE_EQ(got, 2.5);
+        std::int64_t size = 0;
+        r.MPI_File_get_size(fh, &size);
+        EXPECT_EQ(size, 16 + 3 * 8);
+        std::int64_t disp = -1;
+        Datatype etype = MPI_DATATYPE_NULL;
+        r.MPI_File_get_view(fh, &disp, &etype);
+        EXPECT_EQ(disp, 16);
+        EXPECT_EQ(etype, MPI_DOUBLE);
+        // Partial-etype access is rejected.
+        char one = 0;
+        EXPECT_EQ(r.MPI_File_write(fh, &one, 1, MPI_BYTE, &st), MPI_ERR_TYPE);
+        r.MPI_File_close(&fh);
+        r.MPI_Finalize();
+    });
+}
+
+TEST(MpiIo, FileViewSeekEndUsesViewUnits) {
+    IoFixture fx;
+    fx.run(1, [](Rank& r) {
+        r.MPI_Init();
+        File fh = MPI_FILE_NULL;
+        r.MPI_File_open(r.MPI_COMM_WORLD(), "ve.dat",
+                        MPI_MODE_CREATE | MPI_MODE_RDWR, MPI_INFO_NULL, &fh);
+        Status st;
+        const std::int32_t vals[6] = {1, 2, 3, 4, 5, 6};
+        r.MPI_File_write(fh, vals, 6, MPI_INT, &st);
+        r.MPI_File_set_view(fh, 8, MPI_INT, MPI_INFO_NULL);  // skip first two ints
+        r.MPI_File_seek(fh, -1, MPI_SEEK_END);
+        std::int64_t pos = -1;
+        r.MPI_File_get_position(fh, &pos);
+        EXPECT_EQ(pos, 3);  // 4 ints visible in the view; last one at 3
+        std::int32_t got = 0;
+        r.MPI_File_read(fh, &got, 1, MPI_INT, &st);
+        EXPECT_EQ(got, 6);
+        r.MPI_File_close(&fh);
+        r.MPI_Finalize();
+    });
+}
+
+TEST(MpiIo, GetInfoReturnsHintsFromOpen) {
+    IoFixture fx;
+    fx.run(1, [&](Rank& r) {
+        r.MPI_Init();
+        Info hints = MPI_INFO_NULL;
+        r.MPI_Info_create(&hints);
+        r.MPI_Info_set(hints, "access_style", "write_once,read_mostly");
+        File fh = MPI_FILE_NULL;
+        r.MPI_File_open(r.MPI_COMM_WORLD(), "h.dat",
+                        MPI_MODE_CREATE | MPI_MODE_RDWR, hints, &fh);
+        Info out = MPI_INFO_NULL;
+        ASSERT_EQ(r.MPI_File_get_info(fh, &out), MPI_SUCCESS);
+        EXPECT_EQ(fx.world.info(out).kv.at("access_style"),
+                  "write_once,read_mostly");
+        r.MPI_File_close(&fh);
+        r.MPI_Finalize();
+    });
+}
+
+}  // namespace
+}  // namespace m2p::simmpi

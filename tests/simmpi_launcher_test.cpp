@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "simmpi/launcher.hpp"
+#include "simmpi/rank.hpp"
+
+namespace m2p::simmpi {
+namespace {
+
+const std::vector<Node> kNodes = {{"node0", 2}, {"node1", 2}, {"node2", 1},
+                                  {"node3", 1}, {"node4", 2}};
+
+TEST(Machinefile, ParsesLamStyle) {
+    const auto nodes = parse_machinefile(
+        "# cluster nodes\n"
+        "wyeast0 cpu=2\n"
+        "wyeast1 cpu=2   # dual\n"
+        "wyeast2\n");
+    ASSERT_EQ(nodes.size(), 3u);
+    EXPECT_EQ(nodes[0].name, "wyeast0");
+    EXPECT_EQ(nodes[0].cpus, 2);
+    EXPECT_EQ(nodes[2].cpus, 1);
+}
+
+TEST(Machinefile, ParsesMpichColonStyle) {
+    const auto nodes = parse_machinefile("hostA:4\nhostB\n");
+    ASSERT_EQ(nodes.size(), 2u);
+    EXPECT_EQ(nodes[0].cpus, 4);
+    EXPECT_EQ(nodes[1].cpus, 1);
+}
+
+// LAM placement notations (paper section 4.1.2).
+
+TEST(LamPlan, DirectCpuCount) {
+    // "-np n simply denotes that n processes be started on the first
+    // n processors."
+    const LaunchPlan p = plan_lam(kNodes, {"-np", "3"});
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.placements,
+              (std::vector<std::string>{"node0", "node0", "node1"}));
+}
+
+TEST(LamPlan, NodeSpecN) {
+    // "N" means one copy per node in the LAM session.
+    const LaunchPlan p = plan_lam(kNodes, {"N"});
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.placements.size(), 5u);
+    EXPECT_EQ(p.placements[4], "node4");
+}
+
+TEST(LamPlan, NodeRangeSpec) {
+    // "n0-2,4" starts processes on nodes 0, 1, 2 and 4 (the paper's
+    // own example).
+    const LaunchPlan p = plan_lam(kNodes, {"n0-2,4"});
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.placements,
+              (std::vector<std::string>{"node0", "node1", "node2", "node4"}));
+}
+
+TEST(LamPlan, ProcessorSpecC) {
+    // "C" starts one process per processor.
+    const LaunchPlan p = plan_lam(kNodes, {"C"});
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.placements.size(), 8u);  // 2+2+1+1+2 CPUs
+    EXPECT_EQ(p.placements[0], "node0");
+    EXPECT_EQ(p.placements[1], "node0");
+    EXPECT_EQ(p.placements[7], "node4");
+}
+
+TEST(LamPlan, ProcessorRangeSpec) {
+    const LaunchPlan p = plan_lam(kNodes, {"c0,3-4"});
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.placements, (std::vector<std::string>{"node0", "node1", "node2"}));
+}
+
+TEST(LamPlan, MixedNodeAndProcessorSpecs) {
+    // "It is also possible for the user to give a mixture of node and
+    // processor specifications."
+    const LaunchPlan p = plan_lam(kNodes, {"n0", "c2-3"});
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.placements, (std::vector<std::string>{"node0", "node1", "node1"}));
+}
+
+TEST(LamPlan, NpOversubscriptionWraps) {
+    const LaunchPlan p = plan_lam({{"solo", 2}}, {"-np", "5"});
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.placements.size(), 5u);
+}
+
+TEST(LamPlan, Errors) {
+    EXPECT_FALSE(plan_lam(kNodes, {"-np"}).ok);
+    EXPECT_FALSE(plan_lam(kNodes, {"-np", "zero"}).ok);
+    EXPECT_FALSE(plan_lam(kNodes, {"-np", "0"}).ok);
+    EXPECT_FALSE(plan_lam(kNodes, {"n0-9"}).ok);   // out of range
+    EXPECT_FALSE(plan_lam(kNodes, {"c99"}).ok);
+    EXPECT_FALSE(plan_lam(kNodes, {"n2-1"}).ok);   // inverted range
+    EXPECT_FALSE(plan_lam(kNodes, {"--weird"}).ok);
+    EXPECT_FALSE(plan_lam(kNodes, {}).ok);          // nothing requested
+    EXPECT_FALSE(plan_lam({}, {"-np", "2"}).ok);    // no booted nodes
+}
+
+// MPICH placement (-np / -m / -wdir; the paper's non-shared-filesystem
+// additions, section 4.1.1).
+
+TEST(MpichPlan, RoundRobinOverMachinefileCpus) {
+    const auto machine = parse_machinefile("hostA:2\nhostB:1\n");
+    const LaunchPlan p = plan_mpich(machine, {"-np", "5"});
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.placements, (std::vector<std::string>{"hostA", "hostA", "hostB",
+                                                      "hostA", "hostA"}));
+}
+
+TEST(MpichPlan, InlineMachinefileArgument) {
+    const LaunchPlan p = plan_mpich({}, {"-np", "2", "-m", "only:2\n"});
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.placements, (std::vector<std::string>{"only", "only"}));
+}
+
+TEST(MpichPlan, WdirRecorded) {
+    const LaunchPlan p =
+        plan_mpich({{"h", 1}}, {"-np", "1", "-wdir", "/scratch/run1"});
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.wdir, "/scratch/run1");
+}
+
+TEST(MpichPlan, Errors) {
+    EXPECT_FALSE(plan_mpich({{"h", 1}}, {}).ok);              // no -np
+    EXPECT_FALSE(plan_mpich({{"h", 1}}, {"-np"}).ok);
+    EXPECT_FALSE(plan_mpich({}, {"-np", "2"}).ok);            // no machines
+    EXPECT_FALSE(plan_mpich({{"h", 1}}, {"-np", "1", "-x"}).ok);
+}
+
+TEST(Launch, InvalidPlanThrows) {
+    instr::Registry reg;
+    World world(reg, {});
+    LaunchPlan bad;
+    bad.ok = false;
+    EXPECT_THROW(launch(world, "nothing", {}, bad), std::invalid_argument);
+}
+
+TEST(Launch, AssignsNodesPerPlan) {
+    instr::Registry reg;
+    World world(reg, {});
+    world.register_program("prog", [](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        r.MPI_Finalize();
+    });
+    const LaunchPlan p = plan_lam(kNodes, {"n0-2,4"});
+    const std::vector<int> globals = launch(world, "prog", {}, p);
+    world.join_all();
+    ASSERT_EQ(globals.size(), 4u);
+    EXPECT_EQ(world.proc(globals[0]).node, "node0");
+    EXPECT_EQ(world.proc(globals[3]).node, "node4");
+}
+
+}  // namespace
+}  // namespace m2p::simmpi

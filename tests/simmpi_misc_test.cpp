@@ -1,0 +1,124 @@
+// MPI-2 thread support, datatype naming, and the ascii chart renderer.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "simmpi/launcher.hpp"
+#include "simmpi/rank.hpp"
+#include "util/ascii_chart.hpp"
+
+namespace m2p {
+namespace {
+
+using simmpi::Comm;
+using simmpi::Rank;
+
+void run1(std::function<void(Rank&)> fn) {
+    instr::Registry reg;
+    simmpi::World world(reg, {});
+    world.register_program("p", [fn](Rank& r, const std::vector<std::string>&) { fn(r); });
+    simmpi::LaunchPlan plan;
+    plan.placements = {"n"};
+    simmpi::launch(world, "p", {}, plan);
+    world.join_all();
+}
+
+TEST(ThreadSupport, InitThreadGrantsRequestedLevel) {
+    run1([](Rank& r) {
+        int provided = -1;
+        ASSERT_EQ(r.MPI_Init_thread(simmpi::MPI_THREAD_MULTIPLE, &provided),
+                  simmpi::MPI_SUCCESS);
+        EXPECT_EQ(provided, simmpi::MPI_THREAD_MULTIPLE);
+        int queried = -1;
+        EXPECT_EQ(r.MPI_Query_thread(&queried), simmpi::MPI_SUCCESS);
+        EXPECT_EQ(queried, simmpi::MPI_THREAD_MULTIPLE);
+        r.MPI_Finalize();
+    });
+}
+
+TEST(ThreadSupport, InitThreadRejectsBadLevel) {
+    run1([](Rank& r) {
+        int provided = -1;
+        EXPECT_EQ(r.MPI_Init_thread(42, &provided), simmpi::MPI_ERR_ARG);
+        EXPECT_EQ(r.MPI_Init_thread(simmpi::MPI_THREAD_FUNNELED, nullptr),
+                  simmpi::MPI_ERR_ARG);
+        r.MPI_Init();
+        r.MPI_Finalize();
+    });
+}
+
+TEST(ThreadSupport, FunneledAppWithHelperThreadWorks) {
+    // A FUNNELED application: a helper thread computes while the main
+    // rank thread does all MPI calls -- the multi-threaded shape the
+    // paper says tools must tolerate (section 3).
+    instr::Registry reg;
+    simmpi::World world(reg, {});
+    std::atomic<int> helper_ran{0};
+    world.register_program("p", [&](Rank& r, const std::vector<std::string>&) {
+        int provided = 0;
+        r.MPI_Init_thread(simmpi::MPI_THREAD_FUNNELED, &provided);
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        std::thread helper([&] { ++helper_ran; });
+        int v = me;
+        if (me == 0)
+            r.MPI_Send(&v, 1, simmpi::MPI_INT, 1, 0, w);
+        else
+            r.MPI_Recv(&v, 1, simmpi::MPI_INT, 0, 0, w, nullptr);
+        helper.join();
+        r.MPI_Finalize();
+    });
+    simmpi::LaunchPlan plan;
+    plan.placements = {"n", "n"};
+    simmpi::launch(world, "p", {}, plan);
+    world.join_all();
+    EXPECT_EQ(helper_ran.load(), 2);
+}
+
+TEST(TypeNaming, SetAndGet) {
+    run1([](Rank& r) {
+        r.MPI_Init();
+        EXPECT_EQ(r.MPI_Type_set_name(simmpi::MPI_DOUBLE, "FieldElement"),
+                  simmpi::MPI_SUCCESS);
+        std::string name;
+        EXPECT_EQ(r.MPI_Type_get_name(simmpi::MPI_DOUBLE, &name), simmpi::MPI_SUCCESS);
+        EXPECT_EQ(name, "FieldElement");
+        EXPECT_EQ(r.MPI_Type_get_name(simmpi::MPI_INT, &name), simmpi::MPI_SUCCESS);
+        EXPECT_EQ(name, "");
+        EXPECT_EQ(r.MPI_Type_set_name(simmpi::MPI_DATATYPE_NULL, "x"),
+                  simmpi::MPI_ERR_TYPE);
+        r.MPI_Finalize();
+    });
+}
+
+TEST(AsciiChart, RendersBarsScaledToPeak) {
+    const std::string out = util::render_chart(
+        {{"series", {0.0, 5.0, 10.0, 2.5}}}, 0.5, 4, "units");
+    EXPECT_NE(out.find("series"), std::string::npos);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    EXPECT_NE(out.find("[units per bin]"), std::string::npos);
+    // The peak column reaches the top row; the zero column never shows.
+    const std::size_t first_line = out.find('\n');
+    const std::string top = out.substr(first_line + 1, out.find('\n', first_line + 1) -
+                                                           first_line - 1);
+    EXPECT_EQ(std::count(top.begin(), top.end(), '#'), 1);
+}
+
+TEST(AsciiChart, EmptyDataSaysSo) {
+    EXPECT_EQ(util::render_chart({}, 0.1), "(no data)\n");
+    EXPECT_EQ(util::render_chart({{"s", {0.0, 0.0}}}, 0.1), "(no data)\n");
+}
+
+TEST(AsciiChart, MultipleSeriesShareScale) {
+    const std::string out = util::render_chart(
+        {{"big", {10.0}}, {"small", {1.0}}}, 1.0, 10);
+    // "small" is 1/10 of the shared peak: exactly one '#' row.
+    const std::size_t small_at = out.find("small");
+    ASSERT_NE(small_at, std::string::npos);
+    const std::string small_block = out.substr(small_at);
+    EXPECT_EQ(std::count(small_block.begin(), small_block.end(), '#'), 1);
+}
+
+}  // namespace
+}  // namespace m2p

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include "simmpi/launcher.hpp"
+#include "simmpi/rank.hpp"
+#include "simmpi/world.hpp"
+#include "util/clock.hpp"
+
+namespace m2p::simmpi {
+namespace {
+
+struct Fixture {
+    instr::Registry reg;
+    World world;
+    explicit Fixture(Flavor f = Flavor::Lam, World::Config extra = {})
+        : world(reg, [&] {
+              extra.flavor = f;
+              return extra;
+          }()) {}
+
+    /// Runs @p fn on @p n ranks and joins.
+    void run(int n, std::function<void(Rank&)> fn, const std::string& name = "prog") {
+        world.register_program(name,
+                               [fn](Rank& r, const std::vector<std::string>&) { fn(r); });
+        LaunchPlan plan;
+        for (int i = 0; i < n; ++i)
+            plan.placements.push_back("node" + std::to_string(i / 2));
+        launch(world, name, {}, plan);
+        world.join_all();
+    }
+};
+
+TEST(Pt2pt, BasicSendRecv) {
+    Fixture fx;
+    fx.run(2, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        if (me == 0) {
+            const int v = 42;
+            ASSERT_EQ(r.MPI_Send(&v, 1, MPI_INT, 1, 7, w), MPI_SUCCESS);
+        } else {
+            int v = 0;
+            Status st;
+            ASSERT_EQ(r.MPI_Recv(&v, 1, MPI_INT, 0, 7, w, &st), MPI_SUCCESS);
+            EXPECT_EQ(v, 42);
+            EXPECT_EQ(st.MPI_SOURCE, 0);
+            EXPECT_EQ(st.MPI_TAG, 7);
+            int count = 0;
+            EXPECT_EQ(r.MPI_Get_count(&st, MPI_INT, &count), MPI_SUCCESS);
+            EXPECT_EQ(count, 1);
+        }
+        r.MPI_Finalize();
+    });
+}
+
+TEST(Pt2pt, AnySourceAndAnyTag) {
+    Fixture fx;
+    fx.run(3, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0, n = 0;
+        r.MPI_Comm_rank(w, &me);
+        r.MPI_Comm_size(w, &n);
+        if (me == 0) {
+            int got = 0;
+            for (int i = 0; i < n - 1; ++i) {
+                int v = 0;
+                Status st;
+                r.MPI_Recv(&v, 1, MPI_INT, MPI_ANY_SOURCE, MPI_ANY_TAG, w, &st);
+                EXPECT_EQ(v, st.MPI_SOURCE * 10 + st.MPI_TAG);
+                ++got;
+            }
+            EXPECT_EQ(got, n - 1);
+        } else {
+            const int v = me * 10 + me;
+            r.MPI_Send(&v, 1, MPI_INT, 0, me, w);
+        }
+        r.MPI_Finalize();
+    });
+}
+
+TEST(Pt2pt, TagMatchingOutOfOrder) {
+    Fixture fx;
+    fx.run(2, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        if (me == 0) {
+            for (int t = 3; t >= 0; --t) r.MPI_Send(&t, 1, MPI_INT, 1, t, w);
+        } else {
+            for (int t = 0; t < 4; ++t) {
+                int v = -1;
+                r.MPI_Recv(&v, 1, MPI_INT, 0, t, w, nullptr);
+                EXPECT_EQ(v, t);
+            }
+        }
+        r.MPI_Finalize();
+    });
+}
+
+TEST(Pt2pt, LargeMessageRendezvous) {
+    Fixture fx;  // default eager limit 4096
+    fx.run(2, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        std::vector<char> buf(100000);
+        if (me == 0) {
+            for (std::size_t i = 0; i < buf.size(); ++i)
+                buf[i] = static_cast<char>(i % 251);
+            r.MPI_Send(buf.data(), static_cast<int>(buf.size()), MPI_BYTE, 1, 0, w);
+        } else {
+            Status st;
+            r.MPI_Recv(buf.data(), static_cast<int>(buf.size()), MPI_BYTE, 0, 0, w, &st);
+            EXPECT_EQ(st.count_bytes, 100000);
+            for (std::size_t i = 0; i < buf.size(); i += 997)
+                ASSERT_EQ(buf[i], static_cast<char>(i % 251));
+        }
+        r.MPI_Finalize();
+    });
+}
+
+TEST(Pt2pt, ProcNullIsNoOp) {
+    Fixture fx;
+    fx.run(1, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int v = 5;
+        EXPECT_EQ(r.MPI_Send(&v, 1, MPI_INT, MPI_PROC_NULL, 0, w), MPI_SUCCESS);
+        Status st;
+        EXPECT_EQ(r.MPI_Recv(&v, 1, MPI_INT, MPI_PROC_NULL, 0, w, &st), MPI_SUCCESS);
+        EXPECT_EQ(st.MPI_SOURCE, MPI_PROC_NULL);
+        EXPECT_EQ(v, 5);
+        r.MPI_Finalize();
+    });
+}
+
+TEST(Pt2pt, TruncationReportsError) {
+    Fixture fx;
+    fx.run(2, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        if (me == 0) {
+            const int big[4] = {1, 2, 3, 4};
+            r.MPI_Send(big, 4, MPI_INT, 1, 0, w);
+        } else {
+            int small[2] = {0, 0};
+            Status st;
+            EXPECT_EQ(r.MPI_Recv(small, 2, MPI_INT, 0, 0, w, &st), MPI_ERR_COUNT);
+            EXPECT_EQ(small[0], 1);
+            EXPECT_EQ(small[1], 2);
+        }
+        r.MPI_Finalize();
+    });
+}
+
+TEST(Pt2pt, ErrorCodesForBadArguments) {
+    Fixture fx;
+    fx.run(1, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int v = 0;
+        EXPECT_EQ(r.MPI_Send(&v, -1, MPI_INT, 0, 0, w), MPI_ERR_COUNT);
+        EXPECT_EQ(r.MPI_Send(&v, 1, MPI_INT, 9, 0, w), MPI_ERR_RANK);
+        EXPECT_EQ(r.MPI_Send(&v, 1, MPI_INT, 0, -5, w), MPI_ERR_TAG);
+        EXPECT_EQ(r.MPI_Send(&v, 1, MPI_INT, 0, 0, 999), MPI_ERR_COMM);
+        EXPECT_EQ(r.MPI_Send(&v, 1, MPI_DATATYPE_NULL, 0, 0, w), MPI_ERR_TYPE);
+        EXPECT_EQ(r.MPI_Recv(&v, 1, MPI_INT, 0, MPI_ANY_TAG, 999, nullptr),
+                  MPI_ERR_COMM);
+        r.MPI_Finalize();
+    });
+}
+
+TEST(Pt2pt, NonblockingSendRecvWaitall) {
+    Fixture fx;
+    fx.run(2, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        if (me == 0) {
+            int vals[3] = {10, 20, 30};
+            Request reqs[3];
+            for (int i = 0; i < 3; ++i)
+                ASSERT_EQ(r.MPI_Isend(&vals[i], 1, MPI_INT, 1, i, w, &reqs[i]),
+                          MPI_SUCCESS);
+            Status sts[3];
+            ASSERT_EQ(r.MPI_Waitall(3, reqs, sts), MPI_SUCCESS);
+            for (int i = 0; i < 3; ++i) EXPECT_EQ(reqs[i], MPI_REQUEST_NULL);
+        } else {
+            int vals[3] = {0, 0, 0};
+            Request reqs[3];
+            for (int i = 0; i < 3; ++i)
+                ASSERT_EQ(r.MPI_Irecv(&vals[i], 1, MPI_INT, 0, i, w, &reqs[i]),
+                          MPI_SUCCESS);
+            Status sts[3];
+            ASSERT_EQ(r.MPI_Waitall(3, reqs, sts), MPI_SUCCESS);
+            EXPECT_EQ(vals[0], 10);
+            EXPECT_EQ(vals[1], 20);
+            EXPECT_EQ(vals[2], 30);
+        }
+        r.MPI_Finalize();
+    });
+}
+
+TEST(Pt2pt, SendrecvExchangesWithoutDeadlock) {
+    Fixture fx;
+    fx.run(2, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        const int other = 1 - me;
+        int mine = me + 100, theirs = -1;
+        Status st;
+        ASSERT_EQ(r.MPI_Sendrecv(&mine, 1, MPI_INT, other, 0, &theirs, 1, MPI_INT,
+                                 other, 0, w, &st),
+                  MPI_SUCCESS);
+        EXPECT_EQ(theirs, other + 100);
+        r.MPI_Finalize();
+    });
+}
+
+TEST(Pt2pt, EagerFlowControlBlocksFloodingSender) {
+    // With a tiny mailbox, a flooding sender must block until the
+    // receiver drains -- the mechanism behind PPerfMark
+    // small-messages' MPI_Send bottleneck.
+    World::Config cfg;
+    cfg.mailbox_capacity = 256;
+    Fixture fx(Flavor::Lam, cfg);
+    fx.run(2, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        char b = 'x';
+        if (me == 0) {
+            for (int i = 0; i < 2000; ++i) r.MPI_Send(&b, 1, MPI_BYTE, 1, 0, w);
+        } else {
+            for (int i = 0; i < 2000; ++i) r.MPI_Recv(&b, 1, MPI_BYTE, 0, 0, w, nullptr);
+        }
+        r.MPI_Finalize();
+    });
+}
+
+TEST(Pt2pt, CommDupCreatesSeparateContext) {
+    Fixture fx;
+    fx.run(2, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        Comm dup = MPI_COMM_NULL;
+        ASSERT_EQ(r.MPI_Comm_dup(w, &dup), MPI_SUCCESS);
+        // Same tag on both comms: messages must not cross contexts.
+        if (me == 0) {
+            const int a = 1, b = 2;
+            r.MPI_Send(&a, 1, MPI_INT, 1, 0, w);
+            r.MPI_Send(&b, 1, MPI_INT, 1, 0, dup);
+        } else {
+            int b = 0, a = 0;
+            r.MPI_Recv(&b, 1, MPI_INT, 0, 0, dup, nullptr);
+            r.MPI_Recv(&a, 1, MPI_INT, 0, 0, w, nullptr);
+            EXPECT_EQ(a, 1);
+            EXPECT_EQ(b, 2);
+        }
+        r.MPI_Finalize();
+    });
+}
+
+TEST(Pt2pt, WtimeAndProcessorName) {
+    Fixture fx;
+    fx.run(1, [](Rank& r) {
+        r.MPI_Init();
+        const double t = r.MPI_Wtime();
+        EXPECT_GE(r.MPI_Wtime(), t);
+        std::string name;
+        EXPECT_EQ(r.MPI_Get_processor_name(&name), MPI_SUCCESS);
+        EXPECT_EQ(name, "node0");
+        r.MPI_Finalize();
+    });
+}
+
+TEST(Pt2pt, WorksUnderMpichFlavorToo) {
+    Fixture fx(Flavor::Mpich);
+    fx.run(2, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        int v = me;
+        if (me == 0) {
+            r.MPI_Send(&v, 1, MPI_INT, 1, 0, w);
+        } else {
+            r.MPI_Recv(&v, 1, MPI_INT, 0, 0, w, nullptr);
+            EXPECT_EQ(v, 0);
+        }
+        r.MPI_Finalize();
+    });
+}
+
+}  // namespace
+}  // namespace m2p::simmpi

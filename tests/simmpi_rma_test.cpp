@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "simmpi/launcher.hpp"
+#include "simmpi/rank.hpp"
+#include "simmpi/world.hpp"
+
+namespace m2p::simmpi {
+namespace {
+
+class RmaTest : public ::testing::TestWithParam<Flavor> {
+protected:
+    void run(int n, std::function<void(Rank&)> fn) {
+        instr::Registry reg;
+        World::Config cfg;
+        cfg.flavor = GetParam();
+        World world(reg, cfg);
+        world.register_program("prog",
+                               [fn](Rank& r, const std::vector<std::string>&) { fn(r); });
+        LaunchPlan plan;
+        for (int i = 0; i < n; ++i) plan.placements.push_back("node0");
+        launch(world, "prog", {}, plan);
+        world.join_all();
+    }
+};
+
+TEST_P(RmaTest, FencePutFenceMovesData) {
+    run(2, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        std::vector<std::int32_t> mem(8, 0);
+        Win win = MPI_WIN_NULL;
+        ASSERT_EQ(r.MPI_Win_create(mem.data(), 32, 4, MPI_INFO_NULL, w, &win),
+                  MPI_SUCCESS);
+        r.MPI_Win_fence(0, win);
+        if (me == 0) {
+            const std::int32_t vals[2] = {11, 22};
+            ASSERT_EQ(r.MPI_Put(vals, 2, MPI_INT, 1, 2, 2, MPI_INT, win), MPI_SUCCESS);
+        }
+        r.MPI_Win_fence(0, win);
+        if (me == 1) {
+            EXPECT_EQ(mem[2], 11);
+            EXPECT_EQ(mem[3], 22);
+        }
+        ASSERT_EQ(r.MPI_Win_free(&win), MPI_SUCCESS);
+        EXPECT_EQ(win, MPI_WIN_NULL);
+        r.MPI_Finalize();
+    });
+}
+
+TEST_P(RmaTest, GetReadsRemoteMemory) {
+    run(2, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        std::vector<std::int32_t> mem(4, me == 1 ? 77 : 0);
+        Win win = MPI_WIN_NULL;
+        r.MPI_Win_create(mem.data(), 16, 4, MPI_INFO_NULL, w, &win);
+        r.MPI_Win_fence(0, win);
+        std::int32_t got = -1;
+        if (me == 0)
+            ASSERT_EQ(r.MPI_Get(&got, 1, MPI_INT, 1, 0, 1, MPI_INT, win), MPI_SUCCESS);
+        r.MPI_Win_fence(0, win);
+        if (me == 0) EXPECT_EQ(got, 77);
+        r.MPI_Win_free(&win);
+        r.MPI_Finalize();
+    });
+}
+
+TEST_P(RmaTest, AccumulateSumsContributions) {
+    run(4, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0, n = 0;
+        r.MPI_Comm_rank(w, &me);
+        r.MPI_Comm_size(w, &n);
+        std::vector<std::int32_t> mem(2, 0);
+        Win win = MPI_WIN_NULL;
+        r.MPI_Win_create(mem.data(), 8, 4, MPI_INFO_NULL, w, &win);
+        r.MPI_Win_fence(0, win);
+        const std::int32_t v = me + 1;
+        if (me != 0)
+            ASSERT_EQ(r.MPI_Accumulate(&v, 1, MPI_INT, 0, 0, 1, MPI_INT, MPI_SUM, win),
+                      MPI_SUCCESS);
+        r.MPI_Win_fence(0, win);
+        if (me == 0) EXPECT_EQ(mem[0], n * (n + 1) / 2 - 1);
+        r.MPI_Win_free(&win);
+        r.MPI_Finalize();
+    });
+}
+
+TEST_P(RmaTest, PostStartCompleteWaitDelivers) {
+    run(3, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0, n = 0;
+        r.MPI_Comm_rank(w, &me);
+        r.MPI_Comm_size(w, &n);
+        std::vector<std::int32_t> mem(8, 0);
+        Win win = MPI_WIN_NULL;
+        r.MPI_Win_create(mem.data(), 32, 4, MPI_INFO_NULL, w, &win);
+        Group wg = MPI_GROUP_NULL;
+        r.MPI_Comm_group(w, &wg);
+        for (int iter = 0; iter < 10; ++iter) {
+            if (me == 0) {
+                std::vector<int> origins;
+                for (int i = 1; i < n; ++i) origins.push_back(i);
+                Group og = MPI_GROUP_NULL;
+                r.MPI_Group_incl(wg, n - 1, origins.data(), &og);
+                ASSERT_EQ(r.MPI_Win_post(og, 0, win), MPI_SUCCESS);
+                ASSERT_EQ(r.MPI_Win_wait(win), MPI_SUCCESS);
+                for (int i = 1; i < n; ++i)
+                    EXPECT_EQ(mem[static_cast<std::size_t>(i)], 100 * iter + i);
+                r.MPI_Group_free(&og);
+            } else {
+                const int zero = 0;
+                Group tg = MPI_GROUP_NULL;
+                r.MPI_Group_incl(wg, 1, &zero, &tg);
+                ASSERT_EQ(r.MPI_Win_start(tg, 0, win), MPI_SUCCESS);
+                const std::int32_t v = 100 * iter + me;
+                ASSERT_EQ(r.MPI_Put(&v, 1, MPI_INT, 0, me, 1, MPI_INT, win),
+                          MPI_SUCCESS);
+                ASSERT_EQ(r.MPI_Win_complete(win), MPI_SUCCESS);
+                r.MPI_Group_free(&tg);
+            }
+        }
+        r.MPI_Group_free(&wg);
+        r.MPI_Win_free(&win);
+        r.MPI_Finalize();
+    });
+}
+
+TEST_P(RmaTest, PassiveTargetLockUnlock) {
+    run(4, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0, n = 0;
+        r.MPI_Comm_rank(w, &me);
+        r.MPI_Comm_size(w, &n);
+        std::vector<std::int32_t> mem(1, 0);
+        Win win = MPI_WIN_NULL;
+        r.MPI_Win_create(mem.data(), 4, 4, MPI_INFO_NULL, w, &win);
+        const std::int32_t one = 1;
+        constexpr int kIters = 25;
+        for (int i = 0; i < kIters; ++i) {
+            ASSERT_EQ(r.MPI_Win_lock(MPI_LOCK_EXCLUSIVE, 0, 0, win), MPI_SUCCESS);
+            ASSERT_EQ(r.MPI_Accumulate(&one, 1, MPI_INT, 0, 0, 1, MPI_INT, MPI_SUM, win),
+                      MPI_SUCCESS);
+            ASSERT_EQ(r.MPI_Win_unlock(0, win), MPI_SUCCESS);
+        }
+        // All mutual exclusion done: check the counter after everyone
+        // is finished.
+        r.MPI_Barrier(w);
+        if (me == 0) EXPECT_EQ(mem[0], n * kIters);
+        r.MPI_Win_free(&win);
+        r.MPI_Finalize();
+    });
+}
+
+TEST_P(RmaTest, SharedLocksCoexist) {
+    run(3, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        std::vector<std::int32_t> mem(1, 5);
+        Win win = MPI_WIN_NULL;
+        r.MPI_Win_create(mem.data(), 4, 4, MPI_INFO_NULL, w, &win);
+        std::int32_t got = 0;
+        ASSERT_EQ(r.MPI_Win_lock(MPI_LOCK_SHARED, 0, 0, win), MPI_SUCCESS);
+        ASSERT_EQ(r.MPI_Get(&got, 1, MPI_INT, 0, 0, 1, MPI_INT, win), MPI_SUCCESS);
+        ASSERT_EQ(r.MPI_Win_unlock(0, win), MPI_SUCCESS);
+        EXPECT_EQ(got, 5);
+        r.MPI_Win_free(&win);
+        r.MPI_Finalize();
+    });
+}
+
+TEST_P(RmaTest, WindowIdReuseAfterFree) {
+    // Real implementations reuse window ids after MPI_Win_free; the
+    // tool depends on this happening (N-M scheme, paper 4.2.1).
+    instr::Registry reg;
+    World::Config cfg;
+    cfg.flavor = GetParam();
+    World world(reg, cfg);
+    std::vector<int> impl_ids;
+    world.register_program("prog", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        std::vector<char> mem(16, 0);
+        for (int i = 0; i < 3; ++i) {
+            Win win = MPI_WIN_NULL;
+            r.MPI_Win_create(mem.data(), 16, 1, MPI_INFO_NULL, w, &win);
+            if (me == 0)
+                impl_ids.push_back(static_cast<int>(world.win_impl_id(win)));
+            r.MPI_Win_free(&win);
+        }
+        r.MPI_Finalize();
+    });
+    LaunchPlan plan;
+    plan.placements = {"node0", "node0"};
+    launch(world, "prog", {}, plan);
+    world.join_all();
+    ASSERT_EQ(impl_ids.size(), 3u);
+    EXPECT_EQ(impl_ids[0], impl_ids[1]);  // id recycled
+    EXPECT_EQ(impl_ids[1], impl_ids[2]);
+}
+
+TEST_P(RmaTest, ErrorPaths) {
+    run(2, [](Rank& r) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        std::vector<std::int32_t> mem(4, 0);
+        Win win = MPI_WIN_NULL;
+        EXPECT_EQ(r.MPI_Win_create(mem.data(), -1, 4, MPI_INFO_NULL, w, &win),
+                  MPI_ERR_ARG);
+        ASSERT_EQ(r.MPI_Win_create(mem.data(), 16, 4, MPI_INFO_NULL, w, &win),
+                  MPI_SUCCESS);
+        std::int32_t v = 0;
+        EXPECT_EQ(r.MPI_Put(&v, 1, MPI_INT, 9, 0, 1, MPI_INT, win), MPI_ERR_RANK);
+        EXPECT_EQ(r.MPI_Put(&v, 1, MPI_INT, 1, 0, 2, MPI_INT, win), MPI_ERR_ARG);
+        EXPECT_EQ(r.MPI_Put(&v, 1, MPI_INT, 1, 100, 1, MPI_INT, win), MPI_ERR_ARG);
+        EXPECT_EQ(r.MPI_Put(&v, 1, MPI_INT, 1, 0, 1, MPI_INT, 999), MPI_ERR_WIN);
+        EXPECT_EQ(r.MPI_Win_unlock(0, win), MPI_ERR_WIN);  // unlock without lock
+        EXPECT_EQ(r.MPI_Win_lock(99, 0, 0, win), MPI_ERR_LOCKTYPE);
+        EXPECT_EQ(r.MPI_Win_wait(win), MPI_ERR_WIN);  // wait without post
+        r.MPI_Barrier(w);
+        r.MPI_Win_free(&win);
+        EXPECT_EQ(r.MPI_Win_fence(0, win), MPI_ERR_WIN);  // freed
+        r.MPI_Finalize();
+    });
+}
+
+TEST_P(RmaTest, LamFenceUsesBarrierMpichDoesNot) {
+    instr::Registry reg;
+    World::Config cfg;
+    cfg.flavor = GetParam();
+    World world(reg, cfg);
+    std::atomic<int> barriers{0};
+    world.register_program("prog", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        std::vector<char> mem(8, 0);
+        Win win = MPI_WIN_NULL;
+        r.MPI_Win_create(mem.data(), 8, 1, MPI_INFO_NULL, w, &win);
+        r.MPI_Win_fence(0, win);
+        r.MPI_Win_fence(0, win);
+        r.MPI_Win_free(&win);
+        r.MPI_Finalize();
+    });
+    reg.insert(reg.find("PMPI_Barrier"), instr::Where::Entry,
+               [&](const instr::CallContext&) { ++barriers; });
+    LaunchPlan plan;
+    plan.placements = {"node0", "node0", "node0"};
+    launch(world, "prog", {}, plan);
+    world.join_all();
+    // LAM implements MPI_Win_fence with MPI_Barrier (paper Fig 22).
+    if (GetParam() == Flavor::Lam)
+        EXPECT_GT(barriers.load(), 0);
+    else
+        EXPECT_EQ(barriers.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Flavors, RmaTest,
+                         ::testing::Values(Flavor::Lam, Flavor::Mpich),
+                         [](const ::testing::TestParamInfo<Flavor>& i) {
+                             return i.param == Flavor::Lam ? "Lam" : "Mpich";
+                         });
+
+}  // namespace
+}  // namespace m2p::simmpi

@@ -1,0 +1,161 @@
+// World-level state machinery: process table, CPU clocks, handle
+// tables, start gate, node pools, MPIR stub.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "simmpi/launcher.hpp"
+#include "simmpi/rank.hpp"
+#include "simmpi/world.hpp"
+#include "util/clock.hpp"
+
+namespace m2p::simmpi {
+namespace {
+
+TEST(World, ProcTableAndNodes) {
+    instr::Registry reg;
+    World world(reg, {});
+    const int a = world.create_proc("nodeA", "prog");
+    const int b = world.create_proc("nodeB", "prog");
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+    EXPECT_EQ(world.proc_count(), 2u);
+    EXPECT_EQ(world.proc(0).node, "nodeA");
+    EXPECT_EQ(world.proc(1).program, "prog");
+    EXPECT_FALSE(world.all_finished());  // nothing started yet
+}
+
+TEST(World, StartingUnknownProgramThrows) {
+    instr::Registry reg;
+    World world(reg, {});
+    const int g = world.create_proc("n", "missing-program");
+    EXPECT_THROW(world.start_proc(g, {}), std::runtime_error);
+}
+
+TEST(World, PerProcCpuClocksTrackBusyThreads) {
+    instr::Registry reg;
+    World world(reg, {});
+    world.register_program("busy", [](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        if (me == 0) util::burn_thread_cpu(0.05);
+        r.MPI_Finalize();
+    });
+    LaunchPlan plan;
+    plan.placements = {"n", "n"};
+    launch(world, "busy", {}, plan);
+    world.join_all();
+    EXPECT_GT(world.proc_cpu_seconds(0), 0.04);
+    EXPECT_LT(world.proc_cpu_seconds(1), 0.03);
+    EXPECT_TRUE(world.all_finished());
+}
+
+TEST(World, StartGateHoldsProcessesUntilReleased) {
+    instr::Registry reg;
+    World::Config cfg;
+    cfg.start_paused = true;
+    World world(reg, cfg);
+    std::atomic<int> entered{0};
+    world.register_program("gated", [&](Rank& r, const std::vector<std::string>&) {
+        ++entered;
+        r.MPI_Init();
+        r.MPI_Finalize();
+    });
+    LaunchPlan plan;
+    plan.placements = {"n", "n", "n"};
+    launch(world, "gated", {}, plan);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(entered.load(), 0);  // still paused
+    world.release_start_gate();
+    world.join_all();
+    EXPECT_EQ(entered.load(), 3);
+}
+
+TEST(World, StartGateReleaseCoversLateStarters) {
+    instr::Registry reg;
+    World::Config cfg;
+    cfg.start_paused = true;
+    World world(reg, cfg);
+    std::atomic<int> entered{0};
+    world.register_program("gated", [&](Rank& r, const std::vector<std::string>&) {
+        ++entered;
+        r.MPI_Init();
+        r.MPI_Finalize();
+    });
+    world.release_start_gate();  // released before anything started
+    LaunchPlan plan;
+    plan.placements = {"n"};
+    launch(world, "gated", {}, plan);
+    world.join_all();
+    EXPECT_EQ(entered.load(), 1);
+}
+
+TEST(World, HandleTablesRejectBadHandles) {
+    instr::Registry reg;
+    World world(reg, {});
+    EXPECT_THROW(world.comm(12345), std::out_of_range);
+    EXPECT_THROW(world.win(12345), std::out_of_range);
+    EXPECT_THROW(world.group(12345), std::out_of_range);
+    EXPECT_THROW(world.info(12345), std::out_of_range);
+    EXPECT_FALSE(world.comm_valid(12345));
+    EXPECT_FALSE(world.win_valid(-1));
+    EXPECT_EQ(world.win_impl_id(999), -1);
+    EXPECT_EQ(world.comm_context(999), -1);
+}
+
+TEST(World, CommHandlesNeverReused) {
+    instr::Registry reg;
+    World world(reg, {});
+    const Comm a = world.create_comm({0});
+    world.comm(a).freed = true;
+    const Comm b = world.create_comm({0});
+    EXPECT_NE(a, b);
+    EXPECT_NE(world.comm_context(a), world.comm_context(b));
+}
+
+TEST(World, WinImplIdsRecycleThroughFreeList) {
+    instr::Registry reg;
+    World world(reg, {});
+    const Comm c = world.create_comm({0});
+    const Win w1 = world.create_win(c);
+    const int id1 = static_cast<int>(world.win_impl_id(w1));
+    world.release_win_impl_id(id1);
+    const Win w2 = world.create_win(c);
+    EXPECT_NE(w1, w2);                              // handle unique
+    EXPECT_EQ(world.win_impl_id(w2), id1);          // impl id recycled
+}
+
+TEST(World, RegisteredFunctionsCoverTheMpiSurface) {
+    instr::Registry reg;
+    World world(reg, {});
+    for (const char* name :
+         {"MPI_Send", "PMPI_Send", "MPI_Win_create", "PMPI_Win_fence",
+          "PMPI_Comm_spawn", "PMPI_Win_lock", "PMPI_Accumulate", "read", "write",
+          "lam_ssi_rpi_sysv_recv"})
+        EXPECT_NE(reg.find(name), instr::kInvalidFunc) << name;
+    EXPECT_TRUE(instr::has_category(reg.info(reg.find("read")).categories,
+                                    instr::Category::Io));
+    EXPECT_TRUE(instr::has_category(reg.info(reg.find("PMPI_Barrier")).categories,
+                                    instr::Category::Barrier));
+}
+
+TEST(World, FlavorNames) {
+    EXPECT_STREQ(flavor_name(Flavor::Lam), "LAM/MPI");
+    EXPECT_STREQ(flavor_name(Flavor::Mpich), "MPICH");
+}
+
+TEST(World, ObjectNameServices) {
+    instr::Registry reg;
+    World world(reg, {});
+    const Comm c = world.create_comm({0});
+    world.comm(c).name = "TestComm";
+    EXPECT_EQ(world.object_name_of_comm(c), "TestComm");
+    EXPECT_EQ(world.object_name_of_comm(999), "");
+    const Win w = world.create_win(c);
+    world.win(w).name = "TestWin";
+    EXPECT_EQ(world.object_name_of_win(w), "TestWin");
+}
+
+}  // namespace
+}  // namespace m2p::simmpi

@@ -1,0 +1,106 @@
+// Tool configuration plumbing: the PCL daemon definitions (with the
+// paper's new mpi_implementation attribute), tunable thresholds
+// driving the Performance Consultant, custom MDL metric files, and the
+// daemon -> frontend report channel.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/session.hpp"
+#include "mdl/default_metrics.hpp"
+#include "pperfmark/pperfmark.hpp"
+
+namespace m2p::core {
+namespace {
+
+using simmpi::Flavor;
+
+TEST(PclConfig, DaemonDefinitionsCarryMpiImplementation) {
+    Session s(Flavor::Lam);
+    const mdl::MdlFile& f = s.tool().mdl_file();
+    const mdl::DaemonDef* lam = f.find_daemon("pd_lam");
+    const mdl::DaemonDef* mpich = f.find_daemon("pd_mpich");
+    ASSERT_NE(lam, nullptr);
+    ASSERT_NE(mpich, nullptr);
+    EXPECT_EQ(lam->attrs.at("mpi_implementation"), "lam");
+    EXPECT_EQ(mpich->attrs.at("mpi_implementation"), "mpich");
+    EXPECT_EQ(lam->attrs.at("command"), "paradynd");
+}
+
+TEST(PclConfig, CustomMdlSourceOverridesTunables) {
+    // Appending a tunable redefinition must win (later parse of the
+    // full custom file).
+    PerfTool::Options o;
+    o.mdl_source = mdl::default_metrics_source() +
+                   "\ntunable_constant PC_SyncThreshold 0.9;\n";
+    instr::Registry reg;
+    simmpi::World world(reg, {});
+    PerfTool tool(world, o);
+    EXPECT_DOUBLE_EQ(tool.tunable("PC_SyncThreshold", -1), 0.9);
+}
+
+TEST(PclConfig, ConsultantReadsThresholdTunables) {
+    // With an absurd 0.99 sync threshold from the MDL file, even
+    // small-messages' blatant bottleneck must test false.
+    PerfTool::Options topts;
+    topts.mdl_source = mdl::default_metrics_source() +
+                       "\ntunable_constant PC_SyncThreshold 0.99;\n";
+    Session s(Flavor::Lam, topts);
+    ppm::Params p;
+    p.iterations = 60000;
+    ppm::register_all(s.world(), p);
+    PerformanceConsultant::Options o;
+    o.eval_interval = 0.06;
+    o.max_search_seconds = 1.5;
+    const PCReport r = s.run_with_consultant(ppm::kSmallMessages, 6, o);
+    EXPECT_FALSE(r.found("ExcessiveSyncWaitingTime", ""));
+}
+
+TEST(PclConfig, BrokenMdlSourceThrowsAtAttach) {
+    PerfTool::Options o;
+    o.mdl_source = "metric broken {";
+    instr::Registry reg;
+    simmpi::World world(reg, {});
+    EXPECT_THROW(PerfTool(world, o), mdl::ParseError);
+}
+
+TEST(Daemons, OnePerNodeAndReportsCounted) {
+    Session s(Flavor::Lam);
+    ppm::Params p;
+    p.iterations = 5;
+    ppm::register_all(s.world(), p);
+    s.run(ppm::kSmallMessages, 6, /*procs_per_node=*/2);
+    const std::vector<Daemon> ds = s.tool().daemons();
+    ASSERT_EQ(ds.size(), 3u);  // 6 procs, 2 per node
+    for (const Daemon& d : ds) EXPECT_EQ(d.ranks.size(), 2u);
+    // Discovery reports (processes, comms, tags) flowed to the frontend.
+    std::uint64_t total_reports = 0;
+    for (const Daemon& d : ds) total_reports += d.reports_sent;
+    EXPECT_GT(total_reports, 0u);
+}
+
+TEST(Daemons, FlushDrainsAllPendingReports) {
+    Session s(Flavor::Lam);
+    ppm::Params p;
+    p.win_blast_count = 16;
+    ppm::register_all(s.world(), p);
+    s.run(ppm::kWincreateBlast, 2);  // run() flushes
+    // After a flush, every window resource must be applied.
+    EXPECT_EQ(s.tool().hierarchy().children("/SyncObject/Window", true).size(), 16u);
+}
+
+TEST(Daemons, BinWidthOptionControlsHistograms) {
+    PerfTool::Options o;
+    o.bin_width = 0.05;
+    o.bins = 32;
+    instr::Registry reg;
+    simmpi::World world(reg, {});
+    PerfTool tool(world, o);
+    auto pair = tool.metrics().request("msgs_sent", Focus{});
+    ASSERT_NE(pair, nullptr);
+    EXPECT_DOUBLE_EQ(pair->histogram().bin_width(), 0.05);
+    EXPECT_EQ(pair->histogram().capacity(), 32u);
+    tool.metrics().release(pair);
+}
+
+}  // namespace
+}  // namespace m2p::core

@@ -1,0 +1,133 @@
+// Tool support for MPI-I/O: metric exactness, file discovery, file
+// constraint, and the Performance Consultant's I/O diagnosis.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/session.hpp"
+#include "pperfmark/pperfmark.hpp"
+
+namespace m2p::core {
+namespace {
+
+using simmpi::Flavor;
+
+simmpi::World::Config paused_fast_fs() {
+    simmpi::World::Config c;
+    c.start_paused = true;
+    c.file_latency_seconds = 1e-6;
+    c.file_bandwidth_bytes_per_second = 10e9;
+    return c;
+}
+
+TEST(MpiIoTool, ByteAndOpCountersMatchGroundTruth) {
+    Session s(Flavor::Lam, {}, paused_fast_fs());
+    ppm::Params p;
+    p.io_rounds = 5;
+    p.io_chunk_bytes = 4096;
+    ppm::register_all(s.world(), p);
+    run_app_async(s.tool(), ppm::kIoStripes, {}, 3);
+    auto ops = s.tool().metrics().request("mpiio_ops", Focus{});
+    auto written = s.tool().metrics().request("mpiio_bytes_written", Focus{});
+    auto read = s.tool().metrics().request("mpiio_bytes_read", Focus{});
+    s.world().release_start_gate();
+    s.world().join_all();
+
+    const ppm::IoTruth t = ppm::io_stripes_truth(p, 3);
+    EXPECT_DOUBLE_EQ(ops->total(), static_cast<double>(t.ops));
+    EXPECT_DOUBLE_EQ(written->total(), static_cast<double>(t.bytes_written));
+    EXPECT_DOUBLE_EQ(read->total(), static_cast<double>(t.bytes_read));
+    for (auto* pr : {&ops, &written, &read}) s.tool().metrics().release(*pr);
+}
+
+TEST(MpiIoTool, FilesAreDiscoveredNamedAndRetired) {
+    Session s(Flavor::Lam, {}, [] {
+        auto c = paused_fast_fs();
+        c.start_paused = false;
+        return c;
+    }());
+    ppm::Params p;
+    p.io_rounds = 2;
+    p.io_chunk_bytes = 256;
+    ppm::register_all(s.world(), p);
+    s.run(ppm::kIoStripes, 2);
+    const auto files = s.tool().hierarchy().children("/SyncObject/File", true);
+    ASSERT_EQ(files.size(), 1u);
+    EXPECT_EQ(s.tool().hierarchy().get(files[0]).display, "pperfmark-stripes.dat");
+    EXPECT_TRUE(s.tool().hierarchy().get(files[0]).retired);  // closed
+}
+
+TEST(MpiIoTool, FileConstraintIsolatesOneFile) {
+    Session s(Flavor::Lam, {}, [] {
+        auto c = paused_fast_fs();
+        c.start_paused = false;
+        return c;
+    }());
+    std::shared_ptr<MetricFocusPair> pair;
+    constexpr int kWrites = 10;
+    s.world().register_program("two-files", [&](simmpi::Rank& r,
+                                                const std::vector<std::string>&) {
+        r.MPI_Init();
+        const simmpi::Comm w = r.MPI_COMM_WORLD();
+        simmpi::File a = simmpi::MPI_FILE_NULL, b = simmpi::MPI_FILE_NULL;
+        r.MPI_File_open(w, "a.dat", simmpi::MPI_MODE_CREATE | simmpi::MPI_MODE_RDWR,
+                        simmpi::MPI_INFO_NULL, &a);
+        r.MPI_File_open(w, "b.dat", simmpi::MPI_MODE_CREATE | simmpi::MPI_MODE_RDWR,
+                        simmpi::MPI_INFO_NULL, &b);
+        // Focus the byte counter on file "a" only.
+        s.tool().flush();
+        for (const auto& fpath : s.tool().hierarchy().children("/SyncObject/File", false)) {
+            if (s.tool().hierarchy().get(fpath).display == "a.dat") {
+                Focus f;
+                f.syncobj = fpath;
+                pair = s.tool().metrics().request("mpiio_bytes_written", f);
+            }
+        }
+        char buf[100] = {};
+        simmpi::Status st;
+        for (int i = 0; i < kWrites; ++i) {
+            r.MPI_File_write(a, buf, 100, simmpi::MPI_BYTE, &st);
+            r.MPI_File_write(b, buf, 100, simmpi::MPI_BYTE, &st);
+        }
+        r.MPI_File_close(&a);
+        r.MPI_File_close(&b);
+        r.MPI_Finalize();
+    });
+    run_app_async(s.tool(), "two-files", {}, 1);
+    s.world().join_all();
+    ASSERT_NE(pair, nullptr);
+    EXPECT_DOUBLE_EQ(pair->total(), 100.0 * kWrites);  // b.dat excluded
+    s.tool().metrics().release(pair);
+}
+
+TEST(MpiIoTool, ConsultantDiagnosesCollectiveWriteStraggler) {
+    Session s(Flavor::Lam);
+    ppm::Params p;
+    p.io_rounds = 20;
+    p.io_chunk_bytes = 1 << 17;
+    ppm::register_all(s.world(), p);
+    PerformanceConsultant::Options o;
+    o.eval_interval = 0.07;
+    o.max_search_seconds = 5.0;
+    const PCReport r = s.run_with_consultant(ppm::kIoBound, 4, o);
+    EXPECT_TRUE(r.found("ExcessiveIOBlockingTime", ""))
+        << PerformanceConsultant::render_condensed(r);
+    EXPECT_TRUE(r.found("ExcessiveIOBlockingTime", "File_write_all"))
+        << PerformanceConsultant::render_condensed(r);
+    EXPECT_TRUE(r.found("ExcessiveIOBlockingTime", "/SyncObject/File/"))
+        << PerformanceConsultant::render_condensed(r);
+}
+
+TEST(MpiIoTool, MpiioWaitSeesFileTime) {
+    Session s(Flavor::Lam);
+    ppm::Params p;
+    p.io_rounds = 4;
+    p.io_chunk_bytes = 1 << 16;
+    ppm::register_all(s.world(), p);
+    auto wait = s.tool().metrics().request("mpiio_wait", Focus{});
+    s.run(ppm::kIoStripes, 2);
+    EXPECT_GT(wait->total(), 0.0);
+    s.tool().metrics().release(wait);
+}
+
+}  // namespace
+}  // namespace m2p::core

@@ -1,0 +1,110 @@
+// MPE-style tracing + Jumpshot-style analyses (statistical preview /
+// time lines) used as independent cross-checks in the paper.
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "pperfmark/pperfmark.hpp"
+#include "trace/mpe.hpp"
+
+namespace m2p::trace {
+namespace {
+
+TEST(TraceLog, RecordsAndBounds) {
+    TraceLog log;
+    log.record(0, "MPI_Send", 1.0, 2.0);
+    log.record(1, "MPI_Recv", 1.5, 4.0);
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_DOUBLE_EQ(log.begin_time(), 1.0);
+    EXPECT_DOUBLE_EQ(log.end_time(), 4.0);
+}
+
+TEST(StatisticalPreview, AveragesOccupancy) {
+    TraceLog log;
+    // Over [0,10]: rank0 in Recv for 10s, rank1 in Recv for 5s ->
+    // average 1.5 processes in MPI_Recv.
+    log.record(0, "MPI_Recv", 0.0, 10.0);
+    log.record(1, "MPI_Recv", 0.0, 5.0);
+    log.record(1, "MPI_Send", 5.0, 10.0);
+    EXPECT_DOUBLE_EQ(statistical_preview(log, "MPI_Recv"), 1.5);
+    EXPECT_DOUBLE_EQ(statistical_preview(log, "MPI_Send"), 0.5);
+    EXPECT_DOUBLE_EQ(statistical_preview(log, "MPI_Barrier"), 0.0);
+}
+
+TEST(StateTotals, SumsPerState) {
+    TraceLog log;
+    log.record(0, "MPI_Barrier", 0.0, 2.0);
+    log.record(1, "MPI_Barrier", 0.0, 3.0);
+    const auto totals = state_totals(log);
+    EXPECT_DOUBLE_EQ(totals.at("MPI_Barrier"), 5.0);
+}
+
+TEST(TimeLines, RendersDominantStatePerCell) {
+    TraceLog log;
+    log.record(0, "MPI_Recv", 0.0, 1.0);
+    log.record(1, "MPI_Send", 0.0, 0.2);
+    const std::string out = render_timelines(log, 2, 10);
+    // Rank 0 fully in Recv ('R'); rank 1 mostly computing ('-').
+    EXPECT_NE(out.find("p0 |RRRRRRRRRR|"), std::string::npos) << out;
+    EXPECT_NE(out.find("p1 |SS--------|"), std::string::npos) << out;
+    EXPECT_NE(out.find("R=MPI_Recv"), std::string::npos);
+}
+
+TEST(MpeLogger, CapturesMpiIntervalsOfARealRun) {
+    core::Session s(simmpi::Flavor::Lam);
+    ppm::Params p;
+    p.iterations = 30;
+    p.time_to_waste = 1;
+    p.waste_unit_seconds = 0.002;
+    ppm::register_all(s.world(), p);
+    MpeLogger mpe(s.world());
+    s.run(ppm::kIntensiveServer, 3);
+    const TraceLog& log = mpe.log();
+    EXPECT_GT(log.size(), 0u);
+    const auto totals = state_totals(log);
+    // The clients spend most of their time in MPI_Recv waiting on the
+    // busy server (paper Figs 12/13).
+    EXPECT_GT(totals.at("MPI_Recv"), totals.at("MPI_Send"));
+    // Roughly (nclients) processes are in MPI_Recv at any time; allow
+    // wide slack on a loaded host.
+    EXPECT_GT(statistical_preview(log, "MPI_Recv"), 0.8);
+}
+
+TEST(MpeLogger, RandomBarrierShowsMostRanksInBarrier) {
+    core::Session s(simmpi::Flavor::Lam);
+    ppm::Params p;
+    p.iterations = 40;
+    p.time_to_waste = 2;
+    p.waste_unit_seconds = 0.002;
+    ppm::register_all(s.world(), p);
+    MpeLogger mpe(s.world());
+    s.run(ppm::kRandomBarrier, 4);
+    // Paper Fig 17: "of the four processes ... approximately three of
+    // them were executing in MPI_Barrier at any given time."
+    const double avg = statistical_preview(mpe.log(), "MPI_Barrier");
+    EXPECT_GT(avg, 2.0);
+    EXPECT_LT(avg, 4.0);
+}
+
+TEST(MpeLogger, RemovesInstrumentationOnDestruction) {
+    core::Session s(simmpi::Flavor::Lam);
+    instr::Registry& reg = s.registry();
+    const instr::FuncId f = reg.find("PMPI_Send");
+    const std::size_t before = reg.snippet_count(f, instr::Where::Entry);
+    {
+        MpeLogger mpe(s.world());
+        EXPECT_GT(reg.snippet_count(f, instr::Where::Entry), before);
+    }
+    EXPECT_EQ(reg.snippet_count(f, instr::Where::Entry), before);
+}
+
+TEST(TimeLines, LegendCoversWinStates) {
+    TraceLog log;
+    log.record(0, "MPI_Win_fence", 0.0, 1.0);
+    log.record(1, "MPI_Win_start", 0.0, 1.0);
+    const std::string out = render_timelines(log, 2, 4);
+    EXPECT_NE(out.find("F=MPI_Win_fence"), std::string::npos);
+    EXPECT_NE(out.find("W=MPI_Win_start"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace m2p::trace

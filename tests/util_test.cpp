@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/clock.hpp"
+#include "util/stats.hpp"
+#include "util/text_table.hpp"
+
+namespace m2p::util {
+namespace {
+
+TEST(Clock, WallClockMonotonic) {
+    const double a = wall_seconds();
+    const double b = wall_seconds();
+    EXPECT_GE(b, a);
+}
+
+TEST(Clock, ThreadCpuAdvancesUnderLoad) {
+    const double a = thread_cpu_seconds();
+    burn_thread_cpu(0.01);
+    const double b = thread_cpu_seconds();
+    EXPECT_GE(b - a, 0.009);
+}
+
+TEST(Clock, BurnThreadCpuBurnsRoughlyRequestedAmount) {
+    const double a = thread_cpu_seconds();
+    burn_thread_cpu(0.02);
+    EXPECT_NEAR(thread_cpu_seconds() - a, 0.02, 0.015);
+}
+
+TEST(Clock, SystemTimeBurnAccruesKernelTime) {
+    const double s0 = process_system_seconds();
+    burn_system_time(0.05);
+    // Most of the elapsed time should be kernel time, not user time.
+    EXPECT_GT(process_system_seconds() - s0, 0.005);
+}
+
+TEST(Stats, SummaryBasics) {
+    const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+    EXPECT_EQ(s.n, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+    const Summary s = summarize({});
+    EXPECT_EQ(s.n, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, CiExcludesZeroForClearlyNonzeroMean) {
+    const ConfidenceInterval ci = mean_ci95({9.9, 10.1, 10.0, 9.8, 10.2});
+    EXPECT_TRUE(ci.excludes_zero());
+    EXPECT_LT(ci.lo, 10.0);
+    EXPECT_GT(ci.hi, 10.0);
+}
+
+TEST(Stats, CiIncludesZeroForNoise) {
+    const ConfidenceInterval ci = mean_ci95({-1.0, 1.0, -0.5, 0.5, 0.1, -0.1});
+    EXPECT_FALSE(ci.excludes_zero());
+}
+
+TEST(Stats, WelchDetectsSeparatedSamples) {
+    const WelchResult r =
+        welch_t_test({10.0, 10.1, 9.9, 10.05}, {20.0, 20.1, 19.9, 20.05});
+    EXPECT_TRUE(r.significant_95);
+    EXPECT_NEAR(r.relative_difference, 0.5, 0.02);
+}
+
+TEST(Stats, WelchAcceptsOverlappingSamples) {
+    const WelchResult r =
+        welch_t_test({10.0, 11.0, 9.0, 10.5, 9.5}, {10.2, 10.8, 9.2, 10.4, 9.6});
+    EXPECT_FALSE(r.significant_95);
+}
+
+TEST(Stats, TCriticalMatchesTable) {
+    EXPECT_NEAR(t_critical_95(1), 12.706, 1e-9);
+    EXPECT_NEAR(t_critical_95(10), 2.228, 1e-9);
+    EXPECT_NEAR(t_critical_95(1000), 1.96, 1e-9);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+    TextTable t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "12345"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+    EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(TextTable, FmtTrimsTrailingZeros) {
+    EXPECT_EQ(fmt(1.5, 3), "1.5");
+    EXPECT_EQ(fmt(2.0, 3), "2");
+    EXPECT_EQ(fmt(0.125, 3), "0.125");
+}
+
+}  // namespace
+}  // namespace m2p::util
