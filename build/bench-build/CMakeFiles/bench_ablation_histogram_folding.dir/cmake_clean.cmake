@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_histogram_folding"
+  "../bench/bench_ablation_histogram_folding.pdb"
+  "CMakeFiles/bench_ablation_histogram_folding.dir/bench_ablation_histogram_folding.cpp.o"
+  "CMakeFiles/bench_ablation_histogram_folding.dir/bench_ablation_histogram_folding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_histogram_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

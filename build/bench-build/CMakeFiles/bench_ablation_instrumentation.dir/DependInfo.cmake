@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_instrumentation.cpp" "bench-build/CMakeFiles/bench_ablation_instrumentation.dir/bench_ablation_instrumentation.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ablation_instrumentation.dir/bench_ablation_instrumentation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/m2p_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/m2p_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdl/CMakeFiles/m2p_mdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/m2p_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m2p_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/m2p_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/m2p_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/pperfmark/CMakeFiles/m2p_pperfmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/presta/CMakeFiles/m2p_presta.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_instrumentation"
+  "../bench/bench_ablation_instrumentation.pdb"
+  "CMakeFiles/bench_ablation_instrumentation.dir/bench_ablation_instrumentation.cpp.o"
+  "CMakeFiles/bench_ablation_instrumentation.dir/bench_ablation_instrumentation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

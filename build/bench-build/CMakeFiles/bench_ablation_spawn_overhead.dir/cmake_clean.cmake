@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_spawn_overhead"
+  "../bench/bench_ablation_spawn_overhead.pdb"
+  "CMakeFiles/bench_ablation_spawn_overhead.dir/bench_ablation_spawn_overhead.cpp.o"
+  "CMakeFiles/bench_ablation_spawn_overhead.dir/bench_ablation_spawn_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spawn_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

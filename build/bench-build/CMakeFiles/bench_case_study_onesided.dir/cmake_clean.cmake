@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_case_study_onesided"
+  "../bench/bench_case_study_onesided.pdb"
+  "CMakeFiles/bench_case_study_onesided.dir/bench_case_study_onesided.cpp.o"
+  "CMakeFiles/bench_case_study_onesided.dir/bench_case_study_onesided.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_study_onesided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

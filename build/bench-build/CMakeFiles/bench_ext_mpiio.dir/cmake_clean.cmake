@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_mpiio"
+  "../bench/bench_ext_mpiio.pdb"
+  "CMakeFiles/bench_ext_mpiio.dir/bench_ext_mpiio.cpp.o"
+  "CMakeFiles/bench_ext_mpiio.dir/bench_ext_mpiio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_15_16_diffuse_procedure"
+  "../bench/bench_fig14_15_16_diffuse_procedure.pdb"
+  "CMakeFiles/bench_fig14_15_16_diffuse_procedure.dir/bench_fig14_15_16_diffuse_procedure.cpp.o"
+  "CMakeFiles/bench_fig14_15_16_diffuse_procedure.dir/bench_fig14_15_16_diffuse_procedure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_15_16_diffuse_procedure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

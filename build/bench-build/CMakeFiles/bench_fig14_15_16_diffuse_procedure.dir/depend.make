@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14_15_16_diffuse_procedure.
+# This may be replaced when dependencies are built.

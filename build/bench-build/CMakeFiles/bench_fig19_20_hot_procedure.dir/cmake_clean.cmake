@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_20_hot_procedure"
+  "../bench/bench_fig19_20_hot_procedure.pdb"
+  "CMakeFiles/bench_fig19_20_hot_procedure.dir/bench_fig19_20_hot_procedure.cpp.o"
+  "CMakeFiles/bench_fig19_20_hot_procedure.dir/bench_fig19_20_hot_procedure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_20_hot_procedure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

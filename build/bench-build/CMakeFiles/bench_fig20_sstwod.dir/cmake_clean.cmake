@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig20_sstwod"
+  "../bench/bench_fig20_sstwod.pdb"
+  "CMakeFiles/bench_fig20_sstwod.dir/bench_fig20_sstwod.cpp.o"
+  "CMakeFiles/bench_fig20_sstwod.dir/bench_fig20_sstwod.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_sstwod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

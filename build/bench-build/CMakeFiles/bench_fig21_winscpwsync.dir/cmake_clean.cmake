@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig21_winscpwsync"
+  "../bench/bench_fig21_winscpwsync.pdb"
+  "CMakeFiles/bench_fig21_winscpwsync.dir/bench_fig21_winscpwsync.cpp.o"
+  "CMakeFiles/bench_fig21_winscpwsync.dir/bench_fig21_winscpwsync.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_winscpwsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

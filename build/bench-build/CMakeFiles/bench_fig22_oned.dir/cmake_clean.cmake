@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig22_oned"
+  "../bench/bench_fig22_oned.pdb"
+  "CMakeFiles/bench_fig22_oned.dir/bench_fig22_oned.cpp.o"
+  "CMakeFiles/bench_fig22_oned.dir/bench_fig22_oned.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_oned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig23_24_spawn"
+  "../bench/bench_fig23_24_spawn.pdb"
+  "CMakeFiles/bench_fig23_24_spawn.dir/bench_fig23_24_spawn.cpp.o"
+  "CMakeFiles/bench_fig23_24_spawn.dir/bench_fig23_24_spawn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_24_spawn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

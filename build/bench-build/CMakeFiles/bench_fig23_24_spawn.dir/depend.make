@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig23_24_spawn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_mdl"
+  "../bench/bench_fig2_mdl.pdb"
+  "CMakeFiles/bench_fig2_mdl.dir/bench_fig2_mdl.cpp.o"
+  "CMakeFiles/bench_fig2_mdl.dir/bench_fig2_mdl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_mdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_4_small_messages"
+  "../bench/bench_fig3_4_small_messages.pdb"
+  "CMakeFiles/bench_fig3_4_small_messages.dir/bench_fig3_4_small_messages.cpp.o"
+  "CMakeFiles/bench_fig3_4_small_messages.dir/bench_fig3_4_small_messages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_4_small_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig3_4_small_messages.
+# This may be replaced when dependencies are built.

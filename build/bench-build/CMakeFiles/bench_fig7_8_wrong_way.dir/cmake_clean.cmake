@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_8_wrong_way"
+  "../bench/bench_fig7_8_wrong_way.pdb"
+  "CMakeFiles/bench_fig7_8_wrong_way.dir/bench_fig7_8_wrong_way.cpp.o"
+  "CMakeFiles/bench_fig7_8_wrong_way.dir/bench_fig7_8_wrong_way.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8_wrong_way.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

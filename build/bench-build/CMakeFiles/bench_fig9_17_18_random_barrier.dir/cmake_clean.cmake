@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_17_18_random_barrier"
+  "../bench/bench_fig9_17_18_random_barrier.pdb"
+  "CMakeFiles/bench_fig9_17_18_random_barrier.dir/bench_fig9_17_18_random_barrier.cpp.o"
+  "CMakeFiles/bench_fig9_17_18_random_barrier.dir/bench_fig9_17_18_random_barrier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_17_18_random_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig9_17_18_random_barrier.
+# This may be replaced when dependencies are built.

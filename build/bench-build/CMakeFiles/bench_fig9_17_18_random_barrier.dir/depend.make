@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_17_18_random_barrier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_presta_rma"
+  "../bench/bench_presta_rma.pdb"
+  "CMakeFiles/bench_presta_rma.dir/bench_presta_rma.cpp.o"
+  "CMakeFiles/bench_presta_rma.dir/bench_presta_rma.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_presta_rma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_rma_app.dir/diagnose_rma_app.cpp.o"
+  "CMakeFiles/diagnose_rma_app.dir/diagnose_rma_app.cpp.o.d"
+  "diagnose_rma_app"
+  "diagnose_rma_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_rma_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/consultant.cpp" "src/core/CMakeFiles/m2p_core.dir/consultant.cpp.o" "gcc" "src/core/CMakeFiles/m2p_core.dir/consultant.cpp.o.d"
+  "/root/repo/src/core/histogram.cpp" "src/core/CMakeFiles/m2p_core.dir/histogram.cpp.o" "gcc" "src/core/CMakeFiles/m2p_core.dir/histogram.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/m2p_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/m2p_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/resources.cpp" "src/core/CMakeFiles/m2p_core.dir/resources.cpp.o" "gcc" "src/core/CMakeFiles/m2p_core.dir/resources.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/m2p_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/m2p_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/tool.cpp" "src/core/CMakeFiles/m2p_core.dir/tool.cpp.o" "gcc" "src/core/CMakeFiles/m2p_core.dir/tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mdl/CMakeFiles/m2p_mdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/m2p_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/m2p_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2p_core.dir/consultant.cpp.o"
+  "CMakeFiles/m2p_core.dir/consultant.cpp.o.d"
+  "CMakeFiles/m2p_core.dir/histogram.cpp.o"
+  "CMakeFiles/m2p_core.dir/histogram.cpp.o.d"
+  "CMakeFiles/m2p_core.dir/metrics.cpp.o"
+  "CMakeFiles/m2p_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/m2p_core.dir/resources.cpp.o"
+  "CMakeFiles/m2p_core.dir/resources.cpp.o.d"
+  "CMakeFiles/m2p_core.dir/session.cpp.o"
+  "CMakeFiles/m2p_core.dir/session.cpp.o.d"
+  "CMakeFiles/m2p_core.dir/tool.cpp.o"
+  "CMakeFiles/m2p_core.dir/tool.cpp.o.d"
+  "libm2p_core.a"
+  "libm2p_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2p_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2p_instr.dir/registry.cpp.o"
+  "CMakeFiles/m2p_instr.dir/registry.cpp.o.d"
+  "libm2p_instr.a"
+  "libm2p_instr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2p_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

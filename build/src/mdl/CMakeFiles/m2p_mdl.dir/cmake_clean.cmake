@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2p_mdl.dir/default_metrics.cpp.o"
+  "CMakeFiles/m2p_mdl.dir/default_metrics.cpp.o.d"
+  "CMakeFiles/m2p_mdl.dir/eval.cpp.o"
+  "CMakeFiles/m2p_mdl.dir/eval.cpp.o.d"
+  "CMakeFiles/m2p_mdl.dir/parser.cpp.o"
+  "CMakeFiles/m2p_mdl.dir/parser.cpp.o.d"
+  "libm2p_mdl.a"
+  "libm2p_mdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2p_mdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pperfmark/pperfmark.cpp" "src/pperfmark/CMakeFiles/m2p_pperfmark.dir/pperfmark.cpp.o" "gcc" "src/pperfmark/CMakeFiles/m2p_pperfmark.dir/pperfmark.cpp.o.d"
+  "/root/repo/src/pperfmark/programs_io.cpp" "src/pperfmark/CMakeFiles/m2p_pperfmark.dir/programs_io.cpp.o" "gcc" "src/pperfmark/CMakeFiles/m2p_pperfmark.dir/programs_io.cpp.o.d"
+  "/root/repo/src/pperfmark/programs_mpi1.cpp" "src/pperfmark/CMakeFiles/m2p_pperfmark.dir/programs_mpi1.cpp.o" "gcc" "src/pperfmark/CMakeFiles/m2p_pperfmark.dir/programs_mpi1.cpp.o.d"
+  "/root/repo/src/pperfmark/programs_mpi2.cpp" "src/pperfmark/CMakeFiles/m2p_pperfmark.dir/programs_mpi2.cpp.o" "gcc" "src/pperfmark/CMakeFiles/m2p_pperfmark.dir/programs_mpi2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/m2p_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/m2p_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2p_pperfmark.dir/pperfmark.cpp.o"
+  "CMakeFiles/m2p_pperfmark.dir/pperfmark.cpp.o.d"
+  "CMakeFiles/m2p_pperfmark.dir/programs_io.cpp.o"
+  "CMakeFiles/m2p_pperfmark.dir/programs_io.cpp.o.d"
+  "CMakeFiles/m2p_pperfmark.dir/programs_mpi1.cpp.o"
+  "CMakeFiles/m2p_pperfmark.dir/programs_mpi1.cpp.o.d"
+  "CMakeFiles/m2p_pperfmark.dir/programs_mpi2.cpp.o"
+  "CMakeFiles/m2p_pperfmark.dir/programs_mpi2.cpp.o.d"
+  "libm2p_pperfmark.a"
+  "libm2p_pperfmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2p_pperfmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2p_presta.dir/presta.cpp.o"
+  "CMakeFiles/m2p_presta.dir/presta.cpp.o.d"
+  "libm2p_presta.a"
+  "libm2p_presta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2p_presta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

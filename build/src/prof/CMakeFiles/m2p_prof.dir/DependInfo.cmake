@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prof/flat_profiler.cpp" "src/prof/CMakeFiles/m2p_prof.dir/flat_profiler.cpp.o" "gcc" "src/prof/CMakeFiles/m2p_prof.dir/flat_profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instr/CMakeFiles/m2p_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2p_prof.dir/flat_profiler.cpp.o"
+  "CMakeFiles/m2p_prof.dir/flat_profiler.cpp.o.d"
+  "libm2p_prof.a"
+  "libm2p_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2p_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmpi/launcher.cpp" "src/simmpi/CMakeFiles/m2p_simmpi.dir/launcher.cpp.o" "gcc" "src/simmpi/CMakeFiles/m2p_simmpi.dir/launcher.cpp.o.d"
+  "/root/repo/src/simmpi/rank.cpp" "src/simmpi/CMakeFiles/m2p_simmpi.dir/rank.cpp.o" "gcc" "src/simmpi/CMakeFiles/m2p_simmpi.dir/rank.cpp.o.d"
+  "/root/repo/src/simmpi/rank_io.cpp" "src/simmpi/CMakeFiles/m2p_simmpi.dir/rank_io.cpp.o" "gcc" "src/simmpi/CMakeFiles/m2p_simmpi.dir/rank_io.cpp.o.d"
+  "/root/repo/src/simmpi/rank_rma.cpp" "src/simmpi/CMakeFiles/m2p_simmpi.dir/rank_rma.cpp.o" "gcc" "src/simmpi/CMakeFiles/m2p_simmpi.dir/rank_rma.cpp.o.d"
+  "/root/repo/src/simmpi/world.cpp" "src/simmpi/CMakeFiles/m2p_simmpi.dir/world.cpp.o" "gcc" "src/simmpi/CMakeFiles/m2p_simmpi.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instr/CMakeFiles/m2p_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m2p_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

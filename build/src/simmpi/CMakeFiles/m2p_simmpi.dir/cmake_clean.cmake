@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2p_simmpi.dir/launcher.cpp.o"
+  "CMakeFiles/m2p_simmpi.dir/launcher.cpp.o.d"
+  "CMakeFiles/m2p_simmpi.dir/rank.cpp.o"
+  "CMakeFiles/m2p_simmpi.dir/rank.cpp.o.d"
+  "CMakeFiles/m2p_simmpi.dir/rank_io.cpp.o"
+  "CMakeFiles/m2p_simmpi.dir/rank_io.cpp.o.d"
+  "CMakeFiles/m2p_simmpi.dir/rank_rma.cpp.o"
+  "CMakeFiles/m2p_simmpi.dir/rank_rma.cpp.o.d"
+  "CMakeFiles/m2p_simmpi.dir/world.cpp.o"
+  "CMakeFiles/m2p_simmpi.dir/world.cpp.o.d"
+  "libm2p_simmpi.a"
+  "libm2p_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2p_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2p_trace.dir/mpe.cpp.o"
+  "CMakeFiles/m2p_trace.dir/mpe.cpp.o.d"
+  "libm2p_trace.a"
+  "libm2p_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2p_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2p_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/m2p_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/m2p_util.dir/clock.cpp.o"
+  "CMakeFiles/m2p_util.dir/clock.cpp.o.d"
+  "CMakeFiles/m2p_util.dir/stats.cpp.o"
+  "CMakeFiles/m2p_util.dir/stats.cpp.o.d"
+  "CMakeFiles/m2p_util.dir/text_table.cpp.o"
+  "CMakeFiles/m2p_util.dir/text_table.cpp.o.d"
+  "libm2p_util.a"
+  "libm2p_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2p_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

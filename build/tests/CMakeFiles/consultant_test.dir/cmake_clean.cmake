@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consultant_test.dir/consultant_test.cpp.o"
+  "CMakeFiles/consultant_test.dir/consultant_test.cpp.o.d"
+  "consultant_test"
+  "consultant_test.pdb"
+  "consultant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consultant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consultant_unit_test.dir/consultant_unit_test.cpp.o"
+  "CMakeFiles/consultant_unit_test.dir/consultant_unit_test.cpp.o.d"
+  "consultant_unit_test"
+  "consultant_unit_test.pdb"
+  "consultant_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consultant_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdl_eval_test.dir/mdl_eval_test.cpp.o"
+  "CMakeFiles/mdl_eval_test.dir/mdl_eval_test.cpp.o.d"
+  "mdl_eval_test"
+  "mdl_eval_test.pdb"
+  "mdl_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdl_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

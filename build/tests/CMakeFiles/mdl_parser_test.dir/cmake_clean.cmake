@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdl_parser_test.dir/mdl_parser_test.cpp.o"
+  "CMakeFiles/mdl_parser_test.dir/mdl_parser_test.cpp.o.d"
+  "mdl_parser_test"
+  "mdl_parser_test.pdb"
+  "mdl_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pperfmark_test.dir/pperfmark_test.cpp.o"
+  "CMakeFiles/pperfmark_test.dir/pperfmark_test.cpp.o.d"
+  "pperfmark_test"
+  "pperfmark_test.pdb"
+  "pperfmark_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pperfmark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

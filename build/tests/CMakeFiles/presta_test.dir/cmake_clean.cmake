@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presta_test.dir/presta_test.cpp.o"
+  "CMakeFiles/presta_test.dir/presta_test.cpp.o.d"
+  "presta_test"
+  "presta_test.pdb"
+  "presta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_collectives_test.dir/simmpi_collectives_test.cpp.o"
+  "CMakeFiles/simmpi_collectives_test.dir/simmpi_collectives_test.cpp.o.d"
+  "simmpi_collectives_test"
+  "simmpi_collectives_test.pdb"
+  "simmpi_collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_io_test.dir/simmpi_io_test.cpp.o"
+  "CMakeFiles/simmpi_io_test.dir/simmpi_io_test.cpp.o.d"
+  "simmpi_io_test"
+  "simmpi_io_test.pdb"
+  "simmpi_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_launcher_test.dir/simmpi_launcher_test.cpp.o"
+  "CMakeFiles/simmpi_launcher_test.dir/simmpi_launcher_test.cpp.o.d"
+  "simmpi_launcher_test"
+  "simmpi_launcher_test.pdb"
+  "simmpi_launcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_launcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_misc_test.dir/simmpi_misc_test.cpp.o"
+  "CMakeFiles/simmpi_misc_test.dir/simmpi_misc_test.cpp.o.d"
+  "simmpi_misc_test"
+  "simmpi_misc_test.pdb"
+  "simmpi_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

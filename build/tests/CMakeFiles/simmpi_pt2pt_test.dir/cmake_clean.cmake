@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_pt2pt_test.dir/simmpi_pt2pt_test.cpp.o"
+  "CMakeFiles/simmpi_pt2pt_test.dir/simmpi_pt2pt_test.cpp.o.d"
+  "simmpi_pt2pt_test"
+  "simmpi_pt2pt_test.pdb"
+  "simmpi_pt2pt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_pt2pt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_rma_test.dir/simmpi_rma_test.cpp.o"
+  "CMakeFiles/simmpi_rma_test.dir/simmpi_rma_test.cpp.o.d"
+  "simmpi_rma_test"
+  "simmpi_rma_test.pdb"
+  "simmpi_rma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_rma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

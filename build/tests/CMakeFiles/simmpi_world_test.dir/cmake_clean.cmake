@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_world_test.dir/simmpi_world_test.cpp.o"
+  "CMakeFiles/simmpi_world_test.dir/simmpi_world_test.cpp.o.d"
+  "simmpi_world_test"
+  "simmpi_world_test.pdb"
+  "simmpi_world_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

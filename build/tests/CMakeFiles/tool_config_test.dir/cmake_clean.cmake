@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_config_test.dir/tool_config_test.cpp.o"
+  "CMakeFiles/tool_config_test.dir/tool_config_test.cpp.o.d"
+  "tool_config_test"
+  "tool_config_test.pdb"
+  "tool_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_discovery_test.dir/tool_discovery_test.cpp.o"
+  "CMakeFiles/tool_discovery_test.dir/tool_discovery_test.cpp.o.d"
+  "tool_discovery_test"
+  "tool_discovery_test.pdb"
+  "tool_discovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_metrics_test.dir/tool_metrics_test.cpp.o"
+  "CMakeFiles/tool_metrics_test.dir/tool_metrics_test.cpp.o.d"
+  "tool_metrics_test"
+  "tool_metrics_test.pdb"
+  "tool_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

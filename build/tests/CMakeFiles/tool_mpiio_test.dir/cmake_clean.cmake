@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_mpiio_test.dir/tool_mpiio_test.cpp.o"
+  "CMakeFiles/tool_mpiio_test.dir/tool_mpiio_test.cpp.o.d"
+  "tool_mpiio_test"
+  "tool_mpiio_test.pdb"
+  "tool_mpiio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_mpiio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/instr_test[1]_include.cmake")
+include("/root/repo/build/tests/histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/resources_test[1]_include.cmake")
+include("/root/repo/build/tests/mdl_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/simmpi_pt2pt_test[1]_include.cmake")
+include("/root/repo/build/tests/simmpi_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/simmpi_rma_test[1]_include.cmake")
+include("/root/repo/build/tests/simmpi_spawn_test[1]_include.cmake")
+include("/root/repo/build/tests/simmpi_launcher_test[1]_include.cmake")
+include("/root/repo/build/tests/tool_discovery_test[1]_include.cmake")
+include("/root/repo/build/tests/tool_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/consultant_test[1]_include.cmake")
+include("/root/repo/build/tests/mdl_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/prof_test[1]_include.cmake")
+include("/root/repo/build/tests/pperfmark_test[1]_include.cmake")
+include("/root/repo/build/tests/presta_test[1]_include.cmake")
+include("/root/repo/build/tests/simmpi_world_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/simmpi_io_test[1]_include.cmake")
+include("/root/repo/build/tests/tool_mpiio_test[1]_include.cmake")
+include("/root/repo/build/tests/simmpi_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/tool_config_test[1]_include.cmake")
+include("/root/repo/build/tests/simmpi_collectives2_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/mdl_parser2_test[1]_include.cmake")
+include("/root/repo/build/tests/consultant_unit_test[1]_include.cmake")
