@@ -18,6 +18,7 @@ int main() {
     bench::header("Ablation: histogram folding",
                   "error of rate-x-time reconstruction vs bins/folds");
     bench::Grader g;
+    bench::JsonEmitter json("histogram_folding");
 
     // Known signal: 1000 units/second for 3.27 seconds, delivered in
     // 1 ms impulses, starting at an awkward offset so end-point bins
@@ -52,6 +53,8 @@ int main() {
                    util::fmt(err_drop, 2)});
         g.check("capacity " + std::to_string(bins) + ": total conserved exactly",
                 std::abs(h.total() - truth) < 1e-6 * truth);
+        json.record("err_pct_dropped_cap" + std::to_string(bins), err_drop, "%");
+        json.record("total_cap" + std::to_string(bins), h.total(), "units");
     }
     std::printf("%s", t.render().c_str());
     std::printf("(the paper's bins went 0.2s -> 0.8s over their runs: two folds)\n");
@@ -66,6 +69,8 @@ int main() {
                 h.bin_width() == 0.8 && h.folds() == 2);
     }
 
+    json.record("worst_err_pct_dropped", worst_dropped, "%");
+    json.write_file();
     std::printf("\nHistogram-folding ablation: %d failures\n", g.failures());
     return g.exit_code();
 }

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/metrics.hpp"
 #include "core/session.hpp"
@@ -15,6 +16,66 @@
 #include "util/text_table.hpp"
 
 namespace m2p::bench {
+
+/// Machine-readable results alongside the human tables: each bench
+/// binary records {metric, value, unit} rows and writes them to
+/// BENCH_<name>.json in the working directory, so benchmark
+/// trajectories can be tracked across commits without scraping stdout.
+class JsonEmitter {
+public:
+    explicit JsonEmitter(std::string bench_name) : name_(std::move(bench_name)) {}
+
+    void record(const std::string& metric, double value, const std::string& unit) {
+        rows_.push_back({metric, value, unit});
+    }
+
+    std::string render() const {
+        std::string out = "{\"bench\":\"" + escaped(name_) + "\",\"records\":[";
+        char num[32];
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            std::snprintf(num, sizeof num, "%.9g", rows_[i].value);
+            if (i) out += ',';
+            out += "{\"metric\":\"" + escaped(rows_[i].metric) + "\",\"value\":" +
+                   num + ",\"unit\":\"" + escaped(rows_[i].unit) + "\"}";
+        }
+        out += "]}\n";
+        return out;
+    }
+
+    /// Writes BENCH_<name>.json; returns false (with a note on stderr)
+    /// if the file cannot be created.
+    bool write_file() const {
+        const std::string path = "BENCH_" + name_ + ".json";
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "JsonEmitter: cannot write %s\n", path.c_str());
+            return false;
+        }
+        const std::string body = render();
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+        std::printf("  [json] wrote %s (%zu records)\n", path.c_str(), rows_.size());
+        return true;
+    }
+
+private:
+    static std::string escaped(const std::string& s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\') out += '\\';
+            out += c;
+        }
+        return out;
+    }
+
+    struct Row {
+        std::string metric;
+        double value;
+        std::string unit;
+    };
+    std::string name_;
+    std::vector<Row> rows_;
+};
 
 /// Iteration counts tuned so each program runs ~2-3 s under the
 /// Performance Consultant on a small host (workloads are scaled from

@@ -5,11 +5,21 @@
 // granularity decreases -- the source of the small errors the paper
 // discusses (their bins started at 0.2 s and folded up to 0.8 s; ours
 // default to 5 ms since workloads are scaled down).
+//
+// Writes are striped (DESIGN.md "fast path"): add() appends the raw
+// (t, v) sample to a per-thread stripe buffer under that stripe's own
+// mutex, so snippet fires from different ranks never serialize on one
+// lock.  Stripes drain into the folding bins when a buffer fills or on
+// any read, replaying samples through the exact binning/folding
+// arithmetic -- totals, fold counts, and single-writer bin contents
+// are identical to the unstriped implementation.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace m2p::core {
@@ -17,7 +27,10 @@ namespace m2p::core {
 class Histogram {
 public:
     /// @p origin is the wall-clock time of bin 0's left edge.
-    Histogram(double origin, double base_bin_width = 0.005, std::size_t bins = 128);
+    /// @p stripes controls write-side striping (one buffer per stripe,
+    /// threads hash onto stripes); sized for the expected rank count.
+    Histogram(double origin, double base_bin_width = 0.005, std::size_t bins = 128,
+              std::size_t stripes = 16);
 
     /// Accumulates @p v into the bin containing time @p t, folding as
     /// needed.  Thread-safe.  Values before the origin go to bin 0.
@@ -31,7 +44,8 @@ public:
     std::vector<double> values() const;
 
     /// Exact running total, independent of folding (used by the
-    /// Performance Consultant's interval arithmetic).
+    /// Performance Consultant's interval arithmetic).  Reflects every
+    /// add() that completed before the call, exactly.
     double total() const;
 
     /// Mean per-second rate over the covered interval.  When
@@ -49,16 +63,26 @@ public:
     std::string to_csv() const;
 
 private:
-    void fold_locked();
+    struct Stripe {
+        alignas(64) std::mutex mu;
+        std::vector<std::pair<double, double>> buf;
+    };
+
+    void add_locked(double t, double v) const;  ///< requires mu_
+    void fold_locked() const;                   ///< requires mu_
+    void drain_stripes() const;  ///< replay all stripe buffers
 
     const double origin_;
     const std::size_t capacity_;
-    mutable std::mutex mu_;
-    double width_;
-    std::vector<double> bins_;
-    std::size_t hi_ = 0;  ///< highest touched bin + 1
-    double total_ = 0.0;
-    int folds_ = 0;
+    mutable std::mutex mu_;  ///< guards the folding bins below
+    mutable double width_;
+    mutable std::vector<double> bins_;
+    mutable std::size_t hi_ = 0;  ///< highest touched bin + 1
+    mutable double total_ = 0.0;
+    mutable int folds_ = 0;
+
+    const std::unique_ptr<Stripe[]> stripes_;
+    const std::size_t nstripes_;
 };
 
 }  // namespace m2p::core

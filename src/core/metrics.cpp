@@ -29,6 +29,15 @@ bool starts_with(const std::string& s, const std::string& prefix) {
     return s.rfind(prefix, 0) == 0;
 }
 
+/// Histogram write-stripe count for a new metric-focus pair: one per
+/// known rank thread (they are the concurrent writers), clamped so a
+/// pair created before launch still gets useful striping and a huge
+/// world does not over-allocate buffers.
+std::size_t hist_stripes_for(PerfTool& tool) {
+    return std::clamp<std::size_t>(
+        static_cast<std::size_t>(tool.known_process_count()), 8, 64);
+}
+
 }  // namespace
 
 MetricFocusPair::~MetricFocusPair() = default;
@@ -67,8 +76,8 @@ std::shared_ptr<MetricFocusPair> MetricManager::request(const std::string& metri
         pair->focus_ = focus;
         pair->unitstype_ = mdl::UnitsType::Sampled;
         pair->native_cpu_ = true;
-        pair->hist_ =
-            std::make_shared<Histogram>(util::wall_seconds(), bin_width_, bins_);
+        pair->hist_ = std::make_shared<Histogram>(util::wall_seconds(), bin_width_,
+                                                  bins_, hist_stripes_for(tool_));
         for (int r : tool_.ranks_for_focus(focus))
             pair->cpu_last_[r] = tool_.world().proc_cpu_seconds(r);
         pair->sys_last_ = util::process_system_seconds();
@@ -182,7 +191,8 @@ std::shared_ptr<MetricFocusPair> MetricManager::request(const std::string& metri
     pair->metric_ = metric;
     pair->focus_ = focus;
     pair->unitstype_ = def->unitstype;
-    pair->hist_ = std::make_shared<Histogram>(util::wall_seconds(), bin_width_, bins_);
+    pair->hist_ = std::make_shared<Histogram>(util::wall_seconds(), bin_width_, bins_,
+                                              hist_stripes_for(tool_));
 
     auto sink = [hist = pair->hist_](double now, double delta) {
         hist->add(now, delta);

@@ -12,16 +12,24 @@
 // the call plus the executing rank, so metric code like
 //     MPI_Type_size($arg[2], &bytes); mpi_rma_put_bytes += bytes * $arg[1];
 // compiles to an ordinary closure over this structure.
+//
+// The dispatch path is the tool-perturbation knob the paper's whole
+// evaluation depends on, so it is lock-free (DESIGN.md "fast path"):
+// the function table is append-only chunked storage resolved with one
+// acquire load, snippet lists are RCU-published snapshot pointers
+// reclaimed through hazard pointers, and dispatch statistics are
+// sharded into per-thread slots aggregated by stats().
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace m2p::instr {
@@ -136,7 +144,8 @@ public:
     /// Number of live snippets at a point (tests / ablation).
     std::size_t snippet_count(FuncId f, Where w) const;
 
-    /// Fired by trampolines.  Cheap when no snippets are installed.
+    /// Fired by trampolines.  Lock-free; one load + branch when no
+    /// snippets are installed (the overwhelmingly common case).
     void dispatch(FuncId f, Where w, CallContext& ctx);
 
     DispatchStats stats() const;
@@ -145,15 +154,41 @@ public:
 private:
     struct PointImpl;
     struct FuncImpl;
+    struct StatSlot;
+    using SnippetVec = std::vector<std::pair<SnippetId, Snippet>>;
 
-    FuncImpl& func_impl(FuncId f);
-    const FuncImpl& func_impl(FuncId f) const;
+    // Append-only chunked function table: FuncImpl addresses are stable
+    // for the Registry's lifetime, so dispatch resolves a FuncId with a
+    // bounds check against count_ (acquire) and two relaxed loads --
+    // no registry-wide lock.
+    static constexpr std::size_t kChunkShift = 9;
+    static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+    static constexpr std::size_t kChunkMask = kChunkSize - 1;
+    static constexpr std::size_t kMaxChunks = 1024;
 
-    mutable std::shared_mutex mu_;
-    std::vector<std::unique_ptr<FuncImpl>> funcs_;
+    FuncImpl& func_impl(FuncId f) const;  ///< lock-free; throws on bad id
+    StatSlot& stat_slot() const;          ///< this thread's counter shard
+    void retire(const SnippetVec* old) const;  ///< hazard-checked reclaim
+
+    mutable std::mutex mu_;  ///< guards registration + symbol queries
+    std::atomic<FuncImpl*> chunks_[kMaxChunks] = {};
+    std::atomic<std::uint32_t> count_{0};
+    /// (module, '\0', name) -> id and name -> first id indexes.
+    std::unordered_map<std::string, FuncId> by_module_name_;
+    std::unordered_map<std::string, FuncId> by_name_;
+
     std::atomic<SnippetId> next_snippet_{1};
-    std::atomic<std::uint64_t> events_{0};
-    std::atomic<std::uint64_t> executed_{0};
+
+    /// Retired snippet snapshots not yet proven unreferenced.
+    mutable std::mutex retire_mu_;
+    mutable std::vector<const SnippetVec*> retired_;
+
+    /// Per-thread counter shards (see stats()); slots are owned here and
+    /// located by dispatching threads through a thread-local cache keyed
+    /// on the registry's process-unique id.
+    const std::uint64_t reg_uid_;
+    mutable std::mutex slots_mu_;
+    mutable std::vector<std::unique_ptr<StatSlot>> slots_;
 };
 
 /// RAII guard that makes one application function visible to the tool:

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <vector>
 
 #include "core/histogram.hpp"
 
@@ -79,6 +80,51 @@ TEST(Histogram, ConcurrentAddsAreSafeAndConserved) {
         });
     for (auto& t : ts) t.join();
     EXPECT_DOUBLE_EQ(h.total(), kThreads * kAdds);
+}
+
+TEST(Histogram, MultiWriterTotalExactAcrossFolds) {
+    // Striped writers spanning time ranges that force repeated folds:
+    // total() must equal the exact sum of all contributions, and the
+    // surviving bins must sum to the same number.
+    Histogram h(0.0, 0.001, 16, /*stripes=*/8);
+    constexpr int kThreads = 8;
+    constexpr int kAdds = 4000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t)
+        ts.emplace_back([&h, t] {
+            // Each thread covers a different, growing time range so
+            // folds race with adds that straddle the old/new width.
+            for (int i = 0; i < kAdds; ++i)
+                h.add(0.0005 * i * (t + 1), 1.0 + 0.25 * t);
+        });
+    for (auto& t : ts) t.join();
+    double expect = 0.0;
+    for (int t = 0; t < kThreads; ++t) expect += kAdds * (1.0 + 0.25 * t);
+    EXPECT_DOUBLE_EQ(h.total(), expect);
+    EXPECT_GT(h.folds(), 0);
+    double binsum = 0.0;
+    for (double v : h.values()) binsum += v;
+    EXPECT_NEAR(binsum, expect, 1e-6 * expect);
+}
+
+TEST(Histogram, StripingPreservesSingleWriterResultsExactly) {
+    // Same sample stream into a 1-stripe and a many-stripe histogram
+    // from one thread: bins, width, folds, and total must match
+    // bit-for-bit (replay goes through identical arithmetic).
+    Histogram a(0.0, 0.01, 32, 1);
+    Histogram b(0.0, 0.01, 32, 16);
+    for (int i = 0; i < 5000; ++i) {
+        const double t = 0.0007 * i;
+        const double v = 0.5 + (i % 7) * 0.125;
+        a.add(t, v);
+        b.add(t, v);
+    }
+    EXPECT_EQ(a.folds(), b.folds());
+    EXPECT_DOUBLE_EQ(a.bin_width(), b.bin_width());
+    EXPECT_DOUBLE_EQ(a.total(), b.total());
+    const auto va = a.values(), vb = b.values();
+    ASSERT_EQ(va.size(), vb.size());
+    for (std::size_t i = 0; i < va.size(); ++i) EXPECT_DOUBLE_EQ(va[i], vb[i]);
 }
 
 TEST(Histogram, RejectsBadConfig) {
