@@ -1,0 +1,539 @@
+// Transport data-plane ablation: message rate and collective cost of
+// the rebuilt simmpi engine (lock-free handle tables, reusable
+// envelope buffers, targeted wakeups, tree collectives) against an
+// in-binary replica of the design it replaced (global-mutex std::map
+// handle lookups, a freshly allocated vector per message, notify_all
+// on a single per-mailbox condition variable).
+//
+// The replica fires the same MPI_/PMPI_ FunctionGuard pairs on a real
+// instrumentation Registry, so both sides pay identical tool-facing
+// dispatch costs and the difference isolates the transport.
+//
+// The graded point-to-point shape is a rendezvous incast: n-1 clients
+// each stream large (above-eager-limit) messages to one server.  Under
+// the legacy protocol every rendezvous sender parks on the mailbox's
+// single condition variable and every queue event notify_all()s it, so
+// each delivery wakes every parked sender to futilely re-check -- a
+// per-message wake storm that grows with rank count.  The rebuilt
+// engine hands each rendezvous envelope its own DeliveryToken, so a
+// delivery wakes exactly the one sender it completes.  An eager
+// windowed-streaming table is also reported (ungraded): with 64-deep
+// windows the wakeup costs amortize and the remaining gap is the
+// handle-lookup and allocation savings.
+//
+// Collectives are graded on the bottleneck-rank metric: the maximum
+// over ranks of per-call thread-CPU time.  On a timesliced host the
+// wall clock cannot show tree-vs-flat parallelism, but the busiest
+// rank's CPU work per operation (O(n) for the flat root loop, O(log n)
+// for the binomial tree) is host-independent.
+//
+// `--smoke` runs a tiny iteration count and skips the performance
+// thresholds (CI uses it to assert the harness and JSON stay sound).
+#include "bench_common.hpp"
+
+#include <barrier>
+#include <chrono>
+#include <cstring>
+#include <ctime>
+#include <deque>
+#include <map>
+#include <thread>
+
+#include "instr/registry.hpp"
+#include "simmpi/launcher.hpp"
+#include "simmpi/rank.hpp"
+#include "simmpi/world.hpp"
+
+namespace {
+
+using namespace m2p;
+
+double wall_seconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+double thread_cpu_seconds() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+// ---------------------------------------------------------------------------
+// Replica of the transport this PR replaced (see git history of
+// src/simmpi/world.{hpp,cpp}): every handle resolution locked the one
+// world mutex and walked a std::map; every message allocated (and
+// zero-filled) its own std::vector payload; every queue transition
+// broadcast on the mailbox's single condition variable.
+// ---------------------------------------------------------------------------
+struct LegacyEnvelope {
+    int src;
+    int tag;
+    std::vector<std::byte> data;
+    std::shared_ptr<bool> delivered;  ///< rendezvous token (seed protocol)
+};
+
+struct LegacyMailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<LegacyEnvelope> queue;
+    std::size_t bytes_queued = 0;
+};
+
+struct LegacyProc {
+    int global_rank;
+    int node = 0;
+};
+
+struct LegacyComm {
+    std::vector<int> group;
+    std::int64_t context = 0;
+};
+
+class LegacyWorld {
+public:
+    explicit LegacyWorld(int nprocs) {
+        for (int i = 0; i < nprocs; ++i) {
+            procs_[i] = LegacyProc{i};
+            mailboxes_[i];  // default-construct in place
+        }
+        comms_[0].context = 100;
+        for (int i = 0; i < nprocs; ++i) comms_[0].group.push_back(i);
+    }
+
+    LegacyComm& comm(int c) {
+        std::lock_guard lk(mu_);
+        return comms_.at(c);
+    }
+    LegacyProc& proc(int p) {
+        std::lock_guard lk(mu_);
+        return procs_.at(p);
+    }
+    LegacyMailbox& mailbox(int p) {
+        std::lock_guard lk(mu_);
+        return mailboxes_.at(p);
+    }
+
+private:
+    std::mutex mu_;
+    std::map<int, LegacyProc> procs_;
+    std::map<int, LegacyMailbox> mailboxes_;
+    std::map<int, LegacyComm> comms_;
+};
+
+/// Instrumentation fixture shared by both legacy workers: the same
+/// Registry type the real stack dispatches through, carrying the same
+/// MPI_/PMPI_ function pair per operation.
+struct LegacyFids {
+    instr::Registry reg;
+    instr::FuncId send, psend, recv, precv;
+    LegacyFids()
+        : send(reg.register_function("MPI_Send", "libmpi", 0)),
+          psend(reg.register_function("PMPI_Send", "libmpi", 0)),
+          recv(reg.register_function("MPI_Recv", "libmpi", 0)),
+          precv(reg.register_function("PMPI_Recv", "libmpi", 0)) {}
+};
+
+void legacy_send(LegacyWorld& w, LegacyFids& f, int comm, int me, int dest, int tag,
+                 const void* buf, int bytes, bool rendezvous) {
+    instr::FunctionGuard g(f.reg, f.send);
+    instr::FunctionGuard pg(f.reg, f.psend);
+    LegacyComm& cd = w.comm(comm);          // global mutex + map walk
+    const int dest_global = cd.group[static_cast<std::size_t>(dest)];
+    (void)w.proc(dest_global);              // second global-mutex round trip
+    LegacyMailbox& mb = w.mailbox(dest_global);  // and a third
+    LegacyEnvelope env;
+    env.src = me;
+    env.tag = tag;
+    env.data.resize(static_cast<std::size_t>(bytes));  // fresh zero-filled alloc
+    std::memcpy(env.data.data(), buf, static_cast<std::size_t>(bytes));
+    std::unique_lock lk(mb.mu);
+    if (rendezvous) {
+        // Seed protocol: the waiting sender parks on the mailbox's one
+        // condition variable, so every queue event on this mailbox --
+        // including other senders' pushes -- wakes it to re-check.
+        auto token = std::make_shared<bool>(false);
+        env.delivered = token;
+        mb.queue.push_back(std::move(env));
+        mb.cv.notify_all();
+        mb.cv.wait(lk, [&] { return *token; });
+        return;
+    }
+    mb.bytes_queued += env.data.size();
+    mb.queue.push_back(std::move(env));
+    mb.cv.notify_all();  // under the lock, as the seed did
+}
+
+void legacy_recv(LegacyWorld& w, LegacyFids& f, int comm, int me, int src, int tag,
+                 void* buf, int bytes) {
+    instr::FunctionGuard g(f.reg, f.recv);
+    instr::FunctionGuard pg(f.reg, f.precv);
+    LegacyComm& cd = w.comm(comm);
+    (void)cd;
+    LegacyMailbox& mb = w.mailbox(me);
+    std::unique_lock lk(mb.mu);
+    for (;;) {
+        for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
+            if (it->src != src || it->tag != tag) continue;
+            std::memcpy(buf, it->data.data(),
+                        std::min(it->data.size(), static_cast<std::size_t>(bytes)));
+            if (it->delivered)
+                *it->delivered = true;  // release the rendezvous sender
+            else
+                mb.bytes_queued -= it->data.size();
+            mb.queue.erase(it);  // vector payload freed here, every message
+            mb.cv.notify_all();  // under the lock, as the seed did
+            return;
+        }
+        mb.cv.wait(lk);
+    }
+}
+
+/// Windowed streaming exchange over the legacy replica: in each of
+/// @p windows rounds, the even rank of a pair sends kWindow 8-byte
+/// messages back to back and the odd rank drains them, acking once
+/// per window.  This is the message-RATE shape (cf. bandwidth
+/// benchmarks): receivers mostly find messages already queued, so the
+/// per-message data-plane cost -- not the futex round trip of a
+/// strict ping-pong -- dominates.  Returns wall seconds.
+constexpr int kWindow = 64;
+
+double legacy_stream_run(int nranks, long windows) {
+    LegacyWorld w(nranks);
+    LegacyFids fids;
+    std::barrier sync(nranks);
+    std::vector<std::thread> ts;
+    ts.reserve(static_cast<std::size_t>(nranks));
+    // Thread 0 takes both timestamps (mirroring rank 0 on the real
+    // side): the main thread may not get scheduled promptly on a
+    // loaded host, but a traffic participant releases from the barrier
+    // straight into its own timed work.
+    std::atomic<double> t0{0.0}, t1{0.0};
+    for (int me = 0; me < nranks; ++me)
+        ts.emplace_back([&, me] {
+            const bool lead = me % 2 == 0;
+            const int peer = lead ? me + 1 : me - 1;
+            std::uint64_t out = 0, in = 0;
+            sync.arrive_and_wait();
+            if (me == 0) t0 = wall_seconds();
+            for (long wnd = 0; wnd < windows; ++wnd) {
+                if (lead) {
+                    for (int k = 0; k < kWindow; ++k) {
+                        out = static_cast<std::uint64_t>(wnd * kWindow + k);
+                        legacy_send(w, fids, 0, me, peer, 7, &out, 8, false);
+                    }
+                    legacy_recv(w, fids, 0, me, peer, 8, &in, 8);  // window ack
+                } else {
+                    for (int k = 0; k < kWindow; ++k)
+                        legacy_recv(w, fids, 0, me, peer, 7, &in, 8);
+                    out = in;
+                    legacy_send(w, fids, 0, me, peer, 8, &out, 8, false);
+                }
+            }
+            sync.arrive_and_wait();
+            if (me == 0) t1 = wall_seconds();
+        });
+    for (auto& t : ts) t.join();
+    return t1.load() - t0.load();
+}
+
+/// Same exchange over the real stack (full MPI trampolines, real
+/// Registry dispatch, the production mailbox).  Returns wall seconds
+/// measured between two barriers that bracket the traffic.
+double real_stream_run(int nranks, long windows) {
+    instr::Registry reg;
+    simmpi::World world(reg, simmpi::World::Config{});
+    std::atomic<double> t0{0.0}, t1{0.0};
+    world.register_program("stream", [&](simmpi::Rank& r,
+                                         const std::vector<std::string>&) {
+        r.MPI_Init();
+        const simmpi::Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        const bool lead = me % 2 == 0;
+        const int peer = lead ? me + 1 : me - 1;
+        std::uint64_t out = 0, in = 0;
+        r.MPI_Barrier(w);
+        if (me == 0) t0 = wall_seconds();
+        for (long wnd = 0; wnd < windows; ++wnd) {
+            if (lead) {
+                for (int k = 0; k < kWindow; ++k) {
+                    out = static_cast<std::uint64_t>(wnd * kWindow + k);
+                    r.MPI_Send(&out, 8, simmpi::MPI_BYTE, peer, 7, w);
+                }
+                r.MPI_Recv(&in, 8, simmpi::MPI_BYTE, peer, 8, w, nullptr);
+            } else {
+                for (int k = 0; k < kWindow; ++k)
+                    r.MPI_Recv(&in, 8, simmpi::MPI_BYTE, peer, 7, w, nullptr);
+                out = in;
+                r.MPI_Send(&out, 8, simmpi::MPI_BYTE, peer, 8, w);
+            }
+        }
+        r.MPI_Barrier(w);
+        if (me == 0) t1 = wall_seconds();
+        r.MPI_Finalize();
+    });
+    simmpi::LaunchPlan plan;
+    for (int i = 0; i < nranks; ++i) plan.placements.push_back("node0");
+    simmpi::launch(world, "stream", {}, plan);
+    world.join_all();
+    return t1.load() - t0.load();
+}
+
+/// Rendezvous incast over the legacy replica: ranks 1..n-1 each send
+/// @p iters large (rendezvous) messages to rank 0, which receives them
+/// round-robin.  Each message is an unavoidable sleep/wake handshake,
+/// and under the seed protocol every queue event wakes every parked
+/// sender on the mailbox's single condition variable -- the wake-storm
+/// cost the DeliveryToken redesign removes.  Returns wall seconds.
+double legacy_incast_run(int nranks, long iters, int bytes) {
+    LegacyWorld w(nranks);
+    LegacyFids fids;
+    std::barrier sync(nranks);
+    std::vector<std::thread> ts;
+    ts.reserve(static_cast<std::size_t>(nranks));
+    std::atomic<double> t0{0.0}, t1{0.0};
+    std::vector<std::byte> payload(static_cast<std::size_t>(bytes), std::byte{5});
+    for (int me = 0; me < nranks; ++me)
+        ts.emplace_back([&, me] {
+            std::vector<std::byte> buf(static_cast<std::size_t>(bytes));
+            sync.arrive_and_wait();
+            if (me == 0) {
+                t0 = wall_seconds();
+                for (long i = 0; i < iters; ++i)
+                    for (int src = 1; src < nranks; ++src)
+                        legacy_recv(w, fids, 0, 0, src, 7, buf.data(), bytes);
+            } else {
+                for (long i = 0; i < iters; ++i)
+                    legacy_send(w, fids, 0, me, 0, 7, payload.data(), bytes, true);
+            }
+            sync.arrive_and_wait();
+            if (me == 0) t1 = wall_seconds();
+        });
+    for (auto& t : ts) t.join();
+    return t1.load() - t0.load();
+}
+
+/// Same incast over the real stack: message size above the eager limit
+/// makes MPI_Send rendezvous, completing via the per-envelope
+/// DeliveryToken (one targeted wake per message).
+double real_incast_run(int nranks, long iters, int bytes) {
+    instr::Registry reg;
+    simmpi::World world(reg, simmpi::World::Config{});
+    std::atomic<double> t0{0.0}, t1{0.0};
+    world.register_program("incast", [&](simmpi::Rank& r,
+                                         const std::vector<std::string>&) {
+        r.MPI_Init();
+        const simmpi::Comm w = r.MPI_COMM_WORLD();
+        int me = 0, n = 0;
+        r.MPI_Comm_rank(w, &me);
+        r.MPI_Comm_size(w, &n);
+        std::vector<std::byte> buf(static_cast<std::size_t>(bytes), std::byte{5});
+        r.MPI_Barrier(w);
+        if (me == 0) {
+            t0 = wall_seconds();
+            for (long i = 0; i < iters; ++i)
+                for (int src = 1; src < n; ++src)
+                    r.MPI_Recv(buf.data(), bytes, simmpi::MPI_BYTE, src, 7, w, nullptr);
+            t1 = wall_seconds();
+        } else {
+            for (long i = 0; i < iters; ++i)
+                r.MPI_Send(buf.data(), bytes, simmpi::MPI_BYTE, 0, 7, w);
+        }
+        r.MPI_Finalize();
+    });
+    simmpi::LaunchPlan plan;
+    for (int i = 0; i < nranks; ++i) plan.placements.push_back("node0");
+    simmpi::launch(world, "incast", {}, plan);
+    world.join_all();
+    return t1.load() - t0.load();
+}
+
+struct CollResult {
+    double wall_per_op;            ///< wall seconds per collective call
+    double bottleneck_cpu_per_op;  ///< max over ranks of CPU seconds per call
+};
+
+/// Runs @p iters Bcasts (1 KiB) or Allreduces (64 doubles) on
+/// @p nranks ranks under the given algorithm family.
+CollResult real_collective_run(simmpi::CollAlgo algo, bool allreduce, int nranks,
+                               long iters) {
+    instr::Registry reg;
+    simmpi::World::Config cfg;
+    cfg.coll_algo = algo;
+    simmpi::World world(reg, cfg);
+    std::vector<double> cpu(static_cast<std::size_t>(nranks), 0.0);
+    std::atomic<double> t0{0.0}, t1{0.0};
+    world.register_program("coll", [&](simmpi::Rank& r,
+                                       const std::vector<std::string>&) {
+        r.MPI_Init();
+        const simmpi::Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        std::vector<std::byte> buf(1024, std::byte{1});
+        std::vector<double> acc(64, me * 1.0), out(64, 0.0);
+        r.MPI_Barrier(w);
+        if (me == 0) t0 = wall_seconds();
+        const double c0 = thread_cpu_seconds();
+        for (long i = 0; i < iters; ++i) {
+            if (allreduce)
+                r.MPI_Allreduce(acc.data(), out.data(), 64, simmpi::MPI_DOUBLE,
+                                simmpi::MPI_SUM, w);
+            else
+                r.MPI_Bcast(buf.data(), 1024, simmpi::MPI_BYTE, 0, w);
+        }
+        cpu[static_cast<std::size_t>(me)] = thread_cpu_seconds() - c0;
+        r.MPI_Barrier(w);
+        if (me == 0) t1 = wall_seconds();
+        r.MPI_Finalize();
+    });
+    simmpi::LaunchPlan plan;
+    for (int i = 0; i < nranks; ++i) plan.placements.push_back("node0");
+    simmpi::launch(world, "coll", {}, plan);
+    world.join_all();
+    CollResult res;
+    res.wall_per_op = (t1.load() - t0.load()) / static_cast<double>(iters);
+    double worst = 0.0;
+    for (double c : cpu) worst = std::max(worst, c);
+    res.bottleneck_cpu_per_op = worst / static_cast<double>(iters);
+    return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+    bench::header("Ablation: simmpi transport data plane",
+                  smoke ? "smoke mode (harness check only)"
+                        : "message rate and collective cost vs legacy design");
+    bench::Grader g;
+    bench::JsonEmitter json("transport");
+
+    // ---- Point-to-point message rate: rendezvous incast (graded) ----------
+    // 8 KiB messages sit above the 4 KiB eager limit, so every send is
+    // a rendezvous handshake; n-1 clients stream at one server.  This
+    // is the shape where the legacy shared-condition-variable protocol
+    // pays an unamortizable per-message wake storm.
+    const int sizes[] = {2, 4, 8, 16};
+    const int reps = smoke ? 1 : 5;
+    constexpr int kIncastBytes = 8 * 1024;
+    double speedup_16 = 0.0;
+
+    util::TextTable pt({"ranks", "legacy msgs/s", "new msgs/s", "speedup"});
+    for (const int n : sizes) {
+        const long iters = smoke ? 3 : 1600 / (n - 1);
+        const double msgs = static_cast<double>(n - 1) * static_cast<double>(iters);
+        // Interleave repetitions, best-of per implementation: the
+        // scheduling weather on a shared host changes second to
+        // second, and alternating samples both designs under it.
+        double legacy_s = 1e30, real_s = 1e30;
+        for (int rep = 0; rep < reps; ++rep) {
+            legacy_s = std::min(legacy_s, legacy_incast_run(n, iters, kIncastBytes));
+            real_s = std::min(real_s, real_incast_run(n, iters, kIncastBytes));
+        }
+        const double legacy_rate = msgs / legacy_s;
+        const double real_rate = msgs / real_s;
+        const double speedup = real_rate / legacy_rate;
+        if (n == 16) speedup_16 = speedup;
+        pt.add_row({std::to_string(n), util::fmt(legacy_rate, 0),
+                    util::fmt(real_rate, 0), util::fmt(speedup, 2) + "x"});
+        const std::string label = "pt2pt_" + std::to_string(n) + "ranks";
+        json.record("legacy_" + label + "_msgs_per_s", legacy_rate, "msgs/s");
+        json.record("new_" + label + "_msgs_per_s", real_rate, "msgs/s");
+        json.record("speedup_" + label, speedup, "x");
+    }
+    std::printf("%s", pt.render().c_str());
+
+    // ---- Eager windowed streaming (reported, ungraded) --------------------
+    // Small messages below the eager limit, 64-deep windows with one
+    // ack per window.  Wakeups amortize here, so the gap shows only the
+    // handle-lookup and per-message allocation savings.
+    util::TextTable st({"ranks", "legacy msgs/s", "new msgs/s", "speedup"});
+    for (const int n : sizes) {
+        const long windows = smoke ? 3 : 6000 / n;
+        // Data messages only (the one ack per window is overhead on
+        // both sides alike).
+        const double msgs = static_cast<double>(n) / 2.0 *
+                            static_cast<double>(windows) * kWindow;
+        double legacy_s = 1e30, real_s = 1e30;
+        for (int rep = 0; rep < reps; ++rep) {
+            legacy_s = std::min(legacy_s, legacy_stream_run(n, windows));
+            real_s = std::min(real_s, real_stream_run(n, windows));
+        }
+        const double legacy_rate = msgs / legacy_s;
+        const double real_rate = msgs / real_s;
+        const std::string label = "stream_" + std::to_string(n) + "ranks";
+        st.add_row({std::to_string(n), util::fmt(legacy_rate, 0),
+                    util::fmt(real_rate, 0),
+                    util::fmt(real_rate / legacy_rate, 2) + "x"});
+        json.record("legacy_" + label + "_msgs_per_s", legacy_rate, "msgs/s");
+        json.record("new_" + label + "_msgs_per_s", real_rate, "msgs/s");
+        json.record("speedup_" + label, real_rate / legacy_rate, "x");
+    }
+    std::printf("%s", st.render().c_str());
+
+    // ---- Collectives: tree vs flat at 16 ranks ----------------------------
+    const long citer = smoke ? 20 : 400;
+    util::TextTable ct({"collective", "flat wall us/op", "tree wall us/op",
+                        "flat bottleneck us/op", "tree bottleneck us/op"});
+    double bcast_flat_bn = 0.0, bcast_tree_bn = 0.0;
+    double allred_flat_bn = 0.0, allred_tree_bn = 0.0;
+    for (const bool allreduce : {false, true}) {
+        CollResult flat{1e30, 1e30}, tree{1e30, 1e30};
+        for (int rep = 0; rep < (smoke ? 1 : 3); ++rep) {
+            const CollResult f = real_collective_run(simmpi::CollAlgo::Flat,
+                                                     allreduce, 16, citer);
+            const CollResult t = real_collective_run(simmpi::CollAlgo::Tree,
+                                                     allreduce, 16, citer);
+            flat.wall_per_op = std::min(flat.wall_per_op, f.wall_per_op);
+            flat.bottleneck_cpu_per_op =
+                std::min(flat.bottleneck_cpu_per_op, f.bottleneck_cpu_per_op);
+            tree.wall_per_op = std::min(tree.wall_per_op, t.wall_per_op);
+            tree.bottleneck_cpu_per_op =
+                std::min(tree.bottleneck_cpu_per_op, t.bottleneck_cpu_per_op);
+        }
+        const char* name = allreduce ? "allreduce_16ranks" : "bcast_16ranks";
+        if (allreduce) {
+            allred_flat_bn = flat.bottleneck_cpu_per_op;
+            allred_tree_bn = tree.bottleneck_cpu_per_op;
+        } else {
+            bcast_flat_bn = flat.bottleneck_cpu_per_op;
+            bcast_tree_bn = tree.bottleneck_cpu_per_op;
+        }
+        ct.add_row({allreduce ? "Allreduce(64d)" : "Bcast(1KiB)",
+                    util::fmt(flat.wall_per_op * 1e6, 1),
+                    util::fmt(tree.wall_per_op * 1e6, 1),
+                    util::fmt(flat.bottleneck_cpu_per_op * 1e6, 1),
+                    util::fmt(tree.bottleneck_cpu_per_op * 1e6, 1)});
+        json.record(std::string("flat_") + name + "_wall_us_per_op",
+                    flat.wall_per_op * 1e6, "us");
+        json.record(std::string("tree_") + name + "_wall_us_per_op",
+                    tree.wall_per_op * 1e6, "us");
+        json.record(std::string("flat_") + name + "_bottleneck_us_per_op",
+                    flat.bottleneck_cpu_per_op * 1e6, "us");
+        json.record(std::string("tree_") + name + "_bottleneck_us_per_op",
+                    tree.bottleneck_cpu_per_op * 1e6, "us");
+    }
+    std::printf("%s", ct.render().c_str());
+
+    if (smoke) {
+        g.check("smoke: all configurations completed", true);
+    } else {
+        g.check("16-rank rendezvous incast message rate >= 3x the legacy design",
+                speedup_16 >= 3.0);
+        g.check("tree Bcast beats flat on the bottleneck-rank metric at 16 ranks",
+                bcast_tree_bn < bcast_flat_bn);
+        g.check("tree Allreduce beats flat on the bottleneck-rank metric at 16 ranks",
+                allred_tree_bn < allred_flat_bn);
+    }
+    const std::string body = json.render();
+    g.check("json renders well-formed record set",
+            body.rfind("{\"bench\":\"transport\"", 0) == 0 &&
+                body.find("\"records\":[") != std::string::npos &&
+                body.substr(body.size() - 3) == "]}\n");
+
+    json.write_file();
+    std::printf("\nTransport data-plane ablation: %d failures\n", g.failures());
+    return g.exit_code();
+}

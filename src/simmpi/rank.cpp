@@ -183,7 +183,9 @@ int Rank::MPI_Comm_dup(Comm c, Comm* out) {
 int Rank::MPI_Comm_free(Comm* c) {
     if (!c) return MPI_ERR_ARG;
     if (!world_.comm_valid(*c)) return MPI_ERR_COMM;
-    world_.comm(*c).freed = true;
+    // Collective-free semantics: the handle is retired (and its payload
+    // storage released) once every member has freed it.
+    world_.release_comm_member(*c);
     *c = MPI_COMM_NULL;
     return MPI_SUCCESS;
 }
@@ -222,7 +224,10 @@ int Rank::MPI_Group_size(Group g, int* size) {
 int Rank::MPI_Group_free(Group* g) {
     if (!g) return MPI_ERR_ARG;
     if (!world_.group_valid(*g)) return MPI_ERR_GROUP;
-    world_.group(*g).freed = true;
+    // Groups are rank-local snapshots, so the storage can go at once.
+    GroupData& gd = world_.group(*g);
+    gd.freed = true;
+    std::vector<int>().swap(gd.global_ranks);
     *g = MPI_GROUP_NULL;
     return MPI_SUCCESS;
 }
@@ -242,14 +247,7 @@ int Rank::send_body(const void* buf, int count, Datatype dt, int dest, int tag, 
 
     const std::size_t bytes =
         static_cast<std::size_t>(count) * static_cast<std::size_t>(datatype_size(dt));
-    Envelope env;
-    env.src_global = global_;
-    env.src_comm_rank = my_rank_in(cd);
-    env.tag = tag;
-    env.context = cd.context;
-    env.data.resize(bytes);
-    if (bytes > 0) std::memcpy(env.data.data(), buf, bytes);
-
+    const int src_cr = my_rank_in(cd);
     const int dest_global = dest_group(cd)[static_cast<std::size_t>(dest)];
     Mailbox& mb = world_.mailbox(dest_global);
 
@@ -261,29 +259,43 @@ int Rank::send_body(const void* buf, int count, Datatype dt, int dest, int tag, 
     instr::FunctionGuard tg(world_.registry(),
                             world_.flavor() == Flavor::Mpich ? f.io_write : f.sysv_send);
 
-    std::unique_lock lk(mb.mu);
     const bool rendezvous =
         mode == SendMode::Synchronous ||
         (mode == SendMode::Standard && bytes > world_.config().eager_limit);
-    if (rendezvous) {
-        // Rendezvous: block until the receiver has copied the payload.
-        auto token = std::make_shared<bool>(false);
-        env.delivered = token;
+    std::shared_ptr<DeliveryToken> token;
+    bool notify_msg;
+    {
+        std::unique_lock lk(mb.mu);
+        if (!rendezvous && mode == SendMode::Standard) {
+            // Eager flow control: block while the destination queue is
+            // full.
+            while (mb.bytes_queued + bytes + kEnvelopeOverhead >
+                   world_.config().mailbox_capacity) {
+                ++mb.space_waiters;
+                mb.space_cv.wait(lk);
+                --mb.space_waiters;
+            }
+        }
+        Envelope env;
+        env.src_global = global_;
+        env.src_comm_rank = src_cr;
+        env.tag = tag;
+        env.context = cd.context;
+        env.data = mb.take_buf_locked(bytes);
+        if (bytes > 0) std::memcpy(env.data.data(), buf, bytes);
+        if (rendezvous) {
+            token = std::make_shared<DeliveryToken>();
+            env.delivered = token;  // not charged against mailbox capacity
+        } else {
+            mb.bytes_queued += bytes + kEnvelopeOverhead;
+        }
         mb.queue.push_back(std::move(env));
-        mb.cv.notify_all();
-        mb.cv.wait(lk, [&] { return *token; });
-        return MPI_SUCCESS;
+        notify_msg = mb.msg_waiters > 0;
     }
-    if (mode == SendMode::Standard) {
-        // Eager flow control: block while the destination queue is full.
-        mb.cv.wait(lk, [&] {
-            return mb.bytes_queued + bytes + kEnvelopeOverhead <=
-                   world_.config().mailbox_capacity;
-        });
-    }
-    mb.bytes_queued += bytes + kEnvelopeOverhead;
-    mb.queue.push_back(std::move(env));
-    mb.cv.notify_all();
+    if (notify_msg) mb.msg_cv.notify_one();
+    // Rendezvous: block until the receiver has copied the payload.  The
+    // token has its own cv, so only this sender wakes.
+    if (token) token->wait();
     return MPI_SUCCESS;
 }
 
@@ -330,14 +342,22 @@ int Rank::recv_body(void* buf, int count, Datatype dt, int src, int tag, Comm c,
                 st->count_bytes = static_cast<int>(n);
                 st->MPI_ERROR = truncated ? MPI_ERR_COUNT : MPI_SUCCESS;
             }
-            if (env.delivered)
-                *env.delivered = true;
-            else
+            bool notify_space = false;
+            if (!env.delivered) {
                 mb.bytes_queued -= env.data.size() + kEnvelopeOverhead;
-            mb.cv.notify_all();
+                notify_space = mb.space_waiters > 0;
+            }
+            mb.recycle_locked(std::move(env.data));
+            lk.unlock();
+            // notify_all: parked senders need different amounts of room,
+            // so the frontmost waiter alone may not be the one that fits.
+            if (notify_space) mb.space_cv.notify_all();
+            if (env.delivered) env.delivered->signal();
             return truncated ? MPI_ERR_COUNT : MPI_SUCCESS;
         }
-        mb.cv.wait(lk);
+        ++mb.msg_waiters;
+        mb.msg_cv.wait(lk);
+        --mb.msg_waiters;
     }
 }
 
@@ -378,7 +398,9 @@ int Rank::probe_body(int src, int tag, Comm c, int* flag, Status* st, bool block
             if (flag) *flag = 0;
             return MPI_SUCCESS;
         }
-        mb.cv.wait(lk);
+        ++mb.msg_waiters;
+        mb.msg_cv.wait(lk);
+        --mb.msg_waiters;
     }
 }
 
@@ -392,19 +414,24 @@ int Rank::MPI_Iprobe(int src, int tag, Comm c, int* flag, Status* st) {
 }
 
 void Rank::internal_send(const void* buf, int bytes, int dest_cr, int tag, CommData& c) {
-    Envelope env;
-    env.src_global = global_;
-    env.src_comm_rank = my_rank_in(c);
-    env.tag = tag;
-    env.context = c.context + 1;  // collective side channel
-    env.data.resize(static_cast<std::size_t>(bytes));
-    if (bytes > 0) std::memcpy(env.data.data(), buf, static_cast<std::size_t>(bytes));
+    const int src_cr = my_rank_in(c);
     const int dest_global = c.group[static_cast<std::size_t>(dest_cr)];
     Mailbox& mb = world_.mailbox(dest_global);
-    std::unique_lock lk(mb.mu);
-    mb.bytes_queued += env.data.size() + kEnvelopeOverhead;
-    mb.queue.push_back(std::move(env));
-    mb.cv.notify_all();
+    bool notify_msg;
+    {
+        std::lock_guard lk(mb.mu);
+        Envelope env;
+        env.src_global = global_;
+        env.src_comm_rank = src_cr;
+        env.tag = tag;
+        env.context = c.context + 1;  // collective side channel
+        env.data = mb.take_buf_locked(static_cast<std::size_t>(bytes));
+        if (bytes > 0) std::memcpy(env.data.data(), buf, static_cast<std::size_t>(bytes));
+        mb.bytes_queued += env.data.size() + kEnvelopeOverhead;
+        mb.queue.push_back(std::move(env));
+        notify_msg = mb.msg_waiters > 0;
+    }
+    if (notify_msg) mb.msg_cv.notify_one();
 }
 
 void Rank::internal_recv(void* buf, int bytes, int src_cr, int tag, CommData& c) {
@@ -420,11 +447,16 @@ void Rank::internal_recv(void* buf, int bytes, int src_cr, int tag, CommData& c)
                 std::min(it->data.size(), static_cast<std::size_t>(bytes));
             if (n > 0) std::memcpy(buf, it->data.data(), n);
             mb.bytes_queued -= it->data.size() + kEnvelopeOverhead;
+            mb.recycle_locked(std::move(it->data));
             mb.queue.erase(it);
-            mb.cv.notify_all();
+            const bool notify_space = mb.space_waiters > 0;
+            lk.unlock();
+            if (notify_space) mb.space_cv.notify_all();
             return;
         }
-        mb.cv.wait(lk);
+        ++mb.msg_waiters;
+        mb.msg_cv.wait(lk);
+        --mb.msg_waiters;
     }
 }
 
@@ -477,6 +509,98 @@ void Rank::reduce_combine(void* acc, const void* in, int count, Datatype dt,
             break;
         case MPI_DATATYPE_NULL: break;
     }
+}
+
+// ---------------------------------------------------------------------------
+// Binomial-tree collective building blocks (CollAlgo::Tree).
+//
+// All three run in a "virtual rank" space rotated so the root is vrank
+// 0; `mask` ends at the lowest set bit of vrank (or past n for the
+// root), which makes parent = vrank - mask and the children the
+// vrank + 2^k below mask.  Depth is ceil(log2 n) instead of the flat
+// algorithms' O(n) root loop.
+// ---------------------------------------------------------------------------
+
+void Rank::coll_bcast_tree(void* buf, int bytes, int root_cr, int tag, CommData& c) {
+    const int n = static_cast<int>(c.group.size());
+    const int me = my_rank_in(c);
+    const int vrank = (me - root_cr + n) % n;
+    const auto actual = [&](int v) { return (v + root_cr) % n; };
+    int mask = 1;
+    while (mask < n && (vrank & mask) == 0) mask <<= 1;
+    if (vrank != 0) internal_recv(buf, bytes, actual(vrank - mask), tag, c);
+    for (int m = mask >> 1; m > 0; m >>= 1)
+        if (vrank + m < n) internal_send(buf, bytes, actual(vrank + m), tag, c);
+}
+
+void Rank::coll_gather_tree(const void* sbuf, void* rbuf, int block, int root_cr,
+                            int tag, CommData& c) {
+    const int n = static_cast<int>(c.group.size());
+    const int me = my_rank_in(c);
+    const int vrank = (me - root_cr + n) % n;
+    const auto actual = [&](int v) { return (v + root_cr) % n; };
+    int mask = 1;
+    while (mask < n && (vrank & mask) == 0) mask <<= 1;
+    // This rank relays the blocks of its whole subtree: vranks
+    // [vrank, vrank + span), laid out in vrank order.
+    const int span = std::min(mask, n - vrank);
+    std::vector<std::byte> tmp(static_cast<std::size_t>(span) *
+                               static_cast<std::size_t>(block));
+    if (block > 0) std::memcpy(tmp.data(), sbuf, static_cast<std::size_t>(block));
+    for (int m = 1; m < mask; m <<= 1) {
+        const int child = vrank + m;
+        if (child >= n) break;
+        // The child's subtree spans min(m, n - child) vranks, exactly
+        // the room left in tmp starting at offset m.
+        const int cnt = std::min(m, n - child);
+        internal_recv(tmp.data() + static_cast<std::size_t>(m) * block, cnt * block,
+                      actual(child), tag, c);
+    }
+    if (vrank != 0) {
+        internal_send(tmp.data(), span * block, actual(vrank - mask), tag, c);
+    } else if (block > 0) {
+        // Unrotate: comm rank r's block sits at vrank (r - root) in tmp.
+        auto* out = static_cast<std::byte*>(rbuf);
+        for (int r = 0; r < n; ++r)
+            std::memcpy(out + static_cast<std::size_t>(r) * block,
+                        tmp.data() + static_cast<std::size_t>((r - root_cr + n) % n) *
+                                         block,
+                        static_cast<std::size_t>(block));
+    }
+}
+
+void Rank::coll_scatter_tree(const void* sbuf, void* rbuf, int block, int root_cr,
+                             int tag, CommData& c) {
+    const int n = static_cast<int>(c.group.size());
+    const int me = my_rank_in(c);
+    const int vrank = (me - root_cr + n) % n;
+    const auto actual = [&](int v) { return (v + root_cr) % n; };
+    int mask = 1;
+    while (mask < n && (vrank & mask) == 0) mask <<= 1;
+    const int span = std::min(mask, n - vrank);
+    std::vector<std::byte> tmp(static_cast<std::size_t>(span) *
+                               static_cast<std::size_t>(block));
+    if (vrank == 0) {
+        // Rotate into vrank order so every subtree is contiguous.
+        const auto* in = static_cast<const std::byte*>(sbuf);
+        if (block > 0)
+            for (int r = 0; r < n; ++r)
+                std::memcpy(tmp.data() + static_cast<std::size_t>((r - root_cr + n) % n) *
+                                             block,
+                            in + static_cast<std::size_t>(r) * block,
+                            static_cast<std::size_t>(block));
+    } else {
+        internal_recv(tmp.data(), span * block, actual(vrank - mask), tag, c);
+    }
+    for (int m = mask >> 1; m > 0; m >>= 1) {
+        const int child = vrank + m;
+        if (child < n) {
+            const int cnt = std::min(m, n - child);
+            internal_send(tmp.data() + static_cast<std::size_t>(m) * block, cnt * block,
+                          actual(child), tag, c);
+        }
+    }
+    if (block > 0) std::memcpy(rbuf, tmp.data(), static_cast<std::size_t>(block));
 }
 
 // ---------------------------------------------------------------------------
@@ -575,36 +699,38 @@ int Rank::PMPI_Isend(const void* buf, int count, Datatype dt, int dest, int tag,
 
     const std::size_t bytes =
         static_cast<std::size_t>(count) * static_cast<std::size_t>(datatype_size(dt));
-    Envelope env;
-    env.src_global = global_;
-    env.src_comm_rank = my_rank_in(cd);
-    env.tag = tag;
-    env.context = cd.context;
-    env.data.resize(bytes);
-    if (bytes > 0) std::memcpy(env.data.data(), buf, bytes);
-
+    const int src_cr = my_rank_in(cd);
     const int dest_global = dest_group(cd)[static_cast<std::size_t>(dest)];
     Mailbox& mb = world_.mailbox(dest_global);
-    std::unique_lock lk(mb.mu);
     RequestData rd;
     rd.owner_global = global_;
     rd.dest_mailbox = dest_global;
-    if (bytes <= world_.config().eager_limit &&
-        mb.bytes_queued + bytes + kEnvelopeOverhead <=
-            world_.config().mailbox_capacity) {
-        mb.bytes_queued += bytes + kEnvelopeOverhead;
+    bool notify_msg;
+    {
+        std::lock_guard lk(mb.mu);
+        Envelope env;
+        env.src_global = global_;
+        env.src_comm_rank = src_cr;
+        env.tag = tag;
+        env.context = cd.context;
+        env.data = mb.take_buf_locked(bytes);
+        if (bytes > 0) std::memcpy(env.data.data(), buf, bytes);
+        if (bytes <= world_.config().eager_limit &&
+            mb.bytes_queued + bytes + kEnvelopeOverhead <=
+                world_.config().mailbox_capacity) {
+            mb.bytes_queued += bytes + kEnvelopeOverhead;
+            rd.kind = RequestKind::Completed;
+        } else {
+            // Large (or flow-controlled) nonblocking send: completion is
+            // deferred to MPI_Wait via a delivery token.
+            rd.kind = RequestKind::SendToken;
+            rd.delivered = std::make_shared<DeliveryToken>();
+            env.delivered = rd.delivered;
+        }
         mb.queue.push_back(std::move(env));
-        rd.kind = RequestKind::Completed;
-    } else {
-        // Large (or flow-controlled) nonblocking send: completion is
-        // deferred to MPI_Wait via a delivery token.
-        rd.kind = RequestKind::SendToken;
-        rd.delivered = std::make_shared<bool>(false);
-        env.delivered = rd.delivered;
-        mb.queue.push_back(std::move(env));
+        notify_msg = mb.msg_waiters > 0;
     }
-    mb.cv.notify_all();
-    lk.unlock();
+    if (notify_msg) mb.msg_cv.notify_one();
     *req = world_.create_request(std::move(rd));
     return MPI_SUCCESS;
 }
@@ -649,12 +775,9 @@ int Rank::wait_one(RequestData& rd, Status* st) {
     switch (rd.kind) {
         case RequestKind::Null:
         case RequestKind::Completed: return MPI_SUCCESS;
-        case RequestKind::SendToken: {
-            Mailbox& mb = world_.mailbox(rd.dest_mailbox);
-            std::unique_lock lk(mb.mu);
-            mb.cv.wait(lk, [&] { return *rd.delivered; });
+        case RequestKind::SendToken:
+            rd.delivered->wait();
             return MPI_SUCCESS;
-        }
         case RequestKind::RecvDeferred:
             return recv_body(rd.buf, rd.count, rd.dt, rd.src, rd.tag, rd.comm, st);
     }
@@ -785,6 +908,11 @@ int Rank::PMPI_Bcast(void* buf, int count, Datatype dt, int root, Comm c) {
     const int me = my_rank_in(cd);
     const int bytes = count * datatype_size(dt);
     const int tag = next_coll_tag(c);
+    if (world_.config().coll_algo == CollAlgo::Tree && n > 1) {
+        coll_bcast_tree(buf, bytes, root, tag, cd);
+        return MPI_SUCCESS;
+    }
+    // Flat star: the legacy shape paper-validation runs pin.
     if (me == root) {
         for (int r = 0; r < n; ++r)
             if (r != root) internal_send(buf, bytes, r, tag, cd);
@@ -819,6 +947,29 @@ int Rank::PMPI_Reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op o
     const int me = my_rank_in(cd);
     const int bytes = count * datatype_size(dt);
     const int tag = next_coll_tag(c);
+    if (world_.config().coll_algo == CollAlgo::Tree && n > 1) {
+        // Binomial reduce (ops are commutative): combine children's
+        // partial results, then forward the accumulator to the parent.
+        const int vrank = (me - root + n) % n;
+        const auto actual = [&](int v) { return (v + root) % n; };
+        std::vector<std::byte> acc(static_cast<std::size_t>(bytes));
+        std::vector<std::byte> tmp(static_cast<std::size_t>(bytes));
+        if (bytes > 0) std::memcpy(acc.data(), sbuf, static_cast<std::size_t>(bytes));
+        for (int mask = 1; mask < n; mask <<= 1) {
+            if (vrank & mask) {
+                internal_send(acc.data(), bytes, actual(vrank - mask), tag, cd);
+                break;
+            }
+            const int child = vrank + mask;
+            if (child < n) {
+                internal_recv(tmp.data(), bytes, actual(child), tag, cd);
+                reduce_combine(acc.data(), tmp.data(), count, dt, op);
+            }
+        }
+        if (me == root && bytes > 0)
+            std::memcpy(rbuf, acc.data(), static_cast<std::size_t>(bytes));
+        return MPI_SUCCESS;
+    }
     if (me == root) {
         if (bytes > 0) std::memcpy(rbuf, sbuf, static_cast<std::size_t>(bytes));
         std::vector<std::byte> tmp(static_cast<std::size_t>(bytes));
@@ -857,6 +1008,46 @@ int Rank::PMPI_Allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, O
     const int me = my_rank_in(cd);
     const int bytes = count * datatype_size(dt);
     const int tag = next_coll_tag(c);
+    if (world_.config().coll_algo == CollAlgo::Tree && n > 1) {
+        // Recursive doubling over the largest power-of-two subset;
+        // leftover ranks fold into a neighbor first and get the result
+        // back at the end (the classic MPICH non-pof2 pre/post step).
+        if (bytes > 0) std::memcpy(rbuf, sbuf, static_cast<std::size_t>(bytes));
+        std::vector<std::byte> tmp(static_cast<std::size_t>(bytes));
+        int pof2 = 1;
+        while (pof2 * 2 <= n) pof2 *= 2;
+        const int rem = n - pof2;
+        int newrank;
+        if (me < 2 * rem) {
+            if (me % 2 == 0) {
+                internal_send(rbuf, bytes, me + 1, tag, cd);
+                newrank = -1;  // sits out the exchange rounds
+            } else {
+                internal_recv(tmp.data(), bytes, me - 1, tag, cd);
+                reduce_combine(rbuf, tmp.data(), count, dt, op);
+                newrank = me / 2;
+            }
+        } else {
+            newrank = me - rem;
+        }
+        if (newrank != -1) {
+            int round = 0;
+            for (int mask = 1; mask < pof2; mask <<= 1, ++round) {
+                const int newdst = newrank ^ mask;
+                const int dst = newdst < rem ? newdst * 2 + 1 : newdst + rem;
+                internal_send(rbuf, bytes, dst, tag + 1 + round, cd);
+                internal_recv(tmp.data(), bytes, dst, tag + 1 + round, cd);
+                reduce_combine(rbuf, tmp.data(), count, dt, op);
+            }
+        }
+        if (me < 2 * rem) {
+            if (me % 2)
+                internal_send(rbuf, bytes, me - 1, tag + 40, cd);
+            else
+                internal_recv(rbuf, bytes, me + 1, tag + 40, cd);
+        }
+        return MPI_SUCCESS;
+    }
     if (me == 0) {
         if (bytes > 0) std::memcpy(rbuf, sbuf, static_cast<std::size_t>(bytes));
         std::vector<std::byte> tmp(static_cast<std::size_t>(bytes));
@@ -895,7 +1086,15 @@ int Rank::MPI_Gather(const void* sbuf, int scount, Datatype sdt, void* rbuf, int
                               as_arg(rbuf), rcount, static_cast<std::int64_t>(rdt),
                               root,         c};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Gather, a);
-    instr::FunctionGuard pg(world_.registry(), world_.fids().PMPI_Gather, a);
+    return PMPI_Gather(sbuf, scount, sdt, rbuf, rcount, rdt, root, c);
+}
+
+int Rank::PMPI_Gather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+                      int rcount, Datatype rdt, int root, Comm c) {
+    const std::int64_t a[] = {as_arg(sbuf), scount, static_cast<std::int64_t>(sdt),
+                              as_arg(rbuf), rcount, static_cast<std::int64_t>(rdt),
+                              root,         c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Gather, a);
     if (!world_.comm_valid(c)) return MPI_ERR_COMM;
     CommData& cd = world_.comm(c);
     if (const int rc = check_gs(cd, scount, sdt, rcount, rdt, root); rc != MPI_SUCCESS)
@@ -904,6 +1103,10 @@ int Rank::MPI_Gather(const void* sbuf, int scount, Datatype sdt, void* rbuf, int
     const int n = static_cast<int>(cd.group.size());
     const int block = scount * datatype_size(sdt);
     const int tag = next_coll_tag(c);
+    if (world_.config().coll_algo == CollAlgo::Tree && n > 1) {
+        coll_gather_tree(sbuf, me == root ? rbuf : nullptr, block, root, tag, cd);
+        return MPI_SUCCESS;
+    }
     if (me == root) {
         auto* out = static_cast<std::byte*>(rbuf);
         std::memcpy(out + static_cast<std::ptrdiff_t>(root) * block, sbuf,
@@ -925,7 +1128,15 @@ int Rank::MPI_Scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf,
                               as_arg(rbuf), rcount, static_cast<std::int64_t>(rdt),
                               root,         c};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Scatter, a);
-    instr::FunctionGuard pg(world_.registry(), world_.fids().PMPI_Scatter, a);
+    return PMPI_Scatter(sbuf, scount, sdt, rbuf, rcount, rdt, root, c);
+}
+
+int Rank::PMPI_Scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+                       int rcount, Datatype rdt, int root, Comm c) {
+    const std::int64_t a[] = {as_arg(sbuf), scount, static_cast<std::int64_t>(sdt),
+                              as_arg(rbuf), rcount, static_cast<std::int64_t>(rdt),
+                              root,         c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Scatter, a);
     if (!world_.comm_valid(c)) return MPI_ERR_COMM;
     CommData& cd = world_.comm(c);
     if (const int rc = check_gs(cd, scount, sdt, rcount, rdt, root); rc != MPI_SUCCESS)
@@ -934,6 +1145,10 @@ int Rank::MPI_Scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf,
     const int n = static_cast<int>(cd.group.size());
     const int block = rcount * datatype_size(rdt);
     const int tag = next_coll_tag(c);
+    if (world_.config().coll_algo == CollAlgo::Tree && n > 1) {
+        coll_scatter_tree(me == root ? sbuf : nullptr, rbuf, block, root, tag, cd);
+        return MPI_SUCCESS;
+    }
     if (me == root) {
         const auto* in = static_cast<const std::byte*>(sbuf);
         std::memcpy(rbuf, in + static_cast<std::ptrdiff_t>(root) * block,
@@ -954,7 +1169,14 @@ int Rank::MPI_Allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
     const std::int64_t a[] = {as_arg(sbuf), scount, static_cast<std::int64_t>(sdt),
                               as_arg(rbuf), rcount, static_cast<std::int64_t>(rdt), c};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Allgather, a);
-    instr::FunctionGuard pg(world_.registry(), world_.fids().PMPI_Allgather, a);
+    return PMPI_Allgather(sbuf, scount, sdt, rbuf, rcount, rdt, c);
+}
+
+int Rank::PMPI_Allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+                         int rcount, Datatype rdt, Comm c) {
+    const std::int64_t a[] = {as_arg(sbuf), scount, static_cast<std::int64_t>(sdt),
+                              as_arg(rbuf), rcount, static_cast<std::int64_t>(rdt), c};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Allgather, a);
     if (!world_.comm_valid(c)) return MPI_ERR_COMM;
     CommData& cd = world_.comm(c);
     if (const int rc = check_gs(cd, scount, sdt, rcount, rdt, 0); rc != MPI_SUCCESS)
@@ -963,8 +1185,31 @@ int Rank::MPI_Allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
     const int n = static_cast<int>(cd.group.size());
     const int block = rcount * datatype_size(rdt);
     const int tag = next_coll_tag(c);
-    // Gather-to-0 then broadcast of the assembled vector.
     auto* out = static_cast<std::byte*>(rbuf);
+    if (world_.config().coll_algo == CollAlgo::Tree && n > 1) {
+        if ((n & (n - 1)) == 0) {
+            // Power of two: recursive doubling, each round swapping the
+            // m-block slab the partner pair already holds.
+            if (block > 0)
+                std::memcpy(out + static_cast<std::size_t>(me) * block, sbuf,
+                            static_cast<std::size_t>(block));
+            int round = 0;
+            for (int m = 1; m < n; m <<= 1, ++round) {
+                const int peer = me ^ m;
+                const int my_off = me & ~(m - 1);
+                const int peer_off = peer & ~(m - 1);
+                internal_send(out + static_cast<std::size_t>(my_off) * block, m * block,
+                              peer, tag + round, cd);
+                internal_recv(out + static_cast<std::size_t>(peer_off) * block,
+                              m * block, peer, tag + round, cd);
+            }
+        } else {
+            coll_gather_tree(sbuf, me == 0 ? rbuf : nullptr, block, 0, tag, cd);
+            coll_bcast_tree(out, n * block, 0, tag + 32, cd);
+        }
+        return MPI_SUCCESS;
+    }
+    // Gather-to-0 then broadcast of the assembled vector.
     if (me == 0) {
         std::memcpy(out, sbuf, static_cast<std::size_t>(block));
         for (int r = 1; r < n; ++r)

@@ -207,6 +207,12 @@ public:
                     Comm c);
     int PMPI_Allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op,
                        Comm c);
+    int PMPI_Gather(const void* sbuf, int scount, Datatype sdt, void* rbuf, int rcount,
+                    Datatype rdt, int root, Comm c);
+    int PMPI_Scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf, int rcount,
+                     Datatype rdt, int root, Comm c);
+    int PMPI_Allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
+                       int rcount, Datatype rdt, Comm c);
     int PMPI_Win_create(void* base, std::int64_t size, int disp_unit, Info info, Comm c,
                         Win* win);
     int PMPI_Win_free(Win* win);
@@ -256,6 +262,15 @@ private:
     void barrier_internal(CommData& c);
     int next_coll_tag(Comm c);
     void reduce_combine(void* acc, const void* in, int count, Datatype dt, Op op) const;
+    // Binomial-tree data movement on the collective side-channel
+    // (Config::coll_algo selects these or the flat legacy loops).
+    void coll_bcast_tree(void* buf, int bytes, int root_cr, int tag, CommData& c);
+    /// Gathers @p block bytes per rank into @p rbuf (rank order) at
+    /// @p root_cr; other ranks pass rbuf = nullptr.
+    void coll_gather_tree(const void* sbuf, void* rbuf, int block, int root_cr, int tag,
+                          CommData& c);
+    void coll_scatter_tree(const void* sbuf, void* rbuf, int block, int root_cr, int tag,
+                           CommData& c);
 
     int wait_one(RequestData& rd, Status* st);
     /// Shared body of the read/write family.  @p at_offset < 0 means

@@ -659,14 +659,14 @@ int Rank::PMPI_Comm_set_name(Comm c, const std::string& name) {
     instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Comm_set_name, a, s);
     if (!world_.comm_valid(c)) return MPI_ERR_COMM;
     if (name.size() >= MPI_MAX_OBJECT_NAME) return MPI_ERR_ARG;
-    world_.comm(c).name = name;
+    world_.set_comm_name(c, name);
     return MPI_SUCCESS;
 }
 
 int Rank::MPI_Comm_get_name(Comm c, std::string* name) {
     if (!name) return MPI_ERR_ARG;
     if (!world_.comm_valid(c)) return MPI_ERR_COMM;
-    *name = world_.comm(c).name;
+    *name = world_.object_name_of_comm(c);
     return MPI_SUCCESS;
 }
 
@@ -684,19 +684,19 @@ int Rank::PMPI_Win_set_name(Win w, const std::string& name) {
     if (!world_.win_valid(w)) return MPI_ERR_WIN;
     if (name.size() >= MPI_MAX_OBJECT_NAME) return MPI_ERR_ARG;
     WinData& wd = world_.win(w);
-    wd.name = name;
+    world_.set_win_name(w, name);
     // LAM stores window names in the window's shadow communicator
     // (paper Fig 23: "LAM stores RMA window names in the communicator
     // structure"), so the name shows up under Message as well.
     if (world_.flavor() == Flavor::Lam && wd.shadow_comm != MPI_COMM_NULL)
-        world_.comm(wd.shadow_comm).name = name;
+        world_.set_comm_name(wd.shadow_comm, name);
     return MPI_SUCCESS;
 }
 
 int Rank::MPI_Win_get_name(Win w, std::string* name) {
     if (!name) return MPI_ERR_ARG;
     if (!world_.win_valid(w)) return MPI_ERR_WIN;
-    *name = world_.win(w).name;
+    *name = world_.object_name_of_win(w);
     return MPI_SUCCESS;
 }
 

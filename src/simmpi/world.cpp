@@ -169,59 +169,51 @@ ProgramFn World::find_program(const std::string& command) const {
 // ---------------------------------------------------------------------------
 
 int World::create_proc(const std::string& node, const std::string& command) {
+    // mu_ keeps the two tables' indices aligned across concurrent
+    // spawns; the mailbox goes in first so any proc a lock-free reader
+    // can see already has its mailbox.
     std::lock_guard lk(mu_);
-    const int g = static_cast<int>(procs_.size());
-    auto p = std::make_unique<ProcData>();
-    p->global_rank = g;
-    p->node = node;
-    p->program = command;
-    procs_.push_back(std::move(p));
-    mailboxes_.push_back(std::make_unique<Mailbox>());
-    return g;
+    mailboxes_.append([](Mailbox&, std::int32_t) {});
+    return procs_.append([&](ProcData& p, std::int32_t h) {
+        p.global_rank = h;
+        p.node = node;
+        p.program = command;
+    });
 }
 
 void World::set_proc_comm_world(int global_rank, Comm cw, Comm parent) {
-    std::lock_guard lk(mu_);
-    procs_.at(static_cast<std::size_t>(global_rank))->comm_world = cw;
-    procs_.at(static_cast<std::size_t>(global_rank))->parent_intercomm = parent;
+    // Runs before start_proc; the thread-creation handoff publishes it.
+    ProcData& p = procs_.at(global_rank, "simmpi: bad proc rank");
+    p.comm_world = cw;
+    p.parent_intercomm = parent;
 }
 
 void World::start_proc(int global_rank, std::vector<std::string> argv) {
-    ProgramFn fn;
-    {
-        std::lock_guard lk(mu_);
-        ProcData& p = *procs_.at(static_cast<std::size_t>(global_rank));
-        auto it = programs_.find(p.program);
-        if (it == programs_.end())
-            throw std::runtime_error("simmpi: unknown program '" + p.program + "'");
-        fn = it->second;
-    }
+    ProcData& p = procs_.at(global_rank, "simmpi: bad proc rank");
+    ProgramFn fn = find_program(p.program);
+    if (!fn) throw std::runtime_error("simmpi: unknown program '" + p.program + "'");
     std::lock_guard lk(mu_);
-    threads_.emplace_back([this, global_rank, argv = std::move(argv), fn = std::move(fn)] {
-        ProcData* p = nullptr;
-        {
-            std::lock_guard lk2(mu_);
-            p = procs_.at(static_cast<std::size_t>(global_rank)).get();
-            pthread_getcpuclockid(pthread_self(), &p->cpu_clock);
-            p->cpu_clock_ready = true;
-        }
-        if (cfg_.start_paused) {
-            std::unique_lock lk(mu_);
-            start_cv_.wait(lk, [this] { return start_released_; });
-        }
-        instr::set_current_rank(global_rank);
-        Rank rank(*this, global_rank);
-        fn(rank, argv);
-        {
-            std::lock_guard lk2(mu_);
+    threads_.emplace_back(
+        [this, global_rank, &p, argv = std::move(argv), fn = std::move(fn)] {
+            // The proc slot is this thread's own; only the publish
+            // flags need ordering.
+            pthread_getcpuclockid(pthread_self(), &p.cpu_clock);
+            p.cpu_clock_ready = true;
+            {
+                std::unique_lock lk2(mu_);
+                start_cv_.wait(lk2,
+                               [this] { return start_released_ || !cfg_.start_paused; });
+            }
+            instr::set_current_rank(global_rank);
+            Rank rank(*this, global_rank);
+            fn(rank, argv);
             timespec ts{};
-            if (clock_gettime(p->cpu_clock, &ts) == 0)
-                p->final_cpu_seconds = static_cast<double>(ts.tv_sec) +
-                                       static_cast<double>(ts.tv_nsec) * 1e-9;
-            p->finished = true;
-        }
-        instr::set_current_rank(-1);
-    });
+            if (clock_gettime(p.cpu_clock, &ts) == 0)
+                p.final_cpu_seconds = static_cast<double>(ts.tv_sec) +
+                                      static_cast<double>(ts.tv_nsec) * 1e-9;
+            p.finished = true;  // publishes final_cpu_seconds
+            instr::set_current_rank(-1);
+        });
 }
 
 void World::release_start_gate() {
@@ -234,60 +226,50 @@ void World::release_start_gate() {
 }
 
 void World::join_all() {
+    // Re-checking threads_.size() each pass also drains threads that
+    // spawn appended while we were joining.
     for (;;) {
         std::thread* t = nullptr;
         {
             std::lock_guard lk(mu_);
-            if (joined_ >= threads_.size()) break;
+            if (joined_ >= threads_.size()) return;
             t = &threads_[joined_];
             ++joined_;
         }
         if (t->joinable()) t->join();
     }
-    // Spawn may have appended more threads while we joined; drain.
-    {
-        std::lock_guard lk(mu_);
-        if (joined_ >= threads_.size()) return;
-    }
-    join_all();
 }
 
-std::size_t World::proc_count() const {
-    std::lock_guard lk(mu_);
-    return procs_.size();
-}
+std::size_t World::proc_count() const { return procs_.size(); }
 
 const ProcData& World::proc(int global_rank) const {
-    std::lock_guard lk(mu_);
-    return *procs_.at(static_cast<std::size_t>(global_rank));
+    return procs_.at(global_rank, "simmpi: bad proc rank");
 }
 
 std::vector<int> World::live_procs() const {
-    std::lock_guard lk(mu_);
     std::vector<int> out;
-    for (const auto& p : procs_)
-        if (!p->finished) out.push_back(p->global_rank);
+    const int n = static_cast<int>(procs_.size());
+    for (int g = 0; g < n; ++g)
+        if (!procs_.find(g)->finished) out.push_back(g);
     return out;
 }
 
 bool World::all_finished() const {
-    std::lock_guard lk(mu_);
-    for (const auto& p : procs_)
-        if (!p->finished) return false;
-    return !procs_.empty();
+    const int n = static_cast<int>(procs_.size());
+    for (int g = 0; g < n; ++g)
+        if (!procs_.find(g)->finished) return false;
+    return n != 0;
 }
 
 double World::proc_cpu_seconds(int global_rank) const {
-    clockid_t id{};
-    {
-        std::lock_guard lk(mu_);
-        const ProcData& p = *procs_.at(static_cast<std::size_t>(global_rank));
-        if (!p.cpu_clock_ready) return 0.0;
-        if (p.finished) return p.final_cpu_seconds;  // the clock died with the thread
-        id = p.cpu_clock;
-    }
+    const ProcData* p = procs_.find(global_rank);
+    if (!p || !p->cpu_clock_ready) return 0.0;
+    if (p->finished) return p->final_cpu_seconds;  // the clock died with the thread
     timespec ts{};
-    if (clock_gettime(id, &ts) != 0) return 0.0;
+    if (clock_gettime(p->cpu_clock, &ts) != 0)
+        // The thread may have exited between the finished check and the
+        // clock read; its final tally is published in that case.
+        return p->finished ? p->final_cpu_seconds : 0.0;
     return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
@@ -296,107 +278,93 @@ double World::proc_cpu_seconds(int global_rank) const {
 // ---------------------------------------------------------------------------
 
 Comm World::create_comm(std::vector<int> group, std::vector<int> remote, bool is_inter) {
-    std::lock_guard lk(mu_);
-    auto c = std::make_unique<CommData>();
-    c->handle = next_comm_++;
-    c->context = next_context_;
-    next_context_ += 4;  // room for collective side-channels
-    c->group = std::move(group);
-    c->remote_group = std::move(remote);
-    c->is_inter = is_inter;
-    const Comm h = c->handle;
-    comms_[h] = std::move(c);
-    return h;
+    const std::int64_t ctx =
+        next_context_.fetch_add(4);  // room for collective side-channels
+    return comms_.append([&](CommData& c, std::int32_t h) {
+        c.handle = h;
+        c.context = ctx;
+        c.group = std::move(group);
+        c.remote_group = std::move(remote);
+        c.is_inter = is_inter;
+    });
 }
 
-CommData& World::comm(Comm c) {
-    std::lock_guard lk(mu_);
-    auto it = comms_.find(c);
-    if (it == comms_.end()) throw std::out_of_range("simmpi: bad communicator handle");
-    return *it->second;
-}
+CommData& World::comm(Comm c) { return comms_.at(c, "simmpi: bad communicator handle"); }
 
 bool World::comm_valid(Comm c) const {
-    std::lock_guard lk(mu_);
-    auto it = comms_.find(c);
-    return it != comms_.end() && !it->second->freed;
+    const CommData* cd = comms_.find(c);
+    return cd && !cd->freed;
+}
+
+void World::release_comm_member(Comm c) {
+    CommData* cd = comms_.find(c);
+    if (!cd || cd->freed) return;
+    const int total = static_cast<int>(cd->group.size() + cd->remote_group.size());
+    if (cd->free_count.fetch_add(1, std::memory_order_acq_rel) + 1 < total) return;
+    // Last member out.  Nobody can still be inside an operation on this
+    // comm (every member has called free), so payload storage can go;
+    // the slot itself stays to keep the dense handle space stable.
+    cd->freed = true;
+    {
+        std::lock_guard lk(name_mu_);
+        cd->name.clear();
+        cd->name.shrink_to_fit();
+    }
+    std::vector<int>().swap(cd->group);
+    std::vector<int>().swap(cd->remote_group);
 }
 
 Group World::create_group(std::vector<int> global_ranks) {
-    std::lock_guard lk(mu_);
-    auto g = std::make_unique<GroupData>();
-    g->handle = next_group_++;
-    g->global_ranks = std::move(global_ranks);
-    const Group h = g->handle;
-    groups_[h] = std::move(g);
-    return h;
+    return groups_.append([&](GroupData& g, std::int32_t h) {
+        g.handle = h;
+        g.global_ranks = std::move(global_ranks);
+    });
 }
 
-GroupData& World::group(Group g) {
-    std::lock_guard lk(mu_);
-    auto it = groups_.find(g);
-    if (it == groups_.end()) throw std::out_of_range("simmpi: bad group handle");
-    return *it->second;
-}
+GroupData& World::group(Group g) { return groups_.at(g, "simmpi: bad group handle"); }
 
 bool World::group_valid(Group g) const {
-    std::lock_guard lk(mu_);
-    auto it = groups_.find(g);
-    return it != groups_.end() && !it->second->freed;
+    const GroupData* gd = groups_.find(g);
+    return gd && !gd->freed;
 }
 
 Info World::create_info() {
-    std::lock_guard lk(mu_);
-    auto i = std::make_unique<InfoData>();
-    i->handle = next_info_++;
-    const Info h = i->handle;
-    infos_[h] = std::move(i);
-    return h;
+    return infos_.append([](InfoData& i, std::int32_t h) { i.handle = h; });
 }
 
-InfoData& World::info(Info i) {
-    std::lock_guard lk(mu_);
-    auto it = infos_.find(i);
-    if (it == infos_.end()) throw std::out_of_range("simmpi: bad info handle");
-    return *it->second;
-}
+InfoData& World::info(Info i) { return infos_.at(i, "simmpi: bad info handle"); }
 
 bool World::info_valid(Info i) const {
-    std::lock_guard lk(mu_);
-    auto it = infos_.find(i);
-    return it != infos_.end() && !it->second->freed;
+    const InfoData* id = infos_.find(i);
+    return id && !id->freed;
 }
 
 Win World::create_win(Comm c) {
-    std::lock_guard lk(mu_);
-    auto w = std::make_unique<WinData>();
-    w->handle = next_win_++;
-    w->comm = c;
-    // Real MPI implementations recycle window identifiers after
-    // MPI_Win_free; we do the same so the tool's N-M uniqueness scheme
-    // is actually exercised (paper section 4.2.1).
-    if (!free_win_impl_ids_.empty()) {
-        w->impl_id = free_win_impl_ids_.back();
-        free_win_impl_ids_.pop_back();
-    } else {
-        w->impl_id = next_win_impl_id_++;
+    int impl_id;
+    {
+        // Real MPI implementations recycle window identifiers after
+        // MPI_Win_free; we do the same so the tool's N-M uniqueness
+        // scheme is actually exercised (paper section 4.2.1).
+        std::lock_guard lk(mu_);
+        if (!free_win_impl_ids_.empty()) {
+            impl_id = free_win_impl_ids_.back();
+            free_win_impl_ids_.pop_back();
+        } else {
+            impl_id = next_win_impl_id_++;
+        }
     }
-    const Win h = w->handle;
-    wins_[h] = std::move(w);
-    return h;
+    return wins_.append([&](WinData& w, std::int32_t h) {
+        w.handle = h;
+        w.comm = c;
+        w.impl_id = impl_id;
+    });
 }
 
-WinData& World::win(Win w) {
-    std::lock_guard lk(mu_);
-    auto it = wins_.find(w);
-    if (it == wins_.end()) throw std::out_of_range("simmpi: bad window handle");
-    return *it->second;
-}
+WinData& World::win(Win w) { return wins_.at(w, "simmpi: bad window handle"); }
 
 bool World::win_valid(Win w) const {
-    std::lock_guard lk(mu_);
-    auto it = wins_.find(w);
-    return it != wins_.end() && !it->second->freed;
+    const WinData* wd = wins_.find(w);
+    return wd && !wd->freed;
 }
 
 void World::release_win_impl_id(int impl_id) {
@@ -405,33 +373,48 @@ void World::release_win_impl_id(int impl_id) {
 }
 
 Request World::create_request(RequestData rd) {
-    std::lock_guard lk(mu_);
-    rd.handle = next_request_++;
-    const Request h = rd.handle;
-    requests_[h] = std::make_unique<RequestData>(std::move(rd));
-    return h;
+    {
+        std::lock_guard lk(request_free_mu_);
+        if (!free_requests_.empty()) {
+            const Request h = free_requests_.back();
+            free_requests_.pop_back();
+            RequestData& slot = requests_.at(h, "simmpi: bad request handle");
+            rd.handle = h;
+            rd.live = true;
+            slot = std::move(rd);
+            return h;
+        }
+    }
+    return requests_.append([&](RequestData& slot, std::int32_t h) {
+        slot = std::move(rd);
+        slot.handle = h;
+        slot.live = true;
+    });
 }
 
 RequestData& World::request(Request r) {
-    std::lock_guard lk(mu_);
-    auto it = requests_.find(r);
-    if (it == requests_.end()) throw std::out_of_range("simmpi: bad request handle");
-    return *it->second;
+    return requests_.at(r, "simmpi: bad request handle");
 }
 
 bool World::request_valid(Request r) const {
-    std::lock_guard lk(mu_);
-    return requests_.count(r) != 0;
+    const RequestData* rd = requests_.find(r);
+    return rd && rd->live;
 }
 
 void World::free_request(Request r) {
-    std::lock_guard lk(mu_);
-    requests_.erase(r);
+    RequestData* rd = requests_.find(r);
+    if (!rd || !rd->live) return;
+    // Drop payload references before recycling the slot.
+    rd->kind = RequestKind::Null;
+    rd->delivered.reset();
+    rd->buf = nullptr;
+    std::lock_guard lk(request_free_mu_);
+    rd->live = false;
+    free_requests_.push_back(r);
 }
 
 Mailbox& World::mailbox(int global_rank) {
-    std::lock_guard lk(mu_);
-    return *mailboxes_.at(static_cast<std::size_t>(global_rank));
+    return mailboxes_.at(global_rank, "simmpi: bad mailbox rank");
 }
 
 // ---------------------------------------------------------------------------
@@ -460,30 +443,21 @@ bool World::fs_delete(const std::string& filename) {
 
 File World::create_file(std::string filename, std::shared_ptr<StoredFile> store,
                         Comm comm, int amode, bool delete_on_close) {
-    std::lock_guard lk(mu_);
-    auto owned = std::make_unique<FileData>();
-    owned->handle = next_file_++;
-    owned->filename = std::move(filename);
-    owned->store = std::move(store);
-    owned->comm = comm;
-    owned->amode = amode;
-    owned->delete_on_close = delete_on_close;
-    const File h = owned->handle;
-    files_[h] = std::move(owned);
-    return h;
+    return files_.append([&](FileData& fd, std::int32_t h) {
+        fd.handle = h;
+        fd.filename = std::move(filename);
+        fd.store = std::move(store);
+        fd.comm = comm;
+        fd.amode = amode;
+        fd.delete_on_close = delete_on_close;
+    });
 }
 
-FileData& World::file(File f) {
-    std::lock_guard lk(mu_);
-    const auto it = files_.find(f);
-    if (it == files_.end()) throw std::out_of_range("simmpi: bad file handle");
-    return *it->second;
-}
+FileData& World::file(File f) { return files_.at(f, "simmpi: bad file handle"); }
 
 bool World::file_valid(File f) const {
-    std::lock_guard lk(mu_);
-    const auto it = files_.find(f);
-    return it != files_.end() && !it->second->closed;
+    const FileData* fd = files_.find(f);
+    return fd && !fd->closed;
 }
 
 // ---------------------------------------------------------------------------
@@ -491,27 +465,41 @@ bool World::file_valid(File f) const {
 // ---------------------------------------------------------------------------
 
 std::int64_t World::win_impl_id(std::int64_t handle) const {
-    std::lock_guard lk(mu_);
-    auto it = wins_.find(static_cast<Win>(handle));
-    return it == wins_.end() ? -1 : it->second->impl_id;
+    const WinData* wd = wins_.find(static_cast<Win>(handle));
+    return wd ? wd->impl_id : -1;
 }
 
 std::int64_t World::comm_context(std::int64_t handle) const {
-    std::lock_guard lk(mu_);
-    auto it = comms_.find(static_cast<Comm>(handle));
-    return it == comms_.end() ? -1 : it->second->context;
+    const CommData* cd = comms_.find(static_cast<Comm>(handle));
+    return cd ? cd->context : -1;
 }
 
 std::string World::object_name_of_win(Win w) const {
-    std::lock_guard lk(mu_);
-    auto it = wins_.find(w);
-    return it == wins_.end() ? std::string() : it->second->name;
+    const WinData* wd = wins_.find(w);
+    if (!wd) return {};
+    std::lock_guard lk(name_mu_);
+    return wd->name;
 }
 
 std::string World::object_name_of_comm(Comm c) const {
-    std::lock_guard lk(mu_);
-    auto it = comms_.find(c);
-    return it == comms_.end() ? std::string() : it->second->name;
+    const CommData* cd = comms_.find(c);
+    if (!cd) return {};
+    std::lock_guard lk(name_mu_);
+    return cd->name;
+}
+
+void World::set_comm_name(Comm c, const std::string& name) {
+    CommData* cd = comms_.find(c);
+    if (!cd) return;
+    std::lock_guard lk(name_mu_);
+    cd->name = name;
+}
+
+void World::set_win_name(Win w, const std::string& name) {
+    WinData* wd = wins_.find(w);
+    if (!wd) return;
+    std::lock_guard lk(name_mu_);
+    wd->name = name;
 }
 
 void World::set_type_name(Datatype dt, std::string name) {
@@ -563,11 +551,13 @@ Comm World::do_spawn(const std::string& command, const std::vector<std::string>&
 }
 
 std::vector<MpirProcDesc> World::mpir_proctable() const {
-    std::lock_guard lk(mu_);
     std::vector<MpirProcDesc> out;
     if (!cfg_.mpir_enabled) return out;
-    for (const auto& p : procs_)
-        out.push_back({p->node, p->program, p->global_rank});
+    const int n = static_cast<int>(procs_.size());
+    for (int g = 0; g < n; ++g) {
+        const ProcData& p = *procs_.find(g);
+        out.push_back({p.node, p.program, p.global_rank});
+    }
     return out;
 }
 

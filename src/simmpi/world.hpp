@@ -5,8 +5,14 @@
 // run time, exactly the situation the paper's dynamic-process-creation
 // support must handle (tools cannot know the number of application
 // processes until run time, section 3).
+//
+// Handle tables use the append-only chunked-storage pattern from the
+// instrumentation registry (see handle_table.hpp): every lookup on the
+// message data path -- comm(), mailbox(), proc(), request(), win() --
+// is lock-free; creation and free keep writer mutexes.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -20,6 +26,7 @@
 #include <vector>
 
 #include "instr/registry.hpp"
+#include "simmpi/handle_table.hpp"
 #include "simmpi/types.hpp"
 
 namespace m2p::simmpi {
@@ -32,16 +39,69 @@ class World;
 /// (simulating the process manager's ability to exec a binary).
 using ProgramFn = std::function<void(Rank&, const std::vector<std::string>& argv)>;
 
+/// Reusable payload storage: raw uninitialized bytes, so filling it
+/// costs one memcpy (a std::vector would zero every byte first, a
+/// second full write over the payload).  Buffers cycle sender ->
+/// queue -> receiver -> per-mailbox free list -> sender.
+class PayloadBuf {
+public:
+    PayloadBuf() = default;
+    PayloadBuf(PayloadBuf&&) = default;
+    PayloadBuf& operator=(PayloadBuf&&) = default;
+
+    /// Makes the buffer hold exactly @p n bytes, reallocating only when
+    /// the current capacity is too small.  Contents are uninitialized.
+    void ensure(std::size_t n) {
+        if (cap_ < n) {
+            data_.reset(new std::byte[n]);
+            cap_ = n;
+        }
+        size_ = n;
+    }
+    std::byte* data() { return data_.get(); }
+    const std::byte* data() const { return data_.get(); }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return cap_; }
+
+private:
+    std::unique_ptr<std::byte[]> data_;
+    std::size_t size_ = 0;
+    std::size_t cap_ = 0;
+};
+
+/// Rendezvous completion token: carries its own mutex and condition
+/// variable so delivering one message wakes exactly the one sender (or
+/// waiter) parked on it -- never the whole mailbox.
+class DeliveryToken {
+public:
+    void signal() {
+        {
+            std::lock_guard lk(mu_);
+            done_ = true;
+        }
+        cv_.notify_one();
+    }
+    void wait() {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [this] { return done_; });
+    }
+
+private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool done_ = false;
+};
+
 /// One message in flight.
 struct Envelope {
     int src_global = -1;
     int src_comm_rank = -1;
     int tag = 0;
     std::int64_t context = 0;  ///< communicator context id
-    std::vector<std::byte> data;
+    PayloadBuf data;
     /// Rendezvous token: non-null when the sender blocks until the
     /// receiver has copied the payload (large messages).
-    std::shared_ptr<bool> delivered;
+    std::shared_ptr<DeliveryToken> delivered;
 };
 
 /// Accounting cost of one queued envelope beyond its payload (header,
@@ -54,14 +114,51 @@ inline constexpr std::size_t kEnvelopeOverhead = 64;
 /// control: once queued bytes exceed the capacity, senders block --
 /// this is what makes the PPerfMark small-messages clients spend
 /// their time in MPI_Send, as the paper observes (Fig 3).
+///
+/// Waiters are split by what they wait for, so wakeups are targeted:
+/// msg_cv parks the owning rank (at most one thread) waiting for an
+/// arrival and is signalled with notify_one; space_cv parks
+/// flow-controlled senders and is notified only when space_waiters
+/// says someone is actually parked.  Rendezvous senders never wait on
+/// the mailbox at all -- they wait on their envelope's DeliveryToken.
 struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
+    std::mutex mu;  ///< guards everything below
+    std::condition_variable msg_cv;
+    std::condition_variable space_cv;
     std::deque<Envelope> queue;
     std::size_t bytes_queued = 0;
+    int msg_waiters = 0;
+    int space_waiters = 0;
+    std::vector<PayloadBuf> free_bufs;  ///< recycled payload buffers
+
+    static constexpr std::size_t kMaxFreeBufs = 64;
+    static constexpr std::size_t kMaxRecycledCapacity = 64 * 1024;
+
+    /// Pops a recycled buffer (or grows a fresh one) sized to @p n.
+    /// Caller holds mu.
+    PayloadBuf take_buf_locked(std::size_t n) {
+        PayloadBuf b;
+        if (!free_bufs.empty()) {
+            b = std::move(free_bufs.back());
+            free_bufs.pop_back();
+        }
+        b.ensure(n);
+        return b;
+    }
+
+    /// Returns a drained buffer to the free list (bounded; oversized
+    /// rendezvous buffers are dropped).  Caller holds mu.
+    void recycle_locked(PayloadBuf&& b) {
+        if (b.capacity() == 0 || b.capacity() > kMaxRecycledCapacity) return;
+        if (free_bufs.size() >= kMaxFreeBufs) return;
+        free_bufs.push_back(std::move(b));
+    }
 };
 
-/// One simulated MPI process (an OS thread).
+/// One simulated MPI process (an OS thread).  finished/cpu_clock_ready
+/// are atomic publish flags: the owning thread stores its result
+/// fields first, then the flag; lock-free readers load the flag before
+/// touching the fields.
 struct ProcData {
     int global_rank = -1;
     std::string node;        ///< simulated hostname, e.g. "node2"
@@ -69,8 +166,8 @@ struct ProcData {
     Comm comm_world = MPI_COMM_NULL;
     Comm parent_intercomm = MPI_COMM_NULL;  ///< for spawned children
     clockid_t cpu_clock{};   ///< per-thread CPU clock (set by the thread)
-    bool cpu_clock_ready = false;
-    bool finished = false;
+    std::atomic<bool> cpu_clock_ready{false};
+    std::atomic<bool> finished{false};
     /// CPU seconds at exit (the thread's clock dies with the thread).
     double final_cpu_seconds = 0.0;
 };
@@ -81,8 +178,12 @@ struct CommData {
     std::vector<int> group;         ///< local group: global ranks
     std::vector<int> remote_group;  ///< non-empty for intercommunicators
     bool is_inter = false;
-    bool freed = false;
-    std::string name;
+    std::atomic<bool> freed{false};
+    /// Members that have called MPI_Comm_free; payload storage is
+    /// released when the count reaches the full membership (at which
+    /// point no member can still be inside an operation on this comm).
+    std::atomic<int> free_count{0};
+    std::string name;  ///< guarded by World::name_mu_
 
     // Internal (uninstrumented) central barrier state.
     std::mutex bar_mu;
@@ -99,13 +200,13 @@ struct CommData {
 struct GroupData {
     Group handle = MPI_GROUP_NULL;
     std::vector<int> global_ranks;
-    bool freed = false;
+    std::atomic<bool> freed{false};
 };
 
 struct InfoData {
     Info handle = MPI_INFO_NULL;
     std::map<std::string, std::string> kv;
-    bool freed = false;
+    std::atomic<bool> freed{false};
 };
 
 /// Exposure epoch for post/start/complete/wait on one target.
@@ -151,8 +252,8 @@ struct WinData {
     int impl_id = -1;  ///< small reused id, as real MPIs reuse them (paper 4.2.1)
     Comm comm = MPI_COMM_NULL;
     Comm shadow_comm = MPI_COMM_NULL;  ///< Lam keeps window names in a comm (Fig 23)
-    std::string name;
-    bool freed = false;
+    std::string name;  ///< guarded by World::name_mu_
+    std::atomic<bool> freed{false};
 
     std::mutex mu;  ///< guards members, epochs, locks, and data transfers
     std::map<int, WinMember> members;         ///< by global rank
@@ -180,7 +281,7 @@ struct FileData {
     std::shared_ptr<StoredFile> store;
     Comm comm = MPI_COMM_NULL;
     int amode = 0;
-    bool closed = false;
+    std::atomic<bool> closed{false};
     bool delete_on_close = false;
     Info info = MPI_INFO_NULL;  ///< hints given at open / set_view
     std::mutex mu;  ///< guards pointers and the view below
@@ -197,9 +298,10 @@ enum class RequestKind { Null, SendToken, RecvDeferred, Completed };
 struct RequestData {
     Request handle = MPI_REQUEST_NULL;
     RequestKind kind = RequestKind::Null;
+    bool live = false;  ///< slot holds an outstanding request
     int owner_global = -1;
-    std::shared_ptr<bool> delivered;  ///< SendToken
-    int dest_mailbox = -1;            ///< mailbox whose cv signals delivery
+    std::shared_ptr<DeliveryToken> delivered;  ///< SendToken
+    int dest_mailbox = -1;            ///< destination rank of the send
     // RecvDeferred parameters:
     void* buf = nullptr;
     int count = 0;
@@ -288,12 +390,19 @@ struct MpirProcDesc {
     int global_rank = -1;
 };
 
+/// Which collective algorithms the transport uses.  Tree is the
+/// production shape (binomial / recursive-doubling, log depth); Flat
+/// pins the legacy linear root-loops so paper-validation runs keep the
+/// message pattern the known-bottleneck figures were built on.
+enum class CollAlgo { Flat, Tree };
+
 class World {
 public:
     struct Config {
         Flavor flavor = Flavor::Lam;
         std::size_t eager_limit = 4096;        ///< bytes; larger sends rendezvous
         std::size_t mailbox_capacity = 65536;  ///< eager bytes queued before senders block
+        CollAlgo coll_algo = CollAlgo::Tree;   ///< collective algorithm family
         bool mpir_enabled = false;
         /// Simulated per-process daemon start cost (seconds) charged by
         /// the intercept spawn method (paper: "adds overhead to the
@@ -353,10 +462,17 @@ public:
     bool all_finished() const;
 
     // -- Handles -----------------------------------------------------------
+    // Lookups (comm/group/info/win/request/file/mailbox/proc) are
+    // lock-free; create/free operations serialize on writer mutexes.
     Comm create_comm(std::vector<int> group, std::vector<int> remote = {},
                      bool is_inter = false);
     CommData& comm(Comm c);
     bool comm_valid(Comm c) const;
+    /// Records one member's MPI_Comm_free.  When every member of the
+    /// communicator has freed it, the handle is retired and its payload
+    /// storage (groups, name) is released -- long-running worlds no
+    /// longer grow their comm table payload without bound.
+    void release_comm_member(Comm c);
     Group create_group(std::vector<int> global_ranks);
     GroupData& group(Group g);
     bool group_valid(Group g) const;
@@ -392,6 +508,8 @@ public:
     std::int64_t comm_context(std::int64_t handle) const;
     std::string object_name_of_win(Win w) const;
     std::string object_name_of_comm(Comm c) const;
+    void set_comm_name(Comm c, const std::string& name);
+    void set_win_name(Win w, const std::string& name);
     void set_type_name(Datatype dt, std::string name);
     std::string type_name(Datatype dt) const;
 
@@ -424,31 +542,39 @@ private:
     Config cfg_;
     FuncIds fids_;
 
-    mutable std::mutex mu_;  ///< guards tables below
-    std::vector<std::unique_ptr<ProcData>> procs_;
+    // Lock-free handle tables (lookup side); each serializes its own
+    // appends internally.  Procs and mailboxes are created together
+    // under mu_ so their indices stay aligned.
+    HandleTable<ProcData, 0> procs_;
+    HandleTable<Mailbox, 0> mailboxes_;
+    HandleTable<CommData> comms_;
+    HandleTable<GroupData> groups_;
+    HandleTable<InfoData> infos_;
+    HandleTable<WinData> wins_;
+    HandleTable<RequestData> requests_;
+    HandleTable<FileData> files_;
+    std::atomic<std::int64_t> next_context_{100};
+
+    /// Recycled request slots (mirrors the free_win_impl_ids_ scheme):
+    /// completed requests return their handle here instead of growing
+    /// the table forever.
+    mutable std::mutex request_free_mu_;
+    std::vector<Request> free_requests_;
+
+    /// Guards MPI-2 object names (set/get_name are rare control-plane
+    /// calls; the data path never touches them).
+    mutable std::mutex name_mu_;
+
+    mutable std::mutex mu_;  ///< guards control-plane state below
     std::deque<std::thread> threads_;  ///< deque: stable refs while spawn appends
     std::size_t joined_ = 0;
-    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-    std::map<Comm, std::unique_ptr<CommData>> comms_;
-    std::map<Group, std::unique_ptr<GroupData>> groups_;
-    std::map<Info, std::unique_ptr<InfoData>> infos_;
-    std::map<Win, std::unique_ptr<WinData>> wins_;
-    std::map<Request, std::unique_ptr<RequestData>> requests_;
     std::map<std::string, std::shared_ptr<StoredFile>> filesystem_;
     std::map<Datatype, std::string> type_names_;
-    std::map<File, std::unique_ptr<FileData>> files_;
-    File next_file_ = 1;
     std::map<std::string, ProgramFn> programs_;
     std::vector<std::string> nodes_{"node0"};
     std::size_t next_node_ = 0;
     std::condition_variable start_cv_;
     bool start_released_ = false;
-    std::int64_t next_context_ = 100;
-    Comm next_comm_ = 1;
-    Group next_group_ = 1;
-    Info next_info_ = 1;
-    Win next_win_ = 1;
-    Request next_request_ = 1;
     std::vector<int> free_win_impl_ids_;
     int next_win_impl_id_ = 0;
     ProfilingLayer* profiling_ = nullptr;
