@@ -154,13 +154,19 @@ double PerformanceConsultant::evaluate_batch(
         }
         exps.push_back({n, pair, pair->total()});
     }
+    // Snapshot the failure state: any death during the evaluation
+    // interval means these experiments measured a shrinking process
+    // set, so their values are flagged rather than trusted blindly.
+    const std::uint64_t deaths0 = tool_.world().death_epoch();
     const double t0 = util::wall_seconds();
     // Sleep in slices so a finished application cuts the wave short.
     while (util::wall_seconds() - t0 < opts_.eval_interval && still_running())
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
     const double elapsed = std::max(1e-6, util::wall_seconds() - t0);
+    const bool lost_ranks = tool_.world().death_epoch() != deaths0;
 
     for (Experiment& e : exps) {
+        if (lost_ranks) e.node->truncated = true;
         const double delta = e.pair->total() - e.total0;
         const double cpus = delta / elapsed;
         std::size_t denom =
@@ -366,6 +372,11 @@ std::string PerformanceConsultant::render_condensed(const PCReport& report,
         if (n.focus.machine != "/Machine") d += (d.empty() ? "" : " ") + n.focus.machine;
         return d;
     };
+    if (report.outcome.status == RunOutcome::Status::RanksLost)
+        os << "(degraded search: " << report.outcome.epitaphs.size()
+           << " rank(s) lost during the run; findings cover survivors only)\n";
+    else if (report.outcome.status == RunOutcome::Status::Aborted)
+        os << "(run aborted, code " << report.outcome.abort_code << ")\n";
     for (const auto& root : report.roots) {
         if (!root->tested_true && !include_false_roots) continue;
         std::vector<Frame> stack{{root.get(), 0}};
@@ -380,6 +391,7 @@ std::string PerformanceConsultant::render_condensed(const PCReport& report,
             else
                 os << "  " << (f.node->tested_true ? "TRUE" : "false") << " (value "
                    << f.node->value << ", threshold " << f.node->threshold << ")";
+            if (f.node->truncated) os << "  [truncated: rank lost mid-experiment]";
             os << "\n";
             // Children in reverse so the stack pops them in order;
             // only true children appear in the condensed view.

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/outcome.hpp"
 #include "core/resources.hpp"
 #include "core/tool.hpp"
 
@@ -29,6 +30,9 @@ struct PCNode {
     double threshold = 0.0;
     bool tested = false;     ///< program may end before deep nodes run
     bool tested_true = false;
+    /// A rank died during this node's evaluation interval, so the
+    /// measured value covers a shrinking process set.
+    bool truncated = false;
     std::vector<std::unique_ptr<PCNode>> children;
 };
 
@@ -36,6 +40,9 @@ struct PCReport {
     std::vector<std::unique_ptr<PCNode>> roots;
     int experiments_run = 0;
     double search_seconds = 0.0;
+    /// How the measured application run ended (filled by
+    /// Session::run_with_consultant; default-Completed otherwise).
+    RunOutcome outcome;
 
     /// True when some true-tested node with @p hypothesis has a focus
     /// whose string contains @p focus_substr (tests/benches use this

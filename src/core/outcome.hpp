@@ -1,0 +1,44 @@
+// RunOutcome: how a measured application run ended.  A fault-tolerant
+// session distinguishes a clean completion from a poisoned world
+// (MPI_Abort / MPI_ERRORS_ARE_FATAL) and from a run that finished but
+// lost ranks along the way (crashed, hung, or excepted processes whose
+// epitaphs the World recorded).
+#pragma once
+
+#include <vector>
+
+#include "simmpi/faults.hpp"
+#include "simmpi/world.hpp"
+
+namespace m2p::core {
+
+struct RunOutcome {
+    enum class Status {
+        Completed,  ///< every rank reached MPI_Finalize
+        Aborted,    ///< world poisoned (MPI_Abort or a fatal errhandler)
+        RanksLost,  ///< run ended, but some ranks died; see epitaphs
+    };
+
+    Status status = Status::Completed;
+    int abort_code = 0;  ///< poison code when status == Aborted
+    std::vector<simmpi::Epitaph> epitaphs;
+
+    bool ok() const { return status == Status::Completed; }
+};
+
+/// Classifies a finished (or unwedged) world.  Poison takes precedence
+/// over rank loss: an abort usually also leaves epitaphs behind, and
+/// the abort is the root cause worth reporting.
+inline RunOutcome outcome_from_world(const simmpi::World& world) {
+    RunOutcome o;
+    o.epitaphs = world.epitaphs();
+    if (world.poisoned()) {
+        o.status = RunOutcome::Status::Aborted;
+        o.abort_code = world.poison_code();
+    } else if (!o.epitaphs.empty()) {
+        o.status = RunOutcome::Status::RanksLost;
+    }
+    return o;
+}
+
+}  // namespace m2p::core

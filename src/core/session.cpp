@@ -13,10 +13,11 @@ Session::Session(simmpi::Flavor flavor, PerfTool::Options topts,
                  simmpi::World::Config wcfg)
     : world_(reg_, with_flavor(wcfg, flavor)), tool_(world_, std::move(topts)) {}
 
-void Session::run(const std::string& command, int nprocs, int procs_per_node) {
+RunOutcome Session::run(const std::string& command, int nprocs, int procs_per_node) {
     run_app_async(tool_, command, {}, nprocs, procs_per_node);
     world_.join_all();
     tool_.flush();
+    return outcome_from_world(world_);
 }
 
 PCReport Session::run_with_consultant(const std::string& command, int nprocs,
@@ -27,6 +28,7 @@ PCReport Session::run_with_consultant(const std::string& command, int nprocs,
     PCReport report = pc.search([this] { return !world_.all_finished(); });
     world_.join_all();
     tool_.flush();
+    report.outcome = outcome_from_world(world_);
     return report;
 }
 

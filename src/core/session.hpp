@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/consultant.hpp"
+#include "core/outcome.hpp"
 #include "core/tool.hpp"
 
 namespace m2p::core {
@@ -24,10 +25,13 @@ public:
 
     /// Launches @p command on @p nprocs processes (2 per node by
     /// default), waits for completion, flushes discovery reports.
-    void run(const std::string& command, int nprocs, int procs_per_node = 2);
+    /// Returns how the run ended: Completed, Aborted (poisoned world),
+    /// or RanksLost with the dead ranks' epitaphs.
+    RunOutcome run(const std::string& command, int nprocs, int procs_per_node = 2);
 
     /// Launches @p command and runs the Performance Consultant while
-    /// the application executes; returns the findings.
+    /// the application executes; returns the findings.  The report's
+    /// `outcome` field records whether the run lost ranks mid-search.
     PCReport run_with_consultant(const std::string& command, int nprocs,
                                  PerformanceConsultant::Options opts,
                                  int procs_per_node = 2);

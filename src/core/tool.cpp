@@ -46,9 +46,14 @@ PerfTool::PerfTool(simmpi::World& world, Options opts)  // NOLINT
     scan_code_resources();
     if (opts_.spawn_method == SpawnMethod::Intercept)
         world_.set_profiling_layer(this);
+    world_.set_death_observer(
+        [this](const simmpi::Epitaph& e) { on_rank_death(e); });
 }
 
 PerfTool::~PerfTool() {
+    // Unhook before tearing anything down: a rank dying during
+    // destruction must not post into a stopping frontend.
+    world_.set_death_observer(nullptr);
     if (world_.profiling_layer() == this) world_.set_profiling_layer(nullptr);
     metrics_.reset();  // stop the sampler before tearing down state
     {
@@ -158,6 +163,26 @@ std::string PerfTool::process_path(int global_rank) const {
     return "/Process/p" + std::to_string(global_rank);
 }
 
+void PerfTool::on_rank_death(const simmpi::Epitaph& e) {
+    // Runs on whatever thread recorded the death (the dying rank or
+    // the join watchdog); it only posts reports, the frontend thread
+    // applies them.  The dead process is retired, not removed: the UI
+    // greys it out, and children("/Process", false) -- what the PC's
+    // process refinement uses -- excludes it from future experiments.
+    std::string node;
+    {
+        std::lock_guard lk(mu_);
+        const auto it = rank_node_.find(e.global_rank);
+        if (it == rank_node_.end()) return;  // never registered with a daemon
+        node = it->second;
+    }
+    const std::string pname = "p" + std::to_string(e.global_rank);
+    post({Report::Kind::Retire, "/Process/" + pname, ResourceKind::Process, "",
+          node});
+    post({Report::Kind::Retire, "/Machine/" + node + "/" + pname,
+          ResourceKind::Process, "", node});
+}
+
 std::vector<Daemon> PerfTool::daemons() const {
     std::lock_guard lk(mu_);
     return daemons_;
@@ -171,7 +196,11 @@ int PerfTool::known_process_count() const {
 std::vector<int> PerfTool::ranks_for_focus(const Focus& f) const {
     std::lock_guard lk(mu_);
     std::vector<int> out;
+    const bool have_deaths = world_.death_epoch() != 0;
     for (int g : known_procs_) {
+        // Dead ranks no longer contribute samples; counting them would
+        // deflate per-process normalization for the survivors.
+        if (have_deaths && world_.rank_dead(g)) continue;
         const std::string pname = "p" + std::to_string(g);
         if (f.process != "/Process" && f.process != "/Process/" + pname) continue;
         if (f.machine != "/Machine") {

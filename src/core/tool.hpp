@@ -143,6 +143,9 @@ private:
 
     void install_discovery();
     void scan_code_resources();
+    /// Death observer: retires the dead process's resources so the
+    /// hierarchy greys it out and the PC stops refining into it.
+    void on_rank_death(const simmpi::Epitaph& e);
     void post(Report r);
     void frontend_loop();
     void discover_window(std::int64_t handle);

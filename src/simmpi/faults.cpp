@@ -1,0 +1,148 @@
+#include "simmpi/faults.hpp"
+
+#include <cstring>
+
+namespace m2p::simmpi {
+
+const char* cause_name(Epitaph::Cause c) {
+    switch (c) {
+        case Epitaph::Cause::Killed: return "killed";
+        case Epitaph::Cause::Hung: return "hung";
+        case Epitaph::Cause::Aborted: return "aborted";
+        case Epitaph::Cause::Poisoned: return "poisoned";
+        case Epitaph::Cause::Exception: return "exception";
+    }
+    return "unknown";
+}
+
+FaultPlan::Spec& FaultPlan::add(Spec::Kind kind) {
+    Spec& s = specs_.emplace_back();
+    s.kind = kind;
+    return s;
+}
+
+FaultPlan& FaultPlan::kill_at_call(int global_rank, std::uint64_t nth_call) {
+    Spec& s = add(Spec::Kind::KillAtCall);
+    s.rank = global_rank;
+    s.nth = nth_call;
+    has_call_faults_ = true;
+    return *this;
+}
+
+FaultPlan& FaultPlan::hang_in_call(int global_rank, std::string call_name,
+                                   double seconds) {
+    Spec& s = add(Spec::Kind::HangInCall);
+    s.rank = global_rank;
+    s.call = std::move(call_name);
+    s.seconds = seconds;
+    has_call_faults_ = true;
+    return *this;
+}
+
+FaultPlan& FaultPlan::drop_message(int src_global, int dest_global,
+                                   std::uint64_t nth_match) {
+    Spec& s = add(Spec::Kind::DropMessage);
+    s.rank = src_global;
+    s.dest = dest_global;
+    s.nth = nth_match;
+    has_message_faults_ = true;
+    return *this;
+}
+
+FaultPlan& FaultPlan::delay_message(int src_global, int dest_global,
+                                    std::uint64_t nth_match, double seconds) {
+    Spec& s = add(Spec::Kind::DelayMessage);
+    s.rank = src_global;
+    s.dest = dest_global;
+    s.nth = nth_match;
+    s.seconds = seconds;
+    has_message_faults_ = true;
+    return *this;
+}
+
+FaultPlan& FaultPlan::fail_spawn(std::uint64_t nth_spawn) {
+    Spec& s = add(Spec::Kind::FailSpawn);
+    s.nth = nth_spawn;
+    return *this;
+}
+
+std::shared_ptr<FaultPlan> FaultPlan::chaos(std::uint64_t seed, int nranks) {
+    auto plan = std::make_shared<FaultPlan>();
+    // splitmix64: tiny, seed-stable, and good enough to scatter faults.
+    std::uint64_t state = seed + 0x9e3779b97f4a7c15ULL;
+    const auto next = [&state]() {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    };
+    if (nranks > 1) {
+        // One victim dies somewhere in the middle of the run; rank 0 is
+        // spared so the workload's coordinator side survives.
+        const int victim = 1 + static_cast<int>(next() % static_cast<std::uint64_t>(
+                                                    nranks - 1));
+        plan->kill_at_call(victim, 20 + next() % 120);
+        // A couple of lossy flows and one laggy one between random pairs.
+        for (int i = 0; i < 2; ++i) {
+            const int src = static_cast<int>(next() % static_cast<std::uint64_t>(nranks));
+            const int dst = static_cast<int>(next() % static_cast<std::uint64_t>(nranks));
+            if (src != dst) plan->drop_message(src, dst, 1 + next() % 4);
+        }
+        const int src = static_cast<int>(next() % static_cast<std::uint64_t>(nranks));
+        const int dst = static_cast<int>(next() % static_cast<std::uint64_t>(nranks));
+        if (src != dst)
+            plan->delay_message(src, dst, 1 + next() % 3,
+                                1e-3 * static_cast<double>(1 + next() % 5));
+    }
+    return plan;
+}
+
+FaultPlan::CallAction FaultPlan::on_call(int global_rank, const char* call_name,
+                                         std::uint64_t call_index) {
+    CallAction out;
+    for (Spec& s : specs_) {
+        if (s.rank != global_rank) continue;
+        if (s.kind == Spec::Kind::KillAtCall) {
+            // >= so a plan built against a slightly different call count
+            // still fires (once) instead of silently missing its mark.
+            if (call_index >= s.nth && !s.fired.exchange(true)) {
+                out.kind = CallAction::Kind::Kill;
+                out.nth = call_index;
+                return out;
+            }
+        } else if (s.kind == Spec::Kind::HangInCall) {
+            if (s.call == call_name && !s.fired.exchange(true)) {
+                out.kind = CallAction::Kind::Hang;
+                out.hang_seconds = s.seconds;
+                out.nth = call_index;
+                return out;
+            }
+        }
+    }
+    return out;
+}
+
+FaultPlan::MessageAction FaultPlan::on_message(int src_global, int dest_global) {
+    MessageAction out;
+    for (Spec& s : specs_) {
+        if (s.kind != Spec::Kind::DropMessage && s.kind != Spec::Kind::DelayMessage)
+            continue;
+        if (s.rank != src_global || s.dest != dest_global) continue;
+        const std::uint64_t seen = s.matched.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (seen != s.nth) continue;
+        if (s.kind == Spec::Kind::DropMessage)
+            out.drop = true;
+        else
+            out.delay_seconds += s.seconds;
+    }
+    return out;
+}
+
+bool FaultPlan::on_spawn() {
+    const std::uint64_t n = spawns_.fetch_add(1, std::memory_order_relaxed) + 1;
+    for (Spec& s : specs_)
+        if (s.kind == Spec::Kind::FailSpawn && s.nth == n) return true;
+    return false;
+}
+
+}  // namespace m2p::simmpi

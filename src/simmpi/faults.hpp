@@ -1,0 +1,129 @@
+// FaultPlan: a seeded, deterministic fault-injection schedule for one
+// simmpi world.  The tool the paper describes must stay useful when
+// the measured job misbehaves -- spawned children that never check
+// in, daemons attached to dying processes -- so the simulated MPI
+// grows a failure plane: a plan can kill a rank at its Nth MPI call,
+// hang a rank inside a named call, drop or delay point-to-point
+// envelopes, and fail MPI_Comm_spawn.  The plan is installed in
+// World::Config before launch and queried at the dispatch boundary
+// (rank.cpp trampolines, send paths, World::do_spawn).
+//
+// Determinism: builders run before launch; during the run the spec
+// list is immutable and only per-spec atomic counters advance, so the
+// same plan over the same program replays the same faults.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+namespace m2p::simmpi {
+
+/// How and where a rank died.  One row of the world's epitaph table;
+/// liveness checks consult the table so a dead peer turns a blocking
+/// wait into an error return instead of a deadlock.
+struct Epitaph {
+    enum class Cause {
+        Killed,     ///< fault plan killed the rank at its Nth MPI call
+        Hung,       ///< fault plan wedged the rank inside a named call
+        Aborted,    ///< the rank called MPI_Abort
+        Poisoned,   ///< the rank unwound after another rank aborted / a fatal error
+        Exception,  ///< the program threw something else
+    };
+    int global_rank = -1;
+    Cause cause = Cause::Killed;
+    std::string detail;     ///< human explanation ("killed at call 17", what())
+    std::string last_call;  ///< MPI entry point the rank was last seen in
+    std::uint64_t calls_made = 0;
+};
+
+const char* cause_name(Epitaph::Cause c);
+
+/// Thrown through a rank's user program to unwind its thread back to
+/// World::start_proc, which records the epitaph.  Not derived from
+/// std::exception on purpose: a user program's catch (std::exception&)
+/// must not swallow a kill.
+struct RankKilled {
+    Epitaph::Cause cause = Epitaph::Cause::Killed;
+    std::string detail;
+    bool recorded = false;  ///< epitaph already in the world's table
+};
+
+class FaultPlan {
+public:
+    struct CallAction {
+        enum class Kind { None, Kill, Hang } kind = Kind::None;
+        double hang_seconds = 0.0;
+        std::uint64_t nth = 0;  ///< which call matched (for the epitaph detail)
+    };
+    struct MessageAction {
+        bool drop = false;
+        double delay_seconds = 0.0;
+    };
+
+    // -- Builders (call before the world launches) -----------------------
+    /// Kill @p global_rank when it makes its @p nth_call'th MPI call
+    /// (1-based, counted at the MPI_* dispatch boundary).
+    FaultPlan& kill_at_call(int global_rank, std::uint64_t nth_call);
+    /// Wedge @p global_rank the first time it enters the named MPI call
+    /// (e.g. "MPI_Barrier") for @p seconds, then kill it.  The rank is
+    /// marked dead *before* the wedge so peers unwedge via the liveness
+    /// check, not by waiting out the hang.
+    FaultPlan& hang_in_call(int global_rank, std::string call_name, double seconds);
+    /// Silently discard the @p nth_match'th point-to-point envelope from
+    /// @p src_global to @p dest_global (1-based; user traffic only, the
+    /// internal collective side channel is never lossy).
+    FaultPlan& drop_message(int src_global, int dest_global, std::uint64_t nth_match = 1);
+    /// Delay the matching envelope by @p seconds before it is queued.
+    FaultPlan& delay_message(int src_global, int dest_global, std::uint64_t nth_match,
+                             double seconds);
+    /// Fail the @p nth_spawn'th MPI_Comm_spawn world-wide (1-based):
+    /// World::do_spawn returns MPI_COMM_NULL and every member of the
+    /// spawning communicator sees MPI_ERR_SPAWN.
+    FaultPlan& fail_spawn(std::uint64_t nth_spawn = 1);
+
+    /// A seeded pseudo-random plan for chaos testing: kills one
+    /// non-zero rank at a random call depth and makes a few envelope
+    /// flows lossy/laggy.  Same seed + same nranks => same plan.
+    static std::shared_ptr<FaultPlan> chaos(std::uint64_t seed, int nranks);
+
+    // -- Queries (hot path; thread-safe after launch) ---------------------
+    /// Consulted once per MPI_* dispatch.  @p call_index is the rank's
+    /// 1-based running call count.
+    CallAction on_call(int global_rank, const char* call_name, std::uint64_t call_index);
+    /// Consulted once per user point-to-point envelope, on the send side.
+    MessageAction on_message(int src_global, int dest_global);
+    /// Consulted by the spawn root inside World::do_spawn.  Returns
+    /// true when this spawn must fail.
+    bool on_spawn();
+
+    /// Fast gates so fault-free hot paths pay one relaxed load.
+    bool has_call_faults() const { return has_call_faults_.load(std::memory_order_relaxed); }
+    bool has_message_faults() const {
+        return has_message_faults_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct Spec {
+        enum class Kind { KillAtCall, HangInCall, DropMessage, DelayMessage, FailSpawn };
+        Kind kind = Kind::KillAtCall;
+        int rank = -1;   ///< victim (kill/hang) or envelope source
+        int dest = -1;   ///< envelope destination
+        std::uint64_t nth = 1;
+        std::string call;       ///< named call for HangInCall
+        double seconds = 0.0;   ///< hang / delay duration
+        std::atomic<bool> fired{false};
+        std::atomic<std::uint64_t> matched{0};  ///< envelopes seen so far
+    };
+
+    Spec& add(Spec::Kind kind);
+
+    std::deque<Spec> specs_;  ///< deque: specs hold atomics, never relocate
+    std::atomic<std::uint64_t> spawns_{0};
+    std::atomic<bool> has_call_faults_{false};
+    std::atomic<bool> has_message_faults_{false};
+};
+
+}  // namespace m2p::simmpi

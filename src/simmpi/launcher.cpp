@@ -225,6 +225,11 @@ std::vector<int> launch(World& world, const std::string& command,
                         const std::vector<std::string>& argv, const LaunchPlan& plan) {
     if (!plan.ok || plan.placements.empty())
         throw std::invalid_argument("simmpi: invalid launch plan: " + plan.error);
+    // Validate up front, on the launching thread: an unknown program
+    // discovered later (inside a rank thread) could only surface as a
+    // spawn failure or a terminate, never as a catchable error here.
+    if (!world.has_program(command))
+        throw std::invalid_argument("simmpi: unknown program '" + command + "'");
     std::vector<int> globals;
     globals.reserve(plan.placements.size());
     std::vector<std::string> pool;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 
 #include "util/clock.hpp"
 
@@ -13,6 +14,12 @@ namespace {
 // traffic (the MPICH-flavor dissemination barrier, LAM-flavor fence
 // tokens).  User tags must stay below it, as with real MPI tag bounds.
 constexpr int kReservedTagBase = 1 << 28;
+
+// Blocking waits park in short slices so they can notice a dead peer,
+// a poisoned world, or the backstop deadline between wakeups instead
+// of sleeping forever on a condition no one will ever signal
+// (DESIGN.md section 9).
+constexpr auto kLivenessSlice = std::chrono::milliseconds(5);
 
 bool contains(const std::vector<int>& v, int x) {
     return std::find(v.begin(), v.end(), x) != v.end();
@@ -27,6 +34,62 @@ std::int64_t as_arg(const void* p) {
 Rank::Rank(World& world, int global_rank) : world_(world), global_(global_rank) {}
 
 Comm Rank::MPI_COMM_WORLD() const { return world_.proc(global_).comm_world; }
+
+// ---------------------------------------------------------------------------
+// Fault plane (DESIGN.md section 9)
+// ---------------------------------------------------------------------------
+
+void Rank::fault_point(const char* name) {
+    ProcData& p = world_.proc_data(global_);
+    p.last_call.store(name, std::memory_order_relaxed);
+    const std::uint64_t n = p.calls_made.fetch_add(1, std::memory_order_relaxed) + 1;
+    check_poisoned();
+    FaultPlan* plan = world_.config().faults.get();
+    if (!plan || !plan->has_call_faults()) return;
+    const FaultPlan::CallAction act = plan->on_call(global_, name, n);
+    if (act.kind == FaultPlan::CallAction::Kind::Kill)
+        throw RankKilled{Epitaph::Cause::Killed,
+                         std::string("fault plan: killed in ") + name + " (call " +
+                             std::to_string(n) + ")"};
+    if (act.kind == FaultPlan::CallAction::Kind::Hang) {
+        // Publish the death *before* wedging: peers unwedge via the
+        // liveness checks immediately instead of waiting out the hang.
+        Epitaph e;
+        e.global_rank = global_;
+        e.cause = Epitaph::Cause::Hung;
+        e.detail = std::string("fault plan: hung in ") + name;
+        e.last_call = name;
+        e.calls_made = n;
+        world_.record_death(std::move(e));
+        std::this_thread::sleep_for(std::chrono::duration<double>(act.hang_seconds));
+        throw RankKilled{Epitaph::Cause::Hung, {}, /*recorded=*/true};
+    }
+}
+
+int Rank::comm_error(Comm c, int code) {
+    int handler = world_.config().default_errhandler;
+    if (world_.comm_valid(c))
+        handler = world_.comm(c).errhandler.load(std::memory_order_relaxed);
+    if (handler == MPI_ERRORS_ARE_FATAL) {
+        world_.poison(code);
+        throw RankKilled{Epitaph::Cause::Poisoned,
+                         "MPI_ERRORS_ARE_FATAL: error " + std::to_string(code)};
+    }
+    return code;
+}
+
+void Rank::check_poisoned() const {
+    if (!world_.poisoned()) return;
+    throw RankKilled{Epitaph::Cause::Poisoned,
+                     "world poisoned (code " + std::to_string(world_.poison_code()) +
+                         ")"};
+}
+
+std::chrono::steady_clock::time_point Rank::wait_deadline() const {
+    return std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(world_.config().wait_deadline_seconds));
+}
 
 // ---------------------------------------------------------------------------
 // Rank / group translation helpers
@@ -67,6 +130,7 @@ int Rank::check_pt2pt(const CommData& c, int count, Datatype dt, int peer, int t
 
 int Rank::MPI_Init() {
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Init);
+    fault_point("MPI_Init");
     const int rc = PMPI_Init();
     if (auto* layer = world_.profiling_layer()) layer->wrap_init(*this);
     return rc;
@@ -100,6 +164,7 @@ int Rank::MPI_Query_thread(int* provided) const {
 
 int Rank::MPI_Finalize() {
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Finalize);
+    fault_point("MPI_Finalize");
     return PMPI_Finalize();
 }
 
@@ -107,6 +172,37 @@ int Rank::PMPI_Finalize() {
     instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Finalize);
     if (!initialized_ || finalized_) return MPI_ERR_OTHER;
     finalized_ = true;
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Abort(Comm c, int errorcode) {
+    const std::int64_t a[] = {c, errorcode};
+    instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Abort, a);
+    fault_point("MPI_Abort");
+    return PMPI_Abort(c, errorcode);
+}
+
+int Rank::PMPI_Abort(Comm c, int errorcode) {
+    const std::int64_t a[] = {c, errorcode};
+    instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Abort, a);
+    (void)c;  // like most MPIs, simmpi aborts the whole job, not one comm
+    world_.poison(errorcode == MPI_SUCCESS ? MPI_ERR_OTHER : errorcode);
+    throw RankKilled{Epitaph::Cause::Aborted,
+                     "MPI_Abort(code=" + std::to_string(errorcode) + ")"};
+}
+
+int Rank::MPI_Comm_set_errhandler(Comm c, int errhandler) {
+    if (errhandler != MPI_ERRORS_ARE_FATAL && errhandler != MPI_ERRORS_RETURN)
+        return MPI_ERR_ARG;
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    world_.comm(c).errhandler.store(errhandler, std::memory_order_relaxed);
+    return MPI_SUCCESS;
+}
+
+int Rank::MPI_Comm_get_errhandler(Comm c, int* errhandler) {
+    if (!errhandler) return MPI_ERR_ARG;
+    if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    *errhandler = world_.comm(c).errhandler.load(std::memory_order_relaxed);
     return MPI_SUCCESS;
 }
 
@@ -169,14 +265,15 @@ int Rank::MPI_Comm_remote_size(Comm c, int* size) {
 int Rank::MPI_Comm_dup(Comm c, Comm* out) {
     if (!out) return MPI_ERR_ARG;
     if (!world_.comm_valid(c)) return MPI_ERR_COMM;
+    fault_point("MPI_Comm_dup");
     CommData& cd = world_.comm(c);
-    barrier_internal(cd);
+    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
     // Every member must end up with the same handle; rank 0 creates.
     if (my_rank_in(cd) == 0)
         cd.spawn_result = world_.create_comm(cd.group, cd.remote_group, cd.is_inter);
-    barrier_internal(cd);
+    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
     *out = cd.spawn_result;
-    barrier_internal(cd);
+    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
     return MPI_SUCCESS;
 }
 
@@ -251,6 +348,18 @@ int Rank::send_body(const void* buf, int count, Datatype dt, int dest, int tag, 
     const int dest_global = dest_group(cd)[static_cast<std::size_t>(dest)];
     Mailbox& mb = world_.mailbox(dest_global);
 
+    // A provably-unreachable destination fails fast: nothing will ever
+    // drain the mailbox or signal the rendezvous token.  (Gated on the
+    // death epoch so fault-free runs keep the old behavior for sends
+    // to already-finished ranks.)
+    if (world_.death_epoch() != 0 && world_.rank_unreachable(dest_global))
+        return comm_error(c, MPI_ERR_RANK);
+
+    FaultPlan::MessageAction inject;
+    if (FaultPlan* plan = world_.config().faults.get();
+        plan && plan->has_message_faults())
+        inject = plan->on_message(global_, dest_global);
+
     // The blocking part of the send happens inside the transport
     // function so the tool sees where the MPI implementation really
     // waits: socket write() for MPICH, the sysv RPI for LAM (paper
@@ -258,6 +367,14 @@ int Rank::send_body(const void* buf, int count, Datatype dt, int dest, int tag, 
     const auto& f = world_.fids();
     instr::FunctionGuard tg(world_.registry(),
                             world_.flavor() == Flavor::Mpich ? f.io_write : f.sysv_send);
+
+    // Injected link faults: a delay stalls inside the transport (where
+    // a slow wire would); a drop discards the envelope after the
+    // "wire" accepted it, so the sender sees success -- exactly the
+    // silent loss the liveness deadline exists to catch.
+    if (inject.delay_seconds > 0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(inject.delay_seconds));
+    if (inject.drop) return MPI_SUCCESS;
 
     const bool rendezvous =
         mode == SendMode::Synchronous ||
@@ -268,11 +385,19 @@ int Rank::send_body(const void* buf, int count, Datatype dt, int dest, int tag, 
         std::unique_lock lk(mb.mu);
         if (!rendezvous && mode == SendMode::Standard) {
             // Eager flow control: block while the destination queue is
-            // full.
+            // full, in liveness-checked slices.
+            const auto deadline = wait_deadline();
             while (mb.bytes_queued + bytes + kEnvelopeOverhead >
                    world_.config().mailbox_capacity) {
+                if (world_.death_epoch() != 0) {
+                    check_poisoned();
+                    if (world_.rank_unreachable(dest_global))
+                        return comm_error(c, MPI_ERR_RANK);
+                }
+                if (std::chrono::steady_clock::now() >= deadline)
+                    return comm_error(c, MPI_ERR_OTHER);
                 ++mb.space_waiters;
-                mb.space_cv.wait(lk);
+                mb.space_cv.wait_for(lk, kLivenessSlice);
                 --mb.space_waiters;
             }
         }
@@ -294,8 +419,22 @@ int Rank::send_body(const void* buf, int count, Datatype dt, int dest, int tag, 
     }
     if (notify_msg) mb.msg_cv.notify_one();
     // Rendezvous: block until the receiver has copied the payload.  The
-    // token has its own cv, so only this sender wakes.
-    if (token) token->wait();
+    // token has its own cv, so only this sender wakes.  Abandon the
+    // wait when the receiver dies first (its mailbox keeps the orphan
+    // envelope, but nothing will ever drain it).
+    if (token) {
+        const auto deadline = wait_deadline();
+        const bool delivered = token->wait_or_abandon([&] {
+            return world_.poisoned() ||
+                   (world_.death_epoch() != 0 &&
+                    world_.rank_unreachable(dest_global)) ||
+                   std::chrono::steady_clock::now() >= deadline;
+        });
+        if (!delivered) {
+            check_poisoned();
+            return comm_error(c, MPI_ERR_RANK);
+        }
+    }
     return MPI_SUCCESS;
 }
 
@@ -323,6 +462,17 @@ int Rank::recv_body(void* buf, int count, Datatype dt, int src, int tag, Comm c,
     const auto& f = world_.fids();
     instr::FunctionGuard tg(world_.registry(),
                             world_.flavor() == Flavor::Mpich ? f.io_read : f.sysv_recv);
+
+    // Liveness bookkeeping: internal traffic (side-channel contexts or
+    // reserved tags) fails like a collective; user receives fail when
+    // the named source -- or, for ANY_SOURCE, every peer -- becomes
+    // unreachable with nothing left in the queue.
+    const bool internal_traffic =
+        context_offset != 0 || (tag != MPI_ANY_TAG && tag >= kReservedTagBase);
+    const int src_global = src == MPI_ANY_SOURCE
+                               ? -1
+                               : dest_group(cd)[static_cast<std::size_t>(src)];
+    const auto deadline = wait_deadline();
 
     std::unique_lock lk(mb.mu);
     for (;;) {
@@ -355,8 +505,33 @@ int Rank::recv_body(void* buf, int count, Datatype dt, int src, int tag, Comm c,
             if (env.delivered) env.delivered->signal();
             return truncated ? MPI_ERR_COUNT : MPI_SUCCESS;
         }
+        // No queued match.  The scan above ran under mb.mu, and peers
+        // enqueue under mb.mu before they can die or finish, so bailing
+        // here cannot lose a message that was actually delivered.
+        if (world_.death_epoch() != 0) {
+            check_poisoned();
+            if (internal_traffic) {
+                // Reserved-tag exchanges (e.g. the MPICH dissemination
+                // barrier) are collectives: any dead member dooms them.
+                if (world_.comm_has_dead_member(cd))
+                    return comm_error(c, MPI_ERR_PROC_FAILED);
+            } else if (src_global >= 0) {
+                if (world_.rank_unreachable(src_global))
+                    return comm_error(c, MPI_ERR_RANK);
+            } else {
+                bool any_alive = false;
+                for (int g : dest_group(cd))
+                    if (g != global_ && !world_.rank_unreachable(g)) {
+                        any_alive = true;
+                        break;
+                    }
+                if (!any_alive) return comm_error(c, MPI_ERR_RANK);
+            }
+        }
+        if (std::chrono::steady_clock::now() >= deadline)
+            return comm_error(c, MPI_ERR_OTHER);
         ++mb.msg_waiters;
-        mb.msg_cv.wait(lk);
+        mb.msg_cv.wait_for(lk, kLivenessSlice);
         --mb.msg_waiters;
     }
 }
@@ -377,6 +552,7 @@ int Rank::probe_body(int src, int tag, Comm c, int* flag, Status* st, bool block
         return MPI_SUCCESS;
     }
     Mailbox& mb = world_.mailbox(global_);
+    const auto deadline = wait_deadline();
     std::unique_lock lk(mb.mu);
     for (;;) {
         const auto it =
@@ -398,18 +574,38 @@ int Rank::probe_body(int src, int tag, Comm c, int* flag, Status* st, bool block
             if (flag) *flag = 0;
             return MPI_SUCCESS;
         }
+        if (world_.death_epoch() != 0) {
+            check_poisoned();
+            if (src != MPI_ANY_SOURCE) {
+                const int src_global = dest_group(cd)[static_cast<std::size_t>(src)];
+                if (world_.rank_unreachable(src_global))
+                    return comm_error(c, MPI_ERR_RANK);
+            } else {
+                bool any_alive = false;
+                for (int g : dest_group(cd))
+                    if (g != global_ && !world_.rank_unreachable(g)) {
+                        any_alive = true;
+                        break;
+                    }
+                if (!any_alive) return comm_error(c, MPI_ERR_RANK);
+            }
+        }
+        if (std::chrono::steady_clock::now() >= deadline)
+            return comm_error(c, MPI_ERR_OTHER);
         ++mb.msg_waiters;
-        mb.msg_cv.wait(lk);
+        mb.msg_cv.wait_for(lk, kLivenessSlice);
         --mb.msg_waiters;
     }
 }
 
 int Rank::MPI_Probe(int src, int tag, Comm c, Status* st) {
+    fault_point("MPI_Probe");
     return probe_body(src, tag, c, nullptr, st, /*blocking=*/true);
 }
 
 int Rank::MPI_Iprobe(int src, int tag, Comm c, int* flag, Status* st) {
     if (!flag) return MPI_ERR_ARG;
+    fault_point("MPI_Iprobe");
     return probe_body(src, tag, c, flag, st, /*blocking=*/false);
 }
 
@@ -434,9 +630,10 @@ void Rank::internal_send(const void* buf, int bytes, int dest_cr, int tag, CommD
     if (notify_msg) mb.msg_cv.notify_one();
 }
 
-void Rank::internal_recv(void* buf, int bytes, int src_cr, int tag, CommData& c) {
+bool Rank::internal_recv(void* buf, int bytes, int src_cr, int tag, CommData& c) {
     const std::int64_t want_ctx = c.context + 1;
     Mailbox& mb = world_.mailbox(global_);
+    const auto deadline = wait_deadline();
     std::unique_lock lk(mb.mu);
     for (;;) {
         auto it = std::find_if(mb.queue.begin(), mb.queue.end(), [&](const Envelope& e) {
@@ -452,23 +649,49 @@ void Rank::internal_recv(void* buf, int bytes, int src_cr, int tag, CommData& c)
             const bool notify_space = mb.space_waiters > 0;
             lk.unlock();
             if (notify_space) mb.space_cv.notify_all();
-            return;
+            return true;
         }
+        // Already-queued traffic was drained above; once a member of
+        // the collective is dead the operation can never complete.
+        if (world_.death_epoch() != 0) {
+            check_poisoned();
+            if (world_.comm_has_dead_member(c)) return false;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) return false;
         ++mb.msg_waiters;
-        mb.msg_cv.wait(lk);
+        mb.msg_cv.wait_for(lk, kLivenessSlice);
         --mb.msg_waiters;
     }
 }
 
-void Rank::barrier_internal(CommData& c) {
+bool Rank::barrier_internal(CommData& c) {
     std::unique_lock lk(c.bar_mu);
+    if (world_.death_epoch() != 0) {
+        check_poisoned();
+        if (world_.comm_has_dead_member(c)) return false;
+    }
     const std::uint64_t gen = c.bar_gen;
     if (static_cast<std::size_t>(++c.bar_count) == c.group.size()) {
         c.bar_count = 0;
         ++c.bar_gen;
         c.bar_cv.notify_all();
-    } else {
-        c.bar_cv.wait(lk, [&] { return c.bar_gen != gen; });
+        return true;
+    }
+    const auto deadline = wait_deadline();
+    for (;;) {
+        c.bar_cv.wait_for(lk, kLivenessSlice);
+        if (c.bar_gen != gen) return true;
+        const bool doomed =
+            world_.poisoned() ||
+            (world_.death_epoch() != 0 && world_.comm_has_dead_member(c)) ||
+            std::chrono::steady_clock::now() >= deadline;
+        if (doomed) {
+            // Withdraw so the count stays consistent for survivors that
+            // bail later (every survivor fails this barrier alike).
+            --c.bar_count;
+            check_poisoned();
+            return false;
+        }
     }
 }
 
@@ -521,19 +744,21 @@ void Rank::reduce_combine(void* acc, const void* in, int count, Datatype dt,
 // algorithms' O(n) root loop.
 // ---------------------------------------------------------------------------
 
-void Rank::coll_bcast_tree(void* buf, int bytes, int root_cr, int tag, CommData& c) {
+bool Rank::coll_bcast_tree(void* buf, int bytes, int root_cr, int tag, CommData& c) {
     const int n = static_cast<int>(c.group.size());
     const int me = my_rank_in(c);
     const int vrank = (me - root_cr + n) % n;
     const auto actual = [&](int v) { return (v + root_cr) % n; };
     int mask = 1;
     while (mask < n && (vrank & mask) == 0) mask <<= 1;
-    if (vrank != 0) internal_recv(buf, bytes, actual(vrank - mask), tag, c);
+    if (vrank != 0 && !internal_recv(buf, bytes, actual(vrank - mask), tag, c))
+        return false;
     for (int m = mask >> 1; m > 0; m >>= 1)
         if (vrank + m < n) internal_send(buf, bytes, actual(vrank + m), tag, c);
+    return true;
 }
 
-void Rank::coll_gather_tree(const void* sbuf, void* rbuf, int block, int root_cr,
+bool Rank::coll_gather_tree(const void* sbuf, void* rbuf, int block, int root_cr,
                             int tag, CommData& c) {
     const int n = static_cast<int>(c.group.size());
     const int me = my_rank_in(c);
@@ -553,8 +778,9 @@ void Rank::coll_gather_tree(const void* sbuf, void* rbuf, int block, int root_cr
         // The child's subtree spans min(m, n - child) vranks, exactly
         // the room left in tmp starting at offset m.
         const int cnt = std::min(m, n - child);
-        internal_recv(tmp.data() + static_cast<std::size_t>(m) * block, cnt * block,
-                      actual(child), tag, c);
+        if (!internal_recv(tmp.data() + static_cast<std::size_t>(m) * block,
+                           cnt * block, actual(child), tag, c))
+            return false;
     }
     if (vrank != 0) {
         internal_send(tmp.data(), span * block, actual(vrank - mask), tag, c);
@@ -567,9 +793,10 @@ void Rank::coll_gather_tree(const void* sbuf, void* rbuf, int block, int root_cr
                                          block,
                         static_cast<std::size_t>(block));
     }
+    return true;
 }
 
-void Rank::coll_scatter_tree(const void* sbuf, void* rbuf, int block, int root_cr,
+bool Rank::coll_scatter_tree(const void* sbuf, void* rbuf, int block, int root_cr,
                              int tag, CommData& c) {
     const int n = static_cast<int>(c.group.size());
     const int me = my_rank_in(c);
@@ -589,8 +816,8 @@ void Rank::coll_scatter_tree(const void* sbuf, void* rbuf, int block, int root_c
                                              block,
                             in + static_cast<std::size_t>(r) * block,
                             static_cast<std::size_t>(block));
-    } else {
-        internal_recv(tmp.data(), span * block, actual(vrank - mask), tag, c);
+    } else if (!internal_recv(tmp.data(), span * block, actual(vrank - mask), tag, c)) {
+        return false;
     }
     for (int m = mask >> 1; m > 0; m >>= 1) {
         const int child = vrank + m;
@@ -601,6 +828,7 @@ void Rank::coll_scatter_tree(const void* sbuf, void* rbuf, int block, int root_c
         }
     }
     if (block > 0) std::memcpy(rbuf, tmp.data(), static_cast<std::size_t>(block));
+    return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -615,6 +843,7 @@ int Rank::MPI_Send(const void* buf, int count, Datatype dt, int dest, int tag, C
                               tag,
                               c};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Send, a);
+    fault_point("MPI_Send");
     return PMPI_Send(buf, count, dt, dest, tag, c);
 }
 
@@ -638,6 +867,7 @@ int Rank::MPI_Ssend(const void* buf, int count, Datatype dt, int dest, int tag,
                               tag,
                               c};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Ssend, a);
+    fault_point("MPI_Ssend");
     {
         const std::int64_t pa[] = {as_arg(buf),
                                    count,
@@ -656,6 +886,7 @@ int Rank::MPI_Recv(void* buf, int count, Datatype dt, int src, int tag, Comm c,
                               src,         tag,   c,
                               as_arg(st)};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Recv, a);
+    fault_point("MPI_Recv");
     return PMPI_Recv(buf, count, dt, src, tag, c, st);
 }
 
@@ -674,6 +905,7 @@ int Rank::MPI_Isend(const void* buf, int count, Datatype dt, int dest, int tag, 
                               dest,        tag,         c,
                               as_arg(req)};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Isend, a);
+    fault_point("MPI_Isend");
     return PMPI_Isend(buf, count, dt, dest, tag, c, req);
 }
 
@@ -702,9 +934,24 @@ int Rank::PMPI_Isend(const void* buf, int count, Datatype dt, int dest, int tag,
     const int src_cr = my_rank_in(cd);
     const int dest_global = dest_group(cd)[static_cast<std::size_t>(dest)];
     Mailbox& mb = world_.mailbox(dest_global);
+    if (world_.death_epoch() != 0 && world_.rank_unreachable(dest_global))
+        return comm_error(c, MPI_ERR_RANK);
+    if (FaultPlan* plan = world_.config().faults.get();
+        plan && plan->has_message_faults() &&
+        plan->on_message(global_, dest_global).drop) {
+        // Lost on the wire: the request completes as if delivered (a
+        // standard-mode sender cannot observe the loss; injected delays
+        // are a blocking-send concern and are ignored here).
+        RequestData done;
+        done.kind = RequestKind::Completed;
+        done.owner_global = global_;
+        *req = world_.create_request(std::move(done));
+        return MPI_SUCCESS;
+    }
     RequestData rd;
     rd.owner_global = global_;
     rd.dest_mailbox = dest_global;
+    rd.comm = c;
     bool notify_msg;
     {
         std::lock_guard lk(mb.mu);
@@ -741,6 +988,7 @@ int Rank::MPI_Irecv(void* buf, int count, Datatype dt, int src, int tag, Comm c,
                               src,         tag,         c,
                               as_arg(req)};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Irecv, a);
+    fault_point("MPI_Irecv");
     return PMPI_Irecv(buf, count, dt, src, tag, c, req);
 }
 
@@ -775,9 +1023,18 @@ int Rank::wait_one(RequestData& rd, Status* st) {
     switch (rd.kind) {
         case RequestKind::Null:
         case RequestKind::Completed: return MPI_SUCCESS;
-        case RequestKind::SendToken:
-            rd.delivered->wait();
-            return MPI_SUCCESS;
+        case RequestKind::SendToken: {
+            const auto deadline = wait_deadline();
+            const int dest = rd.dest_mailbox;
+            const bool delivered = rd.delivered->wait_or_abandon([&] {
+                return world_.poisoned() ||
+                       (world_.death_epoch() != 0 && world_.rank_unreachable(dest)) ||
+                       std::chrono::steady_clock::now() >= deadline;
+            });
+            if (delivered) return MPI_SUCCESS;
+            check_poisoned();
+            return comm_error(rd.comm, MPI_ERR_RANK);
+        }
         case RequestKind::RecvDeferred:
             return recv_body(rd.buf, rd.count, rd.dt, rd.src, rd.tag, rd.comm, st);
     }
@@ -787,6 +1044,7 @@ int Rank::wait_one(RequestData& rd, Status* st) {
 int Rank::MPI_Wait(Request* req, Status* st) {
     const std::int64_t a[] = {as_arg(req)};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Wait, a);
+    fault_point("MPI_Wait");
     return PMPI_Wait(req, st);
 }
 
@@ -806,6 +1064,7 @@ int Rank::PMPI_Wait(Request* req, Status* st) {
 int Rank::MPI_Waitall(int n, Request* reqs, Status* sts) {
     const std::int64_t a[] = {n, as_arg(reqs)};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Waitall, a);
+    fault_point("MPI_Waitall");
     return PMPI_Waitall(n, reqs, sts);
 }
 
@@ -830,6 +1089,7 @@ int Rank::MPI_Sendrecv(const void* sbuf, int scount, Datatype sdt, int dest, int
                               rcount,       static_cast<std::int64_t>(rdt),
                               src,          rtag,   c};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Sendrecv, a);
+    fault_point("MPI_Sendrecv");
     return PMPI_Sendrecv(sbuf, scount, sdt, dest, stag, rbuf, rcount, rdt, src, rtag, c,
                          st);
 }
@@ -856,6 +1116,7 @@ int Rank::PMPI_Sendrecv(const void* sbuf, int scount, Datatype sdt, int dest, in
 int Rank::MPI_Barrier(Comm c) {
     const std::int64_t a[] = {c};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Barrier, a);
+    fault_point("MPI_Barrier");
     return PMPI_Barrier(c);
 }
 
@@ -865,10 +1126,8 @@ int Rank::PMPI_Barrier(Comm c) {
     if (!world_.comm_valid(c)) return MPI_ERR_COMM;
     CommData& cd = world_.comm(c);
     if (cd.is_inter) return MPI_ERR_COMM;
-    if (world_.flavor() == Flavor::Lam) {
-        barrier_internal(cd);
-        return MPI_SUCCESS;
-    }
+    if (world_.flavor() == Flavor::Lam)
+        return barrier_internal(cd) ? MPI_SUCCESS : comm_error(c, MPI_ERR_PROC_FAILED);
     // MPICH implements MPI_Barrier as a dissemination exchange built on
     // PMPI_Sendrecv -- which is why the paper's Performance Consultant
     // drills from MPI_Barrier down to PMPI_Sendrecv (Fig 9).
@@ -876,6 +1135,10 @@ int Rank::PMPI_Barrier(Comm c) {
     if (n <= 1) return MPI_SUCCESS;
     const int me = my_rank_in(cd);
     const int seq_tag = next_coll_tag(c);
+    // The tag is consumed unconditionally (coll_seq_ must stay aligned
+    // across ranks even when some bail), then liveness is checked.
+    if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
+        return comm_error(c, MPI_ERR_PROC_FAILED);
     int tok = 0, tok2 = 0;
     int round = 0;
     for (int k = 1; k < n; k <<= 1, ++round) {
@@ -884,7 +1147,9 @@ int Rank::PMPI_Barrier(Comm c) {
         Status st;
         const int rc = PMPI_Sendrecv(&tok, 1, MPI_INT, to, seq_tag + round, &tok2, 1,
                                      MPI_INT, from, seq_tag + round, c, &st);
-        if (rc != MPI_SUCCESS) return rc;
+        // Map whatever the exchange saw (dead partner on either half)
+        // to the one code every survivor of a failed collective gets.
+        if (rc != MPI_SUCCESS) return comm_error(c, MPI_ERR_PROC_FAILED);
     }
     return MPI_SUCCESS;
 }
@@ -892,6 +1157,7 @@ int Rank::PMPI_Barrier(Comm c) {
 int Rank::MPI_Bcast(void* buf, int count, Datatype dt, int root, Comm c) {
     const std::int64_t a[] = {as_arg(buf), count, static_cast<std::int64_t>(dt), root, c};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Bcast, a);
+    fault_point("MPI_Bcast");
     return PMPI_Bcast(buf, count, dt, root, c);
 }
 
@@ -908,16 +1174,18 @@ int Rank::PMPI_Bcast(void* buf, int count, Datatype dt, int root, Comm c) {
     const int me = my_rank_in(cd);
     const int bytes = count * datatype_size(dt);
     const int tag = next_coll_tag(c);
-    if (world_.config().coll_algo == CollAlgo::Tree && n > 1) {
-        coll_bcast_tree(buf, bytes, root, tag, cd);
-        return MPI_SUCCESS;
-    }
+    if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
+        return comm_error(c, MPI_ERR_PROC_FAILED);
+    if (world_.config().coll_algo == CollAlgo::Tree && n > 1)
+        return coll_bcast_tree(buf, bytes, root, tag, cd)
+                   ? MPI_SUCCESS
+                   : comm_error(c, MPI_ERR_PROC_FAILED);
     // Flat star: the legacy shape paper-validation runs pin.
     if (me == root) {
         for (int r = 0; r < n; ++r)
             if (r != root) internal_send(buf, bytes, r, tag, cd);
-    } else {
-        internal_recv(buf, bytes, root, tag, cd);
+    } else if (!internal_recv(buf, bytes, root, tag, cd)) {
+        return comm_error(c, MPI_ERR_PROC_FAILED);
     }
     return MPI_SUCCESS;
 }
@@ -928,6 +1196,7 @@ int Rank::MPI_Reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op op
                               count,        static_cast<std::int64_t>(dt),
                               static_cast<std::int64_t>(op), root, c};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Reduce, a);
+    fault_point("MPI_Reduce");
     return PMPI_Reduce(sbuf, rbuf, count, dt, op, root, c);
 }
 
@@ -947,6 +1216,8 @@ int Rank::PMPI_Reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op o
     const int me = my_rank_in(cd);
     const int bytes = count * datatype_size(dt);
     const int tag = next_coll_tag(c);
+    if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
+        return comm_error(c, MPI_ERR_PROC_FAILED);
     if (world_.config().coll_algo == CollAlgo::Tree && n > 1) {
         // Binomial reduce (ops are commutative): combine children's
         // partial results, then forward the accumulator to the parent.
@@ -962,7 +1233,8 @@ int Rank::PMPI_Reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op o
             }
             const int child = vrank + mask;
             if (child < n) {
-                internal_recv(tmp.data(), bytes, actual(child), tag, cd);
+                if (!internal_recv(tmp.data(), bytes, actual(child), tag, cd))
+                    return comm_error(c, MPI_ERR_PROC_FAILED);
                 reduce_combine(acc.data(), tmp.data(), count, dt, op);
             }
         }
@@ -975,7 +1247,8 @@ int Rank::PMPI_Reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op o
         std::vector<std::byte> tmp(static_cast<std::size_t>(bytes));
         for (int r = 0; r < n; ++r) {
             if (r == root) continue;
-            internal_recv(tmp.data(), bytes, r, tag, cd);
+            if (!internal_recv(tmp.data(), bytes, r, tag, cd))
+                return comm_error(c, MPI_ERR_PROC_FAILED);
             reduce_combine(rbuf, tmp.data(), count, dt, op);
         }
     } else {
@@ -990,6 +1263,7 @@ int Rank::MPI_Allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op
                               count,        static_cast<std::int64_t>(dt),
                               static_cast<std::int64_t>(op), c};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Allreduce, a);
+    fault_point("MPI_Allreduce");
     return PMPI_Allreduce(sbuf, rbuf, count, dt, op, c);
 }
 
@@ -1008,6 +1282,8 @@ int Rank::PMPI_Allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, O
     const int me = my_rank_in(cd);
     const int bytes = count * datatype_size(dt);
     const int tag = next_coll_tag(c);
+    if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
+        return comm_error(c, MPI_ERR_PROC_FAILED);
     if (world_.config().coll_algo == CollAlgo::Tree && n > 1) {
         // Recursive doubling over the largest power-of-two subset;
         // leftover ranks fold into a neighbor first and get the result
@@ -1023,7 +1299,8 @@ int Rank::PMPI_Allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, O
                 internal_send(rbuf, bytes, me + 1, tag, cd);
                 newrank = -1;  // sits out the exchange rounds
             } else {
-                internal_recv(tmp.data(), bytes, me - 1, tag, cd);
+                if (!internal_recv(tmp.data(), bytes, me - 1, tag, cd))
+                    return comm_error(c, MPI_ERR_PROC_FAILED);
                 reduce_combine(rbuf, tmp.data(), count, dt, op);
                 newrank = me / 2;
             }
@@ -1036,15 +1313,16 @@ int Rank::PMPI_Allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, O
                 const int newdst = newrank ^ mask;
                 const int dst = newdst < rem ? newdst * 2 + 1 : newdst + rem;
                 internal_send(rbuf, bytes, dst, tag + 1 + round, cd);
-                internal_recv(tmp.data(), bytes, dst, tag + 1 + round, cd);
+                if (!internal_recv(tmp.data(), bytes, dst, tag + 1 + round, cd))
+                    return comm_error(c, MPI_ERR_PROC_FAILED);
                 reduce_combine(rbuf, tmp.data(), count, dt, op);
             }
         }
         if (me < 2 * rem) {
             if (me % 2)
                 internal_send(rbuf, bytes, me - 1, tag + 40, cd);
-            else
-                internal_recv(rbuf, bytes, me + 1, tag + 40, cd);
+            else if (!internal_recv(rbuf, bytes, me + 1, tag + 40, cd))
+                return comm_error(c, MPI_ERR_PROC_FAILED);
         }
         return MPI_SUCCESS;
     }
@@ -1052,13 +1330,15 @@ int Rank::PMPI_Allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, O
         if (bytes > 0) std::memcpy(rbuf, sbuf, static_cast<std::size_t>(bytes));
         std::vector<std::byte> tmp(static_cast<std::size_t>(bytes));
         for (int r = 1; r < n; ++r) {
-            internal_recv(tmp.data(), bytes, r, tag, cd);
+            if (!internal_recv(tmp.data(), bytes, r, tag, cd))
+                return comm_error(c, MPI_ERR_PROC_FAILED);
             reduce_combine(rbuf, tmp.data(), count, dt, op);
         }
         for (int r = 1; r < n; ++r) internal_send(rbuf, bytes, r, tag + 1, cd);
     } else {
         internal_send(sbuf, bytes, 0, tag, cd);
-        internal_recv(rbuf, bytes, 0, tag + 1, cd);
+        if (!internal_recv(rbuf, bytes, 0, tag + 1, cd))
+            return comm_error(c, MPI_ERR_PROC_FAILED);
     }
     return MPI_SUCCESS;
 }
@@ -1086,6 +1366,7 @@ int Rank::MPI_Gather(const void* sbuf, int scount, Datatype sdt, void* rbuf, int
                               as_arg(rbuf), rcount, static_cast<std::int64_t>(rdt),
                               root,         c};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Gather, a);
+    fault_point("MPI_Gather");
     return PMPI_Gather(sbuf, scount, sdt, rbuf, rcount, rdt, root, c);
 }
 
@@ -1103,18 +1384,21 @@ int Rank::PMPI_Gather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
     const int n = static_cast<int>(cd.group.size());
     const int block = scount * datatype_size(sdt);
     const int tag = next_coll_tag(c);
-    if (world_.config().coll_algo == CollAlgo::Tree && n > 1) {
-        coll_gather_tree(sbuf, me == root ? rbuf : nullptr, block, root, tag, cd);
-        return MPI_SUCCESS;
-    }
+    if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
+        return comm_error(c, MPI_ERR_PROC_FAILED);
+    if (world_.config().coll_algo == CollAlgo::Tree && n > 1)
+        return coll_gather_tree(sbuf, me == root ? rbuf : nullptr, block, root, tag, cd)
+                   ? MPI_SUCCESS
+                   : comm_error(c, MPI_ERR_PROC_FAILED);
     if (me == root) {
         auto* out = static_cast<std::byte*>(rbuf);
         std::memcpy(out + static_cast<std::ptrdiff_t>(root) * block, sbuf,
                     static_cast<std::size_t>(block));
         for (int r = 0; r < n; ++r) {
             if (r == root) continue;
-            internal_recv(out + static_cast<std::ptrdiff_t>(r) * block, block, r, tag,
-                          cd);
+            if (!internal_recv(out + static_cast<std::ptrdiff_t>(r) * block, block, r,
+                               tag, cd))
+                return comm_error(c, MPI_ERR_PROC_FAILED);
         }
     } else {
         internal_send(sbuf, block, root, tag, cd);
@@ -1128,6 +1412,7 @@ int Rank::MPI_Scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf,
                               as_arg(rbuf), rcount, static_cast<std::int64_t>(rdt),
                               root,         c};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Scatter, a);
+    fault_point("MPI_Scatter");
     return PMPI_Scatter(sbuf, scount, sdt, rbuf, rcount, rdt, root, c);
 }
 
@@ -1145,10 +1430,12 @@ int Rank::PMPI_Scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf,
     const int n = static_cast<int>(cd.group.size());
     const int block = rcount * datatype_size(rdt);
     const int tag = next_coll_tag(c);
-    if (world_.config().coll_algo == CollAlgo::Tree && n > 1) {
-        coll_scatter_tree(me == root ? sbuf : nullptr, rbuf, block, root, tag, cd);
-        return MPI_SUCCESS;
-    }
+    if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
+        return comm_error(c, MPI_ERR_PROC_FAILED);
+    if (world_.config().coll_algo == CollAlgo::Tree && n > 1)
+        return coll_scatter_tree(me == root ? sbuf : nullptr, rbuf, block, root, tag, cd)
+                   ? MPI_SUCCESS
+                   : comm_error(c, MPI_ERR_PROC_FAILED);
     if (me == root) {
         const auto* in = static_cast<const std::byte*>(sbuf);
         std::memcpy(rbuf, in + static_cast<std::ptrdiff_t>(root) * block,
@@ -1158,8 +1445,8 @@ int Rank::PMPI_Scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf,
             internal_send(in + static_cast<std::ptrdiff_t>(r) * block, block, r, tag,
                           cd);
         }
-    } else {
-        internal_recv(rbuf, block, root, tag, cd);
+    } else if (!internal_recv(rbuf, block, root, tag, cd)) {
+        return comm_error(c, MPI_ERR_PROC_FAILED);
     }
     return MPI_SUCCESS;
 }
@@ -1169,6 +1456,7 @@ int Rank::MPI_Allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
     const std::int64_t a[] = {as_arg(sbuf), scount, static_cast<std::int64_t>(sdt),
                               as_arg(rbuf), rcount, static_cast<std::int64_t>(rdt), c};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Allgather, a);
+    fault_point("MPI_Allgather");
     return PMPI_Allgather(sbuf, scount, sdt, rbuf, rcount, rdt, c);
 }
 
@@ -1185,6 +1473,8 @@ int Rank::PMPI_Allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
     const int n = static_cast<int>(cd.group.size());
     const int block = rcount * datatype_size(rdt);
     const int tag = next_coll_tag(c);
+    if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
+        return comm_error(c, MPI_ERR_PROC_FAILED);
     auto* out = static_cast<std::byte*>(rbuf);
     if (world_.config().coll_algo == CollAlgo::Tree && n > 1) {
         if ((n & (n - 1)) == 0) {
@@ -1200,12 +1490,14 @@ int Rank::PMPI_Allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
                 const int peer_off = peer & ~(m - 1);
                 internal_send(out + static_cast<std::size_t>(my_off) * block, m * block,
                               peer, tag + round, cd);
-                internal_recv(out + static_cast<std::size_t>(peer_off) * block,
-                              m * block, peer, tag + round, cd);
+                if (!internal_recv(out + static_cast<std::size_t>(peer_off) * block,
+                                   m * block, peer, tag + round, cd))
+                    return comm_error(c, MPI_ERR_PROC_FAILED);
             }
         } else {
-            coll_gather_tree(sbuf, me == 0 ? rbuf : nullptr, block, 0, tag, cd);
-            coll_bcast_tree(out, n * block, 0, tag + 32, cd);
+            if (!coll_gather_tree(sbuf, me == 0 ? rbuf : nullptr, block, 0, tag, cd) ||
+                !coll_bcast_tree(out, n * block, 0, tag + 32, cd))
+                return comm_error(c, MPI_ERR_PROC_FAILED);
         }
         return MPI_SUCCESS;
     }
@@ -1213,12 +1505,14 @@ int Rank::PMPI_Allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
     if (me == 0) {
         std::memcpy(out, sbuf, static_cast<std::size_t>(block));
         for (int r = 1; r < n; ++r)
-            internal_recv(out + static_cast<std::ptrdiff_t>(r) * block, block, r, tag,
-                          cd);
+            if (!internal_recv(out + static_cast<std::ptrdiff_t>(r) * block, block, r,
+                               tag, cd))
+                return comm_error(c, MPI_ERR_PROC_FAILED);
         for (int r = 1; r < n; ++r) internal_send(out, n * block, r, tag + 1, cd);
     } else {
         internal_send(sbuf, block, 0, tag, cd);
-        internal_recv(out, n * block, 0, tag + 1, cd);
+        if (!internal_recv(out, n * block, 0, tag + 1, cd))
+            return comm_error(c, MPI_ERR_PROC_FAILED);
     }
     return MPI_SUCCESS;
 }

@@ -11,6 +11,7 @@
 // Figure 2.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -39,6 +40,16 @@ public:
     int MPI_Init_thread(int required, int* provided);
     int MPI_Query_thread(int* provided) const;
     int MPI_Finalize();
+    /// Terminates the whole job: poisons the world (every rank unwinds
+    /// at its next MPI call or liveness-checked wait) and unwinds this
+    /// rank.  Never returns.
+    int MPI_Abort(Comm c, int errorcode);
+    int PMPI_Abort(Comm c, int errorcode);
+    /// Per-communicator error handler for *fault-class* errors (dead
+    /// peer, failed collective): MPI_ERRORS_ARE_FATAL or
+    /// MPI_ERRORS_RETURN.  Argument-validation errors always return.
+    int MPI_Comm_set_errhandler(Comm c, int errhandler);
+    int MPI_Comm_get_errhandler(Comm c, int* errhandler);
     bool initialized() const { return initialized_; }
     double MPI_Wtime() const;
     int MPI_Get_processor_name(std::string* name) const;
@@ -244,6 +255,24 @@ private:
     int check_pt2pt(const CommData& c, int count, Datatype dt, int peer, int tag,
                     bool is_send) const;
 
+    // ---- Fault plane -------------------------------------------------------
+    /// Dispatch-boundary hook, called at every MPI_* trampoline: records
+    /// the breadcrumb (last call + call count) used in epitaphs and
+    /// watchdog dumps, unwinds if the world is poisoned, and applies the
+    /// FaultPlan's kill/hang actions for this rank.
+    void fault_point(const char* name);
+    /// Applies @p c's error handler to fault-class error @p code:
+    /// ERRORS_ARE_FATAL poisons the world and unwinds; ERRORS_RETURN
+    /// returns @p code for the caller to propagate.
+    int comm_error(Comm c, int code);
+    /// Throws RankKilled if the world has been poisoned (MPI_Abort or a
+    /// fatal error elsewhere), so blocked ranks unwind promptly.
+    void check_poisoned() const;
+    /// Deadline for liveness-checked waits (Config::wait_deadline_seconds
+    /// from now): the backstop for wedges no death explains, e.g. a cycle
+    /// caused by a dropped message.
+    std::chrono::steady_clock::time_point wait_deadline() const;
+
     enum class SendMode {
         Standard,     ///< eager below the limit, rendezvous above
         ForceEager,   ///< always buffered (collectives: deadlock-free)
@@ -256,20 +285,23 @@ private:
                   Status* st, std::int64_t context_offset = 0);
     int probe_body(int src, int tag, Comm c, int* flag, Status* st, bool blocking);
     /// Internal collective side-channel (uninstrumented, force-eager,
-    /// separate context so user messages can never match).
+    /// separate context so user messages can never match).  The bool-
+    /// returning ops report false when the collective cannot complete
+    /// because a member of @p c died (callers turn that into
+    /// comm_error(c, MPI_ERR_PROC_FAILED) so survivors fail alike).
     void internal_send(const void* buf, int bytes, int dest_cr, int tag, CommData& c);
-    void internal_recv(void* buf, int bytes, int src_cr, int tag, CommData& c);
-    void barrier_internal(CommData& c);
+    bool internal_recv(void* buf, int bytes, int src_cr, int tag, CommData& c);
+    bool barrier_internal(CommData& c);
     int next_coll_tag(Comm c);
     void reduce_combine(void* acc, const void* in, int count, Datatype dt, Op op) const;
     // Binomial-tree data movement on the collective side-channel
     // (Config::coll_algo selects these or the flat legacy loops).
-    void coll_bcast_tree(void* buf, int bytes, int root_cr, int tag, CommData& c);
+    bool coll_bcast_tree(void* buf, int bytes, int root_cr, int tag, CommData& c);
     /// Gathers @p block bytes per rank into @p rbuf (rank order) at
     /// @p root_cr; other ranks pass rbuf = nullptr.
-    void coll_gather_tree(const void* sbuf, void* rbuf, int block, int root_cr, int tag,
+    bool coll_gather_tree(const void* sbuf, void* rbuf, int block, int root_cr, int tag,
                           CommData& c);
-    void coll_scatter_tree(const void* sbuf, void* rbuf, int block, int root_cr, int tag,
+    bool coll_scatter_tree(const void* sbuf, void* rbuf, int block, int root_cr, int tag,
                            CommData& c);
 
     int wait_one(RequestData& rd, Status* st);

@@ -41,6 +41,7 @@ int Rank::MPI_File_open(Comm c, const std::string& filename, int amode, Info inf
     std::int64_t a[] = {c, 0, amode, info, 0};
     const std::string_view s[] = {filename};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_File_open, a, s);
+    fault_point("MPI_File_open");
     const int rc = PMPI_File_open(c, filename, amode, info, fh);
     if (rc == MPI_SUCCESS && fh) a[4] = *fh;
     return rc;
@@ -66,7 +67,7 @@ int Rank::PMPI_File_open(Comm c, const std::string& filename, int amode, Info in
 
     // Collective: everyone arrives, rank 0 resolves the file, everyone
     // picks up the shared handle (late openers show up as I/O wait).
-    barrier_internal(cd);
+    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
     if (my_rank_in(cd) == 0) {
         cd.win_result = MPI_WIN_NULL;  // reuse the slot for the file handle
         const bool exists = world_.fs_exists(filename);
@@ -81,9 +82,9 @@ int Rank::PMPI_File_open(Comm c, const std::string& filename, int amode, Info in
                 (amode & MPI_MODE_DELETE_ON_CLOSE) != 0);
         }
     }
-    barrier_internal(cd);
+    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
     const std::int64_t result = cd.win_result;
-    barrier_internal(cd);
+    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
     if (result == -2) return MPI_ERR_NO_SUCH_FILE;
     if (result == -3) return MPI_ERR_FILE_EXISTS;
     *fh = static_cast<File>(result);
@@ -106,6 +107,7 @@ int Rank::PMPI_File_open(Comm c, const std::string& filename, int amode, Info in
 int Rank::MPI_File_close(File* fh) {
     const std::int64_t a[] = {fh ? *fh : MPI_FILE_NULL};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_File_close, a);
+    fault_point("MPI_File_close");
     return PMPI_File_close(fh);
 }
 
@@ -116,12 +118,12 @@ int Rank::PMPI_File_close(File* fh) {
     if (!world_.file_valid(*fh)) return MPI_ERR_FILE;
     FileData& fd = world_.file(*fh);
     CommData& cd = world_.comm(fd.comm);
-    barrier_internal(cd);
+    if (!barrier_internal(cd)) return comm_error(fd.comm, MPI_ERR_PROC_FAILED);
     if (my_rank_in(cd) == 0) {
         fd.closed = true;
         if (fd.delete_on_close) world_.fs_delete(fd.filename);
     }
-    barrier_internal(cd);
+    if (!barrier_internal(cd)) return comm_error(fd.comm, MPI_ERR_PROC_FAILED);
     *fh = MPI_FILE_NULL;
     return MPI_SUCCESS;
 }
@@ -156,7 +158,8 @@ int Rank::file_transfer(File fh, std::int64_t at_offset, void* rbuf, const void*
 
     // Collective access synchronizes the communicator before and
     // after the transfer, so stragglers produce measurable I/O wait.
-    if (collective) barrier_internal(world_.comm(fd.comm));
+    if (collective && !barrier_internal(world_.comm(fd.comm)))
+        return comm_error(fd.comm, MPI_ERR_PROC_FAILED);
 
     const std::int64_t bytes =
         static_cast<std::int64_t>(count) * datatype_size(dt);
@@ -202,7 +205,8 @@ int Rank::file_transfer(File fh, std::int64_t at_offset, void* rbuf, const void*
         st->MPI_ERROR = MPI_SUCCESS;
         st->count_bytes = static_cast<int>(moved);
     }
-    if (collective) barrier_internal(world_.comm(fd.comm));
+    if (collective && !barrier_internal(world_.comm(fd.comm)))
+        return comm_error(fd.comm, MPI_ERR_PROC_FAILED);
     return MPI_SUCCESS;
 }
 
@@ -211,7 +215,9 @@ int Rank::file_transfer(File fh, std::int64_t at_offset, void* rbuf, const void*
 //   read_at/write_at:              [fh, offset, buf, count, dt, status]
 
 // Packs the common [fh, buf, count, dt, status] argument layout and
-// the instrumentation guard around one read/write body.
+// the instrumentation guard around one read/write body.  The MPI_
+// variant is the user-visible call boundary, so it is also the fault
+// injection point (PMPI_ bodies must not double-count calls).
 #define M2P_FILE_RW(CALL, FID)                                                \
     {                                                                         \
         const std::int64_t a[] = {fh, as_arg(buf), count,                     \
@@ -219,29 +225,37 @@ int Rank::file_transfer(File fh, std::int64_t at_offset, void* rbuf, const void*
         instr::FunctionGuard g(world_.registry(), world_.fids().FID, a);      \
         return CALL;                                                          \
     }
+#define M2P_FILE_RW_USER(CALL, FID)                                           \
+    {                                                                         \
+        const std::int64_t a[] = {fh, as_arg(buf), count,                     \
+                                  static_cast<std::int64_t>(dt), as_arg(st)}; \
+        instr::FunctionGuard g(world_.registry(), world_.fids().FID, a);      \
+        fault_point(#FID);                                                    \
+        return CALL;                                                          \
+    }
 
 int Rank::MPI_File_read(File fh, void* buf, int count, Datatype dt, Status* st) {
-    M2P_FILE_RW(PMPI_File_read(fh, buf, count, dt, st), MPI_File_read)
+    M2P_FILE_RW_USER(PMPI_File_read(fh, buf, count, dt, st), MPI_File_read)
 }
 int Rank::PMPI_File_read(File fh, void* buf, int count, Datatype dt, Status* st) {
     M2P_FILE_RW(file_transfer(fh, -1, buf, nullptr, count, dt, st, false), PMPI_File_read)
 }
 int Rank::MPI_File_write(File fh, const void* buf, int count, Datatype dt, Status* st) {
-    M2P_FILE_RW(PMPI_File_write(fh, buf, count, dt, st), MPI_File_write)
+    M2P_FILE_RW_USER(PMPI_File_write(fh, buf, count, dt, st), MPI_File_write)
 }
 int Rank::PMPI_File_write(File fh, const void* buf, int count, Datatype dt,
                           Status* st) {
     M2P_FILE_RW(file_transfer(fh, -1, nullptr, buf, count, dt, st, false), PMPI_File_write)
 }
 int Rank::MPI_File_read_all(File fh, void* buf, int count, Datatype dt, Status* st) {
-    M2P_FILE_RW(PMPI_File_read_all(fh, buf, count, dt, st), MPI_File_read_all)
+    M2P_FILE_RW_USER(PMPI_File_read_all(fh, buf, count, dt, st), MPI_File_read_all)
 }
 int Rank::PMPI_File_read_all(File fh, void* buf, int count, Datatype dt, Status* st) {
     M2P_FILE_RW(file_transfer(fh, -1, buf, nullptr, count, dt, st, true), PMPI_File_read_all)
 }
 int Rank::MPI_File_write_all(File fh, const void* buf, int count, Datatype dt,
                              Status* st) {
-    M2P_FILE_RW(PMPI_File_write_all(fh, buf, count, dt, st), MPI_File_write_all)
+    M2P_FILE_RW_USER(PMPI_File_write_all(fh, buf, count, dt, st), MPI_File_write_all)
 }
 int Rank::PMPI_File_write_all(File fh, const void* buf, int count, Datatype dt,
                               Status* st) {
@@ -249,12 +263,14 @@ int Rank::PMPI_File_write_all(File fh, const void* buf, int count, Datatype dt,
 }
 
 #undef M2P_FILE_RW
+#undef M2P_FILE_RW_USER
 
 int Rank::MPI_File_read_at(File fh, std::int64_t offset, void* buf, int count,
                            Datatype dt, Status* st) {
     const std::int64_t a[] = {fh,    offset, as_arg(buf), count,
                               static_cast<std::int64_t>(dt), as_arg(st)};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_File_read_at, a);
+    fault_point("MPI_File_read_at");
     return PMPI_File_read_at(fh, offset, buf, count, dt, st);
 }
 int Rank::PMPI_File_read_at(File fh, std::int64_t offset, void* buf, int count,
@@ -270,6 +286,7 @@ int Rank::MPI_File_write_at(File fh, std::int64_t offset, const void* buf, int c
     const std::int64_t a[] = {fh,    offset, as_arg(buf), count,
                               static_cast<std::int64_t>(dt), as_arg(st)};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_File_write_at, a);
+    fault_point("MPI_File_write_at");
     return PMPI_File_write_at(fh, offset, buf, count, dt, st);
 }
 int Rank::PMPI_File_write_at(File fh, std::int64_t offset, const void* buf, int count,
@@ -286,6 +303,7 @@ int Rank::MPI_File_read_shared(File fh, void* buf, int count, Datatype dt, Statu
                               as_arg(st)};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_File_read_shared, a);
     instr::FunctionGuard pg(world_.registry(), world_.fids().PMPI_File_read_shared, a);
+    fault_point("MPI_File_read_shared");
     if (!world_.file_valid(fh)) return MPI_ERR_FILE;
     if (count < 0) return MPI_ERR_COUNT;
     if (datatype_size(dt) <= 0) return MPI_ERR_TYPE;
@@ -315,6 +333,7 @@ int Rank::MPI_File_write_shared(File fh, const void* buf, int count, Datatype dt
                               as_arg(st)};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_File_write_shared, a);
     instr::FunctionGuard pg(world_.registry(), world_.fids().PMPI_File_write_shared, a);
+    fault_point("MPI_File_write_shared");
     if (!world_.file_valid(fh)) return MPI_ERR_FILE;
     if (count < 0) return MPI_ERR_COUNT;
     if (datatype_size(dt) <= 0) return MPI_ERR_TYPE;
@@ -400,7 +419,8 @@ int Rank::MPI_File_set_view(File fh, std::int64_t disp, Datatype etype, Info inf
     if (datatype_size(etype) <= 0) return MPI_ERR_TYPE;
     FileData& fd = world_.file(fh);
     // Collective; resets all file pointers, per the standard.
-    barrier_internal(world_.comm(fd.comm));
+    if (!barrier_internal(world_.comm(fd.comm)))
+        return comm_error(fd.comm, MPI_ERR_PROC_FAILED);
     {
         std::lock_guard plk(fd.mu);
         fd.view_disp = disp;
@@ -409,7 +429,8 @@ int Rank::MPI_File_set_view(File fh, std::int64_t disp, Datatype etype, Info inf
         fd.shared_ptr_ = 0;
         if (info != MPI_INFO_NULL) fd.info = info;
     }
-    barrier_internal(world_.comm(fd.comm));
+    if (!barrier_internal(world_.comm(fd.comm)))
+        return comm_error(fd.comm, MPI_ERR_PROC_FAILED);
     return MPI_SUCCESS;
 }
 

@@ -2,6 +2,7 @@
 // creation, and object naming -- the features the paper adds tool
 // support for.
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "simmpi/rank.hpp"
@@ -9,6 +10,11 @@
 namespace m2p::simmpi {
 
 namespace {
+
+// Blocking RMA waits park in short slices so they can notice rank death,
+// world poison, or a deadline instead of sleeping forever (mirrors the
+// pt2pt wait loops in rank.cpp).
+constexpr auto kLivenessSlice = std::chrono::milliseconds(5);
 
 bool contains(const std::vector<int>& v, int x) {
     return std::find(v.begin(), v.end(), x) != v.end();
@@ -31,6 +37,7 @@ int Rank::MPI_Win_create(void* base, std::int64_t size, int disp_unit, Info info
     // the function return, paper section 4.2.1) can read it.
     std::int64_t a[] = {as_arg(base), size, disp_unit, info, c, 0};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_create, a);
+    fault_point("MPI_Win_create");
     const int rc = PMPI_Win_create(base, size, disp_unit, info, c, win);
     if (rc == MPI_SUCCESS) a[5] = *win;
     return rc;
@@ -50,7 +57,7 @@ int Rank::PMPI_Win_create(void* base, std::int64_t size, int disp_unit, Info inf
     // Window creation is collective; the barriers below are where the
     // synchronization overhead of a late-arriving process shows up
     // (paper Fig 1, top left).
-    barrier_internal(cd);
+    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
     if (me == 0) {
         cd.win_result = world_.create_win(c);
         if (world_.flavor() == Flavor::Lam) {
@@ -61,14 +68,14 @@ int Rank::PMPI_Win_create(void* base, std::int64_t size, int disp_unit, Info inf
             world_.win(cd.win_result).shadow_comm = world_.create_comm(cd.group);
         }
     }
-    barrier_internal(cd);
+    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
     const Win h = cd.win_result;
     {
         WinData& w = world_.win(h);
         std::lock_guard lk(w.mu);
         w.members[global_] = WinMember{static_cast<std::byte*>(base), size, disp_unit};
     }
-    barrier_internal(cd);
+    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
     *win = h;
     a[5] = h;
     return MPI_SUCCESS;
@@ -77,6 +84,7 @@ int Rank::PMPI_Win_create(void* base, std::int64_t size, int disp_unit, Info inf
 int Rank::MPI_Win_free(Win* win) {
     const std::int64_t a[] = {win ? *win : MPI_WIN_NULL};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_free, a);
+    fault_point("MPI_Win_free");
     return PMPI_Win_free(win);
 }
 
@@ -90,13 +98,13 @@ int Rank::PMPI_Win_free(Win* win) {
     // The MPI-2 standard requires barrier semantics here (paper
     // section 4.2.1: MPI_Win_free belongs in the general RMA
     // synchronization metric for exactly this reason).
-    barrier_internal(cd);
+    if (!barrier_internal(cd)) return comm_error(w.comm, MPI_ERR_PROC_FAILED);
     if (my_rank_in(cd) == 0) {
         std::lock_guard lk(w.mu);
         w.freed = true;
         world_.release_win_impl_id(w.impl_id);
     }
-    barrier_internal(cd);
+    if (!barrier_internal(cd)) return comm_error(w.comm, MPI_ERR_PROC_FAILED);
     *win = MPI_WIN_NULL;
     return MPI_SUCCESS;
 }
@@ -108,6 +116,7 @@ int Rank::PMPI_Win_free(Win* win) {
 int Rank::MPI_Win_fence(int assert, Win win) {
     const std::int64_t a[] = {assert, win};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_fence, a);
+    fault_point("MPI_Win_fence");
     return PMPI_Win_fence(assert, win);
 }
 
@@ -130,16 +139,20 @@ int Rank::PMPI_Win_fence(int assert, Win win) {
         int tok = 0, tok2 = 0;
         Request rq = MPI_REQUEST_NULL;
         Status st;
+        // Any failure in the token ring (a neighbor died or the wait
+        // timed out) is remapped to the collective-failure code so all
+        // survivors of a faulted fence observe the same error.
         int rc = PMPI_Isend(&tok, 1, MPI_INT, (me + 1) % n, tag, w.comm, &rq);
-        if (rc != MPI_SUCCESS) return rc;
+        if (rc != MPI_SUCCESS) return comm_error(w.comm, MPI_ERR_PROC_FAILED);
         rc = PMPI_Recv(&tok2, 1, MPI_INT, (me - 1 + n) % n, tag, w.comm, &st);
-        if (rc != MPI_SUCCESS) return rc;
+        if (rc != MPI_SUCCESS) return comm_error(w.comm, MPI_ERR_PROC_FAILED);
         rc = PMPI_Waitall(1, &rq, &st);
-        if (rc != MPI_SUCCESS) return rc;
+        if (rc != MPI_SUCCESS) return comm_error(w.comm, MPI_ERR_PROC_FAILED);
         return PMPI_Barrier(w.comm);
     }
     // MPICH2: internal fence counter; the waiting time is charged to
     // MPI_Win_fence itself.
+    const auto deadline = wait_deadline();
     std::unique_lock lk(w.mu);
     const std::uint64_t gen = w.fence_gen;
     if (++w.fence_count == n) {
@@ -147,7 +160,21 @@ int Rank::PMPI_Win_fence(int assert, Win win) {
         ++w.fence_gen;
         w.fence_cv.notify_all();
     } else {
-        w.fence_cv.wait(lk, [&] { return w.fence_gen != gen; });
+        while (w.fence_gen == gen) {
+            w.fence_cv.wait_for(lk, kLivenessSlice);
+            if (w.fence_gen != gen) break;
+            const bool doomed =
+                world_.poisoned() ||
+                (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd)) ||
+                std::chrono::steady_clock::now() >= deadline;
+            if (doomed) {
+                // Withdraw from the fence so a later (post-fault) fence
+                // over the survivors is not off by one.
+                --w.fence_count;
+                check_poisoned();
+                return comm_error(w.comm, MPI_ERR_PROC_FAILED);
+            }
+        }
     }
     return MPI_SUCCESS;
 }
@@ -155,6 +182,7 @@ int Rank::PMPI_Win_fence(int assert, Win win) {
 int Rank::MPI_Win_start(Group grp, int assert, Win win) {
     const std::int64_t a[] = {grp, assert, win};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_start, a);
+    fault_point("MPI_Win_start");
     return PMPI_Win_start(grp, assert, win);
 }
 
@@ -173,12 +201,28 @@ int Rank::PMPI_Win_start(Group grp, int assert, Win win) {
     // standard allows, and the source of the per-implementation
     // differences in the paper's winscpwsync findings (Fig 21).
     WinData& w = world_.win(win);
+    const auto deadline = wait_deadline();
     std::unique_lock lk(w.mu);
     for (int t : targets) {
         Exposure& e = w.exposures[t];
-        e.cv.wait(lk, [&] {
+        const auto exposed_to_us = [&] {
             return e.exposed && contains(e.group, global_) && !contains(e.started, global_);
-        });
+        };
+        while (!exposed_to_us()) {
+            e.cv.wait_for(lk, kLivenessSlice);
+            if (exposed_to_us()) break;
+            const bool doomed =
+                world_.poisoned() ||
+                (world_.death_epoch() != 0 && world_.rank_unreachable(t)) ||
+                std::chrono::steady_clock::now() >= deadline;
+            if (doomed) {
+                // A target that will never post: abandon the access
+                // epoch so a retry does not see it half-open.
+                start_epochs_.erase(win);
+                check_poisoned();
+                return comm_error(w.comm, MPI_ERR_PROC_FAILED);
+            }
+        }
         e.started.push_back(global_);
     }
     return MPI_SUCCESS;
@@ -187,6 +231,7 @@ int Rank::PMPI_Win_start(Group grp, int assert, Win win) {
 int Rank::MPI_Win_complete(Win win) {
     const std::int64_t a[] = {win};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_complete, a);
+    fault_point("MPI_Win_complete");
     return PMPI_Win_complete(win);
 }
 
@@ -200,16 +245,29 @@ int Rank::PMPI_Win_complete(Win win) {
     start_epochs_.erase(it);
 
     WinData& w = world_.win(win);
+    const auto deadline = wait_deadline();
     std::unique_lock lk(w.mu);
     for (int t : targets) {
         Exposure& e = w.exposures[t];
         if (world_.flavor() == Flavor::Mpich) {
             // MPICH2 deferred the post-wait to here; flush queued
             // transfers once the target's exposure epoch is open.
-            e.cv.wait(lk, [&] {
+            const auto exposed_to_us = [&] {
                 return e.exposed && contains(e.group, global_) &&
                        !contains(e.started, global_);
-            });
+            };
+            while (!exposed_to_us()) {
+                e.cv.wait_for(lk, kLivenessSlice);
+                if (exposed_to_us()) break;
+                const bool doomed =
+                    world_.poisoned() ||
+                    (world_.death_epoch() != 0 && world_.rank_unreachable(t)) ||
+                    std::chrono::steady_clock::now() >= deadline;
+                if (doomed) {
+                    check_poisoned();
+                    return comm_error(w.comm, MPI_ERR_PROC_FAILED);
+                }
+            }
             e.started.push_back(global_);
             auto& ops = w.deferred[global_];
             for (auto op_it = ops.begin(); op_it != ops.end();) {
@@ -246,6 +304,7 @@ int Rank::PMPI_Win_complete(Win win) {
 int Rank::MPI_Win_post(Group grp, int assert, Win win) {
     const std::int64_t a[] = {grp, assert, win};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_post, a);
+    fault_point("MPI_Win_post");
     return PMPI_Win_post(grp, assert, win);
 }
 
@@ -270,6 +329,7 @@ int Rank::PMPI_Win_post(Group grp, int assert, Win win) {
 int Rank::MPI_Win_wait(Win win) {
     const std::int64_t a[] = {win};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_wait, a);
+    fault_point("MPI_Win_wait");
     return PMPI_Win_wait(win);
 }
 
@@ -284,7 +344,19 @@ int Rank::PMPI_Win_wait(Win win) {
     // Blocks until all origins in the post group have completed --
     // "MPI_Win_wait will block until all outstanding MPI_Win_complete
     // calls have been issued" (paper section 4.2.1).
-    e.cv.wait(lk, [&] { return e.completes >= static_cast<int>(e.group.size()); });
+    const auto deadline = wait_deadline();
+    while (e.completes < static_cast<int>(e.group.size())) {
+        e.cv.wait_for(lk, kLivenessSlice);
+        if (e.completes >= static_cast<int>(e.group.size())) break;
+        const bool doomed =
+            world_.poisoned() ||
+            (world_.death_epoch() != 0 && world_.any_dead(e.group)) ||
+            std::chrono::steady_clock::now() >= deadline;
+        if (doomed) {
+            check_poisoned();
+            return comm_error(w.comm, MPI_ERR_PROC_FAILED);
+        }
+    }
     e.exposed = false;
     e.started.clear();
     e.completes = 0;
@@ -299,6 +371,7 @@ int Rank::PMPI_Win_wait(Win win) {
 int Rank::MPI_Win_lock(int lock_type, int rank, int assert, Win win) {
     const std::int64_t a[] = {lock_type, rank, assert, win};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_lock, a);
+    fault_point("MPI_Win_lock");
     return PMPI_Win_lock(lock_type, rank, assert, win);
 }
 
@@ -313,15 +386,34 @@ int Rank::PMPI_Win_lock(int lock_type, int rank, int assert, Win win) {
     if (rank < 0 || static_cast<std::size_t>(rank) >= cd.group.size())
         return MPI_ERR_RANK;
     const int target = cd.group[static_cast<std::size_t>(rank)];
+    if (world_.death_epoch() != 0 && world_.rank_dead(target))
+        return comm_error(w.comm, MPI_ERR_RANK);
+    const auto deadline = wait_deadline();
     std::unique_lock lk(w.mu);
     PassiveLock& pl = w.locks[target];
-    if (lock_type == MPI_LOCK_EXCLUSIVE) {
-        pl.cv.wait(lk, [&] { return !pl.exclusive && pl.shared_holders == 0; });
-        pl.exclusive = true;
-    } else {
-        pl.cv.wait(lk, [&] { return !pl.exclusive; });
-        ++pl.shared_holders;
+    const auto available = [&] {
+        return lock_type == MPI_LOCK_EXCLUSIVE
+                   ? !pl.exclusive && pl.shared_holders == 0
+                   : !pl.exclusive;
+    };
+    while (!available()) {
+        pl.cv.wait_for(lk, kLivenessSlice);
+        if (available()) break;
+        // A holder that died with the lock held never unlocks; the
+        // deadline is the only way out (holders are not tracked here).
+        const bool doomed =
+            world_.poisoned() ||
+            (world_.death_epoch() != 0 && world_.rank_dead(target)) ||
+            std::chrono::steady_clock::now() >= deadline;
+        if (doomed) {
+            check_poisoned();
+            return comm_error(w.comm, MPI_ERR_OTHER);
+        }
     }
+    if (lock_type == MPI_LOCK_EXCLUSIVE)
+        pl.exclusive = true;
+    else
+        ++pl.shared_holders;
     held_locks_[win].push_back(target);
     return MPI_SUCCESS;
 }
@@ -329,6 +421,7 @@ int Rank::PMPI_Win_lock(int lock_type, int rank, int assert, Win win) {
 int Rank::MPI_Win_unlock(int rank, Win win) {
     const std::int64_t a[] = {rank, win};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Win_unlock, a);
+    fault_point("MPI_Win_unlock");
     return PMPI_Win_unlock(rank, win);
 }
 
@@ -405,6 +498,7 @@ int Rank::MPI_Put(const void* oaddr, int ocount, Datatype odt, int trank,
                               static_cast<std::int64_t>(odt), trank, tdisp, tcount,
                               static_cast<std::int64_t>(tdt), win};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Put, a);
+    fault_point("MPI_Put");
     return PMPI_Put(oaddr, ocount, odt, trank, tdisp, tcount, tdt, win);
 }
 
@@ -442,6 +536,7 @@ int Rank::MPI_Get(void* oaddr, int ocount, Datatype odt, int trank, std::int64_t
                               static_cast<std::int64_t>(odt), trank, tdisp, tcount,
                               static_cast<std::int64_t>(tdt), win};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Get, a);
+    fault_point("MPI_Get");
     return PMPI_Get(oaddr, ocount, odt, trank, tdisp, tcount, tdt, win);
 }
 
@@ -479,6 +574,7 @@ int Rank::MPI_Accumulate(const void* oaddr, int ocount, Datatype odt, int trank,
                               static_cast<std::int64_t>(tdt),
                               static_cast<std::int64_t>(op), win};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Accumulate, a);
+    fault_point("MPI_Accumulate");
     return PMPI_Accumulate(oaddr, ocount, odt, trank, tdisp, tcount, tdt, op, win);
 }
 
@@ -525,6 +621,7 @@ int Rank::MPI_Comm_spawn(const std::string& command, const std::vector<std::stri
     std::int64_t a[] = {0, 0, maxprocs, info, root, c, 0};
     const std::string_view s[] = {command};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Comm_spawn, a, s);
+    fault_point("MPI_Comm_spawn");
     int rc;
     ProfilingLayer* layer = world_.profiling_layer();
     if (layer && !in_profiling_wrapper_) {
@@ -577,13 +674,26 @@ int Rank::PMPI_Comm_spawn(const std::string& command, const std::vector<std::str
 
     // Collective: every parent rank participates, so a late caller
     // shows up as spawn synchronization overhead (paper section 3).
-    barrier_internal(cd);
+    const auto spawn_collective_failed = [&] {
+        if (errcodes) errcodes->assign(static_cast<std::size_t>(maxprocs), MPI_ERR_SPAWN);
+        return comm_error(c, MPI_ERR_PROC_FAILED);
+    };
+    if (!barrier_internal(cd)) return spawn_collective_failed();
     if (my_rank_in(cd) == root)
         cd.spawn_result = world_.do_spawn(cmd, argv, maxprocs, c);
-    barrier_internal(cd);
+    if (!barrier_internal(cd)) return spawn_collective_failed();
+    if (cd.spawn_result == MPI_COMM_NULL) {
+        // The root's do_spawn failed (unknown program or an injected
+        // spawn fault).  Every member sees the same null result after
+        // the rendezvous, so all of them skip the final barrier and
+        // report the failure consistently.
+        *intercomm = MPI_COMM_NULL;
+        if (errcodes) errcodes->assign(static_cast<std::size_t>(maxprocs), MPI_ERR_SPAWN);
+        return MPI_ERR_SPAWN;
+    }
     *intercomm = cd.spawn_result;
     a[6] = *intercomm;
-    barrier_internal(cd);
+    if (!barrier_internal(cd)) return spawn_collective_failed();
     if (errcodes) errcodes->assign(static_cast<std::size_t>(maxprocs), MPI_SUCCESS);
     return MPI_SUCCESS;
 }
@@ -595,6 +705,7 @@ int Rank::MPI_Comm_get_parent(Comm* parent) {
 }
 
 int Rank::MPI_Intercomm_merge(Comm intercomm, bool high, Comm* intracomm) {
+    fault_point("MPI_Intercomm_merge");
     if (!intracomm) return MPI_ERR_ARG;
     if (!world_.comm_valid(intercomm)) return MPI_ERR_COMM;
     CommData& cd = world_.comm(intercomm);
@@ -615,22 +726,39 @@ int Rank::MPI_Intercomm_merge(Comm intercomm, bool high, Comm* intracomm) {
     // intercommunicator); the first process of the merged order
     // creates the handle, everyone picks it up.
     const int total = static_cast<int>(cd.group.size() + cd.remote_group.size());
-    auto full_barrier = [&] {
+    auto full_barrier = [&]() -> bool {
         std::unique_lock lk(cd.bar_mu);
         const std::uint64_t gen = cd.bar_gen;
         if (++cd.bar_count == total) {
             cd.bar_count = 0;
             ++cd.bar_gen;
             cd.bar_cv.notify_all();
-        } else {
-            cd.bar_cv.wait(lk, [&] { return cd.bar_gen != gen; });
+            return true;
         }
+        const auto deadline = wait_deadline();
+        while (cd.bar_gen == gen) {
+            cd.bar_cv.wait_for(lk, kLivenessSlice);
+            if (cd.bar_gen != gen) break;
+            const bool doomed =
+                world_.poisoned() ||
+                (world_.death_epoch() != 0 && world_.any_dead(merged)) ||
+                std::chrono::steady_clock::now() >= deadline;
+            if (doomed) {
+                --cd.bar_count;
+                return false;
+            }
+        }
+        return true;
     };
-    full_barrier();
+    const auto merge_failed = [&] {
+        check_poisoned();
+        return comm_error(intercomm, MPI_ERR_PROC_FAILED);
+    };
+    if (!full_barrier()) return merge_failed();
     if (global_ == merged.front()) cd.spawn_result = world_.create_comm(merged);
-    full_barrier();
+    if (!full_barrier()) return merge_failed();
     *intracomm = cd.spawn_result;
-    full_barrier();
+    if (!full_barrier()) return merge_failed();
     return MPI_SUCCESS;
 }
 

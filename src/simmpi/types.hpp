@@ -66,6 +66,18 @@ inline constexpr int MPI_ERR_NO_SUCH_FILE = 33;
 inline constexpr int MPI_ERR_FILE_EXISTS = 31;
 inline constexpr int MPI_ERR_READ_ONLY = 36;
 inline constexpr int MPI_ERR_ACCESS = 20;
+/// A peer involved in the operation died (the fault-tolerance draft's
+/// error class; collectives over a communicator with a dead member
+/// fail with this on every survivor).
+inline constexpr int MPI_ERR_PROC_FAILED = 75;
+
+/// Per-communicator error handlers (subset: the two predefined ones).
+/// MPI_ERRORS_ARE_FATAL poisons the whole world on the first
+/// fault-class error; MPI_ERRORS_RETURN surfaces MPI_ERR_* codes to
+/// the caller.  simmpi defaults to MPI_ERRORS_RETURN so programs (and
+/// tests) observe degraded results instead of dying.
+inline constexpr int MPI_ERRORS_ARE_FATAL = 1;
+inline constexpr int MPI_ERRORS_RETURN = 2;
 
 enum class Datatype : std::int32_t {
     MPI_DATATYPE_NULL = 0,

@@ -4,6 +4,7 @@
 #include <time.h>
 
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 
 #include "simmpi/rank.hpp"
@@ -88,6 +89,7 @@ void World::register_mpi_functions() {
          "Comm_get_parent", 0},
         {&FuncIds::MPI_Comm_set_name, &FuncIds::PMPI_Comm_set_name, "Comm_set_name", 0},
         {&FuncIds::MPI_Win_set_name, &FuncIds::PMPI_Win_set_name, "Win_set_name", 0},
+        {&FuncIds::MPI_Abort, &FuncIds::PMPI_Abort, "Abort", 0},
     };
     for (const Row& r : rows) {
         const std::uint32_t base = r.cats | Category::MpiApi;
@@ -205,8 +207,36 @@ void World::start_proc(int global_rank, std::vector<std::string> argv) {
                                [this] { return start_released_ || !cfg_.start_paused; });
             }
             instr::set_current_rank(global_rank);
-            Rank rank(*this, global_rank);
-            fn(rank, argv);
+            {
+                Rank rank(*this, global_rank);
+                // A killed/poisoned rank unwinds here instead of
+                // returning; the world records its epitaph and the
+                // thread still exits cleanly (finished stays the
+                // publish flag peers and the tool watch).
+                try {
+                    fn(rank, argv);
+                } catch (const RankKilled& rk) {
+                    if (!rk.recorded) {
+                        Epitaph e;
+                        e.global_rank = global_rank;
+                        e.cause = rk.cause;
+                        e.detail = rk.detail;
+                        const char* lc = p.last_call.load(std::memory_order_relaxed);
+                        e.last_call = lc ? lc : "";
+                        e.calls_made = p.calls_made.load(std::memory_order_relaxed);
+                        record_death(std::move(e));
+                    }
+                } catch (const std::exception& ex) {
+                    Epitaph e;
+                    e.global_rank = global_rank;
+                    e.cause = Epitaph::Cause::Exception;
+                    e.detail = ex.what();
+                    const char* lc = p.last_call.load(std::memory_order_relaxed);
+                    e.last_call = lc ? lc : "";
+                    e.calls_made = p.calls_made.load(std::memory_order_relaxed);
+                    record_death(std::move(e));
+                }
+            }
             timespec ts{};
             if (clock_gettime(p.cpu_clock, &ts) == 0)
                 p.final_cpu_seconds = static_cast<double>(ts.tv_sec) +
@@ -226,8 +256,38 @@ void World::release_start_gate() {
 }
 
 void World::join_all() {
-    // Re-checking threads_.size() each pass also drains threads that
-    // spawn appended while we were joining.
+    // Watchdog phase: wait for every proc to publish finished (dead
+    // ranks do too -- their threads unwind through start_proc) so the
+    // joins below cannot block forever.  On deadline expiry the
+    // per-rank state goes to stderr -- turning a silent CI hang into a
+    // diagnosable dump -- then the world is poisoned so
+    // liveness-checked waits unwedge; a grace period later the process
+    // is aborted if ranks still have not come home.
+    using clock = std::chrono::steady_clock;
+    auto deadline = clock::now() + std::chrono::duration_cast<clock::duration>(
+                                       std::chrono::duration<double>(
+                                           cfg_.join_deadline_seconds));
+    bool dumped = false;
+    for (;;) {
+        {
+            std::lock_guard lk(mu_);
+            if (joined_ >= threads_.size()) return;
+        }
+        if (all_finished()) break;
+        if (clock::now() >= deadline) {
+            if (dumped) {
+                dump_state("join_all grace period expired; aborting");
+                std::abort();
+            }
+            dump_state("join_all deadline expired; poisoning world");
+            poison(MPI_ERR_OTHER);
+            dumped = true;
+            deadline = clock::now() + std::chrono::seconds(10);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    // Join phase; re-checking threads_.size() each pass also drains
+    // threads that spawn appended while we were joining.
     for (;;) {
         std::thread* t = nullptr;
         {
@@ -244,6 +304,98 @@ std::size_t World::proc_count() const { return procs_.size(); }
 
 const ProcData& World::proc(int global_rank) const {
     return procs_.at(global_rank, "simmpi: bad proc rank");
+}
+
+ProcData& World::proc_data(int global_rank) {
+    return procs_.at(global_rank, "simmpi: bad proc rank");
+}
+
+// ---------------------------------------------------------------------------
+// Failure plane
+// ---------------------------------------------------------------------------
+
+bool World::rank_dead(int global_rank) const {
+    const ProcData* p = procs_.find(global_rank);
+    return p && p->dead.load(std::memory_order_acquire);
+}
+
+bool World::rank_unreachable(int global_rank) const {
+    const ProcData* p = procs_.find(global_rank);
+    return p && (p->dead.load(std::memory_order_acquire) ||
+                 p->finished.load(std::memory_order_acquire));
+}
+
+void World::record_death(Epitaph e) {
+    ProcData* p = procs_.find(e.global_rank);
+    if (!p) return;
+    if (p->dead.exchange(true, std::memory_order_acq_rel)) return;  // first death wins
+    {
+        std::lock_guard lk(epitaph_mu_);
+        epitaphs_.push_back(e);
+    }
+    death_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    // Liveness-checked waits poll in short slices, so no broadcast
+    // wakeup is needed; peers notice the dead flag within one slice.
+    std::lock_guard lk(observer_mu_);
+    if (death_observer_) death_observer_(e);
+}
+
+std::vector<Epitaph> World::epitaphs() const {
+    std::lock_guard lk(epitaph_mu_);
+    return epitaphs_;
+}
+
+void World::poison(int errorcode) {
+    int expected = MPI_SUCCESS;
+    poison_code_.compare_exchange_strong(expected, errorcode);
+    poisoned_.store(true, std::memory_order_release);
+    death_epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool World::any_dead(const std::vector<int>& global_ranks) const {
+    for (int g : global_ranks) {
+        const ProcData* p = procs_.find(g);
+        if (p && p->dead.load(std::memory_order_acquire)) return true;
+    }
+    return false;
+}
+
+bool World::comm_has_dead_member(const CommData& cd) const {
+    return any_dead(cd.group) || any_dead(cd.remote_group);
+}
+
+void World::set_death_observer(std::function<void(const Epitaph&)> obs) {
+    std::lock_guard lk(observer_mu_);
+    death_observer_ = std::move(obs);
+}
+
+void World::dump_state(const char* why) const {
+    std::fprintf(stderr, "simmpi: %s\n", why);
+    const int n = static_cast<int>(procs_.size());
+    for (int g = 0; g < n; ++g) {
+        const ProcData& p = *procs_.find(g);
+        const char* lc = p.last_call.load(std::memory_order_relaxed);
+        std::size_t depth = 0, bytes = 0;
+        int msg_w = 0, space_w = 0;
+        {
+            Mailbox& mb = const_cast<World*>(this)->mailbox(g);
+            std::lock_guard lk(mb.mu);
+            depth = mb.queue.size();
+            bytes = mb.bytes_queued;
+            msg_w = mb.msg_waiters;
+            space_w = mb.space_waiters;
+        }
+        std::fprintf(stderr,
+                     "  rank %d (%s on %s): %s, last call %s (#%llu), "
+                     "mailbox %zu msgs / %zu bytes, waiters msg=%d space=%d\n",
+                     g, p.program.c_str(), p.node.c_str(),
+                     p.dead.load() ? "DEAD" : (p.finished.load() ? "finished" : "running"),
+                     lc ? lc : "<none>",
+                     static_cast<unsigned long long>(p.calls_made.load()), depth, bytes,
+                     msg_w, space_w);
+    }
+    if (poisoned())
+        std::fprintf(stderr, "  world poisoned with error code %d\n", poison_code());
 }
 
 std::vector<int> World::live_procs() const {
@@ -286,6 +438,7 @@ Comm World::create_comm(std::vector<int> group, std::vector<int> remote, bool is
         c.group = std::move(group);
         c.remote_group = std::move(remote);
         c.is_inter = is_inter;
+        c.errhandler.store(cfg_.default_errhandler, std::memory_order_relaxed);
     });
 }
 
@@ -524,6 +677,13 @@ void World::set_node_pool(std::vector<std::string> nodes) {
 
 Comm World::do_spawn(const std::string& command, const std::vector<std::string>& argv,
                      int maxprocs, Comm parent_comm) {
+    // Spawn failure is reported, never thrown: an unknown program (the
+    // old path threw std::runtime_error out of the root rank's thread,
+    // std::terminate-ing the process) or an injected fault returns
+    // MPI_COMM_NULL, which the rendezvous in PMPI_Comm_spawn turns
+    // into MPI_ERR_SPAWN on every member of the spawning communicator.
+    if (!has_program(command)) return MPI_COMM_NULL;
+    if (cfg_.faults && cfg_.faults->on_spawn()) return MPI_COMM_NULL;
     // Simulated process-creation overhead: the paper calls out spawn
     // cost as something programmers will want to measure.
     std::this_thread::sleep_for(

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "instr/registry.hpp"
+#include "simmpi/faults.hpp"
 #include "simmpi/handle_table.hpp"
 #include "simmpi/types.hpp"
 
@@ -84,6 +86,21 @@ public:
     void wait() {
         std::unique_lock lk(mu_);
         cv_.wait(lk, [this] { return done_; });
+    }
+    /// Liveness-checked wait: parks in short slices and gives up when
+    /// @p abandoned() turns true (peer died, world poisoned, deadline
+    /// passed).  Returns true when the token was signalled, false when
+    /// the wait was abandoned.  Signals still win races: the predicate
+    /// is only consulted while done_ is false.
+    template <class Abandoned>
+    bool wait_or_abandon(Abandoned&& abandoned) {
+        std::unique_lock lk(mu_);
+        while (!done_) {
+            cv_.wait_for(lk, std::chrono::milliseconds(5));
+            if (done_) break;
+            if (abandoned()) return false;
+        }
+        return true;
     }
 
 private:
@@ -170,6 +187,15 @@ struct ProcData {
     std::atomic<bool> finished{false};
     /// CPU seconds at exit (the thread's clock dies with the thread).
     double final_cpu_seconds = 0.0;
+    /// Set (before finished) when the rank died instead of returning;
+    /// liveness checks read it to unwedge peers.  The epitaph with the
+    /// full story lives in the world's table.
+    std::atomic<bool> dead{false};
+    /// Dispatch-boundary breadcrumbs for the join_all watchdog dump:
+    /// the MPI_* entry point the rank was last seen in (a string
+    /// literal, hence the raw pointer) and how many it has made.
+    std::atomic<const char*> last_call{nullptr};
+    std::atomic<std::uint64_t> calls_made{0};
 };
 
 struct CommData {
@@ -183,6 +209,9 @@ struct CommData {
     /// released when the count reaches the full membership (at which
     /// point no member can still be inside an operation on this comm).
     std::atomic<int> free_count{0};
+    /// Per-communicator error handler (MPI_ERRORS_ARE_FATAL or
+    /// MPI_ERRORS_RETURN), applied to fault-class errors only.
+    std::atomic<int> errhandler{MPI_ERRORS_RETURN};
     std::string name;  ///< guarded by World::name_mu_
 
     // Internal (uninstrumented) central barrier state.
@@ -362,6 +391,7 @@ struct FuncIds {
     F MPI_Comm_get_parent{}, PMPI_Comm_get_parent{};
     F MPI_Comm_set_name{}, PMPI_Comm_set_name{};
     F MPI_Win_set_name{}, PMPI_Win_set_name{};
+    F MPI_Abort{}, PMPI_Abort{};
     F io_read{}, io_write{};        ///< Mpich socket transport ("read"/"write")
     F sysv_recv{}, sysv_send{};     ///< Lam sysv RPI transport
     // MPI-I/O (the remaining MPI-2 feature the paper's conclusion
@@ -420,6 +450,18 @@ public:
         /// a per-operation latency plus a per-byte cost.
         double file_latency_seconds = 50e-6;
         double file_bandwidth_bytes_per_second = 200e6;
+        /// Deterministic fault-injection schedule (null = fault free).
+        std::shared_ptr<FaultPlan> faults;
+        /// Error handler new communicators start with.
+        int default_errhandler = MPI_ERRORS_RETURN;
+        /// Backstop for every liveness-checked blocking wait: a wait
+        /// that makes no progress for this long returns an error even
+        /// when no peer is provably dead (e.g. a lost-message cycle).
+        double wait_deadline_seconds = 30.0;
+        /// join_all watchdog: ranks still unfinished after this long
+        /// get their state dumped to stderr, then the world is
+        /// poisoned (and aborted if that does not unwedge them).
+        double join_deadline_seconds = 120.0;
     };
 
     World(instr::Registry& reg, Config cfg);
@@ -456,10 +498,48 @@ public:
 
     std::size_t proc_count() const;
     const ProcData& proc(int global_rank) const;
+    /// Mutable proc slot, for the dispatch boundary's breadcrumb
+    /// stores (last_call / calls_made) on the owning rank thread.
+    ProcData& proc_data(int global_rank);
     std::vector<int> live_procs() const;
     /// CPU seconds consumed so far by the process's thread.
     double proc_cpu_seconds(int global_rank) const;
     bool all_finished() const;
+
+    // -- Failure plane -----------------------------------------------------
+    /// True when @p global_rank died (epitaph recorded) instead of
+    /// returning normally.
+    bool rank_dead(int global_rank) const;
+    /// True when @p global_rank will never touch MPI again: dead or
+    /// cleanly finished.  Blocking waits bail on unreachable peers
+    /// (after draining anything already queued).
+    bool rank_unreachable(int global_rank) const;
+    /// Bumped on every death and on poison; fault-free wait loops pay
+    /// one relaxed load instead of scanning peers.
+    std::uint64_t death_epoch() const {
+        return death_epoch_.load(std::memory_order_acquire);
+    }
+    /// Records a rank's death: marks the proc dead, appends the
+    /// epitaph, bumps the death epoch, and invokes the death observer
+    /// (tool-side retirement).  Idempotent per rank.
+    void record_death(Epitaph e);
+    std::vector<Epitaph> epitaphs() const;
+    /// MPI_ERRORS_ARE_FATAL / MPI_Abort: marks the whole world doomed.
+    /// Every rank unwinds at its next dispatch or liveness-checked
+    /// wait.
+    void poison(int errorcode);
+    bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+    int poison_code() const { return poison_code_.load(std::memory_order_acquire); }
+    /// True when any member (local or remote group) of @p cd is dead.
+    bool comm_has_dead_member(const CommData& cd) const;
+    bool any_dead(const std::vector<int>& global_ranks) const;
+    /// Observer invoked (serialized, outside World locks) on each rank
+    /// death -- the PerfTool registers here to retire the dead
+    /// process's resources.  Pass nullptr to unregister.
+    void set_death_observer(std::function<void(const Epitaph&)> obs);
+    /// Per-rank state dump (last call, mailbox depth, waiter counts)
+    /// for the join_all watchdog and post-mortem debugging.
+    void dump_state(const char* why) const;
 
     // -- Handles -----------------------------------------------------------
     // Lookups (comm/group/info/win/request/file/mailbox/proc) are
@@ -578,6 +658,17 @@ private:
     std::vector<int> free_win_impl_ids_;
     int next_win_impl_id_ = 0;
     ProfilingLayer* profiling_ = nullptr;
+
+    // Failure plane: the epitaph table and the world-poison flag.
+    mutable std::mutex epitaph_mu_;
+    std::vector<Epitaph> epitaphs_;
+    std::atomic<std::uint64_t> death_epoch_{0};
+    std::atomic<bool> poisoned_{false};
+    std::atomic<int> poison_code_{MPI_SUCCESS};
+    /// Serializes observer invocation against set_death_observer so
+    /// the tool can unregister without racing an in-flight callback.
+    mutable std::mutex observer_mu_;
+    std::function<void(const Epitaph&)> death_observer_;
 };
 
 }  // namespace m2p::simmpi

@@ -1,0 +1,586 @@
+// Fault injection and fault-tolerant behavior: every FaultPlan fault
+// kind (crash, hang, drop, delay, spawn failure) replayed
+// deterministically, survivor error codes checked for consistency,
+// errhandler semantics (MPI_ERRORS_RETURN vs MPI_ERRORS_ARE_FATAL),
+// the join_all watchdog, and the tool-side degradation acceptance
+// scenario (a Performance Consultant run that loses a rank mid-search
+// yet reports survivor findings).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "core/session.hpp"
+#include "pperfmark/pperfmark.hpp"
+#include "simmpi/faults.hpp"
+#include "simmpi/launcher.hpp"
+#include "simmpi/rank.hpp"
+#include "simmpi/world.hpp"
+
+namespace m2p {
+namespace {
+
+using simmpi::CollAlgo;
+using simmpi::Comm;
+using simmpi::Epitaph;
+using simmpi::FaultPlan;
+using simmpi::Flavor;
+using simmpi::LaunchPlan;
+using simmpi::Rank;
+using simmpi::World;
+using simmpi::MPI_BYTE;
+using simmpi::MPI_COMM_NULL;
+using simmpi::MPI_ERR_OTHER;
+using simmpi::MPI_ERR_PROC_FAILED;
+using simmpi::MPI_ERR_RANK;
+using simmpi::MPI_ERR_SPAWN;
+using simmpi::MPI_ERRORS_ARE_FATAL;
+using simmpi::MPI_INFO_NULL;
+using simmpi::MPI_INT;
+using simmpi::MPI_SUCCESS;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/// Per-rank observations collected from inside the program bodies
+/// (rank threads), read back on the test thread after join_all.
+struct Observed {
+    std::mutex mu;
+    std::map<int, int> first_error;     ///< rank -> first non-success rc
+    std::map<int, double> elapsed;      ///< rank -> seconds in the probed call
+    void error(int me, int rc) {
+        std::lock_guard lk(mu);
+        first_error.emplace(me, rc);
+    }
+    void timing(int me, double s) {
+        std::lock_guard lk(mu);
+        elapsed[me] = s;
+    }
+};
+
+World::Config faulted_cfg(Flavor f, CollAlgo algo) {
+    World::Config cfg;
+    cfg.flavor = f;
+    cfg.coll_algo = algo;
+    // Tight enough that a wrongly-deadlocked test fails fast, loose
+    // enough that liveness detection (ms) is clearly what unwedges us.
+    cfg.wait_deadline_seconds = 5.0;
+    cfg.join_deadline_seconds = 30.0;
+    cfg.faults = std::make_shared<FaultPlan>();
+    return cfg;
+}
+
+void run_ranks(World& world, const std::string& prog, int n) {
+    LaunchPlan plan;
+    for (int i = 0; i < n; ++i)
+        plan.placements.push_back("node" + std::to_string(i % 2));
+    launch(world, prog, {}, plan);
+    world.join_all();
+}
+
+// ---------------------------------------------------------------------------
+// Crash in a collective: every survivor sees the same MPI_ERR_PROC_FAILED,
+// across both collective algorithms and both flavors.
+// ---------------------------------------------------------------------------
+
+void crash_in_collective(Flavor f, CollAlgo algo) {
+    instr::Registry reg;
+    World::Config cfg = faulted_cfg(f, algo);
+    // Rank 1 dies entering its 3rd allreduce (calls: Init, 2 allreduces, boom).
+    cfg.faults->kill_at_call(1, 4);
+    World world(reg, cfg);
+    Observed obs;
+    world.register_program("app", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        int rc = MPI_SUCCESS;
+        for (int i = 0; i < 200 && rc == MPI_SUCCESS; ++i) {
+            int in = me, out = 0;
+            rc = r.MPI_Allreduce(&in, &out, 1, MPI_INT, simmpi::MPI_SUM,
+                                 r.MPI_COMM_WORLD());
+        }
+        obs.error(me, rc);
+        r.MPI_Finalize();
+    });
+    run_ranks(world, "app", 4);
+
+    const auto epitaphs = world.epitaphs();
+    ASSERT_EQ(epitaphs.size(), 1u);
+    EXPECT_EQ(epitaphs[0].global_rank, 1);
+    EXPECT_EQ(epitaphs[0].cause, Epitaph::Cause::Killed);
+    EXPECT_EQ(epitaphs[0].calls_made, 4u);
+    EXPECT_EQ(epitaphs[0].last_call, "MPI_Allreduce");
+
+    // The victim never reports; every survivor reports the same code.
+    EXPECT_EQ(obs.first_error.count(1), 0u);
+    for (int me : {0, 2, 3}) {
+        ASSERT_EQ(obs.first_error.count(me), 1u) << "rank " << me << " hung?";
+        EXPECT_EQ(obs.first_error[me], MPI_ERR_PROC_FAILED) << "rank " << me;
+    }
+    EXPECT_FALSE(world.poisoned());  // MPI_ERRORS_RETURN is the default
+}
+
+TEST(Faults, CrashInCollectiveLamFlat) {
+    crash_in_collective(Flavor::Lam, CollAlgo::Flat);
+}
+TEST(Faults, CrashInCollectiveLamTree) {
+    crash_in_collective(Flavor::Lam, CollAlgo::Tree);
+}
+TEST(Faults, CrashInCollectiveMpichFlat) {
+    crash_in_collective(Flavor::Mpich, CollAlgo::Flat);
+}
+TEST(Faults, CrashInCollectiveMpichTree) {
+    crash_in_collective(Flavor::Mpich, CollAlgo::Tree);
+}
+
+// ---------------------------------------------------------------------------
+// Crash seen from point-to-point: named-peer operations fail with
+// MPI_ERR_RANK, both on the receive and the (eager and rendezvous)
+// send side, without waiting for the deadline.
+// ---------------------------------------------------------------------------
+
+TEST(Faults, DeadPeerFailsRecvAndSendWithErrRank) {
+    instr::Registry reg;
+    World::Config cfg = faulted_cfg(Flavor::Lam, CollAlgo::Tree);
+    cfg.faults->kill_at_call(1, 2);  // rank 1 dies right after MPI_Init
+    World world(reg, cfg);
+    Observed obs;
+    world.register_program("app", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        if (me == 0) {
+            const auto t0 = std::chrono::steady_clock::now();
+            int v = 0;
+            const int rc = r.MPI_Recv(&v, 1, MPI_INT, 1, 7, r.MPI_COMM_WORLD(),
+                                      nullptr);
+            obs.error(me, rc);
+            obs.timing(me, seconds_since(t0));
+            // Sends to the dead peer fail fast too.
+            EXPECT_EQ(r.MPI_Send(&v, 1, MPI_INT, 1, 8, r.MPI_COMM_WORLD()),
+                      MPI_ERR_RANK);
+        } else {
+            r.MPI_Barrier(r.MPI_COMM_WORLD());  // the call it dies in
+        }
+        r.MPI_Finalize();
+    });
+    run_ranks(world, "app", 2);
+
+    ASSERT_EQ(obs.first_error.count(0), 1u);
+    EXPECT_EQ(obs.first_error[0], MPI_ERR_RANK);
+    // Liveness detection, not the 5 s deadline, unwedged the receive.
+    EXPECT_LT(obs.elapsed[0], 2.0);
+    ASSERT_EQ(world.epitaphs().size(), 1u);
+    EXPECT_EQ(world.epitaphs()[0].global_rank, 1);
+}
+
+TEST(Faults, RendezvousSenderUnwedgesWhenReceiverDies) {
+    instr::Registry reg;
+    World::Config cfg = faulted_cfg(Flavor::Lam, CollAlgo::Tree);
+    cfg.faults->kill_at_call(1, 2);  // receiver dies entering its MPI_Recv
+    World world(reg, cfg);
+    Observed obs;
+    // Payload above the eager limit: the sender blocks on delivery.
+    const int kBytes = 64 * 1024;
+    world.register_program("app", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        std::vector<char> buf(static_cast<std::size_t>(kBytes), 'r');
+        if (me == 0) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const int rc =
+                r.MPI_Send(buf.data(), kBytes, MPI_BYTE, 1, 7, r.MPI_COMM_WORLD());
+            obs.error(me, rc);
+            obs.timing(me, seconds_since(t0));
+        } else {
+            r.MPI_Recv(buf.data(), kBytes, MPI_BYTE, 0, 7, r.MPI_COMM_WORLD(),
+                       nullptr);
+        }
+        r.MPI_Finalize();
+    });
+    run_ranks(world, "app", 2);
+
+    ASSERT_EQ(obs.first_error.count(0), 1u);
+    EXPECT_EQ(obs.first_error[0], MPI_ERR_RANK);
+    EXPECT_LT(obs.elapsed[0], 2.0);  // liveness check, not deadline
+}
+
+// ---------------------------------------------------------------------------
+// Hang injection: the stuck rank publishes its death *before* wedging,
+// so survivors unwedge via the liveness check long before the hang (or
+// any deadline) expires.
+// ---------------------------------------------------------------------------
+
+TEST(Faults, HangInBarrierUnwedgesSurvivorsViaLiveness) {
+    constexpr double kHangSeconds = 1.0;
+    instr::Registry reg;
+    World::Config cfg = faulted_cfg(Flavor::Lam, CollAlgo::Tree);
+    cfg.wait_deadline_seconds = 10.0;  // deadline clearly not the rescuer
+    cfg.faults->hang_in_call(1, "MPI_Barrier", kHangSeconds);
+    World world(reg, cfg);
+    Observed obs;
+    world.register_program("app", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        const auto t0 = std::chrono::steady_clock::now();
+        const int rc = r.MPI_Barrier(r.MPI_COMM_WORLD());
+        obs.error(me, rc);
+        obs.timing(me, seconds_since(t0));
+        r.MPI_Finalize();
+    });
+    const auto t0 = std::chrono::steady_clock::now();
+    run_ranks(world, "app", 4);
+    // join_all still has to wait out the hung thread itself.
+    EXPECT_GE(seconds_since(t0), kHangSeconds * 0.9);
+
+    const auto epitaphs = world.epitaphs();
+    ASSERT_EQ(epitaphs.size(), 1u);
+    EXPECT_EQ(epitaphs[0].global_rank, 1);
+    EXPECT_EQ(epitaphs[0].cause, Epitaph::Cause::Hung);
+    EXPECT_EQ(epitaphs[0].last_call, "MPI_Barrier");
+    for (int me : {0, 2, 3}) {
+        ASSERT_EQ(obs.first_error.count(me), 1u);
+        EXPECT_EQ(obs.first_error[me], MPI_ERR_PROC_FAILED) << "rank " << me;
+        // Unwedged well before the hang ended.
+        EXPECT_LT(obs.elapsed[me], kHangSeconds * 0.75) << "rank " << me;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lossy links: drops surface as the receiver's deadline error (the
+// sender cannot tell), and a retransmission gets through; delays stall
+// the wire but deliver intact.
+// ---------------------------------------------------------------------------
+
+TEST(Faults, DroppedMessageHitsReceiverDeadline) {
+    instr::Registry reg;
+    World::Config cfg = faulted_cfg(Flavor::Lam, CollAlgo::Tree);
+    cfg.wait_deadline_seconds = 0.8;
+    cfg.faults->drop_message(0, 1);
+    World world(reg, cfg);
+    Observed obs;
+    world.register_program("app", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        int v = 41;
+        if (me == 0) {
+            // Silent loss: the eager sender still sees success.
+            obs.error(me, r.MPI_Send(&v, 1, MPI_INT, 1, 7, r.MPI_COMM_WORLD()));
+        } else {
+            const auto t0 = std::chrono::steady_clock::now();
+            const int rc =
+                r.MPI_Recv(&v, 1, MPI_INT, 0, 7, r.MPI_COMM_WORLD(), nullptr);
+            obs.error(me, rc);
+            obs.timing(me, seconds_since(t0));
+        }
+        r.MPI_Finalize();
+    });
+    run_ranks(world, "app", 2);
+
+    EXPECT_EQ(obs.first_error[0], MPI_SUCCESS);
+    EXPECT_EQ(obs.first_error[1], MPI_ERR_OTHER);
+    EXPECT_GE(obs.elapsed[1], 0.7);
+    EXPECT_TRUE(world.epitaphs().empty());  // nobody died; link fault only
+}
+
+TEST(Faults, DroppedMessageThenRetransmitDelivers) {
+    instr::Registry reg;
+    World::Config cfg = faulted_cfg(Flavor::Lam, CollAlgo::Tree);
+    cfg.faults->drop_message(0, 1, /*nth_match=*/1);
+    World world(reg, cfg);
+    Observed obs;
+    world.register_program("app", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        if (me == 0) {
+            int first = 41, second = 42;
+            r.MPI_Send(&first, 1, MPI_INT, 1, 7, r.MPI_COMM_WORLD());   // dropped
+            r.MPI_Send(&second, 1, MPI_INT, 1, 7, r.MPI_COMM_WORLD());  // arrives
+        } else {
+            int v = 0;
+            EXPECT_EQ(r.MPI_Recv(&v, 1, MPI_INT, 0, 7, r.MPI_COMM_WORLD(), nullptr),
+                      MPI_SUCCESS);
+            obs.error(me, v);  // reuse the slot to carry the payload back
+        }
+        r.MPI_Finalize();
+    });
+    run_ranks(world, "app", 2);
+    EXPECT_EQ(obs.first_error[1], 42);
+}
+
+TEST(Faults, DelayedMessageStallsWireButArrivesIntact) {
+    constexpr double kDelay = 0.3;
+    instr::Registry reg;
+    World::Config cfg = faulted_cfg(Flavor::Lam, CollAlgo::Tree);
+    cfg.faults->delay_message(0, 1, /*nth_match=*/1, kDelay);
+    World world(reg, cfg);
+    Observed obs;
+    world.register_program("app", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        if (me == 0) {
+            int v = 43;
+            const auto t0 = std::chrono::steady_clock::now();
+            EXPECT_EQ(r.MPI_Send(&v, 1, MPI_INT, 1, 7, r.MPI_COMM_WORLD()),
+                      MPI_SUCCESS);
+            obs.timing(me, seconds_since(t0));
+        } else {
+            int v = 0;
+            const auto t0 = std::chrono::steady_clock::now();
+            EXPECT_EQ(r.MPI_Recv(&v, 1, MPI_INT, 0, 7, r.MPI_COMM_WORLD(), nullptr),
+                      MPI_SUCCESS);
+            obs.timing(me, seconds_since(t0));
+            obs.error(me, v);
+        }
+        r.MPI_Finalize();
+    });
+    run_ranks(world, "app", 2);
+
+    EXPECT_EQ(obs.first_error[1], 43);
+    // The delay stalls inside the sender's transport (a slow wire), so
+    // both sides observe it.
+    EXPECT_GE(obs.elapsed[0], kDelay * 0.8);
+    EXPECT_GE(obs.elapsed[1], kDelay * 0.8);
+}
+
+// ---------------------------------------------------------------------------
+// Spawn failure: every parent gets MPI_ERR_SPAWN with errcodes filled,
+// no rank deadlocks in the spawn rendezvous, and the *next* spawn works.
+// ---------------------------------------------------------------------------
+
+TEST(Faults, SpawnFailureIsCollectiveAndRecoverable) {
+    instr::Registry reg;
+    World::Config cfg = faulted_cfg(Flavor::Lam, CollAlgo::Tree);
+    cfg.faults->fail_spawn(/*nth_spawn=*/1);
+    World world(reg, cfg);
+    Observed first, second;
+    std::atomic<int> children{0};
+    world.register_program("child", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        ++children;
+        r.MPI_Finalize();
+    });
+    world.register_program("parent", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        Comm inter = MPI_COMM_NULL;
+        std::vector<int> errcodes;
+        first.error(me, r.MPI_Comm_spawn("child", {}, 2, MPI_INFO_NULL, 0,
+                                         r.MPI_COMM_WORLD(), &inter, &errcodes));
+        EXPECT_EQ(inter, MPI_COMM_NULL);
+        ASSERT_EQ(errcodes.size(), 2u);
+        for (int e : errcodes) EXPECT_EQ(e, MPI_ERR_SPAWN);
+        // The world is intact; a second attempt succeeds everywhere.
+        second.error(me, r.MPI_Comm_spawn("child", {}, 2, MPI_INFO_NULL, 0,
+                                          r.MPI_COMM_WORLD(), &inter, &errcodes));
+        EXPECT_NE(inter, MPI_COMM_NULL);
+        r.MPI_Finalize();
+    });
+    run_ranks(world, "parent", 2);
+
+    for (int me : {0, 1}) {
+        EXPECT_EQ(first.first_error[me], MPI_ERR_SPAWN) << "rank " << me;
+        EXPECT_EQ(second.first_error[me], MPI_SUCCESS) << "rank " << me;
+    }
+    EXPECT_EQ(children.load(), 2);
+    EXPECT_TRUE(world.epitaphs().empty());
+}
+
+TEST(Faults, SpawnOfUnknownProgramFailsInsteadOfThrowing) {
+    // Satellite (b): the old implementation threw from inside the rank
+    // thread when the spawned command was not registered; now it is a
+    // proper collective spawn failure.
+    instr::Registry reg;
+    World world(reg, faulted_cfg(Flavor::Lam, CollAlgo::Tree));
+    Observed obs;
+    world.register_program("parent", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        Comm inter = MPI_COMM_NULL;
+        std::vector<int> errcodes;
+        obs.error(me, r.MPI_Comm_spawn("no-such-program", {}, 2, MPI_INFO_NULL, 0,
+                                       r.MPI_COMM_WORLD(), &inter, &errcodes));
+        EXPECT_EQ(inter, MPI_COMM_NULL);
+        r.MPI_Finalize();
+    });
+    run_ranks(world, "parent", 2);
+    for (int me : {0, 1}) EXPECT_EQ(obs.first_error[me], MPI_ERR_SPAWN);
+    EXPECT_TRUE(world.epitaphs().empty());
+    EXPECT_TRUE(world.all_finished());
+}
+
+TEST(Faults, LaunchOfUnknownProgramThrowsOnLaunchingThread) {
+    instr::Registry reg;
+    World world(reg, {});
+    LaunchPlan plan;
+    plan.placements = {"n0"};
+    EXPECT_THROW(launch(world, "never-registered", {}, plan), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Errhandler semantics: MPI_Abort and MPI_ERRORS_ARE_FATAL poison the
+// world; every rank terminates and join_all still completes.
+// ---------------------------------------------------------------------------
+
+TEST(Faults, AbortPoisonsWorldAndOutcomeIsAborted) {
+    instr::Registry reg;
+    World world(reg, faulted_cfg(Flavor::Lam, CollAlgo::Tree));
+    world.register_program("app", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        if (me == 2) {
+            r.MPI_Abort(r.MPI_COMM_WORLD(), 42);
+            return;  // unreachable: MPI_Abort does not return
+        }
+        int rc = MPI_SUCCESS;
+        for (int i = 0; i < 200 && rc == MPI_SUCCESS; ++i)
+            rc = r.MPI_Barrier(r.MPI_COMM_WORLD());
+        r.MPI_Finalize();
+    });
+    run_ranks(world, "app", 3);
+
+    EXPECT_TRUE(world.poisoned());
+    EXPECT_EQ(world.poison_code(), 42);
+    const auto epitaphs = world.epitaphs();
+    int aborted = 0;
+    for (const auto& e : epitaphs)
+        if (e.cause == Epitaph::Cause::Aborted) ++aborted;
+    EXPECT_EQ(aborted, 1);
+
+    const core::RunOutcome o = core::outcome_from_world(world);
+    EXPECT_EQ(o.status, core::RunOutcome::Status::Aborted);
+    EXPECT_EQ(o.abort_code, 42);
+    EXPECT_FALSE(o.ok());
+}
+
+TEST(Faults, ErrorsAreFatalTerminatesEveryRank) {
+    instr::Registry reg;
+    World::Config cfg = faulted_cfg(Flavor::Lam, CollAlgo::Tree);
+    cfg.default_errhandler = MPI_ERRORS_ARE_FATAL;
+    cfg.faults->kill_at_call(1, 3);
+    World world(reg, cfg);
+    world.register_program("app", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int rc = MPI_SUCCESS;
+        for (int i = 0; i < 200 && rc == MPI_SUCCESS; ++i)
+            rc = r.MPI_Barrier(r.MPI_COMM_WORLD());
+        // Unreachable under MPI_ERRORS_ARE_FATAL: the first failing
+        // barrier terminates the rank instead of returning.
+        ADD_FAILURE() << "rank survived a fatal-errhandler failure, rc=" << rc;
+    });
+    run_ranks(world, "app", 3);
+
+    EXPECT_TRUE(world.poisoned());
+    const auto epitaphs = world.epitaphs();
+    EXPECT_EQ(epitaphs.size(), 3u);  // the victim + both poisoned survivors
+    int killed = 0, poisoned = 0;
+    for (const auto& e : epitaphs) {
+        if (e.cause == Epitaph::Cause::Killed) ++killed;
+        if (e.cause == Epitaph::Cause::Poisoned) ++poisoned;
+    }
+    EXPECT_EQ(killed, 1);
+    EXPECT_EQ(poisoned, 2);
+}
+
+// ---------------------------------------------------------------------------
+// join_all watchdog (satellite a): a rank wedged outside any MPI call
+// trips the join deadline, which poisons the world instead of hanging
+// the harness forever.
+// ---------------------------------------------------------------------------
+
+TEST(Faults, JoinAllWatchdogPoisonsStragglers) {
+    instr::Registry reg;
+    World::Config cfg;
+    cfg.join_deadline_seconds = 0.3;
+    World world(reg, cfg);
+    world.register_program("straggler", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        // Rank 1 wedges outside MPI where no liveness check can see it;
+        // only the watchdog's poison (observed at the next MPI call)
+        // brings it home.
+        if (me == 1) std::this_thread::sleep_for(std::chrono::milliseconds(900));
+        r.MPI_Barrier(r.MPI_COMM_WORLD());
+        r.MPI_Finalize();
+    });
+    const auto t0 = std::chrono::steady_clock::now();
+    run_ranks(world, "straggler", 2);
+    EXPECT_LT(seconds_since(t0), 10.0);
+    EXPECT_TRUE(world.poisoned());
+    EXPECT_TRUE(world.all_finished());
+}
+
+// ---------------------------------------------------------------------------
+// Tool-side degradation (the acceptance scenario): a Performance
+// Consultant session over a PPerfMark program loses a rank mid-run,
+// completes without hanging, reports RanksLost with the epitaph,
+// retires the dead process in the resource hierarchy, and still has
+// findings for the survivors.
+// ---------------------------------------------------------------------------
+
+TEST(Faults, ConsultantRunSurvivesKilledRank) {
+    simmpi::World::Config wcfg;
+    wcfg.wait_deadline_seconds = 2.0;
+    wcfg.join_deadline_seconds = 60.0;
+    wcfg.faults = std::make_shared<FaultPlan>();
+    // Client rank 1 dies a few thousand sends into the run, mid-search.
+    wcfg.faults->kill_at_call(1, 5000);
+    core::Session s(Flavor::Lam, {}, wcfg);
+    ppm::Params p;
+    p.iterations = 150000;
+    ppm::register_all(s.world(), p);
+
+    core::PerformanceConsultant::Options opts;
+    opts.eval_interval = 0.06;
+    opts.max_search_seconds = 6.0;
+    const core::PCReport r = s.run_with_consultant(ppm::kSmallMessages, 6, opts);
+
+    EXPECT_EQ(r.outcome.status, core::RunOutcome::Status::RanksLost);
+    ASSERT_EQ(r.outcome.epitaphs.size(), 1u);
+    EXPECT_EQ(r.outcome.epitaphs[0].global_rank, 1);
+    EXPECT_EQ(r.outcome.epitaphs[0].cause, Epitaph::Cause::Killed);
+
+    // The dead process is retired in the hierarchy (greyed out, and
+    // excluded from further PC refinement).
+    EXPECT_TRUE(s.tool().hierarchy().get("/Process/p1").retired);
+    EXPECT_FALSE(s.tool().hierarchy().get("/Process/p2").retired);
+
+    // Survivor findings still come out, flagged as a degraded search.
+    EXPECT_GT(r.experiments_run, 0);
+    const std::string rendered = core::PerformanceConsultant::render_condensed(r);
+    EXPECT_NE(rendered.find("degraded search"), std::string::npos) << rendered;
+}
+
+TEST(Faults, SessionRunReportsRanksLost) {
+    simmpi::World::Config wcfg;
+    wcfg.wait_deadline_seconds = 2.0;
+    wcfg.faults = std::make_shared<FaultPlan>();
+    wcfg.faults->kill_at_call(2, 10);
+    core::Session s(Flavor::Lam, {}, wcfg);
+    ppm::Params p;
+    p.iterations = 50;
+    ppm::register_all(s.world(), p);
+    const core::RunOutcome o = s.run(ppm::kRandomBarrier, 4);
+    EXPECT_EQ(o.status, core::RunOutcome::Status::RanksLost);
+    ASSERT_EQ(o.epitaphs.size(), 1u);
+    EXPECT_EQ(o.epitaphs[0].global_rank, 2);
+    EXPECT_FALSE(o.ok());
+}
+
+}  // namespace
+}  // namespace m2p
