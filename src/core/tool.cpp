@@ -435,6 +435,10 @@ std::int64_t PerfTool::window_uid_of_path(const std::string& path) const {
     return -1;
 }
 
+simmpi::RmaCounterSnapshot PerfTool::window_rma_counters(simmpi::Win handle) const {
+    return world_.win_rma_counters(handle);
+}
+
 // ---------------------------------------------------------------------------
 // Spawn support
 // ---------------------------------------------------------------------------

@@ -108,6 +108,10 @@ public:
     std::string window_path(std::int64_t uid) const;
     /// Uid of the window whose resource path is @p path (-1 unknown).
     std::int64_t window_uid_of_path(const std::string& path) const;
+    /// The runtime's epoch-batched Table-1 counter totals for a window
+    /// (op/byte counts and sync aggregates; valid after MPI_Win_free
+    /// too, so consoles can show final per-window figures).
+    simmpi::RmaCounterSnapshot window_rma_counters(simmpi::Win handle) const;
 
     // -- Focus helpers -----------------------------------------------------
     /// Global ranks selected by the focus's machine/process axes.

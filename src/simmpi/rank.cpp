@@ -171,6 +171,10 @@ int Rank::MPI_Finalize() {
 int Rank::PMPI_Finalize() {
     instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Finalize);
     if (!initialized_ || finalized_) return MPI_ERR_OTHER;
+    // Push any Table-1 RMA counters still staged thread-locally (a
+    // window touched after its last sync call) to the shared counters
+    // before the rank stops running MPI code.
+    rma_flush_all_stages();
     finalized_ = true;
     return MPI_SUCCESS;
 }

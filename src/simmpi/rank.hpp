@@ -311,9 +311,37 @@ private:
                       int count, Datatype dt, Status* st, bool collective);
     /// Charges the simulated filesystem cost for an @p bytes transfer.
     void file_io_cost(std::int64_t bytes);
-    int rma_transfer_now(WinData& w, PendingRmaOp op);
+
+    // ---- RMA data plane ----------------------------------------------------
     int rma_check(const WinData& w, int ocount, Datatype odt, int trank,
                   std::int64_t tdisp, int tcount, Datatype tdt) const;
+    /// Executes (or, for Mpich start epochs, stages) one Put/Get/
+    /// Accumulate against @p trank's shard.  Immediate ops are
+    /// direct-apply: one memcpy between the user buffer and the target
+    /// window memory under that shard's mutex, no staging copy.
+    int rma_run_op(Win win, WinData& w, PendingRmaOp::Kind kind, const void* src,
+                   void* dst, int trank, std::int64_t tdisp, Datatype dt, Op op,
+                   std::int64_t nbytes);
+    /// Blocks until @p target's exposure epoch admits this origin,
+    /// then records the origin in its started set.  Token-parked with
+    /// the PR 3 liveness contract.
+    int rma_wait_exposure(WinData& w, WinShard& sh, int target);
+    /// Thread-local Table-1 staging for one window: ops bump these
+    /// plain fields; sync calls flush them to WinCounters.
+    struct RmaStage {
+        std::int64_t put_ops = 0, get_ops = 0, acc_ops = 0;
+        std::int64_t put_bytes = 0, get_bytes = 0, acc_bytes = 0;
+    };
+    /// RAII sync-call epilogue (defined in rank_rma.cpp): times the
+    /// call and flushes the staged counters on destruction.
+    class RmaSyncScope;
+    /// Flushes this rank's staged counters for @p win and charges one
+    /// sync op plus @p wait_ns of sync wait (passive- or active-target
+    /// bucket) to the window's tool-visible counters.
+    void rma_sync_flush(Win win, bool passive, std::int64_t wait_ns);
+    /// Residual flush for windows never synchronized again before
+    /// MPI_Finalize (counters must not lose trailing ops).
+    void rma_flush_all_stages();
 
     World& world_;
     int global_;
@@ -326,6 +354,9 @@ private:
     std::map<Win, std::vector<int>> start_epochs_;
     /// Passive-target locks currently held: win -> target globals.
     std::map<Win, std::vector<int>> held_locks_;
+    /// Per-window staged Table-1 counters (this rank's ops since its
+    /// last sync call on that window).  Owned by the rank thread.
+    std::map<Win, RmaStage> rma_stage_;
 };
 
 }  // namespace m2p::simmpi

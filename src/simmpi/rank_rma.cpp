@@ -24,7 +24,99 @@ std::int64_t as_arg(const void* p) {
     return static_cast<std::int64_t>(reinterpret_cast<std::uintptr_t>(p));
 }
 
+std::int64_t ns_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/// Grants the lock to the longest eligible prefix of the FIFO waiter
+/// queue: the head waiter if it wants exclusive access (and no shared
+/// holders remain), or every consecutive shared waiter at the head.
+/// Caller holds the shard mutex; returned waiters must be signalled
+/// after it is released.
+std::vector<std::shared_ptr<LockWaiter>> grant_passive_locked(PassiveLock& pl) {
+    std::vector<std::shared_ptr<LockWaiter>> out;
+    if (pl.waiters.empty() || pl.exclusive_holder != -1) return out;
+    if (pl.waiters.front()->lock_type == MPI_LOCK_EXCLUSIVE) {
+        if (!pl.shared_holders.empty()) return out;
+        auto head = pl.waiters.front();
+        pl.waiters.pop_front();
+        head->granted = true;
+        pl.exclusive_holder = head->origin;
+        out.push_back(std::move(head));
+        return out;
+    }
+    while (!pl.waiters.empty() && pl.waiters.front()->lock_type == MPI_LOCK_SHARED) {
+        auto head = pl.waiters.front();
+        pl.waiters.pop_front();
+        head->granted = true;
+        pl.shared_holders.push_back(head->origin);
+        out.push_back(std::move(head));
+    }
+    return out;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Epoch-batched Table-1 accounting
+// ---------------------------------------------------------------------------
+
+/// Sync-call epilogue: constructed after argument validation in each
+/// RMA synchronization body, it times the call and -- exactly once per
+/// sync call, including error and fault-unwind exits -- flushes the
+/// origin's staged op/byte counters and the measured wait into the
+/// window's tool-visible counters.
+class Rank::RmaSyncScope {
+public:
+    RmaSyncScope(Rank& r, Win win, bool passive)
+        : r_(r), win_(win), passive_(passive), t0_(std::chrono::steady_clock::now()) {}
+    RmaSyncScope(const RmaSyncScope&) = delete;
+    RmaSyncScope& operator=(const RmaSyncScope&) = delete;
+    ~RmaSyncScope() { r_.rma_sync_flush(win_, passive_, ns_since(t0_)); }
+
+private:
+    Rank& r_;
+    Win win_;
+    bool passive_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+void Rank::rma_sync_flush(Win win, bool passive, std::int64_t wait_ns) {
+    // Handle-table slots persist after MPI_Win_free, so flushing is
+    // safe for freed windows (tools read final totals there too).
+    WinCounters& c = world_.win(win).counters;
+    const auto it = rma_stage_.find(win);
+    if (it != rma_stage_.end()) {
+        const RmaStage& s = it->second;
+        if (s.put_ops) c.put_ops.fetch_add(s.put_ops, std::memory_order_acq_rel);
+        if (s.get_ops) c.get_ops.fetch_add(s.get_ops, std::memory_order_acq_rel);
+        if (s.acc_ops) c.acc_ops.fetch_add(s.acc_ops, std::memory_order_acq_rel);
+        if (s.put_bytes) c.put_bytes.fetch_add(s.put_bytes, std::memory_order_acq_rel);
+        if (s.get_bytes) c.get_bytes.fetch_add(s.get_bytes, std::memory_order_acq_rel);
+        if (s.acc_bytes) c.acc_bytes.fetch_add(s.acc_bytes, std::memory_order_acq_rel);
+        rma_stage_.erase(it);
+    }
+    c.sync_ops.fetch_add(1, std::memory_order_acq_rel);
+    if (wait_ns > 0) {
+        (passive ? c.pt_sync_wait_ns : c.at_sync_wait_ns)
+            .fetch_add(wait_ns, std::memory_order_acq_rel);
+    }
+}
+
+void Rank::rma_flush_all_stages() {
+    for (const auto& [win, s] : rma_stage_) {
+        WinCounters& c = world_.win(win).counters;
+        if (s.put_ops) c.put_ops.fetch_add(s.put_ops, std::memory_order_acq_rel);
+        if (s.get_ops) c.get_ops.fetch_add(s.get_ops, std::memory_order_acq_rel);
+        if (s.acc_ops) c.acc_ops.fetch_add(s.acc_ops, std::memory_order_acq_rel);
+        if (s.put_bytes) c.put_bytes.fetch_add(s.put_bytes, std::memory_order_acq_rel);
+        if (s.get_bytes) c.get_bytes.fetch_add(s.get_bytes, std::memory_order_acq_rel);
+        if (s.acc_bytes) c.acc_bytes.fetch_add(s.acc_bytes, std::memory_order_acq_rel);
+    }
+    rma_stage_.clear();
+}
 
 // ---------------------------------------------------------------------------
 // Window lifetime
@@ -57,6 +149,7 @@ int Rank::PMPI_Win_create(void* base, std::int64_t size, int disp_unit, Info inf
     // Window creation is collective; the barriers below are where the
     // synchronization overhead of a late-arriving process shows up
     // (paper Fig 1, top left).
+    const auto t0 = std::chrono::steady_clock::now();
     if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
     if (me == 0) {
         cd.win_result = world_.create_win(c);
@@ -71,13 +164,22 @@ int Rank::PMPI_Win_create(void* base, std::int64_t size, int disp_unit, Info inf
     if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
     const Win h = cd.win_result;
     {
+        // Each member populates its own shard.  The map mutates only
+        // here, between the handle rendezvous and the final creation
+        // barrier: every later shard() lookup happens-after all
+        // inserts, so the read side needs no lock.
         WinData& w = world_.win(h);
         std::lock_guard lk(w.mu);
-        w.members[global_] = WinMember{static_cast<std::byte*>(base), size, disp_unit};
+        WinShard& sh = w.shards[global_];
+        sh.has_member = true;
+        sh.member = WinMember{static_cast<std::byte*>(base), size, disp_unit};
     }
     if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
     *win = h;
     a[5] = h;
+    // MPI_Win_create is part of the general RMA synchronization metric
+    // (paper section 4.2.1); charge it now that the handle exists.
+    rma_sync_flush(h, /*passive=*/false, ns_since(t0));
     return MPI_SUCCESS;
 }
 
@@ -95,14 +197,36 @@ int Rank::PMPI_Win_free(Win* win) {
     if (!world_.win_valid(*win)) return MPI_ERR_WIN;
     WinData& w = world_.win(*win);
     CommData& cd = world_.comm(w.comm);
+    RmaSyncScope sync(*this, *win, /*passive=*/false);
+    // Freeing a window while any rank holds or awaits a passive-target
+    // lock on it is erroneous; refuse before entering the collective
+    // barrier so the caller gets MPI_ERR_WIN instead of wedging the
+    // lock queue (and the other members) forever.
+    for (auto& [gr, sh] : w.shards) {
+        std::lock_guard lk(sh.mu);
+        if (sh.lock.held() || !sh.lock.waiters.empty()) return MPI_ERR_WIN;
+    }
     // The MPI-2 standard requires barrier semantics here (paper
     // section 4.2.1: MPI_Win_free belongs in the general RMA
     // synchronization metric for exactly this reason).
     if (!barrier_internal(cd)) return comm_error(w.comm, MPI_ERR_PROC_FAILED);
     if (my_rank_in(cd) == 0) {
-        std::lock_guard lk(w.mu);
         w.freed = true;
         world_.release_win_impl_id(w.impl_id);
+        // Lockers that slipped past the pre-barrier scan park with a
+        // freed-window liveness check, but drain them eagerly anyway:
+        // hand each an explicit abort verdict instead of leaving them
+        // to the 5 ms slice.
+        std::vector<std::shared_ptr<LockWaiter>> aborted;
+        for (auto& [gr, sh] : w.shards) {
+            std::lock_guard lk(sh.mu);
+            for (auto& lw : sh.lock.waiters) {
+                lw->aborted = true;
+                aborted.push_back(lw);
+            }
+            sh.lock.waiters.clear();
+        }
+        for (auto& lw : aborted) lw->token->signal();
     }
     if (!barrier_internal(cd)) return comm_error(w.comm, MPI_ERR_PROC_FAILED);
     *win = MPI_WIN_NULL;
@@ -126,6 +250,7 @@ int Rank::PMPI_Win_fence(int assert, Win win) {
     if (!world_.win_valid(win)) return MPI_ERR_WIN;
     WinData& w = world_.win(win);
     CommData& cd = world_.comm(w.comm);
+    RmaSyncScope sync(*this, win, /*passive=*/false);
     const int n = static_cast<int>(cd.group.size());
     if (n <= 1) return MPI_SUCCESS;
 
@@ -151,30 +276,50 @@ int Rank::PMPI_Win_fence(int assert, Win win) {
         return PMPI_Barrier(w.comm);
     }
     // MPICH2: internal fence counter; the waiting time is charged to
-    // MPI_Win_fence itself.
+    // MPI_Win_fence itself.  The closing arrival signals each parked
+    // rank's token exactly once -- no shared condition variable, no
+    // thundering herd of n-1 spurious wakeups per fence.
     const auto deadline = wait_deadline();
-    std::unique_lock lk(w.mu);
-    const std::uint64_t gen = w.fence_gen;
-    if (++w.fence_count == n) {
-        w.fence_count = 0;
-        ++w.fence_gen;
-        w.fence_cv.notify_all();
-    } else {
-        while (w.fence_gen == gen) {
-            w.fence_cv.wait_for(lk, kLivenessSlice);
-            if (w.fence_gen != gen) break;
-            const bool doomed =
-                world_.poisoned() ||
-                (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd)) ||
-                std::chrono::steady_clock::now() >= deadline;
-            if (doomed) {
-                // Withdraw from the fence so a later (post-fault) fence
-                // over the survivors is not off by one.
-                --w.fence_count;
-                check_poisoned();
-                return comm_error(w.comm, MPI_ERR_PROC_FAILED);
-            }
+    std::shared_ptr<DeliveryToken> tok;
+    std::vector<std::shared_ptr<DeliveryToken>> wake;
+    {
+        std::lock_guard lk(w.fence_mu);
+        if (++w.fence_count == n) {
+            w.fence_count = 0;
+            ++w.fence_gen;
+            wake = std::move(w.fence_waiters);
+            w.fence_waiters.clear();
+        } else {
+            tok = std::make_shared<DeliveryToken>();
+            w.fence_waiters.push_back(tok);
         }
+    }
+    if (!tok) {
+        // This rank closed the fence; wake the parked ranks (outside
+        // fence_mu, so next-fence arrivals are not serialized behind
+        // the wakeup loop) and go.
+        for (auto& t : wake) t->signal();
+        return MPI_SUCCESS;
+    }
+    const bool signalled = tok->wait_or_abandon([&] {
+        return world_.poisoned() ||
+               (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd)) ||
+               std::chrono::steady_clock::now() >= deadline;
+    });
+    if (!signalled) {
+        std::lock_guard lk(w.fence_mu);
+        const auto it = std::find(w.fence_waiters.begin(), w.fence_waiters.end(), tok);
+        if (it == w.fence_waiters.end()) {
+            // The closing rank took our token between the abandon
+            // decision and this lock: the fence completed after all.
+            return MPI_SUCCESS;
+        }
+        // Withdraw from the fence so a later (post-fault) fence over
+        // the survivors is not off by one.
+        w.fence_waiters.erase(it);
+        --w.fence_count;
+        check_poisoned();
+        return comm_error(w.comm, MPI_ERR_PROC_FAILED);
     }
     return MPI_SUCCESS;
 }
@@ -186,12 +331,53 @@ int Rank::MPI_Win_start(Group grp, int assert, Win win) {
     return PMPI_Win_start(grp, assert, win);
 }
 
+/// Blocks until @p target's exposure epoch is open to this origin and
+/// marks the origin started in it.  Origins park on per-origin tokens
+/// registered in the shard's post_waiters; MPI_Win_post signals each
+/// exactly once.  A wakeup that does not satisfy this origin (a post
+/// for a group excluding it) re-registers and parks again.
+int Rank::rma_wait_exposure(WinData& w, WinShard& sh, int target) {
+    const auto deadline = wait_deadline();
+    for (;;) {
+        std::shared_ptr<DeliveryToken> tok;
+        {
+            std::lock_guard lk(sh.mu);
+            Exposure& e = sh.exposure;
+            if (e.exposed && contains(e.group, global_) &&
+                !contains(e.started, global_)) {
+                e.started.push_back(global_);
+                return MPI_SUCCESS;
+            }
+            tok = std::make_shared<DeliveryToken>();
+            e.post_waiters.push_back(tok);
+        }
+        const bool signalled = tok->wait_or_abandon([&] {
+            return world_.poisoned() ||
+                   (world_.death_epoch() != 0 && world_.rank_unreachable(target)) ||
+                   std::chrono::steady_clock::now() >= deadline;
+        });
+        if (!signalled) {
+            std::lock_guard lk(sh.mu);
+            auto& pw = sh.exposure.post_waiters;
+            const auto it = std::find(pw.begin(), pw.end(), tok);
+            if (it != pw.end()) {
+                pw.erase(it);
+                check_poisoned();
+                return comm_error(w.comm, MPI_ERR_PROC_FAILED);
+            }
+            // A post raced the abandon decision; loop and re-check.
+        }
+    }
+}
+
 int Rank::PMPI_Win_start(Group grp, int assert, Win win) {
     const std::int64_t a[] = {grp, assert, win};
     instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Win_start, a);
     if (!world_.win_valid(win)) return MPI_ERR_WIN;
     if (!world_.group_valid(grp)) return MPI_ERR_GROUP;
     if (start_epochs_.count(win)) return MPI_ERR_WIN;  // already in an access epoch
+    WinData& w = world_.win(win);
+    RmaSyncScope sync(*this, win, /*passive=*/false);
     const std::vector<int> targets = world_.group(grp).global_ranks;
     start_epochs_[win] = targets;
     if (world_.flavor() == Flavor::Mpich) return MPI_SUCCESS;  // defers to complete
@@ -200,30 +386,18 @@ int Rank::PMPI_Win_start(Group grp, int assert, Win win) {
     // executed on every target -- one of the two placements the MPI-2
     // standard allows, and the source of the per-implementation
     // differences in the paper's winscpwsync findings (Fig 21).
-    WinData& w = world_.win(win);
-    const auto deadline = wait_deadline();
-    std::unique_lock lk(w.mu);
     for (int t : targets) {
-        Exposure& e = w.exposures[t];
-        const auto exposed_to_us = [&] {
-            return e.exposed && contains(e.group, global_) && !contains(e.started, global_);
-        };
-        while (!exposed_to_us()) {
-            e.cv.wait_for(lk, kLivenessSlice);
-            if (exposed_to_us()) break;
-            const bool doomed =
-                world_.poisoned() ||
-                (world_.death_epoch() != 0 && world_.rank_unreachable(t)) ||
-                std::chrono::steady_clock::now() >= deadline;
-            if (doomed) {
-                // A target that will never post: abandon the access
-                // epoch so a retry does not see it half-open.
-                start_epochs_.erase(win);
-                check_poisoned();
-                return comm_error(w.comm, MPI_ERR_PROC_FAILED);
-            }
+        WinShard* sh = w.shard(t);
+        if (!sh) {
+            start_epochs_.erase(win);
+            return MPI_ERR_RANK;
         }
-        e.started.push_back(global_);
+        if (const int rc = rma_wait_exposure(w, *sh, t); rc != MPI_SUCCESS) {
+            // A target that will never post: abandon the access epoch
+            // so a retry does not see it half-open.
+            start_epochs_.erase(win);
+            return rc;
+        }
     }
     return MPI_SUCCESS;
 }
@@ -245,40 +419,38 @@ int Rank::PMPI_Win_complete(Win win) {
     start_epochs_.erase(it);
 
     WinData& w = world_.win(win);
-    const auto deadline = wait_deadline();
-    std::unique_lock lk(w.mu);
+    RmaSyncScope sync(*this, win, /*passive=*/false);
     for (int t : targets) {
-        Exposure& e = w.exposures[t];
+        WinShard* sh = w.shard(t);
+        if (!sh) return MPI_ERR_RANK;
         if (world_.flavor() == Flavor::Mpich) {
-            // MPICH2 deferred the post-wait to here; flush queued
-            // transfers once the target's exposure epoch is open.
-            const auto exposed_to_us = [&] {
-                return e.exposed && contains(e.group, global_) &&
-                       !contains(e.started, global_);
-            };
-            while (!exposed_to_us()) {
-                e.cv.wait_for(lk, kLivenessSlice);
-                if (exposed_to_us()) break;
-                const bool doomed =
-                    world_.poisoned() ||
-                    (world_.death_epoch() != 0 && world_.rank_unreachable(t)) ||
-                    std::chrono::steady_clock::now() >= deadline;
-                if (doomed) {
-                    check_poisoned();
-                    return comm_error(w.comm, MPI_ERR_PROC_FAILED);
-                }
-            }
-            e.started.push_back(global_);
-            auto& ops = w.deferred[global_];
-            for (auto op_it = ops.begin(); op_it != ops.end();) {
-                if (op_it->target_global == t) {
-                    WinMember& m = w.members.at(op_it->target_global);
+            // MPICH2 deferred the post-wait to here; flush this
+            // origin's staged transfers once the target's exposure
+            // epoch is open.
+            if (const int rc = rma_wait_exposure(w, *sh, t); rc != MPI_SUCCESS)
+                return rc;
+        }
+        std::shared_ptr<DeliveryToken> wake;
+        {
+            std::lock_guard lk(sh->mu);
+            Exposure& e = sh->exposure;
+            if (world_.flavor() == Flavor::Mpich) {
+                auto& ops = sh->staged;
+                for (auto op_it = ops.begin(); op_it != ops.end();) {
+                    if (op_it->origin_global != global_) {
+                        ++op_it;
+                        continue;
+                    }
+                    const WinMember& m = sh->member;
                     std::byte* at = m.base + op_it->target_disp * m.disp_unit;
                     switch (op_it->kind) {
                         case PendingRmaOp::Kind::Put:
                             std::memcpy(at, op_it->payload.data(), op_it->payload.size());
                             break;
                         case PendingRmaOp::Kind::Get:
+                            // Single copy: the target bytes land in the
+                            // origin buffer here, on the origin's own
+                            // thread -- no payload staging for gets.
                             std::memcpy(op_it->origin_addr, at,
                                         static_cast<std::size_t>(op_it->nbytes));
                             break;
@@ -290,13 +462,16 @@ int Rank::PMPI_Win_complete(Win win) {
                             break;
                     }
                     op_it = ops.erase(op_it);
-                } else {
-                    ++op_it;
                 }
             }
+            ++e.completes;
+            // Hand the target's wait token over (if it is parked); the
+            // waiter re-checks its predicate and re-registers when the
+            // epoch is not yet fully completed.
+            wake = std::move(e.wait_token);
+            e.wait_token = nullptr;
         }
-        ++e.completes;
-        e.cv.notify_all();
+        if (wake) wake->signal();
     }
     return MPI_SUCCESS;
 }
@@ -314,15 +489,22 @@ int Rank::PMPI_Win_post(Group grp, int assert, Win win) {
     if (!world_.win_valid(win)) return MPI_ERR_WIN;
     if (!world_.group_valid(grp)) return MPI_ERR_GROUP;
     WinData& w = world_.win(win);
-    std::lock_guard lk(w.mu);
-    Exposure& e = w.exposures[global_];
-    if (e.exposed) return MPI_ERR_WIN;  // exposure epoch already open
-    ++e.gen;
-    e.exposed = true;
-    e.group = world_.group(grp).global_ranks;
-    e.started.clear();
-    e.completes = 0;
-    e.cv.notify_all();
+    WinShard* sh = w.shard(global_);
+    if (!sh) return MPI_ERR_WIN;
+    std::vector<std::shared_ptr<DeliveryToken>> wake;
+    {
+        std::lock_guard lk(sh->mu);
+        Exposure& e = sh->exposure;
+        if (e.exposed) return MPI_ERR_WIN;  // exposure epoch already open
+        e.exposed = true;
+        e.group = world_.group(grp).global_ranks;
+        e.started.clear();
+        e.completes = 0;
+        wake.swap(e.post_waiters);
+    }
+    // Each parked origin gets exactly one targeted signal; origins the
+    // new epoch does not admit re-park on a fresh token.
+    for (auto& t : wake) t->signal();
     return MPI_SUCCESS;
 }
 
@@ -338,30 +520,48 @@ int Rank::PMPI_Win_wait(Win win) {
     instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Win_wait, a);
     if (!world_.win_valid(win)) return MPI_ERR_WIN;
     WinData& w = world_.win(win);
-    std::unique_lock lk(w.mu);
-    Exposure& e = w.exposures[global_];
-    if (!e.exposed) return MPI_ERR_WIN;  // no matching MPI_Win_post
+    WinShard* sh = w.shard(global_);
+    if (!sh) return MPI_ERR_WIN;
+    RmaSyncScope sync(*this, win, /*passive=*/false);
     // Blocks until all origins in the post group have completed --
     // "MPI_Win_wait will block until all outstanding MPI_Win_complete
-    // calls have been issued" (paper section 4.2.1).
+    // calls have been issued" (paper section 4.2.1).  The target parks
+    // on its own token; each MPI_Win_complete hands it back for a
+    // re-check, the last one satisfies it.
     const auto deadline = wait_deadline();
-    while (e.completes < static_cast<int>(e.group.size())) {
-        e.cv.wait_for(lk, kLivenessSlice);
-        if (e.completes >= static_cast<int>(e.group.size())) break;
-        const bool doomed =
-            world_.poisoned() ||
-            (world_.death_epoch() != 0 && world_.any_dead(e.group)) ||
-            std::chrono::steady_clock::now() >= deadline;
-        if (doomed) {
-            check_poisoned();
-            return comm_error(w.comm, MPI_ERR_PROC_FAILED);
+    std::vector<int> post_group;
+    for (;;) {
+        std::shared_ptr<DeliveryToken> tok;
+        {
+            std::lock_guard lk(sh->mu);
+            Exposure& e = sh->exposure;
+            if (!e.exposed) return MPI_ERR_WIN;  // no matching MPI_Win_post
+            if (e.completes >= static_cast<int>(e.group.size())) {
+                e.exposed = false;
+                e.started.clear();
+                e.completes = 0;
+                e.wait_token = nullptr;
+                return MPI_SUCCESS;
+            }
+            post_group = e.group;
+            tok = std::make_shared<DeliveryToken>();
+            e.wait_token = tok;
+        }
+        const bool signalled = tok->wait_or_abandon([&] {
+            return world_.poisoned() ||
+                   (world_.death_epoch() != 0 && world_.any_dead(post_group)) ||
+                   std::chrono::steady_clock::now() >= deadline;
+        });
+        if (!signalled) {
+            std::lock_guard lk(sh->mu);
+            if (sh->exposure.wait_token == tok) {
+                sh->exposure.wait_token = nullptr;
+                check_poisoned();
+                return comm_error(w.comm, MPI_ERR_PROC_FAILED);
+            }
+            // A complete raced the abandon decision; loop and re-check.
         }
     }
-    e.exposed = false;
-    e.started.clear();
-    e.completes = 0;
-    e.cv.notify_all();
-    return MPI_SUCCESS;
 }
 
 // ---------------------------------------------------------------------------
@@ -388,32 +588,71 @@ int Rank::PMPI_Win_lock(int lock_type, int rank, int assert, Win win) {
     const int target = cd.group[static_cast<std::size_t>(rank)];
     if (world_.death_epoch() != 0 && world_.rank_dead(target))
         return comm_error(w.comm, MPI_ERR_RANK);
-    const auto deadline = wait_deadline();
-    std::unique_lock lk(w.mu);
-    PassiveLock& pl = w.locks[target];
-    const auto available = [&] {
-        return lock_type == MPI_LOCK_EXCLUSIVE
-                   ? !pl.exclusive && pl.shared_holders == 0
-                   : !pl.exclusive;
-    };
-    while (!available()) {
-        pl.cv.wait_for(lk, kLivenessSlice);
-        if (available()) break;
-        // A holder that died with the lock held never unlocks; the
-        // deadline is the only way out (holders are not tracked here).
-        const bool doomed =
-            world_.poisoned() ||
-            (world_.death_epoch() != 0 && world_.rank_dead(target)) ||
-            std::chrono::steady_clock::now() >= deadline;
-        if (doomed) {
-            check_poisoned();
-            return comm_error(w.comm, MPI_ERR_OTHER);
+    WinShard* sh = w.shard(target);
+    if (!sh) return MPI_ERR_RANK;
+    RmaSyncScope sync(*this, win, /*passive=*/true);
+    std::shared_ptr<LockWaiter> me;
+    {
+        std::lock_guard lk(sh->mu);
+        PassiveLock& pl = sh->lock;
+        // Immediate grant only when compatible AND nobody is queued:
+        // an empty queue keeps the fast path one mutex hop; a
+        // non-empty one means jumping it would starve the head waiter.
+        const bool compatible = lock_type == MPI_LOCK_EXCLUSIVE
+                                    ? !pl.held()
+                                    : pl.exclusive_holder == -1;
+        if (compatible && pl.waiters.empty()) {
+            if (lock_type == MPI_LOCK_EXCLUSIVE)
+                pl.exclusive_holder = global_;
+            else
+                pl.shared_holders.push_back(global_);
+            held_locks_[win].push_back(target);
+            return MPI_SUCCESS;
         }
+        me = std::make_shared<LockWaiter>();
+        me->origin = global_;
+        me->lock_type = lock_type;
+        pl.waiters.push_back(me);
     }
-    if (lock_type == MPI_LOCK_EXCLUSIVE)
-        pl.exclusive = true;
-    else
-        ++pl.shared_holders;
+    const auto deadline = wait_deadline();
+    const auto doomed = [&] {
+        if (world_.poisoned()) return true;
+        if (w.freed.load(std::memory_order_acquire)) return true;
+        if (std::chrono::steady_clock::now() >= deadline) return true;
+        if (world_.death_epoch() != 0) {
+            if (world_.rank_dead(target)) return true;
+            // A holder that died with the lock held will never unlock.
+            std::lock_guard lk(sh->mu);
+            const PassiveLock& pl = sh->lock;
+            if (pl.exclusive_holder != -1 && world_.rank_dead(pl.exclusive_holder))
+                return true;
+            if (world_.any_dead(pl.shared_holders)) return true;
+        }
+        return false;
+    };
+    const bool signalled = me->token->wait_or_abandon(doomed);
+    if (!signalled) {
+        std::lock_guard lk(sh->mu);
+        if (!me->granted && !me->aborted) {
+            auto& q = sh->lock.waiters;
+            const auto it = std::find(q.begin(), q.end(), me);
+            if (it != q.end()) q.erase(it);
+            check_poisoned();
+            if (w.freed.load(std::memory_order_acquire)) return MPI_ERR_WIN;
+            bool holder_died = world_.rank_dead(target);
+            if (!holder_died && world_.death_epoch() != 0) {
+                const PassiveLock& pl = sh->lock;
+                holder_died = (pl.exclusive_holder != -1 &&
+                               world_.rank_dead(pl.exclusive_holder)) ||
+                              world_.any_dead(pl.shared_holders);
+            }
+            return comm_error(w.comm, holder_died ? MPI_ERR_RANK : MPI_ERR_OTHER);
+        }
+        // The grant (or abort) raced the abandon decision; fall through
+        // to read the verdict.
+    }
+    if (me->aborted) return MPI_ERR_WIN;  // window freed under the waiter
+    // Granted: the granter already installed us as holder.
     held_locks_[win].push_back(target);
     return MPI_SUCCESS;
 }
@@ -439,13 +678,25 @@ int Rank::PMPI_Win_unlock(int rank, Win win) {
     auto ht = std::find(held->second.begin(), held->second.end(), target);
     if (ht == held->second.end()) return MPI_ERR_WIN;  // unlock without lock
     held->second.erase(ht);
-    std::lock_guard lk(w.mu);
-    PassiveLock& pl = w.locks[target];
-    if (pl.exclusive)
-        pl.exclusive = false;
-    else if (pl.shared_holders > 0)
-        --pl.shared_holders;
-    pl.cv.notify_all();
+    WinShard* sh = w.shard(target);
+    if (!sh) return MPI_ERR_RANK;
+    RmaSyncScope sync(*this, win, /*passive=*/true);
+    std::vector<std::shared_ptr<LockWaiter>> granted;
+    {
+        std::lock_guard lk(sh->mu);
+        PassiveLock& pl = sh->lock;
+        if (pl.exclusive_holder == global_) {
+            pl.exclusive_holder = -1;
+        } else {
+            const auto sit =
+                std::find(pl.shared_holders.begin(), pl.shared_holders.end(), global_);
+            if (sit != pl.shared_holders.end()) pl.shared_holders.erase(sit);
+        }
+        granted = grant_passive_locked(pl);
+    }
+    // FIFO handoff: wake exactly the waiters that now hold the lock
+    // (one exclusive, or the shared run at the head) -- nobody else.
+    for (auto& lw : granted) lw->token->signal();
     return MPI_SUCCESS;
 }
 
@@ -467,26 +718,74 @@ int Rank::rma_check(const WinData& w, int ocount, Datatype odt, int trank,
     return MPI_SUCCESS;
 }
 
-int Rank::rma_transfer_now(WinData& w, PendingRmaOp op) {
-    std::lock_guard lk(w.mu);
-    auto mit = w.members.find(op.target_global);
-    if (mit == w.members.end()) return MPI_ERR_WIN;
-    WinMember& m = mit->second;
-    const std::int64_t off = op.target_disp * m.disp_unit;
-    if (off < 0 || off + op.nbytes > m.size) return MPI_ERR_ARG;
-    std::byte* at = m.base + off;
-    switch (op.kind) {
+int Rank::rma_run_op(Win win, WinData& w, PendingRmaOp::Kind kind, const void* src,
+                     void* dst, int trank, std::int64_t tdisp, Datatype dt, Op op,
+                     std::int64_t nbytes) {
+    const int target = world_.comm(w.comm).group[static_cast<std::size_t>(trank)];
+    WinShard* sh = w.shard(target);
+    if (!sh) return MPI_ERR_RANK;
+    const auto ep = start_epochs_.find(win);
+    const bool defer = world_.flavor() == Flavor::Mpich && ep != start_epochs_.end() &&
+                       contains(ep->second, target);
+    if (defer) {
+        // Mpich start epoch: the transfer happens at MPI_Win_complete.
+        // Put/Accumulate snapshot the user buffer now (the standard
+        // lets the user reuse it after the call returns); Get stages
+        // no payload at all -- the single copy target -> origin runs
+        // at complete time on this origin's thread.
+        PendingRmaOp pop;
+        pop.kind = kind;
+        pop.origin_global = global_;
+        pop.origin_addr = static_cast<std::byte*>(dst);
+        pop.target_disp = tdisp;
+        pop.nbytes = nbytes;
+        pop.dt = dt;
+        pop.op = op;
+        if (kind != PendingRmaOp::Kind::Get && nbytes > 0)
+            pop.payload.assign(static_cast<const std::byte*>(src),
+                               static_cast<const std::byte*>(src) + nbytes);
+        std::lock_guard lk(sh->mu);
+        if (!sh->has_member) return MPI_ERR_WIN;
+        const std::int64_t off = tdisp * sh->member.disp_unit;
+        if (off < 0 || off + nbytes > sh->member.size) return MPI_ERR_ARG;
+        sh->staged.push_back(std::move(pop));
+    } else {
+        // Direct apply: one memcpy between the user buffer and the
+        // target's window memory under that target's shard mutex --
+        // the zero-copy path, no staging allocation, no second copy.
+        std::lock_guard lk(sh->mu);
+        if (!sh->has_member) return MPI_ERR_WIN;
+        const std::int64_t off = tdisp * sh->member.disp_unit;
+        if (off < 0 || off + nbytes > sh->member.size) return MPI_ERR_ARG;
+        std::byte* at = sh->member.base + off;
+        switch (kind) {
+            case PendingRmaOp::Kind::Put:
+                if (nbytes > 0) std::memcpy(at, src, static_cast<std::size_t>(nbytes));
+                break;
+            case PendingRmaOp::Kind::Get:
+                if (nbytes > 0) std::memcpy(dst, at, static_cast<std::size_t>(nbytes));
+                break;
+            case PendingRmaOp::Kind::Accumulate:
+                reduce_combine(at, src, static_cast<int>(nbytes / datatype_size(dt)),
+                               dt, op);
+                break;
+        }
+    }
+    // Table-1 accounting: thread-local staging only; the next sync
+    // call on this window flushes it to the shared counters.
+    RmaStage& stg = rma_stage_[win];
+    switch (kind) {
         case PendingRmaOp::Kind::Put:
-            if (op.nbytes > 0) std::memcpy(at, op.payload.data(), op.payload.size());
+            ++stg.put_ops;
+            stg.put_bytes += nbytes;
             break;
         case PendingRmaOp::Kind::Get:
-            if (op.nbytes > 0)
-                std::memcpy(op.origin_addr, at, static_cast<std::size_t>(op.nbytes));
+            ++stg.get_ops;
+            stg.get_bytes += nbytes;
             break;
         case PendingRmaOp::Kind::Accumulate:
-            reduce_combine(at, op.payload.data(),
-                           static_cast<int>(op.nbytes / datatype_size(op.dt)), op.dt,
-                           op.op);
+            ++stg.acc_ops;
+            stg.acc_bytes += nbytes;
             break;
     }
     return MPI_SUCCESS;
@@ -513,21 +812,9 @@ int Rank::PMPI_Put(const void* oaddr, int ocount, Datatype odt, int trank,
     if (const int rc = rma_check(w, ocount, odt, trank, tdisp, tcount, tdt);
         rc != MPI_SUCCESS)
         return rc;
-    PendingRmaOp op;
-    op.kind = PendingRmaOp::Kind::Put;
-    op.target_global = world_.comm(w.comm).group[static_cast<std::size_t>(trank)];
-    op.target_disp = tdisp;
-    op.nbytes = static_cast<std::int64_t>(ocount) * datatype_size(odt);
-    op.payload.assign(static_cast<const std::byte*>(oaddr),
-                      static_cast<const std::byte*>(oaddr) + op.nbytes);
-    const auto ep = start_epochs_.find(win);
-    if (world_.flavor() == Flavor::Mpich && ep != start_epochs_.end() &&
-        contains(ep->second, op.target_global)) {
-        std::lock_guard lk(w.mu);
-        w.deferred[global_].push_back(std::move(op));
-        return MPI_SUCCESS;
-    }
-    return rma_transfer_now(w, std::move(op));
+    return rma_run_op(win, w, PendingRmaOp::Kind::Put, oaddr, nullptr, trank, tdisp,
+                      odt, MPI_OP_NULL,
+                      static_cast<std::int64_t>(ocount) * datatype_size(odt));
 }
 
 int Rank::MPI_Get(void* oaddr, int ocount, Datatype odt, int trank, std::int64_t tdisp,
@@ -551,20 +838,9 @@ int Rank::PMPI_Get(void* oaddr, int ocount, Datatype odt, int trank, std::int64_
     if (const int rc = rma_check(w, ocount, odt, trank, tdisp, tcount, tdt);
         rc != MPI_SUCCESS)
         return rc;
-    PendingRmaOp op;
-    op.kind = PendingRmaOp::Kind::Get;
-    op.target_global = world_.comm(w.comm).group[static_cast<std::size_t>(trank)];
-    op.origin_addr = static_cast<std::byte*>(oaddr);
-    op.target_disp = tdisp;
-    op.nbytes = static_cast<std::int64_t>(ocount) * datatype_size(odt);
-    const auto ep = start_epochs_.find(win);
-    if (world_.flavor() == Flavor::Mpich && ep != start_epochs_.end() &&
-        contains(ep->second, op.target_global)) {
-        std::lock_guard lk(w.mu);
-        w.deferred[global_].push_back(std::move(op));
-        return MPI_SUCCESS;
-    }
-    return rma_transfer_now(w, std::move(op));
+    return rma_run_op(win, w, PendingRmaOp::Kind::Get, nullptr, oaddr, trank, tdisp,
+                      odt, MPI_OP_NULL,
+                      static_cast<std::int64_t>(ocount) * datatype_size(odt));
 }
 
 int Rank::MPI_Accumulate(const void* oaddr, int ocount, Datatype odt, int trank,
@@ -592,23 +868,9 @@ int Rank::PMPI_Accumulate(const void* oaddr, int ocount, Datatype odt, int trank
         rc != MPI_SUCCESS)
         return rc;
     if (odt != tdt) return MPI_ERR_TYPE;
-    PendingRmaOp pop;
-    pop.kind = PendingRmaOp::Kind::Accumulate;
-    pop.target_global = world_.comm(w.comm).group[static_cast<std::size_t>(trank)];
-    pop.target_disp = tdisp;
-    pop.nbytes = static_cast<std::int64_t>(ocount) * datatype_size(odt);
-    pop.dt = odt;
-    pop.op = op;
-    pop.payload.assign(static_cast<const std::byte*>(oaddr),
-                       static_cast<const std::byte*>(oaddr) + pop.nbytes);
-    const auto ep = start_epochs_.find(win);
-    if (world_.flavor() == Flavor::Mpich && ep != start_epochs_.end() &&
-        contains(ep->second, pop.target_global)) {
-        std::lock_guard lk(w.mu);
-        w.deferred[global_].push_back(std::move(pop));
-        return MPI_SUCCESS;
-    }
-    return rma_transfer_now(w, std::move(pop));
+    return rma_run_op(win, w, PendingRmaOp::Kind::Accumulate, oaddr, nullptr, trank,
+                      tdisp, odt, op,
+                      static_cast<std::int64_t>(ocount) * datatype_size(odt));
 }
 
 // ---------------------------------------------------------------------------

@@ -525,6 +525,25 @@ void World::release_win_impl_id(int impl_id) {
     free_win_impl_ids_.push_back(impl_id);
 }
 
+RmaCounterSnapshot World::win_rma_counters(Win w) {
+    WinData& wd = win(w);
+    const WinCounters& c = wd.counters;
+    RmaCounterSnapshot s;
+    s.put_ops = c.put_ops.load(std::memory_order_acquire);
+    s.get_ops = c.get_ops.load(std::memory_order_acquire);
+    s.acc_ops = c.acc_ops.load(std::memory_order_acquire);
+    s.put_bytes = c.put_bytes.load(std::memory_order_acquire);
+    s.get_bytes = c.get_bytes.load(std::memory_order_acquire);
+    s.acc_bytes = c.acc_bytes.load(std::memory_order_acquire);
+    s.sync_ops = c.sync_ops.load(std::memory_order_acquire);
+    s.rma_ops = s.put_ops + s.get_ops + s.acc_ops;
+    s.rma_bytes = s.put_bytes + s.get_bytes + s.acc_bytes;
+    s.at_sync_wait = static_cast<double>(c.at_sync_wait_ns.load(std::memory_order_acquire)) * 1e-9;
+    s.pt_sync_wait = static_cast<double>(c.pt_sync_wait_ns.load(std::memory_order_acquire)) * 1e-9;
+    s.sync_wait = s.at_sync_wait + s.pt_sync_wait;
+    return s;
+}
+
 Request World::create_request(RequestData rd) {
     {
         std::lock_guard lk(request_free_mu_);

@@ -238,21 +238,46 @@ struct InfoData {
     std::atomic<bool> freed{false};
 };
 
-/// Exposure epoch for post/start/complete/wait on one target.
+/// Exposure epoch for post/start/complete/wait on one target.  All
+/// parking is token-based: origins blocked in MPI_Win_start /
+/// MPI_Win_complete each register their own DeliveryToken in
+/// post_waiters (MPI_Win_post signals each exactly once), and the
+/// target blocked in MPI_Win_wait parks on wait_token (the last
+/// MPI_Win_complete signals it) -- no condition variable is ever
+/// broadcast to a herd of unrelated waiters.
 struct Exposure {
-    std::uint64_t gen = 0;
     bool exposed = false;
     std::vector<int> group;      ///< origin global ranks allowed this epoch
     std::vector<int> started;    ///< origins that matched this epoch
     int completes = 0;
-    std::condition_variable cv;
+    /// Target parked in MPI_Win_wait for this epoch (at most one).
+    std::shared_ptr<DeliveryToken> wait_token;
+    /// Origins parked until this target's exposure epoch opens.
+    std::vector<std::shared_ptr<DeliveryToken>> post_waiters;
 };
 
-/// Passive-target lock state for one target member.
+/// One parked MPI_Win_lock caller: an MCS-style queue node carrying
+/// its own completion token.  The granter sets `granted` (or the
+/// window-free drain sets `aborted`) under the shard mutex before
+/// signalling, so the woken locker reads an unambiguous verdict.
+struct LockWaiter {
+    int origin = -1;
+    int lock_type = 0;
+    bool granted = false;
+    bool aborted = false;  ///< window freed underneath the waiter
+    std::shared_ptr<DeliveryToken> token = std::make_shared<DeliveryToken>();
+};
+
+/// Passive-target lock state for one target member: explicit holder
+/// identity (so waiters can bail when a holder dies with the lock
+/// held) plus a FIFO waiter queue.  Unlock hands the lock to exactly
+/// the head waiter -- or the maximal run of shared waiters at the
+/// head -- instead of notify_all'ing every parked locker to re-fight.
 struct PassiveLock {
-    bool exclusive = false;
-    int shared_holders = 0;
-    std::condition_variable cv;
+    int exclusive_holder = -1;        ///< global rank, -1 when not held
+    std::vector<int> shared_holders;  ///< global ranks (repeats allowed)
+    std::deque<std::shared_ptr<LockWaiter>> waiters;
+    bool held() const { return exclusive_holder != -1 || !shared_holders.empty(); }
 };
 
 struct WinMember {
@@ -265,15 +290,50 @@ struct WinMember {
 /// MPI_Put/Get/Accumulate to MPI_Win_complete, so the blocking happens
 /// in complete rather than start -- the implementation freedom the
 /// MPI-2 standard grants and the paper's section 5.2.1.1 observes).
+/// Get never stages a payload: the target bytes are copied straight
+/// into origin_addr when the op completes on the origin's thread.
 struct PendingRmaOp {
     enum class Kind { Put, Get, Accumulate } kind = Kind::Put;
-    int target_global = -1;
+    int origin_global = -1;
     std::vector<std::byte> payload;   ///< for put/accumulate
     std::byte* origin_addr = nullptr; ///< for get
     std::int64_t target_disp = 0;
     std::int64_t nbytes = 0;
     Datatype dt = MPI_DATATYPE_NULL;
     Op op = MPI_OP_NULL;
+};
+
+/// Tool-visible Table-1 accounting for one window.  The data plane
+/// never touches these on the per-op hot path: each rank stages its
+/// increments thread-locally (Rank::RmaStage) and flushes them here
+/// with one fetch_add per dirty field at each RMA synchronization
+/// call, so totals stay bit-exact (the histogram contract from the
+/// dispatch fast path) while Put/Get/Accumulate pay zero shared
+/// atomic traffic.
+struct WinCounters {
+    std::atomic<std::int64_t> put_ops{0}, get_ops{0}, acc_ops{0};
+    std::atomic<std::int64_t> put_bytes{0}, get_bytes{0}, acc_bytes{0};
+    std::atomic<std::int64_t> sync_ops{0};
+    std::atomic<std::int64_t> at_sync_wait_ns{0};  ///< fence/start/complete/wait
+    std::atomic<std::int64_t> pt_sync_wait_ns{0};  ///< lock/unlock
+};
+
+/// Per-target-rank shard of a window: everything one target's RMA
+/// traffic touches -- its memory descriptor, exposure epoch, passive
+/// lock, and the staged-op (MPSC) queue -- behind its own mutex, so
+/// origins driving different targets of the same window never
+/// contend.  Shards are created collectively inside MPI_Win_create
+/// (between its barriers); after the final creation barrier the shard
+/// map is immutable, so lookups are unsynchronized reads.
+struct WinShard {
+    std::mutex mu;  ///< guards everything below
+    bool has_member = false;
+    WinMember member;
+    Exposure exposure;
+    PassiveLock lock;
+    /// Ops staged by origins for this target (Mpich PSCW deferral);
+    /// each origin drains its own entries at MPI_Win_complete.
+    std::vector<PendingRmaOp> staged;
 };
 
 struct WinData {
@@ -284,16 +344,25 @@ struct WinData {
     std::string name;  ///< guarded by World::name_mu_
     std::atomic<bool> freed{false};
 
-    std::mutex mu;  ///< guards members, epochs, locks, and data transfers
-    std::map<int, WinMember> members;         ///< by global rank
-    std::map<int, Exposure> exposures;        ///< by target global rank
-    std::map<int, PassiveLock> locks;         ///< by target global rank
-    std::map<int, std::vector<PendingRmaOp>> deferred;  ///< by origin global rank
+    std::mutex mu;  ///< guards shard-map mutation (MPI_Win_create only)
+    std::map<int, WinShard> shards;  ///< by target global rank
 
-    // Fence epoch (internal barrier for the Mpich flavor).
-    std::condition_variable fence_cv;
+    /// Shard lookup (read-only map walk; see WinShard's immutability
+    /// note).  Null for ranks that are not window members.
+    WinShard* shard(int global_rank) {
+        const auto it = shards.find(global_rank);
+        return it == shards.end() ? nullptr : &it->second;
+    }
+
+    // Fence epoch (internal barrier for the Mpich flavor): arrivals
+    // park on per-rank tokens; the closing rank signals each exactly
+    // once instead of broadcasting on a shared condition variable.
+    std::mutex fence_mu;
     int fence_count = 0;
     std::uint64_t fence_gen = 0;
+    std::vector<std::shared_ptr<DeliveryToken>> fence_waiters;
+
+    WinCounters counters;  ///< epoch-batched Table-1 accounting
 };
 
 /// One file in the simulated parallel filesystem: a shared byte array
@@ -563,6 +632,11 @@ public:
     WinData& win(Win w);
     bool win_valid(Win w) const;
     void release_win_impl_id(int impl_id);
+    /// Snapshot of a window's Table-1 RMA counters with the derived
+    /// totals (rma_ops/rma_bytes/rma_sync_wait) computed.  Valid for
+    /// freed windows too: the handle-table slot persists, so tools can
+    /// read final totals after MPI_Win_free.
+    RmaCounterSnapshot win_rma_counters(Win w);
     Request create_request(RequestData rd);
     RequestData& request(Request r);
     bool request_valid(Request r) const;

@@ -37,10 +37,14 @@ using simmpi::MPI_ERR_OTHER;
 using simmpi::MPI_ERR_PROC_FAILED;
 using simmpi::MPI_ERR_RANK;
 using simmpi::MPI_ERR_SPAWN;
+using simmpi::MPI_ERR_WIN;
 using simmpi::MPI_ERRORS_ARE_FATAL;
 using simmpi::MPI_INFO_NULL;
 using simmpi::MPI_INT;
+using simmpi::MPI_LOCK_EXCLUSIVE;
 using simmpi::MPI_SUCCESS;
+using simmpi::MPI_WIN_NULL;
+using simmpi::Win;
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -522,6 +526,129 @@ TEST(Faults, JoinAllWatchdogPoisonsStragglers) {
     run_ranks(world, "straggler", 2);
     EXPECT_LT(seconds_since(t0), 10.0);
     EXPECT_TRUE(world.poisoned());
+    EXPECT_TRUE(world.all_finished());
+}
+
+// ---------------------------------------------------------------------------
+// RMA epochs under faults: the data plane's per-epoch completion
+// tokens must deliver the PR 3 error contract, not park survivors
+// forever -- a fence losing a member fails with MPI_ERR_PROC_FAILED,
+// and a lock queue behind a dead holder fails with MPI_ERR_RANK.
+// ---------------------------------------------------------------------------
+
+TEST(Faults, KillMidFenceFailsSurvivorsWithProcFailed) {
+    instr::Registry reg;
+    // Mpich: the counter/token fence path (LAM's fence rides the
+    // barrier, which CrashInCollective already covers).
+    World::Config cfg = faulted_cfg(Flavor::Mpich, CollAlgo::Tree);
+    // Calls: MPI_Init, MPI_Win_create, boom entering the first fence.
+    cfg.faults->kill_at_call(1, 3);
+    World world(reg, cfg);
+    Observed obs;
+    world.register_program("app", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        std::vector<std::int32_t> mem(4, 0);
+        Win win = MPI_WIN_NULL;
+        r.MPI_Win_create(mem.data(), 16, 4, MPI_INFO_NULL, r.MPI_COMM_WORLD(), &win);
+        int rc = MPI_SUCCESS;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < 200 && rc == MPI_SUCCESS; ++i)
+            rc = r.MPI_Win_fence(0, win);
+        obs.error(me, rc);
+        obs.timing(me, seconds_since(t0));
+        r.MPI_Finalize();
+    });
+    run_ranks(world, "app", 4);
+
+    ASSERT_EQ(world.epitaphs().size(), 1u);
+    EXPECT_EQ(world.epitaphs()[0].global_rank, 1);
+    EXPECT_EQ(world.epitaphs()[0].last_call, "MPI_Win_fence");
+    EXPECT_EQ(obs.first_error.count(1), 0u);
+    for (int me : {0, 2, 3}) {
+        ASSERT_EQ(obs.first_error.count(me), 1u) << "rank " << me << " hung?";
+        EXPECT_EQ(obs.first_error[me], MPI_ERR_PROC_FAILED) << "rank " << me;
+        // Liveness detection, not the 5 s wait deadline, unparked us.
+        EXPECT_LT(obs.elapsed[me], 2.0) << "rank " << me;
+    }
+}
+
+TEST(Faults, KillLockHolderFailsQueuedWaitersWithErrRank) {
+    instr::Registry reg;
+    World::Config cfg = faulted_cfg(Flavor::Lam, CollAlgo::Tree);
+    // Rank 1's calls: Init, Win_create, Win_lock, boom in the barrier
+    // it enters while still holding rank 0's exclusive lock.
+    cfg.faults->kill_at_call(1, 4);
+    World world(reg, cfg);
+    Observed obs;
+    std::atomic<bool> lock_held{false};
+    world.register_program("app", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        std::vector<std::int32_t> mem(4, 0);
+        Win win = MPI_WIN_NULL;
+        r.MPI_Win_create(mem.data(), 16, 4, MPI_INFO_NULL, r.MPI_COMM_WORLD(), &win);
+        if (me == 1) {
+            ASSERT_EQ(r.MPI_Win_lock(MPI_LOCK_EXCLUSIVE, 0, 0, win), MPI_SUCCESS);
+            lock_held = true;
+            r.MPI_Barrier(r.MPI_COMM_WORLD());  // dies here, lock never released
+        } else {
+            while (!lock_held) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            const auto t0 = std::chrono::steady_clock::now();
+            obs.error(me, r.MPI_Win_lock(MPI_LOCK_EXCLUSIVE, 0, 0, win));
+            obs.timing(me, seconds_since(t0));
+            // The dead holder still owns the lock, so a free attempt is
+            // refused instead of wedging the collective.
+            EXPECT_EQ(r.MPI_Win_free(&win), MPI_ERR_WIN);
+        }
+        r.MPI_Finalize();
+    });
+    run_ranks(world, "app", 4);
+
+    ASSERT_EQ(world.epitaphs().size(), 1u);
+    EXPECT_EQ(world.epitaphs()[0].global_rank, 1);
+    for (int me : {0, 2, 3}) {
+        ASSERT_EQ(obs.first_error.count(me), 1u) << "rank " << me << " hung?";
+        EXPECT_EQ(obs.first_error[me], MPI_ERR_RANK) << "rank " << me;
+        EXPECT_LT(obs.elapsed[me], 2.0) << "rank " << me;
+    }
+}
+
+TEST(Faults, WinFreeWithHeldLockIsRefusedThenSucceeds) {
+    // Satellite: MPI_Win_free racing a pending passive-target epoch
+    // must refuse (MPI_ERR_WIN) while the lock is held, never park the
+    // freer in the collective, and succeed once the lock is gone.
+    instr::Registry reg;
+    World world(reg, faulted_cfg(Flavor::Lam, CollAlgo::Tree));
+    Observed obs;
+    std::atomic<bool> locked{false}, refused{false}, unlocked{false};
+    world.register_program("app", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        std::vector<std::int32_t> mem(4, 0);
+        Win win = MPI_WIN_NULL;
+        r.MPI_Win_create(mem.data(), 16, 4, MPI_INFO_NULL, r.MPI_COMM_WORLD(), &win);
+        if (me == 1) {
+            ASSERT_EQ(r.MPI_Win_lock(MPI_LOCK_EXCLUSIVE, 0, 0, win), MPI_SUCCESS);
+            locked = true;
+            while (!refused) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            ASSERT_EQ(r.MPI_Win_unlock(0, win), MPI_SUCCESS);
+            unlocked = true;
+        } else {
+            while (!locked) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            obs.error(me, r.MPI_Win_free(&win));  // refused: epoch in flight
+            refused = true;
+            while (!unlocked) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        ASSERT_EQ(r.MPI_Win_free(&win), MPI_SUCCESS);
+        r.MPI_Finalize();
+    });
+    run_ranks(world, "app", 2);
+    EXPECT_EQ(obs.first_error[0], MPI_ERR_WIN);
+    EXPECT_TRUE(world.epitaphs().empty());
     EXPECT_TRUE(world.all_finished());
 }
 
