@@ -1,11 +1,14 @@
 // Example: the companion tools -- MPE-style tracing with Jumpshot-like
 // views, and the gprof-style flat profiler -- used the way the paper
 // uses them: as independent cross-checks of the main tool's findings.
+// Both now read the always-on flight recorder; the same run also
+// exports a Chrome trace-event JSON (chrome://tracing / Perfetto).
 #include <cstdio>
 
 #include "core/session.hpp"
 #include "pperfmark/pperfmark.hpp"
 #include "prof/flat_profiler.hpp"
+#include "trace/exporter.hpp"
 #include "trace/mpe.hpp"
 
 using namespace m2p;
@@ -38,5 +41,15 @@ int main() {
 
     std::printf("\n== gprof-style flat profile (application code) ==\n%s",
                 profiler.render().c_str());
+
+    // Chrome trace export: the flight recorder's rings, merged and
+    // written as trace-event JSON next to this binary.
+    if (const trace::FlightRecorder* fr = session.world().recorder()) {
+        trace::Exporter exporter(*fr);
+        if (exporter.write_files(session.world(), ".", "trace_and_profile",
+                                 "example run"))
+            std::printf("\nwrote trace_and_profile.trace.json (open in "
+                        "chrome://tracing) and trace_and_profile.postmortem.txt\n");
+    }
     return 0;
 }

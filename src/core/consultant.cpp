@@ -27,6 +27,15 @@ int focus_depth(const Focus& f) {
     return seg(f.code) + seg(f.syncobj) + seg(f.process) + seg(f.machine);
 }
 
+/// Flight-recorder events outlive the consultant, so experiment events
+/// must carry string-literal names, not pointers into hypotheses_.
+const char* static_hypothesis_name(const std::string& name) {
+    if (name == "ExcessiveSyncWaitingTime") return "ExcessiveSyncWaitingTime";
+    if (name == "ExcessiveIOBlockingTime") return "ExcessiveIOBlockingTime";
+    if (name == "CPUBound") return "CPUBound";
+    return "Hypothesis";
+}
+
 }  // namespace
 
 bool PCReport::found(const std::string& hypothesis,
@@ -152,6 +161,9 @@ double PerformanceConsultant::evaluate_batch(
             n->tested = false;  // focus not expressible for this metric
             continue;
         }
+        tool_.world().trace_event(trace::EventKind::ExperimentStart, -1,
+                                  static_hypothesis_name(n->hypothesis),
+                                  focus_depth(n->focus));
         exps.push_back({n, pair, pair->total()});
     }
     // Snapshot the failure state: any death during the evaluation
@@ -164,6 +176,10 @@ double PerformanceConsultant::evaluate_batch(
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
     const double elapsed = std::max(1e-6, util::wall_seconds() - t0);
     const bool lost_ranks = tool_.world().death_epoch() != deaths0;
+    if (lost_ranks)
+        tool_.world().trace_event(trace::EventKind::ExperimentTruncated, -1,
+                                  "rank_lost_mid_experiment",
+                                  static_cast<std::int64_t>(exps.size()));
 
     for (Experiment& e : exps) {
         if (lost_ranks) e.node->truncated = true;
@@ -184,6 +200,9 @@ double PerformanceConsultant::evaluate_batch(
         e.node->value = cpus / static_cast<double>(denom);
         e.node->tested = true;
         e.node->tested_true = e.node->value > e.node->threshold;
+        tool_.world().trace_event(trace::EventKind::ExperimentStop, -1,
+                                  static_hypothesis_name(e.node->hypothesis),
+                                  e.node->tested_true ? 1 : 0);
         mm.release(e.pair);
     }
     return elapsed;

@@ -7,6 +7,15 @@ simmpi::World::Config with_flavor(simmpi::World::Config cfg, simmpi::Flavor f) {
     cfg.flavor = f;
     return cfg;
 }
+
+RunOutcome record_outcome(simmpi::World& world, RunOutcome o) {
+    const char* status = o.status == RunOutcome::Status::Completed ? "Completed"
+                         : o.status == RunOutcome::Status::Aborted ? "Aborted"
+                                                                   : "RanksLost";
+    world.trace_event(trace::EventKind::RunOutcome, -1, status, o.abort_code,
+                      static_cast<std::int64_t>(o.epitaphs.size()));
+    return o;
+}
 }  // namespace
 
 Session::Session(simmpi::Flavor flavor, PerfTool::Options topts,
@@ -17,7 +26,7 @@ RunOutcome Session::run(const std::string& command, int nprocs, int procs_per_no
     run_app_async(tool_, command, {}, nprocs, procs_per_node);
     world_.join_all();
     tool_.flush();
-    return outcome_from_world(world_);
+    return record_outcome(world_, outcome_from_world(world_));
 }
 
 PCReport Session::run_with_consultant(const std::string& command, int nprocs,
@@ -28,7 +37,7 @@ PCReport Session::run_with_consultant(const std::string& command, int nprocs,
     PCReport report = pc.search([this] { return !world_.all_finished(); });
     world_.join_all();
     tool_.flush();
-    report.outcome = outcome_from_world(world_);
+    report.outcome = record_outcome(world_, outcome_from_world(world_));
     return report;
 }
 

@@ -181,6 +181,8 @@ void PerfTool::on_rank_death(const simmpi::Epitaph& e) {
           node});
     post({Report::Kind::Retire, "/Machine/" + node + "/" + pname,
           ResourceKind::Process, "", node});
+    world_.trace_event(trace::EventKind::ResourceRetired, -1, "process",
+                       e.global_rank);
 }
 
 std::vector<Daemon> PerfTool::daemons() const {
@@ -387,6 +389,7 @@ void PerfTool::retire_window(std::int64_t handle) {
         // which the N-M scheme already disambiguates).
     }
     post({Report::Kind::Retire, path, ResourceKind::Window, "", ""});
+    world_.trace_event(trace::EventKind::ResourceRetired, -1, "window", handle);
 }
 
 void PerfTool::discover_comm(std::int64_t handle, std::int64_t tag) {

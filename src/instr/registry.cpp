@@ -5,11 +5,23 @@
 #include <set>
 #include <stdexcept>
 
+#include "util/clock.hpp"
+
 namespace m2p::instr {
 
 namespace {
 
 thread_local int t_current_rank = -1;
+thread_local CallTraceSink* t_call_sink = nullptr;
+
+}  // namespace
+
+namespace detail {
+thread_local BoundaryPayload t_boundary_payload;
+thread_local bool t_boundary_active = false;
+}  // namespace detail
+
+namespace {
 
 // ---------------------------------------------------------------------------
 // Hazard-pointer domain shared by all Registries.
@@ -87,6 +99,9 @@ std::atomic<std::uint64_t> g_next_registry_uid{1};
 int current_rank() { return t_current_rank; }
 void set_current_rank(int rank) { t_current_rank = rank; }
 
+CallTraceSink* thread_call_sink() { return t_call_sink; }
+void set_thread_call_sink(CallTraceSink* sink) { t_call_sink = sink; }
+
 struct Registry::PointImpl {
     // RCU-published snippet snapshot.  nullptr means "no snippets": the
     // dispatch fast path is one acquire load and a branch.  Writers
@@ -119,7 +134,9 @@ thread_local std::vector<std::pair<std::uint64_t, void*>>* t_stat_cache_storage 
     nullptr;
 }  // namespace
 
-Registry::Registry() : reg_uid_(g_next_registry_uid.fetch_add(1)) {}
+Registry::Registry()
+    : boundary_bits_(new std::atomic<std::uint64_t>[kMaxChunks * kChunkSize / 64]()),
+      reg_uid_(g_next_registry_uid.fetch_add(1)) {}
 
 Registry::~Registry() {
     // Precondition (unchanged from the locked design): no dispatch may
@@ -142,9 +159,16 @@ FuncId Registry::register_function(std::string_view name, std::string_view modul
     key.append(module).push_back('\0');
     key.append(name);
 
+    const auto publish_boundary_bit = [this](FuncId id, std::uint32_t cats) {
+        if (has_category(cats, Category::UserBoundary))
+            boundary_bits_[id >> 6].fetch_or(std::uint64_t{1} << (id & 63),
+                                             std::memory_order_relaxed);
+    };
+
     std::unique_lock lk(mu_);
     if (const auto it = by_module_name_.find(key); it != by_module_name_.end()) {
         func_impl(it->second).info.categories |= categories;
+        publish_boundary_bit(it->second, categories);
         return it->second;
     }
     const std::uint32_t id = count_.load(std::memory_order_relaxed);
@@ -160,6 +184,7 @@ FuncId Registry::register_function(std::string_view name, std::string_view modul
     f.info.name = std::string(name);
     f.info.module = std::string(module);
     f.info.categories = categories;
+    publish_boundary_bit(id, categories);
     by_module_name_.emplace(std::move(key), id);
     by_name_.emplace(f.info.name, id);  // keeps the first id: find() order
     // Publish: readers that see the new count see the initialized slot.
@@ -382,12 +407,30 @@ FunctionGuard::FunctionGuard(Registry& reg, FuncId f) : FunctionGuard(reg, f, {}
 FunctionGuard::FunctionGuard(Registry& reg, FuncId f, std::span<const std::int64_t> args,
                              std::span<const std::string_view> str_args)
     : reg_(reg) {
+    if (CallTraceSink* sink = t_call_sink) {
+        // Bitmap probe, not info(): with a sink installed every guarded
+        // call pays this test, and the inner PMPI_/transport guards of a
+        // single MPI_ call are the common case, not the boundary itself.
+        if (reg.is_user_boundary(f)) {
+            sink_ = sink;
+            sink_info_ = &reg.info(f);
+            detail::t_boundary_active = true;
+            detail::t_boundary_payload.kind = 0;
+            t0_ticks_ = util::ticks();
+        }
+    }
     ctx_.func = f;
     ctx_.args = args;
     ctx_.str_args = str_args;
     reg_.dispatch(f, Where::Entry, ctx_);
 }
 
-FunctionGuard::~FunctionGuard() { reg_.dispatch(ctx_.func, Where::Return, ctx_); }
+FunctionGuard::~FunctionGuard() {
+    reg_.dispatch(ctx_.func, Where::Return, ctx_);
+    if (sink_) {
+        detail::t_boundary_active = false;
+        sink_->on_boundary_call(*sink_info_, t_current_rank, t0_ticks_, util::ticks());
+    }
+}
 
 }  // namespace m2p::instr

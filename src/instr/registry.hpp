@@ -57,6 +57,7 @@ enum class Category : std::uint32_t {
     Spawn = 1u << 13,        ///< MPI_Comm_spawn
     MpiApi = 1u << 14,       ///< any MPI_* entry point
     WaitOp = 1u << 15,       ///< MPI_Wait/MPI_Waitall
+    UserBoundary = 1u << 16, ///< user-facing MPI_* trampoline (flight-recorder boundary)
 };
 
 constexpr std::uint32_t operator|(Category a, Category b) {
@@ -112,6 +113,56 @@ struct DispatchStats {
 int current_rank();
 void set_current_rank(int rank);
 
+/// Call-boundary trace seam: a per-thread sink notified once per
+/// completed Category::UserBoundary call with the FunctionGuard's
+/// construction/destruction tick stamps.  The flight recorder
+/// registers here on each rank thread; with no sink installed (the
+/// default) the guard pays one thread-local load and a branch.
+class CallTraceSink {
+public:
+    virtual ~CallTraceSink() = default;
+    virtual void on_boundary_call(const FunctionInfo& info, int rank,
+                                  std::uint64_t t0_ticks,
+                                  std::uint64_t t1_ticks) noexcept = 0;
+};
+CallTraceSink* thread_call_sink();
+void set_thread_call_sink(CallTraceSink* sink);
+
+/// One data-plane payload folded into the current user-boundary call.
+///
+/// A pt2pt transfer inside MPI_Send would otherwise cost the recorder a
+/// second ring event and a third timestamp; instead the data plane
+/// parks {kind, a, b, c} here and the sink consumes it when the guard
+/// closes, emitting a single kinded span.  `kind` is the trace-layer
+/// EventKind value (0 = none); instr stays ignorant of its meaning.
+struct BoundaryPayload {
+    std::uint32_t kind = 0;
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    std::int64_t c = 0;
+};
+
+namespace detail {
+extern thread_local BoundaryPayload t_boundary_payload;
+extern thread_local bool t_boundary_active;
+}  // namespace detail
+
+/// Attach a payload to the enclosing user-boundary call.  No-op unless
+/// the calling thread is inside a traced boundary guard, so internal
+/// traffic issued outside any MPI_ trampoline stays invisible.
+/// Last-writer-wins within one call (MPI_Sendrecv keeps the recv side).
+inline void set_boundary_payload(std::uint32_t kind, std::int64_t a,
+                                 std::int64_t b, std::int64_t c) noexcept {
+    if (detail::t_boundary_active) detail::t_boundary_payload = {kind, a, b, c};
+}
+
+/// Consume (and clear) the pending payload; kind == 0 means none.
+inline BoundaryPayload take_boundary_payload() noexcept {
+    BoundaryPayload p = detail::t_boundary_payload;
+    detail::t_boundary_payload.kind = 0;
+    return p;
+}
+
 class Registry {
 public:
     Registry();
@@ -148,6 +199,17 @@ public:
     /// snippets are installed (the overwhelmingly common case).
     void dispatch(FuncId f, Where w, CallContext& ctx);
 
+    /// Lock-free Category::UserBoundary test: one word load from a flat
+    /// bitmap, no FunctionInfo cache-line touch.  FunctionGuard probes
+    /// this on *every* guarded call whenever a trace sink is installed,
+    /// so it must stay cheaper than the chunked info() pointer chase.
+    bool is_user_boundary(FuncId f) const noexcept {
+        return f < kMaxChunks * kChunkSize &&
+               ((boundary_bits_[f >> 6].load(std::memory_order_relaxed) >>
+                 (f & 63)) &
+                1u) != 0;
+    }
+
     DispatchStats stats() const;
     void reset_stats();
 
@@ -173,6 +235,10 @@ private:
     mutable std::mutex mu_;  ///< guards registration + symbol queries
     std::atomic<FuncImpl*> chunks_[kMaxChunks] = {};
     std::atomic<std::uint32_t> count_{0};
+    /// One bit per possible FuncId: set iff the function carries
+    /// Category::UserBoundary.  Written under mu_ at registration,
+    /// read lock-free by is_user_boundary().
+    std::unique_ptr<std::atomic<std::uint64_t>[]> boundary_bits_;
     /// (module, '\0', name) -> id and name -> first id indexes.
     std::unordered_map<std::string, FuncId> by_module_name_;
     std::unordered_map<std::string, FuncId> by_name_;
@@ -207,6 +273,11 @@ public:
 private:
     Registry& reg_;
     CallContext ctx_;
+    // Trace seam state: set only when this thread has a CallTraceSink
+    // installed and the function is a user-boundary trampoline.
+    CallTraceSink* sink_ = nullptr;
+    const FunctionInfo* sink_info_ = nullptr;
+    std::uint64_t t0_ticks_ = 0;
 };
 
 }  // namespace m2p::instr

@@ -47,11 +47,17 @@ void Rank::fault_point(const char* name) {
     FaultPlan* plan = world_.config().faults.get();
     if (!plan || !plan->has_call_faults()) return;
     const FaultPlan::CallAction act = plan->on_call(global_, name, n);
-    if (act.kind == FaultPlan::CallAction::Kind::Kill)
+    if (act.kind == FaultPlan::CallAction::Kind::Kill) {
+        // name is the call-site string literal, so the ring may keep it.
+        world_.trace_event(trace::EventKind::Fault, global_, name,
+                           static_cast<std::int64_t>(n));
         throw RankKilled{Epitaph::Cause::Killed,
                          std::string("fault plan: killed in ") + name + " (call " +
                              std::to_string(n) + ")"};
+    }
     if (act.kind == FaultPlan::CallAction::Kind::Hang) {
+        world_.trace_event(trace::EventKind::Fault, global_, name,
+                           static_cast<std::int64_t>(n));
         // Publish the death *before* wedging: peers unwedge via the
         // liveness checks immediately instead of waiting out the hang.
         Epitaph e;
@@ -376,9 +382,17 @@ int Rank::send_body(const void* buf, int count, Datatype dt, int dest, int tag, 
     // a slow wire would); a drop discards the envelope after the
     // "wire" accepted it, so the sender sees success -- exactly the
     // silent loss the liveness deadline exists to catch.
-    if (inject.delay_seconds > 0)
+    if (inject.delay_seconds > 0) {
+        world_.trace_event(trace::EventKind::Fault, global_, "fault_delay",
+                           static_cast<std::int64_t>(inject.delay_seconds * 1e9), tag,
+                           dest_global);
         std::this_thread::sleep_for(std::chrono::duration<double>(inject.delay_seconds));
-    if (inject.drop) return MPI_SUCCESS;
+    }
+    if (inject.drop) {
+        world_.trace_event(trace::EventKind::Fault, global_, "fault_drop",
+                           static_cast<std::int64_t>(bytes), tag, dest_global);
+        return MPI_SUCCESS;
+    }
 
     const bool rendezvous =
         mode == SendMode::Synchronous ||
@@ -439,6 +453,14 @@ int Rank::send_body(const void* buf, int count, Datatype dt, int dest, int tag, 
             return comm_error(c, MPI_ERR_RANK);
         }
     }
+    // Fold the transfer into the enclosing MPI_ call's span rather than
+    // recording a second event.  Reserved tags are collective/RMA side
+    // traffic running inside some *other* user call's guard; folding
+    // those would mislabel that call's span, so they stay untraced.
+    if (tag < kReservedTagBase)
+        world_.trace_call_payload(trace::EventKind::Pt2ptSend,
+                                  static_cast<std::int64_t>(bytes), tag,
+                                  dest_global);
     return MPI_SUCCESS;
 }
 
@@ -507,6 +529,10 @@ int Rank::recv_body(void* buf, int count, Datatype dt, int src, int tag, Comm c,
             // so the frontmost waiter alone may not be the one that fits.
             if (notify_space) mb.space_cv.notify_all();
             if (env.delivered) env.delivered->signal();
+            if (!internal_traffic)
+                world_.trace_call_payload(trace::EventKind::Pt2ptRecv,
+                                          static_cast<std::int64_t>(n), env.tag,
+                                          env.src_global);
             return truncated ? MPI_ERR_COUNT : MPI_SUCCESS;
         }
         // No queued match.  The scan above ran under mb.mu, and peers
@@ -1117,6 +1143,16 @@ int Rank::PMPI_Sendrecv(const void* sbuf, int scount, Datatype sdt, int dest, in
 // Collectives
 // ---------------------------------------------------------------------------
 
+Rank::CollScope::CollScope(Rank& r, const char* name, Comm c, std::int64_t bytes,
+                           int algo)
+    : r_(r), name_(name), c_(c), algo_(algo) {
+    r_.world_.trace_event(trace::EventKind::CollBegin, r_.global_, name_, bytes, algo_, c_);
+}
+
+Rank::CollScope::~CollScope() {
+    r_.world_.trace_event(trace::EventKind::CollEnd, r_.global_, name_, 0, algo_, c_);
+}
+
 int Rank::MPI_Barrier(Comm c) {
     const std::int64_t a[] = {c};
     instr::FunctionGuard g(world_.registry(), world_.fids().MPI_Barrier, a);
@@ -1130,6 +1166,10 @@ int Rank::PMPI_Barrier(Comm c) {
     if (!world_.comm_valid(c)) return MPI_ERR_COMM;
     CommData& cd = world_.comm(c);
     if (cd.is_inter) return MPI_ERR_COMM;
+    // Barrier "algo": 0 = LAM's shared token exchange, 1 = MPICH's
+    // dissemination rounds.
+    CollScope cs(*this, "MPI_Barrier", c, 0,
+                 world_.flavor() == Flavor::Mpich ? 1 : 0);
     if (world_.flavor() == Flavor::Lam)
         return barrier_internal(cd) ? MPI_SUCCESS : comm_error(c, MPI_ERR_PROC_FAILED);
     // MPICH implements MPI_Barrier as a dissemination exchange built on
@@ -1178,9 +1218,11 @@ int Rank::PMPI_Bcast(void* buf, int count, Datatype dt, int root, Comm c) {
     const int me = my_rank_in(cd);
     const int bytes = count * datatype_size(dt);
     const int tag = next_coll_tag(c);
+    const bool tree = world_.config().coll_algo == CollAlgo::Tree && n > 1;
+    CollScope cs(*this, "MPI_Bcast", c, bytes, tree ? 1 : 0);
     if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
         return comm_error(c, MPI_ERR_PROC_FAILED);
-    if (world_.config().coll_algo == CollAlgo::Tree && n > 1)
+    if (tree)
         return coll_bcast_tree(buf, bytes, root, tag, cd)
                    ? MPI_SUCCESS
                    : comm_error(c, MPI_ERR_PROC_FAILED);
@@ -1220,9 +1262,11 @@ int Rank::PMPI_Reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op o
     const int me = my_rank_in(cd);
     const int bytes = count * datatype_size(dt);
     const int tag = next_coll_tag(c);
+    const bool tree = world_.config().coll_algo == CollAlgo::Tree && n > 1;
+    CollScope cs(*this, "MPI_Reduce", c, bytes, tree ? 1 : 0);
     if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
         return comm_error(c, MPI_ERR_PROC_FAILED);
-    if (world_.config().coll_algo == CollAlgo::Tree && n > 1) {
+    if (tree) {
         // Binomial reduce (ops are commutative): combine children's
         // partial results, then forward the accumulator to the parent.
         const int vrank = (me - root + n) % n;
@@ -1286,9 +1330,11 @@ int Rank::PMPI_Allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, O
     const int me = my_rank_in(cd);
     const int bytes = count * datatype_size(dt);
     const int tag = next_coll_tag(c);
+    const bool tree = world_.config().coll_algo == CollAlgo::Tree && n > 1;
+    CollScope cs(*this, "MPI_Allreduce", c, bytes, tree ? 1 : 0);
     if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
         return comm_error(c, MPI_ERR_PROC_FAILED);
-    if (world_.config().coll_algo == CollAlgo::Tree && n > 1) {
+    if (tree) {
         // Recursive doubling over the largest power-of-two subset;
         // leftover ranks fold into a neighbor first and get the result
         // back at the end (the classic MPICH non-pof2 pre/post step).
@@ -1388,9 +1434,11 @@ int Rank::PMPI_Gather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
     const int n = static_cast<int>(cd.group.size());
     const int block = scount * datatype_size(sdt);
     const int tag = next_coll_tag(c);
+    const bool tree = world_.config().coll_algo == CollAlgo::Tree && n > 1;
+    CollScope cs(*this, "MPI_Gather", c, block, tree ? 1 : 0);
     if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
         return comm_error(c, MPI_ERR_PROC_FAILED);
-    if (world_.config().coll_algo == CollAlgo::Tree && n > 1)
+    if (tree)
         return coll_gather_tree(sbuf, me == root ? rbuf : nullptr, block, root, tag, cd)
                    ? MPI_SUCCESS
                    : comm_error(c, MPI_ERR_PROC_FAILED);
@@ -1434,9 +1482,11 @@ int Rank::PMPI_Scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf,
     const int n = static_cast<int>(cd.group.size());
     const int block = rcount * datatype_size(rdt);
     const int tag = next_coll_tag(c);
+    const bool tree = world_.config().coll_algo == CollAlgo::Tree && n > 1;
+    CollScope cs(*this, "MPI_Scatter", c, block, tree ? 1 : 0);
     if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
         return comm_error(c, MPI_ERR_PROC_FAILED);
-    if (world_.config().coll_algo == CollAlgo::Tree && n > 1)
+    if (tree)
         return coll_scatter_tree(me == root ? sbuf : nullptr, rbuf, block, root, tag, cd)
                    ? MPI_SUCCESS
                    : comm_error(c, MPI_ERR_PROC_FAILED);
@@ -1477,10 +1527,12 @@ int Rank::PMPI_Allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
     const int n = static_cast<int>(cd.group.size());
     const int block = rcount * datatype_size(rdt);
     const int tag = next_coll_tag(c);
+    const bool tree = world_.config().coll_algo == CollAlgo::Tree && n > 1;
+    CollScope cs(*this, "MPI_Allgather", c, block, tree ? 1 : 0);
     if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
         return comm_error(c, MPI_ERR_PROC_FAILED);
     auto* out = static_cast<std::byte*>(rbuf);
-    if (world_.config().coll_algo == CollAlgo::Tree && n > 1) {
+    if (tree) {
         if ((n & (n - 1)) == 0) {
             // Power of two: recursive doubling, each round swapping the
             // m-block slab the partner pair already holds.

@@ -304,11 +304,32 @@ private:
     bool coll_scatter_tree(const void* sbuf, void* rbuf, int block, int root_cr, int tag,
                            CommData& c);
 
+    /// RAII collective span: CollBegin in the ctor, CollEnd at scope
+    /// exit -- so a rank that unwinds mid-collective (fault, poison)
+    /// still closes its span and the postmortem shows where it was.
+    /// @p algo is the shape actually used: 0 flat star, 1 binomial tree.
+    class CollScope {
+    public:
+        CollScope(Rank& r, const char* name, Comm c, std::int64_t bytes, int algo);
+        ~CollScope();
+        CollScope(const CollScope&) = delete;
+        CollScope& operator=(const CollScope&) = delete;
+
+    private:
+        Rank& r_;
+        const char* name_;
+        Comm c_;
+        int algo_;
+    };
+
     int wait_one(RequestData& rd, Status* st);
     /// Shared body of the read/write family.  @p at_offset < 0 means
-    /// "use (and advance) the individual file pointer".
-    int file_transfer(File fh, std::int64_t at_offset, void* rbuf, const void* wbuf,
-                      int count, Datatype dt, Status* st, bool collective);
+    /// "use (and advance) the individual file pointer".  @p op names
+    /// the user-level call (a string literal) for the flight recorder's
+    /// Io event.
+    int file_transfer(File fh, const char* op, std::int64_t at_offset, void* rbuf,
+                      const void* wbuf, int count, Datatype dt, Status* st,
+                      bool collective);
     /// Charges the simulated filesystem cost for an @p bytes transfer.
     void file_io_cost(std::int64_t bytes);
 
@@ -337,8 +358,10 @@ private:
     class RmaSyncScope;
     /// Flushes this rank's staged counters for @p win and charges one
     /// sync op plus @p wait_ns of sync wait (passive- or active-target
-    /// bucket) to the window's tool-visible counters.
-    void rma_sync_flush(Win win, bool passive, std::int64_t wait_ns);
+    /// bucket) to the window's tool-visible counters.  @p call names
+    /// the synchronization call (a string literal) for the flight
+    /// recorder's epoch-transition and op-batch events.
+    void rma_sync_flush(Win win, const char* call, bool passive, std::int64_t wait_ns);
     /// Residual flush for windows never synchronized again before
     /// MPI_Finalize (counters must not lose trailing ops).
     void rma_flush_all_stages();

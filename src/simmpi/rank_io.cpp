@@ -101,6 +101,7 @@ int Rank::PMPI_File_open(Comm c, const std::string& filename, int amode, Info in
         std::lock_guard plk(fd.mu);
         fd.individual_ptr[global_] = static_cast<std::int64_t>(fd.store->data.size());
     }
+    world_.trace_event(trace::EventKind::Io, global_, "MPI_File_open", 0, amode, *fh);
     return MPI_SUCCESS;
 }
 
@@ -124,6 +125,7 @@ int Rank::PMPI_File_close(File* fh) {
         if (fd.delete_on_close) world_.fs_delete(fd.filename);
     }
     if (!barrier_internal(cd)) return comm_error(fd.comm, MPI_ERR_PROC_FAILED);
+    world_.trace_event(trace::EventKind::Io, global_, "MPI_File_close", 0, 0, *fh);
     *fh = MPI_FILE_NULL;
     return MPI_SUCCESS;
 }
@@ -139,15 +141,18 @@ int Rank::PMPI_File_delete(const std::string& filename, Info info) {
     const std::int64_t a[] = {0, info};
     const std::string_view s[] = {filename};
     instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_File_delete, a, s);
-    return world_.fs_delete(filename) ? MPI_SUCCESS : MPI_ERR_NO_SUCH_FILE;
+    if (!world_.fs_delete(filename)) return MPI_ERR_NO_SUCH_FILE;
+    world_.trace_event(trace::EventKind::Io, global_, "MPI_File_delete");
+    return MPI_SUCCESS;
 }
 
 // ---------------------------------------------------------------------------
 // Data transfer
 // ---------------------------------------------------------------------------
 
-int Rank::file_transfer(File fh, std::int64_t at_offset, void* rbuf, const void* wbuf,
-                        int count, Datatype dt, Status* st, bool collective) {
+int Rank::file_transfer(File fh, const char* op, std::int64_t at_offset, void* rbuf,
+                        const void* wbuf, int count, Datatype dt, Status* st,
+                        bool collective) {
     if (!world_.file_valid(fh)) return MPI_ERR_FILE;
     if (count < 0) return MPI_ERR_COUNT;
     if (datatype_size(dt) <= 0) return MPI_ERR_TYPE;
@@ -195,6 +200,7 @@ int Rank::file_transfer(File fh, std::int64_t at_offset, void* rbuf, const void*
         }
     }
     file_io_cost(moved);
+    world_.trace_event(trace::EventKind::Io, global_, op, moved, byte_off, fh);
     if (at_offset < 0) {
         std::lock_guard plk(fd.mu);
         fd.individual_ptr[global_] = offset_units + moved / esize;
@@ -238,20 +244,20 @@ int Rank::MPI_File_read(File fh, void* buf, int count, Datatype dt, Status* st) 
     M2P_FILE_RW_USER(PMPI_File_read(fh, buf, count, dt, st), MPI_File_read)
 }
 int Rank::PMPI_File_read(File fh, void* buf, int count, Datatype dt, Status* st) {
-    M2P_FILE_RW(file_transfer(fh, -1, buf, nullptr, count, dt, st, false), PMPI_File_read)
+    M2P_FILE_RW(file_transfer(fh, "MPI_File_read", -1, buf, nullptr, count, dt, st, false), PMPI_File_read)
 }
 int Rank::MPI_File_write(File fh, const void* buf, int count, Datatype dt, Status* st) {
     M2P_FILE_RW_USER(PMPI_File_write(fh, buf, count, dt, st), MPI_File_write)
 }
 int Rank::PMPI_File_write(File fh, const void* buf, int count, Datatype dt,
                           Status* st) {
-    M2P_FILE_RW(file_transfer(fh, -1, nullptr, buf, count, dt, st, false), PMPI_File_write)
+    M2P_FILE_RW(file_transfer(fh, "MPI_File_write", -1, nullptr, buf, count, dt, st, false), PMPI_File_write)
 }
 int Rank::MPI_File_read_all(File fh, void* buf, int count, Datatype dt, Status* st) {
     M2P_FILE_RW_USER(PMPI_File_read_all(fh, buf, count, dt, st), MPI_File_read_all)
 }
 int Rank::PMPI_File_read_all(File fh, void* buf, int count, Datatype dt, Status* st) {
-    M2P_FILE_RW(file_transfer(fh, -1, buf, nullptr, count, dt, st, true), PMPI_File_read_all)
+    M2P_FILE_RW(file_transfer(fh, "MPI_File_read_all", -1, buf, nullptr, count, dt, st, true), PMPI_File_read_all)
 }
 int Rank::MPI_File_write_all(File fh, const void* buf, int count, Datatype dt,
                              Status* st) {
@@ -259,7 +265,7 @@ int Rank::MPI_File_write_all(File fh, const void* buf, int count, Datatype dt,
 }
 int Rank::PMPI_File_write_all(File fh, const void* buf, int count, Datatype dt,
                               Status* st) {
-    M2P_FILE_RW(file_transfer(fh, -1, nullptr, buf, count, dt, st, true), PMPI_File_write_all)
+    M2P_FILE_RW(file_transfer(fh, "MPI_File_write_all", -1, nullptr, buf, count, dt, st, true), PMPI_File_write_all)
 }
 
 #undef M2P_FILE_RW
@@ -279,7 +285,8 @@ int Rank::PMPI_File_read_at(File fh, std::int64_t offset, void* buf, int count,
                               static_cast<std::int64_t>(dt), as_arg(st)};
     instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_File_read_at, a);
     if (offset < 0) return MPI_ERR_ARG;
-    return file_transfer(fh, offset, buf, nullptr, count, dt, st, false);
+    return file_transfer(fh, "MPI_File_read_at", offset, buf, nullptr, count, dt, st,
+                         false);
 }
 int Rank::MPI_File_write_at(File fh, std::int64_t offset, const void* buf, int count,
                             Datatype dt, Status* st) {
@@ -295,7 +302,8 @@ int Rank::PMPI_File_write_at(File fh, std::int64_t offset, const void* buf, int 
                               static_cast<std::int64_t>(dt), as_arg(st)};
     instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_File_write_at, a);
     if (offset < 0) return MPI_ERR_ARG;
-    return file_transfer(fh, offset, nullptr, buf, count, dt, st, false);
+    return file_transfer(fh, "MPI_File_write_at", offset, nullptr, buf, count, dt, st,
+                         false);
 }
 
 int Rank::MPI_File_read_shared(File fh, void* buf, int count, Datatype dt, Status* st) {
@@ -318,7 +326,8 @@ int Rank::MPI_File_read_shared(File fh, void* buf, int count, Datatype dt, Statu
         offset = fd.shared_ptr_;
         fd.shared_ptr_ += bytes / esize;
     }
-    const int rc = file_transfer(fh, offset, buf, nullptr, count, dt, st, false);
+    const int rc = file_transfer(fh, "MPI_File_read_shared", offset, buf, nullptr,
+                                 count, dt, st, false);
     if (rc == MPI_SUCCESS && st && st->count_bytes < bytes) {
         // Short read at EOF: give back the unread reservation.
         std::lock_guard plk(fd.mu);
@@ -348,7 +357,8 @@ int Rank::MPI_File_write_shared(File fh, const void* buf, int count, Datatype dt
         offset = fd.shared_ptr_;
         fd.shared_ptr_ += bytes / esize;
     }
-    return file_transfer(fh, offset, nullptr, buf, count, dt, st, false);
+    return file_transfer(fh, "MPI_File_write_shared", offset, nullptr, buf, count, dt,
+                         st, false);
 }
 
 // ---------------------------------------------------------------------------
@@ -384,8 +394,12 @@ int Rank::PMPI_File_seek(File fh, std::int64_t offset, int whence) {
         default: return MPI_ERR_ARG;
     }
     if (base + offset < 0) return MPI_ERR_ARG;
-    std::lock_guard plk(fd.mu);
-    fd.individual_ptr[global_] = base + offset;
+    {
+        std::lock_guard plk(fd.mu);
+        fd.individual_ptr[global_] = base + offset;
+    }
+    world_.trace_event(trace::EventKind::Io, global_, "MPI_File_seek", 0, base + offset,
+                       fh);
     return MPI_SUCCESS;
 }
 
@@ -463,6 +477,7 @@ int Rank::PMPI_File_sync(File fh) {
     instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_File_sync, a);
     if (!world_.file_valid(fh)) return MPI_ERR_FILE;
     file_io_cost(0);  // flush latency
+    world_.trace_event(trace::EventKind::Io, global_, "MPI_File_sync", 0, 0, fh);
     return MPI_SUCCESS;
 }
 

@@ -70,20 +70,26 @@ std::vector<std::shared_ptr<LockWaiter>> grant_passive_locked(PassiveLock& pl) {
 /// window's tool-visible counters.
 class Rank::RmaSyncScope {
 public:
-    RmaSyncScope(Rank& r, Win win, bool passive)
-        : r_(r), win_(win), passive_(passive), t0_(std::chrono::steady_clock::now()) {}
+    RmaSyncScope(Rank& r, const char* call, Win win, bool passive)
+        : r_(r),
+          call_(call),
+          win_(win),
+          passive_(passive),
+          t0_(std::chrono::steady_clock::now()) {}
     RmaSyncScope(const RmaSyncScope&) = delete;
     RmaSyncScope& operator=(const RmaSyncScope&) = delete;
-    ~RmaSyncScope() { r_.rma_sync_flush(win_, passive_, ns_since(t0_)); }
+    ~RmaSyncScope() { r_.rma_sync_flush(win_, call_, passive_, ns_since(t0_)); }
 
 private:
     Rank& r_;
+    const char* call_;
     Win win_;
     bool passive_;
     std::chrono::steady_clock::time_point t0_;
 };
 
-void Rank::rma_sync_flush(Win win, bool passive, std::int64_t wait_ns) {
+void Rank::rma_sync_flush(Win win, const char* call, bool passive,
+                          std::int64_t wait_ns) {
     // Handle-table slots persist after MPI_Win_free, so flushing is
     // safe for freed windows (tools read final totals there too).
     WinCounters& c = world_.win(win).counters;
@@ -96,6 +102,9 @@ void Rank::rma_sync_flush(Win win, bool passive, std::int64_t wait_ns) {
         if (s.put_bytes) c.put_bytes.fetch_add(s.put_bytes, std::memory_order_acq_rel);
         if (s.get_bytes) c.get_bytes.fetch_add(s.get_bytes, std::memory_order_acq_rel);
         if (s.acc_bytes) c.acc_bytes.fetch_add(s.acc_bytes, std::memory_order_acq_rel);
+        const std::int64_t ops = s.put_ops + s.get_ops + s.acc_ops;
+        const std::int64_t bytes = s.put_bytes + s.get_bytes + s.acc_bytes;
+        world_.trace_event(trace::EventKind::RmaBatch, global_, call, ops, bytes, win);
         rma_stage_.erase(it);
     }
     c.sync_ops.fetch_add(1, std::memory_order_acq_rel);
@@ -103,6 +112,8 @@ void Rank::rma_sync_flush(Win win, bool passive, std::int64_t wait_ns) {
         (passive ? c.pt_sync_wait_ns : c.at_sync_wait_ns)
             .fetch_add(wait_ns, std::memory_order_acq_rel);
     }
+    world_.trace_event(trace::EventKind::RmaEpoch, global_, call, win, wait_ns,
+                       passive ? 1 : 0);
 }
 
 void Rank::rma_flush_all_stages() {
@@ -114,6 +125,9 @@ void Rank::rma_flush_all_stages() {
         if (s.put_bytes) c.put_bytes.fetch_add(s.put_bytes, std::memory_order_acq_rel);
         if (s.get_bytes) c.get_bytes.fetch_add(s.get_bytes, std::memory_order_acq_rel);
         if (s.acc_bytes) c.acc_bytes.fetch_add(s.acc_bytes, std::memory_order_acq_rel);
+        world_.trace_event(trace::EventKind::RmaBatch, global_, "rma_flush_all",
+                           s.put_ops + s.get_ops + s.acc_ops,
+                           s.put_bytes + s.get_bytes + s.acc_bytes, win);
     }
     rma_stage_.clear();
 }
@@ -179,7 +193,7 @@ int Rank::PMPI_Win_create(void* base, std::int64_t size, int disp_unit, Info inf
     a[5] = h;
     // MPI_Win_create is part of the general RMA synchronization metric
     // (paper section 4.2.1); charge it now that the handle exists.
-    rma_sync_flush(h, /*passive=*/false, ns_since(t0));
+    rma_sync_flush(h, "MPI_Win_create", /*passive=*/false, ns_since(t0));
     return MPI_SUCCESS;
 }
 
@@ -197,7 +211,7 @@ int Rank::PMPI_Win_free(Win* win) {
     if (!world_.win_valid(*win)) return MPI_ERR_WIN;
     WinData& w = world_.win(*win);
     CommData& cd = world_.comm(w.comm);
-    RmaSyncScope sync(*this, *win, /*passive=*/false);
+    RmaSyncScope sync(*this, "MPI_Win_free", *win, /*passive=*/false);
     // Freeing a window while any rank holds or awaits a passive-target
     // lock on it is erroneous; refuse before entering the collective
     // barrier so the caller gets MPI_ERR_WIN instead of wedging the
@@ -250,7 +264,7 @@ int Rank::PMPI_Win_fence(int assert, Win win) {
     if (!world_.win_valid(win)) return MPI_ERR_WIN;
     WinData& w = world_.win(win);
     CommData& cd = world_.comm(w.comm);
-    RmaSyncScope sync(*this, win, /*passive=*/false);
+    RmaSyncScope sync(*this, "MPI_Win_fence", win, /*passive=*/false);
     const int n = static_cast<int>(cd.group.size());
     if (n <= 1) return MPI_SUCCESS;
 
@@ -377,7 +391,7 @@ int Rank::PMPI_Win_start(Group grp, int assert, Win win) {
     if (!world_.group_valid(grp)) return MPI_ERR_GROUP;
     if (start_epochs_.count(win)) return MPI_ERR_WIN;  // already in an access epoch
     WinData& w = world_.win(win);
-    RmaSyncScope sync(*this, win, /*passive=*/false);
+    RmaSyncScope sync(*this, "MPI_Win_start", win, /*passive=*/false);
     const std::vector<int> targets = world_.group(grp).global_ranks;
     start_epochs_[win] = targets;
     if (world_.flavor() == Flavor::Mpich) return MPI_SUCCESS;  // defers to complete
@@ -419,7 +433,7 @@ int Rank::PMPI_Win_complete(Win win) {
     start_epochs_.erase(it);
 
     WinData& w = world_.win(win);
-    RmaSyncScope sync(*this, win, /*passive=*/false);
+    RmaSyncScope sync(*this, "MPI_Win_complete", win, /*passive=*/false);
     for (int t : targets) {
         WinShard* sh = w.shard(t);
         if (!sh) return MPI_ERR_RANK;
@@ -522,7 +536,7 @@ int Rank::PMPI_Win_wait(Win win) {
     WinData& w = world_.win(win);
     WinShard* sh = w.shard(global_);
     if (!sh) return MPI_ERR_WIN;
-    RmaSyncScope sync(*this, win, /*passive=*/false);
+    RmaSyncScope sync(*this, "MPI_Win_wait", win, /*passive=*/false);
     // Blocks until all origins in the post group have completed --
     // "MPI_Win_wait will block until all outstanding MPI_Win_complete
     // calls have been issued" (paper section 4.2.1).  The target parks
@@ -590,7 +604,7 @@ int Rank::PMPI_Win_lock(int lock_type, int rank, int assert, Win win) {
         return comm_error(w.comm, MPI_ERR_RANK);
     WinShard* sh = w.shard(target);
     if (!sh) return MPI_ERR_RANK;
-    RmaSyncScope sync(*this, win, /*passive=*/true);
+    RmaSyncScope sync(*this, "MPI_Win_lock", win, /*passive=*/true);
     std::shared_ptr<LockWaiter> me;
     {
         std::lock_guard lk(sh->mu);
@@ -680,7 +694,7 @@ int Rank::PMPI_Win_unlock(int rank, Win win) {
     held->second.erase(ht);
     WinShard* sh = w.shard(target);
     if (!sh) return MPI_ERR_RANK;
-    RmaSyncScope sync(*this, win, /*passive=*/true);
+    RmaSyncScope sync(*this, "MPI_Win_unlock", win, /*passive=*/true);
     std::vector<std::shared_ptr<LockWaiter>> granted;
     {
         std::lock_guard lk(sh->mu);

@@ -2,9 +2,11 @@
 
 #include <pthread.h>
 #include <time.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "simmpi/rank.hpp"
@@ -20,6 +22,11 @@ constexpr std::uint32_t cat(Category c) { return static_cast<std::uint32_t>(c); 
 
 World::World(instr::Registry& reg, Config cfg) : reg_(reg), cfg_(std::move(cfg)) {
     register_mpi_functions();
+    if (cfg_.trace_enabled) {
+        trace::FlightRecorder::Options opt;
+        opt.ring_capacity = cfg_.trace_ring_capacity;
+        recorder_ = std::make_unique<trace::FlightRecorder>(opt);
+    }
 }
 
 World::~World() { join_all(); }
@@ -91,10 +98,13 @@ void World::register_mpi_functions() {
         {&FuncIds::MPI_Win_set_name, &FuncIds::PMPI_Win_set_name, "Win_set_name", 0},
         {&FuncIds::MPI_Abort, &FuncIds::PMPI_Abort, "Abort", 0},
     };
+    // The MPI_ (user-boundary) name additionally carries UserBoundary
+    // so FunctionGuard feeds the flight recorder exactly one span per
+    // user-level call; PMPI_ internals stay invisible to the trace.
     for (const Row& r : rows) {
         const std::uint32_t base = r.cats | Category::MpiApi;
-        fids_.*(r.mpi) =
-            reg_.register_function(std::string("MPI_") + r.name, "libmpi", base);
+        fids_.*(r.mpi) = reg_.register_function(std::string("MPI_") + r.name, "libmpi",
+                                                base | Category::UserBoundary);
         fids_.*(r.pmpi) =
             reg_.register_function(std::string("PMPI_") + r.name, "libmpi", base);
     }
@@ -131,8 +141,8 @@ void World::register_mpi_functions() {
     };
     for (const Row& r : io_rows) {
         const std::uint32_t base = r.cats | Category::MpiApi;
-        fids_.*(r.mpi) =
-            reg_.register_function(std::string("MPI_") + r.name, "libmpi", base);
+        fids_.*(r.mpi) = reg_.register_function(std::string("MPI_") + r.name, "libmpi",
+                                                base | Category::UserBoundary);
         fids_.*(r.pmpi) =
             reg_.register_function(std::string("PMPI_") + r.name, "libmpi", base);
     }
@@ -207,6 +217,7 @@ void World::start_proc(int global_rank, std::vector<std::string> argv) {
                                [this] { return start_released_ || !cfg_.start_paused; });
             }
             instr::set_current_rank(global_rank);
+            instr::set_thread_call_sink(recorder_.get());
             {
                 Rank rank(*this, global_rank);
                 // A killed/poisoned rank unwinds here instead of
@@ -242,6 +253,7 @@ void World::start_proc(int global_rank, std::vector<std::string> argv) {
                 p.final_cpu_seconds = static_cast<double>(ts.tv_sec) +
                                       static_cast<double>(ts.tv_nsec) * 1e-9;
             p.finished = true;  // publishes final_cpu_seconds
+            instr::set_thread_call_sink(nullptr);
             instr::set_current_rank(-1);
         });
 }
@@ -277,10 +289,11 @@ void World::join_all() {
         if (clock::now() >= deadline) {
             if (dumped) {
                 dump_state("join_all grace period expired; aborting");
+                emit_postmortem("join_all grace period expired; aborting");
                 std::abort();
             }
             dump_state("join_all deadline expired; poisoning world");
-            poison(MPI_ERR_OTHER);
+            poison(MPI_ERR_OTHER);  // poison() emits the postmortem
             dumped = true;
             deadline = clock::now() + std::chrono::seconds(10);
         }
@@ -329,6 +342,10 @@ void World::record_death(Epitaph e) {
     ProcData* p = procs_.find(e.global_rank);
     if (!p) return;
     if (p->dead.exchange(true, std::memory_order_acq_rel)) return;  // first death wins
+    // cause_name returns a string literal, so the recorded pointer
+    // outlives the world.
+    trace_event(trace::EventKind::Death, e.global_rank, cause_name(e.cause),
+                static_cast<std::int64_t>(e.calls_made));
     {
         std::lock_guard lk(epitaph_mu_);
         epitaphs_.push_back(e);
@@ -350,6 +367,8 @@ void World::poison(int errorcode) {
     poison_code_.compare_exchange_strong(expected, errorcode);
     poisoned_.store(true, std::memory_order_release);
     death_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    trace_event(trace::EventKind::Poison, -1, "world_poisoned", errorcode);
+    emit_postmortem("world poisoned");
 }
 
 bool World::any_dead(const std::vector<int>& global_ranks) const {
@@ -396,6 +415,57 @@ void World::dump_state(const char* why) const {
     }
     if (poisoned())
         std::fprintf(stderr, "  world poisoned with error code %d\n", poison_code());
+}
+
+void World::emit_postmortem(const char* why) {
+    if (!recorder_) return;
+    if (postmortem_emitted_.exchange(true, std::memory_order_acq_rel)) return;
+    // Mirror of trace::notes_from_world, inlined here because the
+    // flight-recorder layer must stay simmpi-free (see src/trace/
+    // CMakeLists.txt) while the World still owns the poison/watchdog
+    // emit points.
+    std::vector<trace::PostmortemNote> notes;
+    const std::vector<Epitaph> eps = epitaphs();
+    const int n = static_cast<int>(procs_.size());
+    for (int g = 0; g < n; ++g) {
+        const ProcData& p = *procs_.find(g);
+        trace::PostmortemNote note;
+        note.rank = g;
+        if (p.dead.load(std::memory_order_acquire)) {
+            note.status = "DEAD";
+            for (const Epitaph& e : eps) {
+                if (e.global_rank != g) continue;
+                note.status = std::string("DEAD: ") + cause_name(e.cause) +
+                              (e.detail.empty() ? "" : " - " + e.detail);
+                note.last_call = e.last_call;
+                break;
+            }
+        } else if (p.finished.load(std::memory_order_acquire)) {
+            note.status = "finished";
+        } else {
+            note.status = "running";
+            const char* lc = p.last_call.load(std::memory_order_relaxed);
+            if (lc) note.last_call = lc;
+        }
+        notes.push_back(std::move(note));
+    }
+    const std::string dump = trace::render_postmortem(*recorder_, notes, why);
+    std::fwrite(dump.data(), 1, dump.size(), stderr);
+    if (const char* dir = std::getenv("M2P_POSTMORTEM_DIR")) {
+        static std::atomic<int> counter{0};
+        char stem[96];
+        std::snprintf(stem, sizeof stem, "%s/postmortem_%ld_%d", dir,
+                      static_cast<long>(::getpid()),
+                      counter.fetch_add(1, std::memory_order_relaxed));
+        auto write_one = [](const std::string& path, const std::string& body) {
+            if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+                std::fwrite(body.data(), 1, body.size(), f);
+                std::fclose(f);
+            }
+        };
+        write_one(std::string(stem) + ".txt", dump);
+        write_one(std::string(stem) + ".trace.json", trace::render_chrome_json(*recorder_));
+    }
 }
 
 std::vector<int> World::live_procs() const {
@@ -701,8 +771,17 @@ Comm World::do_spawn(const std::string& command, const std::vector<std::string>&
     // std::terminate-ing the process) or an injected fault returns
     // MPI_COMM_NULL, which the rendezvous in PMPI_Comm_spawn turns
     // into MPI_ERR_SPAWN on every member of the spawning communicator.
-    if (!has_program(command)) return MPI_COMM_NULL;
-    if (cfg_.faults && cfg_.faults->on_spawn()) return MPI_COMM_NULL;
+    if (!has_program(command)) {
+        trace_event(trace::EventKind::Spawn, instr::current_rank(), "spawn_unknown_program",
+                    maxprocs, /*ok=*/0);
+        return MPI_COMM_NULL;
+    }
+    if (cfg_.faults && cfg_.faults->on_spawn()) {
+        trace_event(trace::EventKind::Fault, instr::current_rank(), "fault_spawn", maxprocs);
+        trace_event(trace::EventKind::Spawn, instr::current_rank(), "spawn", maxprocs,
+                    /*ok=*/0);
+        return MPI_COMM_NULL;
+    }
     // Simulated process-creation overhead: the paper calls out spawn
     // cost as something programmers will want to measure.
     std::this_thread::sleep_for(
@@ -726,6 +805,8 @@ Comm World::do_spawn(const std::string& command, const std::vector<std::string>&
         set_proc_comm_world(g, child_world, inter);
         start_proc(g, argv);
     }
+    trace_event(trace::EventKind::Spawn, instr::current_rank(), "spawn", maxprocs,
+                /*ok=*/1, inter);
     return inter;
 }
 

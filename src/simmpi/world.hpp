@@ -30,6 +30,7 @@
 #include "simmpi/faults.hpp"
 #include "simmpi/handle_table.hpp"
 #include "simmpi/types.hpp"
+#include "trace/flight_recorder.hpp"
 
 namespace m2p::simmpi {
 
@@ -531,6 +532,12 @@ public:
         /// get their state dumped to stderr, then the world is
         /// poisoned (and aborted if that does not unwedge them).
         double join_deadline_seconds = 120.0;
+        /// Always-on flight recorder (per-thread event rings).  Turn
+        /// off only for overhead ablations; the capacity is events per
+        /// recording thread, rounded up to a power of two -- older
+        /// events are overwritten, with exact drop counters.
+        bool trace_enabled = true;
+        std::size_t trace_ring_capacity = 8192;
     };
 
     World(instr::Registry& reg, Config cfg);
@@ -542,6 +549,31 @@ public:
     const Config& config() const { return cfg_; }
     Flavor flavor() const { return cfg_.flavor; }
     const FuncIds& fids() const { return fids_; }
+
+    // -- Flight recorder ---------------------------------------------------
+    /// Null when Config::trace_enabled is false.
+    trace::FlightRecorder* recorder() const { return recorder_.get(); }
+    /// Drops one instant event into the calling thread's ring; a no-op
+    /// (one pointer test) when tracing is disabled.
+    /// Folds a data-plane payload into the MpiCall span the recorder
+    /// will emit when the enclosing MPI_ trampoline returns -- no extra
+    /// ring slot or timestamp on the hot path.  No-op when tracing is
+    /// off or no user-boundary call is active on this thread.
+    void trace_call_payload(trace::EventKind kind, std::int64_t a = 0,
+                            std::int64_t b = 0, std::int64_t c = 0) {
+        if (recorder_)
+            instr::set_boundary_payload(static_cast<std::uint32_t>(kind), a, b, c);
+    }
+    void trace_event(trace::EventKind kind, int rank, const char* name,
+                     std::int64_t a = 0, std::int64_t b = 0, std::int64_t c = 0) {
+        if (recorder_) recorder_->record(kind, rank, name, a, b, c);
+    }
+    /// Renders the postmortem dump (stderr, plus files under
+    /// $M2P_POSTMORTEM_DIR when set) correlated with the epitaph
+    /// table.  Called from poison() and the join_all watchdog; emits at
+    /// most once per world.  Safe while rank threads are still
+    /// recording.
+    void emit_postmortem(const char* why);
 
     // -- Program registry ------------------------------------------------
     void register_program(const std::string& command, ProgramFn fn);
@@ -743,6 +775,10 @@ private:
     /// the tool can unregister without racing an in-flight callback.
     mutable std::mutex observer_mu_;
     std::function<void(const Epitaph&)> death_observer_;
+
+    // Flight recorder (null when Config::trace_enabled is false).
+    std::unique_ptr<trace::FlightRecorder> recorder_;
+    std::atomic<bool> postmortem_emitted_{false};
 };
 
 }  // namespace m2p::simmpi

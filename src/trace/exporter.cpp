@@ -1,0 +1,54 @@
+#include "trace/exporter.hpp"
+
+#include <cstdio>
+
+namespace m2p::trace {
+
+std::vector<PostmortemNote> notes_from_world(const simmpi::World& world) {
+    std::vector<PostmortemNote> notes;
+    const std::vector<simmpi::Epitaph> epitaphs = world.epitaphs();
+    const int n = static_cast<int>(world.proc_count());
+    for (int g = 0; g < n; ++g) {
+        const simmpi::ProcData& p = world.proc(g);
+        PostmortemNote note;
+        note.rank = g;
+        if (p.dead.load(std::memory_order_acquire)) {
+            note.status = "DEAD";
+            for (const simmpi::Epitaph& e : epitaphs) {
+                if (e.global_rank != g) continue;
+                note.status = std::string("DEAD: ") + simmpi::cause_name(e.cause) +
+                              (e.detail.empty() ? "" : " - " + e.detail);
+                note.last_call = e.last_call;
+                break;
+            }
+        } else if (p.finished.load(std::memory_order_acquire)) {
+            note.status = "finished";
+        } else {
+            note.status = "running";
+            const char* lc = p.last_call.load(std::memory_order_relaxed);
+            if (lc) note.last_call = lc;
+        }
+        notes.push_back(std::move(note));
+    }
+    return notes;
+}
+
+bool Exporter::write_files(const simmpi::World& world, const std::string& dir,
+                           const std::string& stem, const std::string& why) const {
+    auto write_one = [](const std::string& path, const std::string& body) {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "trace::Exporter: cannot write %s\n", path.c_str());
+            return false;
+        }
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+        return true;
+    };
+    const std::string base = dir.empty() ? stem : dir + "/" + stem;
+    const bool ok_json = write_one(base + ".trace.json", chrome_trace_json());
+    const bool ok_txt = write_one(base + ".postmortem.txt", postmortem(world, why));
+    return ok_json && ok_txt;
+}
+
+}  // namespace m2p::trace

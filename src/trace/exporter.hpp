@@ -1,0 +1,39 @@
+// trace::Exporter: world-aware front end over the flight recorder's
+// renderers.  Merges the per-thread rings into Chrome trace-event JSON
+// (load in chrome://tracing or Perfetto) and the plain-text postmortem
+// dump, correlating dead ranks with the World's epitaph table, and can
+// write both next to each other for CI artifact upload.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simmpi/world.hpp"
+#include "trace/flight_recorder.hpp"
+
+namespace m2p::trace {
+
+/// One PostmortemNote per process in @p world: status from the proc
+/// table, last-call record from the epitaph of a dead rank.
+std::vector<PostmortemNote> notes_from_world(const simmpi::World& world);
+
+class Exporter {
+public:
+    explicit Exporter(const FlightRecorder& fr) : fr_(fr) {}
+
+    std::string chrome_trace_json() const { return render_chrome_json(fr_); }
+
+    std::string postmortem(const simmpi::World& world, const std::string& why) const {
+        return render_postmortem(fr_, notes_from_world(world), why);
+    }
+
+    /// Writes <dir>/<stem>.trace.json and <dir>/<stem>.postmortem.txt.
+    /// Returns false (with a note on stderr) if either file fails.
+    bool write_files(const simmpi::World& world, const std::string& dir,
+                     const std::string& stem, const std::string& why) const;
+
+private:
+    const FlightRecorder& fr_;
+};
+
+}  // namespace m2p::trace

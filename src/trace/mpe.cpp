@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "trace/flight_recorder.hpp"
 #include "util/clock.hpp"
 
 namespace m2p::trace {
@@ -48,40 +49,32 @@ std::size_t TraceLog::size() const {
 // MpeLogger
 // ---------------------------------------------------------------------------
 
-MpeLogger::MpeLogger(simmpi::World& world) : world_(world) {
-    instr::Registry& reg = world_.registry();
-    // MPE interposes at the MPI->PMPI boundary: log every PMPI entry
-    // point (one interval per user-level MPI call).
-    for (instr::FuncId f :
-         reg.functions_with(static_cast<std::uint32_t>(instr::Category::MpiApi))) {
-        const instr::FunctionInfo& fi = reg.info(f);
-        if (fi.name.rfind("PMPI_", 0) != 0) continue;
-        const std::string display = fi.name.substr(1);  // PMPI_Recv -> MPI_Recv
-        handles_.push_back(
-            reg.insert(f, instr::Where::Entry, [this, f](const instr::CallContext&) {
-                std::lock_guard lk(mu_);
-                open_[{std::this_thread::get_id(), f}] = util::wall_seconds();
-            }));
-        handles_.push_back(reg.insert(
-            f, instr::Where::Return,
-            [this, f, display](const instr::CallContext& ctx) {
-                const double t1 = util::wall_seconds();
-                double t0 = t1;
-                {
-                    std::lock_guard lk(mu_);
-                    const auto key = std::make_pair(std::this_thread::get_id(), f);
-                    const auto it = open_.find(key);
-                    if (it == open_.end()) return;
-                    t0 = it->second;
-                    open_.erase(it);
-                }
-                log_.record(ctx.rank, display, t0, t1);
-            }));
-    }
-}
+MpeLogger::MpeLogger(simmpi::World& world)
+    : world_(world), start_ticks_(util::ticks()) {}
 
-MpeLogger::~MpeLogger() {
-    for (const auto& h : handles_) world_.registry().remove(h);
+MpeLogger::~MpeLogger() = default;
+
+const TraceLog& MpeLogger::log() const {
+    std::lock_guard lk(mu_);
+    log_ = std::make_unique<TraceLog>();
+    const FlightRecorder* fr = world_.recorder();
+    if (!fr) return *log_;  // tracing disabled: empty log
+    const util::TickCalibration cal = util::calibrate_ticks();
+    for (const Event& e : fr->snapshot()) {
+        // Pt2pt spans are call spans with a folded transfer payload;
+        // MPE's state log wants the call interval either way.
+        if (e.kind != static_cast<std::uint32_t>(EventKind::MpiCall) &&
+            e.kind != static_cast<std::uint32_t>(EventKind::Pt2ptSend) &&
+            e.kind != static_cast<std::uint32_t>(EventKind::Pt2ptRecv))
+            continue;
+        if (e.rank < 0 || !e.name) continue;
+        // Signed tick difference: the recorder and this logger share
+        // one clock, but a call may straddle construction.
+        if (static_cast<std::int64_t>(e.t1 - start_ticks_) < 0) continue;
+        log_->record(e.rank, e.name, util::ticks_to_wall(cal, e.t0),
+                     util::ticks_to_wall(cal, e.t1));
+    }
+    return *log_;
 }
 
 // ---------------------------------------------------------------------------

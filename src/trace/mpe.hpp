@@ -12,9 +12,9 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "instr/registry.hpp"
@@ -46,8 +46,12 @@ private:
     bool any_ = false;
 };
 
-/// The "MPE profiling library": instruments every MPI entry point of a
-/// world and logs (rank, routine, interval).  Remove on destruction.
+/// The "MPE profiling library", rebuilt as a backend of the flight
+/// recorder: instead of inserting its own snippets on every PMPI entry
+/// point, it reads the MpiCall spans the always-on recorder already
+/// captured at the MPI_ trampoline boundary and presents them as the
+/// familiar (rank, routine, interval) log.  Construction just stamps
+/// a start time; log() materializes the intervals observed since then.
 class MpeLogger {
 public:
     explicit MpeLogger(simmpi::World& world);
@@ -55,14 +59,17 @@ public:
     MpeLogger(const MpeLogger&) = delete;
     MpeLogger& operator=(const MpeLogger&) = delete;
 
-    const TraceLog& log() const { return log_; }
+    /// Rebuilds the interval log from the recorder's current ring
+    /// contents (calls completed since this logger was constructed).
+    /// Overwritten ring slots are gone -- the paper's "trace files got
+    /// too large" problem shows up here as dropped events instead.
+    const TraceLog& log() const;
 
 private:
     simmpi::World& world_;
-    TraceLog log_;
-    std::mutex mu_;
-    std::map<std::pair<std::thread::id, instr::FuncId>, double> open_;
-    std::vector<instr::SnippetHandle> handles_;
+    std::uint64_t start_ticks_ = 0;
+    mutable std::mutex mu_;
+    mutable std::unique_ptr<TraceLog> log_;
 };
 
 /// Serializes the log to the CLOG-like text format MPE writes to disk

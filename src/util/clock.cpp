@@ -8,6 +8,10 @@
 #include <chrono>
 #include <vector>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
 namespace m2p::util {
 
 double wall_seconds() {
@@ -60,6 +64,31 @@ void burn_system_time(double seconds) {
         }
     }
     if (fd >= 0) ::close(fd);
+}
+
+namespace {
+struct TickAnchor {
+    std::uint64_t t = ticks();
+    double w = wall_seconds();
+};
+}  // namespace
+
+TickCalibration calibrate_ticks() {
+    static const TickAnchor anchor;  // magic static: thread-safe init
+    std::uint64_t t1 = ticks();
+    double w1 = wall_seconds();
+    // The rate needs a non-trivial window; only the very first caller
+    // right after process start can land inside it.
+    while (w1 - anchor.w < 1e-4) {
+        t1 = ticks();
+        w1 = wall_seconds();
+    }
+    TickCalibration c;
+    c.t0 = anchor.t;
+    c.wall0 = anchor.w;
+    const std::uint64_t dt = t1 - anchor.t;
+    c.seconds_per_tick = dt ? (w1 - anchor.w) / static_cast<double>(dt) : 1e-9;
+    return c;
 }
 
 }  // namespace m2p::util

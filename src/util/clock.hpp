@@ -10,6 +10,12 @@
 
 #include <cstdint>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#else
+#include <chrono>
+#endif
+
 namespace m2p::util {
 
 /// Monotonic wall-clock time in seconds since an arbitrary epoch.
@@ -34,5 +40,37 @@ void burn_thread_cpu(double seconds);
 /// wall time pass.  Time accrues as *system* time, which the default
 /// metric set cannot see (paper Table 2, "system-time": Fail).
 void burn_system_time(double seconds);
+
+/// Cheap monotonic timestamp for the flight recorder's event rings:
+/// the TSC on x86 (a few ns per read, no syscall/vDSO crossing), the
+/// steady clock's raw nanosecond count elsewhere.  Raw ticks have no
+/// fixed unit -- convert with calibrate_ticks()/ticks_to_wall() at
+/// export time, never on the recording path.  Inline on purpose: a
+/// function-call round trip per stamp would double the cost of the
+/// flight recorder's hot path.
+inline std::uint64_t ticks() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    return __rdtsc();
+#else
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// Linear map from raw ticks to the wall_seconds() time base, sampled
+/// against a process-lifetime anchor.  Calibration spins for ~100 us
+/// the first time it is called very early in the process; afterwards
+/// the elapsed window makes the rate estimate essentially free.
+struct TickCalibration {
+    std::uint64_t t0 = 0;          ///< anchor tick count
+    double wall0 = 0.0;            ///< wall_seconds() at the anchor
+    double seconds_per_tick = 0.0;
+};
+TickCalibration calibrate_ticks();
+
+inline double ticks_to_wall(const TickCalibration& c, std::uint64_t t) {
+    return c.wall0 +
+           static_cast<double>(static_cast<std::int64_t>(t - c.t0)) * c.seconds_per_tick;
+}
 
 }  // namespace m2p::util

@@ -1,0 +1,239 @@
+// MPI-IO transfer matrix: every MPI_File_* data operation, across both
+// library flavors and {2, 5, 16}-rank worlds, with exact byte-counter
+// assertions checked twice -- once from the Status each call returns,
+// and once from the flight recorder's Io events, which must agree with
+// it byte for byte.  Plus the fault interplay: a rank that dies inside
+// a collective file operation fails the survivors with
+// MPI_ERR_PROC_FAILED instead of wedging the epoch.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "simmpi/faults.hpp"
+#include "simmpi/launcher.hpp"
+#include "simmpi/rank.hpp"
+#include "simmpi/world.hpp"
+#include "trace/flight_recorder.hpp"
+
+namespace m2p::simmpi {
+namespace {
+
+World::Config fast_fs(Flavor f) {
+    World::Config c;
+    c.flavor = f;
+    c.file_latency_seconds = 1e-6;  // keep 16-rank rounds quick
+    c.file_bandwidth_bytes_per_second = 10e9;
+    return c;
+}
+
+void run_ranks(World& world, int n) {
+    LaunchPlan plan;
+    for (int i = 0; i < n; ++i)
+        plan.placements.push_back("node" + std::to_string(i % 2));
+    launch(world, "prog", {}, plan);
+    world.join_all();
+}
+
+/// Per-rank payload size for the explicit-offset stripe: distinct per
+/// rank so a swapped counter cannot cancel out.
+int stripe_bytes(int me) { return 8 * (me + 1); }
+
+class IoMatrix : public ::testing::TestWithParam<std::tuple<Flavor, int>> {};
+
+TEST_P(IoMatrix, EveryTransferOpMovesExactlyTheBytesItClaims) {
+    const auto [flavor, nranks] = GetParam();
+    instr::Registry reg;
+    World world(reg, fast_fs(flavor));
+
+    // rank -> op -> bytes claimed by the returned Status.
+    std::mutex mu;
+    std::map<int, std::map<std::string, std::int64_t>> claimed;
+    auto claim = [&](int me, const char* op, const Status& st) {
+        std::lock_guard lk(mu);
+        claimed[me][op] += st.count_bytes;
+    };
+
+    world.register_program("prog", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0, n = 0;
+        r.MPI_Comm_rank(w, &me);
+        r.MPI_Comm_size(w, &n);
+        File fh = MPI_FILE_NULL;
+        ASSERT_EQ(r.MPI_File_open(w, "matrix.dat", MPI_MODE_CREATE | MPI_MODE_RDWR,
+                                  MPI_INFO_NULL, &fh),
+                  MPI_SUCCESS);
+        // Large enough for the biggest stripe (rank 15 writes 128 bytes).
+        std::vector<char> buf(192, static_cast<char>('a' + (me % 26)));
+        Status st;
+
+        // Explicit offsets: disjoint stripes, distinct sizes per rank.
+        const int b = stripe_bytes(me);
+        ASSERT_EQ(r.MPI_File_write_at(fh, me * 64, buf.data(), b, MPI_BYTE, &st),
+                  MPI_SUCCESS);
+        EXPECT_EQ(st.count_bytes, b);
+        claim(me, "MPI_File_write_at", st);
+        ASSERT_EQ(r.MPI_Barrier(w), MPI_SUCCESS);
+        ASSERT_EQ(r.MPI_File_read_at(fh, me * 64, buf.data(), b, MPI_BYTE, &st),
+                  MPI_SUCCESS);
+        EXPECT_EQ(st.count_bytes, b);
+        claim(me, "MPI_File_read_at", st);
+
+        // Individual pointer: seek to the stripe, write then read back.
+        ASSERT_EQ(r.MPI_File_seek(fh, me * 64, MPI_SEEK_SET), MPI_SUCCESS);
+        ASSERT_EQ(r.MPI_File_write(fh, buf.data(), 16, MPI_BYTE, &st), MPI_SUCCESS);
+        EXPECT_EQ(st.count_bytes, 16);
+        claim(me, "MPI_File_write", st);
+        ASSERT_EQ(r.MPI_File_seek(fh, me * 64, MPI_SEEK_SET), MPI_SUCCESS);
+        ASSERT_EQ(r.MPI_File_read(fh, buf.data(), 16, MPI_BYTE, &st), MPI_SUCCESS);
+        EXPECT_EQ(st.count_bytes, 16);
+        claim(me, "MPI_File_read", st);
+
+        // Collective transfers (individual pointers, now at stripe+16).
+        ASSERT_EQ(r.MPI_File_write_all(fh, buf.data(), 32, MPI_BYTE, &st),
+                  MPI_SUCCESS);
+        EXPECT_EQ(st.count_bytes, 32);
+        claim(me, "MPI_File_write_all", st);
+        ASSERT_EQ(r.MPI_File_seek(fh, me * 64, MPI_SEEK_SET), MPI_SUCCESS);
+        ASSERT_EQ(r.MPI_File_read_all(fh, buf.data(), 32, MPI_BYTE, &st),
+                  MPI_SUCCESS);
+        EXPECT_EQ(st.count_bytes, 32);
+        claim(me, "MPI_File_read_all", st);
+
+        // Shared pointer: every rank appends 4 bytes to the shared
+        // region [0, 4n), then reads the next 4n bytes -- all inside
+        // the stripe extent, so counts stay exact.
+        ASSERT_EQ(r.MPI_File_write_shared(fh, buf.data(), 4, MPI_BYTE, &st),
+                  MPI_SUCCESS);
+        EXPECT_EQ(st.count_bytes, 4);
+        claim(me, "MPI_File_write_shared", st);
+        ASSERT_EQ(r.MPI_Barrier(w), MPI_SUCCESS);
+        ASSERT_EQ(r.MPI_File_read_shared(fh, buf.data(), 4, MPI_BYTE, &st),
+                  MPI_SUCCESS);
+        EXPECT_EQ(st.count_bytes, 4);
+        claim(me, "MPI_File_read_shared", st);
+
+        ASSERT_EQ(r.MPI_File_sync(fh), MPI_SUCCESS);
+        ASSERT_EQ(r.MPI_File_close(&fh), MPI_SUCCESS);
+        ASSERT_EQ(r.MPI_Barrier(w), MPI_SUCCESS);
+        if (me == 0)
+            ASSERT_EQ(r.MPI_File_delete("matrix.dat", MPI_INFO_NULL), MPI_SUCCESS);
+        r.MPI_Finalize();
+    });
+    run_ranks(world, nranks);
+    ASSERT_TRUE(world.all_finished());
+    ASSERT_TRUE(world.epitaphs().empty());
+    EXPECT_FALSE(world.fs_exists("matrix.dat"));
+
+    // Cross-check: the flight recorder's Io events, summed per rank and
+    // op, must agree with the Status-claimed bytes exactly.
+    ASSERT_NE(world.recorder(), nullptr);
+    std::map<int, std::map<std::string, std::int64_t>> traced;
+    std::map<int, std::map<std::string, int>> calls;
+    for (const trace::Event& e : world.recorder()->snapshot()) {
+        if (e.kind != static_cast<std::uint32_t>(trace::EventKind::Io)) continue;
+        traced[e.rank][e.name] += e.a;
+        calls[e.rank][e.name] += 1;
+    }
+    const char* kTransferOps[] = {
+        "MPI_File_write_at", "MPI_File_read_at",     "MPI_File_write",
+        "MPI_File_read",     "MPI_File_write_all",   "MPI_File_read_all",
+        "MPI_File_write_shared", "MPI_File_read_shared"};
+    for (int me = 0; me < nranks; ++me) {
+        for (const char* op : kTransferOps) {
+            ASSERT_TRUE(claimed[me].count(op)) << "rank " << me << " " << op;
+            EXPECT_EQ(traced[me][op], claimed[me][op])
+                << "rank " << me << " op " << op;
+        }
+        // Lifecycle ops leave exactly one zero-byte event each (three
+        // seeks: stripe rewinds before write, read, and read_all).
+        EXPECT_EQ(calls[me]["MPI_File_open"], 1) << "rank " << me;
+        EXPECT_EQ(calls[me]["MPI_File_close"], 1) << "rank " << me;
+        EXPECT_EQ(calls[me]["MPI_File_sync"], 1) << "rank " << me;
+        EXPECT_EQ(calls[me]["MPI_File_seek"], 3) << "rank " << me;
+        EXPECT_EQ(traced[me]["MPI_File_sync"], 0) << "rank " << me;
+    }
+    EXPECT_EQ(calls[0]["MPI_File_delete"], 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFlavorsAndSizes, IoMatrix,
+    ::testing::Combine(::testing::Values(Flavor::Lam, Flavor::Mpich),
+                       ::testing::Values(2, 5, 16)),
+    [](const ::testing::TestParamInfo<IoMatrix::ParamType>& info) {
+        return std::string(std::get<0>(info.param) == Flavor::Lam ? "Lam" : "Mpich") +
+               std::to_string(std::get<1>(info.param)) + "ranks";
+    });
+
+// ---------------------------------------------------------------------------
+// Fault interplay: a rank dies inside a collective file operation.  The
+// collective's internal barrier must detect the death and fail every
+// survivor with MPI_ERR_PROC_FAILED; the epitaph and the flight
+// recorder both name the fatal call.
+// ---------------------------------------------------------------------------
+
+TEST(IoMatrixFaults, RankDiesInsideCollectiveWriteAll) {
+    constexpr int kRanks = 5;
+    constexpr int kVictim = 2;
+    instr::Registry reg;
+    World::Config cfg = fast_fs(Flavor::Lam);
+    cfg.wait_deadline_seconds = 5.0;
+    cfg.join_deadline_seconds = 30.0;
+    cfg.faults = std::make_shared<FaultPlan>();
+    cfg.faults->hang_in_call(kVictim, "MPI_File_write_all", 0.05);
+    World world(reg, cfg);
+
+    std::mutex mu;
+    std::map<int, int> write_rc;
+    world.register_program("prog", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        File fh = MPI_FILE_NULL;
+        ASSERT_EQ(r.MPI_File_open(w, "doomed.dat", MPI_MODE_CREATE | MPI_MODE_WRONLY,
+                                  MPI_INFO_NULL, &fh),
+                  MPI_SUCCESS);
+        char b[8] = {};
+        Status st;
+        const int rc = r.MPI_File_write_all(fh, b, sizeof b, MPI_BYTE, &st);
+        {
+            std::lock_guard lk(mu);
+            write_rc[me] = rc;
+        }
+        r.MPI_File_close(&fh);
+        r.MPI_Finalize();
+    });
+    run_ranks(world, kRanks);
+
+    const auto epitaphs = world.epitaphs();
+    ASSERT_EQ(epitaphs.size(), 1u);
+    EXPECT_EQ(epitaphs[0].global_rank, kVictim);
+    EXPECT_EQ(epitaphs[0].last_call, "MPI_File_write_all");
+
+    // The victim never reports; every survivor fails with PROC_FAILED.
+    EXPECT_EQ(write_rc.count(kVictim), 0u);
+    for (int me = 0; me < kRanks; ++me) {
+        if (me == kVictim) continue;
+        ASSERT_EQ(write_rc.count(me), 1u) << "rank " << me << " hung?";
+        EXPECT_EQ(write_rc[me], MPI_ERR_PROC_FAILED) << "rank " << me;
+    }
+
+    // The recorder saw the fault fire inside the collective write.
+    ASSERT_NE(world.recorder(), nullptr);
+    bool fault_in_write_all = false;
+    for (const trace::Event& e : world.recorder()->snapshot())
+        if (e.kind == static_cast<std::uint32_t>(trace::EventKind::Fault) &&
+            e.rank == kVictim && e.name &&
+            std::strcmp(e.name, "MPI_File_write_all") == 0)
+            fault_in_write_all = true;
+    EXPECT_TRUE(fault_in_write_all);
+}
+
+}  // namespace
+}  // namespace m2p::simmpi

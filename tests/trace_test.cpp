@@ -85,16 +85,32 @@ TEST(MpeLogger, RandomBarrierShowsMostRanksInBarrier) {
     EXPECT_LT(avg, 4.0);
 }
 
-TEST(MpeLogger, RemovesInstrumentationOnDestruction) {
+TEST(MpeLogger, IsAZeroSnippetBackendOfTheFlightRecorder) {
+    // The rebuilt MPE layer reads the always-on flight recorder instead
+    // of inserting its own snippets: constructing a logger must leave
+    // the instrumentation state of every MPI entry point untouched.
     core::Session s(simmpi::Flavor::Lam);
     instr::Registry& reg = s.registry();
     const instr::FuncId f = reg.find("PMPI_Send");
     const std::size_t before = reg.snippet_count(f, instr::Where::Entry);
-    {
-        MpeLogger mpe(s.world());
-        EXPECT_GT(reg.snippet_count(f, instr::Where::Entry), before);
-    }
+    MpeLogger mpe(s.world());
     EXPECT_EQ(reg.snippet_count(f, instr::Where::Entry), before);
+    EXPECT_EQ(mpe.log().size(), 0u);  // nothing ran since construction
+}
+
+TEST(MpeLogger, ScopesTheLogToCallsAfterConstruction) {
+    // Two loggers around the same run: one constructed before, one
+    // after.  The late one must see none of the run's intervals even
+    // though the recorder still holds them.
+    core::Session s(simmpi::Flavor::Lam);
+    ppm::Params p;
+    p.iterations = 10;
+    ppm::register_all(s.world(), p);
+    MpeLogger early(s.world());
+    s.run(ppm::kSmallMessages, 2);
+    MpeLogger late(s.world());
+    EXPECT_GT(early.log().size(), 0u);
+    EXPECT_EQ(late.log().size(), 0u);
 }
 
 TEST(TimeLines, LegendCoversWinStates) {
