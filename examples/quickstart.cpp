@@ -16,7 +16,13 @@ int main() {
     using namespace m2p;
 
     instr::Registry registry;
-    simmpi::World world(registry, {.flavor = simmpi::Flavor::Lam});
+    // Measurement sessions use the preemptive thread engine: the
+    // PPerfMark bottleneck scenarios (and the sync-wait metric they
+    // feed) rely on ranks progressing concurrently, which cooperative
+    // fibers do not guarantee.  core::Session picks this default via
+    // tool_world_config(); a raw World must opt in.
+    simmpi::World world(registry, {.flavor = simmpi::Flavor::Lam,
+                                   .rank_engine = simmpi::RankEngine::Thread});
     core::PerfTool tool(world);
 
     // Use a PPerfMark program as the "application": clients flood one

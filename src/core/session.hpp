@@ -14,10 +14,25 @@
 
 namespace m2p::core {
 
+/// Default World configuration for tool sessions: the preemptive
+/// thread-per-rank engine.  The PPerfMark bottleneck scenarios (paper
+/// Table 2) depend on ranks being scheduled preemptively -- a flooded
+/// server falls behind its clients only when a client can keep
+/// producing while the server is off-CPU.  The cooperative fiber
+/// engine's fairness points drain every mailbox as it fills, which on
+/// a small worker pool erases exactly the blocking the tool exists to
+/// observe.  Callers that want fiber ranks under the tool (the
+/// rank-scaling benches) pass an explicit config.
+inline simmpi::World::Config tool_world_config() {
+    simmpi::World::Config cfg;
+    cfg.rank_engine = simmpi::RankEngine::Thread;
+    return cfg;
+}
+
 class Session {
 public:
     explicit Session(simmpi::Flavor flavor, PerfTool::Options topts = {},
-                     simmpi::World::Config wcfg = {});
+                     simmpi::World::Config wcfg = tool_world_config());
 
     instr::Registry& registry() { return reg_; }
     simmpi::World& world() { return world_; }

@@ -102,6 +102,19 @@ void set_current_rank(int rank) { t_current_rank = rank; }
 CallTraceSink* thread_call_sink() { return t_call_sink; }
 void set_thread_call_sink(CallTraceSink* sink) { t_call_sink = sink; }
 
+ThreadContext exchange_thread_context(const ThreadContext& next) {
+    ThreadContext prev;
+    prev.rank = t_current_rank;
+    prev.sink = t_call_sink;
+    prev.payload = detail::t_boundary_payload;
+    prev.boundary_active = detail::t_boundary_active;
+    t_current_rank = next.rank;
+    t_call_sink = next.sink;
+    detail::t_boundary_payload = next.payload;
+    detail::t_boundary_active = next.boundary_active;
+    return prev;
+}
+
 struct Registry::PointImpl {
     // RCU-published snippet snapshot.  nullptr means "no snippets": the
     // dispatch fast path is one acquire load and a branch.  Writers

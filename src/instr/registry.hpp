@@ -163,6 +163,24 @@ inline BoundaryPayload take_boundary_payload() noexcept {
     return p;
 }
 
+/// The per-thread instrumentation state that travels with a simmpi
+/// fiber when it migrates between scheduler workers: the rank
+/// identity, the call-trace sink, and any in-flight boundary payload
+/// (a FunctionGuard span can straddle a park).  Hazard pointers and
+/// the stat-shard cache deliberately stay per-OS-thread: dispatch
+/// never parks, so they can never be observed mid-migration.
+struct ThreadContext {
+    int rank = -1;
+    CallTraceSink* sink = nullptr;
+    BoundaryPayload payload{};
+    bool boundary_active = false;
+};
+
+/// Atomically (with respect to this thread) swap the migration-visible
+/// TLS for @p next and return the previous values.  Scheduler workers
+/// call this at fiber switch-in/switch-out.
+ThreadContext exchange_thread_context(const ThreadContext& next);
+
 class Registry {
 public:
     Registry();

@@ -4,6 +4,12 @@
 
 namespace m2p::mdl {
 
+CtxKey current_ctx_key() {
+    const int r = instr::current_rank();
+    if (r >= 0) return CtxKey{r, {}};
+    return CtxKey{-1, std::this_thread::get_id()};
+}
+
 // ---------------------------------------------------------------------------
 // ConstraintInstance
 // ---------------------------------------------------------------------------
@@ -20,13 +26,13 @@ std::int64_t ConstraintInstance::binding(int k) const {
 
 bool ConstraintInstance::flag() const {
     std::lock_guard lk(mu_);
-    const auto it = flags_.find(std::this_thread::get_id());
+    const auto it = flags_.find(current_ctx_key());
     return it != flags_.end() && it->second != 0;
 }
 
 void ConstraintInstance::set_flag(std::int64_t v) {
     std::lock_guard lk(mu_);
-    std::int64_t& depth = flags_[std::this_thread::get_id()];
+    std::int64_t& depth = flags_[current_ctx_key()];
     if (v != 0)
         ++depth;
     else if (depth > 0)
@@ -42,7 +48,7 @@ MetricInstance::MetricInstance(std::string primary_var, BaseType base, MetricSin
 
 std::int64_t MetricInstance::get_var(const std::string& name) const {
     std::lock_guard lk(mu_);
-    const auto tit = scratch_.find(std::this_thread::get_id());
+    const auto tit = scratch_.find(current_ctx_key());
     if (tit == scratch_.end()) return 0;
     const auto it = tit->second.find(name);
     return it == tit->second.end() ? 0 : it->second;
@@ -50,7 +56,7 @@ std::int64_t MetricInstance::get_var(const std::string& name) const {
 
 void MetricInstance::set_var(const std::string& name, std::int64_t v) {
     std::lock_guard lk(mu_);
-    scratch_[std::this_thread::get_id()][name] = v;
+    scratch_[current_ctx_key()][name] = v;
 }
 
 void MetricInstance::add_primary(double now, double delta) {
@@ -60,7 +66,7 @@ void MetricInstance::add_primary(double now, double delta) {
 void MetricInstance::start_timer(const std::string& name, bool proc_time) {
     const double now = proc_time ? util::thread_cpu_seconds() : util::wall_seconds();
     std::lock_guard lk(mu_);
-    TimerState& t = timers_[name][std::this_thread::get_id()];
+    TimerState& t = timers_[name][current_ctx_key()];
     if (t.nest++ == 0) t.start = now;
 }
 
@@ -69,7 +75,7 @@ void MetricInstance::stop_timer(const std::string& name, bool proc_time) {
     double delta = -1.0;
     {
         std::lock_guard lk(mu_);
-        TimerState& t = timers_[name][std::this_thread::get_id()];
+        TimerState& t = timers_[name][current_ctx_key()];
         if (t.nest == 0) return;  // stop without start: ignore
         if (--t.nest == 0) delta = now_t - t.start;
     }

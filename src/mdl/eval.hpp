@@ -49,7 +49,26 @@ using EventGate = std::function<bool(const instr::CallContext&)>;
 /// registered functions.  The tool owns the set definitions.
 using FuncSetResolver = std::function<std::vector<instr::FuncId>(const std::string&)>;
 
-/// Per-thread flag state of one instantiated resource constraint.
+/// Key identifying the execution context that owns per-context MDL
+/// state (constraint nesting flags, scratch variables, timer nests).
+/// simmpi ranks run as fibers migrating across scheduler worker
+/// threads, so thread identity alone would both mix two ranks sharing
+/// a worker and lose a rank's state when it moves.  Rank identity
+/// (carried in the fiber's migrated instr context) keys rank state;
+/// non-rank tool threads fall back to their thread id.
+struct CtxKey {
+    int rank = -1;
+    std::thread::id tid{};
+    bool operator<(const CtxKey& o) const {
+        return rank != o.rank ? rank < o.rank : tid < o.tid;
+    }
+};
+
+/// The calling context's key: {rank, default id} on a rank, {-1,
+/// this thread's id} elsewhere.
+CtxKey current_ctx_key();
+
+/// Per-context flag state of one instantiated resource constraint.
 ///
 /// Flags are nesting *depths*: MDL's `X = 1` at a function entry
 /// increments and `X = 0` at its return decrements (clamped at zero),
@@ -62,7 +81,7 @@ public:
 
     const std::string& flag_var() const { return flag_var_; }
     std::int64_t binding(int k) const;  ///< $constraint[k]
-    bool flag() const;                  ///< this thread's depth > 0
+    bool flag() const;                  ///< this context's depth > 0
     /// Nonzero v: push one nesting level; zero: pop one (clamped).
     void set_flag(std::int64_t v);
 
@@ -70,7 +89,7 @@ private:
     std::string flag_var_;
     std::vector<std::int64_t> bindings_;
     mutable std::mutex mu_;
-    std::map<std::thread::id, std::int64_t> flags_;
+    std::map<CtxKey, std::int64_t> flags_;
 };
 
 /// Counter / timer environment of one instantiated metric.
@@ -81,7 +100,7 @@ public:
     const std::string& primary_var() const { return primary_var_; }
     BaseType base() const { return base_; }
 
-    // Scratch counters are per-thread (each rank computes its own
+    // Scratch counters are per-context (each rank computes its own
     // `bytes`/`count` temporaries).
     std::int64_t get_var(const std::string& name) const;
     void set_var(const std::string& name, std::int64_t v);
@@ -100,8 +119,8 @@ private:
     BaseType base_;
     MetricSink sink_;
     mutable std::mutex mu_;
-    std::map<std::thread::id, std::map<std::string, std::int64_t>> scratch_;
-    std::map<std::string, std::map<std::thread::id, TimerState>> timers_;
+    std::map<CtxKey, std::map<std::string, std::int64_t>> scratch_;
+    std::map<std::string, std::map<CtxKey, TimerState>> timers_;
 };
 
 /// A constraint to instantiate alongside a metric: the definition plus

@@ -3,9 +3,9 @@
 // solver.
 #include <cstring>
 #include <chrono>
-#include <thread>
 
 #include "pperfmark/detail.hpp"
+#include "simmpi/sched.hpp"
 #include "util/clock.hpp"
 
 namespace m2p::ppm::detail {
@@ -168,7 +168,7 @@ void winlock_sync(Rank& r, const Ctx& cx) {
         // the releasing thread would otherwise re-lock before any
         // waiter is scheduled (real cluster nodes run one rank per
         // CPU, so this starvation cannot occur there).
-        std::this_thread::sleep_for(std::chrono::microseconds(me == 0 ? 200 : 50));
+        simmpi::sched::sleep_for(std::chrono::microseconds(me == 0 ? 200 : 50));
     }
     r.MPI_Win_free(&win);
     r.MPI_Finalize();

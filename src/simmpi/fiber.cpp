@@ -1,0 +1,292 @@
+#include "simmpi/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "simmpi/sched.hpp"
+
+// ---------------------------------------------------------------------------
+// Sanitizer fiber hooks.  Declared by hand so the plain build needs no
+// sanitizer headers; each block compiles in only under its sanitizer.
+// ---------------------------------------------------------------------------
+
+#if defined(__SANITIZE_ADDRESS__)
+#define M2P_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define M2P_ASAN 1
+#endif
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define M2P_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define M2P_TSAN 1
+#endif
+#endif
+
+#if defined(M2P_ASAN)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old, size_t* size_old);
+}
+#endif
+
+#if defined(M2P_TSAN)
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+void __tsan_set_fiber_name(void* fiber, const char* name);
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Machine context switch.
+//
+// x86-64: an fcontext-style swap.  The System V callee-saved registers
+// (rbp rbx r12-r15) plus the mxcsr and x87 control words are pushed to
+// the outgoing stack, the stack pointers are exchanged, and the same
+// state is popped from the incoming stack.  The third argument rides
+// across the switch in rax so the resumed side receives it as the
+// return value; a fresh fiber's seeded stack instead `ret`s into a
+// thunk that moves rax into rdi and calls the C++ entry.
+//
+// Alignment: the seeded frame leaves rsp 16-byte aligned at thunk
+// entry, so the thunk's `call` meets the psABI requirement (rsp % 16
+// == 8 at the callee's first instruction).  There is no CFI for these
+// frames; nothing ever unwinds across a switch (the fiber entry is
+// noexcept-by-catch-all).
+// ---------------------------------------------------------------------------
+
+#if defined(__x86_64__)
+
+extern "C" void* m2p_ctx_switch(void** save_sp, void* load_sp, void* arg);
+extern "C" void m2p_fiber_entry(void* f);
+
+asm(R"(
+    .text
+    .globl m2p_ctx_switch
+    .hidden m2p_ctx_switch
+    .type m2p_ctx_switch,@function
+    .align 16
+m2p_ctx_switch:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    subq $8, %rsp
+    stmxcsr (%rsp)
+    fnstcw 4(%rsp)
+    movq %rsp, (%rdi)
+    movq %rsi, %rsp
+    ldmxcsr (%rsp)
+    fldcw 4(%rsp)
+    addq $8, %rsp
+    movq %rdx, %rax
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    retq
+    .size m2p_ctx_switch,.-m2p_ctx_switch
+
+    .globl m2p_fiber_thunk
+    .hidden m2p_fiber_thunk
+    .type m2p_fiber_thunk,@function
+    .align 16
+m2p_fiber_thunk:
+    movq %rax, %rdi
+    callq m2p_fiber_entry
+    ud2
+    .size m2p_fiber_thunk,.-m2p_fiber_thunk
+)");
+
+extern "C" void m2p_fiber_thunk();
+
+#else  // !__x86_64__
+
+#include <ucontext.h>
+
+#endif
+
+namespace m2p::simmpi::sched {
+
+namespace {
+
+std::size_t page_size() {
+    static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+    return ps;
+}
+
+std::size_t round_up(std::size_t n, std::size_t to) {
+    return (n + to - 1) / to * to;
+}
+
+[[noreturn]] void die(const char* what) {
+    std::fprintf(stderr, "simmpi fiber: %s\n", what);
+    std::abort();
+}
+
+#if !defined(__x86_64__)
+// makecontext cannot portably pass pointers and swapcontext cannot
+// carry a value across, so the transfer argument rides through a
+// thread-local: set by the switching side, read by the resumed side
+// (both are always on the same OS thread at the moment of the swap).
+thread_local void* t_xfer_arg = nullptr;
+
+void fiber_ucontext_trampoline() {
+    Fiber::entry(static_cast<Fiber*>(t_xfer_arg));
+}
+#endif
+
+}  // namespace
+
+Fiber::Fiber(Scheduler* sched, Body body, std::size_t stack_bytes)
+    : sched_(sched), body_(std::move(body)) {
+    const std::size_t ps = page_size();
+    const std::size_t usable = round_up(stack_bytes < 4 * ps ? 4 * ps : stack_bytes, ps);
+    stack_total_ = usable + ps;  // one guard page below the stack
+    void* base = mmap(nullptr, stack_total_, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+    if (base == MAP_FAILED) die("stack mmap failed");
+    if (mprotect(base, ps, PROT_NONE) != 0) die("guard mprotect failed");
+    stack_base_ = base;
+    ctx_.stack_bottom = static_cast<std::byte*>(base) + ps;
+    ctx_.stack_size = usable;
+
+    token_ = std::make_shared<WaitToken>();
+    token_->fiber_ = this;
+
+#if defined(M2P_TSAN)
+    ctx_.tsan_fiber = __tsan_create_fiber(0);
+    __tsan_set_fiber_name(ctx_.tsan_fiber, "simmpi-rank");
+#endif
+
+#if defined(__x86_64__)
+    // Seed the initial frame (see the asm comment for the layout): the
+    // restore path pops mxcsr/fcw, six registers, then `ret`s into the
+    // thunk with rsp 16-aligned.
+    auto* top = reinterpret_cast<std::uintptr_t*>(
+        static_cast<std::byte*>(const_cast<void*>(ctx_.stack_bottom)) + usable);
+    // top is page-aligned hence 16-aligned.
+    *--top = reinterpret_cast<std::uintptr_t>(&m2p_fiber_thunk);  // ret target
+    for (int i = 0; i < 6; ++i) *--top = 0;                       // rbp..r15
+    --top;  // mxcsr/fcw slot: capture the creator's control words
+    asm volatile("stmxcsr (%0)\n\tfnstcw 4(%0)" ::"r"(top) : "memory");
+    ctx_.sp = top;
+#else
+    auto* self = new ucontext_t;
+    if (getcontext(self) != 0) die("getcontext failed");
+    self->uc_stack.ss_sp = const_cast<void*>(ctx_.stack_bottom);
+    self->uc_stack.ss_size = usable;
+    self->uc_link = nullptr;
+    makecontext(self, reinterpret_cast<void (*)()>(&fiber_ucontext_trampoline), 0);
+    ctx_.sp = self;
+#endif
+}
+
+Fiber::~Fiber() {
+#if defined(M2P_TSAN)
+    if (ctx_.tsan_fiber) __tsan_destroy_fiber(ctx_.tsan_fiber);
+#endif
+#if !defined(__x86_64__)
+    delete static_cast<ucontext_t*>(ctx_.sp);
+    ctx_.sp = nullptr;
+#endif
+    release_stack();
+}
+
+void Fiber::release_stack() {
+    if (stack_base_ != nullptr) {
+        munmap(stack_base_, stack_total_);
+        stack_base_ = nullptr;
+    }
+}
+
+void init_worker_context(StackContext& ctx) {
+#if defined(M2P_TSAN)
+    ctx.tsan_fiber = __tsan_get_current_fiber();
+#endif
+#if defined(M2P_ASAN)
+    // ASan wants the destination stack bounds on every switch; for the
+    // worker context that is the OS thread stack.
+    pthread_attr_t attr;
+    if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+        void* addr = nullptr;
+        std::size_t size = 0;
+        if (pthread_attr_getstack(&attr, &addr, &size) == 0) {
+            ctx.stack_bottom = addr;
+            ctx.stack_size = size;
+        }
+        pthread_attr_destroy(&attr);
+    }
+#else
+    (void)ctx;
+#endif
+}
+
+void Fiber::entry(Fiber* f) {
+#if defined(M2P_ASAN)
+    // First switch onto this stack: no fake-stack state to restore yet.
+    __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+    // Unwinding must never walk below this frame: there is no CFI in
+    // the seeded thunk frame.  RankKilled and friends are handled
+    // inside the body (World::run body catches them); anything else
+    // escaping here is a hard bug.
+    try {
+        f->body_();
+    } catch (...) {
+        die("exception escaped a fiber body");
+    }
+    f->suspend(SwitchOp::Finished);
+    die("finished fiber was resumed");
+}
+
+// Defined here (not sched.cpp) so the switch mechanics stay in one file.
+void* Scheduler::transfer(StackContext& from, StackContext& to, void* arg,
+                          bool from_dying) {
+#if defined(M2P_ASAN)
+    __sanitizer_start_switch_fiber(from_dying ? nullptr : &from.fake_stack,
+                                   to.stack_bottom, to.stack_size);
+#else
+    (void)from_dying;
+#endif
+#if defined(M2P_TSAN)
+    __tsan_switch_to_fiber(to.tsan_fiber, 0);
+#endif
+#if defined(__x86_64__)
+    void* ret = m2p_ctx_switch(&from.sp, to.sp, arg);
+#else
+    t_xfer_arg = arg;
+    swapcontext(static_cast<ucontext_t*>(from.sp), static_cast<ucontext_t*>(to.sp));
+    void* ret = t_xfer_arg;  // written by whoever resumed us
+#endif
+#if defined(M2P_ASAN)
+    // We are back on `from`; restore its fake stack.
+    __sanitizer_finish_switch_fiber(from.fake_stack, nullptr, nullptr);
+#endif
+    return ret;
+}
+
+}  // namespace m2p::simmpi::sched
+
+#if defined(__x86_64__)
+extern "C" void m2p_fiber_entry(void* f) {
+    m2p::simmpi::sched::Fiber::entry(static_cast<m2p::simmpi::sched::Fiber*>(f));
+}
+#endif

@@ -303,6 +303,11 @@ private:
                           CommData& c);
     bool coll_scatter_tree(const void* sbuf, void* rbuf, int block, int root_cr, int tag,
                            CommData& c);
+    /// Node-aware allreduce: same-node ranks fold through the comm's
+    /// ShmCombineCell; node leaders run a binomial exchange across
+    /// nodes and publish the result back through the cells.
+    bool coll_allreduce_tree(const void* sbuf, void* rbuf, int count, Datatype dt,
+                             Op op, int bytes, int tag, CommData& c);
 
     /// RAII collective span: CollBegin in the ctor, CollEnd at scope
     /// exit -- so a rank that unwinds mid-collective (fault, poison)

@@ -12,9 +12,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
-#include <thread>
 
 #include "simmpi/rank.hpp"
+#include "simmpi/sched.hpp"
 
 namespace m2p::simmpi {
 
@@ -29,7 +29,9 @@ void Rank::file_io_cost(std::int64_t bytes) {
     const double seconds =
         cfg.file_latency_seconds +
         static_cast<double>(bytes) / cfg.file_bandwidth_bytes_per_second;
-    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    // Fiber-aware: the worker runs other ranks while this one "waits
+    // for the disk" instead of wedging an OS thread per in-flight I/O.
+    sched::sleep_for(std::chrono::duration<double>(seconds));
 }
 
 // ---------------------------------------------------------------------------

@@ -6,15 +6,11 @@
 #include <cstring>
 
 #include "simmpi/rank.hpp"
+#include "simmpi/sched.hpp"
 
 namespace m2p::simmpi {
 
 namespace {
-
-// Blocking RMA waits park in short slices so they can notice rank death,
-// world poison, or a deadline instead of sleeping forever (mirrors the
-// pt2pt wait loops in rank.cpp).
-constexpr auto kLivenessSlice = std::chrono::milliseconds(5);
 
 bool contains(const std::vector<int>& v, int x) {
     return std::find(v.begin(), v.end(), x) != v.end();
@@ -315,11 +311,13 @@ int Rank::PMPI_Win_fence(int assert, Win win) {
         for (auto& t : wake) t->signal();
         return MPI_SUCCESS;
     }
-    const bool signalled = tok->wait_or_abandon([&] {
-        return world_.poisoned() ||
-               (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd)) ||
-               std::chrono::steady_clock::now() >= deadline;
-    });
+    const bool signalled = tok->wait_or_abandon(
+        [&] {
+            return world_.poisoned() ||
+                   (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd)) ||
+                   std::chrono::steady_clock::now() >= deadline;
+        },
+        deadline);
     if (!signalled) {
         std::lock_guard lk(w.fence_mu);
         const auto it = std::find(w.fence_waiters.begin(), w.fence_waiters.end(), tok);
@@ -365,11 +363,14 @@ int Rank::rma_wait_exposure(WinData& w, WinShard& sh, int target) {
             tok = std::make_shared<DeliveryToken>();
             e.post_waiters.push_back(tok);
         }
-        const bool signalled = tok->wait_or_abandon([&] {
-            return world_.poisoned() ||
-                   (world_.death_epoch() != 0 && world_.rank_unreachable(target)) ||
-                   std::chrono::steady_clock::now() >= deadline;
-        });
+        const bool signalled = tok->wait_or_abandon(
+            [&] {
+                return world_.poisoned() ||
+                       (world_.death_epoch() != 0 &&
+                        world_.rank_unreachable(target)) ||
+                       std::chrono::steady_clock::now() >= deadline;
+            },
+            deadline);
         if (!signalled) {
             std::lock_guard lk(sh.mu);
             auto& pw = sh.exposure.post_waiters;
@@ -561,11 +562,13 @@ int Rank::PMPI_Win_wait(Win win) {
             tok = std::make_shared<DeliveryToken>();
             e.wait_token = tok;
         }
-        const bool signalled = tok->wait_or_abandon([&] {
-            return world_.poisoned() ||
-                   (world_.death_epoch() != 0 && world_.any_dead(post_group)) ||
-                   std::chrono::steady_clock::now() >= deadline;
-        });
+        const bool signalled = tok->wait_or_abandon(
+            [&] {
+                return world_.poisoned() ||
+                       (world_.death_epoch() != 0 && world_.any_dead(post_group)) ||
+                       std::chrono::steady_clock::now() >= deadline;
+            },
+            deadline);
         if (!signalled) {
             std::lock_guard lk(sh->mu);
             if (sh->exposure.wait_token == tok) {
@@ -644,7 +647,7 @@ int Rank::PMPI_Win_lock(int lock_type, int rank, int assert, Win win) {
         }
         return false;
     };
-    const bool signalled = me->token->wait_or_abandon(doomed);
+    const bool signalled = me->token->wait_or_abandon(doomed, deadline);
     if (!signalled) {
         std::lock_guard lk(sh->mu);
         if (!me->granted && !me->aborted) {
@@ -1008,12 +1011,21 @@ int Rank::MPI_Intercomm_merge(Comm intercomm, bool high, Comm* intracomm) {
         if (++cd.bar_count == total) {
             cd.bar_count = 0;
             ++cd.bar_gen;
-            cd.bar_cv.notify_all();
+            std::vector<std::shared_ptr<sched::WaitToken>> waiters;
+            waiters.swap(cd.bar_waiters);
+            lk.unlock();
+            for (const auto& t : waiters) t->unpark();
             return true;
         }
         const auto deadline = wait_deadline();
+        const std::shared_ptr<sched::WaitToken>& tok = sched::current_wait_token();
         while (cd.bar_gen == gen) {
-            cd.bar_cv.wait_for(lk, kLivenessSlice);
+            cd.bar_waiters.push_back(tok);
+            lk.unlock();
+            tok->park_until(deadline);
+            lk.lock();
+            auto& v = cd.bar_waiters;
+            v.erase(std::remove(v.begin(), v.end(), tok), v.end());
             if (cd.bar_gen != gen) break;
             const bool doomed =
                 world_.poisoned() ||

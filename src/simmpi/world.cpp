@@ -27,6 +27,11 @@ World::World(instr::Registry& reg, Config cfg) : reg_(reg), cfg_(std::move(cfg))
         opt.ring_capacity = cfg_.trace_ring_capacity;
         recorder_ = std::make_unique<trace::FlightRecorder>(opt);
     }
+    // Eager scheduler construction keeps sched_ immutable for the
+    // world's whole life, so the death/poison broadcast paths can read
+    // it without mu_.
+    if (cfg_.rank_engine == RankEngine::Fiber)
+        sched_ = std::make_unique<sched::Scheduler>(cfg_.sched_workers);
 }
 
 World::~World() { join_all(); }
@@ -200,93 +205,150 @@ void World::set_proc_comm_world(int global_rank, Comm cw, Comm parent) {
     p.parent_intercomm = parent;
 }
 
+void World::run_rank_body(int global_rank, std::vector<std::string> argv,
+                          ProgramFn fn) {
+    ProcData& p = procs_.at(global_rank, "simmpi: bad proc rank");
+    const bool on_fiber = sched::on_fiber();
+    if (!on_fiber) {
+        // Thread engine: the proc slot is this thread's own; only the
+        // publish flags need ordering.
+        pthread_getcpuclockid(pthread_self(), &p.cpu_clock);
+        p.cpu_clock_ready = true;
+        instr::set_current_rank(global_rank);
+        instr::set_thread_call_sink(recorder_.get());
+    }
+    // Start gate: park until released.  Fibers park on their token
+    // (release unparks the collected waiters); thread-mode tokens fall
+    // back to 5 ms cv slices internally, so the same loop serves both.
+    {
+        std::unique_lock lk2(mu_);
+        while (!(start_released_ || !cfg_.start_paused)) {
+            const std::shared_ptr<sched::WaitToken>& tok = sched::current_wait_token();
+            start_waiters_.push_back(tok);
+            lk2.unlock();
+            tok->park_until(std::chrono::steady_clock::time_point::max());
+            lk2.lock();
+            start_waiters_.erase(
+                std::remove(start_waiters_.begin(), start_waiters_.end(), tok),
+                start_waiters_.end());
+        }
+    }
+    {
+        Rank rank(*this, global_rank);
+        // A killed/poisoned rank unwinds here instead of returning;
+        // the world records its epitaph and the context still exits
+        // cleanly (finished stays the publish flag peers and the tool
+        // watch).
+        try {
+            fn(rank, argv);
+        } catch (const RankKilled& rk) {
+            if (!rk.recorded) {
+                Epitaph e;
+                e.global_rank = global_rank;
+                e.cause = rk.cause;
+                e.detail = rk.detail;
+                const char* lc = p.last_call.load(std::memory_order_relaxed);
+                e.last_call = lc ? lc : "";
+                e.calls_made = p.calls_made.load(std::memory_order_relaxed);
+                record_death(std::move(e));
+            }
+        } catch (const std::exception& ex) {
+            Epitaph e;
+            e.global_rank = global_rank;
+            e.cause = Epitaph::Cause::Exception;
+            e.detail = ex.what();
+            const char* lc = p.last_call.load(std::memory_order_relaxed);
+            e.last_call = lc ? lc : "";
+            e.calls_made = p.calls_made.load(std::memory_order_relaxed);
+            record_death(std::move(e));
+        }
+    }
+    if (on_fiber) {
+        // Accumulated slices plus the in-progress one: exact at exit.
+        p.final_cpu_seconds =
+            static_cast<double>(p.cpu_ns.load(std::memory_order_relaxed) +
+                                sched::current_slice_cpu_ns()) *
+            1e-9;
+    } else {
+        timespec ts{};
+        if (clock_gettime(p.cpu_clock, &ts) == 0)
+            p.final_cpu_seconds = static_cast<double>(ts.tv_sec) +
+                                  static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+    p.finished = true;  // publishes final_cpu_seconds
+    if (!on_fiber) {
+        instr::set_thread_call_sink(nullptr);
+        instr::set_current_rank(-1);
+    }
+    // Completion notification for join_all (satellite of DESIGN.md 12:
+    // no teardown polling).  fetch_sub is the release; the lock makes
+    // the cv signal race-free against the join_cv_ wait.
+    if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lk(join_mu_);
+        join_cv_.notify_all();
+    }
+}
+
+sched::Scheduler* World::scheduler_locked() {
+    if (!sched_)
+        throw std::runtime_error("simmpi: fiber engine without a scheduler");
+    return sched_.get();
+}
+
 void World::start_proc(int global_rank, std::vector<std::string> argv) {
     ProcData& p = procs_.at(global_rank, "simmpi: bad proc rank");
     ProgramFn fn = find_program(p.program);
     if (!fn) throw std::runtime_error("simmpi: unknown program '" + p.program + "'");
+    unfinished_.fetch_add(1, std::memory_order_acq_rel);
+    auto body = [this, global_rank, argv = std::move(argv), fn = std::move(fn)]() mutable {
+        run_rank_body(global_rank, std::move(argv), std::move(fn));
+    };
     std::lock_guard lk(mu_);
-    threads_.emplace_back(
-        [this, global_rank, &p, argv = std::move(argv), fn = std::move(fn)] {
-            // The proc slot is this thread's own; only the publish
-            // flags need ordering.
-            pthread_getcpuclockid(pthread_self(), &p.cpu_clock);
-            p.cpu_clock_ready = true;
-            {
-                std::unique_lock lk2(mu_);
-                start_cv_.wait(lk2,
-                               [this] { return start_released_ || !cfg_.start_paused; });
-            }
-            instr::set_current_rank(global_rank);
-            instr::set_thread_call_sink(recorder_.get());
-            {
-                Rank rank(*this, global_rank);
-                // A killed/poisoned rank unwinds here instead of
-                // returning; the world records its epitaph and the
-                // thread still exits cleanly (finished stays the
-                // publish flag peers and the tool watch).
-                try {
-                    fn(rank, argv);
-                } catch (const RankKilled& rk) {
-                    if (!rk.recorded) {
-                        Epitaph e;
-                        e.global_rank = global_rank;
-                        e.cause = rk.cause;
-                        e.detail = rk.detail;
-                        const char* lc = p.last_call.load(std::memory_order_relaxed);
-                        e.last_call = lc ? lc : "";
-                        e.calls_made = p.calls_made.load(std::memory_order_relaxed);
-                        record_death(std::move(e));
-                    }
-                } catch (const std::exception& ex) {
-                    Epitaph e;
-                    e.global_rank = global_rank;
-                    e.cause = Epitaph::Cause::Exception;
-                    e.detail = ex.what();
-                    const char* lc = p.last_call.load(std::memory_order_relaxed);
-                    e.last_call = lc ? lc : "";
-                    e.calls_made = p.calls_made.load(std::memory_order_relaxed);
-                    record_death(std::move(e));
-                }
-            }
-            timespec ts{};
-            if (clock_gettime(p.cpu_clock, &ts) == 0)
-                p.final_cpu_seconds = static_cast<double>(ts.tv_sec) +
-                                      static_cast<double>(ts.tv_nsec) * 1e-9;
-            p.finished = true;  // publishes final_cpu_seconds
-            instr::set_thread_call_sink(nullptr);
-            instr::set_current_rank(-1);
-        });
+    ++started_;
+    if (cfg_.rank_engine == RankEngine::Fiber) {
+        // The fiber's instr context carries the rank identity and the
+        // recorder sink; workers install it at every switch-in.
+        instr::ThreadContext ictx;
+        ictx.rank = global_rank;
+        ictx.sink = recorder_.get();
+        scheduler_locked()->spawn(std::move(body), cfg_.fiber_stack_bytes,
+                                  &p.cpu_ns, ictx);
+    } else {
+        threads_.emplace_back(std::move(body));
+    }
 }
 
 void World::release_start_gate() {
+    std::vector<std::shared_ptr<sched::WaitToken>> waiters;
     {
         std::lock_guard lk(mu_);
         start_released_ = true;
         cfg_.start_paused = false;  // late starters run immediately
+        waiters = std::move(start_waiters_);
+        start_waiters_.clear();
     }
-    start_cv_.notify_all();
+    for (auto& w : waiters) w->unpark();
 }
 
 void World::join_all() {
-    // Watchdog phase: wait for every proc to publish finished (dead
-    // ranks do too -- their threads unwind through start_proc) so the
-    // joins below cannot block forever.  On deadline expiry the
-    // per-rank state goes to stderr -- turning a silent CI hang into a
-    // diagnosable dump -- then the world is poisoned so
-    // liveness-checked waits unwedge; a grace period later the process
-    // is aborted if ranks still have not come home.
+    // Watchdog phase: wait for every rank body to come home, woken by
+    // the last finisher's notify instead of a polling loop.  On
+    // deadline expiry the per-rank state goes to stderr -- turning a
+    // silent CI hang into a diagnosable dump -- then the world is
+    // poisoned so liveness-checked waits unwedge; a grace period later
+    // the process is aborted if ranks still have not come home.
     using clock = std::chrono::steady_clock;
     auto deadline = clock::now() + std::chrono::duration_cast<clock::duration>(
                                        std::chrono::duration<double>(
                                            cfg_.join_deadline_seconds));
     bool dumped = false;
-    for (;;) {
-        {
-            std::lock_guard lk(mu_);
-            if (joined_ >= threads_.size()) return;
-        }
-        if (all_finished()) break;
-        if (clock::now() >= deadline) {
+    {
+        std::unique_lock lk(join_mu_);
+        while (unfinished_.load(std::memory_order_acquire) != 0) {
+            if (join_cv_.wait_until(lk, deadline) != std::cv_status::timeout)
+                continue;
+            if (clock::now() < deadline) continue;  // spurious
+            lk.unlock();
             if (dumped) {
                 dump_state("join_all grace period expired; aborting");
                 emit_postmortem("join_all grace period expired; aborting");
@@ -296,11 +358,13 @@ void World::join_all() {
             poison(MPI_ERR_OTHER);  // poison() emits the postmortem
             dumped = true;
             deadline = clock::now() + std::chrono::seconds(10);
+            lk.lock();
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
-    // Join phase; re-checking threads_.size() each pass also drains
-    // threads that spawn appended while we were joining.
+    // Thread-engine join phase; re-checking threads_.size() each pass
+    // also drains threads that spawn appended while we were joining.
+    // (Fiber bodies need no join: unfinished_ reaching zero is the
+    // completion publication.)
     for (;;) {
         std::thread* t = nullptr;
         {
@@ -351,8 +415,10 @@ void World::record_death(Epitaph e) {
         epitaphs_.push_back(e);
     }
     death_epoch_.fetch_add(1, std::memory_order_acq_rel);
-    // Liveness-checked waits poll in short slices, so no broadcast
-    // wakeup is needed; peers notice the dead flag within one slice.
+    // Parked fibers get an explicit broadcast so their abandon
+    // predicates (dead peer / poisoned world) re-run now; thread-mode
+    // waits still notice within one 5 ms slice on their own.
+    if (sched_) sched_->unpark_all_parked();
     std::lock_guard lk(observer_mu_);
     if (death_observer_) death_observer_(e);
 }
@@ -367,6 +433,7 @@ void World::poison(int errorcode) {
     poison_code_.compare_exchange_strong(expected, errorcode);
     poisoned_.store(true, std::memory_order_release);
     death_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    if (sched_) sched_->unpark_all_parked();
     trace_event(trace::EventKind::Poison, -1, "world_poisoned", errorcode);
     emit_postmortem("world poisoned");
 }
@@ -485,8 +552,13 @@ bool World::all_finished() const {
 
 double World::proc_cpu_seconds(int global_rank) const {
     const ProcData* p = procs_.find(global_rank);
-    if (!p || !p->cpu_clock_ready) return 0.0;
-    if (p->finished) return p->final_cpu_seconds;  // the clock died with the thread
+    if (!p) return 0.0;
+    if (p->finished) return p->final_cpu_seconds;
+    if (cfg_.rank_engine == RankEngine::Fiber)
+        // Slices are charged at every fiber switch-out; a rank between
+        // MPI calls lags by at most its current slice.
+        return static_cast<double>(p->cpu_ns.load(std::memory_order_relaxed)) * 1e-9;
+    if (!p->cpu_clock_ready) return 0.0;
     timespec ts{};
     if (clock_gettime(p->cpu_clock, &ts) != 0)
         // The thread may have exited between the finished check and the
@@ -784,8 +856,7 @@ Comm World::do_spawn(const std::string& command, const std::vector<std::string>&
     }
     // Simulated process-creation overhead: the paper calls out spawn
     // cost as something programmers will want to measure.
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(cfg_.spawn_base_cost * maxprocs));
+    sched::sleep_for(std::chrono::duration<double>(cfg_.spawn_base_cost * maxprocs));
 
     std::vector<int> children;
     children.reserve(static_cast<std::size_t>(maxprocs));

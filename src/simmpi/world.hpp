@@ -29,6 +29,7 @@
 #include "instr/registry.hpp"
 #include "simmpi/faults.hpp"
 #include "simmpi/handle_table.hpp"
+#include "simmpi/sched.hpp"
 #include "simmpi/types.hpp"
 #include "trace/flight_recorder.hpp"
 
@@ -72,42 +73,58 @@ private:
     std::size_t cap_ = 0;
 };
 
-/// Rendezvous completion token: carries its own mutex and condition
-/// variable so delivering one message wakes exactly the one sender (or
-/// waiter) parked on it -- never the whole mailbox.
+/// Rendezvous completion token: delivering one message wakes exactly
+/// the one sender (or waiter) parked on it -- never the whole mailbox.
+/// Parking is a sched::WaitToken registration: on the fiber engine a
+/// signal is a targeted unpark (no polling slice at all); on the
+/// thread engine the token degrades to the legacy 5 ms cv slices.
 class DeliveryToken {
 public:
     void signal() {
+        std::shared_ptr<sched::WaitToken> w;
         {
             std::lock_guard lk(mu_);
-            done_ = true;
+            done_.store(true, std::memory_order_release);
+            w = std::move(waiter_);
         }
-        cv_.notify_one();
+        if (w) w->unpark();
     }
-    void wait() {
-        std::unique_lock lk(mu_);
-        cv_.wait(lk, [this] { return done_; });
-    }
-    /// Liveness-checked wait: parks in short slices and gives up when
+    /// Liveness-checked wait: parks until signalled and gives up when
     /// @p abandoned() turns true (peer died, world poisoned, deadline
-    /// passed).  Returns true when the token was signalled, false when
-    /// the wait was abandoned.  Signals still win races: the predicate
-    /// is only consulted while done_ is false.
+    /// passed).  @p deadline bounds each park so the deadline clause of
+    /// the predicate is guaranteed to be re-evaluated; death and poison
+    /// re-checks ride the scheduler's broadcast unpark.  Returns true
+    /// when the token was signalled, false when the wait was abandoned.
+    /// Signals still win races: the predicate is only consulted while
+    /// done_ is false.
     template <class Abandoned>
-    bool wait_or_abandon(Abandoned&& abandoned) {
-        std::unique_lock lk(mu_);
-        while (!done_) {
-            cv_.wait_for(lk, std::chrono::milliseconds(5));
-            if (done_) break;
-            if (abandoned()) return false;
+    bool wait_or_abandon(Abandoned&& abandoned,
+                         std::chrono::steady_clock::time_point deadline) {
+        if (done_.load(std::memory_order_acquire)) return true;
+        const std::shared_ptr<sched::WaitToken>& tok = sched::current_wait_token();
+        for (;;) {
+            // Consult the predicate BEFORE parking: if the peer died in
+            // the past there is no future broadcast to wake us, so an
+            // unchecked first park would sleep clear to the deadline.
+            if (abandoned()) return done_.load(std::memory_order_acquire);
+            {
+                std::lock_guard lk(mu_);
+                if (done_.load(std::memory_order_acquire)) return true;
+                waiter_ = tok;
+            }
+            tok->park_until(deadline);
+            {
+                std::lock_guard lk(mu_);
+                waiter_.reset();
+            }
+            if (done_.load(std::memory_order_acquire)) return true;
         }
-        return true;
     }
 
 private:
-    std::mutex mu_;
-    std::condition_variable cv_;
-    bool done_ = false;
+    std::atomic<bool> done_{false};
+    std::mutex mu_;  ///< guards waiter_ registration only
+    std::shared_ptr<sched::WaitToken> waiter_;
 };
 
 /// One message in flight.
@@ -134,19 +151,20 @@ inline constexpr std::size_t kEnvelopeOverhead = 64;
 /// their time in MPI_Send, as the paper observes (Fig 3).
 ///
 /// Waiters are split by what they wait for, so wakeups are targeted:
-/// msg_cv parks the owning rank (at most one thread) waiting for an
-/// arrival and is signalled with notify_one; space_cv parks
-/// flow-controlled senders and is notified only when space_waiters
-/// says someone is actually parked.  Rendezvous senders never wait on
-/// the mailbox at all -- they wait on their envelope's DeliveryToken.
+/// msg_waiter parks the owning rank (at most one context) waiting for
+/// an arrival and is unparked by the sender that fills the queue;
+/// space_waiters holds flow-controlled senders, unparked when the
+/// receiver drains bytes.  Rendezvous senders never wait on the
+/// mailbox at all -- they wait on their envelope's DeliveryToken.
+/// The integer counters mirror the token slots for the watchdog dump.
 struct Mailbox {
     std::mutex mu;  ///< guards everything below
-    std::condition_variable msg_cv;
-    std::condition_variable space_cv;
     std::deque<Envelope> queue;
     std::size_t bytes_queued = 0;
     int msg_waiters = 0;
     int space_waiters = 0;
+    std::shared_ptr<sched::WaitToken> msg_waiter;
+    std::vector<std::shared_ptr<sched::WaitToken>> space_tokens;
     std::vector<PayloadBuf> free_bufs;  ///< recycled payload buffers
 
     static constexpr std::size_t kMaxFreeBufs = 64;
@@ -173,18 +191,21 @@ struct Mailbox {
     }
 };
 
-/// One simulated MPI process (an OS thread).  finished/cpu_clock_ready
-/// are atomic publish flags: the owning thread stores its result
-/// fields first, then the flag; lock-free readers load the flag before
-/// touching the fields.
+/// One simulated MPI process (a fiber, or an OS thread on the legacy
+/// engine).  finished/cpu_clock_ready are atomic publish flags: the
+/// owning context stores its result fields first, then the flag;
+/// lock-free readers load the flag before touching the fields.
 struct ProcData {
     int global_rank = -1;
     std::string node;        ///< simulated hostname, e.g. "node2"
     std::string program;     ///< command name ("a.out", "child", ...)
     Comm comm_world = MPI_COMM_NULL;
     Comm parent_intercomm = MPI_COMM_NULL;  ///< for spawned children
-    clockid_t cpu_clock{};   ///< per-thread CPU clock (set by the thread)
+    clockid_t cpu_clock{};   ///< per-thread CPU clock (thread engine only)
     std::atomic<bool> cpu_clock_ready{false};
+    /// Fiber engine: CPU nanoseconds accumulated at every fiber
+    /// switch-out (the worker charges each slice to the rank it ran).
+    std::atomic<std::int64_t> cpu_ns{0};
     std::atomic<bool> finished{false};
     /// CPU seconds at exit (the thread's clock dies with the thread).
     double final_cpu_seconds = 0.0;
@@ -197,6 +218,24 @@ struct ProcData {
     /// literal, hence the raw pointer) and how many it has made.
     std::atomic<const char*> last_call{nullptr};
     std::atomic<std::uint64_t> calls_made{0};
+};
+
+/// Shared-memory combining cell for the node-aware tree allreduce:
+/// one per (communicator, simulated node).  Ranks that share a node
+/// fold their contributions into `acc` under the comm's shm_mu --
+/// intra-node traffic never touches a mailbox, exactly the shm
+/// fast path LAM's sysv RPI and MPICH's shared-memory device use.
+/// The node leader carries the folded value through the cross-node
+/// exchange and publishes the result by bumping `gen`.
+struct ShmCombineCell {
+    std::uint64_t gen = 0;  ///< bumps when a round's outcome publishes
+    int arrived = 0;        ///< arrivals in the current round
+    bool failed = false;    ///< a member bailed (death/poison/deadline)
+    std::vector<std::byte> acc;     ///< in-progress fold
+    std::vector<std::byte> result;  ///< published outcome of round gen-1
+    bool result_failed = false;
+    std::shared_ptr<sched::WaitToken> leader_waiter;  ///< leader awaiting full node
+    std::vector<std::shared_ptr<sched::WaitToken>> waiters;  ///< followers
 };
 
 struct CommData {
@@ -215,16 +254,30 @@ struct CommData {
     std::atomic<int> errhandler{MPI_ERRORS_RETURN};
     std::string name;  ///< guarded by World::name_mu_
 
-    // Internal (uninstrumented) central barrier state.
+    // Internal (uninstrumented) central barrier state.  Arrivals park
+    // their own wait token in bar_waiters; the closing rank bumps the
+    // generation and unparks the collected tokens -- a targeted fan-out
+    // instead of a broadcast condition variable.
     std::mutex bar_mu;
-    std::condition_variable bar_cv;
     int bar_count = 0;
     std::uint64_t bar_gen = 0;
+    std::vector<std::shared_ptr<sched::WaitToken>> bar_waiters;
 
     // Spawn rendezvous: root publishes the new intercomm handle here.
     Comm spawn_result = MPI_COMM_NULL;
     // Collective MPI_Win_create rendezvous: rank 0 publishes the handle.
     Win win_result = MPI_WIN_NULL;
+
+    // Node-aware collective layout + combining cells, built lazily
+    // under shm_mu on first tree allreduce (placement is fixed for the
+    // comm's lifetime).  shm_leaders holds one comm rank per node (the
+    // lowest on that node); shm_node_of maps comm rank -> node index.
+    std::mutex shm_mu;
+    bool shm_layout_built = false;
+    std::vector<int> shm_leaders;
+    std::vector<int> shm_node_of;
+    std::vector<int> shm_node_size;
+    std::vector<ShmCombineCell> shm_cells;
 };
 
 struct GroupData {
@@ -496,10 +549,24 @@ struct MpirProcDesc {
 /// message pattern the known-bottleneck figures were built on.
 enum class CollAlgo { Flat, Tree };
 
+/// How rank bodies are executed.  Fiber is the production engine:
+/// stackful fibers multiplexed over the work-stealing scheduler pool,
+/// with park/unpark blocking (DESIGN.md section 12).  Thread is the
+/// legacy thread-per-rank engine, retained as an in-binary baseline
+/// and for tests that pin OS-thread semantics.
+enum class RankEngine { Fiber, Thread };
+
 class World {
 public:
     struct Config {
         Flavor flavor = Flavor::Lam;
+        /// Rank execution engine (fibers by default).
+        RankEngine rank_engine = RankEngine::Fiber;
+        /// Scheduler worker threads for the fiber engine; 0 picks
+        /// hardware_concurrency.
+        std::size_t sched_workers = 0;
+        /// Usable stack bytes per fiber (plus a guard page).
+        std::size_t fiber_stack_bytes = 256 * 1024;
         std::size_t eager_limit = 4096;        ///< bytes; larger sends rendezvous
         std::size_t mailbox_capacity = 65536;  ///< eager bytes queued before senders block
         CollAlgo coll_algo = CollAlgo::Tree;   ///< collective algorithm family
@@ -751,16 +818,33 @@ private:
     /// calls; the data path never touches them).
     mutable std::mutex name_mu_;
 
+    /// Runs a rank body on the calling context: start gate, instr TLS
+    /// setup, the program itself, death/epitaph handling, CPU-time
+    /// publication, and the finished/unfinished bookkeeping.  Shared
+    /// by both engines.
+    void run_rank_body(int global_rank, std::vector<std::string> argv,
+                       ProgramFn fn);
+    /// Lazily constructs the fiber scheduler (fiber engine only).
+    sched::Scheduler* scheduler_locked();
+
     mutable std::mutex mu_;  ///< guards control-plane state below
-    std::deque<std::thread> threads_;  ///< deque: stable refs while spawn appends
+    std::deque<std::thread> threads_;  ///< thread engine; stable refs while spawn appends
     std::size_t joined_ = 0;
+    std::unique_ptr<sched::Scheduler> sched_;  ///< fiber engine (lazy)
+    std::size_t started_ = 0;  ///< rank bodies launched (either engine)
     std::map<std::string, std::shared_ptr<StoredFile>> filesystem_;
     std::map<Datatype, std::string> type_names_;
     std::map<std::string, ProgramFn> programs_;
     std::vector<std::string> nodes_{"node0"};
     std::size_t next_node_ = 0;
-    std::condition_variable start_cv_;
+    /// Start gate: paused rank bodies park here until release.
+    std::vector<std::shared_ptr<sched::WaitToken>> start_waiters_;
     bool start_released_ = false;
+    /// Completion plane for join_all: bodies still running.  The last
+    /// finisher notifies join_cv_ -- no polling loop (DESIGN.md 12).
+    std::atomic<std::size_t> unfinished_{0};
+    mutable std::mutex join_mu_;
+    mutable std::condition_variable join_cv_;
     std::vector<int> free_win_impl_ids_;
     int next_win_impl_id_ = 0;
     ProfilingLayer* profiling_ = nullptr;

@@ -8,6 +8,7 @@
 #include "pperfmark/pperfmark.hpp"
 #include "simmpi/launcher.hpp"
 #include "simmpi/rank.hpp"
+#include "simmpi/sched.hpp"
 #include <chrono>
 #include <thread>
 
@@ -151,7 +152,7 @@ TEST(MachineAxis, ConsultantCanPinTheBusyNode) {
         if (me < 2)
             util::burn_thread_cpu(0.7);
         else
-            std::this_thread::sleep_for(std::chrono::milliseconds(700));
+            simmpi::sched::sleep_for(std::chrono::milliseconds(700));
         r.MPI_Finalize();
     });
     core::run_app_async(s.tool(), "skew", {}, 4, /*procs_per_node=*/2);

@@ -3,6 +3,7 @@
 
 #include "simmpi/launcher.hpp"
 #include "simmpi/rank.hpp"
+#include "simmpi/sched.hpp"
 #include <chrono>
 #include <thread>
 
@@ -122,7 +123,7 @@ TEST(Ssend, AlwaysRendezvousEvenForTinyMessages) {
             send_elapsed = util::wall_seconds() - t0;
             EXPECT_TRUE(receiver_started.load());
         } else {
-            std::this_thread::sleep_for(std::chrono::milliseconds(60));
+            simmpi::sched::sleep_for(std::chrono::milliseconds(60));
             receiver_started = true;
             r.MPI_Recv(&b, 1, MPI_BYTE, 0, 0, w, nullptr);
         }

@@ -1,9 +1,12 @@
-// Collective correctness matrix: every collective x {2, 5, 16} ranks
-// x {Flat, Tree} algorithm x both flavors, plus intercommunicator
-// error returns and the flat-config byte-metric exactness the
-// paper-validation runs rely on.  The 5- and 16-rank points exercise
-// the non-power-of-two folding and the deepest tree levels of the
-// binomial / recursive-doubling algorithms.
+// Collective correctness matrix: every collective x {2, 5, 16, 64,
+// 256} ranks x {Flat, Tree} algorithm x both flavors, plus
+// intercommunicator error returns and the flat-config byte-metric
+// exactness the paper-validation runs rely on.  The 5- and 16-rank
+// points exercise the non-power-of-two folding and the deepest tree
+// levels of the binomial / recursive-doubling algorithms; 64 and 256
+// run on the fiber engine far past the old thread-per-rank wall, with
+// ranks spread 8 per simulated node so the node-aware allreduce takes
+// its hierarchical (shm cell + cross-node leader) path.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -41,19 +44,32 @@ protected:
         world.register_program("prog",
                                [fn](Rank& r, const std::vector<std::string>&) { fn(r); });
         LaunchPlan plan;
-        for (int i = 0; i < n; ++i) plan.placements.push_back("node0");
+        for (int i = 0; i < n; ++i)
+            plan.placements.push_back("node" + std::to_string(i / 8));
         launch(world, "prog", {}, plan);
         world.join_all();
     }
 
     // The rank counts every matrix cell runs at: the smallest comm, a
-    // non-power-of-two size (recursive-doubling fold path), and a
-    // 4-level binomial tree.
+    // non-power-of-two size (recursive-doubling fold path), a 4-level
+    // binomial tree, and two fiber-engine scale points.
     static const std::vector<int>& sizes() {
-        static const std::vector<int> s = {2, 5, 16};
+        static const std::vector<int> s = {2, 5, 16, 64, 256};
         return s;
     }
 };
+
+/// Roots to exercise for rooted collectives: every rank while that is
+/// cheap, the edges and middle at scale (an all-roots sweep at 256
+/// ranks would be quadratic in messages for no added coverage).
+std::vector<int> roots_for(int size) {
+    if (size <= 16) {
+        std::vector<int> all(static_cast<std::size_t>(size));
+        for (int i = 0; i < size; ++i) all[static_cast<std::size_t>(i)] = i;
+        return all;
+    }
+    return {0, size / 2, size - 1};
+}
 
 TEST_P(CollectivesMatrixTest, BarrierSynchronizes) {
     for (int n : sizes()) {
@@ -82,7 +98,7 @@ TEST_P(CollectivesMatrixTest, BcastFromEveryRoot) {
             int me = 0, size = 0;
             r.MPI_Comm_rank(w, &me);
             r.MPI_Comm_size(w, &size);
-            for (int root = 0; root < size; ++root) {
+            for (const int root : roots_for(size)) {
                 std::vector<std::int32_t> v(17, me == root ? 7000 + root : -1);
                 ASSERT_EQ(r.MPI_Bcast(v.data(), 17, MPI_INT, root, w), MPI_SUCCESS);
                 for (std::int32_t x : v) ASSERT_EQ(x, 7000 + root);
@@ -100,7 +116,7 @@ TEST_P(CollectivesMatrixTest, ReduceFromEveryRoot) {
             int me = 0, size = 0;
             r.MPI_Comm_rank(w, &me);
             r.MPI_Comm_size(w, &size);
-            for (int root = 0; root < size; ++root) {
+            for (const int root : roots_for(size)) {
                 const std::int32_t v[2] = {me + 1, 2 * (me + 1)};
                 std::int32_t sum[2] = {0, 0};
                 ASSERT_EQ(r.MPI_Reduce(v, sum, 2, MPI_INT, MPI_SUM, root, w),
@@ -154,7 +170,7 @@ TEST_P(CollectivesMatrixTest, GatherFromEveryRoot) {
             int me = 0, size = 0;
             r.MPI_Comm_rank(w, &me);
             r.MPI_Comm_size(w, &size);
-            for (int root = 0; root < size; ++root) {
+            for (const int root : roots_for(size)) {
                 const std::int32_t mine[2] = {100 * me, 100 * me + 1};
                 std::vector<std::int32_t> all(static_cast<std::size_t>(2 * size), -1);
                 ASSERT_EQ(r.MPI_Gather(mine, 2, MPI_INT, all.data(), 2, MPI_INT, root, w),
@@ -179,7 +195,7 @@ TEST_P(CollectivesMatrixTest, ScatterFromEveryRoot) {
             int me = 0, size = 0;
             r.MPI_Comm_rank(w, &me);
             r.MPI_Comm_size(w, &size);
-            for (int root = 0; root < size; ++root) {
+            for (const int root : roots_for(size)) {
                 std::vector<std::int32_t> all;
                 if (me == root)
                     for (int dst = 0; dst < size; ++dst) {

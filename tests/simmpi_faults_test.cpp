@@ -18,6 +18,7 @@
 #include "simmpi/faults.hpp"
 #include "simmpi/launcher.hpp"
 #include "simmpi/rank.hpp"
+#include "simmpi/sched.hpp"
 #include "simmpi/world.hpp"
 
 namespace m2p {
@@ -141,6 +142,55 @@ TEST(Faults, CrashInCollectiveMpichFlat) {
 }
 TEST(Faults, CrashInCollectiveMpichTree) {
     crash_in_collective(Flavor::Mpich, CollAlgo::Tree);
+}
+
+// ---------------------------------------------------------------------------
+// Rank death at fiber scale: 256 fiber-scheduled ranks, one victim,
+// and all 255 survivors must report the same MPI_ERR_PROC_FAILED.
+// The error contract cannot dilute as the world grows past the old
+// thread-per-rank wall -- this is the chaos leg of the rank-scaling
+// acceptance criteria.
+// ---------------------------------------------------------------------------
+
+TEST(Faults, CrashInCollectiveAt256Ranks) {
+    constexpr int kRanks = 256;
+    constexpr int kVictim = 17;
+    instr::Registry reg;
+    World::Config cfg = faulted_cfg(Flavor::Lam, CollAlgo::Tree);
+    cfg.join_deadline_seconds = 60.0;
+    // The victim dies entering its 3rd allreduce (Init, 2 allreduces, boom).
+    cfg.faults->kill_at_call(kVictim, 4);
+    World world(reg, cfg);
+    Observed obs;
+    world.register_program("app", [&](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        int me = 0;
+        r.MPI_Comm_rank(r.MPI_COMM_WORLD(), &me);
+        int rc = MPI_SUCCESS;
+        for (int i = 0; i < 50 && rc == MPI_SUCCESS; ++i) {
+            int in = me, out = 0;
+            rc = r.MPI_Allreduce(&in, &out, 1, MPI_INT, simmpi::MPI_SUM,
+                                 r.MPI_COMM_WORLD());
+        }
+        obs.error(me, rc);
+        r.MPI_Finalize();
+    });
+    run_ranks(world, "app", kRanks);
+
+    const auto epitaphs = world.epitaphs();
+    ASSERT_EQ(epitaphs.size(), 1u);
+    EXPECT_EQ(epitaphs[0].global_rank, kVictim);
+    EXPECT_EQ(epitaphs[0].cause, Epitaph::Cause::Killed);
+    EXPECT_EQ(epitaphs[0].last_call, "MPI_Allreduce");
+
+    // The victim never reports; all 255 survivors report the same code.
+    EXPECT_EQ(obs.first_error.count(kVictim), 0u);
+    for (int me = 0; me < kRanks; ++me) {
+        if (me == kVictim) continue;
+        ASSERT_EQ(obs.first_error.count(me), 1u) << "rank " << me << " hung?";
+        EXPECT_EQ(obs.first_error[me], MPI_ERR_PROC_FAILED) << "rank " << me;
+    }
+    EXPECT_FALSE(world.poisoned());  // MPI_ERRORS_RETURN is the default
 }
 
 // ---------------------------------------------------------------------------
@@ -595,7 +645,7 @@ TEST(Faults, KillLockHolderFailsQueuedWaitersWithErrRank) {
             lock_held = true;
             r.MPI_Barrier(r.MPI_COMM_WORLD());  // dies here, lock never released
         } else {
-            while (!lock_held) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            while (!lock_held) simmpi::sched::sleep_for(std::chrono::milliseconds(1));
             const auto t0 = std::chrono::steady_clock::now();
             obs.error(me, r.MPI_Win_lock(MPI_LOCK_EXCLUSIVE, 0, 0, win));
             obs.timing(me, seconds_since(t0));
@@ -634,14 +684,14 @@ TEST(Faults, WinFreeWithHeldLockIsRefusedThenSucceeds) {
         if (me == 1) {
             ASSERT_EQ(r.MPI_Win_lock(MPI_LOCK_EXCLUSIVE, 0, 0, win), MPI_SUCCESS);
             locked = true;
-            while (!refused) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            while (!refused) simmpi::sched::sleep_for(std::chrono::milliseconds(1));
             ASSERT_EQ(r.MPI_Win_unlock(0, win), MPI_SUCCESS);
             unlocked = true;
         } else {
-            while (!locked) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            while (!locked) simmpi::sched::sleep_for(std::chrono::milliseconds(1));
             obs.error(me, r.MPI_Win_free(&win));  // refused: epoch in flight
             refused = true;
-            while (!unlocked) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            while (!unlocked) simmpi::sched::sleep_for(std::chrono::milliseconds(1));
         }
         ASSERT_EQ(r.MPI_Win_free(&win), MPI_SUCCESS);
         r.MPI_Finalize();

@@ -1,5 +1,6 @@
 // Table-1 RMA counter matrix: {Put, Get, Accumulate} x {fence, PSCW,
-// lock-shared, lock-exclusive} x {2, 5, 16} ranks x {Lam, Mpich},
+// lock-shared, lock-exclusive} x {2, 5, 16, 64, 256} ranks x {Lam,
+// Mpich},
 // asserting the per-window op/byte counters against hand-derived
 // counts.  Lam runs every transfer on the direct-apply path; Mpich
 // routes PSCW transfers through the staged queue -- the totals must be
@@ -281,7 +282,7 @@ std::string case_name(const ::testing::TestParamInfo<RmaMatrixTest::ParamType>& 
 INSTANTIATE_TEST_SUITE_P(
     Matrix, RmaMatrixTest,
     ::testing::Combine(::testing::Values(Flavor::Lam, Flavor::Mpich),
-                       ::testing::Values(2, 5, 16),
+                       ::testing::Values(2, 5, 16, 64, 256),
                        ::testing::Values(SyncMode::Fence, SyncMode::Pscw,
                                          SyncMode::LockShared, SyncMode::LockExcl)),
     case_name);

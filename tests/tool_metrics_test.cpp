@@ -10,6 +10,7 @@
 #include "core/tool.hpp"
 #include "simmpi/launcher.hpp"
 #include "simmpi/rank.hpp"
+#include "simmpi/sched.hpp"
 #include "util/clock.hpp"
 
 namespace m2p::core {
@@ -227,7 +228,7 @@ TEST(Metrics, SyncWaitTimerSeesBlockingRecv) {
         char b = 0;
         if (me == 0) {
             // Make rank 1 wait ~60ms in MPI_Recv.
-            std::this_thread::sleep_for(std::chrono::milliseconds(60));
+            simmpi::sched::sleep_for(std::chrono::milliseconds(60));
             r.MPI_Send(&b, 1, MPI_BYTE, 1, 0, w);
         } else {
             r.MPI_Recv(&b, 1, MPI_BYTE, 0, 0, w, nullptr);
@@ -260,9 +261,9 @@ TEST(Metrics, ProcedureConstraintMeasuresInclusiveSyncOfFunction) {
         r.MPI_Barrier(w);
         char b = 0;
         if (me == 0) {
-            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            simmpi::sched::sleep_for(std::chrono::milliseconds(50));
             r.MPI_Send(&b, 1, MPI_BYTE, 1, 0, w);   // outside inner_fn
-            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            simmpi::sched::sleep_for(std::chrono::milliseconds(50));
             r.MPI_Send(&b, 1, MPI_BYTE, 1, 1, w);
         } else {
             r.MPI_Recv(&b, 1, MPI_BYTE, 0, 0, w, nullptr);  // outside: ~50ms wait

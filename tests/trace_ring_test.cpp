@@ -102,7 +102,11 @@ TEST(TraceRing, PostmortemNamesTheKilledRanksLastCall) {
     using simmpi::Rank;
     using simmpi::World;
 
-    constexpr int kRanks = 4;
+    // Postmortems must stay correlated past the old 16-rank wall; the
+    // 256-rank point needs a deeper ring so the dead rank's last call
+    // is still resident when 255 survivors keep churning events.
+    for (const int kRanks : {4, 64, 256}) {
+    bool correlated = false;
     // Which fault lands first depends on the seed (a dropped message
     // can make everyone bail before the victim reaches its kill call),
     // so scan seeds until one produces an epitaph.
@@ -112,6 +116,7 @@ TEST(TraceRing, PostmortemNamesTheKilledRanksLastCall) {
         cfg.flavor = simmpi::Flavor::Lam;
         cfg.wait_deadline_seconds = 1.0;
         cfg.join_deadline_seconds = 20.0;
+        if (kRanks >= 256) cfg.trace_ring_capacity = 65536;
         cfg.faults = FaultPlan::chaos(seed, kRanks);
         World world(reg, cfg);
         world.register_program("chaotic", [&](Rank& r,
@@ -157,9 +162,12 @@ TEST(TraceRing, PostmortemNamesTheKilledRanksLastCall) {
         const std::string json = exporter.chrome_trace_json();
         EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
         EXPECT_NE(json.find(e.last_call), std::string::npos);
-        return;  // one correlated death is the point
+        correlated = true;  // one correlated death per size is the point
+        break;
     }
-    FAIL() << "no chaos seed produced an epitaph";
+    EXPECT_TRUE(correlated)
+        << "no chaos seed produced an epitaph at " << kRanks << " ranks";
+    }
 }
 
 // Tracing can be turned off entirely; the world then records nothing
