@@ -64,14 +64,18 @@ void MetricInstance::add_primary(double now, double delta) {
 }
 
 void MetricInstance::start_timer(const std::string& name, bool proc_time) {
-    const double now = proc_time ? util::thread_cpu_seconds() : util::wall_seconds();
+    // rank_cpu_seconds, not thread_cpu_seconds: timer state is keyed
+    // per rank (CtxKey) because a fiber rank can migrate workers
+    // between start and stop; the clock reads must be per-rank too or
+    // the delta subtracts two different threads' CPU clocks.
+    const double now = proc_time ? util::rank_cpu_seconds() : util::wall_seconds();
     std::lock_guard lk(mu_);
     TimerState& t = timers_[name][current_ctx_key()];
     if (t.nest++ == 0) t.start = now;
 }
 
 void MetricInstance::stop_timer(const std::string& name, bool proc_time) {
-    const double now_t = proc_time ? util::thread_cpu_seconds() : util::wall_seconds();
+    const double now_t = proc_time ? util::rank_cpu_seconds() : util::wall_seconds();
     double delta = -1.0;
     {
         std::lock_guard lk(mu_);

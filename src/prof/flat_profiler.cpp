@@ -28,16 +28,25 @@ FlatProfiler::~FlatProfiler() {
     for (const auto& h : handles_) reg_.remove(h);
 }
 
+FlatProfiler::StackKey FlatProfiler::current_stack_key() {
+    const int r = instr::current_rank();
+    if (r >= 0) return {r, {}};
+    return {-1, std::this_thread::get_id()};
+}
+
 void FlatProfiler::on_entry(instr::FuncId f) {
-    const double cpu = util::thread_cpu_seconds();
+    // rank_cpu_seconds: on a fiber rank the entry and return reads
+    // must charge the rank's own clock, not whichever worker thread
+    // happens to run each half.
+    const double cpu = util::rank_cpu_seconds();
     std::lock_guard lk(mu_);
-    stacks_[std::this_thread::get_id()].push_back({f, cpu, 0.0});
+    stacks_[current_stack_key()].push_back({f, cpu, 0.0});
 }
 
 void FlatProfiler::on_return(instr::FuncId f) {
-    const double cpu = util::thread_cpu_seconds();
+    const double cpu = util::rank_cpu_seconds();
     std::lock_guard lk(mu_);
-    auto& stack = stacks_[std::this_thread::get_id()];
+    auto& stack = stacks_[current_stack_key()];
     if (stack.empty() || stack.back().func != f) return;  // unbalanced: drop
     const Frame frame = stack.back();
     stack.pop_back();

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "instr/registry.hpp"
@@ -58,7 +59,12 @@ private:
     instr::Registry& reg_;
     std::vector<instr::SnippetHandle> handles_;
     mutable std::mutex mu_;
-    std::map<std::thread::id, std::vector<Frame>> stacks_;
+    /// Shadow stacks keyed by rank when on a rank context (fiber ranks
+    /// migrate across worker threads mid-call, so thread identity is
+    /// not rank identity), by thread id otherwise.
+    using StackKey = std::pair<int, std::thread::id>;
+    static StackKey current_stack_key();
+    std::map<StackKey, std::vector<Frame>> stacks_;
     std::map<instr::FuncId, FuncTotals> totals_;
 };
 

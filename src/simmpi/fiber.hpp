@@ -75,6 +75,7 @@ public:
     /// Optional sink that receives this fiber's CPU-time slices
     /// (nanoseconds), accumulated at every switch-out.
     void set_cpu_sink(std::atomic<std::int64_t>* sink) { cpu_sink_ = sink; }
+    std::atomic<std::int64_t>* cpu_sink() const { return cpu_sink_; }
 
     /// CLOCK_THREAD_CPUTIME_ID stamp taken at the current slice's
     /// switch-in; valid only while the fiber is running.

@@ -32,6 +32,22 @@ std::int64_t slice_clock_ns() {
 
 constexpr auto kThreadSlice = std::chrono::milliseconds(5);
 
+// util::rank_cpu_seconds() provider (installed by the first Scheduler):
+// on a fiber, its accumulated slices plus the in-progress one -- the
+// thread CPU clock would subtract two different workers' clocks when a
+// rank migrates between a timer's start and stop reads.  Off fiber,
+// the thread clock is the context's own and stays correct.
+double fiber_aware_cpu_seconds() {
+    Worker* w = t_worker;
+    if (w == nullptr || w->current == nullptr)
+        return util::thread_cpu_seconds();
+    Fiber* f = w->current;
+    std::int64_t ns = current_slice_cpu_ns();
+    if (std::atomic<std::int64_t>* sink = f->cpu_sink())
+        ns += sink->load(std::memory_order_relaxed);
+    return static_cast<double>(ns) * 1e-9;
+}
+
 // A park deadline at or beyond this sentinel means "no timer": the
 // sweeper skips it entirely.
 constexpr std::chrono::steady_clock::time_point kNoDeadline =
@@ -60,7 +76,19 @@ void WaitToken::park_until(std::chrono::steady_clock::time_point deadline) {
             return;
         }
         fiber_->park_deadline_ = deadline;
-        state_.store(kParking, std::memory_order_release);
+        // Announce the park with a CAS, not a store: an unpark on
+        // another thread may have CASed kIdle -> kNotified after the
+        // fast-path load above, and a blind kParking store would
+        // overwrite (lose) that notify -- a deadline-less park would
+        // then sleep until an unrelated broadcast.
+        std::uint32_t expected = kIdle;
+        if (!state_.compare_exchange_strong(expected, kParking,
+                                            std::memory_order_acq_rel)) {
+            // expected == kNotified: consume it and return instead of
+            // parking.
+            state_.store(kIdle, std::memory_order_relaxed);
+            return;
+        }
         fiber_->suspend(SwitchOp::Park);
         // Resumed: state is kIdle, or kNotified from a second unpark
         // (left pending for the next park -- a benign spurious pass).
@@ -133,6 +161,10 @@ void Fiber::suspend(SwitchOp op) {
 // ---------------------------------------------------------------------------
 
 Scheduler::Scheduler(std::size_t workers) {
+    // The provider checks t_worker itself, so it is safe to leave
+    // installed after this scheduler is destroyed (it then degrades to
+    // the thread clock) and idempotent across schedulers.
+    util::set_rank_cpu_provider(&fiber_aware_cpu_seconds);
     if (workers == 0) {
         const unsigned hc = std::thread::hardware_concurrency();
         workers = hc == 0 ? 1 : hc;

@@ -281,11 +281,15 @@ void World::run_rank_body(int global_rank, std::vector<std::string> argv,
         instr::set_current_rank(-1);
     }
     // Completion notification for join_all (satellite of DESIGN.md 12:
-    // no teardown polling).  fetch_sub is the release; the lock makes
-    // the cv signal race-free against the join_cv_ wait.
-    if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // no teardown polling).  The decrement happens INSIDE the join_mu_
+    // critical section: join_all only reads unfinished_ under the same
+    // lock, so it cannot observe zero, return, and let ~World destroy
+    // join_mu_/join_cv_ while this context is still between the
+    // decrement and the notify.
+    {
         std::lock_guard lk(join_mu_);
-        join_cv_.notify_all();
+        if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            join_cv_.notify_all();
     }
 }
 
@@ -299,23 +303,31 @@ void World::start_proc(int global_rank, std::vector<std::string> argv) {
     ProcData& p = procs_.at(global_rank, "simmpi: bad proc rank");
     ProgramFn fn = find_program(p.program);
     if (!fn) throw std::runtime_error("simmpi: unknown program '" + p.program + "'");
-    unfinished_.fetch_add(1, std::memory_order_acq_rel);
     auto body = [this, global_rank, argv = std::move(argv), fn = std::move(fn)]() mutable {
         run_rank_body(global_rank, std::move(argv), std::move(fn));
     };
     std::lock_guard lk(mu_);
-    ++started_;
-    if (cfg_.rank_engine == RankEngine::Fiber) {
-        // The fiber's instr context carries the rank identity and the
-        // recorder sink; workers install it at every switch-in.
-        instr::ThreadContext ictx;
-        ictx.rank = global_rank;
-        ictx.sink = recorder_.get();
-        scheduler_locked()->spawn(std::move(body), cfg_.fiber_stack_bytes,
-                                  &p.cpu_ns, ictx);
-    } else {
-        threads_.emplace_back(std::move(body));
+    // The increment must precede the spawn (the body may finish and
+    // decrement before spawn returns), but a failed spawn must roll it
+    // back or join_all stalls until the watchdog aborts the process.
+    unfinished_.fetch_add(1, std::memory_order_acq_rel);
+    try {
+        if (cfg_.rank_engine == RankEngine::Fiber) {
+            // The fiber's instr context carries the rank identity and
+            // the recorder sink; workers install it at every switch-in.
+            instr::ThreadContext ictx;
+            ictx.rank = global_rank;
+            ictx.sink = recorder_.get();
+            scheduler_locked()->spawn(std::move(body), cfg_.fiber_stack_bytes,
+                                      &p.cpu_ns, ictx);
+        } else {
+            threads_.emplace_back(std::move(body));
+        }
+    } catch (...) {
+        unfinished_.fetch_sub(1, std::memory_order_acq_rel);
+        throw;
     }
+    ++started_;
 }
 
 void World::release_start_gate() {

@@ -828,6 +828,15 @@ private:
     sched::Scheduler* scheduler_locked();
 
     mutable std::mutex mu_;  ///< guards control-plane state below
+    /// Completion plane for join_all: bodies still running.  The last
+    /// finisher decrements under join_mu_ and notifies join_cv_ -- no
+    /// polling loop (DESIGN.md 12).  Declared BEFORE threads_/sched_
+    /// on purpose: members declared later are destroyed first, so the
+    /// scheduler's destructor (which joins its workers, quiescing
+    /// every fiber epilogue) runs while these are still alive.
+    std::atomic<std::size_t> unfinished_{0};
+    mutable std::mutex join_mu_;
+    mutable std::condition_variable join_cv_;
     std::deque<std::thread> threads_;  ///< thread engine; stable refs while spawn appends
     std::size_t joined_ = 0;
     std::unique_ptr<sched::Scheduler> sched_;  ///< fiber engine (lazy)
@@ -840,11 +849,6 @@ private:
     /// Start gate: paused rank bodies park here until release.
     std::vector<std::shared_ptr<sched::WaitToken>> start_waiters_;
     bool start_released_ = false;
-    /// Completion plane for join_all: bodies still running.  The last
-    /// finisher notifies join_cv_ -- no polling loop (DESIGN.md 12).
-    std::atomic<std::size_t> unfinished_{0};
-    mutable std::mutex join_mu_;
-    mutable std::condition_variable join_cv_;
     std::vector<int> free_win_impl_ids_;
     int next_win_impl_id_ = 0;
     ProfilingLayer* profiling_ = nullptr;

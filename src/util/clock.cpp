@@ -5,6 +5,7 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <vector>
 
@@ -24,6 +25,20 @@ double thread_cpu_seconds() {
     timespec ts{};
     if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
     return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+namespace {
+std::atomic<double (*)()> g_rank_cpu_provider{nullptr};
+}  // namespace
+
+double rank_cpu_seconds() {
+    if (double (*fn)() = g_rank_cpu_provider.load(std::memory_order_acquire))
+        return fn();
+    return thread_cpu_seconds();
+}
+
+void set_rank_cpu_provider(double (*provider)()) {
+    g_rank_cpu_provider.store(provider, std::memory_order_release);
 }
 
 double process_system_seconds() {

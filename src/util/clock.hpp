@@ -27,6 +27,23 @@ double wall_seconds();
 /// time on a cluster node (CLOCK_THREAD_CPUTIME_ID on Linux).
 double thread_cpu_seconds();
 
+/// CPU time consumed by the *calling rank context*, in seconds.
+///
+/// Defaults to thread_cpu_seconds().  An execution engine that
+/// multiplexes ranks over worker threads (the simmpi fiber scheduler)
+/// installs a provider so a start/stop timer pair reads one rank's
+/// CPU clock even when the rank parks and resumes on a different
+/// worker thread between the two reads -- the thread clock there
+/// would subtract two different threads' clocks and produce
+/// meaningless (possibly negative) deltas.  Timer metrics (proc_time
+/// and friends) must use this, never thread_cpu_seconds() directly.
+double rank_cpu_seconds();
+
+/// Install the rank_cpu_seconds() provider (nullptr restores the
+/// thread-clock default).  The provider must be callable from any
+/// thread and fall back to the thread clock off-rank.
+void set_rank_cpu_provider(double (*provider)());
+
 /// System (kernel) CPU time consumed by the whole process, in seconds.
 /// Used only by the system-time PPerfMark program's ground truth.
 double process_system_seconds();

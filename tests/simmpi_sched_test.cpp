@@ -12,6 +12,7 @@
 
 #include "simmpi/fiber.hpp"
 #include "simmpi/sched.hpp"
+#include "util/clock.hpp"
 
 namespace m2p::simmpi::sched {
 namespace {
@@ -112,6 +113,83 @@ TEST(Sched, UnparkBeforeParkIsConsumedByNextPark) {
         },
         kStack);
     wait_for([&] { return done.load(); });
+}
+
+TEST(Sched, RacingUnparkAgainstParkAnnouncementIsNeverLost) {
+    // Hammer the Idle->Parking announcement window: the waker thread
+    // fires unpark() concurrently with the fiber's park_until(), so
+    // some rounds land between the fast-path load and the kParking
+    // transition.  A blind store there (instead of a CAS) overwrites
+    // the notify and the round stalls for the full 10 s deadline.
+    Scheduler s(1);
+    constexpr int kRounds = 10000;
+    std::atomic<int> acked{0};
+    std::atomic<bool> go{false}, done{false}, tok_ready{false};
+    std::shared_ptr<WaitToken> tok;
+    const auto& main_tok = current_wait_token();
+    s.spawn(
+        [&] {
+            tok = current_wait_token();
+            tok_ready.store(true);
+            for (int i = 0; i < kRounds; ++i) {
+                while (!go.exchange(false, std::memory_order_acq_rel))
+                    current_wait_token()->park_until(clk::now() + 10s);
+                acked.fetch_add(1, std::memory_order_release);
+            }
+            done.store(true);
+            main_tok->unpark();
+        },
+        kStack);
+    while (!tok_ready.load()) std::this_thread::sleep_for(1ms);
+    for (int i = 0; i < kRounds; ++i) {
+        go.store(true, std::memory_order_release);
+        tok->unpark();
+        const auto until = clk::now() + 10s;
+        while (acked.load(std::memory_order_acquire) <= i)
+            ASSERT_LT(clk::now(), until) << "unpark lost at round " << i;
+    }
+    wait_for([&] { return done.load(); });
+}
+
+TEST(Sched, RankCpuSecondsChargesTheFiberNotTheWorker) {
+    // Two fibers share one worker: a burner that spins and an idler
+    // that parks while the burner owns the worker.  Reading the thread
+    // CPU clock would charge the idler the burner's work; the
+    // fiber-aware rank_cpu_seconds() provider must not.
+    Scheduler s(1);
+    std::atomic<bool> stop{false}, done{false};
+    std::atomic<std::int64_t> burner_ns{0}, idler_ns{0};
+    std::atomic<double> idle_delta{-1.0}, burner_total{0.0};
+    const auto& main_tok = current_wait_token();
+    s.spawn(
+        [&] {
+            while (!stop.load(std::memory_order_acquire)) {
+                volatile std::uint64_t acc = 0;
+                for (int i = 0; i < 200000; ++i)
+                    acc += static_cast<std::uint64_t>(i);
+                maybe_yield();
+            }
+            burner_total.store(util::rank_cpu_seconds());
+            main_tok->unpark();
+        },
+        kStack, &burner_ns);
+    s.spawn(
+        [&] {
+            const double t0 = util::rank_cpu_seconds();
+            sleep_for(150ms);  // the burner owns the worker meanwhile
+            const double t1 = util::rank_cpu_seconds();
+            idle_delta.store(t1 - t0);
+            stop.store(true, std::memory_order_release);
+            done.store(true);
+            main_tok->unpark();
+        },
+        kStack, &idler_ns);
+    wait_for([&] { return done.load(); });
+    wait_for([&] { return burner_total.load() > 0.0; });
+    EXPECT_GE(idle_delta.load(), 0.0) << "per-fiber CPU went backwards";
+    EXPECT_LT(idle_delta.load(), 0.05)
+        << "idle fiber was charged the worker's CPU";
+    EXPECT_GT(burner_total.load(), 0.05);
 }
 
 TEST(Sched, DeadlineSweeperReleasesAnUnnotifiedPark) {
