@@ -116,8 +116,43 @@ PCReport PerformanceConsultant::search(const std::function<bool()>& still_runnin
         return out;
     };
 
+    // Survivor re-planning state: the death epoch the current plan was
+    // built against.  When it moves, the search re-plans over the
+    // survivors instead of carrying truncated results forward.
+    std::uint64_t planned_epoch = tool_.world().death_epoch();
+    const auto focus_alive = [this](const Focus& f) {
+        return !tool_.ranks_for_focus(f).empty();
+    };
+    // Truncated-but-retestable nodes: their values cover a shrinking
+    // process set, so re-measure them over the survivors.
+    auto collect_truncated = [&report, &focus_alive] {
+        std::vector<PCNode*> out;
+        std::deque<PCNode*> q;
+        for (const auto& r : report.roots) q.push_back(r.get());
+        while (!q.empty()) {
+            PCNode* n = q.front();
+            q.pop_front();
+            if (n->tested && n->truncated && focus_alive(n->focus)) out.push_back(n);
+            for (const auto& c : n->children) q.push_back(c.get());
+        }
+        return out;
+    };
+
     while (still_running() &&
            util::wall_seconds() - t_begin < opts_.max_search_seconds) {
+        if (const std::uint64_t epoch = tool_.world().death_epoch();
+            epoch != planned_epoch) {
+            planned_epoch = epoch;
+            // Ranks died since the plan was drawn up: drop queued
+            // experiments whose focus has no live rank left (their
+            // /Process resources are retired) and re-enqueue truncated
+            // results for a clean survivor measurement.
+            std::erase_if(frontier,
+                          [&](PCNode* n) { return !focus_alive(n->focus); });
+            for (PCNode* n : collect_truncated())
+                if (std::find(frontier.begin(), frontier.end(), n) == frontier.end())
+                    frontier.push_back(n);
+        }
         if (frontier.empty()) {
             for (PCNode* n : collect_retestable()) frontier.push_back(n);
             if (frontier.empty()) break;
@@ -129,6 +164,10 @@ PCReport PerformanceConsultant::search(const std::function<bool()>& still_runnin
         }
         report.experiments_run += static_cast<int>(batch.size());
         evaluate_batch(batch, still_running);
+        for (PCNode* n : batch) {
+            if (n->tested && !n->truncated && tool_.world().death_epoch() != 0)
+                ++report.post_loss_experiments;
+        }
         for (PCNode* n : batch) {
             if (!n->tested_true) continue;
             if (focus_depth(n->focus) >= opts_.max_depth) continue;
@@ -182,7 +221,9 @@ double PerformanceConsultant::evaluate_batch(
                                   static_cast<std::int64_t>(exps.size()));
 
     for (Experiment& e : exps) {
-        if (lost_ranks) e.node->truncated = true;
+        // Overwrite, don't accumulate: a clean re-test over the
+        // survivors clears the stale truncation verdict.
+        e.node->truncated = lost_ranks;
         const double delta = e.pair->total() - e.total0;
         const double cpus = delta / elapsed;
         std::size_t denom =
@@ -394,6 +435,10 @@ std::string PerformanceConsultant::render_condensed(const PCReport& report,
     if (report.outcome.status == RunOutcome::Status::RanksLost)
         os << "(degraded search: " << report.outcome.epitaphs.size()
            << " rank(s) lost during the run; findings cover survivors only)\n";
+    else if (report.outcome.status == RunOutcome::Status::Recovered)
+        os << "(recovered search: " << report.outcome.epitaphs.size()
+           << " rank(s) lost; survivors shrank and the search re-measured "
+           << report.post_loss_experiments << " experiment(s) over them)\n";
     else if (report.outcome.status == RunOutcome::Status::Aborted)
         os << "(run aborted, code " << report.outcome.abort_code << ")\n";
     for (const auto& root : report.roots) {

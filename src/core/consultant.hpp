@@ -39,6 +39,10 @@ struct PCNode {
 struct PCReport {
     std::vector<std::unique_ptr<PCNode>> roots;
     int experiments_run = 0;
+    /// Experiments that completed cleanly (no mid-experiment death)
+    /// after the run had already lost ranks: the search kept producing
+    /// trustworthy survivor measurements instead of truncating.
+    int post_loss_experiments = 0;
     double search_seconds = 0.0;
     /// How the measured application run ended (filled by
     /// Session::run_with_consultant; default-Completed otherwise).

@@ -17,6 +17,7 @@ struct RunOutcome {
         Completed,  ///< every rank reached MPI_Finalize
         Aborted,    ///< world poisoned (MPI_Abort or a fatal errhandler)
         RanksLost,  ///< run ended, but some ranks died; see epitaphs
+        Recovered,  ///< ranks died AND survivors shrank to a fresh comm
     };
 
     Status status = Status::Completed;
@@ -36,7 +37,11 @@ inline RunOutcome outcome_from_world(const simmpi::World& world) {
         o.status = RunOutcome::Status::Aborted;
         o.abort_code = world.poison_code();
     } else if (!o.epitaphs.empty()) {
-        o.status = RunOutcome::Status::RanksLost;
+        // A completed MPI_Comm_shrink after the losses means survivors
+        // rebuilt and kept going -- the run recovered rather than
+        // merely surviving.
+        o.status = world.recovered() ? RunOutcome::Status::Recovered
+                                     : RunOutcome::Status::RanksLost;
     }
     return o;
 }

@@ -9,9 +9,10 @@ simmpi::World::Config with_flavor(simmpi::World::Config cfg, simmpi::Flavor f) {
 }
 
 RunOutcome record_outcome(simmpi::World& world, RunOutcome o) {
-    const char* status = o.status == RunOutcome::Status::Completed ? "Completed"
-                         : o.status == RunOutcome::Status::Aborted ? "Aborted"
-                                                                   : "RanksLost";
+    const char* status = o.status == RunOutcome::Status::Completed   ? "Completed"
+                         : o.status == RunOutcome::Status::Aborted   ? "Aborted"
+                         : o.status == RunOutcome::Status::Recovered ? "Recovered"
+                                                                     : "RanksLost";
     world.trace_event(trace::EventKind::RunOutcome, -1, status, o.abort_code,
                       static_cast<std::int64_t>(o.epitaphs.size()));
     return o;

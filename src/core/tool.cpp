@@ -104,12 +104,17 @@ void PerfTool::frontend_loop() {
             case Report::Kind::NewResource:
                 if (!hierarchy_.exists(r.path)) hierarchy_.add(r.path, r.rkind);
                 if (!r.display.empty()) hierarchy_.set_display(r.path, r.display);
+                // A rank can die while its discovery reports are still in
+                // flight, putting the Retire ahead of the NewResource in
+                // the queue; honour the stashed retire now.
+                if (pending_retires_.erase(r.path) != 0) hierarchy_.retire(r.path);
                 break;
             case Report::Kind::NameUpdate:
                 if (hierarchy_.exists(r.path)) hierarchy_.set_display(r.path, r.display);
                 break;
             case Report::Kind::Retire:
                 if (hierarchy_.exists(r.path)) hierarchy_.retire(r.path);
+                else pending_retires_.insert(r.path);
                 break;
         }
         {
@@ -173,8 +178,15 @@ void PerfTool::on_rank_death(const simmpi::Epitaph& e) {
     {
         std::lock_guard lk(mu_);
         const auto it = rank_node_.find(e.global_rank);
-        if (it == rank_node_.end()) return;  // never registered with a daemon
-        node = it->second;
+        if (it != rank_node_.end()) {
+            node = it->second;
+        } else {
+            // Death beat discovery: the daemon never registered this
+            // rank, but the world's process table has it from launch.
+            // Post the retires anyway -- the frontend stashes them if
+            // the NewResource reports have not landed yet.
+            node = world_.proc(e.global_rank).node;
+        }
     }
     const std::string pname = "p" + std::to_string(e.global_rank);
     post({Report::Kind::Retire, "/Process/" + pname, ResourceKind::Process, "",

@@ -182,6 +182,10 @@ private:
     std::deque<Report> queue_;
     bool applying_ = false;
     bool stop_ = false;
+    /// Retires that arrived before their NewResource (a rank can die
+    /// while its discovery reports are still in flight).  Frontend
+    /// thread only -- no lock needed.
+    std::set<std::string> pending_retires_;
     std::thread frontend_;
 };
 

@@ -312,13 +312,14 @@ int Rank::MPI_Comm_dup(Comm c, Comm* out) {
     if (!world_.comm_valid(c)) return MPI_ERR_COMM;
     fault_point("MPI_Comm_dup");
     CommData& cd = world_.comm(c);
-    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
+    if (comm_revoked(cd)) return comm_error(c, MPI_ERR_REVOKED);
+    if (!barrier_internal(cd)) return comm_error(c, coll_fail_code(cd));
     // Every member must end up with the same handle; rank 0 creates.
     if (my_rank_in(cd) == 0)
         cd.spawn_result = world_.create_comm(cd.group, cd.remote_group, cd.is_inter);
-    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
+    if (!barrier_internal(cd)) return comm_error(c, coll_fail_code(cd));
     *out = cd.spawn_result;
-    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
+    if (!barrier_internal(cd)) return comm_error(c, coll_fail_code(cd));
     return MPI_SUCCESS;
 }
 
@@ -393,6 +394,10 @@ int Rank::send_body(const void* buf, int count, Datatype dt, int dest, int tag, 
     const int dest_global = dest_group(cd)[static_cast<std::size_t>(dest)];
     Mailbox& mb = world_.mailbox(dest_global);
 
+    // A revoked communicator fails every current and future operation
+    // on it; checked before touching the destination mailbox so the
+    // envelope never enters a queue nobody will drain.
+    if (comm_revoked(cd)) return comm_error(c, MPI_ERR_REVOKED);
     // A provably-unreachable destination fails fast: nothing will ever
     // drain the mailbox or signal the rendezvous token.  (Gated on the
     // death epoch so fault-free runs keep the old behavior for sends
@@ -442,6 +447,7 @@ int Rank::send_body(const void* buf, int count, Datatype dt, int dest, int tag, 
             const auto deadline = wait_deadline();
             while (mb.bytes_queued + bytes + kEnvelopeOverhead >
                    world_.config().mailbox_capacity) {
+                if (comm_revoked(cd)) return comm_error(c, MPI_ERR_REVOKED);
                 if (world_.death_epoch() != 0) {
                     check_poisoned();
                     if (world_.rank_unreachable(dest_global))
@@ -477,7 +483,7 @@ int Rank::send_body(const void* buf, int count, Datatype dt, int dest, int tag, 
         const auto deadline = wait_deadline();
         const bool delivered = token->wait_or_abandon(
             [&] {
-                return world_.poisoned() ||
+                return world_.poisoned() || comm_revoked(cd) ||
                        (world_.death_epoch() != 0 &&
                         world_.rank_unreachable(dest_global)) ||
                        std::chrono::steady_clock::now() >= deadline;
@@ -485,7 +491,7 @@ int Rank::send_body(const void* buf, int count, Datatype dt, int dest, int tag, 
             deadline);
         if (!delivered) {
             check_poisoned();
-            return comm_error(c, MPI_ERR_RANK);
+            return comm_error(c, comm_revoked(cd) ? MPI_ERR_REVOKED : MPI_ERR_RANK);
         }
     }
     // Fold the transfer into the enclosing MPI_ call's span rather than
@@ -574,6 +580,12 @@ int Rank::recv_body(void* buf, int count, Datatype dt, int src, int tag, Comm c,
         // No queued match.  The scan above ran under mb.mu, and peers
         // enqueue under mb.mu before they can die or finish, so bailing
         // here cannot lose a message that was actually delivered.
+        // Revocation is checked first and independently of the death
+        // epoch: a communicator can be revoked with zero deaths.
+        if (comm_revoked(cd)) {
+            check_poisoned();
+            return comm_error(c, MPI_ERR_REVOKED);
+        }
         if (world_.death_epoch() != 0) {
             check_poisoned();
             if (internal_traffic) {
@@ -637,6 +649,10 @@ int Rank::probe_body(int src, int tag, Comm c, int* flag, Status* st, bool block
         if (!blocking) {
             if (flag) *flag = 0;
             return MPI_SUCCESS;
+        }
+        if (comm_revoked(cd)) {
+            check_poisoned();
+            return comm_error(c, MPI_ERR_REVOKED);
         }
         if (world_.death_epoch() != 0) {
             check_poisoned();
@@ -714,8 +730,10 @@ bool Rank::internal_recv(void* buf, int bytes, int src_cr, int tag, CommData& c)
             for (const auto& t : wake_space) t->unpark();
             return true;
         }
-        // Already-queued traffic was drained above; once a member of
-        // the collective is dead the operation can never complete.
+        // Already-queued traffic was drained above; once the comm is
+        // revoked or a member of the collective is dead the operation
+        // can never complete.
+        if (comm_revoked(c)) return false;
         if (world_.death_epoch() != 0) {
             check_poisoned();
             if (world_.comm_has_dead_member(c)) return false;
@@ -727,6 +745,7 @@ bool Rank::internal_recv(void* buf, int bytes, int src_cr, int tag, CommData& c)
 
 bool Rank::barrier_internal(CommData& c) {
     std::unique_lock lk(c.bar_mu);
+    if (comm_revoked(c)) return false;
     if (world_.death_epoch() != 0) {
         check_poisoned();
         if (world_.comm_has_dead_member(c)) return false;
@@ -752,7 +771,7 @@ bool Rank::barrier_internal(CommData& c) {
         v.erase(std::remove(v.begin(), v.end(), tok), v.end());
         if (c.bar_gen != gen) return true;
         const bool doomed =
-            world_.poisoned() ||
+            world_.poisoned() || comm_revoked(c) ||
             (world_.death_epoch() != 0 && world_.comm_has_dead_member(c)) ||
             std::chrono::steady_clock::now() >= deadline;
         if (doomed) {
@@ -951,7 +970,7 @@ bool Rank::coll_allreduce_tree(const void* sbuf, void* rbuf, int count, Datatype
             v.erase(std::remove(v.begin(), v.end(), tok), v.end());
             if (cell.gen != gen0) break;
             const bool doomed =
-                world_.poisoned() ||
+                world_.poisoned() || comm_revoked(c) ||
                 (world_.death_epoch() != 0 && world_.comm_has_dead_member(c)) ||
                 std::chrono::steady_clock::now() >= deadline;
             if (doomed) {
@@ -989,7 +1008,7 @@ bool Rank::coll_allreduce_tree(const void* sbuf, void* rbuf, int count, Datatype
         if (cell.leader_waiter == tok) cell.leader_waiter.reset();
         if (cell.arrived >= k || cell.failed) break;
         const bool doomed =
-            world_.poisoned() ||
+            world_.poisoned() || comm_revoked(c) ||
             (world_.death_epoch() != 0 && world_.comm_has_dead_member(c)) ||
             std::chrono::steady_clock::now() >= deadline;
         if (doomed) {
@@ -1150,6 +1169,7 @@ int Rank::PMPI_Isend(const void* buf, int count, Datatype dt, int dest, int tag,
     const int src_cr = my_rank_in(cd);
     const int dest_global = dest_group(cd)[static_cast<std::size_t>(dest)];
     Mailbox& mb = world_.mailbox(dest_global);
+    if (comm_revoked(cd)) return comm_error(c, MPI_ERR_REVOKED);
     if (world_.death_epoch() != 0 && world_.rank_unreachable(dest_global))
         return comm_error(c, MPI_ERR_RANK);
     if (FaultPlan* plan = world_.config().faults.get();
@@ -1242,9 +1262,10 @@ int Rank::wait_one(RequestData& rd, Status* st) {
         case RequestKind::SendToken: {
             const auto deadline = wait_deadline();
             const int dest = rd.dest_mailbox;
+            CommData& cd = world_.comm(rd.comm);
             const bool delivered = rd.delivered->wait_or_abandon(
                 [&] {
-                    return world_.poisoned() ||
+                    return world_.poisoned() || comm_revoked(cd) ||
                            (world_.death_epoch() != 0 &&
                             world_.rank_unreachable(dest)) ||
                            std::chrono::steady_clock::now() >= deadline;
@@ -1252,7 +1273,8 @@ int Rank::wait_one(RequestData& rd, Status* st) {
                 deadline);
             if (delivered) return MPI_SUCCESS;
             check_poisoned();
-            return comm_error(rd.comm, MPI_ERR_RANK);
+            return comm_error(rd.comm,
+                              comm_revoked(cd) ? MPI_ERR_REVOKED : MPI_ERR_RANK);
         }
         case RequestKind::RecvDeferred:
             return recv_body(rd.buf, rd.count, rd.dt, rd.src, rd.tag, rd.comm, st);
@@ -1360,7 +1382,7 @@ int Rank::PMPI_Barrier(Comm c) {
     CollScope cs(*this, "MPI_Barrier", c, 0,
                  world_.flavor() == Flavor::Mpich ? 1 : 0);
     if (world_.flavor() == Flavor::Lam)
-        return barrier_internal(cd) ? MPI_SUCCESS : comm_error(c, MPI_ERR_PROC_FAILED);
+        return barrier_internal(cd) ? MPI_SUCCESS : comm_error(c, coll_fail_code(cd));
     // MPICH implements MPI_Barrier as a dissemination exchange built on
     // PMPI_Sendrecv -- which is why the paper's Performance Consultant
     // drills from MPI_Barrier down to PMPI_Sendrecv (Fig 9).
@@ -1370,6 +1392,7 @@ int Rank::PMPI_Barrier(Comm c) {
     const int seq_tag = next_coll_tag(c);
     // The tag is consumed unconditionally (coll_seq_ must stay aligned
     // across ranks even when some bail), then liveness is checked.
+    if (comm_revoked(cd)) return comm_error(c, MPI_ERR_REVOKED);
     if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
         return comm_error(c, MPI_ERR_PROC_FAILED);
     int tok = 0, tok2 = 0;
@@ -1382,7 +1405,7 @@ int Rank::PMPI_Barrier(Comm c) {
                                      MPI_INT, from, seq_tag + round, c, &st);
         // Map whatever the exchange saw (dead partner on either half)
         // to the one code every survivor of a failed collective gets.
-        if (rc != MPI_SUCCESS) return comm_error(c, MPI_ERR_PROC_FAILED);
+        if (rc != MPI_SUCCESS) return comm_error(c, coll_fail_code(cd));
     }
     return MPI_SUCCESS;
 }
@@ -1409,18 +1432,19 @@ int Rank::PMPI_Bcast(void* buf, int count, Datatype dt, int root, Comm c) {
     const int tag = next_coll_tag(c);
     const bool tree = world_.config().coll_algo == CollAlgo::Tree && n > 1;
     CollScope cs(*this, "MPI_Bcast", c, bytes, tree ? 1 : 0);
+    if (comm_revoked(cd)) return comm_error(c, MPI_ERR_REVOKED);
     if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
         return comm_error(c, MPI_ERR_PROC_FAILED);
     if (tree)
         return coll_bcast_tree(buf, bytes, root, tag, cd)
                    ? MPI_SUCCESS
-                   : comm_error(c, MPI_ERR_PROC_FAILED);
+                   : comm_error(c, coll_fail_code(cd));
     // Flat star: the legacy shape paper-validation runs pin.
     if (me == root) {
         for (int r = 0; r < n; ++r)
             if (r != root) internal_send(buf, bytes, r, tag, cd);
     } else if (!internal_recv(buf, bytes, root, tag, cd)) {
-        return comm_error(c, MPI_ERR_PROC_FAILED);
+        return comm_error(c, coll_fail_code(cd));
     }
     return MPI_SUCCESS;
 }
@@ -1453,6 +1477,7 @@ int Rank::PMPI_Reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op o
     const int tag = next_coll_tag(c);
     const bool tree = world_.config().coll_algo == CollAlgo::Tree && n > 1;
     CollScope cs(*this, "MPI_Reduce", c, bytes, tree ? 1 : 0);
+    if (comm_revoked(cd)) return comm_error(c, MPI_ERR_REVOKED);
     if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
         return comm_error(c, MPI_ERR_PROC_FAILED);
     if (tree) {
@@ -1471,7 +1496,7 @@ int Rank::PMPI_Reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op o
             const int child = vrank + mask;
             if (child < n) {
                 if (!internal_recv(tmp.data(), bytes, actual(child), tag, cd))
-                    return comm_error(c, MPI_ERR_PROC_FAILED);
+                    return comm_error(c, coll_fail_code(cd));
                 reduce_combine(acc.data(), tmp.data(), count, dt, op);
             }
         }
@@ -1485,7 +1510,7 @@ int Rank::PMPI_Reduce(const void* sbuf, void* rbuf, int count, Datatype dt, Op o
         for (int r = 0; r < n; ++r) {
             if (r == root) continue;
             if (!internal_recv(tmp.data(), bytes, r, tag, cd))
-                return comm_error(c, MPI_ERR_PROC_FAILED);
+                return comm_error(c, coll_fail_code(cd));
             reduce_combine(rbuf, tmp.data(), count, dt, op);
         }
     } else {
@@ -1521,6 +1546,7 @@ int Rank::PMPI_Allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, O
     const int tag = next_coll_tag(c);
     const bool tree = world_.config().coll_algo == CollAlgo::Tree && n > 1;
     CollScope cs(*this, "MPI_Allreduce", c, bytes, tree ? 1 : 0);
+    if (comm_revoked(cd)) return comm_error(c, MPI_ERR_REVOKED);
     if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
         return comm_error(c, MPI_ERR_PROC_FAILED);
     if (tree) {
@@ -1536,21 +1562,21 @@ int Rank::PMPI_Allreduce(const void* sbuf, void* rbuf, int count, Datatype dt, O
         // per-rank critical path stays logarithmic.
         return coll_allreduce_tree(sbuf, rbuf, count, dt, op, bytes, tag, cd)
                    ? MPI_SUCCESS
-                   : comm_error(c, MPI_ERR_PROC_FAILED);
+                   : comm_error(c, coll_fail_code(cd));
     }
     if (me == 0) {
         if (bytes > 0) std::memcpy(rbuf, sbuf, static_cast<std::size_t>(bytes));
         std::vector<std::byte> tmp(static_cast<std::size_t>(bytes));
         for (int r = 1; r < n; ++r) {
             if (!internal_recv(tmp.data(), bytes, r, tag, cd))
-                return comm_error(c, MPI_ERR_PROC_FAILED);
+                return comm_error(c, coll_fail_code(cd));
             reduce_combine(rbuf, tmp.data(), count, dt, op);
         }
         for (int r = 1; r < n; ++r) internal_send(rbuf, bytes, r, tag + 1, cd);
     } else {
         internal_send(sbuf, bytes, 0, tag, cd);
         if (!internal_recv(rbuf, bytes, 0, tag + 1, cd))
-            return comm_error(c, MPI_ERR_PROC_FAILED);
+            return comm_error(c, coll_fail_code(cd));
     }
     return MPI_SUCCESS;
 }
@@ -1598,12 +1624,13 @@ int Rank::PMPI_Gather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
     const int tag = next_coll_tag(c);
     const bool tree = world_.config().coll_algo == CollAlgo::Tree && n > 1;
     CollScope cs(*this, "MPI_Gather", c, block, tree ? 1 : 0);
+    if (comm_revoked(cd)) return comm_error(c, MPI_ERR_REVOKED);
     if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
         return comm_error(c, MPI_ERR_PROC_FAILED);
     if (tree)
         return coll_gather_tree(sbuf, me == root ? rbuf : nullptr, block, root, tag, cd)
                    ? MPI_SUCCESS
-                   : comm_error(c, MPI_ERR_PROC_FAILED);
+                   : comm_error(c, coll_fail_code(cd));
     if (me == root) {
         auto* out = static_cast<std::byte*>(rbuf);
         std::memcpy(out + static_cast<std::ptrdiff_t>(root) * block, sbuf,
@@ -1612,7 +1639,7 @@ int Rank::PMPI_Gather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
             if (r == root) continue;
             if (!internal_recv(out + static_cast<std::ptrdiff_t>(r) * block, block, r,
                                tag, cd))
-                return comm_error(c, MPI_ERR_PROC_FAILED);
+                return comm_error(c, coll_fail_code(cd));
         }
     } else {
         internal_send(sbuf, block, root, tag, cd);
@@ -1646,12 +1673,13 @@ int Rank::PMPI_Scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf,
     const int tag = next_coll_tag(c);
     const bool tree = world_.config().coll_algo == CollAlgo::Tree && n > 1;
     CollScope cs(*this, "MPI_Scatter", c, block, tree ? 1 : 0);
+    if (comm_revoked(cd)) return comm_error(c, MPI_ERR_REVOKED);
     if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
         return comm_error(c, MPI_ERR_PROC_FAILED);
     if (tree)
         return coll_scatter_tree(me == root ? sbuf : nullptr, rbuf, block, root, tag, cd)
                    ? MPI_SUCCESS
-                   : comm_error(c, MPI_ERR_PROC_FAILED);
+                   : comm_error(c, coll_fail_code(cd));
     if (me == root) {
         const auto* in = static_cast<const std::byte*>(sbuf);
         std::memcpy(rbuf, in + static_cast<std::ptrdiff_t>(root) * block,
@@ -1662,7 +1690,7 @@ int Rank::PMPI_Scatter(const void* sbuf, int scount, Datatype sdt, void* rbuf,
                           cd);
         }
     } else if (!internal_recv(rbuf, block, root, tag, cd)) {
-        return comm_error(c, MPI_ERR_PROC_FAILED);
+        return comm_error(c, coll_fail_code(cd));
     }
     return MPI_SUCCESS;
 }
@@ -1691,6 +1719,7 @@ int Rank::PMPI_Allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
     const int tag = next_coll_tag(c);
     const bool tree = world_.config().coll_algo == CollAlgo::Tree && n > 1;
     CollScope cs(*this, "MPI_Allgather", c, block, tree ? 1 : 0);
+    if (comm_revoked(cd)) return comm_error(c, MPI_ERR_REVOKED);
     if (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd))
         return comm_error(c, MPI_ERR_PROC_FAILED);
     auto* out = static_cast<std::byte*>(rbuf);
@@ -1710,12 +1739,12 @@ int Rank::PMPI_Allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
                               peer, tag + round, cd);
                 if (!internal_recv(out + static_cast<std::size_t>(peer_off) * block,
                                    m * block, peer, tag + round, cd))
-                    return comm_error(c, MPI_ERR_PROC_FAILED);
+                    return comm_error(c, coll_fail_code(cd));
             }
         } else {
             if (!coll_gather_tree(sbuf, me == 0 ? rbuf : nullptr, block, 0, tag, cd) ||
                 !coll_bcast_tree(out, n * block, 0, tag + 32, cd))
-                return comm_error(c, MPI_ERR_PROC_FAILED);
+                return comm_error(c, coll_fail_code(cd));
         }
         return MPI_SUCCESS;
     }
@@ -1725,12 +1754,12 @@ int Rank::PMPI_Allgather(const void* sbuf, int scount, Datatype sdt, void* rbuf,
         for (int r = 1; r < n; ++r)
             if (!internal_recv(out + static_cast<std::ptrdiff_t>(r) * block, block, r,
                                tag, cd))
-                return comm_error(c, MPI_ERR_PROC_FAILED);
+                return comm_error(c, coll_fail_code(cd));
         for (int r = 1; r < n; ++r) internal_send(out, n * block, r, tag + 1, cd);
     } else {
         internal_send(sbuf, block, 0, tag, cd);
         if (!internal_recv(out, n * block, 0, tag + 1, cd))
-            return comm_error(c, MPI_ERR_PROC_FAILED);
+            return comm_error(c, coll_fail_code(cd));
     }
     return MPI_SUCCESS;
 }

@@ -61,7 +61,29 @@ public:
     int MPI_Comm_rank(Comm c, int* rank);
     int MPI_Comm_remote_size(Comm c, int* size);
     int MPI_Comm_dup(Comm c, Comm* out);
+    /// Partitions @p c by @p color (MPI_UNDEFINED opts out), ordering
+    /// each result communicator by (key, rank in c).  Collective.
+    int MPI_Comm_split(Comm c, int color, int key, Comm* out);
     int MPI_Comm_free(Comm* c);
+
+    // ---- ULFM-style recovery (recovery.cpp) --------------------------------
+    /// Revokes @p c: every pending and future operation on it -- on
+    /// every member -- fails with MPI_ERR_REVOKED.  Parked waiters are
+    /// woken by broadcast, not polled out.  Idempotent, not collective.
+    int MPI_Comm_revoke(Comm c);
+    /// Survivors of @p c (revoked or not) collectively build a fresh
+    /// communicator from the live membership, ordered as in @p c.
+    int MPI_Comm_shrink(Comm c, Comm* newcomm);
+    /// Fault-tolerant agreement: returns the bitwise AND of every
+    /// contributed *flag.  Completes even when members die mid-vote;
+    /// all participants get the same flag, and the uniform return code
+    /// is MPI_ERR_PROC_FAILED when any member could not contribute.
+    int MPI_Comm_agree(Comm c, int* flag);
+    /// Snapshots the currently-known failed members of @p c (local op).
+    int MPI_Comm_failure_ack(Comm c);
+    /// Returns the group of members acknowledged by the last
+    /// MPI_Comm_failure_ack on this rank (empty if never acked).
+    int MPI_Comm_get_acked(Comm c, Group* g);
     int MPI_Comm_group(Comm c, Group* g);
     int MPI_Group_incl(Group g, int n, const int* ranks, Group* out);
     int MPI_Group_size(Group g, int* size);
@@ -327,6 +349,35 @@ private:
         int algo_;
     };
 
+    // ---- Recovery plane (recovery.cpp) -------------------------------------
+    /// True when @p cd has been revoked (relaxed load; never cleared).
+    static bool comm_revoked(const CommData& cd) {
+        return cd.revoked.load(std::memory_order_relaxed);
+    }
+    /// The uniform failure code for a collective that cannot complete
+    /// on @p cd: MPI_ERR_REVOKED once the comm is revoked, else
+    /// MPI_ERR_PROC_FAILED (a member died).
+    static int coll_fail_code(const CommData& cd) {
+        return comm_revoked(cd) ? MPI_ERR_REVOKED : MPI_ERR_PROC_FAILED;
+    }
+    /// One rendezvous round over @p rv: blocks until every member of
+    /// @p cd has arrived (with @p excuse_dead, dead/finished members
+    /// are excused -- the agree/shrink fault-tolerance rule; without
+    /// it a dead member dooms the round -- the split rule), then the
+    /// closing arriver runs @p close_round under rv.mu to publish the
+    /// uniform verdict and unparks the rest.  Returns the published
+    /// rc; *out_flag / *out_comm (either may be null) receive this
+    /// member's published flag / communicator.
+    int ft_rendezvous(Comm c, CommData& cd, FtRendezvous& rv,
+                      std::array<int, 2> vote, bool excuse_dead,
+                      void (Rank::*close_round)(CommData&, FtRendezvous&),
+                      int* out_flag, Comm* out_comm);
+    /// Round closers (run once, by the arriver that completes the
+    /// round, under rv.mu): publish per-member results into rv.
+    void close_agree(CommData& cd, FtRendezvous& rv);
+    void close_shrink(CommData& cd, FtRendezvous& rv);
+    void close_split(CommData& cd, FtRendezvous& rv);
+
     int wait_one(RequestData& rd, Status* st);
     /// Shared body of the read/write family.  @p at_offset < 0 means
     /// "use (and advance) the individual file pointer".  @p op names
@@ -385,6 +436,9 @@ private:
     /// Per-window staged Table-1 counters (this rank's ops since its
     /// last sync call on that window).  Owned by the rank thread.
     std::map<Win, RmaStage> rma_stage_;
+    /// MPI_Comm_failure_ack snapshots: comm -> failed members (global
+    /// ranks) known at ack time.  Owned by the rank thread.
+    std::map<Comm, std::vector<int>> acked_failures_;
 };
 
 }  // namespace m2p::simmpi

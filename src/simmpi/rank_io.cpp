@@ -69,7 +69,7 @@ int Rank::PMPI_File_open(Comm c, const std::string& filename, int amode, Info in
 
     // Collective: everyone arrives, rank 0 resolves the file, everyone
     // picks up the shared handle (late openers show up as I/O wait).
-    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
+    if (!barrier_internal(cd)) return comm_error(c, coll_fail_code(cd));
     if (my_rank_in(cd) == 0) {
         cd.win_result = MPI_WIN_NULL;  // reuse the slot for the file handle
         const bool exists = world_.fs_exists(filename);
@@ -84,9 +84,9 @@ int Rank::PMPI_File_open(Comm c, const std::string& filename, int amode, Info in
                 (amode & MPI_MODE_DELETE_ON_CLOSE) != 0);
         }
     }
-    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
+    if (!barrier_internal(cd)) return comm_error(c, coll_fail_code(cd));
     const std::int64_t result = cd.win_result;
-    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
+    if (!barrier_internal(cd)) return comm_error(c, coll_fail_code(cd));
     if (result == -2) return MPI_ERR_NO_SUCH_FILE;
     if (result == -3) return MPI_ERR_FILE_EXISTS;
     *fh = static_cast<File>(result);
@@ -121,12 +121,12 @@ int Rank::PMPI_File_close(File* fh) {
     if (!world_.file_valid(*fh)) return MPI_ERR_FILE;
     FileData& fd = world_.file(*fh);
     CommData& cd = world_.comm(fd.comm);
-    if (!barrier_internal(cd)) return comm_error(fd.comm, MPI_ERR_PROC_FAILED);
+    if (!barrier_internal(cd)) return comm_error(fd.comm, coll_fail_code(cd));
     if (my_rank_in(cd) == 0) {
         fd.closed = true;
         if (fd.delete_on_close) world_.fs_delete(fd.filename);
     }
-    if (!barrier_internal(cd)) return comm_error(fd.comm, MPI_ERR_PROC_FAILED);
+    if (!barrier_internal(cd)) return comm_error(fd.comm, coll_fail_code(cd));
     world_.trace_event(trace::EventKind::Io, global_, "MPI_File_close", 0, 0, *fh);
     *fh = MPI_FILE_NULL;
     return MPI_SUCCESS;
@@ -166,7 +166,7 @@ int Rank::file_transfer(File fh, const char* op, std::int64_t at_offset, void* r
     // Collective access synchronizes the communicator before and
     // after the transfer, so stragglers produce measurable I/O wait.
     if (collective && !barrier_internal(world_.comm(fd.comm)))
-        return comm_error(fd.comm, MPI_ERR_PROC_FAILED);
+        return comm_error(fd.comm, coll_fail_code(world_.comm(fd.comm)));
 
     const std::int64_t bytes =
         static_cast<std::int64_t>(count) * datatype_size(dt);
@@ -214,7 +214,7 @@ int Rank::file_transfer(File fh, const char* op, std::int64_t at_offset, void* r
         st->count_bytes = static_cast<int>(moved);
     }
     if (collective && !barrier_internal(world_.comm(fd.comm)))
-        return comm_error(fd.comm, MPI_ERR_PROC_FAILED);
+        return comm_error(fd.comm, coll_fail_code(world_.comm(fd.comm)));
     return MPI_SUCCESS;
 }
 
@@ -436,7 +436,7 @@ int Rank::MPI_File_set_view(File fh, std::int64_t disp, Datatype etype, Info inf
     FileData& fd = world_.file(fh);
     // Collective; resets all file pointers, per the standard.
     if (!barrier_internal(world_.comm(fd.comm)))
-        return comm_error(fd.comm, MPI_ERR_PROC_FAILED);
+        return comm_error(fd.comm, coll_fail_code(world_.comm(fd.comm)));
     {
         std::lock_guard plk(fd.mu);
         fd.view_disp = disp;
@@ -446,7 +446,7 @@ int Rank::MPI_File_set_view(File fh, std::int64_t disp, Datatype etype, Info inf
         if (info != MPI_INFO_NULL) fd.info = info;
     }
     if (!barrier_internal(world_.comm(fd.comm)))
-        return comm_error(fd.comm, MPI_ERR_PROC_FAILED);
+        return comm_error(fd.comm, coll_fail_code(world_.comm(fd.comm)));
     return MPI_SUCCESS;
 }
 

@@ -160,7 +160,7 @@ int Rank::PMPI_Win_create(void* base, std::int64_t size, int disp_unit, Info inf
     // synchronization overhead of a late-arriving process shows up
     // (paper Fig 1, top left).
     const auto t0 = std::chrono::steady_clock::now();
-    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
+    if (!barrier_internal(cd)) return comm_error(c, coll_fail_code(cd));
     if (me == 0) {
         cd.win_result = world_.create_win(c);
         if (world_.flavor() == Flavor::Lam) {
@@ -171,7 +171,7 @@ int Rank::PMPI_Win_create(void* base, std::int64_t size, int disp_unit, Info inf
             world_.win(cd.win_result).shadow_comm = world_.create_comm(cd.group);
         }
     }
-    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
+    if (!barrier_internal(cd)) return comm_error(c, coll_fail_code(cd));
     const Win h = cd.win_result;
     {
         // Each member populates its own shard.  The map mutates only
@@ -184,7 +184,7 @@ int Rank::PMPI_Win_create(void* base, std::int64_t size, int disp_unit, Info inf
         sh.has_member = true;
         sh.member = WinMember{static_cast<std::byte*>(base), size, disp_unit};
     }
-    if (!barrier_internal(cd)) return comm_error(c, MPI_ERR_PROC_FAILED);
+    if (!barrier_internal(cd)) return comm_error(c, coll_fail_code(cd));
     *win = h;
     a[5] = h;
     // MPI_Win_create is part of the general RMA synchronization metric
@@ -219,7 +219,7 @@ int Rank::PMPI_Win_free(Win* win) {
     // The MPI-2 standard requires barrier semantics here (paper
     // section 4.2.1: MPI_Win_free belongs in the general RMA
     // synchronization metric for exactly this reason).
-    if (!barrier_internal(cd)) return comm_error(w.comm, MPI_ERR_PROC_FAILED);
+    if (!barrier_internal(cd)) return comm_error(w.comm, coll_fail_code(cd));
     if (my_rank_in(cd) == 0) {
         w.freed = true;
         world_.release_win_impl_id(w.impl_id);
@@ -238,7 +238,7 @@ int Rank::PMPI_Win_free(Win* win) {
         }
         for (auto& lw : aborted) lw->token->signal();
     }
-    if (!barrier_internal(cd)) return comm_error(w.comm, MPI_ERR_PROC_FAILED);
+    if (!barrier_internal(cd)) return comm_error(w.comm, coll_fail_code(cd));
     *win = MPI_WIN_NULL;
     return MPI_SUCCESS;
 }
@@ -261,6 +261,10 @@ int Rank::PMPI_Win_fence(int assert, Win win) {
     WinData& w = world_.win(win);
     CommData& cd = world_.comm(w.comm);
     RmaSyncScope sync(*this, "MPI_Win_fence", win, /*passive=*/false);
+    // Checked before the closing-arrival bookkeeping: a post-revoke
+    // fence must never close the fence and wave the parked ranks
+    // through with MPI_SUCCESS.
+    if (comm_revoked(cd)) return comm_error(w.comm, MPI_ERR_REVOKED);
     const int n = static_cast<int>(cd.group.size());
     if (n <= 1) return MPI_SUCCESS;
 
@@ -278,11 +282,11 @@ int Rank::PMPI_Win_fence(int assert, Win win) {
         // timed out) is remapped to the collective-failure code so all
         // survivors of a faulted fence observe the same error.
         int rc = PMPI_Isend(&tok, 1, MPI_INT, (me + 1) % n, tag, w.comm, &rq);
-        if (rc != MPI_SUCCESS) return comm_error(w.comm, MPI_ERR_PROC_FAILED);
+        if (rc != MPI_SUCCESS) return comm_error(w.comm, coll_fail_code(cd));
         rc = PMPI_Recv(&tok2, 1, MPI_INT, (me - 1 + n) % n, tag, w.comm, &st);
-        if (rc != MPI_SUCCESS) return comm_error(w.comm, MPI_ERR_PROC_FAILED);
+        if (rc != MPI_SUCCESS) return comm_error(w.comm, coll_fail_code(cd));
         rc = PMPI_Waitall(1, &rq, &st);
-        if (rc != MPI_SUCCESS) return comm_error(w.comm, MPI_ERR_PROC_FAILED);
+        if (rc != MPI_SUCCESS) return comm_error(w.comm, coll_fail_code(cd));
         return PMPI_Barrier(w.comm);
     }
     // MPICH2: internal fence counter; the waiting time is charged to
@@ -313,7 +317,7 @@ int Rank::PMPI_Win_fence(int assert, Win win) {
     }
     const bool signalled = tok->wait_or_abandon(
         [&] {
-            return world_.poisoned() ||
+            return world_.poisoned() || comm_revoked(cd) ||
                    (world_.death_epoch() != 0 && world_.comm_has_dead_member(cd)) ||
                    std::chrono::steady_clock::now() >= deadline;
         },
@@ -331,7 +335,7 @@ int Rank::PMPI_Win_fence(int assert, Win win) {
         w.fence_waiters.erase(it);
         --w.fence_count;
         check_poisoned();
-        return comm_error(w.comm, MPI_ERR_PROC_FAILED);
+        return comm_error(w.comm, coll_fail_code(cd));
     }
     return MPI_SUCCESS;
 }
@@ -350,6 +354,7 @@ int Rank::MPI_Win_start(Group grp, int assert, Win win) {
 /// for a group excluding it) re-registers and parks again.
 int Rank::rma_wait_exposure(WinData& w, WinShard& sh, int target) {
     const auto deadline = wait_deadline();
+    CommData& cd = world_.comm(w.comm);
     for (;;) {
         std::shared_ptr<DeliveryToken> tok;
         {
@@ -365,7 +370,7 @@ int Rank::rma_wait_exposure(WinData& w, WinShard& sh, int target) {
         }
         const bool signalled = tok->wait_or_abandon(
             [&] {
-                return world_.poisoned() ||
+                return world_.poisoned() || comm_revoked(cd) ||
                        (world_.death_epoch() != 0 &&
                         world_.rank_unreachable(target)) ||
                        std::chrono::steady_clock::now() >= deadline;
@@ -378,7 +383,7 @@ int Rank::rma_wait_exposure(WinData& w, WinShard& sh, int target) {
             if (it != pw.end()) {
                 pw.erase(it);
                 check_poisoned();
-                return comm_error(w.comm, MPI_ERR_PROC_FAILED);
+                return comm_error(w.comm, coll_fail_code(cd));
             }
             // A post raced the abandon decision; loop and re-check.
         }
@@ -535,6 +540,7 @@ int Rank::PMPI_Win_wait(Win win) {
     instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Win_wait, a);
     if (!world_.win_valid(win)) return MPI_ERR_WIN;
     WinData& w = world_.win(win);
+    CommData& cd = world_.comm(w.comm);
     WinShard* sh = w.shard(global_);
     if (!sh) return MPI_ERR_WIN;
     RmaSyncScope sync(*this, "MPI_Win_wait", win, /*passive=*/false);
@@ -564,7 +570,7 @@ int Rank::PMPI_Win_wait(Win win) {
         }
         const bool signalled = tok->wait_or_abandon(
             [&] {
-                return world_.poisoned() ||
+                return world_.poisoned() || comm_revoked(cd) ||
                        (world_.death_epoch() != 0 && world_.any_dead(post_group)) ||
                        std::chrono::steady_clock::now() >= deadline;
             },
@@ -574,7 +580,7 @@ int Rank::PMPI_Win_wait(Win win) {
             if (sh->exposure.wait_token == tok) {
                 sh->exposure.wait_token = nullptr;
                 check_poisoned();
-                return comm_error(w.comm, MPI_ERR_PROC_FAILED);
+                return comm_error(w.comm, coll_fail_code(cd));
             }
             // A complete raced the abandon decision; loop and re-check.
         }
@@ -603,6 +609,7 @@ int Rank::PMPI_Win_lock(int lock_type, int rank, int assert, Win win) {
     if (rank < 0 || static_cast<std::size_t>(rank) >= cd.group.size())
         return MPI_ERR_RANK;
     const int target = cd.group[static_cast<std::size_t>(rank)];
+    if (comm_revoked(cd)) return comm_error(w.comm, MPI_ERR_REVOKED);
     if (world_.death_epoch() != 0 && world_.rank_dead(target))
         return comm_error(w.comm, MPI_ERR_RANK);
     WinShard* sh = w.shard(target);
@@ -634,6 +641,7 @@ int Rank::PMPI_Win_lock(int lock_type, int rank, int assert, Win win) {
     const auto deadline = wait_deadline();
     const auto doomed = [&] {
         if (world_.poisoned()) return true;
+        if (comm_revoked(cd)) return true;
         if (w.freed.load(std::memory_order_acquire)) return true;
         if (std::chrono::steady_clock::now() >= deadline) return true;
         if (world_.death_epoch() != 0) {
@@ -655,6 +663,7 @@ int Rank::PMPI_Win_lock(int lock_type, int rank, int assert, Win win) {
             const auto it = std::find(q.begin(), q.end(), me);
             if (it != q.end()) q.erase(it);
             check_poisoned();
+            if (comm_revoked(cd)) return comm_error(w.comm, MPI_ERR_REVOKED);
             if (w.freed.load(std::memory_order_acquire)) return MPI_ERR_WIN;
             bool holder_died = world_.rank_dead(target);
             if (!holder_died && world_.death_epoch() != 0) {
@@ -955,7 +964,7 @@ int Rank::PMPI_Comm_spawn(const std::string& command, const std::vector<std::str
     // shows up as spawn synchronization overhead (paper section 3).
     const auto spawn_collective_failed = [&] {
         if (errcodes) errcodes->assign(static_cast<std::size_t>(maxprocs), MPI_ERR_SPAWN);
-        return comm_error(c, MPI_ERR_PROC_FAILED);
+        return comm_error(c, coll_fail_code(cd));
     };
     if (!barrier_internal(cd)) return spawn_collective_failed();
     if (my_rank_in(cd) == root)
@@ -1028,7 +1037,7 @@ int Rank::MPI_Intercomm_merge(Comm intercomm, bool high, Comm* intracomm) {
             v.erase(std::remove(v.begin(), v.end(), tok), v.end());
             if (cd.bar_gen != gen) break;
             const bool doomed =
-                world_.poisoned() ||
+                world_.poisoned() || comm_revoked(cd) ||
                 (world_.death_epoch() != 0 && world_.any_dead(merged)) ||
                 std::chrono::steady_clock::now() >= deadline;
             if (doomed) {
@@ -1040,7 +1049,7 @@ int Rank::MPI_Intercomm_merge(Comm intercomm, bool high, Comm* intracomm) {
     };
     const auto merge_failed = [&] {
         check_poisoned();
-        return comm_error(intercomm, MPI_ERR_PROC_FAILED);
+        return comm_error(intercomm, coll_fail_code(cd));
     };
     if (!full_barrier()) return merge_failed();
     if (global_ == merged.front()) cd.spawn_result = world_.create_comm(merged);

@@ -1,0 +1,74 @@
+// ULFM-style recovery plane: the state and protocol notes behind
+// MPI_Comm_revoke / MPI_Comm_shrink / MPI_Comm_agree (recovery.cpp).
+//
+// The design in three rules:
+//
+//  1. Revocation is a latch, not a message.  MPI_Comm_revoke sets one
+//     atomic flag on the communicator and broadcasts a scheduler
+//     wakeup (World::revoke_comm -> Scheduler::unpark_all_parked, the
+//     same fan-out record_death uses).  Every liveness-checked wait
+//     predicate in the transport -- pt2pt, internal collectives, RMA
+//     fences/exposure/locks, MPI-IO barriers -- also tests the flag,
+//     so parked fibers fail out with MPI_ERR_REVOKED immediately; no
+//     polling, no per-member revoke fan-out protocol.  The flag is
+//     never cleared: a revoked communicator is dead forever, and the
+//     survivors' path forward is MPI_Comm_shrink.
+//
+//  2. Agreement completes when the live members agree.  The agree /
+//     shrink / split collectives all run the same rendezvous round
+//     (FtRendezvous below): arrivals register under the round mutex,
+//     and the round closes when every member of the communicator has
+//     either arrived or -- for the fault-tolerant ops -- become
+//     unreachable (dead or cleanly finished).  Deaths bump the world
+//     death epoch and broadcast-unpark, so a round blocked on a rank
+//     that just died re-evaluates its closing condition immediately.
+//     The closing arriver publishes one uniform verdict (flag, return
+//     code, result communicators), bumps the generation, and unparks
+//     the collected waiters -- the targeted fan-out the internal
+//     barrier uses, not a condition-variable herd.
+//
+//  3. Survivors rebuild, the tool re-plans.  MPI_Comm_shrink orders
+//     the arrivals as in the parent communicator and creates a fresh
+//     comm (fresh context ids, so stale traffic can never match);
+//     completing a shrink on a world that holds epitaphs marks the
+//     world Recovered, which the session layer surfaces as
+//     RunOutcome::Recovered and the Performance Consultant answers by
+//     re-testing truncated experiments over the survivor hierarchy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "simmpi/sched.hpp"
+#include "simmpi/types.hpp"
+
+namespace m2p::simmpi {
+
+/// Rendezvous state for one fault-tolerant collective class (agree /
+/// shrink / split) on one communicator.  Collectives execute in
+/// program order on every member, so one instance per op class per
+/// comm never sees two concurrent rounds; published results of round
+/// gen-1 stay stable until every reader of that round has returned
+/// (a reader still parked cannot have joined the next round, and the
+/// next round cannot close without it while it is live).
+struct FtRendezvous {
+    std::mutex mu;
+    std::uint64_t gen = 0;
+    std::vector<int> arrived;  ///< global ranks that joined this round
+    /// Per-arrival payload, parallel to `arrived` (agree: {vote, 0};
+    /// split: {color, key}).
+    std::vector<std::array<int, 2>> votes;
+    // Published outcome of round gen-1:
+    int result_rc = MPI_SUCCESS;
+    int result_flag = 0;  ///< agree: AND of every contributed vote
+    /// shrink/split: result communicator per global rank; key -1 holds
+    /// a single shared handle (shrink).  Absent key = MPI_COMM_NULL.
+    std::map<int, Comm> result_comms;
+    std::vector<std::shared_ptr<sched::WaitToken>> waiters;
+};
+
+}  // namespace m2p::simmpi

@@ -70,6 +70,11 @@ inline constexpr int MPI_ERR_ACCESS = 20;
 /// error class; collectives over a communicator with a dead member
 /// fail with this on every survivor).
 inline constexpr int MPI_ERR_PROC_FAILED = 75;
+/// The communicator was revoked (MPI_Comm_revoke, ULFM-style): every
+/// pending and future operation on it fails with this code on every
+/// member, so survivors fall out of wedged collectives and can agree /
+/// shrink their way to a fresh communicator.
+inline constexpr int MPI_ERR_REVOKED = 76;
 
 /// Per-communicator error handlers (subset: the two predefined ones).
 /// MPI_ERRORS_ARE_FATAL poisons the whole world on the first

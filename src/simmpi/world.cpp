@@ -462,6 +462,27 @@ bool World::comm_has_dead_member(const CommData& cd) const {
     return any_dead(cd.group) || any_dead(cd.remote_group);
 }
 
+void World::revoke_comm(Comm c, int by_global_rank) {
+    if (!comm_valid(c)) return;
+    CommData& cd = comm(c);
+    if (cd.revoked.exchange(true, std::memory_order_acq_rel)) return;  // idempotent
+    trace_event(trace::EventKind::Revoke, by_global_rank, "MPI_Comm_revoke", c,
+                static_cast<std::int64_t>(death_epoch()));
+    // Same broadcast record_death uses: parked fibers re-run their
+    // abandon predicates (which now see the revoked flag) immediately
+    // instead of waiting out a thread-mode 5 ms slice.
+    if (sched_) sched_->unpark_all_parked();
+}
+
+void World::mark_recovered() {
+    bool lost;
+    {
+        std::lock_guard lk(epitaph_mu_);
+        lost = !epitaphs_.empty();
+    }
+    if (lost) recovered_.store(true, std::memory_order_release);
+}
+
 void World::set_death_observer(std::function<void(const Epitaph&)> obs) {
     std::lock_guard lk(observer_mu_);
     death_observer_ = std::move(obs);
@@ -860,11 +881,30 @@ Comm World::do_spawn(const std::string& command, const std::vector<std::string>&
                     maxprocs, /*ok=*/0);
         return MPI_COMM_NULL;
     }
-    if (cfg_.faults && cfg_.faults->on_spawn()) {
-        trace_event(trace::EventKind::Fault, instr::current_rank(), "fault_spawn", maxprocs);
-        trace_event(trace::EventKind::Spawn, instr::current_rank(), "spawn", maxprocs,
-                    /*ok=*/0);
-        return MPI_COMM_NULL;
+    if (cfg_.faults) {
+        // Transient launch failures (fail_spawn specs fire once) are
+        // retried with bounded exponential backoff; a persistent fault
+        // exhausts the attempts and fails the spawn as before.
+        const int attempts = std::max(1, cfg_.spawn_retry_attempts);
+        double backoff = cfg_.spawn_retry_backoff_seconds;
+        bool faulted = false;
+        for (int attempt = 0; attempt < attempts; ++attempt) {
+            faulted = cfg_.faults->on_spawn();
+            if (!faulted) break;
+            trace_event(trace::EventKind::Fault, instr::current_rank(), "fault_spawn",
+                        maxprocs, attempt);
+            if (attempt + 1 < attempts) {
+                trace_event(trace::EventKind::Spawn, instr::current_rank(),
+                            "spawn_retry", maxprocs, attempt + 1);
+                sched::sleep_for(std::chrono::duration<double>(backoff));
+                backoff *= 2;
+            }
+        }
+        if (faulted) {
+            trace_event(trace::EventKind::Spawn, instr::current_rank(), "spawn",
+                        maxprocs, /*ok=*/0);
+            return MPI_COMM_NULL;
+        }
     }
     // Simulated process-creation overhead: the paper calls out spawn
     // cost as something programmers will want to measure.

@@ -12,6 +12,7 @@
 // is lock-free; creation and free keep writer mutexes.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -29,6 +30,7 @@
 #include "instr/registry.hpp"
 #include "simmpi/faults.hpp"
 #include "simmpi/handle_table.hpp"
+#include "simmpi/recovery.hpp"
 #include "simmpi/sched.hpp"
 #include "simmpi/types.hpp"
 #include "trace/flight_recorder.hpp"
@@ -252,7 +254,21 @@ struct CommData {
     /// Per-communicator error handler (MPI_ERRORS_ARE_FATAL or
     /// MPI_ERRORS_RETURN), applied to fault-class errors only.
     std::atomic<int> errhandler{MPI_ERRORS_RETURN};
+    /// Set (once, never cleared) by MPI_Comm_revoke: every pending and
+    /// future operation on this communicator fails with
+    /// MPI_ERR_REVOKED.  Checked with relaxed loads in wait-loop
+    /// predicates -- NOT gated on death_epoch, because a revoke can
+    /// happen with zero deaths.
+    std::atomic<bool> revoked{false};
     std::string name;  ///< guarded by World::name_mu_
+
+    // ULFM-style recovery rendezvous (MPI_Comm_agree / MPI_Comm_shrink
+    // / MPI_Comm_split).  agree and shrink keep working on a revoked
+    // communicator and excuse dead members; split is an ordinary
+    // collective that requires full participation.
+    FtRendezvous agree_rv;
+    FtRendezvous shrink_rv;
+    FtRendezvous split_rv;
 
     // Internal (uninstrumented) central barrier state.  Arrivals park
     // their own wait token in bar_waiters; the closing rank bumps the
@@ -577,6 +593,12 @@ public:
         double daemon_start_cost = 0.002;
         /// Simulated base cost of creating one process via spawn.
         double spawn_base_cost = 0.0005;
+        /// Total attempts do_spawn makes against a transient injected
+        /// spawn fault (fail_spawn specs fire once, so the retry sees a
+        /// clean consult).  1 = no retry, preserving the PR 3 contract.
+        int spawn_retry_attempts = 1;
+        /// Backoff before the first retry; doubles per attempt.
+        double spawn_retry_backoff_seconds = 0.002;
         /// Start processes paused until release_start_gate() -- how
         /// Paradyn creates processes: stopped, so initial
         /// instrumentation is in place before user code runs.
@@ -701,6 +723,16 @@ public:
     /// True when any member (local or remote group) of @p cd is dead.
     bool comm_has_dead_member(const CommData& cd) const;
     bool any_dead(const std::vector<int>& global_ranks) const;
+    /// Revokes @p c: sets the comm's revoked flag, traces the Revoke
+    /// lifecycle event, and broadcasts a wakeup to every parked fiber
+    /// so pending operations on the comm fail with MPI_ERR_REVOKED now
+    /// rather than at the next 5 ms thread-mode slice.  Idempotent.
+    void revoke_comm(Comm c, int by_global_rank);
+    /// Set when a shrink completes on a world that has lost ranks: the
+    /// survivors rebuilt a communicator and kept going, so the session
+    /// outcome is Recovered rather than RanksLost.
+    void mark_recovered();
+    bool recovered() const { return recovered_.load(std::memory_order_acquire); }
     /// Observer invoked (serialized, outside World locks) on each rank
     /// death -- the PerfTool registers here to retire the dead
     /// process's resources.  Pass nullptr to unregister.
@@ -858,6 +890,7 @@ private:
     std::vector<Epitaph> epitaphs_;
     std::atomic<std::uint64_t> death_epoch_{0};
     std::atomic<bool> poisoned_{false};
+    std::atomic<bool> recovered_{false};
     std::atomic<int> poison_code_{MPI_SUCCESS};
     /// Serializes observer invocation against set_death_observer so
     /// the tool can unregister without racing an in-flight callback.

@@ -63,6 +63,9 @@ const char* kind_name(EventKind k) {
         case EventKind::ExperimentTruncated: return "ExperimentTruncated";
         case EventKind::ResourceRetired: return "ResourceRetired";
         case EventKind::RunOutcome: return "RunOutcome";
+        case EventKind::Revoke: return "Revoke";
+        case EventKind::Shrink: return "Shrink";
+        case EventKind::Agree: return "Agree";
     }
     return "?";
 }

@@ -48,6 +48,9 @@ enum class EventKind : std::uint32_t {
     ExperimentTruncated,  ///< rank died during the evaluation interval
     ResourceRetired,      ///< tool retired a resource; name=path prefix
     RunOutcome,           ///< session verdict; name=status, a=abort code
+    Revoke,               ///< MPI_Comm_revoke; a=comm, b=death epoch at revoke
+    Shrink,               ///< MPI_Comm_shrink closed; a=old comm, b=new comm, c=survivors
+    Agree,                ///< MPI_Comm_agree closed; a=comm, b=flag, c=result code
 };
 
 const char* kind_name(EventKind k);
