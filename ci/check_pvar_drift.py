@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Diff pvar totals sampled during a bench smoke against a committed envelope.
+
+The CI perf step runs m2p-pvar-sample --json alongside a bench --smoke and
+feeds the captured JSON-lines here.  The last complete snapshot holds the
+final counter totals of the run; the smoke workloads are deterministic, so
+op/byte counters are too, and drift in them means the workload (or the
+counting) changed.
+
+  check_pvar_drift.py record <samples.jsonl> <envelope.json>
+  check_pvar_drift.py check  <samples.jsonl> <envelope.json>
+
+`check` never fails the build: it emits GitHub ::warning:: annotations for
+counters drifting more than DRIFT_TOLERANCE from the envelope and ::notice::
+lines for counters that appeared or vanished.  Time-derived and
+sampler-self counters are excluded -- wall time is not deterministic.
+"""
+
+import json
+import sys
+
+DRIFT_TOLERANCE = 0.20
+
+# Substrings that mark a counter as timing- or sampling-dependent: those
+# legitimately vary run to run and would only produce alert fatigue.
+NONDETERMINISTIC = ("_ns", ".ns", "wait", "pvar.export.", "spurious")
+
+
+def deterministic(name: str) -> bool:
+    return not any(tok in name for tok in NONDETERMINISTIC)
+
+
+def last_counters(samples_path: str) -> dict:
+    """The counters map of the last well-formed snapshot line."""
+    best = None
+    with open(samples_path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # killed mid-write; a torn tail line is expected
+            if isinstance(obj, dict) and "counters" in obj:
+                best = obj
+    if best is None:
+        raise SystemExit("no snapshot lines with counters in " + samples_path)
+    return {k: v for k, v in best["counters"].items() if deterministic(k)}
+
+
+def main() -> int:
+    if len(sys.argv) != 4 or sys.argv[1] not in ("record", "check"):
+        print(__doc__, file=sys.stderr)
+        return 1
+    mode, samples_path, envelope_path = sys.argv[1:4]
+    counters = last_counters(samples_path)
+
+    if mode == "record":
+        with open(envelope_path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "schema": "m2p-pvar-envelope-v1",
+                    "tolerance": DRIFT_TOLERANCE,
+                    "counters": dict(sorted(counters.items())),
+                },
+                fh,
+                indent=2,
+            )
+            fh.write("\n")
+        print(f"recorded {len(counters)} counters to {envelope_path}")
+        return 0
+
+    with open(envelope_path, "r", encoding="utf-8") as fh:
+        envelope = json.load(fh)
+    expected = envelope["counters"]
+    tolerance = float(envelope.get("tolerance", DRIFT_TOLERANCE))
+
+    drifted = 0
+    for name in sorted(set(expected) | set(counters)):
+        if name not in counters:
+            print(f"::notice::pvar {name} vanished (envelope has {expected[name]})")
+            continue
+        if name not in expected:
+            print(f"::notice::pvar {name} is new (={counters[name]}); "
+                  f"re-record the envelope to start tracking it")
+            continue
+        old, new = expected[name], counters[name]
+        drift = abs(new - old) / max(abs(old), 1)
+        if drift > tolerance:
+            drifted += 1
+            print(f"::warning::pvar {name} drifted {drift:.0%} "
+                  f"(envelope {old}, sampled {new}) -- "
+                  f"perf-relevant workload change?")
+    print(f"checked {len(expected)} counters, {drifted} over "
+          f"{tolerance:.0%} tolerance")
+    return 0  # advisory only: drift warns, never fails the build
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,9 +36,32 @@ private:
 }  // namespace
 
 PerfTool::PerfTool(simmpi::World& world, Options opts)  // NOLINT
-    : world_(world), opts_(std::move(opts)) {
+    : world_(world), opts_(std::move(opts)), pvar_scope_(world.pvars()) {
     mdl_ = mdl::parse(opts_.mdl_source.empty() ? mdl::default_metrics_source()
                                                : opts_.mdl_source);
+    // PC lifecycle tallies as pvars.  The scope detaches them in the
+    // destructor, which serializes against any in-flight snapshot, so
+    // a sampler never polls a dead tool.
+    pvar_scope_.add_counter(
+        "pc.experiments.started",
+        [this] { return pc_counters_.started.load(std::memory_order_relaxed); },
+        "experiments", "PC experiments launched");
+    pvar_scope_.add_counter(
+        "pc.experiments.completed",
+        [this] { return pc_counters_.completed.load(std::memory_order_relaxed); },
+        "experiments", "PC experiments measured to completion");
+    pvar_scope_.add_counter(
+        "pc.experiments.tested_true",
+        [this] { return pc_counters_.tested_true.load(std::memory_order_relaxed); },
+        "experiments", "experiments whose hypothesis held");
+    pvar_scope_.add_counter(
+        "pc.experiments.truncated",
+        [this] { return pc_counters_.truncated.load(std::memory_order_relaxed); },
+        "experiments", "experiments truncated by a rank death");
+    pvar_scope_.add_counter(
+        "pc.experiments.post_loss",
+        [this] { return pc_counters_.post_loss.load(std::memory_order_relaxed); },
+        "experiments", "clean experiments completed after a loss");
     services_ = std::make_shared<ToolServices>(*this);
     metrics_ = std::make_unique<MetricManager>(*this, opts_.bin_width, opts_.bins);
     frontend_ = std::thread([this] { frontend_loop(); });
@@ -62,6 +85,9 @@ PerfTool::~PerfTool() {
     }
     q_cv_.notify_all();
     if (frontend_.joinable()) frontend_.join();
+    // Detach pc.experiments.* while `this` is still fully alive; the
+    // removal serializes against any snapshot pass mid-poll.
+    pvar_scope_.reset();
 }
 
 double PerfTool::tunable(const std::string& name, double fallback) const {

@@ -38,6 +38,7 @@
 #include "core/resources.hpp"
 #include "mdl/ast.hpp"
 #include "mdl/eval.hpp"
+#include "pvar/registry.hpp"
 #include "simmpi/rank.hpp"
 #include "simmpi/world.hpp"
 
@@ -130,6 +131,19 @@ public:
     /// resolves to PMPI_* (paper section 4.1.1).
     bool function_visible(const instr::FunctionInfo& fi) const;
 
+    // -- Performance Consultant lifecycle tallies (pc.experiments.*) -------
+    /// Relaxed counters the consultant bumps as its search runs; the
+    /// tool registers them as pvars in the world's registry (detached
+    /// again in ~PerfTool, before the world can outlive the storage).
+    struct PcCounters {
+        std::atomic<std::uint64_t> started{0};      ///< experiments launched
+        std::atomic<std::uint64_t> completed{0};    ///< measured to completion
+        std::atomic<std::uint64_t> tested_true{0};  ///< hypothesis held
+        std::atomic<std::uint64_t> truncated{0};    ///< rank died mid-interval
+        std::atomic<std::uint64_t> post_loss{0};    ///< clean runs after a loss
+    };
+    PcCounters& pc_counters() { return pc_counters_; }
+
     // -- Spawn support -----------------------------------------------------
     const SpawnSupportStats& spawn_stats() const { return spawn_stats_; }
     int wrap_spawn(simmpi::Rank& rank, simmpi::SpawnArgs args, simmpi::Comm* intercomm,
@@ -175,6 +189,8 @@ private:
     std::set<std::pair<simmpi::Comm, int>> known_tags_;
     std::set<int> known_procs_;
     SpawnSupportStats spawn_stats_;
+    PcCounters pc_counters_;
+    pvar::ProviderScope pvar_scope_;  ///< pc.experiments.* registrations
 
     // Daemon -> frontend report channel.
     std::mutex q_mu_;

@@ -1,0 +1,353 @@
+#include "pvar/export.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/clock.hpp"
+
+namespace m2p::pvar {
+namespace {
+
+std::size_t file_bytes(std::uint32_t cap) {
+    return kExportHeaderBytes + std::size_t{cap} * sizeof(NameRecord) +
+           2 * std::size_t{cap} * sizeof(std::uint64_t);
+}
+
+// Typed views into the mapping.  All mutable-field traffic goes
+// through atomic_ref so writer and sampler processes see coherent
+// word-sized accesses; offsets inside ExportHeader are 8-aligned by
+// construction (static_asserts below).
+template <class T>
+std::atomic_ref<T> at(std::byte* base, std::size_t off) {
+    return std::atomic_ref<T>(*reinterpret_cast<T*>(base + off));
+}
+
+constexpr std::size_t kOffVarCount = offsetof(ExportHeader, var_count);
+constexpr std::size_t kOffClosed = offsetof(ExportHeader, closed);
+constexpr std::size_t kOffGeneration = offsetof(ExportHeader, generation);
+constexpr std::size_t kOffActiveBuf = offsetof(ExportHeader, active_buf);
+constexpr std::size_t kOffRunId = offsetof(ExportHeader, run_id);
+constexpr std::size_t kOffSnapEpoch = offsetof(ExportHeader, snap_epoch);
+constexpr std::size_t kOffSnapTicks = offsetof(ExportHeader, snap_ticks);
+constexpr std::size_t kOffSnapsWritten = offsetof(ExportHeader, snapshots_written);
+constexpr std::size_t kOffOverflow = offsetof(ExportHeader, overflow_vars);
+static_assert(kOffGeneration % 8 == 0 && kOffSnapEpoch % 8 == 0 &&
+              kOffSnapTicks % 8 == 0 && kOffSnapsWritten % 8 == 0 &&
+              kOffOverflow % 8 == 0);
+
+std::size_t name_off(std::uint32_t id) {
+    return kExportHeaderBytes + std::size_t{id} * sizeof(NameRecord);
+}
+std::size_t value_off(std::uint32_t cap, std::uint32_t buf, std::uint32_t id) {
+    return kExportHeaderBytes + std::size_t{cap} * sizeof(NameRecord) +
+           (std::size_t{buf} * cap + id) * sizeof(std::uint64_t);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ExportWriter
+// ---------------------------------------------------------------------------
+
+ExportWriter::ExportWriter(Registry& reg, std::string path, Options opt)
+    : reg_(reg), path_(std::move(path)), opt_(opt) {
+    init_file();
+    if (!valid()) return;
+    self_snapshots_ = reg_.add_owned_counter("pvar.export.snapshots", "snapshots",
+                                             "export publishes this run");
+    live_mirror_.assign(opt_.var_capacity, 0);
+    publish(false);  // names + first values are in place before anyone samples
+    th_ = std::thread([this] { loop(); });
+}
+
+ExportWriter::~ExportWriter() {
+    close();
+    if (map_) ::munmap(map_, map_len_);
+    if (fd_ != -1) ::close(fd_);
+}
+
+std::unique_ptr<ExportWriter> ExportWriter::from_env(Registry& reg) {
+    const char* path = std::getenv(kExportEnv);
+    if (!path || !*path) return nullptr;
+    Options opt;
+    if (const char* p = std::getenv(kExportPeriodEnv)) {
+        const unsigned long long v = std::strtoull(p, nullptr, 10);
+        if (v > 0) opt.period_us = v;
+    }
+    auto w = std::make_unique<ExportWriter>(reg, path, opt);
+    if (!w->valid()) {
+        std::fprintf(stderr, "[m2p] pvar export: cannot open %s; export disabled\n",
+                     path);
+        return nullptr;
+    }
+    return w;
+}
+
+void ExportWriter::init_file() {
+    // O_CREAT without O_TRUNC: resuming in place keeps a live sampler's
+    // mapping valid (see header comment).
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ == -1) return;
+    const std::size_t want = file_bytes(opt_.var_capacity);
+    struct stat st{};
+    bool reuse = false;
+    if (::fstat(fd_, &st) == 0 && static_cast<std::size_t>(st.st_size) == want) {
+        char magic[8] = {};
+        if (::pread(fd_, magic, sizeof magic, 0) == static_cast<ssize_t>(sizeof magic) &&
+            std::memcmp(magic, kExportMagic, sizeof magic) == 0)
+            reuse = true;
+    }
+    if (!reuse && ::ftruncate(fd_, static_cast<off_t>(want)) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        return;
+    }
+    void* m = ::mmap(nullptr, want, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+    if (m == MAP_FAILED) {
+        ::close(fd_);
+        fd_ = -1;
+        return;
+    }
+    map_ = static_cast<std::byte*>(m);
+    map_len_ = want;
+
+    // Odd generation while we reset the run: attached readers spin on
+    // the handshake instead of consuming half-initialized state.
+    const std::uint64_t g = at<std::uint64_t>(map_, kOffGeneration).load(
+        std::memory_order_relaxed);
+    at<std::uint64_t>(map_, kOffGeneration)
+        .store(g | 1, std::memory_order_release);
+    const std::uint32_t prev_run =
+        reuse ? at<std::uint32_t>(map_, kOffRunId).load(std::memory_order_relaxed) : 0;
+
+    auto* hdr = reinterpret_cast<ExportHeader*>(map_);
+    const util::TickCalibration cal = util::calibrate_ticks();
+    std::memcpy(hdr->magic, kExportMagic, sizeof hdr->magic);
+    hdr->version = kExportVersion;
+    hdr->header_bytes = kExportHeaderBytes;
+    hdr->var_capacity = opt_.var_capacity;
+    hdr->name_record_bytes = sizeof(NameRecord);
+    hdr->ticks_per_second =
+        cal.seconds_per_tick > 0 ? static_cast<std::uint64_t>(1.0 / cal.seconds_per_tick)
+                                 : 0;
+    hdr->pid = static_cast<std::uint64_t>(::getpid());
+    at<std::uint32_t>(map_, kOffVarCount).store(0, std::memory_order_relaxed);
+    at<std::uint32_t>(map_, kOffClosed).store(0, std::memory_order_relaxed);
+    at<std::uint32_t>(map_, kOffActiveBuf).store(0, std::memory_order_relaxed);
+    at<std::uint32_t>(map_, kOffRunId).store(prev_run + 1, std::memory_order_relaxed);
+    at<std::uint64_t>(map_, kOffSnapsWritten).store(0, std::memory_order_relaxed);
+    at<std::uint64_t>(map_, kOffOverflow).store(0, std::memory_order_relaxed);
+    // Leave generation odd: the first publish() completes the flip and
+    // presents a fully consistent run to readers.
+}
+
+void ExportWriter::publish(bool closing) {
+    std::lock_guard lk(pub_mu_);
+    if (!map_) return;
+    if (self_snapshots_) self_snapshots_->fetch_add(1, std::memory_order_relaxed);
+    const Snapshot snap = reg_.snapshot();
+
+    // New variables since the last publish: write their name records,
+    // then release-publish the new count.
+    const std::uint32_t total = static_cast<std::uint32_t>(reg_.size());
+    const std::uint32_t cap = opt_.var_capacity;
+    const std::uint32_t publishable = total < cap ? total : cap;
+    if (publishable > exported_count_) {
+        for (std::uint32_t id = exported_count_; id < publishable; ++id) {
+            const Desc* d = reg_.describe(id);
+            auto* nr = reinterpret_cast<NameRecord*>(map_ + name_off(id));
+            std::memset(nr->name, 0, sizeof nr->name);
+            if (d) std::strncpy(nr->name, d->name.c_str(), sizeof nr->name - 1);
+            nr->cls = d ? static_cast<std::uint32_t>(d->cls) : 0;
+            at<std::uint32_t>(map_, name_off(id) + offsetof(NameRecord, live))
+                .store(1, std::memory_order_relaxed);
+            live_mirror_[id] = 1;
+        }
+        exported_count_ = publishable;
+        at<std::uint32_t>(map_, kOffVarCount)
+            .store(exported_count_, std::memory_order_release);
+    }
+    if (total > cap)
+        at<std::uint64_t>(map_, kOffOverflow)
+            .store(total - cap, std::memory_order_relaxed);
+
+    // Maintain live flags for tombstoned variables.
+    for (std::uint32_t id = 0; id < exported_count_; ++id) {
+        const char live = reg_.alive(id) ? 1 : 0;
+        if (live != live_mirror_[id]) {
+            at<std::uint32_t>(map_, name_off(id) + offsetof(NameRecord, live))
+                .store(static_cast<std::uint32_t>(live), std::memory_order_relaxed);
+            live_mirror_[id] = live;
+        }
+    }
+
+    // Fill the inactive buffer while generation is even/odd-from-init:
+    // readers only consume the active one.
+    const std::uint32_t active =
+        at<std::uint32_t>(map_, kOffActiveBuf).load(std::memory_order_relaxed);
+    const std::uint32_t inactive = 1 - active;
+    for (const Sample& s : snap.samples) {
+        if (s.id >= cap) continue;
+        at<std::uint64_t>(map_, value_off(cap, inactive, s.id))
+            .store(s.value, std::memory_order_relaxed);
+    }
+    at<std::uint64_t>(map_, kOffSnapEpoch + inactive * sizeof(std::uint64_t))
+        .store(snap.epoch, std::memory_order_relaxed);
+    at<std::uint64_t>(map_, kOffSnapTicks + inactive * sizeof(std::uint64_t))
+        .store(snap.ticks, std::memory_order_relaxed);
+
+    // The flip, under an odd-generation window (see header comment).
+    auto gen = at<std::uint64_t>(map_, kOffGeneration);
+    const std::uint64_t g = gen.load(std::memory_order_relaxed);
+    const std::uint64_t odd = g | 1;
+    gen.store(odd, std::memory_order_release);
+    at<std::uint32_t>(map_, kOffActiveBuf).store(inactive, std::memory_order_relaxed);
+    at<std::uint64_t>(map_, kOffSnapsWritten)
+        .fetch_add(1, std::memory_order_relaxed);
+    if (closing) at<std::uint32_t>(map_, kOffClosed).store(1, std::memory_order_relaxed);
+    gen.store(odd + 1, std::memory_order_release);
+}
+
+void ExportWriter::write_now() {
+    if (valid()) publish(false);
+}
+
+void ExportWriter::close() {
+    {
+        std::lock_guard lk(cv_mu_);
+        if (closed_) return;
+        closed_ = true;
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (th_.joinable()) th_.join();
+    if (valid()) publish(true);
+}
+
+void ExportWriter::loop() {
+    std::unique_lock lk(cv_mu_);
+    const auto period = std::chrono::microseconds(opt_.period_us);
+    while (!stop_) {
+        cv_.wait_for(lk, period);
+        if (stop_) break;
+        lk.unlock();
+        publish(false);
+        lk.lock();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ExportReader
+// ---------------------------------------------------------------------------
+
+bool ExportReader::open(const std::string& path) {
+    close();
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd == -1) return false;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 ||
+        static_cast<std::size_t>(st.st_size) < sizeof(ExportHeader)) {
+        ::close(fd);
+        return false;
+    }
+    const std::size_t len = static_cast<std::size_t>(st.st_size);
+    void* m = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);  // the mapping keeps the file alive
+    if (m == MAP_FAILED) return false;
+    auto* h = static_cast<const ExportHeader*>(m);
+    if (std::memcmp(h->magic, kExportMagic, sizeof h->magic) != 0 ||
+        h->version != kExportVersion || h->header_bytes != kExportHeaderBytes ||
+        h->name_record_bytes != sizeof(NameRecord) ||
+        len < file_bytes(h->var_capacity)) {
+        ::munmap(m, len);
+        return false;
+    }
+    map_ = static_cast<std::byte*>(m);
+    map_len_ = len;
+    return true;
+}
+
+void ExportReader::close() {
+    if (map_) ::munmap(map_, map_len_);
+    map_ = nullptr;
+    map_len_ = 0;
+}
+
+const ExportHeader* ExportReader::hdr() const {
+    return reinterpret_cast<const ExportHeader*>(map_);
+}
+
+std::uint64_t ExportReader::ticks_per_second() const {
+    return map_ ? hdr()->ticks_per_second : 0;
+}
+std::uint64_t ExportReader::writer_pid() const { return map_ ? hdr()->pid : 0; }
+std::uint32_t ExportReader::var_capacity() const {
+    return map_ ? hdr()->var_capacity : 0;
+}
+
+bool ExportReader::read(Sample& out, int max_retries) const {
+    if (!map_) return false;
+    std::byte* base = map_;  // atomic_ref wants non-const; mapping is PROT_READ
+    const std::uint32_t cap = hdr()->var_capacity;
+    for (int attempt = 0; attempt < max_retries; ++attempt) {
+        const std::uint64_t g1 =
+            at<std::uint64_t>(base, kOffGeneration).load(std::memory_order_acquire);
+        if (g1 & 1) continue;  // writer mid-flip
+        const std::uint32_t active =
+            at<std::uint32_t>(base, kOffActiveBuf).load(std::memory_order_relaxed);
+        Sample s;
+        s.generation = g1;
+        s.run_id = at<std::uint32_t>(base, kOffRunId).load(std::memory_order_relaxed);
+        s.closed =
+            at<std::uint32_t>(base, kOffClosed).load(std::memory_order_relaxed) != 0;
+        s.epoch = at<std::uint64_t>(base, kOffSnapEpoch + active * sizeof(std::uint64_t))
+                      .load(std::memory_order_relaxed);
+        s.ticks = at<std::uint64_t>(base, kOffSnapTicks + active * sizeof(std::uint64_t))
+                      .load(std::memory_order_relaxed);
+        s.snapshots_written =
+            at<std::uint64_t>(base, kOffSnapsWritten).load(std::memory_order_relaxed);
+        s.var_count =
+            at<std::uint32_t>(base, kOffVarCount).load(std::memory_order_acquire);
+        if (s.var_count > cap) continue;  // impossible unless re-initializing
+        s.values.resize(s.var_count);
+        for (std::uint32_t id = 0; id < s.var_count; ++id)
+            s.values[id] = at<std::uint64_t>(base, value_off(cap, active, id))
+                               .load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        const std::uint64_t g2 =
+            at<std::uint64_t>(base, kOffGeneration).load(std::memory_order_relaxed);
+        if (g2 == g1) {
+            out = std::move(s);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<ExportReader::VarInfo> ExportReader::vars(std::uint32_t count) const {
+    std::vector<VarInfo> out;
+    if (!map_) return out;
+    const std::uint32_t cap = hdr()->var_capacity;
+    if (count > cap) count = cap;
+    out.reserve(count);
+    for (std::uint32_t id = 0; id < count; ++id) {
+        const auto* nr = reinterpret_cast<const NameRecord*>(map_ + name_off(id));
+        VarInfo vi;
+        char buf[sizeof nr->name + 1] = {};
+        std::memcpy(buf, nr->name, sizeof nr->name);
+        vi.name = buf;
+        vi.cls = static_cast<Class>(nr->cls);
+        vi.live = at<std::uint32_t>(map_, name_off(id) + offsetof(NameRecord, live))
+                      .load(std::memory_order_relaxed) != 0;
+        out.push_back(std::move(vi));
+    }
+    return out;
+}
+
+}  // namespace m2p::pvar

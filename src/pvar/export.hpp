@@ -1,0 +1,206 @@
+// mmap-backed pvar export: the observer seam that lets a REAL second
+// process sample a live run's counters, the way the Scalable Unix
+// Commands let a separate tool observe a parallel job and the way Open
+// MPI's SPC exposes MPI_T pvars through shared memory.
+//
+// File layout (little-endian, page-sized header):
+//
+//   [0)            ExportHeader   fixed fields + the mutable handshake
+//   [4096)         NameRecord[var_capacity]   64 B each: name, class, live
+//   [4096+64*cap)  value buffer 0: u64[var_capacity]
+//   [...)          value buffer 1: u64[var_capacity]
+//
+// Generation handshake (double-buffered seqlock).  The writer only
+// ever mutates the INACTIVE value buffer while `generation` is even;
+// the flip is fenced by an odd window:
+//
+//   writer:  fill inactive buffer + its epoch/tick stamps
+//            generation <- g+1   (release; odd = flipping)
+//            active_buf <- inactive
+//            [closed <- 1 on the final snapshot]
+//            generation <- g+2   (release; even = stable)
+//
+//   reader:  g1 <- generation (acquire); retry while odd
+//            read active_buf, its stamps, var_count, values, closed
+//            acquire fence; g2 <- generation
+//            consistent iff g1 == g2
+//
+// A torn read is therefore *detected*, never returned: any overlap
+// with a flip changes `generation` and the reader retries.  Name
+// records for ids < var_count are immutable (written before the
+// var_count release-store that publishes them); only their `live`
+// flag moves later.
+//
+// All cross-process field accesses go through std::atomic_ref on the
+// mapped bytes -- same-sized accesses on both sides, so the mapping is
+// coherent shared memory, not a file protocol.
+//
+// One writer per file at a time.  A writer that opens an existing
+// compatible file resumes IN PLACE (bumping run_id, never truncating)
+// so an attached sampler's mapping stays valid across back-to-back
+// runs -- truncation would SIGBUS a live reader.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+#include "pvar/registry.hpp"
+
+namespace m2p::pvar {
+
+inline constexpr char kExportMagic[8] = {'M', '2', 'P', 'P', 'V', 'A', 'R', '1'};
+inline constexpr std::uint32_t kExportVersion = 1;
+inline constexpr std::uint32_t kExportHeaderBytes = 4096;
+inline constexpr const char* kExportEnv = "M2P_PVAR_EXPORT";
+inline constexpr const char* kExportPeriodEnv = "M2P_PVAR_EXPORT_PERIOD_US";
+
+/// Fixed-offset header at byte 0.  Static fields are written once at
+/// file (re)initialization; fields below the marker move under the
+/// generation handshake.
+struct ExportHeader {
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t header_bytes;
+    std::uint32_t var_capacity;
+    std::uint32_t name_record_bytes;
+    std::uint64_t ticks_per_second;  ///< util::ticks() rate (approximate)
+    std::uint64_t pid;               ///< writer process
+    // -- mutable handshake fields (std::atomic_ref) --
+    std::uint32_t var_count;  ///< published name records (release)
+    std::uint32_t closed;     ///< 1 after the writer's final snapshot
+    std::uint64_t generation;
+    std::uint32_t active_buf;  ///< 0 or 1
+    std::uint32_t run_id;      ///< bumps when a writer (re)opens the file
+    std::uint64_t snap_epoch[2];  ///< registry epoch per buffer
+    std::uint64_t snap_ticks[2];
+    std::uint64_t snapshots_written;
+    std::uint64_t overflow_vars;  ///< live vars beyond var_capacity (dropped)
+};
+static_assert(sizeof(ExportHeader) <= kExportHeaderBytes);
+
+struct NameRecord {
+    char name[56];  ///< NUL-terminated, truncated
+    std::uint32_t cls;
+    std::uint32_t live;
+};
+static_assert(sizeof(NameRecord) == 64);
+
+/// Background snapshot publisher.  Owns an mmap of the export file and
+/// a thread that runs one registry snapshot pass per period; World
+/// creates one when M2P_PVAR_EXPORT is set and destroys it FIRST
+/// (declared last) so the thread stops before any provider dies.
+class ExportWriter {
+public:
+    struct Options {
+        std::uint32_t var_capacity = 4096;
+        std::uint64_t period_us = 2000;
+    };
+
+    /// Opens/initializes @p path and starts the publisher thread.
+    /// Failure (unwritable path) leaves valid() false; the writer is
+    /// then inert.
+    ExportWriter(Registry& reg, std::string path, Options opt);
+    ExportWriter(Registry& reg, std::string path)
+        : ExportWriter(reg, std::move(path), Options()) {}
+    ~ExportWriter();
+    ExportWriter(const ExportWriter&) = delete;
+    ExportWriter& operator=(const ExportWriter&) = delete;
+
+    /// Null when M2P_PVAR_EXPORT is unset/empty; reads
+    /// M2P_PVAR_EXPORT_PERIOD_US for the period override.
+    static std::unique_ptr<ExportWriter> from_env(Registry& reg);
+
+    bool valid() const { return map_ != nullptr; }
+    const std::string& path() const { return path_; }
+
+    /// Publishes one snapshot immediately (death/poison hooks call
+    /// this so the file holds the terminal state even if the period
+    /// never elapses again).
+    void write_now();
+    /// Final snapshot with the closed flag set, then stops the
+    /// publisher thread.  Idempotent; the destructor calls it.
+    void close();
+
+private:
+    void loop();
+    void publish(bool closing);
+    void init_file();
+
+    Registry& reg_;
+    const std::string path_;
+    const Options opt_;
+    int fd_ = -1;
+    std::byte* map_ = nullptr;
+    std::size_t map_len_ = 0;
+
+    std::mutex pub_mu_;  ///< serializes publish() callers
+    std::uint32_t exported_count_ = 0;
+    std::vector<char> live_mirror_;  ///< last live flag written per id
+    std::atomic<std::uint64_t>* self_snapshots_ = nullptr;  ///< pvar.export.snapshots
+
+    std::mutex cv_mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    bool closed_ = false;
+    std::thread th_;
+};
+
+/// Read side, shared by m2p-pvar-sample and the export tests.  Maps
+/// the file read-only and extracts torn-free snapshots under the
+/// generation handshake.
+class ExportReader {
+public:
+    struct VarInfo {
+        std::string name;
+        Class cls = Class::Counter;
+        bool live = true;
+    };
+    struct Sample {
+        std::uint64_t generation = 0;
+        std::uint64_t epoch = 0;
+        std::uint64_t ticks = 0;
+        std::uint32_t run_id = 0;
+        std::uint32_t var_count = 0;
+        bool closed = false;
+        std::uint64_t snapshots_written = 0;
+        std::vector<std::uint64_t> values;  ///< [0, var_count)
+    };
+
+    ExportReader() = default;
+    ~ExportReader() { close(); }
+    ExportReader(const ExportReader&) = delete;
+    ExportReader& operator=(const ExportReader&) = delete;
+
+    /// Maps @p path read-only.  False when the file is missing, too
+    /// small, or carries the wrong magic/version.
+    bool open(const std::string& path);
+    void close();
+    bool valid() const { return map_ != nullptr; }
+
+    std::uint64_t ticks_per_second() const;
+    std::uint64_t writer_pid() const;
+    std::uint32_t var_capacity() const;
+
+    /// One torn-free snapshot.  False only when @p max_retries
+    /// generation races elapse without a stable window (writer
+    /// flipping continuously) -- callers just try again later.
+    bool read(Sample& out, int max_retries = 1000) const;
+    /// Name records for ids < @p count (a Sample's var_count; records
+    /// below it are immutable except the live flag).
+    std::vector<VarInfo> vars(std::uint32_t count) const;
+
+private:
+    const ExportHeader* hdr() const;
+    std::byte* map_ = nullptr;
+    std::size_t map_len_ = 0;
+};
+
+}  // namespace m2p::pvar

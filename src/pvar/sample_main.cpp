@@ -1,0 +1,279 @@
+// m2p-pvar-sample: external sampler for the mmap pvar export.
+//
+// This is the "separate observer process" leg of the pvar plane: it
+// attaches to the file a live run publishes under M2P_PVAR_EXPORT,
+// tails torn-free snapshots via the generation handshake, and prints
+// deltas as text or JSON lines.  --verify makes it the property
+// checker the export test forks: every snapshot must honor the
+// generation protocol and monotone classes (counters, watermarks)
+// must never regress within a run.
+//
+//   m2p-pvar-sample [options] [path]
+//     path                 export file (default: $M2P_PVAR_EXPORT)
+//     --json               JSON-lines output (one object per snapshot)
+//     --interval-us N      poll period (default 5000)
+//     --count N            stop after N distinct snapshots
+//     --until-closed       stop once the writer's final snapshot is seen
+//     --timeout-s S        hard wall-clock stop (default 600)
+//     --verify             enable protocol checks; exit 2 on violation
+//     --follow             survive run resets / missing file (CI tailing)
+//     --match G1,G2,...    only print counters matching these globs
+//     --quiet              print the final summary only
+//
+// The last stdout line is always a JSON summary:
+//   {"summary":true,"snapshots":..,"distinct_epochs":..,"violations":..,
+//    "runs":..,"closed":..}
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pvar/export.hpp"
+#include "pvar/registry.hpp"
+#include "util/clock.hpp"
+
+namespace {
+
+using m2p::pvar::Class;
+using m2p::pvar::ExportReader;
+using m2p::pvar::Registry;
+
+struct Args {
+    std::string path;
+    bool json = false;
+    bool verify = false;
+    bool follow = false;
+    bool quiet = false;
+    bool until_closed = false;
+    std::uint64_t interval_us = 5000;
+    std::uint64_t count = 0;  ///< 0 = unbounded
+    double timeout_s = 600.0;
+    std::vector<std::string> match;
+};
+
+bool parse_args(int argc, char** argv, Args& a) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string s = argv[i];
+        auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        if (s == "--json") {
+            a.json = true;
+        } else if (s == "--verify") {
+            a.verify = true;
+        } else if (s == "--follow") {
+            a.follow = true;
+        } else if (s == "--quiet") {
+            a.quiet = true;
+        } else if (s == "--until-closed") {
+            a.until_closed = true;
+        } else if (s == "--interval-us") {
+            const char* v = next();
+            if (!v) return false;
+            a.interval_us = std::strtoull(v, nullptr, 10);
+        } else if (s == "--count") {
+            const char* v = next();
+            if (!v) return false;
+            a.count = std::strtoull(v, nullptr, 10);
+        } else if (s == "--timeout-s") {
+            const char* v = next();
+            if (!v) return false;
+            a.timeout_s = std::strtod(v, nullptr);
+        } else if (s == "--match") {
+            const char* v = next();
+            if (!v) return false;
+            std::string globs = v;
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                const std::size_t comma = globs.find(',', pos);
+                a.match.push_back(globs.substr(
+                    pos, comma == std::string::npos ? comma : comma - pos));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else if (!s.empty() && s[0] == '-') {
+            std::fprintf(stderr, "unknown option: %s\n", s.c_str());
+            return false;
+        } else {
+            a.path = s;
+        }
+    }
+    if (a.path.empty()) {
+        if (const char* p = std::getenv(m2p::pvar::kExportEnv)) a.path = p;
+    }
+    if (a.path.empty()) {
+        std::fprintf(stderr, "no export path (argument or $%s)\n",
+                     m2p::pvar::kExportEnv);
+        return false;
+    }
+    return true;
+}
+
+bool wanted(const Args& a, const std::string& name) {
+    if (a.match.empty()) return true;
+    for (const std::string& g : a.match)
+        if (Registry::glob_match(g.c_str(), name.c_str())) return true;
+    return false;
+}
+
+bool monotone_class(Class c) { return c == Class::Counter || c == Class::Watermark; }
+
+void json_escape(std::string& out, const std::string& s) {
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Args a;
+    if (!parse_args(argc, argv, a)) return 1;
+
+    ExportReader rd;
+    const double t_start = m2p::util::wall_seconds();
+    auto expired = [&] { return m2p::util::wall_seconds() - t_start > a.timeout_s; };
+
+    // Attach: wait for the writer to create the file (CI starts the
+    // sampler first, then the run).
+    while (!rd.open(a.path)) {
+        if (expired()) {
+            std::fprintf(stderr, "timeout waiting for %s\n", a.path.c_str());
+            std::printf(
+                "{\"summary\":true,\"snapshots\":0,\"distinct_epochs\":0,"
+                "\"violations\":0,\"runs\":0,\"closed\":false}\n");
+            return 3;
+        }
+        ::usleep(100000);
+    }
+
+    std::uint64_t snapshots = 0, distinct = 0, violations = 0, runs = 0;
+    bool saw_closed = false;
+    std::uint32_t cur_run = 0;
+    std::uint64_t last_epoch = 0, last_gen = 0;
+    std::uint32_t last_count = 0;
+    std::vector<std::uint64_t> last_values;
+    std::vector<ExportReader::VarInfo> vars;
+
+    auto violation = [&](const char* what, const std::string& detail) {
+        ++violations;
+        std::fprintf(stderr, "VIOLATION %s: %s\n", what, detail.c_str());
+    };
+
+    for (;;) {
+        if (expired()) break;
+        ExportReader::Sample s;
+        if (!rd.read(s)) {
+            // Persistent failure usually means the file was replaced
+            // with an incompatible one; --follow reopens.
+            if (a.follow) {
+                rd.close();
+                while (!rd.open(a.path) && !expired()) ::usleep(100000);
+                if (!rd.valid()) break;
+            }
+            ::usleep(static_cast<useconds_t>(a.interval_us));
+            continue;
+        }
+        ++snapshots;
+
+        if (s.run_id != cur_run) {
+            // New run on the same file: reset per-run verification
+            // state (counters legitimately restart from zero).
+            if (!a.follow && cur_run != 0) break;
+            cur_run = s.run_id;
+            ++runs;
+            last_epoch = 0;
+            last_gen = 0;
+            last_count = 0;
+            last_values.clear();
+            vars.clear();
+        }
+
+        if (s.epoch != last_epoch || s.generation != last_gen) {
+            ++distinct;
+            if (s.generation < last_gen)
+                violation("generation-regressed",
+                          std::to_string(s.generation) + " < " + std::to_string(last_gen));
+            if (s.epoch < last_epoch)
+                violation("epoch-regressed",
+                          std::to_string(s.epoch) + " < " + std::to_string(last_epoch));
+            if (s.var_count < last_count)
+                violation("var-count-shrank", std::to_string(s.var_count) + " < " +
+                                                  std::to_string(last_count));
+            if (s.var_count > vars.size()) vars = rd.vars(s.var_count);
+            for (std::uint32_t id = 0; id < s.var_count && id < last_values.size();
+                 ++id) {
+                if (id < vars.size() && monotone_class(vars[id].cls) &&
+                    s.values[id] < last_values[id])
+                    violation("counter-regressed",
+                              vars[id].name + ": " + std::to_string(s.values[id]) +
+                                  " < " + std::to_string(last_values[id]));
+            }
+
+            if (!a.quiet) {
+                if (a.json) {
+                    std::string line = "{\"run\":" + std::to_string(s.run_id) +
+                                       ",\"epoch\":" + std::to_string(s.epoch) +
+                                       ",\"ticks\":" + std::to_string(s.ticks) +
+                                       ",\"tps\":" +
+                                       std::to_string(rd.ticks_per_second()) +
+                                       ",\"closed\":" + (s.closed ? "true" : "false") +
+                                       ",\"counters\":{";
+                    bool first = true;
+                    for (std::uint32_t id = 0; id < s.var_count && id < vars.size();
+                         ++id) {
+                        if (!wanted(a, vars[id].name)) continue;
+                        if (!first) line += ",";
+                        first = false;
+                        line += "\"";
+                        json_escape(line, vars[id].name);
+                        line += "\":" + std::to_string(s.values[id]);
+                    }
+                    line += "}}";
+                    std::puts(line.c_str());
+                } else {
+                    std::printf("run=%u epoch=%llu closed=%d",
+                                s.run_id,
+                                static_cast<unsigned long long>(s.epoch),
+                                s.closed ? 1 : 0);
+                    for (std::uint32_t id = 0; id < s.var_count && id < vars.size();
+                         ++id) {
+                        if (!wanted(a, vars[id].name)) continue;
+                        const std::uint64_t prev =
+                            id < last_values.size() ? last_values[id] : 0;
+                        std::printf(" %s=%llu(+%lld)", vars[id].name.c_str(),
+                                    static_cast<unsigned long long>(s.values[id]),
+                                    static_cast<long long>(s.values[id] - prev));
+                    }
+                    std::printf("\n");
+                }
+                std::fflush(stdout);
+            }
+
+            last_epoch = s.epoch;
+            last_gen = s.generation;
+            last_count = s.var_count;
+            last_values = s.values;
+        }
+
+        if (s.closed) {
+            saw_closed = true;
+            if (a.until_closed && !a.follow) break;
+        }
+        if (a.count && distinct >= a.count) break;
+        ::usleep(static_cast<useconds_t>(a.interval_us));
+    }
+
+    std::printf(
+        "{\"summary\":true,\"snapshots\":%llu,\"distinct_epochs\":%llu,"
+        "\"violations\":%llu,\"runs\":%llu,\"closed\":%s}\n",
+        static_cast<unsigned long long>(snapshots),
+        static_cast<unsigned long long>(distinct),
+        static_cast<unsigned long long>(violations),
+        static_cast<unsigned long long>(runs), saw_closed ? "true" : "false");
+    std::fflush(stdout);
+    return (a.verify && violations > 0) ? 2 : 0;
+}

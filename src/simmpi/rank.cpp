@@ -50,6 +50,7 @@ void wait_for_msg(Mailbox& mb, std::unique_lock<std::mutex>& lk,
 void wait_for_space(Mailbox& mb, std::unique_lock<std::mutex>& lk,
                     std::chrono::steady_clock::time_point deadline) {
     const std::shared_ptr<sched::WaitToken>& tok = sched::current_wait_token();
+    mb.flow_stalls.fetch_add(1, std::memory_order_relaxed);
     ++mb.space_waiters;
     mb.space_tokens.push_back(tok);
     lk.unlock();
@@ -86,6 +87,9 @@ void Rank::fault_point(const char* name) {
         // name is the call-site string literal, so the ring may keep it.
         world_.trace_event(trace::EventKind::Fault, global_, name,
                            static_cast<std::int64_t>(n));
+        // Before the unwind frees this rank's window memory: survivors
+        // may be mid-memcpy through it (see rma_detach_all).
+        rma_detach_all();
         throw RankKilled{Epitaph::Cause::Killed,
                          std::string("fault plan: killed in ") + name + " (call " +
                              std::to_string(n) + ")"};
@@ -93,6 +97,10 @@ void Rank::fault_point(const char* name) {
     if (act.kind == FaultPlan::CallAction::Kind::Hang) {
         world_.trace_event(trace::EventKind::Fault, global_, name,
                            static_cast<std::int64_t>(n));
+        // A hung rank is dead to its peers from here on; detach its
+        // window memory before publishing the death so no survivor
+        // races an RMA apply against the eventual unwind.
+        rma_detach_all();
         // Publish the death *before* wedging: peers unwedge via the
         // liveness checks immediately instead of waiting out the hang.
         Epitaph e;
@@ -113,6 +121,7 @@ int Rank::comm_error(Comm c, int code) {
         handler = world_.comm(c).errhandler.load(std::memory_order_relaxed);
     if (handler == MPI_ERRORS_ARE_FATAL) {
         world_.poison(code);
+        rma_detach_all();
         throw RankKilled{Epitaph::Cause::Poisoned,
                          "MPI_ERRORS_ARE_FATAL: error " + std::to_string(code)};
     }
@@ -121,6 +130,7 @@ int Rank::comm_error(Comm c, int code) {
 
 void Rank::check_poisoned() const {
     if (!world_.poisoned()) return;
+    rma_detach_all();
     throw RankKilled{Epitaph::Cause::Poisoned,
                      "world poisoned (code " + std::to_string(world_.poison_code()) +
                          ")"};
@@ -216,6 +226,12 @@ int Rank::PMPI_Finalize() {
     // window touched after its last sync call) to the shared counters
     // before the rank stops running MPI code.
     rma_flush_all_stages();
+    // An erroneous-but-reachable chaos shape: a rank whose MPI_Win_free
+    // failed (dead member wedged the barrier) finalizes and returns,
+    // freeing the user memory behind its window while survivors still
+    // target it.  Finalize is this rank's last MPI call, so detaching
+    // here is always safe and closes that hole too.
+    rma_detach_all();
     finalized_ = true;
     return MPI_SUCCESS;
 }
@@ -232,6 +248,7 @@ int Rank::PMPI_Abort(Comm c, int errorcode) {
     instr::FunctionGuard g(world_.registry(), world_.fids().PMPI_Abort, a);
     (void)c;  // like most MPIs, simmpi aborts the whole job, not one comm
     world_.poison(errorcode == MPI_SUCCESS ? MPI_ERR_OTHER : errorcode);
+    rma_detach_all();
     throw RankKilled{Epitaph::Cause::Aborted,
                      "MPI_Abort(code=" + std::to_string(errorcode) + ")"};
 }
@@ -472,6 +489,7 @@ int Rank::send_body(const void* buf, int count, Datatype dt, int dest, int tag, 
             mb.bytes_queued += bytes + kEnvelopeOverhead;
         }
         mb.queue.push_back(std::move(env));
+        mb.note_queued_locked(rendezvous);
         wake_msg = mb.msg_waiter;
     }
     if (wake_msg) wake_msg->unpark();
@@ -550,6 +568,7 @@ int Rank::recv_body(void* buf, int count, Datatype dt, int src, int tag, Comm c,
         if (it != mb.queue.end()) {
             Envelope env = std::move(*it);
             mb.queue.erase(it);
+            mb.note_delivered_locked(env.data.size());
             const bool truncated = env.data.size() > cap;
             const std::size_t n = std::min(env.data.size(), cap);
             if (n > 0) std::memcpy(buf, env.data.data(), n);
@@ -703,6 +722,7 @@ void Rank::internal_send(const void* buf, int bytes, int dest_cr, int tag, CommD
         if (bytes > 0) std::memcpy(env.data.data(), buf, static_cast<std::size_t>(bytes));
         mb.bytes_queued += env.data.size() + kEnvelopeOverhead;
         mb.queue.push_back(std::move(env));
+        mb.note_queued_locked(/*rendezvous=*/false);
         wake_msg = mb.msg_waiter;
     }
     if (wake_msg) wake_msg->unpark();
@@ -721,6 +741,7 @@ bool Rank::internal_recv(void* buf, int bytes, int src_cr, int tag, CommData& c)
             const std::size_t n =
                 std::min(it->data.size(), static_cast<std::size_t>(bytes));
             if (n > 0) std::memcpy(buf, it->data.data(), n);
+            mb.note_delivered_locked(it->data.size());
             mb.bytes_queued -= it->data.size() + kEnvelopeOverhead;
             mb.recycle_locked(std::move(it->data));
             mb.queue.erase(it);
@@ -1211,6 +1232,7 @@ int Rank::PMPI_Isend(const void* buf, int count, Datatype dt, int dest, int tag,
             env.delivered = rd.delivered;
         }
         mb.queue.push_back(std::move(env));
+        mb.note_queued_locked(rd.kind == RequestKind::SendToken);
         wake_msg = mb.msg_waiter;
     }
     if (wake_msg) wake_msg->unpark();

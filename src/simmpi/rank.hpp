@@ -421,6 +421,12 @@ private:
     /// Residual flush for windows never synchronized again before
     /// MPI_Finalize (counters must not lose trailing ops).
     void rma_flush_all_stages();
+    /// Window memory is user memory -- on a fiber stack, it dies with
+    /// the rank's unwind.  Called before every RankKilled throw (and
+    /// from MPI_Finalize): clears has_member under each shard mutex so
+    /// an in-flight direct apply finishes first and every later access
+    /// gets MPI_ERR_PROC_FAILED instead of a dangling-base memcpy.
+    void rma_detach_all() const;
 
     World& world_;
     int global_;
@@ -436,6 +442,9 @@ private:
     /// Per-window staged Table-1 counters (this rank's ops since its
     /// last sync call on that window).  Owned by the rank thread.
     std::map<Win, RmaStage> rma_stage_;
+    /// Windows this rank populated a shard in (MPI_Win_create); what
+    /// rma_detach_all walks.  Owned by the rank thread.
+    std::vector<Win> member_wins_;
     /// MPI_Comm_failure_ack snapshots: comm -> failed members (global
     /// ranks) known at ack time.  Owned by the rank thread.
     std::map<Comm, std::vector<int>> acked_failures_;

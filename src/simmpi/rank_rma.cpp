@@ -183,6 +183,7 @@ int Rank::PMPI_Win_create(void* base, std::int64_t size, int disp_unit, Info inf
         WinShard& sh = w.shards[global_];
         sh.has_member = true;
         sh.member = WinMember{static_cast<std::byte*>(base), size, disp_unit};
+        member_wins_.push_back(h);
     }
     if (!barrier_internal(cd)) return comm_error(c, coll_fail_code(cd));
     *win = h;
@@ -730,6 +731,24 @@ int Rank::PMPI_Win_unlock(int rank, Win win) {
 // RMA data transfer
 // ---------------------------------------------------------------------------
 
+void Rank::rma_detach_all() const {
+    // The shard mutex is the whole protocol: a survivor's direct apply
+    // memcpys through member.base while holding it, so taking it here
+    // (before this rank's stack unwinds and frees the backing memory)
+    // drains any in-flight copy, and clearing has_member fails every
+    // later one fast.  Staged ops aimed at this rank's memory can never
+    // be applied either -- drop them.
+    for (const Win h : member_wins_) {
+        if (!world_.win_valid(h)) continue;
+        WinShard* sh = world_.win(h).shard(global_);
+        if (!sh) continue;
+        std::lock_guard lk(sh->mu);
+        sh->has_member = false;
+        sh->member = WinMember{};
+        sh->staged.clear();
+    }
+}
+
 int Rank::rma_check(const WinData& w, int ocount, Datatype odt, int trank,
                     std::int64_t tdisp, int tcount, Datatype tdt) const {
     if (ocount < 0 || tcount < 0) return MPI_ERR_COUNT;
@@ -771,7 +790,9 @@ int Rank::rma_run_op(Win win, WinData& w, PendingRmaOp::Kind kind, const void* s
             pop.payload.assign(static_cast<const std::byte*>(src),
                                static_cast<const std::byte*>(src) + nbytes);
         std::lock_guard lk(sh->mu);
-        if (!sh->has_member) return MPI_ERR_WIN;
+        // Shards are only ever created with a member; a cleared member
+        // means the target died and detached (rma_detach_all).
+        if (!sh->has_member) return MPI_ERR_PROC_FAILED;
         const std::int64_t off = tdisp * sh->member.disp_unit;
         if (off < 0 || off + nbytes > sh->member.size) return MPI_ERR_ARG;
         sh->staged.push_back(std::move(pop));
@@ -780,7 +801,9 @@ int Rank::rma_run_op(Win win, WinData& w, PendingRmaOp::Kind kind, const void* s
         // target's window memory under that target's shard mutex --
         // the zero-copy path, no staging allocation, no second copy.
         std::lock_guard lk(sh->mu);
-        if (!sh->has_member) return MPI_ERR_WIN;
+        // Shards are only ever created with a member; a cleared member
+        // means the target died and detached (rma_detach_all).
+        if (!sh->has_member) return MPI_ERR_PROC_FAILED;
         const std::int64_t off = tdisp * sh->member.disp_unit;
         if (off < 0 || off + nbytes > sh->member.size) return MPI_ERR_ARG;
         std::byte* at = sh->member.base + off;

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "pvar/export.hpp"
 #include "simmpi/rank.hpp"
 
 namespace m2p::simmpi {
@@ -32,9 +33,102 @@ World::World(instr::Registry& reg, Config cfg) : reg_(reg), cfg_(std::move(cfg))
     // it without mu_.
     if (cfg_.rank_engine == RankEngine::Fiber)
         sched_ = std::make_unique<sched::Scheduler>(cfg_.sched_workers);
+    register_pvars();
+    exporter_ = pvar::ExportWriter::from_env(pvars_);
 }
 
 World::~World() { join_all(); }
+
+void World::register_pvars() {
+    // Every variable is a reader over storage its plane already
+    // maintains -- registration adds nothing to any hot path.
+    //
+    // Dispatch plane (per-thread stat-slot shards, summed on poll).
+    pvars_.add_counter(
+        "instr.dispatch.events",
+        [this] { return static_cast<std::uint64_t>(reg_.stats().events); }, "events",
+        "instrumented dispatch-boundary calls");
+    pvars_.add_counter(
+        "instr.dispatch.snippets",
+        [this] { return static_cast<std::uint64_t>(reg_.stats().snippets_executed); },
+        "snippets", "MDL snippet executions at dispatch");
+
+    // Transport plane.  delivered_* are registered BEFORE the queued
+    // counters deliberately: a snapshot pass polls variables in id
+    // order, and delivered <= queued holds at every instant with both
+    // sides monotone, so reading delivered first keeps the invariant
+    // true inside every published snapshot even under churn.
+    pvars_.add_counter(
+        "simmpi.mailbox.delivered_msgs",
+        [this] { return mailbox_stats().delivered_msgs; }, "events",
+        "envelopes drained by receivers");
+    pvars_.add_counter(
+        "simmpi.mailbox.delivered_bytes",
+        [this] { return mailbox_stats().delivered_bytes; }, "bytes",
+        "payload bytes drained by receivers");
+    pvars_.add_counter(
+        "simmpi.mailbox.eager_msgs", [this] { return mailbox_stats().eager_msgs; },
+        "events", "envelopes queued under the eager protocol");
+    pvars_.add_counter(
+        "simmpi.mailbox.rendezvous_msgs",
+        [this] { return mailbox_stats().rendezvous_msgs; }, "events",
+        "envelopes queued with a rendezvous token");
+    pvars_.add_counter(
+        "simmpi.mailbox.flow_stalls", [this] { return mailbox_stats().flow_stalls; },
+        "events", "sender parks waiting for eager headroom");
+    pvars_.add_gauge(
+        "simmpi.mailbox.bytes_queued", [this] { return mailbox_stats().bytes_queued; },
+        "bytes", "bytes currently queued across mailboxes");
+    pvars_.add_watermark(
+        "simmpi.mailbox.bytes_queued_hwm",
+        [this] { return mailbox_stats().bytes_queued_hwm; }, "bytes",
+        "deepest mailbox backlog seen");
+
+    // Trace plane (per-thread ring head counters).
+    if (recorder_) {
+        trace::FlightRecorder* fr = recorder_.get();
+        pvars_.add_counter(
+            "trace.ring.written", [fr] { return fr->stats().written; }, "events",
+            "events pushed into flight-recorder rings");
+        pvars_.add_counter(
+            "trace.ring.kept", [fr] { return fr->stats().kept; }, "events",
+            "events currently retained across rings");
+        pvars_.add_counter(
+            "trace.ring.dropped", [fr] { return fr->stats().dropped; }, "events",
+            "events overwritten by ring wrap-around");
+        pvars_.add_gauge(
+            "trace.ring.capacity",
+            [fr] { return static_cast<std::uint64_t>(fr->ring_capacity()); }, "events",
+            "configured events per ring");
+    }
+
+    // Fault plane.
+    pvars_.add_counter(
+        "faults.epitaphs", [this] { return epitaph_count(); }, "deaths",
+        "epitaphs recorded (rank deaths)");
+}
+
+World::MailboxStats World::mailbox_stats() const {
+    MailboxStats s;
+    const int n = static_cast<int>(mailboxes_.size());
+    for (int g = 0; g < n; ++g) {
+        Mailbox& mb = *const_cast<World*>(this)->mailboxes_.find(g);
+        s.eager_msgs += mb.eager_msgs.load(std::memory_order_relaxed);
+        s.rendezvous_msgs += mb.rendezvous_msgs.load(std::memory_order_relaxed);
+        s.delivered_msgs += mb.delivered_msgs.load(std::memory_order_relaxed);
+        s.delivered_bytes += mb.delivered_bytes.load(std::memory_order_relaxed);
+        s.flow_stalls += mb.flow_stalls.load(std::memory_order_relaxed);
+        const std::uint64_t hwm = mb.bytes_queued_hwm.load(std::memory_order_relaxed);
+        if (hwm > s.bytes_queued_hwm) s.bytes_queued_hwm = hwm;
+        {
+            // bytes_queued is plain state under mu; the gauge takes the
+            // brief lock (snapshot cadence, never the data path).
+            std::lock_guard lk(mb.mu);
+            s.bytes_queued += mb.bytes_queued;
+        }
+    }
+    return s;
+}
 
 void World::register_mpi_functions() {
     struct Row {
@@ -425,14 +519,21 @@ void World::record_death(Epitaph e) {
     {
         std::lock_guard lk(epitaph_mu_);
         epitaphs_.push_back(e);
+        epitaph_count_.store(epitaphs_.size(), std::memory_order_release);
     }
     death_epoch_.fetch_add(1, std::memory_order_acq_rel);
     // Parked fibers get an explicit broadcast so their abandon
     // predicates (dead peer / poisoned world) re-run now; thread-mode
     // waits still notice within one 5 ms slice on their own.
     if (sched_) sched_->unpark_all_parked();
-    std::lock_guard lk(observer_mu_);
-    if (death_observer_) death_observer_(e);
+    {
+        std::lock_guard lk(observer_mu_);
+        if (death_observer_) death_observer_(e);
+    }
+    // Force an export snapshot so an attached sampler sees the death
+    // (faults.epitaphs and the terminal counter state) even if the run
+    // ends before the next periodic publish.
+    if (exporter_) exporter_->write_now();
 }
 
 std::vector<Epitaph> World::epitaphs() const {
@@ -448,6 +549,7 @@ void World::poison(int errorcode) {
     if (sched_) sched_->unpark_all_parked();
     trace_event(trace::EventKind::Poison, -1, "world_poisoned", errorcode);
     emit_postmortem("world poisoned");
+    if (exporter_) exporter_->write_now();
 }
 
 bool World::any_dead(const std::vector<int>& global_ranks) const {
@@ -681,11 +783,36 @@ Win World::create_win(Comm c) {
             impl_id = next_win_impl_id_++;
         }
     }
-    return wins_.append([&](WinData& w, std::int32_t h) {
-        w.handle = h;
+    const Win h = wins_.append([&](WinData& w, std::int32_t h2) {
+        w.handle = h2;
         w.comm = c;
         w.impl_id = impl_id;
     });
+    // Table-1 pvars for this window.  Handles are never reused (only
+    // impl_ids recycle) and the WinData slot outlives MPI_Win_free, so
+    // the captured pointer stays valid and final totals stay readable
+    // -- the same contract win_rma_counters() documents.
+    {
+        const WinCounters* wc = &wins_.at(h, "simmpi: bad window handle").counters;
+        const std::string base = "rma.table1.win" + std::to_string(h) + ".";
+        auto ctr = [&](const char* leaf, std::atomic<std::int64_t> WinCounters::*field,
+                       const char* unit) {
+            pvars_.add_counter(base + leaf, [wc, field] {
+                return static_cast<std::uint64_t>(
+                    (wc->*field).load(std::memory_order_acquire));
+            }, unit);
+        };
+        ctr("put_ops", &WinCounters::put_ops, "ops");
+        ctr("get_ops", &WinCounters::get_ops, "ops");
+        ctr("acc_ops", &WinCounters::acc_ops, "ops");
+        ctr("put_bytes", &WinCounters::put_bytes, "bytes");
+        ctr("get_bytes", &WinCounters::get_bytes, "bytes");
+        ctr("acc_bytes", &WinCounters::acc_bytes, "bytes");
+        ctr("sync_ops", &WinCounters::sync_ops, "ops");
+        ctr("at_sync_wait_ns", &WinCounters::at_sync_wait_ns, "ns");
+        ctr("pt_sync_wait_ns", &WinCounters::pt_sync_wait_ns, "ns");
+    }
+    return h;
 }
 
 WinData& World::win(Win w) { return wins_.at(w, "simmpi: bad window handle"); }

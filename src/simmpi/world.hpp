@@ -28,12 +28,17 @@
 #include <vector>
 
 #include "instr/registry.hpp"
+#include "pvar/registry.hpp"
 #include "simmpi/faults.hpp"
 #include "simmpi/handle_table.hpp"
 #include "simmpi/recovery.hpp"
 #include "simmpi/sched.hpp"
 #include "simmpi/types.hpp"
 #include "trace/flight_recorder.hpp"
+
+namespace m2p::pvar {
+class ExportWriter;
+}
 
 namespace m2p::simmpi {
 
@@ -160,11 +165,36 @@ inline constexpr std::size_t kEnvelopeOverhead = 64;
 /// mailbox at all -- they wait on their envelope's DeliveryToken.
 /// The integer counters mirror the token slots for the watchdog dump.
 struct Mailbox {
-    std::mutex mu;  ///< guards everything below
+    std::mutex mu;  ///< guards everything below (stats excepted)
     std::deque<Envelope> queue;
     std::size_t bytes_queued = 0;
     int msg_waiters = 0;
     int space_waiters = 0;
+
+    // Transport accounting for the pvar plane (simmpi.mailbox.*).
+    // Relaxed atomics bumped at the push/drain/park sites while mu is
+    // already held, but readable lock-free by the snapshot aggregator
+    // -- a sampler never touches a mailbox mutex.
+    std::atomic<std::uint64_t> eager_msgs{0};       ///< envelopes queued eagerly
+    std::atomic<std::uint64_t> rendezvous_msgs{0};  ///< envelopes queued with a token
+    std::atomic<std::uint64_t> delivered_msgs{0};   ///< envelopes drained by a receiver
+    std::atomic<std::uint64_t> delivered_bytes{0};  ///< payload bytes drained
+    std::atomic<std::uint64_t> flow_stalls{0};      ///< sender parks for eager headroom
+    std::atomic<std::uint64_t> bytes_queued_hwm{0};  ///< high-water of bytes_queued
+
+    /// Records a just-queued envelope in the stats; caller holds mu
+    /// (bytes_queued already includes the envelope).
+    void note_queued_locked(bool rendezvous) {
+        (rendezvous ? rendezvous_msgs : eager_msgs)
+            .fetch_add(1, std::memory_order_relaxed);
+        if (bytes_queued > bytes_queued_hwm.load(std::memory_order_relaxed))
+            bytes_queued_hwm.store(bytes_queued, std::memory_order_relaxed);
+    }
+    /// Records a drained envelope; caller holds mu.
+    void note_delivered_locked(std::size_t payload_bytes) {
+        delivered_msgs.fetch_add(1, std::memory_order_relaxed);
+        delivered_bytes.fetch_add(payload_bytes, std::memory_order_relaxed);
+    }
     std::shared_ptr<sched::WaitToken> msg_waiter;
     std::vector<std::shared_ptr<sched::WaitToken>> space_tokens;
     std::vector<PayloadBuf> free_bufs;  ///< recycled payload buffers
@@ -664,6 +694,34 @@ public:
     /// recording.
     void emit_postmortem(const char* why);
 
+    // -- Performance variables (MPI_T-style pvar plane) --------------------
+    /// The world's pvar registry.  Every plane registers its counters
+    /// here at world construction (instr.dispatch.*, simmpi.mailbox.*,
+    /// trace.ring.*, faults.epitaphs) or object creation
+    /// (rma.table1.win<h>.*); tool-side providers (pc.experiments.*)
+    /// attach through a pvar::ProviderScope so they can detach before
+    /// the world dies.  Setting M2P_PVAR_EXPORT additionally streams
+    /// snapshots to an mmap file an external sampler can read live.
+    pvar::Registry& pvars() { return pvars_; }
+    /// Number of recorded epitaphs, lock-free (the faults.epitaphs
+    /// pvar source; equals epitaphs().size() at quiescence).
+    std::uint64_t epitaph_count() const {
+        return epitaph_count_.load(std::memory_order_acquire);
+    }
+
+    /// Aggregated transport stats over every mailbox (lock-free sums
+    /// of the per-mailbox relaxed counters; hwm is the max).
+    struct MailboxStats {
+        std::uint64_t eager_msgs = 0;
+        std::uint64_t rendezvous_msgs = 0;
+        std::uint64_t delivered_msgs = 0;
+        std::uint64_t delivered_bytes = 0;
+        std::uint64_t flow_stalls = 0;
+        std::uint64_t bytes_queued = 0;      ///< gauge: currently queued
+        std::uint64_t bytes_queued_hwm = 0;  ///< max over mailboxes
+    };
+    MailboxStats mailbox_stats() const;
+
     // -- Program registry ------------------------------------------------
     void register_program(const std::string& command, ProgramFn fn);
     bool has_program(const std::string& command) const;
@@ -822,6 +880,7 @@ public:
 
 private:
     void register_mpi_functions();
+    void register_pvars();
 
     instr::Registry& reg_;
     Config cfg_;
@@ -888,6 +947,7 @@ private:
     // Failure plane: the epitaph table and the world-poison flag.
     mutable std::mutex epitaph_mu_;
     std::vector<Epitaph> epitaphs_;
+    std::atomic<std::uint64_t> epitaph_count_{0};  ///< lock-free mirror for pvars
     std::atomic<std::uint64_t> death_epoch_{0};
     std::atomic<bool> poisoned_{false};
     std::atomic<bool> recovered_{false};
@@ -900,6 +960,13 @@ private:
     // Flight recorder (null when Config::trace_enabled is false).
     std::unique_ptr<trace::FlightRecorder> recorder_;
     std::atomic<bool> postmortem_emitted_{false};
+
+    // Pvar plane.  The registry is declared after every provider it
+    // reads; the export writer is the LAST member on purpose: members
+    // declared later are destroyed first, so its publisher thread (and
+    // final closed snapshot) are gone before any counter source dies.
+    pvar::Registry pvars_;
+    std::unique_ptr<pvar::ExportWriter> exporter_;
 };
 
 }  // namespace m2p::simmpi

@@ -1,0 +1,322 @@
+// Pvar mmap export: a REAL second process samples a live run.
+//
+// The export file's generation handshake promises that a torn read is
+// detected and retried, never returned.  The headline case forks the
+// actual m2p-pvar-sample binary (path baked in via
+// M2P_PVAR_SAMPLE_BIN), points it at M2P_PVAR_EXPORT, and runs a
+// 256-rank chaos world hammering all five planes underneath it; the
+// sampler's --verify summary must report >= 100 distinct torn-free
+// snapshots and zero protocol violations.  The remaining cases cover
+// the file protocol in-process: the closed final snapshot after rank
+// death, resume-in-place run_id bumps, and reader consistency under a
+// fast writer.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pvar/export.hpp"
+#include "pvar/registry.hpp"
+#include "simmpi/faults.hpp"
+#include "simmpi/launcher.hpp"
+#include "simmpi/rank.hpp"
+#include "simmpi/world.hpp"
+#include "trace/flight_recorder.hpp"
+
+namespace m2p::pvar {
+namespace {
+
+std::string temp_path(const char* leaf) {
+    return ::testing::TempDir() + leaf + "." + std::to_string(::getpid()) + ".pvar";
+}
+
+/// Pulls the integer after `"key":` from the sampler's summary line.
+std::int64_t json_int(const std::string& line, const std::string& key) {
+    const std::size_t at = line.find("\"" + key + "\":");
+    if (at == std::string::npos) return -1;
+    return std::strtoll(line.c_str() + at + key.size() + 3, nullptr, 10);
+}
+
+/// The five-plane chaos workload shared by the sampler cases: pt2pt
+/// ring + allreduce/barrier churn + an RMA window, under a seeded
+/// fault plan that kills ranks mid-run.  @p dwell_us keeps the world
+/// (and its publisher thread) alive after quiescence so a sampler can
+/// bank extra snapshots even when chaos collapses the run early.
+void run_chaos_world(int nranks, std::uint64_t seed, std::uint64_t* epitaphs_out,
+                     std::uint64_t dwell_us = 0) {
+    using simmpi::Comm;
+    using simmpi::Rank;
+    using simmpi::Win;
+    using simmpi::World;
+
+    instr::Registry reg;
+    World::Config cfg;
+    cfg.wait_deadline_seconds = 1.0;
+    cfg.join_deadline_seconds = 30.0;
+    cfg.faults = simmpi::FaultPlan::chaos(seed, nranks);
+    World world(reg, cfg);
+    world.register_program("hammer", [nranks](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        std::vector<std::int32_t> mem(4, 0);
+        Win win = simmpi::MPI_WIN_NULL;
+        if (r.MPI_Win_create(mem.data(), 16, 4, simmpi::MPI_INFO_NULL, w, &win) !=
+            simmpi::MPI_SUCCESS) {
+            r.MPI_Finalize();
+            return;
+        }
+        int rc = simmpi::MPI_SUCCESS;
+        for (int i = 0; i < 60 && rc == simmpi::MPI_SUCCESS; ++i) {
+            int tok = me, sum = 0;
+            rc = r.MPI_Allreduce(&tok, &sum, 1, simmpi::MPI_INT, simmpi::MPI_SUM, w);
+            if (rc != simmpi::MPI_SUCCESS) break;
+            rc = r.MPI_Win_fence(0, win);
+            if (rc != simmpi::MPI_SUCCESS) break;
+            const std::int32_t v = me + i;
+            rc = r.MPI_Put(&v, 1, simmpi::MPI_INT, (me + 1) % nranks, 0, 1,
+                           simmpi::MPI_INT, win);
+            if (rc != simmpi::MPI_SUCCESS) break;
+            rc = r.MPI_Win_fence(0, win);
+            if (rc != simmpi::MPI_SUCCESS) break;
+            rc = r.MPI_Barrier(w);
+        }
+        r.MPI_Win_free(&win);
+        r.MPI_Finalize();
+    });
+    simmpi::LaunchPlan plan;
+    for (int i = 0; i < nranks; ++i)
+        plan.placements.push_back("node" + std::to_string(i % 2));
+    simmpi::launch(world, "hammer", {}, plan);
+    world.join_all();
+    if (dwell_us) ::usleep(static_cast<useconds_t>(dwell_us));
+    if (epitaphs_out) *epitaphs_out = world.epitaph_count();
+    // World's destructor closes the exporter: final snapshot + closed.
+}
+
+// ---------------------------------------------------------------------------
+// Headline: a real external sampler process reads torn-free snapshots
+// while 256 chaos-ridden ranks hammer every plane.
+// ---------------------------------------------------------------------------
+
+TEST(PvarExport, ExternalSamplerSeesOnlyConsistentSnapshotsUnderChaos) {
+    const std::string path = temp_path("chaos");
+    ::unlink(path.c_str());
+    ::setenv(kExportEnv, path.c_str(), 1);
+    ::setenv(kExportPeriodEnv, "300", 1);
+
+    // Sampler first (it waits for the file), then the run.
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(::pipe(fds), 0);
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ::close(fds[0]);
+        ::dup2(fds[1], STDOUT_FILENO);
+        ::close(fds[1]);
+        ::execl(M2P_PVAR_SAMPLE_BIN, M2P_PVAR_SAMPLE_BIN, "--verify", "--quiet",
+                "--json", "--until-closed", "--interval-us", "200", "--timeout-s",
+                "120", path.c_str(), static_cast<char*>(nullptr));
+        _exit(127);
+    }
+    ::close(fds[1]);
+
+    std::uint64_t epitaphs = 0;
+    run_chaos_world(256, /*seed=*/7, &epitaphs, /*dwell_us=*/300000);
+
+    // The world is gone; the sampler saw the closed snapshot and
+    // printed its summary.  Drain stdout, then reap.
+    std::string out;
+    char buf[4096];
+    ssize_t got = 0;
+    while ((got = ::read(fds[0], buf, sizeof buf)) > 0) out.append(buf, got);
+    ::close(fds[0]);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << out;
+    EXPECT_EQ(WEXITSTATUS(status), 0) << out;
+
+    const std::size_t last_nl = out.find_last_of('\n', out.size() - 2);
+    const std::string summary =
+        out.substr(last_nl == std::string::npos ? 0 : last_nl + 1);
+    EXPECT_EQ(json_int(summary, "violations"), 0) << out;
+    EXPECT_GE(json_int(summary, "distinct_epochs"), 100) << summary;
+    EXPECT_NE(summary.find("\"closed\":true"), std::string::npos) << summary;
+
+    ::unsetenv(kExportEnv);
+    ::unsetenv(kExportPeriodEnv);
+    ::unlink(path.c_str());
+}
+
+// Rank death mid-run must leave a readable final snapshot: closed
+// flag set, faults plane non-zero, accounting invariants intact.
+TEST(PvarExport, RankDeathLeavesReadableClosedSnapshot) {
+    const std::string path = temp_path("death");
+    ::unlink(path.c_str());
+    ::setenv(kExportEnv, path.c_str(), 1);
+    ::setenv(kExportPeriodEnv, "500", 1);
+
+    // Chaos at 64 ranks: scan a few seeds until one produces a death
+    // (which fault lands first is seed-dependent).
+    std::uint64_t epitaphs = 0;
+    for (const std::uint64_t seed : {7u, 1u, 23u, 42u, 5u}) {
+        run_chaos_world(64, seed, &epitaphs);
+        if (epitaphs > 0) break;
+        ::unlink(path.c_str());
+    }
+    ::unsetenv(kExportEnv);
+    ::unsetenv(kExportPeriodEnv);
+    ASSERT_GT(epitaphs, 0u) << "no chaos seed produced an epitaph";
+
+    ExportReader rd;
+    ASSERT_TRUE(rd.open(path));
+    ExportReader::Sample s;
+    ASSERT_TRUE(rd.read(s));
+    EXPECT_TRUE(s.closed);
+    EXPECT_GT(s.var_count, 0u);
+
+    std::map<std::string, std::uint64_t> vals;
+    const auto vars = rd.vars(s.var_count);
+    for (std::uint32_t id = 0; id < s.var_count && id < vars.size(); ++id)
+        vals[vars[id].name] = s.values[id];
+
+    EXPECT_EQ(vals.at("faults.epitaphs"), epitaphs);
+    EXPECT_EQ(vals.at("trace.ring.written"),
+              vals.at("trace.ring.kept") + vals.at("trace.ring.dropped"));
+    EXPECT_LE(vals.at("simmpi.mailbox.delivered_msgs"),
+              vals.at("simmpi.mailbox.eager_msgs") +
+                  vals.at("simmpi.mailbox.rendezvous_msgs"));
+    rd.close();
+    ::unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// File-protocol cases, in-process.
+// ---------------------------------------------------------------------------
+
+TEST(PvarExport, ReaderNeverSeesTornValuesUnderFastWriter) {
+    const std::string path = temp_path("fast");
+    ::unlink(path.c_str());
+
+    Registry reg;
+    // Registration order + write order make `lo <= hi` a per-snapshot
+    // invariant; a torn read would break it.
+    std::atomic<std::uint64_t>* lo = reg.add_owned_counter("pair.lo");
+    std::atomic<std::uint64_t>* hi = reg.add_owned_counter("pair.hi");
+    ASSERT_NE(lo, nullptr);
+    ASSERT_NE(hi, nullptr);
+
+    ExportWriter::Options opt;
+    opt.period_us = 100;  // flip as fast as the thread can
+    ExportWriter wr(reg, path, opt);
+    ASSERT_TRUE(wr.valid());
+
+    std::atomic<bool> done{false};
+    std::thread mutator([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            hi->fetch_add(3, std::memory_order_relaxed);
+            lo->fetch_add(3, std::memory_order_relaxed);
+        }
+    });
+
+    ExportReader rd;
+    ASSERT_TRUE(rd.open(path));
+    std::uint64_t last_gen = 0;
+    int consistent = 0;
+    while (consistent < 200) {
+        ExportReader::Sample s;
+        ASSERT_TRUE(rd.read(s));
+        ASSERT_EQ(s.generation % 2, 0u);  // never an odd (mid-flip) window
+        ASSERT_GE(s.generation, last_gen);
+        last_gen = s.generation;
+        ASSERT_EQ(s.var_count, 3u);  // pair.lo, pair.hi, pvar.export.snapshots
+        EXPECT_LE(s.values[0], s.values[1]);
+        ++consistent;
+    }
+    done.store(true, std::memory_order_release);
+    mutator.join();
+
+    wr.close();
+    ExportReader::Sample fin;
+    ASSERT_TRUE(rd.read(fin));
+    EXPECT_TRUE(fin.closed);
+    EXPECT_EQ(fin.values[0], lo->load());
+    EXPECT_EQ(fin.values[1], hi->load());
+    rd.close();
+    ::unlink(path.c_str());
+}
+
+TEST(PvarExport, ResumeInPlaceBumpsRunIdWithoutTruncation) {
+    const std::string path = temp_path("resume");
+    ::unlink(path.c_str());
+
+    std::uint32_t first_run = 0;
+    {
+        Registry reg;
+        reg.add_owned_counter("r.one")->store(11);
+        ExportWriter wr(reg, path);
+        ASSERT_TRUE(wr.valid());
+        wr.write_now();
+        ExportReader rd;
+        ASSERT_TRUE(rd.open(path));
+        ExportReader::Sample s;
+        ASSERT_TRUE(rd.read(s));
+        first_run = s.run_id;
+        EXPECT_FALSE(s.closed);
+    }
+
+    // A reader that stays attached across the writer generations: its
+    // mapping must survive the second writer's re-init (no truncate).
+    ExportReader attached;
+    ASSERT_TRUE(attached.open(path));
+
+    {
+        Registry reg;
+        reg.add_owned_counter("r.two")->store(22);
+        ExportWriter wr(reg, path);
+        ASSERT_TRUE(wr.valid());
+        wr.write_now();
+        ExportReader::Sample s;
+        ASSERT_TRUE(attached.read(s));
+        EXPECT_EQ(s.run_id, first_run + 1);
+        EXPECT_FALSE(s.closed);
+        const auto vars = attached.vars(s.var_count);
+        ASSERT_GE(vars.size(), 1u);
+        EXPECT_EQ(vars[0].name, "r.two");  // fresh run, fresh name table
+    }
+
+    // Second writer closed on destruction; the attached reader sees it.
+    ExportReader::Sample fin;
+    ASSERT_TRUE(attached.read(fin));
+    EXPECT_TRUE(fin.closed);
+    EXPECT_EQ(fin.run_id, first_run + 1);
+    attached.close();
+    ::unlink(path.c_str());
+}
+
+TEST(PvarExport, OpenRejectsMissingAndMalformedFiles) {
+    ExportReader rd;
+    EXPECT_FALSE(rd.open(temp_path("missing")));
+
+    const std::string path = temp_path("garbage");
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "not a pvar export file";
+    std::fwrite(junk, 1, sizeof junk, f);
+    std::fclose(f);
+    EXPECT_FALSE(rd.open(path));
+    ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace m2p::pvar

@@ -1,0 +1,217 @@
+// Pvar counter-identity matrix: the registry's snapshot of every
+// migrated plane must equal the plane's legacy accessor bit for bit.
+//
+// The pvar plane is a *view*, not a second set of books: each variable
+// reads the same per-thread/sharded storage its plane already
+// maintains.  This matrix replays a five-plane workload (pt2pt +
+// collectives + RMA + MPI-IO, which together drive the dispatch,
+// transport, trace-ring, rma-table1, and faults planes) at {2, 64,
+// 256} ranks under both flavors, and asserts at quiescence that a
+// registry snapshot and the legacy accessors (World::mailbox_stats,
+// World::win_rma_counters, instr DispatchStats, FlightRecorder::Stats,
+// World::epitaph_count) report identical values.  Mid-run it also
+// checks the snapshot-internal ordering invariant (delivered <=
+// queued) while ranks are still churning.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "pvar/registry.hpp"
+#include "simmpi/launcher.hpp"
+#include "simmpi/rank.hpp"
+#include "simmpi/world.hpp"
+#include "trace/flight_recorder.hpp"
+
+namespace m2p::simmpi {
+namespace {
+
+class PvarIdentityTest : public ::testing::TestWithParam<std::tuple<Flavor, int>> {};
+
+/// Resolves a snapshot into name -> value using the registry's
+/// descriptors (ids are stable, names are the cross-plane contract).
+std::map<std::string, std::uint64_t> by_name(pvar::Registry& reg,
+                                             const pvar::Snapshot& snap) {
+    std::map<std::string, std::uint64_t> out;
+    for (const pvar::Sample& s : snap.samples) {
+        const pvar::Desc* d = reg.describe(s.id);
+        if (d) out[d->name] = s.value;
+    }
+    return out;
+}
+
+TEST_P(PvarIdentityTest, SnapshotMatchesLegacyAccessorsBitForBit) {
+    const auto [flavor, n] = GetParam();
+
+    instr::Registry reg;
+    World::Config cfg;
+    cfg.flavor = flavor;
+    cfg.file_latency_seconds = 1e-6;  // keep the IO leg quick at 256 ranks
+    cfg.file_bandwidth_bytes_per_second = 10e9;
+    World world(reg, cfg);
+
+    std::atomic<Win> win_out{MPI_WIN_NULL};
+    world.register_program("fiveplane", [n, &win_out](Rank& r,
+                                                      const std::vector<std::string>&) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        const int next = (me + 1) % n;
+        const int prev = (me - 1 + n) % n;
+
+        // Transport plane: a pt2pt ring (eager) plus one over-the-
+        // eager-limit message per rank so the rendezvous counter moves.
+        int tok = me;
+        Status st;
+        std::vector<char> big(8192, static_cast<char>(me));
+        if (me % 2 == 0) {
+            ASSERT_EQ(r.MPI_Send(&tok, 1, MPI_INT, next, 1, w), MPI_SUCCESS);
+            ASSERT_EQ(r.MPI_Recv(&tok, 1, MPI_INT, prev, 1, w, &st), MPI_SUCCESS);
+            ASSERT_EQ(r.MPI_Send(big.data(), 8192, MPI_BYTE, next, 2, w), MPI_SUCCESS);
+            ASSERT_EQ(r.MPI_Recv(big.data(), 8192, MPI_BYTE, prev, 2, w, &st),
+                      MPI_SUCCESS);
+        } else {
+            ASSERT_EQ(r.MPI_Recv(&tok, 1, MPI_INT, prev, 1, w, &st), MPI_SUCCESS);
+            ASSERT_EQ(r.MPI_Send(&tok, 1, MPI_INT, next, 1, w), MPI_SUCCESS);
+            ASSERT_EQ(r.MPI_Recv(big.data(), 8192, MPI_BYTE, prev, 2, w, &st),
+                      MPI_SUCCESS);
+            ASSERT_EQ(r.MPI_Send(big.data(), 8192, MPI_BYTE, next, 2, w), MPI_SUCCESS);
+            EXPECT_EQ(big[0], static_cast<char>(prev));
+        }
+
+        // Collectives plane.
+        int sum = 0;
+        ASSERT_EQ(r.MPI_Allreduce(&tok, &sum, 1, MPI_INT, MPI_SUM, w), MPI_SUCCESS);
+        ASSERT_EQ(r.MPI_Barrier(w), MPI_SUCCESS);
+
+        // RMA plane: one put/get/accumulate per rank between fences.
+        std::vector<std::int32_t> mem(4, 0);
+        Win win = MPI_WIN_NULL;
+        ASSERT_EQ(r.MPI_Win_create(mem.data(), 16, 4, MPI_INFO_NULL, w, &win),
+                  MPI_SUCCESS);
+        if (me == 0) win_out = win;
+        ASSERT_EQ(r.MPI_Win_fence(0, win), MPI_SUCCESS);
+        const std::int32_t put = me + 1;
+        std::int32_t got = 0;
+        ASSERT_EQ(r.MPI_Put(&put, 1, MPI_INT, next, 0, 1, MPI_INT, win), MPI_SUCCESS);
+        ASSERT_EQ(r.MPI_Get(&got, 1, MPI_INT, next, 1, 1, MPI_INT, win), MPI_SUCCESS);
+        ASSERT_EQ(r.MPI_Accumulate(&put, 1, MPI_INT, next, 2, 1, MPI_INT, MPI_SUM, win),
+                  MPI_SUCCESS);
+        ASSERT_EQ(r.MPI_Win_fence(0, win), MPI_SUCCESS);
+        ASSERT_EQ(r.MPI_Win_free(&win), MPI_SUCCESS);
+
+        // IO plane (drives dispatch + trace events through the fs).
+        File fh = MPI_FILE_NULL;
+        ASSERT_EQ(r.MPI_File_open(w, "identity.dat", MPI_MODE_CREATE | MPI_MODE_RDWR,
+                                  MPI_INFO_NULL, &fh),
+                  MPI_SUCCESS);
+        std::int32_t cell = me;
+        ASSERT_EQ(r.MPI_File_write_at(fh, me * 4, &cell, 1, MPI_INT, &st), MPI_SUCCESS);
+        ASSERT_EQ(r.MPI_Barrier(w), MPI_SUCCESS);
+        std::int32_t back = -1;
+        ASSERT_EQ(r.MPI_File_read_at(fh, next * 4, &back, 1, MPI_INT, &st), MPI_SUCCESS);
+        EXPECT_EQ(back, next);
+        ASSERT_EQ(r.MPI_File_close(&fh), MPI_SUCCESS);
+
+        r.MPI_Finalize();
+    });
+
+    LaunchPlan plan;
+    for (int i = 0; i < n; ++i) plan.placements.push_back("node" + std::to_string(i % 2));
+    launch(world, "fiveplane", {}, plan);
+
+    // Mid-run: the registration-order invariant must hold inside every
+    // snapshot even while ranks churn the mailboxes.
+    for (int pass = 0; pass < 3; ++pass) {
+        const auto vals = by_name(world.pvars(), world.pvars().snapshot());
+        const std::uint64_t queued = vals.at("simmpi.mailbox.eager_msgs") +
+                                     vals.at("simmpi.mailbox.rendezvous_msgs");
+        EXPECT_LE(vals.at("simmpi.mailbox.delivered_msgs"), queued);
+    }
+
+    world.join_all();
+    ASSERT_TRUE(world.epitaphs().empty());
+    const Win win = win_out.load();
+    ASSERT_NE(win, MPI_WIN_NULL);
+
+    // Quiescent: one snapshot, then every legacy accessor.
+    const auto vals = by_name(world.pvars(), world.pvars().snapshot());
+
+    // Dispatch plane.
+    const instr::DispatchStats ds = reg.stats();
+    EXPECT_EQ(vals.at("instr.dispatch.events"), ds.events);
+    EXPECT_EQ(vals.at("instr.dispatch.snippets"), ds.snippets_executed);
+    EXPECT_GT(ds.events, 0u);
+
+    // Transport plane.
+    const World::MailboxStats ms = world.mailbox_stats();
+    EXPECT_EQ(vals.at("simmpi.mailbox.eager_msgs"), ms.eager_msgs);
+    EXPECT_EQ(vals.at("simmpi.mailbox.rendezvous_msgs"), ms.rendezvous_msgs);
+    EXPECT_EQ(vals.at("simmpi.mailbox.delivered_msgs"), ms.delivered_msgs);
+    EXPECT_EQ(vals.at("simmpi.mailbox.delivered_bytes"), ms.delivered_bytes);
+    EXPECT_EQ(vals.at("simmpi.mailbox.flow_stalls"), ms.flow_stalls);
+    EXPECT_EQ(vals.at("simmpi.mailbox.bytes_queued"), ms.bytes_queued);
+    EXPECT_EQ(vals.at("simmpi.mailbox.bytes_queued_hwm"), ms.bytes_queued_hwm);
+    // Everything queued was drained: the ring + collectives all
+    // completed, so delivery accounting is exact at quiescence.
+    EXPECT_EQ(ms.delivered_msgs, ms.eager_msgs + ms.rendezvous_msgs);
+    EXPECT_GT(ms.delivered_msgs, 0u);
+    EXPECT_EQ(ms.bytes_queued, 0u);
+
+    // Trace-ring plane.
+    ASSERT_NE(world.recorder(), nullptr);
+    const trace::FlightRecorder::Stats ts = world.recorder()->stats();
+    EXPECT_EQ(vals.at("trace.ring.written"), ts.written);
+    EXPECT_EQ(vals.at("trace.ring.kept"), ts.kept);
+    EXPECT_EQ(vals.at("trace.ring.dropped"), ts.dropped);
+    EXPECT_EQ(ts.written, ts.kept + ts.dropped);
+    EXPECT_EQ(vals.at("trace.ring.capacity"), world.recorder()->ring_capacity());
+
+    // Faults plane (clean run: zero on both sides).
+    EXPECT_EQ(vals.at("faults.epitaphs"), world.epitaph_count());
+    EXPECT_EQ(world.epitaph_count(), world.epitaphs().size());
+
+    // RMA table-1 plane for the published window.
+    const RmaCounterSnapshot rs = world.win_rma_counters(win);
+    const std::string base = "rma.table1.win" + std::to_string(win) + ".";
+    EXPECT_EQ(vals.at(base + "put_ops"), static_cast<std::uint64_t>(rs.put_ops));
+    EXPECT_EQ(vals.at(base + "get_ops"), static_cast<std::uint64_t>(rs.get_ops));
+    EXPECT_EQ(vals.at(base + "acc_ops"), static_cast<std::uint64_t>(rs.acc_ops));
+    EXPECT_EQ(vals.at(base + "put_bytes"), static_cast<std::uint64_t>(rs.put_bytes));
+    EXPECT_EQ(vals.at(base + "get_bytes"), static_cast<std::uint64_t>(rs.get_bytes));
+    EXPECT_EQ(vals.at(base + "acc_bytes"), static_cast<std::uint64_t>(rs.acc_bytes));
+    EXPECT_EQ(vals.at(base + "sync_ops"), static_cast<std::uint64_t>(rs.sync_ops));
+    // The snapshot's seconds fields are derived from the same ns
+    // atomics the pvars read: reconverting must be bit-identical.
+    EXPECT_DOUBLE_EQ(static_cast<double>(vals.at(base + "at_sync_wait_ns")) * 1e-9,
+                     rs.at_sync_wait);
+    EXPECT_DOUBLE_EQ(static_cast<double>(vals.at(base + "pt_sync_wait_ns")) * 1e-9,
+                     rs.pt_sync_wait);
+    // And the workload's hand-derived expectations hold through BOTH
+    // views (one put/get/acc of 4 bytes per rank).
+    const std::int64_t N = n;
+    EXPECT_EQ(rs.put_ops, N);
+    EXPECT_EQ(rs.get_ops, N);
+    EXPECT_EQ(rs.acc_ops, N);
+    EXPECT_EQ(rs.put_bytes, 4 * N);
+    EXPECT_EQ(rs.get_bytes, 4 * N);
+    EXPECT_EQ(rs.acc_bytes, 4 * N);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PvarIdentityTest,
+    ::testing::Combine(::testing::Values(Flavor::Lam, Flavor::Mpich),
+                       ::testing::Values(2, 64, 256)),
+    [](const ::testing::TestParamInfo<PvarIdentityTest::ParamType>& info) {
+        return std::string(std::get<0>(info.param) == Flavor::Lam ? "Lam" : "Mpich") +
+               std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace m2p::simmpi

@@ -1,0 +1,287 @@
+// Pvar registry lifecycle + concurrency properties.
+//
+// The registry's contract is MPI_T-shaped: providers register named
+// variables once, readers attach by name or glob, and a snapshot pass
+// produces a consistent epoch-stamped view without ever stopping the
+// writers.  The hammer cases below are the contract's teeth: snapshots
+// taken while providers churn registrations and writers bump counters
+// must stay well-formed, monotone per variable, and must preserve the
+// registration-order invariant (delivered <= queued) that the simmpi
+// transport plane relies on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pvar/registry.hpp"
+
+namespace m2p::pvar {
+namespace {
+
+TEST(PvarRegistry, AddFindReadDescribe) {
+    Registry reg;
+    std::atomic<std::uint64_t> src{41};
+    const VarId id = reg.add_counter(
+        "plane.alpha.calls",
+        [&src] { return src.load(std::memory_order_relaxed); }, "calls",
+        "alpha-plane call count");
+    ASSERT_NE(id, kInvalidVar);
+    EXPECT_EQ(reg.find("plane.alpha.calls"), id);
+    EXPECT_EQ(reg.find("no.such.var"), kInvalidVar);
+    EXPECT_TRUE(reg.alive(id));
+    EXPECT_EQ(reg.read(id), 41u);
+    src.store(42, std::memory_order_relaxed);
+    EXPECT_EQ(reg.read(id), 42u);
+
+    const Desc* d = reg.describe(id);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->name, "plane.alpha.calls");
+    EXPECT_EQ(d->cls, Class::Counter);
+    EXPECT_EQ(d->unit, "calls");
+}
+
+TEST(PvarRegistry, DuplicateLiveNameRejectedAndReusableAfterRemove) {
+    Registry reg;
+    const VarId a = reg.add_counter("dup.name", [] { return std::uint64_t{1}; });
+    ASSERT_NE(a, kInvalidVar);
+    // A second registration under a live name must be refused -- two
+    // providers exporting the same variable is a bug, not a merge.
+    EXPECT_EQ(reg.add_counter("dup.name", [] { return std::uint64_t{2}; }),
+              kInvalidVar);
+
+    ASSERT_TRUE(reg.remove(a));
+    EXPECT_FALSE(reg.alive(a));
+    EXPECT_FALSE(reg.remove(a));  // tombstones only die once
+    EXPECT_EQ(reg.find("dup.name"), kInvalidVar);
+
+    // The name is reusable, but the id is fresh: ids are never recycled,
+    // so a stale attached id can never silently read a different var.
+    const VarId b = reg.add_counter("dup.name", [] { return std::uint64_t{3}; });
+    ASSERT_NE(b, kInvalidVar);
+    EXPECT_NE(b, a);
+    EXPECT_EQ(reg.read(b), 3u);
+}
+
+TEST(PvarRegistry, GlobMatching) {
+    EXPECT_TRUE(Registry::glob_match("*", "anything.at.all"));
+    EXPECT_TRUE(Registry::glob_match("simmpi.mailbox.*", "simmpi.mailbox.eager_msgs"));
+    EXPECT_FALSE(Registry::glob_match("simmpi.mailbox.*", "simmpi.mail"));
+    EXPECT_TRUE(Registry::glob_match("*.dropped", "trace.ring.dropped"));
+    EXPECT_FALSE(Registry::glob_match("*.dropped", "trace.ring.kept"));
+    EXPECT_TRUE(Registry::glob_match("rma.table1.win?.put_ops", "rma.table1.win3.put_ops"));
+    EXPECT_FALSE(Registry::glob_match("rma.table1.win?.put_ops", "rma.table1.win31.put_ops"));
+    EXPECT_TRUE(Registry::glob_match("a*b*c", "a-x-b-y-c"));
+    EXPECT_FALSE(Registry::glob_match("a*b*c", "a-x-c-y-b"));
+    EXPECT_TRUE(Registry::glob_match("", ""));
+    EXPECT_FALSE(Registry::glob_match("", "x"));
+}
+
+TEST(PvarRegistry, AttachByGlobSkipsDeadVars) {
+    Registry reg;
+    const VarId a = reg.add_counter("p.one", [] { return std::uint64_t{1}; });
+    const VarId b = reg.add_counter("p.two", [] { return std::uint64_t{2}; });
+    const VarId c = reg.add_counter("q.three", [] { return std::uint64_t{3}; });
+    ASSERT_NE(a, kInvalidVar);
+    ASSERT_NE(b, kInvalidVar);
+    ASSERT_NE(c, kInvalidVar);
+
+    std::vector<VarId> got = reg.attach("p.*");
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], a);
+    EXPECT_EQ(got[1], b);
+
+    ASSERT_TRUE(reg.remove(a));
+    got = reg.attach("p.*");
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], b);
+
+    EXPECT_EQ(reg.attach("*").size(), 2u);
+}
+
+TEST(PvarRegistry, OwnedCounterStorage) {
+    Registry reg;
+    std::atomic<std::uint64_t>* cell = reg.add_owned_counter("owned.counter");
+    ASSERT_NE(cell, nullptr);
+    cell->fetch_add(7, std::memory_order_relaxed);
+    const VarId id = reg.find("owned.counter");
+    ASSERT_NE(id, kInvalidVar);
+    EXPECT_EQ(reg.read(id), 7u);
+    // Duplicate owned name is refused the same way.
+    EXPECT_EQ(reg.add_owned_counter("owned.counter"), nullptr);
+}
+
+TEST(PvarRegistry, SnapshotStampsMonotoneEpochsAndSelectedIds) {
+    Registry reg;
+    std::atomic<std::uint64_t>* a = reg.add_owned_counter("s.a");
+    std::atomic<std::uint64_t>* b = reg.add_owned_counter("s.b");
+    a->store(10);
+    b->store(20);
+
+    const Snapshot s1 = reg.snapshot();
+    ASSERT_EQ(s1.samples.size(), 2u);
+    EXPECT_EQ(s1.samples[0].value, 10u);
+    EXPECT_EQ(s1.samples[1].value, 20u);
+
+    a->store(11);
+    const Snapshot s2 = reg.snapshot({reg.find("s.a")});
+    ASSERT_EQ(s2.samples.size(), 1u);
+    EXPECT_EQ(s2.samples[0].value, 11u);
+    EXPECT_GT(s2.epoch, s1.epoch);
+    EXPECT_EQ(reg.epoch(), s2.epoch);
+
+    // cached() serves the last snapshot-published value without
+    // re-polling the reader.
+    const CachedSample cs = reg.cached(reg.find("s.b"));
+    EXPECT_EQ(cs.value, 20u);
+    EXPECT_EQ(cs.epoch, s1.epoch);
+}
+
+TEST(PvarRegistry, ProviderScopeDetachesOnDestruction) {
+    Registry reg;
+    {
+        ProviderScope scope(reg);
+        scope.add_counter("scoped.one", [] { return std::uint64_t{1}; });
+        scope.add_counter("scoped.two", [] { return std::uint64_t{2}; });
+        EXPECT_EQ(reg.attach("scoped.*").size(), 2u);
+    }
+    EXPECT_TRUE(reg.attach("scoped.*").empty());
+    EXPECT_EQ(reg.find("scoped.one"), kInvalidVar);
+}
+
+// ---------------------------------------------------------------------------
+// The hammer: snapshots while writers bump and providers churn.  This
+// is the case the TSAN job runs -- every seqlock and publication edge
+// in the registry is exercised here.
+// ---------------------------------------------------------------------------
+
+TEST(PvarRegistry, SnapshotWhileChurningStaysConsistent) {
+    Registry reg;
+
+    // The ordering invariant the transport plane depends on: delivered
+    // is registered BEFORE queued, writers bump queued first, so every
+    // snapshot (which polls in id order) must see delivered <= queued.
+    std::atomic<std::uint64_t>* delivered = reg.add_owned_counter("inv.delivered");
+    std::atomic<std::uint64_t>* queued = reg.add_owned_counter("inv.queued");
+    ASSERT_NE(delivered, nullptr);
+    ASSERT_NE(queued, nullptr);
+    const VarId id_delivered = reg.find("inv.delivered");
+    const VarId id_queued = reg.find("inv.queued");
+
+    constexpr int kWriters = 4;
+    constexpr int kChurners = 2;
+    constexpr std::uint64_t kPerWriter = 40000;
+    std::atomic<bool> done{false};
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&] {
+            for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+                queued->fetch_add(1, std::memory_order_relaxed);
+                delivered->fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    // Churners add/remove transient vars the whole time, forcing the
+    // snapshot pass to race registration, tombstoning, and id growth.
+    std::vector<std::thread> churners;
+    for (int c = 0; c < kChurners; ++c) {
+        churners.emplace_back([&reg, c, &done] {
+            std::uint64_t round = 0;
+            while (!done.load(std::memory_order_acquire)) {
+                ProviderScope scope(reg);
+                for (int k = 0; k < 8; ++k) {
+                    const std::string name = "churn." + std::to_string(c) + "." +
+                                             std::to_string(k);
+                    scope.add_counter(name, [round] { return round; });
+                }
+                scope.reset();
+                ++round;
+            }
+        });
+    }
+
+    std::uint64_t last_epoch = 0;
+    std::uint64_t last_delivered = 0, last_queued = 0;
+    int passes = 0;
+    // Keep snapshotting for a few extra passes after the writers
+    // finish: under TSAN on a small box they can complete before the
+    // second pass, and the invariants are worth checking more than
+    // once regardless.
+    while (!done.load(std::memory_order_acquire) || passes < 4) {
+        const Snapshot snap = reg.snapshot();
+        EXPECT_GT(snap.epoch, last_epoch);
+        last_epoch = snap.epoch;
+        std::uint64_t d = 0, q = 0;
+        bool have_d = false, have_q = false;
+        for (const Sample& s : snap.samples) {
+            if (s.id == id_delivered) { d = s.value; have_d = true; }
+            if (s.id == id_queued) { q = s.value; have_q = true; }
+        }
+        ASSERT_TRUE(have_d);
+        ASSERT_TRUE(have_q);
+        // Monotone per variable, and the ordering invariant holds
+        // inside every snapshot even though writers never pause.
+        EXPECT_GE(d, last_delivered);
+        EXPECT_GE(q, last_queued);
+        EXPECT_LE(d, q);
+        last_delivered = d;
+        last_queued = q;
+        ++passes;
+        if (queued->load(std::memory_order_relaxed) >= kWriters * kPerWriter)
+            done.store(true, std::memory_order_release);
+    }
+    for (auto& t : writers) t.join();
+    for (auto& t : churners) t.join();
+    EXPECT_GT(passes, 1);
+
+    // Quiescent: the final pass reads the exact totals.
+    const Snapshot fin = reg.snapshot({id_delivered, id_queued});
+    ASSERT_EQ(fin.samples.size(), 2u);
+    EXPECT_EQ(fin.samples[0].value, kWriters * kPerWriter);
+    EXPECT_EQ(fin.samples[1].value, kWriters * kPerWriter);
+}
+
+// cached() readers racing the snapshot publisher: the per-variable
+// seqlock must never hand out a torn (value, epoch) pair.  Values are
+// published in lockstep with epochs (value == epoch * 3), so any tear
+// is detectable arithmetically.
+TEST(PvarRegistry, CachedSeqlockNeverTears) {
+    Registry reg;
+    std::atomic<std::uint64_t> src{0};
+    const VarId id = reg.add_counter(
+        "seq.var", [&src] { return src.load(std::memory_order_relaxed); });
+    ASSERT_NE(id, kInvalidVar);
+
+    std::atomic<bool> done{false};
+    std::thread publisher([&] {
+        for (std::uint64_t e = 1; e <= 20000; ++e) {
+            src.store(e * 3, std::memory_order_relaxed);
+            reg.snapshot({id});
+        }
+        done.store(true, std::memory_order_release);
+    });
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r) {
+        readers.emplace_back([&] {
+            std::uint64_t last_epoch = 0;
+            while (!done.load(std::memory_order_acquire)) {
+                const CachedSample cs = reg.cached(id);
+                if (cs.epoch == 0) continue;  // nothing published yet
+                ASSERT_EQ(cs.value, cs.epoch * 3);
+                ASSERT_GE(cs.epoch, last_epoch);
+                last_epoch = cs.epoch;
+            }
+        });
+    }
+    publisher.join();
+    for (auto& t : readers) t.join();
+
+    const CachedSample fin = reg.cached(id);
+    EXPECT_EQ(fin.value, 60000u);
+}
+
+}  // namespace
+}  // namespace m2p::pvar

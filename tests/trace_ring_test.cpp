@@ -59,28 +59,37 @@ TEST(TraceRing, ExactAccountingUnderMultiThreadChurn) {
     EXPECT_EQ(st.rings, kThreads);
     EXPECT_EQ(st.written, kThreads * kPerThread);
     EXPECT_EQ(st.written, st.kept + st.dropped);  // exact, by construction
-    EXPECT_EQ(st.kept, kThreads * 256u);          // every ring ran full
+    // Every ring ran full; derive from the recorder (capacities round
+    // up to a power of two) instead of repeating the literal.
+    EXPECT_EQ(st.kept, kThreads * fr.ring_capacity());
     // Quiescent now: the merged snapshot holds exactly the kept events.
     EXPECT_EQ(fr.snapshot().size(), st.kept);
 }
 
 TEST(TraceRing, OverwritesOldestAndKeepsNewestExactly) {
+    // Overflow accounting at the WORLD's default capacity, read from
+    // the config instead of hardcoded, so the case keeps testing the
+    // shipped default even if an env/config override changes it.
+    const std::uint64_t cap = simmpi::World::Config{}.trace_ring_capacity;
     FlightRecorder::Options opts;
-    opts.ring_capacity = 256;
+    opts.ring_capacity = cap;
     FlightRecorder fr(opts);
-    for (int i = 0; i < 300; ++i)
-        fr.record(EventKind::Io, 0, "io", i);
+    ASSERT_EQ(fr.ring_capacity(), cap) << "default must already be a power of two";
+    const std::uint64_t total = cap + cap / 4;  // overflow by a quarter ring
+    for (std::uint64_t i = 0; i < total; ++i)
+        fr.record(EventKind::Io, 0, "io", static_cast<std::int64_t>(i));
 
     const FlightRecorder::Stats st = fr.stats();
-    EXPECT_EQ(st.written, 300u);
-    EXPECT_EQ(st.kept, 256u);
-    EXPECT_EQ(st.dropped, 44u);
+    EXPECT_EQ(st.written, total);
+    EXPECT_EQ(st.kept, cap);
+    EXPECT_EQ(st.dropped, total - cap);
 
     const std::vector<Event> events = fr.snapshot();
-    ASSERT_EQ(events.size(), 256u);
-    // The oldest 44 were overwritten; the survivors are 44..299 in order.
+    ASSERT_EQ(events.size(), cap);
+    // The oldest quarter was overwritten; the survivors are the newest
+    // `cap` events in order.
     for (std::size_t i = 0; i < events.size(); ++i)
-        EXPECT_EQ(events[i].a, static_cast<std::int64_t>(44 + i));
+        EXPECT_EQ(events[i].a, static_cast<std::int64_t>(total - cap + i));
 }
 
 TEST(TraceRing, SmallCapacitiesRoundUpToAPowerOfTwo) {
