@@ -96,14 +96,37 @@ void ExportWriter::init_file() {
     if (fd_ == -1) return;
     const std::size_t want = file_bytes(opt_.var_capacity);
     struct stat st{};
+    if (::fstat(fd_, &st) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        return;
+    }
+    const std::size_t have = static_cast<std::size_t>(st.st_size);
     bool reuse = false;
-    if (::fstat(fd_, &st) == 0 && static_cast<std::size_t>(st.st_size) == want) {
+    if (have == want) {
         char magic[8] = {};
         if (::pread(fd_, magic, sizeof magic, 0) == static_cast<ssize_t>(sizeof magic) &&
             std::memcmp(magic, kExportMagic, sizeof magic) == 0)
             reuse = true;
+        // Wrong magic at the right size: reinitialize in place below
+        // (the EOF never moves, so an unlikely existing mapping stays
+        // valid and just sees the run reset).
+    } else if (have != 0) {
+        // A non-empty file of the wrong geometry (different
+        // var_capacity, older layout, or not an export file at all).
+        // Resizing it would SIGBUS any sampler still mapping the old
+        // length -- the resume-in-place contract forbids that -- so
+        // refuse and disable export instead.
+        std::fprintf(stderr,
+                     "[m2p] pvar export: %s exists with size %zu, expected %zu; "
+                     "refusing to resize a possibly-mapped file (delete it or "
+                     "match var_capacity); export disabled\n",
+                     path_.c_str(), have, want);
+        ::close(fd_);
+        fd_ = -1;
+        return;
     }
-    if (!reuse && ::ftruncate(fd_, static_cast<off_t>(want)) != 0) {
+    if (have == 0 && ::ftruncate(fd_, static_cast<off_t>(want)) != 0) {
         ::close(fd_);
         fd_ = -1;
         return;
@@ -158,6 +181,7 @@ void ExportWriter::publish(bool closing) {
     const std::uint32_t total = static_cast<std::uint32_t>(reg_.size());
     const std::uint32_t cap = opt_.var_capacity;
     const std::uint32_t publishable = total < cap ? total : cap;
+    const std::uint32_t prev_count = exported_count_;
     if (publishable > exported_count_) {
         for (std::uint32_t id = exported_count_; id < publishable; ++id) {
             const Desc* d = reg_.describe(id);
@@ -192,6 +216,20 @@ void ExportWriter::publish(bool closing) {
     const std::uint32_t active =
         at<std::uint32_t>(map_, kOffActiveBuf).load(std::memory_order_relaxed);
     const std::uint32_t inactive = 1 - active;
+    // Carry the active buffer's values forward before overlaying fresh
+    // samples: a variable with no sample this pass (tombstoned
+    // provider) must freeze at its LAST published value, not resurface
+    // whatever this buffer held two publishes ago -- samplers verify
+    // counters as monotone.  Slots new this publish start at zero so a
+    // register-then-remove between passes never exposes stale bytes.
+    for (std::uint32_t id = 0; id < prev_count; ++id)
+        at<std::uint64_t>(map_, value_off(cap, inactive, id))
+            .store(at<std::uint64_t>(map_, value_off(cap, active, id))
+                       .load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    for (std::uint32_t id = prev_count; id < exported_count_; ++id)
+        at<std::uint64_t>(map_, value_off(cap, inactive, id))
+            .store(0, std::memory_order_relaxed);
     for (const Sample& s : snap.samples) {
         if (s.id >= cap) continue;
         at<std::uint64_t>(map_, value_off(cap, inactive, s.id))
@@ -218,6 +256,16 @@ void ExportWriter::write_now() {
     if (valid()) publish(false);
 }
 
+void ExportWriter::request_flush() {
+    if (!valid()) return;
+    {
+        std::lock_guard lk(cv_mu_);
+        if (closed_) return;  // close() already published the final state
+        flush_ = true;
+    }
+    cv_.notify_all();
+}
+
 void ExportWriter::close() {
     {
         std::lock_guard lk(cv_mu_);
@@ -234,8 +282,12 @@ void ExportWriter::loop() {
     std::unique_lock lk(cv_mu_);
     const auto period = std::chrono::microseconds(opt_.period_us);
     while (!stop_) {
-        cv_.wait_for(lk, period);
+        // Wakes early on request_flush() (death/poison hooks) so the
+        // terminal counter state reaches samplers promptly; a timeout
+        // is just the periodic pass.
+        cv_.wait_for(lk, period, [&] { return stop_ || flush_; });
         if (stop_) break;
+        flush_ = false;
         lk.unlock();
         publish(false);
         lk.lock();

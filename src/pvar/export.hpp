@@ -38,7 +38,9 @@
 // One writer per file at a time.  A writer that opens an existing
 // compatible file resumes IN PLACE (bumping run_id, never truncating)
 // so an attached sampler's mapping stays valid across back-to-back
-// runs -- truncation would SIGBUS a live reader.
+// runs -- truncation would SIGBUS a live reader.  An existing file of
+// the wrong geometry (different var_capacity or not an export file) is
+// refused -- export disabled with a note -- for the same reason.
 #pragma once
 
 #include <atomic>
@@ -121,10 +123,16 @@ public:
     bool valid() const { return map_ != nullptr; }
     const std::string& path() const { return path_; }
 
-    /// Publishes one snapshot immediately (death/poison hooks call
-    /// this so the file holds the terminal state even if the period
-    /// never elapses again).
+    /// Publishes one snapshot immediately, on the calling thread.
+    /// Callers must hold no simmpi locks: the registry providers take
+    /// mailbox mutexes (simmpi.mailbox.*).  Death/poison hooks use
+    /// request_flush() instead for exactly that reason.
     void write_now();
+    /// Asks the publisher thread to run a snapshot pass now instead of
+    /// waiting out the period.  Safe to call from any context --
+    /// including under transport locks -- because the publish happens
+    /// on the publisher thread, not the caller's.
+    void request_flush();
     /// Final snapshot with the closed flag set, then stops the
     /// publisher thread.  Idempotent; the destructor calls it.
     void close();
@@ -150,6 +158,7 @@ private:
     std::condition_variable cv_;
     bool stop_ = false;
     bool closed_ = false;
+    bool flush_ = false;  ///< request_flush() pending
     std::thread th_;
 };
 

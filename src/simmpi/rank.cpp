@@ -464,14 +464,25 @@ int Rank::send_body(const void* buf, int count, Datatype dt, int dest, int tag, 
             const auto deadline = wait_deadline();
             while (mb.bytes_queued + bytes + kEnvelopeOverhead >
                    world_.config().mailbox_capacity) {
-                if (comm_revoked(cd)) return comm_error(c, MPI_ERR_REVOKED);
-                if (world_.death_epoch() != 0) {
-                    check_poisoned();
-                    if (world_.rank_unreachable(dest_global))
-                        return comm_error(c, MPI_ERR_RANK);
+                // Evaluate the doom predicates under mb.mu, but run the
+                // error paths only after dropping it: check_poisoned and
+                // comm_error may detach window shards (shard mutexes)
+                // or poison the world, neither of which may happen
+                // while a mailbox mutex is held.
+                int err = MPI_SUCCESS;
+                if (comm_revoked(cd))
+                    err = MPI_ERR_REVOKED;
+                else if (world_.death_epoch() != 0 &&
+                         (world_.poisoned() ||
+                          world_.rank_unreachable(dest_global)))
+                    err = MPI_ERR_RANK;
+                else if (std::chrono::steady_clock::now() >= deadline)
+                    err = MPI_ERR_OTHER;
+                if (err != MPI_SUCCESS) {
+                    lk.unlock();
+                    check_poisoned();  // throws when the world is poisoned
+                    return comm_error(c, err);
                 }
-                if (std::chrono::steady_clock::now() >= deadline)
-                    return comm_error(c, MPI_ERR_OTHER);
                 wait_for_space(mb, lk, deadline);
             }
         }
@@ -600,21 +611,22 @@ int Rank::recv_body(void* buf, int count, Datatype dt, int src, int tag, Comm c,
         // enqueue under mb.mu before they can die or finish, so bailing
         // here cannot lose a message that was actually delivered.
         // Revocation is checked first and independently of the death
-        // epoch: a communicator can be revoked with zero deaths.
+        // epoch: a communicator can be revoked with zero deaths.  The
+        // verdict is computed under mb.mu; the error paths run after
+        // dropping it (check_poisoned/comm_error may take shard mutexes
+        // via rma_detach_all, or poison the world).
+        int err = MPI_SUCCESS;
         if (comm_revoked(cd)) {
-            check_poisoned();
-            return comm_error(c, MPI_ERR_REVOKED);
-        }
-        if (world_.death_epoch() != 0) {
-            check_poisoned();
-            if (internal_traffic) {
+            err = MPI_ERR_REVOKED;
+        } else if (world_.death_epoch() != 0) {
+            if (world_.poisoned()) {
+                err = MPI_ERR_OTHER;  // check_poisoned throws below
+            } else if (internal_traffic) {
                 // Reserved-tag exchanges (e.g. the MPICH dissemination
                 // barrier) are collectives: any dead member dooms them.
-                if (world_.comm_has_dead_member(cd))
-                    return comm_error(c, MPI_ERR_PROC_FAILED);
+                if (world_.comm_has_dead_member(cd)) err = MPI_ERR_PROC_FAILED;
             } else if (src_global >= 0) {
-                if (world_.rank_unreachable(src_global))
-                    return comm_error(c, MPI_ERR_RANK);
+                if (world_.rank_unreachable(src_global)) err = MPI_ERR_RANK;
             } else {
                 bool any_alive = false;
                 for (int g : dest_group(cd))
@@ -622,11 +634,16 @@ int Rank::recv_body(void* buf, int count, Datatype dt, int src, int tag, Comm c,
                         any_alive = true;
                         break;
                     }
-                if (!any_alive) return comm_error(c, MPI_ERR_RANK);
+                if (!any_alive) err = MPI_ERR_RANK;
             }
         }
-        if (std::chrono::steady_clock::now() >= deadline)
-            return comm_error(c, MPI_ERR_OTHER);
+        if (err == MPI_SUCCESS && std::chrono::steady_clock::now() >= deadline)
+            err = MPI_ERR_OTHER;
+        if (err != MPI_SUCCESS) {
+            lk.unlock();
+            check_poisoned();  // throws when the world is poisoned
+            return comm_error(c, err);
+        }
         wait_for_msg(mb, lk, deadline);
     }
 }
@@ -669,16 +686,17 @@ int Rank::probe_body(int src, int tag, Comm c, int* flag, Status* st, bool block
             if (flag) *flag = 0;
             return MPI_SUCCESS;
         }
+        // As in recv_body: verdicts under mb.mu, error paths (which may
+        // detach shards or poison the world) after dropping it.
+        int err = MPI_SUCCESS;
         if (comm_revoked(cd)) {
-            check_poisoned();
-            return comm_error(c, MPI_ERR_REVOKED);
-        }
-        if (world_.death_epoch() != 0) {
-            check_poisoned();
-            if (src != MPI_ANY_SOURCE) {
+            err = MPI_ERR_REVOKED;
+        } else if (world_.death_epoch() != 0) {
+            if (world_.poisoned()) {
+                err = MPI_ERR_OTHER;  // check_poisoned throws below
+            } else if (src != MPI_ANY_SOURCE) {
                 const int src_global = dest_group(cd)[static_cast<std::size_t>(src)];
-                if (world_.rank_unreachable(src_global))
-                    return comm_error(c, MPI_ERR_RANK);
+                if (world_.rank_unreachable(src_global)) err = MPI_ERR_RANK;
             } else {
                 bool any_alive = false;
                 for (int g : dest_group(cd))
@@ -686,11 +704,16 @@ int Rank::probe_body(int src, int tag, Comm c, int* flag, Status* st, bool block
                         any_alive = true;
                         break;
                     }
-                if (!any_alive) return comm_error(c, MPI_ERR_RANK);
+                if (!any_alive) err = MPI_ERR_RANK;
             }
         }
-        if (std::chrono::steady_clock::now() >= deadline)
-            return comm_error(c, MPI_ERR_OTHER);
+        if (err == MPI_SUCCESS && std::chrono::steady_clock::now() >= deadline)
+            err = MPI_ERR_OTHER;
+        if (err != MPI_SUCCESS) {
+            lk.unlock();
+            check_poisoned();  // throws when the world is poisoned
+            return comm_error(c, err);
+        }
         wait_for_msg(mb, lk, deadline);
     }
 }
@@ -756,7 +779,12 @@ bool Rank::internal_recv(void* buf, int bytes, int src_cr, int tag, CommData& c)
         // can never complete.
         if (comm_revoked(c)) return false;
         if (world_.death_epoch() != 0) {
-            check_poisoned();
+            if (world_.poisoned()) {
+                // check_poisoned detaches window shards; never under
+                // mb.mu.  poisoned() is monotone, so it surely throws.
+                lk.unlock();
+                check_poisoned();
+            }
             if (world_.comm_has_dead_member(c)) return false;
         }
         if (std::chrono::steady_clock::now() >= deadline) return false;
@@ -768,7 +796,12 @@ bool Rank::barrier_internal(CommData& c) {
     std::unique_lock lk(c.bar_mu);
     if (comm_revoked(c)) return false;
     if (world_.death_epoch() != 0) {
-        check_poisoned();
+        if (world_.poisoned()) {
+            // check_poisoned detaches window shards; never under
+            // bar_mu.  poisoned() is monotone, so it surely throws.
+            lk.unlock();
+            check_poisoned();
+        }
         if (world_.comm_has_dead_member(c)) return false;
     }
     const std::uint64_t gen = c.bar_gen;
@@ -797,8 +830,10 @@ bool Rank::barrier_internal(CommData& c) {
             std::chrono::steady_clock::now() >= deadline;
         if (doomed) {
             // Withdraw so the count stays consistent for survivors that
-            // bail later (every survivor fails this barrier alike).
+            // bail later (every survivor fails this barrier alike),
+            // then drop bar_mu before the poison path detaches shards.
             --c.bar_count;
+            lk.unlock();
             check_poisoned();
             return false;
         }

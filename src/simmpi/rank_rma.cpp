@@ -324,17 +324,22 @@ int Rank::PMPI_Win_fence(int assert, Win win) {
         },
         deadline);
     if (!signalled) {
-        std::lock_guard lk(w.fence_mu);
-        const auto it = std::find(w.fence_waiters.begin(), w.fence_waiters.end(), tok);
-        if (it == w.fence_waiters.end()) {
-            // The closing rank took our token between the abandon
-            // decision and this lock: the fence completed after all.
-            return MPI_SUCCESS;
+        {
+            std::lock_guard lk(w.fence_mu);
+            const auto it =
+                std::find(w.fence_waiters.begin(), w.fence_waiters.end(), tok);
+            if (it == w.fence_waiters.end()) {
+                // The closing rank took our token between the abandon
+                // decision and this lock: the fence completed after all.
+                return MPI_SUCCESS;
+            }
+            // Withdraw from the fence so a later (post-fault) fence over
+            // the survivors is not off by one.
+            w.fence_waiters.erase(it);
+            --w.fence_count;
         }
-        // Withdraw from the fence so a later (post-fault) fence over
-        // the survivors is not off by one.
-        w.fence_waiters.erase(it);
-        --w.fence_count;
+        // Error paths only after fence_mu is dropped: check_poisoned
+        // and comm_error may take shard mutexes via rma_detach_all.
         check_poisoned();
         return comm_error(w.comm, coll_fail_code(cd));
     }
@@ -378,15 +383,24 @@ int Rank::rma_wait_exposure(WinData& w, WinShard& sh, int target) {
             },
             deadline);
         if (!signalled) {
-            std::lock_guard lk(sh.mu);
-            auto& pw = sh.exposure.post_waiters;
-            const auto it = std::find(pw.begin(), pw.end(), tok);
-            if (it != pw.end()) {
-                pw.erase(it);
+            bool withdrawn = false;
+            {
+                std::lock_guard lk(sh.mu);
+                auto& pw = sh.exposure.post_waiters;
+                const auto it = std::find(pw.begin(), pw.end(), tok);
+                if (it != pw.end()) {
+                    pw.erase(it);
+                    withdrawn = true;
+                }
+                // else a post raced the abandon decision; loop and
+                // re-check.
+            }
+            if (withdrawn) {
+                // sh.mu is released: check_poisoned/comm_error may
+                // re-enter the shard mutexes via rma_detach_all.
                 check_poisoned();
                 return comm_error(w.comm, coll_fail_code(cd));
             }
-            // A post raced the abandon decision; loop and re-check.
         }
     }
 }
@@ -577,13 +591,22 @@ int Rank::PMPI_Win_wait(Win win) {
             },
             deadline);
         if (!signalled) {
-            std::lock_guard lk(sh->mu);
-            if (sh->exposure.wait_token == tok) {
-                sh->exposure.wait_token = nullptr;
+            bool withdrawn = false;
+            {
+                std::lock_guard lk(sh->mu);
+                if (sh->exposure.wait_token == tok) {
+                    sh->exposure.wait_token = nullptr;
+                    withdrawn = true;
+                }
+                // else a complete raced the abandon decision; loop and
+                // re-check.
+            }
+            if (withdrawn) {
+                // sh->mu is released: check_poisoned/comm_error may
+                // re-enter the shard mutexes via rma_detach_all.
                 check_poisoned();
                 return comm_error(w.comm, coll_fail_code(cd));
             }
-            // A complete raced the abandon decision; loop and re-check.
         }
     }
 }
@@ -658,25 +681,34 @@ int Rank::PMPI_Win_lock(int lock_type, int rank, int assert, Win win) {
     };
     const bool signalled = me->token->wait_or_abandon(doomed, deadline);
     if (!signalled) {
-        std::lock_guard lk(sh->mu);
-        if (!me->granted && !me->aborted) {
-            auto& q = sh->lock.waiters;
-            const auto it = std::find(q.begin(), q.end(), me);
-            if (it != q.end()) q.erase(it);
+        bool withdrawn = false;
+        bool holder_died = false;
+        {
+            std::lock_guard lk(sh->mu);
+            if (!me->granted && !me->aborted) {
+                auto& q = sh->lock.waiters;
+                const auto it = std::find(q.begin(), q.end(), me);
+                if (it != q.end()) q.erase(it);
+                withdrawn = true;
+                holder_died = world_.rank_dead(target);
+                if (!holder_died && world_.death_epoch() != 0) {
+                    const PassiveLock& pl = sh->lock;
+                    holder_died = (pl.exclusive_holder != -1 &&
+                                   world_.rank_dead(pl.exclusive_holder)) ||
+                                  world_.any_dead(pl.shared_holders);
+                }
+            }
+            // else the grant (or abort) raced the abandon decision;
+            // fall through to read the verdict.
+        }
+        if (withdrawn) {
+            // sh->mu is released: check_poisoned/comm_error may
+            // re-enter the shard mutexes via rma_detach_all.
             check_poisoned();
             if (comm_revoked(cd)) return comm_error(w.comm, MPI_ERR_REVOKED);
             if (w.freed.load(std::memory_order_acquire)) return MPI_ERR_WIN;
-            bool holder_died = world_.rank_dead(target);
-            if (!holder_died && world_.death_epoch() != 0) {
-                const PassiveLock& pl = sh->lock;
-                holder_died = (pl.exclusive_holder != -1 &&
-                               world_.rank_dead(pl.exclusive_holder)) ||
-                              world_.any_dead(pl.shared_holders);
-            }
             return comm_error(w.comm, holder_died ? MPI_ERR_RANK : MPI_ERR_OTHER);
         }
-        // The grant (or abort) raced the abandon decision; fall through
-        // to read the verdict.
     }
     if (me->aborted) return MPI_ERR_WIN;  // window freed under the waiter
     // Granted: the granter already installed us as holder.

@@ -530,10 +530,13 @@ void World::record_death(Epitaph e) {
         std::lock_guard lk(observer_mu_);
         if (death_observer_) death_observer_(e);
     }
-    // Force an export snapshot so an attached sampler sees the death
-    // (faults.epitaphs and the terminal counter state) even if the run
-    // ends before the next periodic publish.
-    if (exporter_) exporter_->write_now();
+    // Nudge the exporter so an attached sampler sees the death
+    // (faults.epitaphs and the terminal counter state) promptly; the
+    // close() snapshot covers runs that end before the pass fires.
+    // Asynchronous on purpose: record_death can run while the caller
+    // holds a mailbox or shard mutex, and a synchronous publish would
+    // re-take mailbox mutexes via the simmpi.mailbox.* gauges.
+    if (exporter_) exporter_->request_flush();
 }
 
 std::vector<Epitaph> World::epitaphs() const {
@@ -549,7 +552,9 @@ void World::poison(int errorcode) {
     if (sched_) sched_->unpark_all_parked();
     trace_event(trace::EventKind::Poison, -1, "world_poisoned", errorcode);
     emit_postmortem("world poisoned");
-    if (exporter_) exporter_->write_now();
+    // Asynchronous for the same reason as in record_death: poison() is
+    // reachable from error paths that hold transport locks.
+    if (exporter_) exporter_->request_flush();
 }
 
 bool World::any_dead(const std::vector<int>& global_ranks) const {

@@ -304,6 +304,85 @@ TEST(PvarExport, ResumeInPlaceBumpsRunIdWithoutTruncation) {
     ::unlink(path.c_str());
 }
 
+// Regression: publish() used to write only the live samples into the
+// inactive buffer, so a tombstoned variable's slot kept the value from
+// TWO publishes ago and its published value oscillated between two
+// stale readings (95, 100, 95, ...) -- flagged as a counter regression
+// by m2p-pvar-sample --verify.  Removed variables must freeze at their
+// last published value.
+TEST(PvarExport, TombstonedVariableFreezesAtLastPublishedValue) {
+    const std::string path = temp_path("tombstone");
+    ::unlink(path.c_str());
+
+    Registry reg;
+    ExportWriter wr(reg, path);
+    ASSERT_TRUE(wr.valid());
+
+    std::atomic<std::uint64_t> v{95};
+    {
+        ProviderScope scope(reg);
+        scope.add_counter("dying.counter", [&] { return v.load(); });
+        wr.write_now();
+        v.store(100);
+        wr.write_now();  // last value published while alive: 100
+    }  // provider detaches; the id is tombstoned
+
+    ExportReader rd;
+    ASSERT_TRUE(rd.open(path));
+    for (int pass = 0; pass < 4; ++pass) {
+        wr.write_now();  // each publish flips buffers
+        ExportReader::Sample s;
+        ASSERT_TRUE(rd.read(s));
+        const auto vars = rd.vars(s.var_count);
+        bool found = false;
+        for (std::uint32_t id = 0; id < s.var_count && id < vars.size(); ++id) {
+            if (vars[id].name != "dying.counter") continue;
+            found = true;
+            EXPECT_FALSE(vars[id].live);
+            EXPECT_EQ(s.values[id], 100u) << "publish pass " << pass;
+        }
+        ASSERT_TRUE(found);
+    }
+    wr.close();
+    rd.close();
+    ::unlink(path.c_str());
+}
+
+// Regression: init_file() used to ftruncate an existing file to the
+// new geometry, which would SIGBUS a sampler still mapping the old
+// length.  A non-empty file of the wrong size is now refused (export
+// disabled) and left untouched.
+TEST(PvarExport, WriterRefusesExistingFileOfDifferentGeometry) {
+    const std::string path = temp_path("geometry");
+    ::unlink(path.c_str());
+
+    ExportWriter::Options small;
+    small.var_capacity = 64;
+    {
+        Registry reg;
+        reg.add_owned_counter("g.one")->store(7);
+        ExportWriter wr(reg, path, small);
+        ASSERT_TRUE(wr.valid());
+    }
+
+    // Different capacity: must come up invalid without resizing.
+    Registry reg2;
+    ExportWriter::Options big;
+    big.var_capacity = 128;
+    ExportWriter wr2(reg2, path, big);
+    EXPECT_FALSE(wr2.valid());
+
+    // The original file is intact for any still-attached reader.
+    ExportReader rd;
+    ASSERT_TRUE(rd.open(path));
+    EXPECT_EQ(rd.var_capacity(), 64u);
+    ExportReader::Sample s;
+    ASSERT_TRUE(rd.read(s));
+    EXPECT_TRUE(s.closed);  // the first writer's destructor closed it
+    rd.close();
+    ::unlink(path.c_str());
+}
+
 TEST(PvarExport, OpenRejectsMissingAndMalformedFiles) {
     ExportReader rd;
     EXPECT_FALSE(rd.open(temp_path("missing")));

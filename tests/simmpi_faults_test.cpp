@@ -7,8 +7,11 @@
 // yet reports survivor findings).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -548,6 +551,106 @@ TEST(Faults, ErrorsAreFatalTerminatesEveryRank) {
     }
     EXPECT_EQ(killed, 1);
     EXPECT_EQ(poisoned, 2);
+}
+
+// Regression: poison() used to publish an export snapshot inline, and
+// the snapshot pass re-takes every mailbox mutex (simmpi.mailbox.*
+// gauges).  A fatal transport error raised from inside send_body's
+// flow-control loop / recv_body's scan -- both run their doom checks
+// under the destination's mailbox mutex -- therefore self-deadlocked
+// whenever M2P_PVAR_EXPORT was set.  The error paths now drop mb.mu
+// first and the death/poison flush is asynchronous; this test hangs
+// (and is watchdog-aborted) if either regresses.
+TEST(Faults, FatalTransportErrorWithExportAttachedDoesNotDeadlock) {
+    const std::string path = ::testing::TempDir() + "faults_export." +
+                             std::to_string(::getpid()) + ".pvar";
+    ::unlink(path.c_str());
+    ::setenv("M2P_PVAR_EXPORT", path.c_str(), 1);
+    ::setenv("M2P_PVAR_EXPORT_PERIOD_US", "500", 1);
+    {
+        instr::Registry reg;
+        World::Config cfg = faulted_cfg(Flavor::Lam, CollAlgo::Tree);
+        cfg.default_errhandler = MPI_ERRORS_ARE_FATAL;
+        cfg.wait_deadline_seconds = 0.3;
+        cfg.mailbox_capacity = 4096;  // a few eager sends fill it
+        World world(reg, cfg);
+        world.register_program("jam", [](Rank& r, const std::vector<std::string>&) {
+            r.MPI_Init();
+            const Comm w = r.MPI_COMM_WORLD();
+            int me = 0;
+            r.MPI_Comm_rank(w, &me);
+            if (me == 0) {
+                // Eager sends against a receiver that never drains:
+                // the flow-control park hits the wait deadline and the
+                // FATAL errhandler poisons the world from the send
+                // error path.
+                std::vector<char> buf(512, 'x');
+                int rc = MPI_SUCCESS;
+                for (int i = 0; i < 1000 && rc == MPI_SUCCESS; ++i)
+                    rc = r.MPI_Send(buf.data(), 512, MPI_BYTE, 1, 7, w);
+                ADD_FAILURE() << "rank 0 survived a fatal send, rc=" << rc;
+            } else {
+                // A receive nothing ever matches: its deadline fires
+                // the same fatal path from recv_body's scan loop.
+                char b = 0;
+                r.MPI_Recv(&b, 1, MPI_BYTE, 0, 99, w, nullptr);
+                ADD_FAILURE() << "rank 1 survived a fatal recv";
+            }
+            r.MPI_Finalize();
+        });
+        run_ranks(world, "jam", 2);
+        EXPECT_TRUE(world.poisoned());
+        EXPECT_EQ(world.epitaphs().size(), 2u);
+    }
+    ::unsetenv("M2P_PVAR_EXPORT");
+    ::unsetenv("M2P_PVAR_EXPORT_PERIOD_US");
+    ::unlink(path.c_str());
+}
+
+// Regression: MPI_Win_lock's abandon path used to run check_poisoned()
+// while still holding the target shard's mutex.  For a lock on the
+// rank's OWN shard (legal and common), the rma_detach_all() inside
+// check_poisoned re-locks that same non-recursive mutex:
+// self-deadlock.  The abandon path now withdraws under the lock and
+// errors after releasing it; this test wedges on regression.
+TEST(Faults, AbortWhileHoldingPassiveLockUnwedgesSelfLockWaiter) {
+    instr::Registry reg;
+    World::Config cfg = faulted_cfg(Flavor::Lam, CollAlgo::Tree);
+    cfg.wait_deadline_seconds = 5.0;
+    World world(reg, cfg);
+    world.register_program("locker", [](Rank& r, const std::vector<std::string>&) {
+        r.MPI_Init();
+        const Comm w = r.MPI_COMM_WORLD();
+        int me = 0;
+        r.MPI_Comm_rank(w, &me);
+        std::vector<std::int32_t> mem(4, 0);
+        Win win = MPI_WIN_NULL;
+        if (r.MPI_Win_create(mem.data(), 16, 4, MPI_INFO_NULL, w, &win) !=
+            MPI_SUCCESS) {
+            r.MPI_Finalize();
+            return;
+        }
+        if (me == 1) {
+            // Grab rank 0's shard exclusively, let rank 0 queue behind
+            // us, then abort without unlocking: the waiter can only be
+            // unwedged by the poison broadcast.
+            r.MPI_Win_lock(MPI_LOCK_EXCLUSIVE, 0, 0, win);
+            r.MPI_Barrier(w);
+            simmpi::sched::sleep_for(std::chrono::duration<double>(0.1));
+            r.MPI_Abort(w, 42);
+            return;  // unreachable
+        }
+        r.MPI_Barrier(w);
+        // Queues behind rank 1's held lock on our OWN shard; the abort
+        // dooms the wait and the abandon path must not re-lock the
+        // shard it is withdrawing from.
+        const int rc = r.MPI_Win_lock(MPI_LOCK_EXCLUSIVE, 0, 0, win);
+        ADD_FAILURE() << "rank 0 survived the poisoned lock wait, rc=" << rc;
+        r.MPI_Finalize();
+    });
+    run_ranks(world, "locker", 2);
+    EXPECT_TRUE(world.poisoned());
+    EXPECT_EQ(world.poison_code(), 42);
 }
 
 // ---------------------------------------------------------------------------
